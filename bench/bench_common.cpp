@@ -1,0 +1,47 @@
+#include "bench_common.hpp"
+
+#include "analysis/calibrate.hpp"
+
+namespace mpbt::bench {
+
+std::optional<BenchOptions> parse_bench_options(int argc, const char* const* argv,
+                                                const std::string& name,
+                                                const std::string& description) {
+  util::CliParser cli(name, description);
+  cli.add_option("seed", "base RNG seed", "42");
+  cli.add_option("runs", "independent repetitions to average", "3");
+  cli.add_flag("quick", "smaller workloads for smoke runs");
+  cli.add_option("csv", "also write the table to this CSV path", "");
+  if (!cli.parse(argc, argv)) {
+    return std::nullopt;
+  }
+  BenchOptions options;
+  options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  options.runs = std::max(1, static_cast<int>(cli.get_int("runs")));
+  options.quick = cli.has_flag("quick");
+  options.csv_path = cli.get("csv");
+  return options;
+}
+
+void emit_table(const util::Table& table, const BenchOptions& options) {
+  table.print_text(std::cout);
+  if (!options.csv_path.empty()) {
+    table.write_csv_file(options.csv_path);
+    std::cout << "\n[csv written to " << options.csv_path << "]\n";
+  }
+}
+
+void print_banner(const std::string& experiment_id, const std::string& what) {
+  std::cout << "== " << experiment_id << " — " << what << " ==\n"
+            << "   (Rai et al., \"A Multiphased Approach for Modeling and Analysis of\n"
+            << "    the BitTorrent Protocol\", ICDCS 2007)\n\n";
+}
+
+model::ModelParams calibrate_from_swarm(const bt::Swarm& swarm, double w, double gamma) {
+  analysis::CalibrationOptions options;
+  options.w = w;
+  options.gamma = gamma;
+  return analysis::calibrate_model(swarm, options);
+}
+
+}  // namespace mpbt::bench

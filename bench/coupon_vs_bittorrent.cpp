@@ -1,0 +1,123 @@
+// Ablation C1: BitTorrent (neighbor-set, k connections) vs the coupon
+// replication system (global random encounters, single connection).
+//
+// Section 2.2 contrasts the two designs: in a coupon system there is "a
+// positive probability of failed encounters if peers do not have pieces to
+// trade", while BitTorrent encounters only happen inside the potential
+// set. This bench quantifies both: the coupon simulator's failed-encounter
+// fraction and completion times against the swarm simulator's starvation
+// rate and download times at matched piece counts.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bt/swarm.hpp"
+#include "coupon/coupon.hpp"
+#include "numeric/stats.hpp"
+
+namespace {
+
+using namespace mpbt;
+
+struct SideResult {
+  double mean_completion = 0.0;
+  double p95_completion = 0.0;
+  double failed_fraction = 0.0;
+  std::uint64_t completed = 0;
+};
+
+SideResult run_bittorrent(std::uint32_t B, std::uint64_t seed, bool quick) {
+  bt::SwarmConfig config;
+  config.num_pieces = B;
+  config.max_connections = 4;
+  config.peer_set_size = 30;
+  config.arrival_rate = 3.0;
+  config.initial_seeds = 1;
+  config.seed_capacity = 4;
+  config.seed = seed;
+  bt::InitialGroup warm;
+  warm.count = 100;
+  warm.piece_probs.assign(B, 0.3);
+  config.initial_groups.push_back(std::move(warm));
+  bt::Swarm swarm(config);
+  swarm.run_rounds(quick ? 150 : 300);
+
+  SideResult out;
+  const numeric::Summary s = numeric::summarize(swarm.metrics().download_times());
+  out.mean_completion = s.mean;
+  out.p95_completion = s.p95;
+  out.completed = swarm.metrics().completed_count();
+  // BitTorrent "failed encounters": leecher-rounds starving (non-empty NS,
+  // empty potential set) per piece-holding leecher round.
+  double starving = static_cast<double>(swarm.metrics().failed_encounters());
+  double total_rounds = 0.0;
+  for (const auto& sample : swarm.metrics().population().samples()) {
+    total_rounds += sample.value;
+  }
+  out.failed_fraction = total_rounds == 0.0 ? 0.0 : starving / total_rounds;
+  return out;
+}
+
+SideResult run_coupon(std::uint32_t B, std::uint64_t seed, bool quick) {
+  coupon::CouponConfig config;
+  config.num_coupons = B;
+  config.arrival_rate = 3.0;
+  config.encounter_rate = 1.0;
+  config.initial_peers = 100;
+  config.horizon = quick ? 150.0 : 300.0;
+  config.seed = seed;
+  coupon::CouponSimulator sim(config);
+  const coupon::CouponResult result = sim.run();
+  SideResult out;
+  out.mean_completion = result.completion_time.mean;
+  out.p95_completion = result.completion_time.p95;
+  out.failed_fraction = result.failed_fraction();
+  out.completed = result.completed;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = bench::parse_bench_options(
+      argc, argv, "coupon_vs_bittorrent",
+      "Section 2.2 contrast: coupon replication vs BitTorrent");
+  if (!options) {
+    return 0;
+  }
+  bench::print_banner("Ablation C1",
+                      "coupon replication (global random encounters) vs BitTorrent");
+
+  util::Table table({"B", "system", "completed", "mean completion", "p95 completion",
+                     "failed-encounter fraction"});
+  table.set_precision(3);
+  for (std::uint32_t B : {10u, 20u, 40u}) {
+    SideResult bt_result;
+    SideResult coupon_result;
+    for (int run = 0; run < options->runs; ++run) {
+      const std::uint64_t seed = options->seed + static_cast<std::uint64_t>(run) * 59;
+      const SideResult b = run_bittorrent(B, seed, options->quick);
+      const SideResult c = run_coupon(B, seed, options->quick);
+      bt_result.mean_completion += b.mean_completion / options->runs;
+      bt_result.p95_completion += b.p95_completion / options->runs;
+      bt_result.failed_fraction += b.failed_fraction / options->runs;
+      bt_result.completed += b.completed;
+      coupon_result.mean_completion += c.mean_completion / options->runs;
+      coupon_result.p95_completion += c.p95_completion / options->runs;
+      coupon_result.failed_fraction += c.failed_fraction / options->runs;
+      coupon_result.completed += c.completed;
+    }
+    table.add_row({static_cast<long long>(B), std::string("bittorrent"),
+                   static_cast<long long>(bt_result.completed), bt_result.mean_completion,
+                   bt_result.p95_completion, bt_result.failed_fraction});
+    table.add_row({static_cast<long long>(B), std::string("coupon"),
+                   static_cast<long long>(coupon_result.completed),
+                   coupon_result.mean_completion, coupon_result.p95_completion,
+                   coupon_result.failed_fraction});
+  }
+  bench::emit_table(table, *options);
+  std::cout << "\nNote: completion timescales are not directly comparable across the two\n"
+               "systems (rounds vs encounter-time units); the structural contrast is the\n"
+               "failed-encounter column — near zero for BitTorrent's potential-set\n"
+               "encounters, strictly positive for global random coupon encounters.\n";
+  return 0;
+}

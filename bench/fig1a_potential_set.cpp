@@ -1,0 +1,83 @@
+// Figure 1(a): effect of the peer set size on the potential set.
+//
+// Plots (as table rows) the average potential-set-size / neighbor-set-size
+// ratio against the number of pieces downloaded, for peer set sizes
+// s in {5, 10, 25, 40}. Paper result: for small s the ratio dips at both
+// ends of the download (bootstrap and last phase); for realistic s the
+// ratio stays close to 1 through the whole efficient-download phase.
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bt/swarm.hpp"
+
+namespace {
+
+using namespace mpbt;
+
+bt::SwarmConfig swarm_config(std::uint32_t s, std::uint32_t B, std::uint64_t seed) {
+  bt::SwarmConfig config;
+  config.num_pieces = B;
+  config.max_connections = 7;
+  config.peer_set_size = s;
+  config.arrival_rate = 2.0;
+  config.initial_seeds = 2;
+  config.seed_capacity = 4;
+  config.seed = seed;
+  bt::InitialGroup warm;
+  warm.count = 120;
+  warm.piece_probs.assign(B, 0.35);
+  config.initial_groups.push_back(std::move(warm));
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options =
+      bench::parse_bench_options(argc, argv, "fig1a_potential_set",
+                                 "Fig. 1(a): potential/neighbor set ratio vs pieces downloaded");
+  if (!options) {
+    return 0;
+  }
+  bench::print_banner("Figure 1(a)", "effect of the peer set size on the potential set");
+
+  const std::uint32_t B = options->quick ? 100 : 200;
+  const bt::Round rounds = options->quick ? 150 : 300;
+  const std::vector<std::uint32_t> peer_set_sizes{5, 10, 25, 40};
+
+  // Accumulate the ratio profile per s over the requested runs.
+  std::vector<std::vector<double>> ratio_sum(peer_set_sizes.size(),
+                                             std::vector<double>(B + 1, 0.0));
+  std::vector<std::vector<int>> ratio_count(peer_set_sizes.size(),
+                                            std::vector<int>(B + 1, 0));
+  for (int run = 0; run < options->runs; ++run) {
+    for (std::size_t si = 0; si < peer_set_sizes.size(); ++si) {
+      bt::Swarm swarm(swarm_config(peer_set_sizes[si], B,
+                                   options->seed + static_cast<std::uint64_t>(run) * 97));
+      swarm.run_rounds(rounds);
+      for (std::uint32_t b = 0; b <= B; ++b) {
+        const double r = swarm.metrics().potential_ratio(b);
+        if (r >= 0.0) {
+          ratio_sum[si][b] += r;
+          ++ratio_count[si][b];
+        }
+      }
+    }
+  }
+
+  mpbt::util::Table table({"pieces", "PSS=5", "PSS=10", "PSS=25", "PSS=40"});
+  table.set_precision(3);
+  const std::uint32_t step = B / 20;
+  for (std::uint32_t b = 0; b <= B; b += step) {
+    std::vector<mpbt::util::Cell> row;
+    row.emplace_back(static_cast<long long>(b));
+    for (std::size_t si = 0; si < peer_set_sizes.size(); ++si) {
+      row.emplace_back(ratio_count[si][b] == 0
+                           ? -1.0
+                           : ratio_sum[si][b] / ratio_count[si][b]);
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit_table(table, *options);
+  return 0;
+}

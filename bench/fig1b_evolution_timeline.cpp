@@ -1,0 +1,89 @@
+// Figure 1(b): evolution timeline — simulation vs model.
+//
+// For peer set sizes s = 5 and s = 50, prints the average round at which a
+// peer holds b pieces, from (i) the swarm simulation and (ii) the exact
+// multiphased Markov model with parameters calibrated from the simulation.
+// Paper result: the model tracks the simulation closely for large s and
+// remains a good first approximation for small s (where bootstrap and
+// last-phase stalls make the timeline steeper at both ends).
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bt/swarm.hpp"
+#include "model/download_model.hpp"
+
+namespace {
+
+using namespace mpbt;
+
+bt::SwarmConfig swarm_config(std::uint32_t s, std::uint32_t B, std::uint64_t seed) {
+  bt::SwarmConfig config;
+  config.num_pieces = B;
+  config.max_connections = 7;
+  config.peer_set_size = s;
+  config.arrival_rate = 2.0;
+  config.initial_seeds = 2;
+  config.seed_capacity = 4;
+  config.seed = seed;
+  bt::InitialGroup warm;
+  warm.count = 120;
+  warm.piece_probs.assign(B, 0.35);
+  config.initial_groups.push_back(std::move(warm));
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = bench::parse_bench_options(
+      argc, argv, "fig1b_evolution_timeline", "Fig. 1(b): download timeline, sim vs model");
+  if (!options) {
+    return 0;
+  }
+  bench::print_banner("Figure 1(b)", "evolution timeline (rounds to reach b pieces)");
+
+  const std::uint32_t B = options->quick ? 100 : 200;
+  const bt::Round rounds = options->quick ? 200 : 400;
+  const std::vector<std::uint32_t> peer_set_sizes{5, 50};
+
+  std::vector<std::vector<double>> sim_sum(peer_set_sizes.size(),
+                                           std::vector<double>(B + 1, 0.0));
+  std::vector<std::vector<int>> sim_count(peer_set_sizes.size(), std::vector<int>(B + 1, 0));
+  std::vector<std::vector<double>> model_timeline(peer_set_sizes.size());
+
+  for (std::size_t si = 0; si < peer_set_sizes.size(); ++si) {
+    model::ModelParams calibrated;
+    for (int run = 0; run < options->runs; ++run) {
+      bt::Swarm swarm(swarm_config(peer_set_sizes[si], B,
+                                   options->seed + static_cast<std::uint64_t>(run) * 131));
+      swarm.run_rounds(rounds);
+      for (std::uint32_t b = 1; b <= B; ++b) {
+        const double t = swarm.metrics().timeline(b);
+        if (t >= 0.0) {
+          sim_sum[si][b] += t;
+          ++sim_count[si][b];
+        }
+      }
+      if (run == 0) {
+        calibrated = bench::calibrate_from_swarm(swarm, /*w=*/0.5, /*gamma=*/0.1);
+      }
+    }
+    model_timeline[si] = model::compute_evolution(calibrated, 20000).expected_timeline;
+  }
+
+  mpbt::util::Table table(
+      {"pieces", "sim PSS=5", "model PSS=5", "sim PSS=50", "model PSS=50"});
+  table.set_precision(1);
+  const std::uint32_t step = B / 20;
+  for (std::uint32_t b = step; b <= B; b += step) {
+    std::vector<mpbt::util::Cell> row;
+    row.emplace_back(static_cast<long long>(b));
+    for (std::size_t si = 0; si < peer_set_sizes.size(); ++si) {
+      row.emplace_back(sim_count[si][b] == 0 ? -1.0 : sim_sum[si][b] / sim_count[si][b]);
+      row.emplace_back(model_timeline[si][b]);
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit_table(table, *options);
+  return 0;
+}

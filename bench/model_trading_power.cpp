@@ -1,0 +1,65 @@
+// Ablation M1: the trading-power curve p(b+n) of Eq. (1).
+//
+// Section 3.2 claims: p rises from 0.5 at b+n = 1 to its maximum at
+// b+n = B/2 and decreases back to 0.5 at b+n = B-1 (under uniform ϕ).
+// This bench prints the curve for several B and for a skewed ϕ, showing
+// how skew shifts the trading power (the stability mechanism of Section 6).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "model/trading_power.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpbt;
+  const auto options = bench::parse_bench_options(
+      argc, argv, "model_trading_power", "Eq. (1): trading power p(b+n) curves");
+  if (!options) {
+    return 0;
+  }
+  bench::print_banner("Model ablation M1", "trading power p(b+n), Eq. (1)");
+
+  const int B = options->quick ? 50 : 200;
+
+  model::ModelParams uniform;
+  uniform.B = B;
+  uniform.validate_and_normalize();
+  const std::vector<double> uniform_curve = model::trading_power_curve(uniform);
+
+  // Skewed ϕ: most peers hold few pieces (young swarm).
+  model::ModelParams young;
+  young.B = B;
+  young.phi.assign(static_cast<std::size_t>(B) + 1, 0.0);
+  for (int j = 1; j <= B - 1; ++j) {
+    young.phi[static_cast<std::size_t>(j)] = 1.0 / (1.0 + 0.05 * j);
+  }
+  young.validate_and_normalize();
+  const std::vector<double> young_curve = model::trading_power_curve(young);
+
+  // Skewed ϕ: most peers nearly complete (old swarm).
+  model::ModelParams old_swarm;
+  old_swarm.B = B;
+  old_swarm.phi.assign(static_cast<std::size_t>(B) + 1, 0.0);
+  for (int j = 1; j <= B - 1; ++j) {
+    old_swarm.phi[static_cast<std::size_t>(j)] = 1.0 / (1.0 + 0.05 * (B - j));
+  }
+  old_swarm.validate_and_normalize();
+  const std::vector<double> old_curve = model::trading_power_curve(old_swarm);
+
+  util::Table table({"b+n", "p (uniform phi)", "p (young swarm)", "p (old swarm)"});
+  table.set_precision(4);
+  const int step = std::max(1, B / 25);
+  for (int m = 0; m <= B; m += step) {
+    table.add_row({static_cast<long long>(m), uniform_curve[static_cast<std::size_t>(m)],
+                   young_curve[static_cast<std::size_t>(m)],
+                   old_curve[static_cast<std::size_t>(m)]});
+  }
+  bench::emit_table(table, *options);
+
+  // Report the paper's three checkpoints.
+  std::cout << "\np(1) = " << uniform_curve[1] << " (paper: ~0.5)\n";
+  std::cout << "p(B/2) = " << uniform_curve[static_cast<std::size_t>(B / 2)]
+            << " (paper: maximum)\n";
+  std::cout << "p(B-1) = " << uniform_curve[static_cast<std::size_t>(B - 1)]
+            << " (paper: ~0.5)\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+// P1: micro-performance of the core components (google-benchmark).
+//
+// Not a paper figure — keeps regressions out of the simulator and the
+// model kernels so the figure benches stay fast.
+#include <benchmark/benchmark.h>
+
+#include "bt/bitfield.hpp"
+#include "bt/swarm.hpp"
+#include "efficiency/balance.hpp"
+#include "model/download_model.hpp"
+#include "model/trading_power.hpp"
+#include "numeric/logbinom.hpp"
+#include "numeric/rng.hpp"
+
+namespace {
+
+using namespace mpbt;
+
+void BM_RngBinomial(benchmark::State& state) {
+  numeric::Rng rng(1);
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.binomial(n, 0.3));
+  }
+}
+BENCHMARK(BM_RngBinomial)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_BitfieldMutualInterest(benchmark::State& state) {
+  const auto pieces = static_cast<std::size_t>(state.range(0));
+  bt::Bitfield a(pieces);
+  bt::Bitfield b(pieces);
+  numeric::Rng rng(2);
+  for (std::size_t p = 0; p < pieces; ++p) {
+    if (rng.bernoulli(0.5)) {
+      a.set(static_cast<bt::PieceIndex>(p));
+    }
+    if (rng.bernoulli(0.5)) {
+      b.set(static_cast<bt::PieceIndex>(p));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bt::mutually_interested(a, b));
+  }
+}
+BENCHMARK(BM_BitfieldMutualInterest)->Arg(200)->Arg(2000);
+
+void BM_TradingPowerCurve(benchmark::State& state) {
+  model::ModelParams params;
+  params.B = static_cast<int>(state.range(0));
+  params.validate_and_normalize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::trading_power_curve(params));
+  }
+}
+BENCHMARK(BM_TradingPowerCurve)->Arg(50)->Arg(200);
+
+void BM_ComputeEvolution(benchmark::State& state) {
+  model::ModelParams params;
+  params.B = static_cast<int>(state.range(0));
+  params.k = 7;
+  params.s = 40;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::compute_evolution(params, 5000));
+  }
+}
+BENCHMARK(BM_ComputeEvolution)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+
+void BM_EfficiencySolve(benchmark::State& state) {
+  efficiency::EfficiencyParams params;
+  params.k = static_cast<int>(state.range(0));
+  params.p_r = 0.9;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(efficiency::EfficiencySolver(params).solve());
+  }
+}
+BENCHMARK(BM_EfficiencySolve)->Arg(2)->Arg(8);
+
+void BM_SwarmRound(benchmark::State& state) {
+  bt::SwarmConfig config;
+  config.num_pieces = 200;
+  config.max_connections = 7;
+  config.peer_set_size = 40;
+  config.arrival_rate = 2.0;
+  config.initial_seeds = 2;
+  config.seed_capacity = 4;
+  bt::InitialGroup warm;
+  warm.count = static_cast<std::uint32_t>(state.range(0));
+  warm.piece_probs.assign(config.num_pieces, 0.35);
+  config.initial_groups.push_back(std::move(warm));
+  bt::Swarm swarm(std::move(config));
+  swarm.run_rounds(10);  // settle
+  for (auto _ : state) {
+    swarm.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(swarm.population()));
+}
+BENCHMARK(BM_SwarmRound)->Arg(100)->Arg(500)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

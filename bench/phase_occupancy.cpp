@@ -1,0 +1,77 @@
+// Ablation M3: phase occupancy — simulator vs model (Section 3.2).
+//
+// The paper's central claim is that a download decomposes into three
+// phases whose relative durations depend on the peer-set size s. This
+// bench classifies every simulated leecher-round into a phase (using the
+// same state rule as the model) and compares the resulting fractions with
+// the model's expected per-phase sojourns across s, showing bootstrap and
+// last-phase mass appearing as s shrinks in BOTH.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bt/swarm.hpp"
+#include "model/download_model.hpp"
+
+namespace {
+
+using namespace mpbt;
+
+bt::SwarmConfig swarm_config(std::uint32_t s, std::uint32_t B, std::uint64_t seed) {
+  bt::SwarmConfig config;
+  config.num_pieces = B;
+  config.max_connections = 7;
+  config.peer_set_size = s;
+  config.arrival_rate = 2.0;
+  config.initial_seeds = 2;
+  config.seed_capacity = 4;
+  config.seed = seed;
+  bt::InitialGroup warm;
+  warm.count = 120;
+  warm.piece_probs.assign(B, 0.35);
+  config.initial_groups.push_back(std::move(warm));
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = bench::parse_bench_options(
+      argc, argv, "phase_occupancy",
+      "Section 3.2 validation: per-phase time fractions, sim vs model");
+  if (!options) {
+    return 0;
+  }
+  bench::print_banner("Model ablation M3", "phase occupancy across peer set sizes");
+
+  const std::uint32_t B = options->quick ? 100 : 200;
+  const bt::Round rounds = options->quick ? 150 : 300;
+
+  util::Table table({"s", "sim bootstrap %", "sim efficient %", "sim last %",
+                     "model bootstrap %", "model efficient %", "model last %"});
+  table.set_precision(2);
+  for (std::uint32_t s : {3u, 5u, 10u, 25u, 40u}) {
+    double sim_boot = 0.0;
+    double sim_eff = 0.0;
+    double sim_last = 0.0;
+    model::ModelParams calibrated;
+    for (int run = 0; run < options->runs; ++run) {
+      bt::Swarm swarm(
+          swarm_config(s, B, options->seed + static_cast<std::uint64_t>(run) * 311));
+      swarm.run_rounds(rounds);
+      sim_boot += 100.0 * swarm.metrics().bootstrap_fraction() / options->runs;
+      sim_eff += 100.0 * swarm.metrics().efficient_fraction() / options->runs;
+      sim_last += 100.0 * swarm.metrics().last_phase_fraction() / options->runs;
+      if (run == 0) {
+        calibrated = bench::calibrate_from_swarm(swarm, /*w=*/0.5, /*gamma=*/0.1);
+      }
+    }
+    const model::EvolutionResult evo = model::compute_evolution(calibrated, 20000);
+    const double total = evo.bootstrap_rounds + evo.efficient_rounds + evo.last_rounds;
+    table.add_row({static_cast<long long>(s), sim_boot, sim_eff, sim_last,
+                   total > 0 ? 100.0 * evo.bootstrap_rounds / total : 0.0,
+                   total > 0 ? 100.0 * evo.efficient_rounds / total : 0.0,
+                   total > 0 ? 100.0 * evo.last_rounds / total : 0.0});
+  }
+  bench::emit_table(table, *options);
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Ablation S1: classic seeding vs super-seeding (Section 7.2).
+//
+// Flash-crowd workload: one seed, a burst of empty peers, no arrivals.
+// Super-seeding spreads the seed's upload budget across distinct pieces,
+// which keeps the swarm's entropy high while it forms and lets stragglers
+// finish; classic seeding re-serves popular pieces and leaves a skewed
+// piece distribution behind.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bt/swarm.hpp"
+#include "numeric/stats.hpp"
+
+namespace {
+
+using namespace mpbt;
+
+struct FlashResult {
+  int full_injection_round = -1;  ///< every piece has a non-seed copy
+  int first_completion_round = -1;
+  std::size_t completed = 0;
+  double mean_entropy = 0.0;
+  numeric::Summary download_times;
+};
+
+FlashResult run_flash(bt::SwarmConfig::SeedMode mode, std::uint64_t seed, bool quick) {
+  bt::SwarmConfig config;
+  config.num_pieces = quick ? 60 : 100;
+  config.max_connections = 5;
+  config.peer_set_size = 30;
+  config.arrival_rate = 0.0;
+  config.initial_seeds = 1;
+  config.seed_capacity = 5;
+  config.seeds_serve_all = true;
+  config.seed_mode = mode;
+  config.seed = seed;
+  bt::InitialGroup flash;
+  flash.count = quick ? 40 : 60;  // empty peers, all at once
+  config.initial_groups.push_back(std::move(flash));
+  bt::Swarm swarm(std::move(config));
+
+  FlashResult result;
+  const bt::Round rounds = quick ? 250 : 400;
+  for (bt::Round r = 0; r < rounds; ++r) {
+    swarm.step();
+    if (result.full_injection_round < 0) {
+      bool all_injected = true;
+      for (std::uint32_t count : swarm.piece_counts()) {
+        if (count < 2) {  // the seed's copy plus at least one leecher copy
+          all_injected = false;
+          break;
+        }
+      }
+      if (all_injected) {
+        result.full_injection_round = static_cast<int>(r);
+      }
+    }
+    if (result.first_completion_round < 0 && swarm.metrics().completed_count() > 0) {
+      result.first_completion_round = static_cast<int>(r);
+    }
+    if (swarm.num_leechers() == 0) {
+      break;
+    }
+  }
+  result.completed = swarm.metrics().completed_count();
+  result.mean_entropy = swarm.metrics().mean_entropy(5);
+  result.download_times = numeric::summarize(swarm.metrics().download_times());
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = bench::parse_bench_options(
+      argc, argv, "super_seeding", "Section 7.2 ablation: classic vs super-seeding");
+  if (!options) {
+    return 0;
+  }
+  bench::print_banner("Ablation S1", "classic seeding vs super-seeding in a flash crowd");
+
+  util::Table table({"seed mode", "full injection (round)", "first completion", "completed",
+                     "mean download", "p95 download", "mean entropy"});
+  table.set_precision(3);
+  for (auto mode :
+       {bt::SwarmConfig::SeedMode::Classic, bt::SwarmConfig::SeedMode::SuperSeed}) {
+    double injection = 0.0;
+    double first = 0.0;
+    double completed = 0.0;
+    double entropy = 0.0;
+    double mean_dl = 0.0;
+    double p95_dl = 0.0;
+    for (int run = 0; run < options->runs; ++run) {
+      const FlashResult r =
+          run_flash(mode, options->seed + static_cast<std::uint64_t>(run) * 37, options->quick);
+      injection += static_cast<double>(r.full_injection_round) / options->runs;
+      first += static_cast<double>(r.first_completion_round) / options->runs;
+      completed += static_cast<double>(r.completed) / options->runs;
+      entropy += r.mean_entropy / options->runs;
+      mean_dl += r.download_times.mean / options->runs;
+      p95_dl += r.download_times.p95 / options->runs;
+    }
+    table.add_row({std::string(mode == bt::SwarmConfig::SeedMode::Classic ? "classic"
+                                                                          : "super-seed"),
+                   injection, first, completed, mean_dl, p95_dl, entropy});
+  }
+  bench::emit_table(table, *options);
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Ablation T1: tracker peer-selection policies (Section 4.3).
+//
+// The paper suggests two ways to shorten the bootstrap phase: "the tracker
+// can bias new peer arrivals into the neighborhood of the peers which are
+// trapped in the bootstrap phase", and (following ref. [8]) clustering
+// peers by download status. This bench runs a bootstrap-prone swarm under
+// the three tracker policies and compares bootstrap exposure (starving
+// peer-rounds), first-piece trading delay, and download times.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bt/swarm.hpp"
+#include "numeric/stats.hpp"
+
+namespace {
+
+using namespace mpbt;
+
+bt::SwarmConfig policy_config(bt::TrackerPolicy policy, std::uint64_t seed, bool quick) {
+  bt::SwarmConfig config;
+  config.num_pieces = quick ? 100 : 200;
+  config.max_connections = 7;
+  // Small neighbor sets in a clone-heavy swarm: arrivals often find no one
+  // to trade their first piece with.
+  config.peer_set_size = 6;
+  config.arrival_rate = 1.5;
+  config.initial_seeds = 1;
+  config.seed_capacity = 2;
+  config.optimistic_unchoke_prob = 1.0;
+  config.tracker_policy = policy;
+  config.seed = seed;
+  bt::InitialGroup clones;
+  clones.count = 70;
+  clones.piece_probs.assign(config.num_pieces, 0.0);
+  for (std::uint32_t j = 0; j < config.num_pieces / 2; ++j) {
+    clones.piece_probs[j] = 0.95;
+  }
+  config.initial_groups.push_back(std::move(clones));
+  config.arrival_piece_probs.assign(config.num_pieces, 0.02);
+  return config;
+}
+
+const char* policy_name(bt::TrackerPolicy policy) {
+  switch (policy) {
+    case bt::TrackerPolicy::UniformRandom:
+      return "uniform-random";
+    case bt::TrackerPolicy::BootstrapBias:
+      return "bootstrap-bias";
+    case bt::TrackerPolicy::StatusClustered:
+      return "status-clustered";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = bench::parse_bench_options(
+      argc, argv, "tracker_policies",
+      "Section 4.3 ablation: tracker peer-selection policies vs bootstrap exposure");
+  if (!options) {
+    return 0;
+  }
+  bench::print_banner("Ablation T1", "tracker policies and the bootstrap phase");
+
+  const bt::Round rounds = options->quick ? 200 : 400;
+
+  util::Table table({"policy", "starving peer-rounds", "2nd-piece delay", "completed",
+                     "mean download", "p95 download"});
+  table.set_precision(2);
+  for (bt::TrackerPolicy policy :
+       {bt::TrackerPolicy::UniformRandom, bt::TrackerPolicy::BootstrapBias,
+        bt::TrackerPolicy::StatusClustered}) {
+    double starving = 0.0;
+    double second_piece_delay = 0.0;
+    int delay_samples = 0;
+    std::vector<double> downloads;
+    for (int run = 0; run < options->runs; ++run) {
+      bt::Swarm swarm(
+          policy_config(policy, options->seed + static_cast<std::uint64_t>(run) * 83,
+                        options->quick));
+      swarm.run_rounds(rounds);
+      starving += static_cast<double>(swarm.metrics().failed_encounters()) / options->runs;
+      // TTD of the second piece = how long the first piece sat untradable.
+      const double d = swarm.metrics().ttd(2);
+      if (d >= 0.0) {
+        second_piece_delay += d;
+        ++delay_samples;
+      }
+      for (double t : swarm.metrics().download_times()) {
+        downloads.push_back(t);
+      }
+    }
+    const numeric::Summary s = numeric::summarize(downloads);
+    table.add_row({std::string(policy_name(policy)), starving,
+                   delay_samples == 0 ? -1.0 : second_piece_delay / delay_samples,
+                   static_cast<long long>(s.count), s.mean, s.p95});
+  }
+  bench::emit_table(table, *options);
+  return 0;
+}

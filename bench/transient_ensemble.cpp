@@ -1,0 +1,111 @@
+// Ablation M4: the transient ensemble model (Section 6/8 future work).
+//
+// Two comparisons:
+//  1. Healthy swarm: the ensemble's population trajectory N_t (driven by
+//     the per-peer chain with the nonstationary ϕ_t coupling) against the
+//     simulator's leecher count — the transient machinery tracks both the
+//     flash transient and the steady level.
+//  2. The B = 3 skewed swarm of Figure 3/4(b): the identity-blind
+//     ensemble (ϕ counts pieces, not WHICH pieces) predicts a bounded
+//     population where the simulator diverges — quantifying exactly why
+//     the paper leaves the exact stability analysis as future work.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bt/swarm.hpp"
+#include "model/ensemble.hpp"
+#include "stability/experiment.hpp"
+
+namespace {
+
+using namespace mpbt;
+
+bt::SwarmConfig healthy_config(std::uint64_t seed, bool quick) {
+  bt::SwarmConfig config;
+  config.num_pieces = quick ? 40 : 60;
+  config.max_connections = 4;
+  config.peer_set_size = 20;
+  config.arrival_rate = 2.0;
+  config.initial_seeds = 2;
+  config.seed_capacity = 6;
+  config.seeds_serve_all = true;  // keep the swarm in a genuine steady state
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = bench::parse_bench_options(
+      argc, argv, "transient_ensemble",
+      "Section 6/8: transient ensemble model vs the simulator");
+  if (!options) {
+    return 0;
+  }
+  bench::print_banner("Model ablation M4", "transient ensemble population dynamics");
+
+  const bt::Round rounds = options->quick ? 150 : 250;
+
+  // --- healthy swarm -------------------------------------------------------
+  bt::Swarm swarm(healthy_config(options->seed, options->quick));
+  swarm.run_rounds(rounds);
+
+  model::EnsembleParams ensemble;
+  ensemble.peer = bench::calibrate_from_swarm(swarm, /*w=*/0.5, /*gamma=*/0.1);
+  ensemble.arrival_rate = swarm.config().arrival_rate;
+  ensemble.rounds = rounds;
+  const model::EnsembleResult predicted = model::run_ensemble(ensemble);
+
+  std::cout << "healthy swarm: leecher population, simulator vs ensemble\n";
+  util::Table table({"round", "sim leechers", "ensemble N_t", "ensemble completions/round"});
+  table.set_precision(1);
+  const bt::Round step = rounds / 20 == 0 ? 1 : rounds / 20;
+  for (bt::Round r = 0; r < rounds; r += step) {
+    const auto t = static_cast<double>(r);
+    table.add_row({static_cast<long long>(r), swarm.metrics().population().value_at(t),
+                   predicted.population.value_at(t), predicted.completion_rate.value_at(t)});
+  }
+  bench::emit_table(table, *options);
+  std::cout << "ensemble verdict: population "
+            << (predicted.population_growing ? "growing" : "stationary") << "\n\n";
+
+  // --- the B = 3 divergence (identity-blind ensemble vs simulator) ---------
+  stability::StabilityConfig unstable;
+  unstable.num_pieces = 3;
+  unstable.rounds = rounds;
+  unstable.arrival_rate = 4.0;
+  unstable.initial_peers = options->quick ? 150 : 300;
+  unstable.seed = options->seed;
+  const stability::StabilityResult sim_unstable = run_stability_experiment(unstable);
+
+  model::EnsembleParams blind;
+  blind.peer.B = 3;
+  blind.peer.k = 4;
+  blind.peer.s = 40;
+  blind.peer.p_r = 0.9;
+  blind.peer.p_n = 0.9;
+  blind.peer.p_init = 0.8;
+  blind.peer.alpha = 0.3;
+  blind.peer.gamma = 0.2;
+  blind.arrival_rate = unstable.arrival_rate;
+  blind.initial_population = unstable.initial_peers;
+  blind.initial_phi = {0.1, 0.6, 0.3, 0.0};  // skewed piece COUNTS
+  blind.rounds = rounds;
+  const model::EnsembleResult blind_run = model::run_ensemble(blind);
+
+  std::cout << "B = 3 skewed start: simulator vs identity-blind ensemble\n";
+  util::Table contrast({"round", "sim peers (diverging)", "ensemble N_t (bounded)"});
+  contrast.set_precision(1);
+  for (bt::Round r = 0; r < rounds; r += step) {
+    const auto t = static_cast<double>(r);
+    contrast.add_row({static_cast<long long>(r), sim_unstable.population.value_at(t),
+                      blind_run.population.value_at(t)});
+  }
+  bench::emit_table(contrast, *options);
+  std::cout << "\nsim diverged: " << (sim_unstable.diverged ? "yes" : "no")
+            << "; ensemble growing: " << (blind_run.population_growing ? "yes" : "no")
+            << ".\nThe ensemble tracks piece COUNTS, not piece IDENTITIES, so the\n"
+               "rare-piece evaporation that destabilizes the real swarm is invisible\n"
+               "to it — the quantitative form of the paper's future-work caveat.\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+// baseline_showdown — every content-distribution system in this repository
+// on one matched workload.
+//
+// Runs the BitTorrent swarm, the coupon-replication baseline, and the
+// network-coded swarm at the same (B, arrival rate) scale, and evaluates
+// the Qiu–Srikant fluid model's steady-state prediction alongside. A
+// compact tour of why the paper models BitTorrent specifically:
+// the coupon system wastes encounters, coding needs no piece selection at
+// all, and the fluid model sees none of the protocol structure.
+//
+//   ./build/examples/baseline_showdown --pieces=40 --arrival=2
+#include <iostream>
+
+#include "bt/swarm.hpp"
+#include "coding/coded_swarm.hpp"
+#include "coupon/coupon.hpp"
+#include "fluid/qiu_srikant.hpp"
+#include "numeric/stats.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpbt;
+  util::CliParser cli("baseline_showdown", "compare all systems on one workload");
+  cli.add_option("pieces", "number of pieces B", "40");
+  cli.add_option("arrival", "arrivals per round", "2.0");
+  cli.add_option("rounds", "rounds / time horizon", "250");
+  cli.add_option("k", "connections (BT and coded)", "4");
+  cli.add_option("s", "peer set size (BT and coded)", "20");
+  cli.add_option("rng", "random seed", "99");
+  try {
+    if (!cli.parse(argc, argv)) {
+      return 0;
+    }
+    const auto B = static_cast<std::uint32_t>(cli.get_int("pieces"));
+    const double arrival = cli.get_double("arrival");
+    const auto rounds = static_cast<std::uint32_t>(cli.get_int("rounds"));
+    const auto k = static_cast<std::uint32_t>(cli.get_int("k"));
+    const auto s = static_cast<std::uint32_t>(cli.get_int("s"));
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("rng"));
+
+    util::Table table({"system", "completed", "mean download", "p95 download",
+                       "wasted/starved signal"});
+    table.set_precision(2);
+
+    // --- BitTorrent (the paper's subject) ----------------------------------
+    {
+      bt::SwarmConfig config;
+      config.num_pieces = B;
+      config.max_connections = k;
+      config.peer_set_size = s;
+      config.arrival_rate = arrival;
+      config.initial_seeds = 1;
+      config.seed_capacity = 4;
+      config.seeds_serve_all = true;
+      config.seed = seed;
+      bt::Swarm swarm(std::move(config));
+      swarm.run_rounds(rounds);
+      const numeric::Summary d = numeric::summarize(swarm.metrics().download_times());
+      table.add_row({std::string("bittorrent"), static_cast<long long>(d.count), d.mean,
+                     d.p95,
+                     std::string("starving peer-rounds: ") +
+                         std::to_string(swarm.metrics().failed_encounters())});
+    }
+
+    // --- Coupon replication (global random encounters) ---------------------
+    {
+      coupon::CouponConfig config;
+      config.num_coupons = B;
+      config.arrival_rate = arrival;
+      config.initial_peers = 60;
+      config.horizon = static_cast<double>(rounds);
+      config.seed = seed;
+      coupon::CouponSimulator sim(std::move(config));
+      const coupon::CouponResult result = sim.run();
+      table.add_row({std::string("coupon"), static_cast<long long>(result.completed),
+                     result.completion_time.mean, result.completion_time.p95,
+                     std::string("failed encounters: ") +
+                         std::to_string(static_cast<int>(100.0 * result.failed_fraction())) +
+                         "%"});
+    }
+
+    // --- Network coding (ref. [5]) ------------------------------------------
+    {
+      coding::CodedSwarmConfig config;
+      config.num_pieces = B;
+      config.max_connections = k;
+      config.peer_set_size = s;
+      config.arrival_rate = arrival;
+      config.initial_seeds = 1;
+      config.seed_capacity = 4;
+      config.seed = seed;
+      coding::CodedSwarm swarm(std::move(config));
+      swarm.run_rounds(rounds);
+      const numeric::Summary d = numeric::summarize(swarm.completion_times());
+      table.add_row({std::string("network coding"), static_cast<long long>(d.count),
+                     d.mean, d.p95,
+                     std::string("wasted transmissions: ") +
+                         std::to_string(static_cast<int>(100.0 * swarm.wasted_fraction())) +
+                         "%"});
+    }
+    table.print_text(std::cout);
+
+    // --- Fluid model prediction ---------------------------------------------
+    fluid::FluidParams params;
+    params.lambda = arrival;
+    params.c = static_cast<double>(k) / static_cast<double>(B);
+    params.mu = params.c;
+    params.eta = 0.9;
+    params.gamma = 1.0;  // completed peers leave immediately
+    const fluid::FluidState eq = fluid::steady_state(params);
+    std::cout << "\nfluid model (ref. [9]) steady-state prediction: x* = " << eq.x
+              << " leechers, T = " << fluid::steady_state_download_time(params)
+              << " rounds — aggregate only; none of the per-system structure above\n"
+              << "is expressible in its state, which is the paper's argument for\n"
+              << "protocol-level modeling.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,61 @@
+// stability_explorer — map the stability region of a BitTorrent swarm.
+//
+// Section 6's headline: stability depends on the number of pieces B and
+// the arrival rate. This example sweeps both from a skew-seeded start and
+// prints a stability map (diverged / stable, tail entropy, peak
+// population), reproducing the paper's B = 3 vs B = 10 contrast as two
+// cells of a larger picture.
+//
+//   ./build/examples/stability_explorer --rounds=250 --initial=300
+#include <iostream>
+
+#include "stability/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpbt;
+  util::CliParser cli("stability_explorer", "sweep B and arrival rate for stability");
+  cli.add_option("rounds", "rounds per cell", "250");
+  cli.add_option("initial", "skew-seeded initial peers", "300");
+  cli.add_option("rng", "random seed", "5");
+  try {
+    if (!cli.parse(argc, argv)) {
+      return 0;
+    }
+    const auto rounds = static_cast<std::uint32_t>(cli.get_int("rounds"));
+    const auto initial = static_cast<std::uint32_t>(cli.get_int("initial"));
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("rng"));
+
+    std::cout << "=== stability map (skewed start, " << initial << " peers, " << rounds
+              << " rounds) ===\n";
+    util::Table map({"B", "arrival rate", "verdict", "tail entropy", "peak peers",
+                     "final peers", "completed"});
+    map.set_precision(3);
+    for (std::uint32_t B : {2u, 3u, 5u, 10u, 20u}) {
+      for (double arrival : {1.0, 4.0, 8.0}) {
+        stability::StabilityConfig config;
+        config.num_pieces = B;
+        config.arrival_rate = arrival;
+        config.rounds = rounds;
+        config.initial_peers = initial;
+        config.seed = seed;
+        const stability::StabilityResult r = stability::run_stability_experiment(config);
+        map.add_row({static_cast<long long>(B), arrival,
+                     std::string(r.diverged ? "DIVERGED" : "stable"), r.mean_entropy_tail,
+                     static_cast<long long>(r.peak_population),
+                     static_cast<long long>(r.final_population),
+                     static_cast<long long>(r.completed)});
+      }
+    }
+    map.print_text(std::cout);
+    std::cout << "\nReading the map: small B cannot re-replicate rare pieces before\n"
+                 "their holders depart — the backlog of stuck peers grows with the\n"
+                 "arrival rate. Larger B keeps peers trading long enough to push the\n"
+                 "entropy back toward 1 (Section 6).\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

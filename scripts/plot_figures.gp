@@ -1,0 +1,68 @@
+# gnuplot script for the main paper figures, consuming the CSVs written by
+# scripts/run_all_figures.sh (default out/ directory).
+#
+#   gnuplot -e "outdir='out'" scripts/plot_figures.gp
+#
+# Produces PNGs next to the CSVs.
+if (!exists("outdir")) outdir = "out"
+set datafile separator ","
+set terminal pngcairo size 900,600
+set key outside
+set grid
+
+# Figure 1(a): potential/neighbor-set ratio vs pieces downloaded.
+set output outdir."/fig1a_potential_set.png"
+set title "Fig. 1(a) — potential set / neighbor set vs pieces downloaded"
+set xlabel "pieces downloaded"
+set ylabel "potential / neighbor set ratio"
+set yrange [0:1]
+plot outdir."/fig1a_potential_set.csv" skip 1 using 1:2 with linespoints title "PSS=5", \
+     "" skip 1 using 1:3 with linespoints title "PSS=10", \
+     "" skip 1 using 1:4 with linespoints title "PSS=25", \
+     "" skip 1 using 1:5 with linespoints title "PSS=40"
+
+# Figure 1(b): evolution timeline, sim vs model.
+set output outdir."/fig1b_evolution_timeline.png"
+set title "Fig. 1(b) — evolution timeline (rounds to reach b pieces)"
+set xlabel "pieces"
+set ylabel "rounds"
+set yrange [*:*]
+plot outdir."/fig1b_evolution_timeline.csv" skip 1 using 1:2 with linespoints title "sim PSS=5", \
+     "" skip 1 using 1:3 with lines title "model PSS=5", \
+     "" skip 1 using 1:4 with linespoints title "sim PSS=50", \
+     "" skip 1 using 1:5 with lines title "model PSS=50"
+
+# Figure 3/4(a): efficiency vs k.
+set output outdir."/fig3a_efficiency_vs_k.png"
+set title "Fig. 3/4(a) — efficiency vs maximum connections k"
+set xlabel "k"
+set ylabel "efficiency"
+set yrange [0:1]
+plot outdir."/fig3a_efficiency_vs_k.csv" skip 1 using 1:2 with linespoints title "simulation", \
+     "" skip 1 using 1:3 with linespoints title "model"
+
+# Figure 3/4(b): population over time.
+set output outdir."/fig3b_population_stability.png"
+set title "Fig. 3/4(b) — peers in the system (skewed start)"
+set xlabel "round"
+set ylabel "# peers"
+plot outdir."/fig3b_population_stability.csv" skip 1 using 1:2 with lines title "B=3", \
+     "" skip 1 using 1:3 with lines title "B=10"
+
+# Figure 3/4(c): entropy over time.
+set output outdir."/fig3c_entropy_evolution.png"
+set title "Fig. 3/4(c) — entropy (skewed start)"
+set xlabel "round"
+set ylabel "entropy"
+set yrange [0:1]
+plot outdir."/fig3c_entropy_evolution.csv" skip 1 using 1:2 with lines title "B=3", \
+     "" skip 1 using 1:3 with lines title "B=10"
+
+# Figure 3/4(d): last-piece TTD, normal vs shaking.
+set output outdir."/fig3d_peer_set_shaking.png"
+set title "Fig. 3/4(d) — time to download the last blocks"
+set xlabel "block"
+set ylabel "TTD (rounds)"
+set yrange [*:*]
+plot outdir."/fig3d_peer_set_shaking.csv" skip 1 using 1:2 with linespoints title "normal", \
+     "" skip 1 using 1:3 with linespoints title "shake"

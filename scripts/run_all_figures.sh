@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerates every paper figure and ablation, writing text output and CSVs
+# under out/ (created next to the repository root).
+#
+# Usage: scripts/run_all_figures.sh [build-dir] [out-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-out}"
+mkdir -p "$OUT_DIR"
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "error: $BUILD_DIR/bench not found — build first:" >&2
+  echo "  cmake -B $BUILD_DIR -G Ninja && cmake --build $BUILD_DIR" >&2
+  exit 1
+fi
+
+for bench in "$BUILD_DIR"/bench/*; do
+  name="$(basename "$bench")"
+  case "$name" in
+    *.cmake|*.a|CMakeFiles|CTestTestfile.cmake|cmake_install.cmake) continue ;;
+  esac
+  [ -x "$bench" ] && [ -f "$bench" ] || continue
+  if [ "$name" = perf_microbench ]; then
+    echo "== $name"
+    "$bench" --benchmark_min_time=0.01s > "$OUT_DIR/$name.txt" 2>&1 || true
+    continue
+  fi
+  echo "== $name"
+  "$bench" --csv="$OUT_DIR/$name.csv" > "$OUT_DIR/$name.txt"
+done
+
+echo
+echo "outputs in $OUT_DIR/ — text tables (*.txt) and CSV series (*.csv)."
+echo "plot with scripts/plot_figures.gp (gnuplot) or any CSV tool."

@@ -1,0 +1,22 @@
+#include "analysis/calibrate.hpp"
+
+#include <algorithm>
+
+namespace mpbt::analysis {
+
+model::ModelParams calibrate_model(const bt::Swarm& swarm, const CalibrationOptions& options) {
+  model::ModelParams params;
+  params.B = static_cast<int>(swarm.config().num_pieces);
+  params.k = static_cast<int>(swarm.config().max_connections);
+  params.s = static_cast<int>(swarm.config().peer_set_size);
+  params.p_r = swarm.metrics().estimated_p_r(options.fallback_p_r);
+  params.p_n = swarm.metrics().estimated_p_n(options.fallback_p_n);
+  params.p_init = swarm.metrics().estimated_p_init(options.fallback_p_init);
+  const double population = std::max<double>(1.0, static_cast<double>(swarm.population()));
+  params.alpha = model::ModelParams::alpha_from(swarm.config().arrival_rate, options.w,
+                                                params.s, population);
+  params.gamma = options.gamma;
+  return params;
+}
+
+}  // namespace mpbt::analysis

@@ -1,0 +1,31 @@
+// Calibration: estimate the multiphased model's protocol parameters from
+// a finished swarm run (the Section 4 methodology: the model consumes
+// p_init / p_r / p_n measured at protocol level, and alpha from the
+// arrival-rate formula of Section 3.2).
+#pragma once
+
+#include "bt/swarm.hpp"
+#include "model/params.hpp"
+
+namespace mpbt::analysis {
+
+struct CalibrationOptions {
+  /// w — probability a newly arriving peer has a piece to exchange
+  /// (enters alpha = lambda * w * s / N).
+  double w = 0.5;
+  /// gamma — last-phase refresh probability (not directly measurable from
+  /// aggregate metrics; supplied by the caller).
+  double gamma = 0.1;
+  /// Fallbacks when the swarm produced no observations.
+  double fallback_p_r = 0.5;
+  double fallback_p_n = 0.5;
+  double fallback_p_init = 0.5;
+};
+
+/// Builds ModelParams with B/k/s copied from the swarm's configuration,
+/// p_r / p_n / p_init measured from its metrics, and alpha derived from
+/// lambda, w, s, and the current population.
+model::ModelParams calibrate_model(const bt::Swarm& swarm,
+                                   const CalibrationOptions& options = {});
+
+}  // namespace mpbt::analysis

@@ -1,0 +1,74 @@
+#include "analysis/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numeric/stats.hpp"
+
+namespace mpbt::analysis {
+
+double profile_rmse(const std::vector<double>& a, const std::vector<double>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] < 0.0 || b[i] < 0.0) {
+      continue;
+    }
+    const double d = a[i] - b[i];
+    sum += d * d;
+    ++count;
+  }
+  if (count == 0) {
+    return -1.0;
+  }
+  return std::sqrt(sum / static_cast<double>(count));
+}
+
+double profile_max_gap(const std::vector<double>& a, const std::vector<double>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  double gap = -1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] < 0.0 || b[i] < 0.0) {
+      continue;
+    }
+    gap = std::max(gap, std::abs(a[i] - b[i]));
+  }
+  return gap;
+}
+
+double profile_mean(const std::vector<double>& profile) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (double v : profile) {
+    if (v >= 0.0) {
+      sum += v;
+      ++count;
+    }
+  }
+  return count == 0 ? -1.0 : sum / static_cast<double>(count);
+}
+
+double rate_potential_correlation(const trace::ClientTrace& trace) {
+  if (trace.points.size() < 3) {
+    return 0.0;
+  }
+  std::vector<double> rate;
+  std::vector<double> potential;
+  for (std::size_t i = 1; i < trace.points.size(); ++i) {
+    const auto& prev = trace.points[i - 1];
+    const auto& cur = trace.points[i];
+    const double dt = cur.time - prev.time;
+    if (dt <= 0.0) {
+      continue;
+    }
+    rate.push_back(static_cast<double>(cur.cumulative_bytes - prev.cumulative_bytes) / dt);
+    potential.push_back(static_cast<double>(cur.potential_set_size));
+  }
+  if (rate.size() < 2) {
+    return 0.0;
+  }
+  return numeric::pearson_correlation(rate, potential);
+}
+
+}  // namespace mpbt::analysis

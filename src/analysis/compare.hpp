@@ -1,0 +1,26 @@
+// Model-vs-simulation comparison metrics used by the validation benches.
+#pragma once
+
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace mpbt::analysis {
+
+/// RMSE between two profiles indexed by piece count. Entries < 0 mean
+/// "missing" and are skipped on either side; returns -1 when nothing
+/// overlaps. Sizes may differ (compared over the common prefix).
+double profile_rmse(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Max |a - b| over the overlapping, non-missing entries; -1 when none.
+double profile_max_gap(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Mean of the non-missing entries; -1 when none.
+double profile_mean(const std::vector<double>& profile);
+
+/// Pearson correlation between a client's instantaneous download rate and
+/// its potential-set size (the relationship Section 4.2 highlights in
+/// Figure 2). Requires >= 3 trace points; returns 0 on degenerate traces.
+double rate_potential_correlation(const trace::ClientTrace& trace);
+
+}  // namespace mpbt::analysis

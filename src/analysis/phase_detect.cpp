@@ -1,0 +1,59 @@
+#include "analysis/phase_detect.hpp"
+
+#include "util/assert.hpp"
+
+namespace mpbt::analysis {
+
+PhaseSegmentation detect_phases(const trace::ClientTrace& trace,
+                                const PhaseDetectOptions& options) {
+  util::throw_if_invalid(trace.points.empty(), "detect_phases requires a non-empty trace");
+  const auto& pts = trace.points;
+  PhaseSegmentation seg;
+
+  // Bootstrap ends at the first point where the client holds a piece AND
+  // has someone to trade it with.
+  seg.efficient_begin = pts.size();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (pts[i].pieces_held >= 1 && pts[i].potential_set_size >= 1) {
+      seg.efficient_begin = i;
+      break;
+    }
+  }
+
+  // Last phase: the maximal suffix (after reaching the completion floor)
+  // where the potential set stays collapsed. The very last point is exempt
+  // from the collapse requirement: on the completion round the potential
+  // set briefly recovers (that is what let the client finish).
+  const double completion_floor =
+      options.last_phase_min_completion * static_cast<double>(trace.num_pieces);
+  seg.last_begin = pts.size();
+  for (std::size_t i = pts.size() - 1; i-- > 0;) {
+    const bool collapsed = pts[i].potential_set_size <= options.last_phase_potential;
+    const bool late = static_cast<double>(pts[i].pieces_held) >= completion_floor;
+    if (collapsed && late) {
+      seg.last_begin = i;
+    } else {
+      break;
+    }
+  }
+  if (seg.last_begin < seg.efficient_begin) {
+    seg.last_begin = seg.efficient_begin;
+  }
+  // A one-point suffix is measurement noise, not a phase.
+  if (pts.size() - seg.last_begin <= 1) {
+    seg.last_begin = pts.size();
+  }
+
+  const double t0 = pts.front().time;
+  const double t_end = pts.back().time;
+  const double t_eff = seg.efficient_begin < pts.size() ? pts[seg.efficient_begin].time : t_end;
+  const double t_last = seg.last_begin < pts.size() ? pts[seg.last_begin].time : t_end;
+
+  seg.total_duration = t_end - t0;
+  seg.bootstrap_duration = t_eff - t0;
+  seg.efficient_duration = t_last - t_eff;
+  seg.last_duration = t_end - t_last;
+  return seg;
+}
+
+}  // namespace mpbt::analysis

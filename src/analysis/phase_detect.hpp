@@ -1,0 +1,54 @@
+// Phase segmentation of a client trace.
+//
+// Detects the paper's three phases in measured (or simulated) client
+// traces: the bootstrap prefix (no tradable neighbor yet), the efficient
+// middle, and the last-download suffix (potential set collapsed near the
+// end of the file). Used to validate that the simulator reproduces the
+// archetypes of Figure 2 and to report per-phase durations.
+#pragma once
+
+#include <cstddef>
+
+#include "trace/record.hpp"
+
+namespace mpbt::analysis {
+
+struct PhaseSegmentation {
+  /// Index of the first trace point in the efficient phase (== 0 when the
+  /// client was trading immediately; == points.size() when it never left
+  /// bootstrap).
+  std::size_t efficient_begin = 0;
+  /// Index of the first trace point of the last-download suffix
+  /// (== points.size() when there is no last phase).
+  std::size_t last_begin = 0;
+
+  double bootstrap_duration = 0.0;
+  double efficient_duration = 0.0;
+  double last_duration = 0.0;
+  double total_duration = 0.0;
+
+  bool has_bootstrap_phase() const { return efficient_begin > 0; }
+  bool has_last_phase() const { return last_duration > 0.0; }
+
+  double bootstrap_fraction() const {
+    return total_duration <= 0.0 ? 0.0 : bootstrap_duration / total_duration;
+  }
+  double last_fraction() const {
+    return total_duration <= 0.0 ? 0.0 : last_duration / total_duration;
+  }
+};
+
+struct PhaseDetectOptions {
+  /// The last phase is a suffix where the potential set stays at or below
+  /// this size.
+  std::uint32_t last_phase_potential = 1;
+  /// ...and only counts once the client holds at least this fraction of
+  /// the file (so a stalled start is not misread as a last phase).
+  double last_phase_min_completion = 0.5;
+};
+
+/// Segments `trace` into the three phases. Requires a non-empty trace.
+PhaseSegmentation detect_phases(const trace::ClientTrace& trace,
+                                const PhaseDetectOptions& options = {});
+
+}  // namespace mpbt::analysis

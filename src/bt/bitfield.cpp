@@ -1,0 +1,113 @@
+#include "bt/bitfield.hpp"
+
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace mpbt::bt {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+}
+
+Bitfield::Bitfield(std::size_t num_pieces)
+    : num_pieces_(num_pieces), words_((num_pieces + kWordBits - 1) / kWordBits, 0) {
+  util::throw_if_invalid(num_pieces == 0, "Bitfield requires at least one piece");
+}
+
+void Bitfield::check_index(PieceIndex piece) const {
+  util::throw_if_out_of_range(piece >= num_pieces_, "Bitfield piece index out of range");
+}
+
+void Bitfield::check_same_size(const Bitfield& other) const {
+  util::throw_if_invalid(num_pieces_ != other.num_pieces_, "Bitfield size mismatch");
+}
+
+bool Bitfield::test(PieceIndex piece) const {
+  check_index(piece);
+  return (words_[piece / kWordBits] >> (piece % kWordBits)) & 1ULL;
+}
+
+void Bitfield::set(PieceIndex piece) {
+  check_index(piece);
+  std::uint64_t& word = words_[piece / kWordBits];
+  const std::uint64_t mask = 1ULL << (piece % kWordBits);
+  if (!(word & mask)) {
+    word |= mask;
+    ++count_;
+  }
+}
+
+void Bitfield::reset(PieceIndex piece) {
+  check_index(piece);
+  std::uint64_t& word = words_[piece / kWordBits];
+  const std::uint64_t mask = 1ULL << (piece % kWordBits);
+  if (word & mask) {
+    word &= ~mask;
+    --count_;
+  }
+}
+
+bool Bitfield::has_piece_missing_from(const Bitfield& other) const {
+  check_same_size(other);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] & ~other.words_[w]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<PieceIndex> Bitfield::pieces_missing_from(const Bitfield& other) const {
+  check_same_size(other);
+  std::vector<PieceIndex> out;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t bits = words_[w] & ~other.words_[w];
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      out.push_back(static_cast<PieceIndex>(w * kWordBits + static_cast<std::size_t>(b)));
+      bits &= bits - 1;
+    }
+  }
+  return out;
+}
+
+std::vector<PieceIndex> Bitfield::held_pieces() const {
+  std::vector<PieceIndex> out;
+  out.reserve(count_);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t bits = words_[w];
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      out.push_back(static_cast<PieceIndex>(w * kWordBits + static_cast<std::size_t>(b)));
+      bits &= bits - 1;
+    }
+  }
+  return out;
+}
+
+std::vector<PieceIndex> Bitfield::missing_pieces() const {
+  std::vector<PieceIndex> out;
+  out.reserve(num_pieces_ - count_);
+  for (PieceIndex p = 0; p < num_pieces_; ++p) {
+    if (!test(p)) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::size_t Bitfield::intersection_count(const Bitfield& other) const {
+  check_same_size(other);
+  std::size_t n = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    n += static_cast<std::size_t>(std::popcount(words_[w] & other.words_[w]));
+  }
+  return n;
+}
+
+bool Bitfield::operator==(const Bitfield& other) const {
+  return num_pieces_ == other.num_pieces_ && words_ == other.words_;
+}
+
+}  // namespace mpbt::bt

@@ -1,0 +1,58 @@
+// Piece-possession bitfield.
+//
+// Fixed-size dynamic bitset specialized for the swarm simulator's hot
+// operations: mutual-interest tests between two peers ("does A have a piece
+// B lacks?") run on 64-bit words.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bt/types.hpp"
+
+namespace mpbt::bt {
+
+class Bitfield {
+ public:
+  /// Creates an all-zero bitfield over `num_pieces` pieces (>= 1).
+  explicit Bitfield(std::size_t num_pieces);
+
+  std::size_t size() const { return num_pieces_; }
+
+  bool test(PieceIndex piece) const;
+  void set(PieceIndex piece);
+  void reset(PieceIndex piece);
+
+  /// Number of pieces held.
+  std::size_t count() const { return count_; }
+
+  bool none() const { return count_ == 0; }
+  bool all() const { return count_ == num_pieces_; }
+
+  /// True if this bitfield holds at least one piece `other` lacks.
+  /// Sizes must match.
+  bool has_piece_missing_from(const Bitfield& other) const;
+
+  /// Indices of pieces this holds that `other` lacks.
+  std::vector<PieceIndex> pieces_missing_from(const Bitfield& other) const;
+
+  /// Indices of pieces held / not held.
+  std::vector<PieceIndex> held_pieces() const;
+  std::vector<PieceIndex> missing_pieces() const;
+
+  /// Number of pieces both bitfields hold.
+  std::size_t intersection_count(const Bitfield& other) const;
+
+  bool operator==(const Bitfield& other) const;
+
+ private:
+  void check_index(PieceIndex piece) const;
+  void check_same_size(const Bitfield& other) const;
+
+  std::size_t num_pieces_;
+  std::size_t count_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace mpbt::bt

@@ -1,0 +1,55 @@
+#include "bt/config.hpp"
+
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace mpbt::bt {
+
+void SwarmConfig::validate() const {
+  util::throw_if_invalid(num_pieces == 0, "SwarmConfig: num_pieces must be >= 1");
+  util::throw_if_invalid(max_connections == 0, "SwarmConfig: max_connections must be >= 1");
+  util::throw_if_invalid(peer_set_size == 0, "SwarmConfig: peer_set_size must be >= 1");
+  util::throw_if_invalid(arrival_rate < 0.0, "SwarmConfig: arrival_rate must be >= 0");
+  util::throw_if_invalid(abort_rate < 0.0 || abort_rate > 1.0,
+                         "SwarmConfig: abort_rate must be in [0, 1]");
+  util::throw_if_invalid(optimistic_unchoke_prob < 0.0 || optimistic_unchoke_prob > 1.0,
+                         "SwarmConfig: optimistic_unchoke_prob must be in [0, 1]");
+  util::throw_if_invalid(connect_success_prob < 0.0 || connect_success_prob > 1.0,
+                         "SwarmConfig: connect_success_prob must be in [0, 1]");
+  util::throw_if_invalid(shake.completion_fraction <= 0.0 || shake.completion_fraction > 1.0,
+                         "SwarmConfig: shake.completion_fraction must be in (0, 1]");
+  util::throw_if_invalid(piece_bytes == 0, "SwarmConfig: piece_bytes must be >= 1");
+  util::throw_if_invalid(blocks_per_piece == 0, "SwarmConfig: blocks_per_piece must be >= 1");
+  util::throw_if_invalid(optimistic_interval == 0,
+                         "SwarmConfig: optimistic_interval must be >= 1");
+  util::throw_if_invalid(rate_decay < 0.0 || rate_decay >= 1.0,
+                         "SwarmConfig: rate_decay must be in [0, 1)");
+  util::throw_if_invalid(
+      !arrival_piece_probs.empty() && arrival_piece_probs.size() != num_pieces,
+      "SwarmConfig: arrival_piece_probs must be empty or have num_pieces entries");
+  for (double p : arrival_piece_probs) {
+    util::throw_if_invalid(p < 0.0 || p > 1.0,
+                           "SwarmConfig: arrival piece probabilities must be in [0, 1]");
+  }
+  double class_mass = 0.0;
+  for (const BandwidthClass& cls : bandwidth_classes) {
+    util::throw_if_invalid(cls.fraction < 0.0, "SwarmConfig: class fraction must be >= 0");
+    util::throw_if_invalid(cls.upload_per_round == 0,
+                           "SwarmConfig: class upload_per_round must be >= 1");
+    class_mass += cls.fraction;
+  }
+  util::throw_if_invalid(!bandwidth_classes.empty() && class_mass <= 0.0,
+                         "SwarmConfig: bandwidth class fractions must have positive mass");
+  for (const InitialGroup& group : initial_groups) {
+    util::throw_if_invalid(
+        !group.piece_probs.empty() && group.piece_probs.size() != num_pieces,
+        "SwarmConfig: initial group piece_probs must be empty or have num_pieces entries");
+    for (double p : group.piece_probs) {
+      util::throw_if_invalid(p < 0.0 || p > 1.0,
+                             "SwarmConfig: initial group piece probabilities must be in [0, 1]");
+    }
+  }
+}
+
+}  // namespace mpbt::bt

@@ -1,0 +1,207 @@
+// Swarm simulator configuration.
+//
+// Field names follow the paper's notation: B = num_pieces, k =
+// max_connections, s = peer_set_size. All experiments in the benches are
+// expressed as variations of this struct.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bt/types.hpp"
+
+namespace mpbt::bt {
+
+enum class PieceSelection {
+  /// Rarest piece first among the peer's neighbor set (BitTorrent default).
+  RarestFirst,
+  /// Uniformly random among mutually interesting pieces.
+  Random,
+  /// Random piece for the first piece, rarest-first afterwards — the
+  /// combination described in Section 2.1.
+  RandomFirstThenRarest,
+};
+
+/// Where rarest-first availability counts come from. The paper defines
+/// rarity over the neighbor set; Global (replication degrees over the whole
+/// swarm) is an O(1)-maintenance approximation that preserves the dynamics
+/// and is the default for large swarms. NeighborSet computes exact
+/// per-neighborhood counts (slower; used by tests and small studies).
+enum class AvailabilityScope { Global, NeighborSet };
+
+/// Peer-selection (choking) algorithm — Section 2.1: "the peer selection
+/// strategy is implemented by the choking algorithm that prefers peers
+/// with the highest upload rates".
+enum class ChokeAlgorithm {
+  /// Random matching within the potential set (the model's abstraction;
+  /// the default used by the paper's validation experiments).
+  RandomMatching,
+  /// Rate-based tit-for-tat: each peer unchokes the neighbors that have
+  /// uploaded to it fastest (exponentially smoothed), reserving one slot
+  /// for a rotating optimistic unchoke; a connection forms when two peers
+  /// unchoke each other.
+  RateBased,
+};
+
+/// How the tracker composes the peer set it hands to a joining peer.
+/// Section 4.3 discusses both alternatives to the uniform default:
+/// biasing arrivals toward bootstrap-trapped peers, and clustering peers
+/// by download status (the suggestion of ref. [8]).
+enum class TrackerPolicy {
+  /// Uniform random sample of the registry (BitTorrent's behavior).
+  UniformRandom,
+  /// Half of the returned peers are drawn from those currently starving
+  /// (empty potential set), giving trapped peers fresh contacts.
+  BootstrapBias,
+  /// Prefer peers whose piece count is closest to the joiner's.
+  StatusClustered,
+};
+
+/// Peer-set shaking (Section 7.1): at `completion_fraction` of the file a
+/// peer drops its whole neighbor set and asks the tracker for a fresh
+/// random one.
+struct ShakeConfig {
+  bool enabled = false;
+  double completion_fraction = 0.9;
+};
+
+/// A group of peers present at round 0. Peer `holds piece j` independently
+/// with probability piece_probs[j]; peers that come out complete have one
+/// random held piece removed so they stay leechers. An empty piece_probs
+/// means "no pieces" (fresh peers).
+struct InitialGroup {
+  std::uint32_t count = 0;
+  std::vector<double> piece_probs;
+};
+
+struct SwarmConfig {
+  /// B — number of pieces in the file.
+  std::uint32_t num_pieces = 200;
+  /// k — maximum simultaneous active (trading) connections per peer.
+  std::uint32_t max_connections = 7;
+  /// s — target neighbor-set size requested from the tracker.
+  std::uint32_t peer_set_size = 40;
+
+  /// Poisson arrival rate: expected new peers per round.
+  double arrival_rate = 2.0;
+
+  /// Per-round probability that a leecher aborts and leaves without
+  /// finishing (the fluid models' theta). 0 (default) matches the paper's
+  /// model, where peers leave only on completion.
+  double abort_rate = 0.0;
+
+  /// How seeds pick the pieces they upload (Section 7.2 discusses
+  /// super-seeding as an advanced technique).
+  enum class SeedMode {
+    /// Serve whatever the taker needs (rarest-first like any uploader).
+    Classic,
+    /// Super-seeding: a seed spreads its upload budget across DISTINCT
+    /// pieces, always serving its least-served piece the taker lacks —
+    /// maximizing the number of unique pieces injected into the swarm.
+    SuperSeed,
+  };
+
+  /// Number of always-on seeds present from round 0. Seeds never leave.
+  std::uint32_t initial_seeds = 1;
+
+  SeedMode seed_mode = SeedMode::Classic;
+  /// Pieces each seed may upload per round (to bootstrap or serve peers).
+  std::uint32_t seed_capacity = 4;
+  /// When false, seeds only serve peers with zero pieces (bootstrap only)
+  /// — matching the paper's trace setup where the instrumented client did
+  /// not interact with seeds after bootstrap.
+  bool seeds_serve_all = false;
+
+  /// Probability per round that a piece-less peer receives its first piece
+  /// via optimistic unchoking from a piece-holding neighbor.
+  double optimistic_unchoke_prob = 0.5;
+
+  /// Probability that an attempted new connection between two mutually
+  /// interested peers with open slots actually establishes this round
+  /// (models handshake/choking latency; the model's p_n).
+  double connect_success_prob = 0.9;
+
+  /// When true (default), a freshly established connection only starts
+  /// exchanging pieces the NEXT round (handshake + unchoke latency). This
+  /// is what makes k = 1 visibly less efficient than k >= 2: a dropped
+  /// sole connection wastes a full round, while peers with several
+  /// connections mask the gap (Section 5's explanation).
+  bool handshake_delay = true;
+
+  PieceSelection piece_selection = PieceSelection::RandomFirstThenRarest;
+
+  AvailabilityScope availability_scope = AvailabilityScope::Global;
+
+  TrackerPolicy tracker_policy = TrackerPolicy::UniformRandom;
+
+  ChokeAlgorithm choke_algorithm = ChokeAlgorithm::RandomMatching;
+
+  /// RateBased only: rounds between optimistic-unchoke rotations
+  /// (BitTorrent rotates every third 10-second period).
+  Round optimistic_interval = 3;
+
+  /// RateBased only: exponential smoothing factor for per-neighbor
+  /// received-rate estimates (rate = decay * rate + received this round).
+  double rate_decay = 0.5;
+
+  ShakeConfig shake;
+
+  /// Peers present at round 0 in addition to arrivals.
+  std::vector<InitialGroup> initial_groups;
+
+  /// Piece-holding probabilities for NEW arrivals (the paper's `w`: the
+  /// probability that a newly arriving peer has a piece to exchange enters
+  /// alpha = lambda * w * s / N). Empty (default) = arrivals hold nothing.
+  /// Instrumented clients always arrive empty regardless.
+  std::vector<double> arrival_piece_probs;
+
+  /// Heterogeneous upload bandwidth (the homogeneity assumption of
+  /// Section 3 relaxed, cf. the multiclass analysis of ref. [11]). Each
+  /// peer is assigned a class at arrival with probability proportional to
+  /// `fraction`; its uploads per round are capped at `upload_per_round`.
+  /// Under strict tit-for-tat an upload cap throttles downloads equally.
+  /// Empty (default) = unconstrained uploads (homogeneous model).
+  struct BandwidthClass {
+    double fraction = 1.0;
+    std::uint32_t upload_per_round = 1;
+  };
+  std::vector<BandwidthClass> bandwidth_classes;
+
+  /// When a leecher completes the file it departs immediately (the model's
+  /// assumption). If > 0, it lingers as a seed for this many rounds.
+  std::uint32_t seed_linger_rounds = 0;
+
+  /// Byte size of one piece, for cumulative-byte trace accounting.
+  std::uint64_t piece_bytes = kDefaultPieceBytes;
+
+  /// Blocks per piece (Section 2.1: pieces of ~256 KB are transferred as
+  /// 16 KB blocks, and a piece can only be served once complete and hash-
+  /// verified). 1 (default) = piece-granular rounds, the model's
+  /// semantics; 16 = the realistic block ratio. With m > 1 each active
+  /// connection moves one block per round per direction, and a piece
+  /// joins the bitfield only when all m blocks have arrived. Partial
+  /// pieces are discarded when their connection drops.
+  std::uint32_t blocks_per_piece = 1;
+
+  /// Tracker re-announce: every this many rounds, leechers holding fewer
+  /// than s neighbors ask the tracker for more (real clients re-announce
+  /// periodically). 0 (default) disables it — the paper's model has no
+  /// such refresh beyond the alpha/gamma arrival flow.
+  Round reannounce_interval = 0;
+
+  /// Stop admitting new arrivals after this round (0 = never stop);
+  /// lets flash-crowd style workloads drain.
+  Round arrival_cutoff_round = 0;
+
+  /// Hard cap on live peers, a safety valve for unstable configurations;
+  /// arrivals beyond the cap are dropped and counted. 0 = unlimited.
+  std::uint32_t max_population = 0;
+
+  /// RNG seed for the whole run.
+  std::uint64_t seed = 42;
+
+  /// Validates parameter ranges; throws std::invalid_argument.
+  void validate() const;
+};
+
+}  // namespace mpbt::bt

@@ -1,0 +1,55 @@
+// Deterministic small-set of peer ids.
+//
+// A sorted vector with set semantics. Neighbor sets and connection sets are
+// tens of entries, so a sorted vector beats hash sets and — unlike
+// unordered_set — iterates in a platform-independent order, which keeps
+// simulation runs bit-reproducible.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "bt/types.hpp"
+
+namespace mpbt::bt {
+
+class IdSet {
+ public:
+  bool contains(PeerId id) const {
+    return std::binary_search(ids_.begin(), ids_.end(), id);
+  }
+
+  /// Returns true if the id was inserted (false if already present).
+  bool insert(PeerId id) {
+    const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+    if (it != ids_.end() && *it == id) {
+      return false;
+    }
+    ids_.insert(it, id);
+    return true;
+  }
+
+  /// Returns true if the id was present and removed.
+  bool erase(PeerId id) {
+    const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+    if (it == ids_.end() || *it != id) {
+      return false;
+    }
+    ids_.erase(it);
+    return true;
+  }
+
+  void clear() { ids_.clear(); }
+  std::size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+
+  auto begin() const { return ids_.begin(); }
+  auto end() const { return ids_.end(); }
+
+  const std::vector<PeerId>& as_vector() const { return ids_; }
+
+ private:
+  std::vector<PeerId> ids_;
+};
+
+}  // namespace mpbt::bt

@@ -1,0 +1,219 @@
+#include "bt/metrics.hpp"
+
+#include "util/assert.hpp"
+
+namespace mpbt::bt {
+
+SwarmMetrics::SwarmMetrics(std::uint32_t num_pieces) : num_pieces_(num_pieces) {
+  util::throw_if_invalid(num_pieces == 0, "SwarmMetrics requires num_pieces >= 1");
+  const std::size_t n = static_cast<std::size_t>(num_pieces) + 1;
+  potential_ratio_sum_.assign(n, 0.0);
+  potential_size_sum_.assign(n, 0.0);
+  potential_count_.assign(n, 0);
+  timeline_sum_.assign(n, 0.0);
+  ttd_sum_.assign(n, 0.0);
+  acquisition_count_.assign(n, 0);
+}
+
+void SwarmMetrics::record_round(Round round, std::size_t leechers, std::size_t seeds,
+                                double entropy, double efficiency_trading,
+                                double efficiency_all, double efficiency_transfer) {
+  const auto t = static_cast<double>(round);
+  population_.add(t, static_cast<double>(leechers));
+  seeds_.add(t, static_cast<double>(seeds));
+  entropy_.add(t, entropy);
+  efficiency_trading_.add(t, efficiency_trading);
+  efficiency_all_.add(t, efficiency_all);
+  efficiency_transfer_.add(t, efficiency_transfer);
+}
+
+namespace {
+double mean_from(const numeric::TimeSeries& series, Round warmup) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& s : series.samples()) {
+    if (s.time >= static_cast<double>(warmup)) {
+      sum += s.value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+}  // namespace
+
+double SwarmMetrics::mean_efficiency(Round warmup) const {
+  return mean_from(efficiency_trading_, warmup);
+}
+
+double SwarmMetrics::mean_entropy(Round warmup) const { return mean_from(entropy_, warmup); }
+
+double SwarmMetrics::mean_transfer_efficiency(Round warmup) const {
+  return mean_from(efficiency_transfer_, warmup);
+}
+
+void SwarmMetrics::record_potential_observation(std::uint32_t pieces_held,
+                                                std::uint32_t potential,
+                                                std::uint32_t neighbor_set) {
+  util::throw_if_invalid(pieces_held > num_pieces_,
+                         "record_potential_observation: pieces_held out of range");
+  potential_size_sum_[pieces_held] += static_cast<double>(potential);
+  if (neighbor_set > 0) {
+    potential_ratio_sum_[pieces_held] +=
+        static_cast<double>(potential) / static_cast<double>(neighbor_set);
+  }
+  ++potential_count_[pieces_held];
+}
+
+double SwarmMetrics::potential_ratio(std::uint32_t b) const {
+  util::throw_if_out_of_range(b > num_pieces_, "potential_ratio: b out of range");
+  if (potential_count_[b] == 0) {
+    return -1.0;
+  }
+  return potential_ratio_sum_[b] / static_cast<double>(potential_count_[b]);
+}
+
+double SwarmMetrics::potential_size(std::uint32_t b) const {
+  util::throw_if_out_of_range(b > num_pieces_, "potential_size: b out of range");
+  if (potential_count_[b] == 0) {
+    return -1.0;
+  }
+  return potential_size_sum_[b] / static_cast<double>(potential_count_[b]);
+}
+
+void SwarmMetrics::record_acquisition(std::uint32_t ordinal, double rounds_since_join,
+                                      double rounds_since_prev) {
+  util::throw_if_invalid(ordinal == 0 || ordinal > num_pieces_,
+                         "record_acquisition: ordinal must be in [1, num_pieces]");
+  timeline_sum_[ordinal] += rounds_since_join;
+  ttd_sum_[ordinal] += rounds_since_prev;
+  ++acquisition_count_[ordinal];
+}
+
+double SwarmMetrics::timeline(std::uint32_t ordinal) const {
+  util::throw_if_out_of_range(ordinal > num_pieces_, "timeline: ordinal out of range");
+  if (ordinal == 0) {
+    return 0.0;
+  }
+  if (acquisition_count_[ordinal] == 0) {
+    return -1.0;
+  }
+  return timeline_sum_[ordinal] / static_cast<double>(acquisition_count_[ordinal]);
+}
+
+double SwarmMetrics::ttd(std::uint32_t ordinal) const {
+  util::throw_if_out_of_range(ordinal > num_pieces_, "ttd: ordinal out of range");
+  if (ordinal == 0 || acquisition_count_[ordinal] == 0) {
+    return -1.0;
+  }
+  return ttd_sum_[ordinal] / static_cast<double>(acquisition_count_[ordinal]);
+}
+
+std::uint64_t SwarmMetrics::acquisition_count(std::uint32_t ordinal) const {
+  util::throw_if_out_of_range(ordinal > num_pieces_, "acquisition_count: out of range");
+  return acquisition_count_[ordinal];
+}
+
+void SwarmMetrics::record_completion(double download_rounds, std::uint32_t bandwidth_class) {
+  download_times_.push_back(download_rounds);
+  download_times_by_class_[bandwidth_class].push_back(download_rounds);
+}
+
+const std::vector<double>& SwarmMetrics::download_times_for_class(
+    std::uint32_t bandwidth_class) const {
+  static const std::vector<double> kEmpty;
+  const auto it = download_times_by_class_.find(bandwidth_class);
+  return it == download_times_by_class_.end() ? kEmpty : it->second;
+}
+
+void SwarmMetrics::record_connection_survival(std::uint64_t alive_before,
+                                              std::uint64_t survived) {
+  MPBT_ASSERT(survived <= alive_before);
+  conn_alive_before_ += alive_before;
+  conn_survived_ += survived;
+}
+
+void SwarmMetrics::record_connection_attempts(std::uint64_t attempts, std::uint64_t successes) {
+  MPBT_ASSERT(successes <= attempts);
+  conn_attempts_ += attempts;
+  conn_successes_ += successes;
+}
+
+void SwarmMetrics::record_bootstrap_exit(std::uint32_t initial_potential,
+                                         std::uint32_t neighbor_set) {
+  if (neighbor_set > 0) {
+    bootstrap_ratio_sum_ +=
+        static_cast<double>(initial_potential) / static_cast<double>(neighbor_set);
+    ++bootstrap_exits_;
+  }
+}
+
+void SwarmMetrics::record_failed_encounter(std::uint64_t count) { failed_encounters_ += count; }
+
+double SwarmMetrics::estimated_p_r(double fallback) const {
+  if (conn_alive_before_ == 0) {
+    return fallback;
+  }
+  return static_cast<double>(conn_survived_) / static_cast<double>(conn_alive_before_);
+}
+
+double SwarmMetrics::estimated_p_n(double fallback) const {
+  if (conn_attempts_ == 0) {
+    return fallback;
+  }
+  return static_cast<double>(conn_successes_) / static_cast<double>(conn_attempts_);
+}
+
+double SwarmMetrics::estimated_p_init(double fallback) const {
+  if (bootstrap_exits_ == 0) {
+    return fallback;
+  }
+  return bootstrap_ratio_sum_ / static_cast<double>(bootstrap_exits_);
+}
+
+void SwarmMetrics::record_phase_round(std::uint32_t n, std::uint32_t b, std::uint32_t i,
+                                      std::uint32_t num_pieces) {
+  // Mirror of model::classify_phase (kept local so bt does not depend on
+  // the model library).
+  if (b >= num_pieces) {
+    return;  // done peers are not counted
+  }
+  if (b == 0 || (b + n <= 1 && i == 0)) {
+    ++bootstrap_rounds_;
+  } else if (i == 0 && n == 0) {
+    ++last_phase_rounds_;
+  } else {
+    ++efficient_rounds_;
+  }
+}
+
+namespace {
+double fraction_of(std::uint64_t part, std::uint64_t total) {
+  return total == 0 ? 0.0 : static_cast<double>(part) / static_cast<double>(total);
+}
+}  // namespace
+
+double SwarmMetrics::bootstrap_fraction() const {
+  return fraction_of(bootstrap_rounds_,
+                     bootstrap_rounds_ + efficient_rounds_ + last_phase_rounds_);
+}
+
+double SwarmMetrics::efficient_fraction() const {
+  return fraction_of(efficient_rounds_,
+                     bootstrap_rounds_ + efficient_rounds_ + last_phase_rounds_);
+}
+
+double SwarmMetrics::last_phase_fraction() const {
+  return fraction_of(last_phase_rounds_,
+                     bootstrap_rounds_ + efficient_rounds_ + last_phase_rounds_);
+}
+
+ClientRecord& SwarmMetrics::client_record(PeerId peer, Round joined) {
+  auto [it, inserted] = client_records_.try_emplace(peer);
+  if (inserted) {
+    it->second.peer = peer;
+    it->second.joined = joined;
+  }
+  return it->second;
+}
+
+}  // namespace mpbt::bt

@@ -1,0 +1,180 @@
+// Swarm instrumentation.
+//
+// SwarmMetrics accumulates everything the paper's figures need:
+//  - per-round swarm series (population, entropy, efficiency)
+//  - the potential-set-ratio profile vs pieces downloaded (Fig. 1a)
+//  - the evolution timeline and per-ordinal time-to-download (Figs. 1b, 3d)
+//  - connection-level counters that estimate the model parameters
+//    p_r (re-encounter), p_n (new-connection success) and p_init
+//  - detailed traces of instrumented clients (Fig. 2)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "bt/types.hpp"
+#include "numeric/timeseries.hpp"
+
+namespace mpbt::bt {
+
+/// One per-round sample of an instrumented client's download state.
+struct ClientSample {
+  Round round = 0;
+  std::uint64_t cumulative_bytes = 0;
+  std::uint32_t potential_set_size = 0;
+  std::uint32_t neighbor_set_size = 0;
+  std::uint32_t pieces_held = 0;
+  std::uint32_t active_connections = 0;
+};
+
+/// Full per-round record of one instrumented client.
+struct ClientRecord {
+  PeerId peer = kNoPeer;
+  Round joined = 0;
+  bool completed = false;
+  Round completed_round = 0;
+  std::vector<ClientSample> samples;
+};
+
+class SwarmMetrics {
+ public:
+  /// `num_pieces` sizes the per-ordinal profiles.
+  explicit SwarmMetrics(std::uint32_t num_pieces);
+
+  // --- per-round series -------------------------------------------------
+  void record_round(Round round, std::size_t leechers, std::size_t seeds, double entropy,
+                    double efficiency_trading, double efficiency_all,
+                    double efficiency_transfer);
+
+  const numeric::TimeSeries& population() const { return population_; }
+  const numeric::TimeSeries& seeds() const { return seeds_; }
+  const numeric::TimeSeries& entropy() const { return entropy_; }
+  /// Mean n/k over leechers holding >= 1 piece (the model's η scope).
+  const numeric::TimeSeries& efficiency_trading() const { return efficiency_trading_; }
+  /// Mean n/k over all leechers including bootstrap-phase peers.
+  const numeric::TimeSeries& efficiency_all() const { return efficiency_all_; }
+
+  /// Upload-bandwidth utilization (the paper's efficiency definition):
+  /// mean over trading leechers of pieces-transferred-this-round / k.
+  const numeric::TimeSeries& efficiency_transfer() const { return efficiency_transfer_; }
+
+  /// Mean of the trading-efficiency series restricted to rounds >= warmup.
+  double mean_efficiency(Round warmup) const;
+
+  /// Mean of the transfer-utilization series restricted to rounds >= warmup.
+  double mean_transfer_efficiency(Round warmup) const;
+  /// Mean of the entropy series restricted to rounds >= warmup.
+  double mean_entropy(Round warmup) const;
+
+  // --- potential-set profile (Fig. 1a) -----------------------------------
+  /// Accumulates one observation of (pieces held b, potential i, ns size).
+  void record_potential_observation(std::uint32_t pieces_held, std::uint32_t potential,
+                                    std::uint32_t neighbor_set);
+
+  /// Average potential/neighbor-set ratio for peers holding `b` pieces;
+  /// returns -1 when never observed.
+  double potential_ratio(std::uint32_t b) const;
+  /// Average absolute potential-set size at `b` pieces; -1 when unobserved.
+  double potential_size(std::uint32_t b) const;
+
+  // --- acquisition profiles (Figs. 1b, 3d) -------------------------------
+  /// Records that some peer acquired its `ordinal`-th piece (1-based)
+  /// `rounds_since_join` after joining, `rounds_since_prev` after its
+  /// previous piece.
+  void record_acquisition(std::uint32_t ordinal, double rounds_since_join,
+                          double rounds_since_prev);
+
+  /// Average rounds-from-join at which the `ordinal`-th piece is acquired;
+  /// -1 when unobserved.
+  double timeline(std::uint32_t ordinal) const;
+  /// Average time-to-download of the `ordinal`-th piece; -1 when unobserved.
+  double ttd(std::uint32_t ordinal) const;
+  std::uint64_t acquisition_count(std::uint32_t ordinal) const;
+
+  // --- completions --------------------------------------------------------
+  void record_completion(double download_rounds, std::uint32_t bandwidth_class = 0);
+  std::size_t completed_count() const { return download_times_.size(); }
+  const std::vector<double>& download_times() const { return download_times_; }
+  /// Download times of peers in one bandwidth class (empty if none).
+  const std::vector<double>& download_times_for_class(std::uint32_t bandwidth_class) const;
+
+  // --- connection counters (model calibration) ---------------------------
+  void record_connection_survival(std::uint64_t alive_before, std::uint64_t survived);
+  void record_connection_attempts(std::uint64_t attempts, std::uint64_t successes);
+  void record_bootstrap_exit(std::uint32_t initial_potential, std::uint32_t neighbor_set);
+  void record_failed_encounter(std::uint64_t count = 1);
+
+  /// Empirical re-encounter probability p_r (connection survives a round).
+  /// Returns fallback when no connections were ever observed.
+  double estimated_p_r(double fallback = 0.5) const;
+  /// Empirical new-connection success probability p_n.
+  double estimated_p_n(double fallback = 0.5) const;
+  /// Empirical p_init: mean potential/neighbor ratio right after the first
+  /// piece is acquired.
+  double estimated_p_init(double fallback = 0.5) const;
+  std::uint64_t failed_encounters() const { return failed_encounters_; }
+
+  // --- arrivals dropped by the population cap ----------------------------
+  void record_dropped_arrival() { ++dropped_arrivals_; }
+  std::uint64_t dropped_arrivals() const { return dropped_arrivals_; }
+
+  // --- aborted downloads (the fluid models' theta) ------------------------
+  void record_abort() { ++aborts_; }
+  std::uint64_t aborts() const { return aborts_; }
+
+  // --- phase occupancy (Section 3.2 validation) ---------------------------
+  /// Counts one leecher-round spent in each phase; the classification rule
+  /// mirrors model::classify_phase on (n, b, i).
+  void record_phase_round(std::uint32_t n, std::uint32_t b, std::uint32_t i,
+                          std::uint32_t num_pieces);
+  std::uint64_t bootstrap_rounds() const { return bootstrap_rounds_; }
+  std::uint64_t efficient_rounds() const { return efficient_rounds_; }
+  std::uint64_t last_phase_rounds() const { return last_phase_rounds_; }
+  /// Fraction of observed leecher-rounds in each phase (0 when none).
+  double bootstrap_fraction() const;
+  double efficient_fraction() const;
+  double last_phase_fraction() const;
+
+  // --- instrumented clients ----------------------------------------------
+  ClientRecord& client_record(PeerId peer, Round joined);
+  const std::map<PeerId, ClientRecord>& client_records() const { return client_records_; }
+
+ private:
+  std::uint32_t num_pieces_;
+
+  numeric::TimeSeries population_;
+  numeric::TimeSeries seeds_;
+  numeric::TimeSeries entropy_;
+  numeric::TimeSeries efficiency_trading_;
+  numeric::TimeSeries efficiency_all_;
+  numeric::TimeSeries efficiency_transfer_;
+
+  std::vector<double> potential_ratio_sum_;
+  std::vector<double> potential_size_sum_;
+  std::vector<std::uint64_t> potential_count_;
+
+  std::vector<double> timeline_sum_;
+  std::vector<double> ttd_sum_;
+  std::vector<std::uint64_t> acquisition_count_;
+
+  std::vector<double> download_times_;
+  std::map<std::uint32_t, std::vector<double>> download_times_by_class_;
+
+  std::uint64_t conn_alive_before_ = 0;
+  std::uint64_t conn_survived_ = 0;
+  std::uint64_t conn_attempts_ = 0;
+  std::uint64_t conn_successes_ = 0;
+  double bootstrap_ratio_sum_ = 0.0;
+  std::uint64_t bootstrap_exits_ = 0;
+  std::uint64_t failed_encounters_ = 0;
+  std::uint64_t dropped_arrivals_ = 0;
+  std::uint64_t aborts_ = 0;
+  std::uint64_t bootstrap_rounds_ = 0;
+  std::uint64_t efficient_rounds_ = 0;
+  std::uint64_t last_phase_rounds_ = 0;
+
+  std::map<PeerId, ClientRecord> client_records_;
+};
+
+}  // namespace mpbt::bt

@@ -1,0 +1,83 @@
+// Peer state within a swarm.
+//
+// Plain data managed by Swarm; the trading logic lives in Swarm so that
+// all cross-peer invariants (symmetric neighbor sets, symmetric
+// connections) are maintained in one place.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "bt/bitfield.hpp"
+#include "bt/id_set.hpp"
+#include "bt/types.hpp"
+
+namespace mpbt::bt {
+
+struct Peer {
+  Peer(PeerId peer_id, std::size_t num_pieces, Round joined_round)
+      : id(peer_id), pieces(num_pieces), joined(joined_round) {}
+
+  PeerId id;
+  Bitfield pieces;
+  Round joined = 0;
+
+  /// True for initial seeds and for completed leechers that linger.
+  bool is_seed = false;
+  /// Round after which a lingering seed departs (only when is_seed and
+  /// linger was configured); 0 means "never" (initial seeds).
+  Round seed_until = 0;
+
+  /// Symmetric neighbor relation (the paper's NS).
+  IdSet neighbors;
+  /// Active trading connections; subset of neighbors, symmetric.
+  IdSet connections;
+  /// Connections established this round (still handshaking); subset of
+  /// connections, cleared at the start of the next round.
+  IdSet fresh_connections;
+  /// This round's potential set (recomputed each round by the swarm).
+  std::vector<PeerId> potential;
+
+  std::uint64_t bytes_downloaded = 0;
+  bool shaken = false;
+  bool instrumented = false;
+
+  /// Block-granular transfer state: per connection, the piece currently
+  /// being downloaded from that partner and how many of its blocks have
+  /// arrived. Only used when blocks_per_piece > 1; entries are discarded
+  /// when the connection drops (partial pieces cannot be served anyway).
+  struct InFlight {
+    PieceIndex piece = 0;
+    std::uint32_t blocks_done = 0;
+  };
+  std::map<PeerId, InFlight> inflight;
+
+  /// Rate-based choking state: exponentially smoothed pieces/round
+  /// received from each neighbor, the current optimistic-unchoke target,
+  /// and when it was last rotated.
+  std::map<PeerId, double> received_rate;
+  PeerId optimistic_target = kNoPeer;
+  Round optimistic_since = 0;
+
+  /// Bandwidth class index (0 when the swarm is homogeneous).
+  std::uint32_t bandwidth_class = 0;
+  /// Upload slots per round (UINT32_MAX = unconstrained).
+  std::uint32_t upload_per_round = UINT32_MAX;
+  /// Uploads still available this round.
+  std::uint32_t upload_left = UINT32_MAX;
+
+  /// acquired_rounds[o] = round at which the (o+1)-th piece was obtained.
+  std::vector<Round> acquired_rounds;
+
+  std::size_t num_pieces_held() const { return pieces.count(); }
+  bool is_leecher() const { return !is_seed; }
+};
+
+/// Strict tit-for-tat interest test: true when each side holds at least
+/// one piece the other lacks (the paper's potential-set membership rule).
+inline bool mutually_interested(const Bitfield& a, const Bitfield& b) {
+  return a.has_piece_missing_from(b) && b.has_piece_missing_from(a);
+}
+
+}  // namespace mpbt::bt

@@ -1,0 +1,74 @@
+#include "bt/piece_selection.hpp"
+
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace mpbt::bt {
+
+std::optional<PieceIndex> select_random(const Bitfield& downloader, const Bitfield& uploader,
+                                        numeric::Rng& rng) {
+  const std::vector<PieceIndex> candidates = uploader.pieces_missing_from(downloader);
+  if (candidates.empty()) {
+    return std::nullopt;
+  }
+  const auto idx = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1));
+  return candidates[idx];
+}
+
+std::optional<PieceIndex> select_rarest_first(const Bitfield& downloader,
+                                              const Bitfield& uploader,
+                                              const std::vector<std::uint32_t>& availability,
+                                              numeric::Rng& rng) {
+  const std::vector<PieceIndex> candidates = uploader.pieces_missing_from(downloader);
+  if (candidates.empty()) {
+    return std::nullopt;
+  }
+  if (availability.empty()) {
+    const auto idx = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1));
+    return candidates[idx];
+  }
+  util::throw_if_invalid(availability.size() != downloader.size(),
+                         "select_rarest_first: availability size must equal num_pieces");
+  std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+  // Reservoir-style uniform tie-breaking among equally rare pieces.
+  PieceIndex chosen = candidates.front();
+  std::size_t ties = 0;
+  for (PieceIndex p : candidates) {
+    const std::uint32_t avail = availability[p];
+    if (avail < best) {
+      best = avail;
+      chosen = p;
+      ties = 1;
+    } else if (avail == best) {
+      ++ties;
+      if (rng.uniform_int(0, static_cast<std::int64_t>(ties) - 1) == 0) {
+        chosen = p;
+      }
+    }
+  }
+  return chosen;
+}
+
+std::optional<PieceIndex> select_piece(PieceSelection strategy, const Bitfield& downloader,
+                                       const Bitfield& uploader,
+                                       const std::vector<std::uint32_t>& availability,
+                                       numeric::Rng& rng) {
+  switch (strategy) {
+    case PieceSelection::Random:
+      return select_random(downloader, uploader, rng);
+    case PieceSelection::RarestFirst:
+      return select_rarest_first(downloader, uploader, availability, rng);
+    case PieceSelection::RandomFirstThenRarest:
+      if (downloader.none()) {
+        return select_random(downloader, uploader, rng);
+      }
+      return select_rarest_first(downloader, uploader, availability, rng);
+  }
+  MPBT_ASSERT_MSG(false, "unknown piece selection strategy");
+  return std::nullopt;
+}
+
+}  // namespace mpbt::bt

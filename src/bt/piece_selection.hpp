@@ -1,0 +1,35 @@
+// Piece-selection strategies (Section 2.1 of the paper).
+//
+// Given the downloader's bitfield, the uploader's bitfield, and piece
+// availability counts over the downloader's neighbor set, pick the piece
+// to request. Stateless functions; the swarm owns availability counting.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bt/bitfield.hpp"
+#include "bt/config.hpp"
+#include "numeric/rng.hpp"
+
+namespace mpbt::bt {
+
+/// Picks a piece the uploader holds and the downloader lacks, or nullopt
+/// when there is none. `availability[p]` = number of peers in the
+/// downloader's neighbor set holding piece p (used by rarest-first; must
+/// have one entry per piece or be empty, in which case rarest-first
+/// degrades to random). Ties in rarest-first break uniformly at random.
+std::optional<PieceIndex> select_piece(PieceSelection strategy, const Bitfield& downloader,
+                                       const Bitfield& uploader,
+                                       const std::vector<std::uint32_t>& availability,
+                                       numeric::Rng& rng);
+
+/// The individual strategies, exposed for tests and custom policies.
+std::optional<PieceIndex> select_random(const Bitfield& downloader, const Bitfield& uploader,
+                                        numeric::Rng& rng);
+std::optional<PieceIndex> select_rarest_first(const Bitfield& downloader,
+                                              const Bitfield& uploader,
+                                              const std::vector<std::uint32_t>& availability,
+                                              numeric::Rng& rng);
+
+}  // namespace mpbt::bt

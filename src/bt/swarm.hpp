@@ -1,0 +1,147 @@
+// The BitTorrent swarm simulator (Section 4.1 of the paper).
+//
+// Round-synchronous discrete simulation matching the model's semantics:
+// one round = one trading step. Each round the swarm
+//   1. admits Poisson arrivals (each gets s random neighbors, symmetric),
+//   2. bootstraps piece-less peers (seeds or optimistic unchoking),
+//   3. recomputes every leecher's potential set (strict mutual interest),
+//   4. prunes connections whose partner departed or lost interest,
+//   5. establishes new connections up to k per peer,
+//   6. exchanges pieces over connections under strict tit-for-tat
+//      (a connection with nothing to trade in either direction drops),
+//   7. optionally lets seeds serve pieces,
+//   8. departs completed leechers (or converts them to lingering seeds),
+//   9. applies peer-set shaking (Section 7.1) when enabled,
+//  10. records metrics.
+//
+// The simulation is fully deterministic for a given SwarmConfig::seed.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bt/config.hpp"
+#include "bt/metrics.hpp"
+#include "bt/peer.hpp"
+#include "bt/tracker.hpp"
+#include "numeric/rng.hpp"
+
+namespace mpbt::bt {
+
+class Swarm {
+ public:
+  explicit Swarm(SwarmConfig config);
+
+  /// Runs one full round.
+  void step();
+
+  /// Runs `rounds` rounds.
+  void run_rounds(Round rounds);
+
+  /// Number of completed rounds so far.
+  Round round() const { return round_; }
+
+  const SwarmConfig& config() const { return config_; }
+  const SwarmMetrics& metrics() const { return metrics_; }
+  const Tracker& tracker() const { return tracker_; }
+
+  std::size_t num_leechers() const;
+  std::size_t num_seeds() const;
+  std::size_t population() const { return live_.size(); }
+
+  /// Live peer ids in arrival order.
+  const std::vector<PeerId>& live_peers() const { return live_; }
+
+  /// True if the peer is still in the swarm.
+  bool is_live(PeerId id) const;
+
+  /// Read access to a peer that has ever existed (live or departed).
+  const Peer& peer(PeerId id) const;
+
+  /// Current replication degree of each piece over live peers.
+  const std::vector<std::uint32_t>& piece_counts() const { return piece_counts_; }
+
+  /// Swarm entropy E = min_j d_j / max_j d_j (Section 6); 0 when some piece
+  /// has no replica while another does; 1 for an empty swarm.
+  double entropy() const;
+
+  /// Marks the next arriving peer for detailed per-round trace recording.
+  void instrument_next_arrival() { instrument_next_ = true; }
+
+  /// Marks an existing live peer for detailed trace recording.
+  void instrument_peer(PeerId id);
+
+  /// Injects one peer immediately (between rounds). `piece_probs` follows
+  /// InitialGroup semantics; empty means no pieces. Returns the new id.
+  PeerId add_peer(const std::vector<double>& piece_probs = {});
+
+  /// Verifies cross-peer invariants (symmetry, caps, count consistency);
+  /// throws util::AssertionError on violation. O(N * (s + B)).
+  void check_invariants() const;
+
+ private:
+  Peer& peer_ref(PeerId id);
+  PeerId create_peer(const std::vector<double>& piece_probs, bool as_seed);
+  void assign_initial_neighbors(PeerId id);
+  void connect(Peer& a, Peer& b);
+  void disconnect(Peer& a, Peer& b);
+  void acquire_piece(Peer& p, PieceIndex piece, bool add_bytes = true);
+  void depart(Peer& p);
+
+  // Block-granular transfers (blocks_per_piece > 1).
+  /// Ensures `down` has a piece in flight from `up`; returns false when
+  /// nothing is selectable (strict tit-for-tat then drops the pair).
+  bool ensure_inflight(Peer& down, const Peer& up);
+  /// Delivers one block of the in-flight piece; completes it when all
+  /// blocks have arrived.
+  void deliver_block(Peer& down, PeerId from);
+  void sweep_departed();
+
+  /// Availability counts for rarest-first, per the configured scope.
+  const std::vector<std::uint32_t>& availability_for(const Peer& p);
+
+  /// Piece a seed should upload to `taker`, honoring the seed mode.
+  std::optional<PieceIndex> seed_piece_for(Peer& seed, const Peer& taker);
+
+  // Round phases.
+  void phase_arrivals();
+  void phase_bootstrap();
+  void phase_rebuild_potential_sets();
+  void phase_prune_connections();
+  void phase_establish_connections();
+  /// Rate-based choking variant of connection establishment.
+  void establish_rate_based();
+  void phase_exchange();
+  void phase_seed_service();
+  void phase_completions();
+  void phase_shake();
+  void phase_record_metrics();
+
+  std::vector<PeerId> shuffled_live_leechers();
+
+  SwarmConfig config_;
+  numeric::Rng rng_;
+  Tracker tracker_;
+  SwarmMetrics metrics_;
+
+  std::vector<std::unique_ptr<Peer>> peers_;  // indexed by id; never shrinks
+  std::vector<bool> departed_;                // indexed by id
+  std::vector<PeerId> live_;                  // arrival order
+  std::vector<std::uint32_t> piece_counts_;   // replication degrees
+
+  Round round_ = 0;
+  bool instrument_next_ = false;
+
+  // Per-round working state.
+  std::unordered_map<PeerId, std::uint32_t> seed_budget_;
+  std::vector<std::pair<PeerId, PeerId>> round_start_connections_;
+  std::unordered_map<PeerId, std::vector<std::uint32_t>> neighborhood_availability_;
+  /// Leechers whose potential set was empty last round (tracker bias pool).
+  std::vector<PeerId> starving_;
+  /// Super-seeding bookkeeping: per seed, how often each piece was served.
+  std::unordered_map<PeerId, std::vector<std::uint32_t>> seed_served_;
+};
+
+}  // namespace mpbt::bt

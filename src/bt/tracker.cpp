@@ -1,0 +1,62 @@
+#include "bt/tracker.hpp"
+
+#include "util/assert.hpp"
+
+namespace mpbt::bt {
+
+void Tracker::add_peer(PeerId id) {
+  if (contains(id)) {
+    return;
+  }
+  if (id >= position_.size()) {
+    position_.resize(static_cast<std::size_t>(id) + 1, kNpos);
+  }
+  position_[id] = order_.size();
+  order_.push_back(id);
+}
+
+void Tracker::remove_peer(PeerId id) {
+  if (!contains(id)) {
+    return;
+  }
+  const std::size_t pos = position_[id];
+  const PeerId last = order_.back();
+  order_[pos] = last;
+  position_[last] = pos;
+  order_.pop_back();
+  position_[id] = kNpos;
+}
+
+bool Tracker::contains(PeerId id) const {
+  return id < position_.size() && position_[id] != kNpos;
+}
+
+std::vector<PeerId> Tracker::sample_peers(std::size_t count, PeerId exclude,
+                                          numeric::Rng& rng) const {
+  std::vector<PeerId> out;
+  const std::size_t available = order_.size() - (contains(exclude) ? 1 : 0);
+  const std::size_t want = std::min(count, available);
+  if (want == 0) {
+    return out;
+  }
+  out.reserve(want);
+  // Sample indices into order_, skipping the excluded peer by resampling;
+  // with want <= available this terminates quickly.
+  const std::vector<std::size_t> raw =
+      rng.sample_without_replacement(order_.size(), std::min(want + (contains(exclude) ? 1 : 0),
+                                                             order_.size()));
+  for (std::size_t idx : raw) {
+    if (order_[idx] == exclude) {
+      continue;
+    }
+    out.push_back(order_[idx]);
+    if (out.size() == want) {
+      break;
+    }
+  }
+  return out;
+}
+
+void Tracker::record_stats() { stats_.push_back(static_cast<std::uint32_t>(order_.size())); }
+
+}  // namespace mpbt::bt

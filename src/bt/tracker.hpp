@@ -1,0 +1,49 @@
+// Tracker: peer registry, random peer sampling, and population statistics.
+//
+// The tracker is the swarm's rendezvous service. It also records the
+// hourly peer-count statistics the paper uses to select stable swarms
+// (Section 4.2); trace::classify_swarm consumes that series.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bt/types.hpp"
+#include "numeric/rng.hpp"
+
+namespace mpbt::bt {
+
+class Tracker {
+ public:
+  Tracker() = default;
+
+  /// Registers a peer; ignores double registration.
+  void add_peer(PeerId id);
+
+  /// Removes a peer; ignores unknown ids.
+  void remove_peer(PeerId id);
+
+  bool contains(PeerId id) const;
+  std::size_t population() const { return order_.size(); }
+
+  /// Samples up to `count` distinct random peers, excluding `exclude`.
+  /// Returns fewer when the registry is small.
+  std::vector<PeerId> sample_peers(std::size_t count, PeerId exclude, numeric::Rng& rng) const;
+
+  /// Records the current population into the hourly statistics series.
+  void record_stats();
+
+  /// Hourly (per-record_stats call) population series.
+  const std::vector<std::uint32_t>& population_series() const { return stats_; }
+
+ private:
+  // Dense registry with O(1) removal: `order_` holds live ids,
+  // `position_` maps id -> index in order_ (or npos).
+  std::vector<PeerId> order_;
+  std::vector<std::size_t> position_;
+  std::vector<std::uint32_t> stats_;
+
+  static constexpr std::size_t kNpos = SIZE_MAX;
+};
+
+}  // namespace mpbt::bt

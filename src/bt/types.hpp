@@ -1,0 +1,28 @@
+// Shared identifiers and small value types for the BitTorrent simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace mpbt::bt {
+
+/// Dense peer identifier assigned by the swarm at arrival, never reused.
+using PeerId = std::uint32_t;
+
+/// Index of a piece within the file, in [0, num_pieces).
+using PieceIndex = std::uint32_t;
+
+/// Simulation round counter (one round = one trading step of the model).
+using Round = std::uint32_t;
+
+/// Sentinel "no peer".
+inline constexpr PeerId kNoPeer = UINT32_MAX;
+
+/// Default piece size used for byte accounting in traces (256 KiB, the
+/// usual BitTorrent piece size mentioned in Section 2.1 of the paper).
+inline constexpr std::uint64_t kDefaultPieceBytes = 256ULL * 1024ULL;
+
+/// Default block size (16 KiB); blocks are the transmission unit but a
+/// piece must be complete before it can be served (Section 2.1).
+inline constexpr std::uint64_t kDefaultBlockBytes = 16ULL * 1024ULL;
+
+}  // namespace mpbt::bt

@@ -1,0 +1,263 @@
+#include "coding/coded_swarm.hpp"
+
+#include <algorithm>
+#include <span>
+
+#include "util/assert.hpp"
+
+namespace mpbt::coding {
+
+void CodedSwarmConfig::validate() const {
+  util::throw_if_invalid(num_pieces == 0, "CodedSwarmConfig: num_pieces must be >= 1");
+  util::throw_if_invalid(max_connections == 0,
+                         "CodedSwarmConfig: max_connections must be >= 1");
+  util::throw_if_invalid(peer_set_size == 0, "CodedSwarmConfig: peer_set_size must be >= 1");
+  util::throw_if_invalid(arrival_rate < 0.0, "CodedSwarmConfig: arrival_rate must be >= 0");
+  util::throw_if_invalid(optimistic_unchoke_prob < 0.0 || optimistic_unchoke_prob > 1.0,
+                         "CodedSwarmConfig: optimistic_unchoke_prob must be in [0, 1]");
+}
+
+CodedSwarm::CodedSwarm(CodedSwarmConfig config) : config_(config), rng_(config.seed) {
+  config_.validate();
+  ttd_sum_.assign(static_cast<std::size_t>(config_.num_pieces) + 1, 0.0);
+  ttd_count_.assign(static_cast<std::size_t>(config_.num_pieces) + 1, 0);
+  for (std::uint32_t i = 0; i < config_.initial_seeds; ++i) {
+    create_peer(/*as_seed=*/true);
+  }
+  for (bt::PeerId id : live_) {
+    assign_neighbors(id);
+  }
+}
+
+bt::PeerId CodedSwarm::create_peer(bool as_seed) {
+  const auto id = static_cast<bt::PeerId>(peers_.size());
+  peers_.push_back(std::make_unique<CodedPeer>(config_.num_pieces, round_));
+  departed_.push_back(false);
+  CodedPeer& p = *peers_.back();
+  p.is_seed = as_seed;
+  if (as_seed) {
+    for (std::size_t i = 0; i < config_.num_pieces; ++i) {
+      p.knowledge.insert(gf2_unit(config_.num_pieces, i));
+    }
+    MPBT_ASSERT(p.knowledge.full());
+  }
+  live_.push_back(id);
+  tracker_.add_peer(id);
+  return id;
+}
+
+void CodedSwarm::assign_neighbors(bt::PeerId id) {
+  CodedPeer& p = *peers_[id];
+  if (p.neighbors.size() >= config_.peer_set_size) {
+    return;
+  }
+  for (bt::PeerId other :
+       tracker_.sample_peers(config_.peer_set_size - p.neighbors.size(), id, rng_)) {
+    if (other == id || departed_[other]) {
+      continue;
+    }
+    p.neighbors.insert(other);
+    peers_[other]->neighbors.insert(id);
+  }
+}
+
+void CodedSwarm::deliver(CodedPeer& receiver, const CodedPeer& sender) {
+  ++transmissions_;
+  Gf2Vector coded;
+  if (config_.smart_encoding && sender.knowledge.can_help(receiver.knowledge)) {
+    coded = sender.knowledge.innovative_for(receiver.knowledge, rng_);
+  } else {
+    coded = sender.knowledge.random_combination(rng_);
+  }
+  const std::size_t before = receiver.knowledge.rank();
+  if (receiver.knowledge.insert(std::move(coded))) {
+    const auto ordinal = static_cast<std::uint32_t>(before + 1);
+    const std::uint32_t prev_round =
+        receiver.rank_rounds.empty() ? receiver.joined : receiver.rank_rounds.back();
+    receiver.rank_rounds.push_back(round_);
+    ttd_sum_[ordinal] += static_cast<double>(round_ - prev_round + 1);
+    ++ttd_count_[ordinal];
+  } else {
+    ++wasted_transmissions_;
+  }
+}
+
+void CodedSwarm::depart(bt::PeerId id) {
+  MPBT_ASSERT(!departed_[id]);
+  departed_[id] = true;
+  tracker_.remove_peer(id);
+  CodedPeer& p = *peers_[id];
+  for (bt::PeerId nb : p.neighbors.as_vector()) {
+    if (nb < peers_.size() && peers_[nb] != nullptr) {
+      peers_[nb]->neighbors.erase(id);
+    }
+  }
+  p.neighbors.clear();
+  live_.erase(std::remove(live_.begin(), live_.end(), id), live_.end());
+}
+
+std::size_t CodedSwarm::num_leechers() const {
+  std::size_t n = 0;
+  for (bt::PeerId id : live_) {
+    if (!peers_[id]->is_seed) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+double CodedSwarm::rank_ttd(std::uint32_t ordinal) const {
+  util::throw_if_out_of_range(ordinal > config_.num_pieces, "rank_ttd: ordinal out of range");
+  if (ordinal == 0 || ttd_count_[ordinal] == 0) {
+    return -1.0;
+  }
+  return ttd_sum_[ordinal] / static_cast<double>(ttd_count_[ordinal]);
+}
+
+void CodedSwarm::step() {
+  // Arrivals.
+  const int arrivals = rng_.poisson(config_.arrival_rate);
+  for (int i = 0; i < arrivals; ++i) {
+    if (config_.max_population != 0 && live_.size() >= config_.max_population) {
+      continue;
+    }
+    const bt::PeerId id = create_peer(/*as_seed=*/false);
+    assign_neighbors(id);
+  }
+
+  // Bootstrap rank-0 peers (seeds first, optimistic otherwise).
+  std::map<bt::PeerId, std::uint32_t> seed_budget;
+  for (bt::PeerId id : live_) {
+    if (peers_[id]->is_seed) {
+      seed_budget[id] = config_.seed_capacity;
+    }
+  }
+  std::vector<bt::PeerId> order = live_;
+  rng_.shuffle(std::span<bt::PeerId>(order));
+  for (bt::PeerId id : order) {
+    if (departed_[id]) {
+      continue;
+    }
+    CodedPeer& p = *peers_[id];
+    if (p.is_seed || p.knowledge.rank() != 0) {
+      continue;
+    }
+    bt::PeerId source = bt::kNoPeer;
+    for (bt::PeerId nb : p.neighbors.as_vector()) {
+      if (departed_[nb]) {
+        continue;
+      }
+      if (peers_[nb]->is_seed) {
+        auto budget = seed_budget.find(nb);
+        if (budget != seed_budget.end() && budget->second > 0) {
+          --budget->second;
+          source = nb;
+          break;
+        }
+      }
+    }
+    if (source == bt::kNoPeer && rng_.bernoulli(config_.optimistic_unchoke_prob)) {
+      std::vector<bt::PeerId> holders;
+      for (bt::PeerId nb : p.neighbors.as_vector()) {
+        if (!departed_[nb] && peers_[nb]->knowledge.rank() > 0) {
+          holders.push_back(nb);
+        }
+      }
+      if (!holders.empty()) {
+        source = holders[static_cast<std::size_t>(
+            rng_.uniform_int(0, static_cast<std::int64_t>(holders.size()) - 1))];
+      }
+    }
+    if (source != bt::kNoPeer) {
+      deliver(p, *peers_[source]);
+    }
+  }
+
+  // Reciprocal exchange: greedy random matching within mutual-help pairs,
+  // up to k exchanges per peer per round.
+  std::vector<std::uint32_t> exchanges_used(peers_.size(), 0);
+  rng_.shuffle(std::span<bt::PeerId>(order));
+  for (bt::PeerId id : order) {
+    if (departed_[id]) {
+      continue;
+    }
+    CodedPeer& p = *peers_[id];
+    if (p.is_seed || p.knowledge.rank() == 0) {
+      continue;
+    }
+    std::vector<bt::PeerId> partners;
+    for (bt::PeerId nb : p.neighbors.as_vector()) {
+      if (departed_[nb] || peers_[nb]->is_seed ||
+          exchanges_used[nb] >= config_.max_connections) {
+        continue;
+      }
+      // Strict reciprocity: both must be able to teach the other.
+      if (p.knowledge.can_help(peers_[nb]->knowledge) &&
+          peers_[nb]->knowledge.can_help(p.knowledge)) {
+        partners.push_back(nb);
+      }
+    }
+    rng_.shuffle(std::span<bt::PeerId>(partners));
+    for (bt::PeerId nb : partners) {
+      if (exchanges_used[id] >= config_.max_connections) {
+        break;
+      }
+      if (exchanges_used[nb] >= config_.max_connections || departed_[nb]) {
+        continue;
+      }
+      CodedPeer& q = *peers_[nb];
+      // Earlier exchanges this round may have made the pair stale.
+      if (!p.knowledge.can_help(q.knowledge) || !q.knowledge.can_help(p.knowledge)) {
+        continue;
+      }
+      deliver(p, q);
+      deliver(q, p);
+      ++exchanges_used[id];
+      ++exchanges_used[nb];
+    }
+  }
+
+  // Seed service to everyone (coding systems have no tit-for-tat gate on
+  // the source; ref. [5] assumes a cooperative server).
+  for (auto& [seed_id, budget] : seed_budget) {
+    if (departed_[seed_id]) {
+      continue;
+    }
+    CodedPeer& seed = *peers_[seed_id];
+    std::vector<bt::PeerId> takers;
+    for (bt::PeerId nb : seed.neighbors.as_vector()) {
+      if (!departed_[nb] && !peers_[nb]->is_seed && !peers_[nb]->knowledge.full() &&
+          peers_[nb]->knowledge.rank() > 0) {
+        takers.push_back(nb);
+      }
+    }
+    rng_.shuffle(std::span<bt::PeerId>(takers));
+    for (bt::PeerId taker : takers) {
+      if (budget == 0) {
+        break;
+      }
+      deliver(*peers_[taker], seed);
+      --budget;
+    }
+  }
+
+  // Departures at full rank.
+  const std::vector<bt::PeerId> snapshot = live_;
+  for (bt::PeerId id : snapshot) {
+    if (!departed_[id] && !peers_[id]->is_seed && peers_[id]->knowledge.full()) {
+      completion_times_.push_back(static_cast<double>(round_ - peers_[id]->joined + 1));
+      depart(id);
+    }
+  }
+
+  population_series_.add(static_cast<double>(round_), static_cast<double>(num_leechers()));
+  ++round_;
+}
+
+void CodedSwarm::run_rounds(std::uint32_t rounds) {
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    step();
+  }
+}
+
+}  // namespace mpbt::coding

@@ -1,0 +1,153 @@
+#include "coding/gf2.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace mpbt::coding {
+
+std::size_t gf2_words(std::size_t dims) { return (dims + 63) / 64; }
+
+Gf2Vector gf2_unit(std::size_t dims, std::size_t i) {
+  util::throw_if_out_of_range(i >= dims, "gf2_unit: index out of range");
+  Gf2Vector v(gf2_words(dims), 0);
+  v[i / 64] = 1ULL << (i % 64);
+  return v;
+}
+
+namespace {
+bool is_zero(const Gf2Vector& v) {
+  for (std::uint64_t w : v) {
+    if (w != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void xor_into(Gf2Vector& target, const Gf2Vector& src) {
+  for (std::size_t w = 0; w < target.size(); ++w) {
+    target[w] ^= src[w];
+  }
+}
+}  // namespace
+
+Gf2Basis::Gf2Basis(std::size_t dims) : dims_(dims) {
+  util::throw_if_invalid(dims == 0, "Gf2Basis requires dims >= 1");
+}
+
+int Gf2Basis::leading_bit(const Gf2Vector& v) {
+  for (std::size_t w = v.size(); w-- > 0;) {
+    if (v[w] != 0) {
+      return static_cast<int>(w * 64 + (63 - static_cast<std::size_t>(
+                                                 __builtin_clzll(v[w]))));
+    }
+  }
+  return -1;
+}
+
+void Gf2Basis::reduce(Gf2Vector& v) const {
+  for (const Gf2Vector& row : rows_) {
+    const int lead = leading_bit(row);
+    MPBT_ASSERT(lead >= 0);
+    const std::size_t word = static_cast<std::size_t>(lead) / 64;
+    const std::uint64_t mask = 1ULL << (static_cast<std::size_t>(lead) % 64);
+    if (v[word] & mask) {
+      xor_into(v, row);
+    }
+  }
+}
+
+bool Gf2Basis::contains(const Gf2Vector& v) const {
+  util::throw_if_invalid(v.size() != gf2_words(dims_), "Gf2Basis: vector size mismatch");
+  Gf2Vector copy = v;
+  reduce(copy);
+  return is_zero(copy);
+}
+
+bool Gf2Basis::insert(Gf2Vector v) {
+  util::throw_if_invalid(v.size() != gf2_words(dims_), "Gf2Basis: vector size mismatch");
+  reduce(v);
+  if (is_zero(v)) {
+    return false;
+  }
+  // Keep rows ordered by decreasing leading bit and fully reduced against
+  // the new row.
+  const int lead = leading_bit(v);
+  const std::size_t word = static_cast<std::size_t>(lead) / 64;
+  const std::uint64_t mask = 1ULL << (static_cast<std::size_t>(lead) % 64);
+  for (Gf2Vector& row : rows_) {
+    if (row[word] & mask) {
+      xor_into(row, v);
+    }
+  }
+  const auto position = std::lower_bound(
+      rows_.begin(), rows_.end(), lead,
+      [](const Gf2Vector& row, int l) { return leading_bit(row) > l; });
+  rows_.insert(position, std::move(v));
+  return true;
+}
+
+Gf2Vector Gf2Basis::random_combination(numeric::Rng& rng) const {
+  Gf2Vector out(gf2_words(dims_), 0);
+  if (rows_.empty()) {
+    return out;
+  }
+  bool nonzero = false;
+  while (!nonzero) {
+    std::fill(out.begin(), out.end(), 0);
+    for (const Gf2Vector& row : rows_) {
+      if (rng.bernoulli(0.5)) {
+        xor_into(out, row);
+        nonzero = true;
+      }
+    }
+    nonzero = nonzero && !is_zero(out);
+  }
+  return out;
+}
+
+bool Gf2Basis::can_help(const Gf2Basis& other) const {
+  util::throw_if_invalid(dims_ != other.dims_, "Gf2Basis: dimension mismatch");
+  if (rank() > other.rank()) {
+    return true;  // pigeonhole: some row must be outside the smaller span
+  }
+  for (const Gf2Vector& row : rows_) {
+    if (!other.contains(row)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Gf2Vector Gf2Basis::innovative_for(const Gf2Basis& other, numeric::Rng& rng) const {
+  util::throw_if_invalid(!can_help(other), "Gf2Basis::innovative_for: nothing to teach");
+  // Pick a random innovative basis row, then randomize it by XORing a
+  // random combination of the remaining rows (stays innovative: adding
+  // in-span or other vectors cannot cancel the out-of-span component
+  // unless another innovative row is added — which keeps it innovative
+  // unless the sum lands in other's span; re-check and retry).
+  std::vector<std::size_t> innovative_rows;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (!other.contains(rows_[r])) {
+      innovative_rows.push_back(r);
+    }
+  }
+  MPBT_ASSERT(!innovative_rows.empty());
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    Gf2Vector out = rows_[innovative_rows[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(innovative_rows.size()) - 1))]];
+    for (const Gf2Vector& row : rows_) {
+      if (rng.bernoulli(0.25)) {
+        xor_into(out, row);
+      }
+    }
+    if (!other.contains(out) && !is_zero(out)) {
+      return out;
+    }
+  }
+  // Fallback: the plain innovative row.
+  return rows_[innovative_rows.front()];
+}
+
+}  // namespace mpbt::coding

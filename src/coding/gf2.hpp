@@ -1,0 +1,65 @@
+// GF(2) linear algebra for network-coded content distribution.
+//
+// A network-coded "piece" is a random linear combination of the file's B
+// pieces; a peer's knowledge is the subspace spanned by the coded pieces
+// it holds, and it can decode once its basis reaches rank B. Gf2Basis
+// maintains a reduced basis incrementally: insertion is O(B^2 / 64) worst
+// case, membership tests likewise. Exact arithmetic over GF(2) — no
+// innovative-with-high-probability hand-waving; a transmission either is
+// or is not in the receiver's span.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "numeric/rng.hpp"
+
+namespace mpbt::coding {
+
+/// A vector in GF(2)^B, packed 64 bits per word.
+using Gf2Vector = std::vector<std::uint64_t>;
+
+/// Number of 64-bit words needed for `dims` coordinates.
+std::size_t gf2_words(std::size_t dims);
+
+/// The i-th unit vector in GF(2)^dims.
+Gf2Vector gf2_unit(std::size_t dims, std::size_t i);
+
+class Gf2Basis {
+ public:
+  /// An empty subspace of GF(2)^dims. Requires dims >= 1.
+  explicit Gf2Basis(std::size_t dims);
+
+  std::size_t dims() const { return dims_; }
+  std::size_t rank() const { return rows_.size(); }
+  bool full() const { return rank() == dims_; }
+
+  /// True if `v` lies in the span (the zero vector always does).
+  bool contains(const Gf2Vector& v) const;
+
+  /// Inserts `v`; returns true when it was innovative (rank grew).
+  bool insert(Gf2Vector v);
+
+  /// A uniformly random vector of the span (possibly zero for the empty
+  /// basis; never zero otherwise — resampled).
+  Gf2Vector random_combination(numeric::Rng& rng) const;
+
+  /// True if this basis holds at least one vector outside `other`'s span —
+  /// i.e., this peer could teach `other` something.
+  bool can_help(const Gf2Basis& other) const;
+
+  /// A deliberately innovative vector for `other` (a basis row outside its
+  /// span, randomized by combining with in-span rows); requires
+  /// can_help(other).
+  Gf2Vector innovative_for(const Gf2Basis& other, numeric::Rng& rng) const;
+
+ private:
+  void reduce(Gf2Vector& v) const;
+  static int leading_bit(const Gf2Vector& v);
+
+  std::size_t dims_;
+  /// Reduced rows ordered by decreasing leading bit.
+  std::vector<Gf2Vector> rows_;
+};
+
+}  // namespace mpbt::coding

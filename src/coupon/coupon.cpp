@@ -1,0 +1,127 @@
+#include "coupon/coupon.hpp"
+
+#include <algorithm>
+
+#include "bt/peer.hpp"
+#include "util/assert.hpp"
+
+namespace mpbt::coupon {
+
+void CouponConfig::validate() const {
+  util::throw_if_invalid(num_coupons == 0, "CouponConfig: num_coupons must be >= 1");
+  util::throw_if_invalid(arrival_rate < 0.0, "CouponConfig: arrival_rate must be >= 0");
+  util::throw_if_invalid(encounter_rate <= 0.0, "CouponConfig: encounter_rate must be > 0");
+  util::throw_if_invalid(horizon <= 0.0, "CouponConfig: horizon must be > 0");
+}
+
+CouponSimulator::CouponSimulator(CouponConfig config)
+    : config_(config), rng_(config.seed) {
+  config_.validate();
+}
+
+void CouponSimulator::add_peer() {
+  const std::size_t index = peers_.size();
+  peers_.push_back(std::make_unique<CouponPeer>(config_.num_coupons));
+  CouponPeer& p = *peers_.back();
+  p.arrived = engine_.now();
+  // Exogenous injection: one uniformly random coupon on arrival.
+  p.coupons.set(static_cast<bt::PieceIndex>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(config_.num_coupons) - 1)));
+  live_pos_.push_back(live_.size());
+  live_.push_back(index);
+  schedule_encounter(index);
+}
+
+void CouponSimulator::schedule_arrival() {
+  if (config_.arrival_rate <= 0.0) {
+    return;
+  }
+  const double dt = rng_.exponential(config_.arrival_rate);
+  const double when = engine_.now() + dt;
+  if (when > config_.horizon ||
+      (config_.arrival_cutoff > 0.0 && when > config_.arrival_cutoff)) {
+    return;
+  }
+  engine_.schedule_at(when, [this] {
+    add_peer();
+    result_.population.add(engine_.now(), static_cast<double>(live_count()));
+    schedule_arrival();
+  });
+}
+
+void CouponSimulator::schedule_encounter(std::size_t peer_index) {
+  const double dt = rng_.exponential(config_.encounter_rate);
+  const double when = engine_.now() + dt;
+  if (when > config_.horizon) {
+    return;
+  }
+  engine_.schedule_at(when, [this, peer_index] { do_encounter(peer_index); });
+}
+
+void CouponSimulator::do_encounter(std::size_t peer_index) {
+  CouponPeer& p = *peers_[peer_index];
+  if (p.departed) {
+    return;
+  }
+  if (live_.size() >= 2) {
+    ++result_.encounters;
+    // Uniform partner from the entire swarm — no neighbor set.
+    std::size_t partner_index = peer_index;
+    while (partner_index == peer_index) {
+      partner_index = live_[static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(live_.size()) - 1))];
+    }
+    CouponPeer& q = *peers_[partner_index];
+    if (bt::mutually_interested(p.coupons, q.coupons)) {
+      // One-for-one swap over the single connection.
+      const auto for_p = q.coupons.pieces_missing_from(p.coupons);
+      const auto for_q = p.coupons.pieces_missing_from(q.coupons);
+      MPBT_ASSERT(!for_p.empty() && !for_q.empty());
+      p.coupons.set(for_p[static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(for_p.size()) - 1))]);
+      q.coupons.set(for_q[static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(for_q.size()) - 1))]);
+    } else {
+      ++result_.failed_encounters;
+    }
+    // Departures on completion.
+    for (std::size_t idx : {peer_index, partner_index}) {
+      CouponPeer& peer = *peers_[idx];
+      if (!peer.departed && peer.coupons.all()) {
+        peer.departed = true;
+        ++result_.completed;
+        completion_times_.push_back(engine_.now() - peer.arrived);
+        // O(1) removal from the live list.
+        const std::size_t pos = live_pos_[idx];
+        const std::size_t moved = live_.back();
+        live_[pos] = moved;
+        live_pos_[moved] = pos;
+        live_.pop_back();
+        result_.population.add(engine_.now(), static_cast<double>(live_count()));
+      }
+    }
+  }
+  if (!p.departed) {
+    schedule_encounter(peer_index);
+  }
+}
+
+CouponResult CouponSimulator::run() {
+  util::throw_if_invalid(ran_, "CouponSimulator::run may only be called once per instance");
+  ran_ = true;
+
+  for (std::uint32_t i = 0; i < config_.initial_peers; ++i) {
+    add_peer();
+  }
+  result_.population.add(0.0, static_cast<double>(live_count()));
+  schedule_arrival();
+  engine_.run_until(config_.horizon);
+
+  result_.completion_time = numeric::summarize(completion_times_);
+  if (result_.population.empty() || result_.population.last_time() < config_.horizon) {
+    result_.population.add(config_.horizon, static_cast<double>(live_count()));
+  }
+  return result_;
+}
+
+}  // namespace mpbt::coupon

@@ -1,0 +1,46 @@
+#include "des/engine.hpp"
+
+#include "util/assert.hpp"
+
+namespace mpbt::des {
+
+EventHandle Engine::schedule_at(double time, EventCallback callback) {
+  util::throw_if_invalid(time < now_, "Engine::schedule_at requires time >= now()");
+  return queue_.push(time, std::move(callback));
+}
+
+EventHandle Engine::schedule_in(double delay, EventCallback callback) {
+  util::throw_if_invalid(delay < 0.0, "Engine::schedule_in requires delay >= 0");
+  return queue_.push(now_ + delay, std::move(callback));
+}
+
+bool Engine::step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  auto [time, callback] = queue_.pop();
+  MPBT_ASSERT(time >= now_);
+  now_ = time;
+  ++executed_;
+  callback();
+  return true;
+}
+
+std::uint64_t Engine::run_until(double end_time) {
+  std::uint64_t count = 0;
+  while (!queue_.empty() && queue_.next_time() <= end_time) {
+    step();
+    ++count;
+  }
+  return count;
+}
+
+std::uint64_t Engine::run(std::uint64_t max_events) {
+  std::uint64_t count = 0;
+  while (count < max_events && step()) {
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace mpbt::des

@@ -1,0 +1,52 @@
+// Discrete-event simulation engine.
+//
+// A thin sequential engine over EventQueue: schedule callbacks at absolute
+// times or relative delays, run until the queue drains or a time/step limit
+// is hit. The BitTorrent swarm and coupon simulators are built on this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "des/event_queue.hpp"
+
+namespace mpbt::des {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulation time; starts at 0.
+  double now() const { return now_; }
+
+  /// Number of events executed so far.
+  std::uint64_t events_executed() const { return executed_; }
+
+  /// Schedules at absolute time `time` (must be >= now()).
+  EventHandle schedule_at(double time, EventCallback callback);
+
+  /// Schedules `delay` time units from now (delay >= 0).
+  EventHandle schedule_in(double delay, EventCallback callback);
+
+  bool has_pending() const { return !queue_.empty(); }
+
+  /// Executes the single earliest event. Returns false when none pending.
+  bool step();
+
+  /// Runs until the queue is empty or simulation time would exceed
+  /// `end_time` (events at exactly end_time still run). Returns the number
+  /// of events executed by this call.
+  std::uint64_t run_until(double end_time);
+
+  /// Runs until the queue is empty or `max_events` more events have run.
+  std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+ private:
+  EventQueue queue_;
+  double now_ = 0.0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace mpbt::des

@@ -1,0 +1,55 @@
+#include "des/event_queue.hpp"
+
+#include "util/assert.hpp"
+
+namespace mpbt::des {
+
+void EventHandle::cancel() {
+  if (cancelled_) {
+    *cancelled_ = true;
+  }
+}
+
+bool EventHandle::active() const { return cancelled_ != nullptr && !*cancelled_; }
+
+EventHandle EventQueue::push(double time, EventCallback callback) {
+  util::throw_if_invalid(!callback, "EventQueue::push requires a callable");
+  auto cancelled = std::make_shared<bool>(false);
+  heap_.push(Entry{time, next_seq_++, std::move(callback), cancelled});
+  return EventHandle(std::move(cancelled));
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && *heap_.top().cancelled) {
+    const_cast<EventQueue*>(this)->heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+std::size_t EventQueue::size() const {
+  drop_cancelled();
+  return heap_.size();
+}
+
+double EventQueue::next_time() const {
+  drop_cancelled();
+  util::throw_if_invalid(heap_.empty(), "EventQueue::next_time on empty queue");
+  return heap_.top().time;
+}
+
+std::pair<double, EventCallback> EventQueue::pop() {
+  drop_cancelled();
+  util::throw_if_invalid(heap_.empty(), "EventQueue::pop on empty queue");
+  // priority_queue::top() returns const&; moving the callback out requires
+  // a const_cast that is safe because we pop immediately after.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  std::pair<double, EventCallback> out{top.time, std::move(top.callback)};
+  heap_.pop();
+  return out;
+}
+
+}  // namespace mpbt::des

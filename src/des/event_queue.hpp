@@ -1,0 +1,79 @@
+// Stable-order pending-event set for the discrete-event engine.
+//
+// Events are ordered by (time, sequence number) so that ties break in
+// scheduling order — a requirement for reproducible simulations. Supports
+// O(log n) push/pop and lazy cancellation via EventHandle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace mpbt::des {
+
+using EventCallback = std::function<void()>;
+
+/// Cancellation token for a scheduled event. Copyable; cancelling any copy
+/// cancels the event. A default-constructed handle refers to no event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Marks the event cancelled; a cancelled event's callback never runs.
+  /// Idempotent; safe on a default-constructed handle.
+  void cancel();
+
+  /// True if this handle refers to an event that has not been cancelled.
+  /// (The event may already have fired.)
+  bool active() const;
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class EventQueue {
+ public:
+  /// Schedules `callback` at absolute `time`. Times may repeat; FIFO among
+  /// equal times. Returns a handle for cancellation.
+  EventHandle push(double time, EventCallback callback);
+
+  bool empty() const;
+
+  /// Upper bound on the number of pending events (buried cancelled entries
+  /// are counted until they reach the top of the heap).
+  std::size_t size() const;
+
+  /// Time of the earliest non-cancelled event. Requires !empty().
+  double next_time() const;
+
+  /// Pops and returns the earliest non-cancelled event's callback along
+  /// with its time. Requires !empty().
+  std::pair<double, EventCallback> pop();
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    EventCallback callback;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace mpbt::des

@@ -1,0 +1,161 @@
+#include "efficiency/balance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numeric/logbinom.hpp"
+#include "util/assert.hpp"
+
+namespace mpbt::efficiency {
+
+void EfficiencyParams::validate() const {
+  util::throw_if_invalid(k < 1, "EfficiencyParams: k must be >= 1");
+  util::throw_if_invalid(p_r < 0.0 || p_r > 1.0, "EfficiencyParams: p_r must be in [0, 1]");
+  util::throw_if_invalid(N < 2.0, "EfficiencyParams: N must be >= 2");
+}
+
+EfficiencySolver::EfficiencySolver(EfficiencyParams params) : params_(params) {
+  params_.validate();
+  w_.resize(static_cast<std::size_t>(params_.k) + 1);
+  for (int i = 0; i <= params_.k; ++i) {
+    auto& row = w_[static_cast<std::size_t>(i)];
+    row.resize(static_cast<std::size_t>(i) + 1);
+    for (int l = 0; l <= i; ++l) {
+      // w^i_l = C(i, l) (1 - p_r)^l p_r^(i - l)  — Section 5.
+      row[static_cast<std::size_t>(l)] = numeric::binomial_pmf(i, l, 1.0 - params_.p_r);
+    }
+  }
+}
+
+double EfficiencySolver::failure_weight(int i, int l) const {
+  util::throw_if_out_of_range(i < 0 || i > params_.k, "failure_weight: i out of range");
+  util::throw_if_out_of_range(l < 0 || l > i, "failure_weight: l out of range");
+  return w_[static_cast<std::size_t>(i)][static_cast<std::size_t>(l)];
+}
+
+void EfficiencySolver::apply_downward(std::vector<double>& x) const {
+  util::throw_if_invalid(x.size() != static_cast<std::size_t>(params_.k) + 1,
+                         "apply_downward: x must have k + 1 entries");
+  // Eq. (4), evaluated simultaneously from the pre-sweep state:
+  // x_i' = x_i - x_i * sum_{l=1..i} w^i_l + sum_{l=i+1..k} w^l_{l-i} x_l.
+  const std::vector<double> old = x;
+  for (int i = 0; i <= params_.k; ++i) {
+    double out_mass = 0.0;
+    for (int l = 1; l <= i; ++l) {
+      out_mass += failure_weight(i, l);
+    }
+    double in_mass = 0.0;
+    for (int l = i + 1; l <= params_.k; ++l) {
+      in_mass += failure_weight(l, l - i) * old[static_cast<std::size_t>(l)];
+    }
+    x[static_cast<std::size_t>(i)] =
+        old[static_cast<std::size_t>(i)] * (1.0 - out_mass) + in_mass;
+  }
+}
+
+namespace {
+/// Moves at most `amount` of mass, clamped to what `from` holds; returns
+/// the amount actually moved.
+double move_mass(std::vector<double>& x, int from, int to, double amount) {
+  const double moved = std::min(amount, x[static_cast<std::size_t>(from)]);
+  if (moved <= 0.0) {
+    return 0.0;
+  }
+  x[static_cast<std::size_t>(from)] -= moved;
+  x[static_cast<std::size_t>(to)] += moved;
+  return moved;
+}
+}  // namespace
+
+void EfficiencySolver::apply_upward(std::vector<double>& x) const {
+  util::throw_if_invalid(x.size() != static_cast<std::size_t>(params_.k) + 1,
+                         "apply_upward: x must have k + 1 entries");
+  // Aggregated per-round form of Eqs. (5)-(6): every peer in class i < k
+  // attempts ONE connection per round. The partner is chosen uniformly
+  // among the other N - 1 peers (the paper's finite-N correction: a peer
+  // cannot pick itself); an attempt succeeds when the partner has an open
+  // slot (class < k), moving BOTH endpoints up one class.
+  //
+  // All flows are computed from the pre-sweep distribution (so no peer
+  // moves more than one class per round — the paper's event-level
+  // sequential iteration, applied once per peer per round). A class's
+  // total outflow (connector + chosen-as-partner) is capped at its mass,
+  // scaling both flows proportionally when the expectation exceeds it.
+  const int k = params_.k;
+  const double N = params_.N;
+  const std::vector<double> pre = x;
+
+  // Attempting mass and partner-acceptance probability from pre-sweep.
+  double attempting_total = 0.0;
+  for (int l = 0; l < k; ++l) {
+    attempting_total += pre[static_cast<std::size_t>(l)];
+  }
+  // Finite-N open-slot probability: a connector cannot pick itself, which
+  // removes one open-slot peer from its own pool.
+  const double open_mass = attempting_total;
+  const double success =
+      std::clamp((open_mass * N - 1.0) / (N - 1.0), 0.0, 1.0);
+
+  std::vector<double> outflow(static_cast<std::size_t>(k) + 1, 0.0);
+  for (int l = 0; l < k; ++l) {
+    const double mass = pre[static_cast<std::size_t>(l)];
+    if (mass <= 0.0) {
+      continue;
+    }
+    const double connector_out = mass * success;
+    // Chosen-as-partner flow: attempts distribute uniformly over peers;
+    // only open-slot peers accept, so class l (< k) absorbs a share
+    // proportional to its mass.
+    const double partner_out = attempting_total * mass;
+    outflow[static_cast<std::size_t>(l)] = std::min(connector_out + partner_out, mass);
+  }
+  for (int l = 0; l < k; ++l) {
+    move_mass(x, l, l + 1, outflow[static_cast<std::size_t>(l)]);
+  }
+}
+
+double EfficiencySolver::efficiency(const std::vector<double>& x) const {
+  util::throw_if_invalid(x.size() != static_cast<std::size_t>(params_.k) + 1,
+                         "efficiency: x must have k + 1 entries");
+  double eta = 0.0;
+  for (int i = 1; i <= params_.k; ++i) {
+    eta += static_cast<double>(i) * x[static_cast<std::size_t>(i)];
+  }
+  return eta / static_cast<double>(params_.k);
+}
+
+EfficiencyResult EfficiencySolver::solve(std::size_t max_iterations, double tolerance) const {
+  EfficiencyResult result;
+  result.x.assign(static_cast<std::size_t>(params_.k) + 1,
+                  1.0 / static_cast<double>(params_.k + 1));
+  std::vector<double> prev;
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    prev = result.x;
+    apply_downward(result.x);
+    apply_upward(result.x);
+    // Guard against drift: the sweeps conserve mass analytically, but
+    // renormalize to keep rounding from accumulating over many iterations.
+    double total = 0.0;
+    for (double v : result.x) {
+      total += v;
+    }
+    MPBT_ASSERT(total > 0.0);
+    for (double& v : result.x) {
+      v /= total;
+    }
+    double max_change = 0.0;
+    for (std::size_t c = 0; c < result.x.size(); ++c) {
+      max_change = std::max(max_change, std::abs(result.x[c] - prev[c]));
+    }
+    result.iterations = iter + 1;
+    result.residual = max_change;
+    if (max_change <= tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.eta = efficiency(result.x);
+  return result;
+}
+
+}  // namespace mpbt::efficiency

@@ -1,0 +1,71 @@
+// The efficiency model of Section 5.
+//
+// A mean-field migration chain over connection-count classes x_0..x_k:
+// downward moves are connection failures (Eq. 4, binomial with the
+// re-encounter probability p_r), upward moves are pairwise connection
+// establishments between peers with open slots (Eqs. 5–6, with the paper's
+// finite-N corrections). Iterating the balance equations — downward sweep,
+// then upward updates in increasing class order — converges to the
+// equilibrium distribution; the paper notes that this update order makes
+// the resulting efficiency an *upper bound*.
+//
+// Efficiency: η = (1/k) · Σ_i i · x_i.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mpbt::efficiency {
+
+struct EfficiencyParams {
+  /// k — maximum simultaneous connections.
+  int k = 7;
+  /// p_r — probability an established connection survives a round.
+  double p_r = 0.7;
+  /// N — number of peers (enters the finite-N corrections of Eqs. 5–6).
+  double N = 1000.0;
+
+  void validate() const;
+};
+
+struct EfficiencyResult {
+  /// Equilibrium class fractions x_0..x_k (sums to 1).
+  std::vector<double> x;
+  /// η = (1/k) Σ i x_i.
+  double eta = 0.0;
+  std::size_t iterations = 0;
+  /// Max |Δx_i| at the final iteration.
+  double residual = 0.0;
+  bool converged = false;
+};
+
+class EfficiencySolver {
+ public:
+  explicit EfficiencySolver(EfficiencyParams params);
+
+  const EfficiencyParams& params() const { return params_; }
+
+  /// w^i_l — probability that exactly l of i active connections fail
+  /// (binomial with failure probability 1 - p_r).
+  double failure_weight(int i, int l) const;
+
+  /// One downward sweep (Eq. 4) applied to `x` in place.
+  void apply_downward(std::vector<double>& x) const;
+
+  /// One upward sweep (Eqs. 5–6): classes updated in increasing order.
+  void apply_upward(std::vector<double>& x) const;
+
+  /// Iterates downward+upward sweeps from the uniform distribution until
+  /// the distribution stabilizes.
+  EfficiencyResult solve(std::size_t max_iterations = 100000, double tolerance = 1e-12) const;
+
+  /// Efficiency of a given class distribution.
+  double efficiency(const std::vector<double>& x) const;
+
+ private:
+  EfficiencyParams params_;
+  /// w_[i][l] cached failure weights.
+  std::vector<std::vector<double>> w_;
+};
+
+}  // namespace mpbt::efficiency

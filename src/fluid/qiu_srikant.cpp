@@ -1,0 +1,119 @@
+#include "fluid/qiu_srikant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mpbt::fluid {
+
+void FluidParams::validate() const {
+  util::throw_if_invalid(lambda < 0.0, "FluidParams: lambda must be >= 0");
+  util::throw_if_invalid(mu <= 0.0, "FluidParams: mu must be > 0");
+  util::throw_if_invalid(c <= 0.0, "FluidParams: c must be > 0");
+  util::throw_if_invalid(theta < 0.0, "FluidParams: theta must be >= 0");
+  util::throw_if_invalid(gamma <= 0.0, "FluidParams: gamma must be > 0");
+  util::throw_if_invalid(eta < 0.0 || eta > 1.0, "FluidParams: eta must be in [0, 1]");
+}
+
+double completion_rate(const FluidParams& params, const FluidState& state) {
+  const double download_limited = params.c * state.x;
+  const double upload_limited = params.mu * (params.eta * state.x + state.y);
+  return std::min(download_limited, upload_limited);
+}
+
+namespace {
+struct Derivative {
+  double dx;
+  double dy;
+};
+
+Derivative derivative(const FluidParams& params, const FluidState& state) {
+  const double rate = completion_rate(params, state);
+  return {params.lambda - params.theta * state.x - rate, rate - params.gamma * state.y};
+}
+}  // namespace
+
+FluidState rk4_step(const FluidParams& params, const FluidState& state, double dt) {
+  util::throw_if_invalid(dt <= 0.0, "rk4_step requires dt > 0");
+  const Derivative k1 = derivative(params, state);
+  const FluidState s2{state.x + 0.5 * dt * k1.dx, state.y + 0.5 * dt * k1.dy};
+  const Derivative k2 = derivative(params, s2);
+  const FluidState s3{state.x + 0.5 * dt * k2.dx, state.y + 0.5 * dt * k2.dy};
+  const Derivative k3 = derivative(params, s3);
+  const FluidState s4{state.x + dt * k3.dx, state.y + dt * k3.dy};
+  const Derivative k4 = derivative(params, s4);
+  FluidState next;
+  next.x = state.x + dt / 6.0 * (k1.dx + 2.0 * k2.dx + 2.0 * k3.dx + k4.dx);
+  next.y = state.y + dt / 6.0 * (k1.dy + 2.0 * k2.dy + 2.0 * k3.dy + k4.dy);
+  next.x = std::max(next.x, 0.0);
+  next.y = std::max(next.y, 0.0);
+  return next;
+}
+
+FluidTrajectory integrate(const FluidParams& params, FluidState initial, double horizon,
+                          double dt, std::size_t sample_every) {
+  params.validate();
+  util::throw_if_invalid(horizon <= 0.0, "integrate requires horizon > 0");
+  util::throw_if_invalid(dt <= 0.0, "integrate requires dt > 0");
+  util::throw_if_invalid(sample_every == 0, "integrate requires sample_every >= 1");
+
+  FluidTrajectory trajectory;
+  FluidState state = initial;
+  trajectory.leechers.add(0.0, state.x);
+  trajectory.seeds.add(0.0, state.y);
+  const auto steps = static_cast<std::size_t>(std::ceil(horizon / dt));
+  for (std::size_t step = 1; step <= steps; ++step) {
+    state = rk4_step(params, state, dt);
+    if (step % sample_every == 0 || step == steps) {
+      const double t = static_cast<double>(step) * dt;
+      trajectory.leechers.add(t, state.x);
+      trajectory.seeds.add(t, state.y);
+    }
+  }
+  trajectory.final_state = state;
+  return trajectory;
+}
+
+FluidState steady_state(const FluidParams& params) {
+  params.validate();
+  // Candidate 1: download-constrained (c x is the bottleneck).
+  // lambda - theta x - c x = 0.
+  FluidState download_constrained;
+  download_constrained.x = params.lambda / (params.c + params.theta);
+  download_constrained.y =
+      params.c * download_constrained.x / params.gamma;  // completions feed seeds
+  const double dl_rate = params.c * download_constrained.x;
+  const double dl_upload =
+      params.mu * (params.eta * download_constrained.x + download_constrained.y);
+  if (dl_rate <= dl_upload + 1e-12) {
+    return download_constrained;
+  }
+  // Candidate 2: upload-constrained. mu(eta x + y) = lambda - theta x with
+  // y = (lambda - theta x) / gamma:
+  //   mu eta x = (lambda - theta x)(1 - mu / gamma)
+  const double factor = 1.0 - params.mu / params.gamma;
+  const double denom = params.mu * params.eta + params.theta * factor;
+  FluidState upload_constrained;
+  if (denom > 0.0 && factor > 0.0) {
+    upload_constrained.x = params.lambda * factor / denom;
+  } else {
+    // Seeds outlive the demand (gamma <= mu): capacity is effectively
+    // unbounded, so the system is download-constrained after all.
+    return download_constrained;
+  }
+  upload_constrained.y =
+      (params.lambda - params.theta * upload_constrained.x) / params.gamma;
+  return upload_constrained;
+}
+
+double steady_state_download_time(const FluidParams& params) {
+  const FluidState eq = steady_state(params);
+  if (params.lambda <= 0.0) {
+    return 0.0;
+  }
+  // Little's law over the leecher population.
+  return eq.x / params.lambda;
+}
+
+}  // namespace mpbt::fluid

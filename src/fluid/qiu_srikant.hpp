@@ -1,0 +1,67 @@
+// The Qiu–Srikant fluid model of BitTorrent-like networks (SIGCOMM 2004)
+// — reference [9] of the paper.
+//
+// The paper's Section 2.2 contrasts its protocol-level Markov model with
+// fluid models, which "hide protocol dynamics and instead rely on specific
+// input parameters". This module implements the classic fluid ODE both as
+// a baseline and to let benches show what the multiphased model adds
+// (phases, potential-set dynamics) that aggregate fluid state cannot.
+//
+// State: x(t) = leechers, y(t) = seeds. Dynamics:
+//   dx/dt = lambda - theta x - min{ c x, mu (eta x + y) }
+//   dy/dt = min{ c x, mu (eta x + y) } - gamma y
+// with lambda the arrival rate, theta the abort rate, c the download
+// capacity, mu the upload capacity, eta the sharing effectiveness, and
+// gamma the seed departure rate (all per file unit).
+#pragma once
+
+#include <vector>
+
+#include "numeric/timeseries.hpp"
+
+namespace mpbt::fluid {
+
+struct FluidParams {
+  double lambda = 2.0;  ///< peer arrival rate
+  double mu = 1.0;      ///< upload capacity (files per unit time)
+  double c = 2.0;       ///< download capacity (files per unit time)
+  double theta = 0.0;   ///< leecher abort rate
+  double gamma = 0.5;   ///< seed departure rate
+  double eta = 0.9;     ///< sharing effectiveness in [0, 1]
+
+  void validate() const;
+};
+
+struct FluidState {
+  double x = 0.0;  ///< leechers
+  double y = 0.0;  ///< seeds
+};
+
+/// Instantaneous download completion rate min{c x, mu (eta x + y)}.
+double completion_rate(const FluidParams& params, const FluidState& state);
+
+/// One RK4 step of size dt; negative populations are clamped to 0.
+FluidState rk4_step(const FluidParams& params, const FluidState& state, double dt);
+
+struct FluidTrajectory {
+  numeric::TimeSeries leechers;
+  numeric::TimeSeries seeds;
+  FluidState final_state;
+};
+
+/// Integrates from `initial` over [0, horizon] with step dt, sampling
+/// every `sample_every` steps. Requires horizon > 0, dt > 0.
+FluidTrajectory integrate(const FluidParams& params, FluidState initial, double horizon,
+                          double dt = 0.01, std::size_t sample_every = 10);
+
+/// Closed-form steady state (Qiu–Srikant Section 3.1), valid when the
+/// system is stable (gamma, mu, lambda positive). Returns the equilibrium
+/// (x*, y*).
+FluidState steady_state(const FluidParams& params);
+
+/// Average download time in steady state via Little's law:
+/// T = x* / (lambda (1 - theta-induced loss)). With theta = 0 this is
+/// x* / lambda.
+double steady_state_download_time(const FluidParams& params);
+
+}  // namespace mpbt::fluid

@@ -1,0 +1,105 @@
+#include "markov/absorbing.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace mpbt::markov {
+
+std::vector<bool> absorbing_states(const SparseChain& chain) {
+  std::vector<bool> out(chain.num_states(), false);
+  for (std::size_t s = 0; s < chain.num_states(); ++s) {
+    out[s] = chain.is_absorbing(s);
+  }
+  return out;
+}
+
+AbsorptionResult expected_steps_to_absorption(const SparseChain& chain,
+                                              std::size_t max_iterations, double tolerance) {
+  util::throw_if_invalid(!chain.finalized(), "expected_steps_to_absorption: finalize first");
+  const std::size_t n = chain.num_states();
+  const std::vector<bool> absorbing = absorbing_states(chain);
+
+  AbsorptionResult result;
+  result.expected_steps.assign(n, 0.0);
+  auto& t = result.expected_steps;
+
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    double max_change = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (absorbing[s]) {
+        continue;
+      }
+      // t(s) = 1 + sum_j P(s,j) t(j); the self-loop term is moved to the
+      // left-hand side: (1 - P(s,s)) t(s) = 1 + sum_{j != s} P(s,j) t(j).
+      double self_p = 0.0;
+      double rhs = 1.0;
+      for (const Transition& tr : chain.row(s)) {
+        if (tr.target == s) {
+          self_p = tr.probability;
+        } else {
+          rhs += tr.probability * t[tr.target];
+        }
+      }
+      double updated;
+      if (self_p >= 1.0 - 1e-15) {
+        updated = std::numeric_limits<double>::infinity();
+      } else {
+        updated = rhs / (1.0 - self_p);
+      }
+      const double change = std::abs(updated - t[s]);
+      if (std::isfinite(change)) {
+        max_change = std::max(max_change, change);
+      } else if (std::isfinite(t[s]) || std::isfinite(updated)) {
+        max_change = std::numeric_limits<double>::infinity();
+      }
+      t[s] = updated;
+    }
+    result.iterations = iter + 1;
+    result.residual = max_change;
+    if (max_change <= tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+std::vector<double> hitting_probability(const SparseChain& chain, std::size_t target,
+                                        std::size_t max_iterations, double tolerance) {
+  util::throw_if_invalid(!chain.finalized(), "hitting_probability: finalize first");
+  util::throw_if_out_of_range(target >= chain.num_states(),
+                              "hitting_probability: target out of range");
+  const std::size_t n = chain.num_states();
+  std::vector<double> h(n, 0.0);
+  h[target] = 1.0;
+  const std::vector<bool> absorbing = absorbing_states(chain);
+
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    double max_change = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (s == target || absorbing[s]) {
+        continue;
+      }
+      double self_p = 0.0;
+      double rhs = 0.0;
+      for (const Transition& tr : chain.row(s)) {
+        if (tr.target == s) {
+          self_p = tr.probability;
+        } else {
+          rhs += tr.probability * h[tr.target];
+        }
+      }
+      const double updated = (self_p >= 1.0 - 1e-15) ? 0.0 : rhs / (1.0 - self_p);
+      max_change = std::max(max_change, std::abs(updated - h[s]));
+      h[s] = updated;
+    }
+    if (max_change <= tolerance) {
+      break;
+    }
+  }
+  return h;
+}
+
+}  // namespace mpbt::markov

@@ -1,0 +1,45 @@
+// Analysis of absorbing Markov chains.
+//
+// The paper's download-evolution chain is absorbing (state (0, B, 0)); the
+// quantities of interest — expected steps to absorption, absorption
+// probabilities per absorbing state — are computed here with sparse
+// Gauss-Seidel sweeps (the chains are large but very sparse, and their
+// structure makes the sweeps converge quickly).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "markov/sparse_chain.hpp"
+
+namespace mpbt::markov {
+
+/// Classifies states: true where the state is absorbing.
+std::vector<bool> absorbing_states(const SparseChain& chain);
+
+struct AbsorptionResult {
+  /// expected_steps[s] = E[steps to absorption | start at s];
+  /// 0 for absorbing states; +inf where absorption is not a.s. reachable.
+  std::vector<double> expected_steps;
+  /// Number of Gauss-Seidel sweeps performed.
+  std::size_t iterations = 0;
+  /// Max residual at the final sweep.
+  double residual = 0.0;
+  bool converged = false;
+};
+
+/// Solves t = 1 + Q t for expected absorption times with Gauss-Seidel.
+/// `max_iterations` bounds work; `tolerance` is the max-change stopping
+/// criterion. Requires a finalized chain.
+AbsorptionResult expected_steps_to_absorption(const SparseChain& chain,
+                                              std::size_t max_iterations = 100000,
+                                              double tolerance = 1e-10);
+
+/// Probability, for each start state, of ever reaching `target` (which
+/// must be a valid state). Solved by Gauss-Seidel on h = P h with
+/// h(target) = 1 pinned.
+std::vector<double> hitting_probability(const SparseChain& chain, std::size_t target,
+                                        std::size_t max_iterations = 100000,
+                                        double tolerance = 1e-12);
+
+}  // namespace mpbt::markov

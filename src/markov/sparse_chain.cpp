@@ -1,0 +1,116 @@
+#include "markov/sparse_chain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace mpbt::markov {
+
+SparseChain::SparseChain(std::size_t num_states) : rows_(num_states) {
+  util::throw_if_invalid(num_states == 0, "SparseChain requires at least one state");
+}
+
+void SparseChain::add_transition(std::size_t from, std::size_t to, double p) {
+  util::throw_if_invalid(finalized_, "SparseChain::add_transition after finalize");
+  util::throw_if_out_of_range(from >= rows_.size() || to >= rows_.size(),
+                              "SparseChain transition index out of range");
+  util::throw_if_invalid(p < 0.0 || !std::isfinite(p),
+                         "SparseChain transition probability must be finite and >= 0");
+  if (p == 0.0) {
+    return;
+  }
+  auto& row = rows_[from];
+  for (Transition& t : row) {
+    if (t.target == to) {
+      t.probability += p;
+      return;
+    }
+  }
+  row.push_back({to, p});
+}
+
+void SparseChain::finalize(double tolerance) {
+  util::throw_if_invalid(finalized_, "SparseChain::finalize called twice");
+  for (std::size_t s = 0; s < rows_.size(); ++s) {
+    auto& row = rows_[s];
+    if (row.empty()) {
+      row.push_back({s, 1.0});
+      continue;
+    }
+    double sum = 0.0;
+    for (const Transition& t : row) {
+      sum += t.probability;
+    }
+    if (std::abs(sum - 1.0) > tolerance) {
+      throw std::invalid_argument("SparseChain row " + std::to_string(s) +
+                                  " sums to " + std::to_string(sum) + ", expected 1");
+    }
+    for (Transition& t : row) {
+      t.probability /= sum;
+    }
+    std::sort(row.begin(), row.end(),
+              [](const Transition& a, const Transition& b) { return a.target < b.target; });
+  }
+  finalized_ = true;
+}
+
+const std::vector<Transition>& SparseChain::row(std::size_t state) const {
+  util::throw_if_out_of_range(state >= rows_.size(), "SparseChain state out of range");
+  return rows_[state];
+}
+
+double SparseChain::row_sum(std::size_t state) const {
+  double sum = 0.0;
+  for (const Transition& t : row(state)) {
+    sum += t.probability;
+  }
+  return sum;
+}
+
+bool SparseChain::is_absorbing(std::size_t state) const {
+  const auto& r = row(state);
+  return r.size() == 1 && r.front().target == state;
+}
+
+std::size_t SparseChain::step(std::size_t state, numeric::Rng& rng) const {
+  util::throw_if_invalid(!finalized_, "SparseChain::step requires finalize()");
+  const auto& r = row(state);
+  double u = rng.uniform01();
+  for (const Transition& t : r) {
+    if (u < t.probability) {
+      return t.target;
+    }
+    u -= t.probability;
+  }
+  return r.back().target;  // rounding fell off the end
+}
+
+std::vector<double> SparseChain::step_distribution(const std::vector<double>& dist) const {
+  util::throw_if_invalid(!finalized_, "SparseChain::step_distribution requires finalize()");
+  util::throw_if_invalid(dist.size() != rows_.size(),
+                         "step_distribution: distribution size mismatch");
+  std::vector<double> out(rows_.size(), 0.0);
+  for (std::size_t s = 0; s < rows_.size(); ++s) {
+    const double mass = dist[s];
+    if (mass == 0.0) {
+      continue;
+    }
+    for (const Transition& t : rows_[s]) {
+      out[t.target] += mass * t.probability;
+    }
+  }
+  return out;
+}
+
+std::size_t SparseChain::num_transitions() const {
+  std::size_t n = 0;
+  for (const auto& row : rows_) {
+    n += row.size();
+  }
+  return n;
+}
+
+}  // namespace mpbt::markov

@@ -1,0 +1,63 @@
+// Sparse finite Markov chain representation.
+//
+// States are dense indices [0, n). Each row stores its nonzero transition
+// probabilities as (target, probability) pairs. Rows are validated to sum
+// to 1 (within tolerance) on `finalize()`. This is the representation both
+// the download-evolution chain (Section 3) and tests operate on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "numeric/rng.hpp"
+
+namespace mpbt::markov {
+
+struct Transition {
+  std::size_t target = 0;
+  double probability = 0.0;
+};
+
+class SparseChain {
+ public:
+  /// Creates a chain with `num_states` states and no transitions.
+  explicit SparseChain(std::size_t num_states);
+
+  std::size_t num_states() const { return rows_.size(); }
+
+  /// Adds probability mass `p` from `from` to `to`. Repeated calls with the
+  /// same (from, to) accumulate. Requires valid indices and p >= 0;
+  /// zero-probability entries are dropped.
+  void add_transition(std::size_t from, std::size_t to, double p);
+
+  /// Validates that every row sums to 1 within `tolerance` and normalizes
+  /// it exactly; throws std::invalid_argument listing the first bad row.
+  /// Rows with no entries are treated as absorbing (self-loop added).
+  void finalize(double tolerance = 1e-9);
+
+  bool finalized() const { return finalized_; }
+
+  const std::vector<Transition>& row(std::size_t state) const;
+
+  /// Sum of probabilities currently in a row (pre- or post-finalize).
+  double row_sum(std::size_t state) const;
+
+  /// True if the state's only transition is a self-loop.
+  bool is_absorbing(std::size_t state) const;
+
+  /// One random step from `state`. Requires finalized().
+  std::size_t step(std::size_t state, numeric::Rng& rng) const;
+
+  /// Advances a distribution one step: out[j] = sum_i dist[i] * P(i -> j).
+  /// Requires finalized() and dist.size() == num_states().
+  std::vector<double> step_distribution(const std::vector<double>& dist) const;
+
+  /// Total number of stored transitions.
+  std::size_t num_transitions() const;
+
+ private:
+  std::vector<std::vector<Transition>> rows_;
+  bool finalized_ = false;
+};
+
+}  // namespace mpbt::markov

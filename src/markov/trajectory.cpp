@@ -1,0 +1,65 @@
+#include "markov/trajectory.hpp"
+
+#include <cmath>
+
+#include "numeric/stats.hpp"
+#include "util/assert.hpp"
+
+namespace mpbt::markov {
+
+Trajectory sample_trajectory(const SparseChain& chain, std::size_t start, numeric::Rng& rng,
+                             std::size_t max_steps) {
+  util::throw_if_invalid(!chain.finalized(), "sample_trajectory: finalize first");
+  util::throw_if_out_of_range(start >= chain.num_states(),
+                              "sample_trajectory: start out of range");
+  Trajectory traj;
+  traj.states.push_back(start);
+  std::size_t state = start;
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    if (chain.is_absorbing(state)) {
+      traj.absorbed = true;
+      return traj;
+    }
+    state = chain.step(state, rng);
+    traj.states.push_back(state);
+  }
+  traj.absorbed = chain.is_absorbing(state);
+  return traj;
+}
+
+HittingTimeStats estimate_absorption_time(const SparseChain& chain, std::size_t start,
+                                          numeric::Rng& rng, std::size_t samples,
+                                          std::size_t max_steps) {
+  util::throw_if_invalid(samples == 0, "estimate_absorption_time requires samples >= 1");
+  numeric::RunningStats stats;
+  HittingTimeStats out;
+  out.sample_count = samples;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const Trajectory traj = sample_trajectory(chain, start, rng, max_steps);
+    if (traj.absorbed) {
+      ++out.absorbed_count;
+      stats.add(static_cast<double>(traj.states.size() - 1));
+    }
+  }
+  out.mean = stats.mean();
+  out.stddev = stats.stddev();
+  return out;
+}
+
+std::size_t walk(const SparseChain& chain, std::size_t start, numeric::Rng& rng,
+                 const std::function<void(std::size_t, std::size_t)>& visit,
+                 std::size_t max_steps) {
+  util::throw_if_invalid(!chain.finalized(), "walk: finalize first");
+  util::throw_if_invalid(!visit, "walk requires a visit callback");
+  std::size_t state = start;
+  visit(0, state);
+  std::size_t step = 0;
+  while (step < max_steps && !chain.is_absorbing(state)) {
+    state = chain.step(state, rng);
+    ++step;
+    visit(step, state);
+  }
+  return step;
+}
+
+}  // namespace mpbt::markov

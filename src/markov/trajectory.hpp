@@ -1,0 +1,46 @@
+// Monte Carlo trajectory sampling over a SparseChain.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "markov/sparse_chain.hpp"
+#include "numeric/rng.hpp"
+
+namespace mpbt::markov {
+
+struct Trajectory {
+  /// Visited states, beginning with the start state.
+  std::vector<std::size_t> states;
+  /// True if the walk ended in an absorbing state (vs hitting the cap).
+  bool absorbed = false;
+};
+
+/// Samples a single trajectory from `start`, stopping at an absorbing state
+/// or after `max_steps` transitions.
+Trajectory sample_trajectory(const SparseChain& chain, std::size_t start,
+                             numeric::Rng& rng, std::size_t max_steps = 1000000);
+
+struct HittingTimeStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::size_t absorbed_count = 0;
+  std::size_t sample_count = 0;
+};
+
+/// Estimates the absorption time from `start` over `samples` runs.
+/// Runs that hit the step cap count toward sample_count but not
+/// absorbed_count and are excluded from the mean.
+HittingTimeStats estimate_absorption_time(const SparseChain& chain, std::size_t start,
+                                          numeric::Rng& rng, std::size_t samples,
+                                          std::size_t max_steps = 1000000);
+
+/// Walks one trajectory calling `visit(step, state)` at every state
+/// (including the start at step 0). Stops on absorption or the cap;
+/// returns the number of transitions taken.
+std::size_t walk(const SparseChain& chain, std::size_t start, numeric::Rng& rng,
+                 const std::function<void(std::size_t, std::size_t)>& visit,
+                 std::size_t max_steps = 1000000);
+
+}  // namespace mpbt::markov

@@ -1,0 +1,272 @@
+#include "model/download_model.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace mpbt::model {
+
+namespace {
+
+/// Collapsed distribution cell index: (n, b, z) with z = 1{i > 0}.
+struct Collapsed {
+  int k;
+  int B;
+
+  std::size_t size() const {
+    return static_cast<std::size_t>(k + 1) * static_cast<std::size_t>(B + 1) * 2;
+  }
+  std::size_t idx(int n, int b, int z) const {
+    return (static_cast<std::size_t>(n) * static_cast<std::size_t>(B + 1) +
+            static_cast<std::size_t>(b)) *
+               2 +
+           static_cast<std::size_t>(z);
+  }
+};
+
+double pmf_mean(const std::vector<double>& pmf) {
+  double m = 0.0;
+  for (std::size_t v = 0; v < pmf.size(); ++v) {
+    m += static_cast<double>(v) * pmf[v];
+  }
+  return m;
+}
+
+}  // namespace
+
+EvolutionResult compute_evolution(const ModelParams& params, std::size_t max_steps,
+                                  double epsilon) {
+  const TransitionKernel kernel(params);
+  const ModelParams& p = kernel.params();
+  const Collapsed cs{p.k, p.B};
+
+  std::vector<double> dist(cs.size(), 0.0);
+  dist[cs.idx(0, 0, 0)] = 1.0;  // start in (0, 0, 0)
+  double absorbed = 0.0;
+
+  EvolutionResult result;
+  const auto bp1 = static_cast<std::size_t>(p.B) + 1;
+  result.expected_timeline.assign(bp1, 0.0);
+  std::vector<double> potential_sum(bp1, 0.0);
+  std::vector<double> potential_weight(bp1, 0.0);
+  std::vector<double> connection_sum(bp1, 0.0);
+  std::vector<double> connection_weight(bp1, 0.0);
+
+  // Pre-extract g pmfs that do not depend on b:
+  // starving rows handled inline; X1/X2 come from the kernel.
+  std::vector<double> mass_by_b(bp1, 0.0);
+
+  std::size_t step = 0;
+  for (; step < max_steps; ++step) {
+    // Timeline accumulation: E[T_x] += P(b_t < x) for every x in [1, B].
+    std::fill(mass_by_b.begin(), mass_by_b.end(), 0.0);
+    for (int n = 0; n <= p.k; ++n) {
+      for (int b = 0; b <= p.B; ++b) {
+        mass_by_b[static_cast<std::size_t>(b)] +=
+            dist[cs.idx(n, b, 0)] + dist[cs.idx(n, b, 1)];
+      }
+    }
+    mass_by_b[static_cast<std::size_t>(p.B)] += absorbed;
+    double below = 0.0;
+    for (int x = 1; x <= p.B; ++x) {
+      below += mass_by_b[static_cast<std::size_t>(x) - 1];
+      result.expected_timeline[static_cast<std::size_t>(x)] += below;
+    }
+
+    // Phase occupancy.
+    for (int n = 0; n <= p.k; ++n) {
+      for (int b = 0; b <= p.B; ++b) {
+        for (int z = 0; z <= 1; ++z) {
+          const double m = dist[cs.idx(n, b, z)];
+          if (m == 0.0) {
+            continue;
+          }
+          switch (classify_phase(n, b, z, p.B)) {
+            case Phase::Bootstrap:
+              result.bootstrap_rounds += m;
+              break;
+            case Phase::EfficientDownload:
+              result.efficient_rounds += m;
+              break;
+            case Phase::LastDownload:
+              result.last_rounds += m;
+              break;
+            case Phase::Done:
+              break;
+          }
+        }
+      }
+    }
+
+    if (absorbed >= 1.0 - epsilon) {
+      break;
+    }
+
+    // One exact transition step.
+    std::vector<double> next(cs.size(), 0.0);
+    for (int n = 0; n <= p.k; ++n) {
+      for (int b = 0; b <= p.B; ++b) {
+        for (int z = 0; z <= 1; ++z) {
+          const double m = dist[cs.idx(n, b, z)];
+          if (m == 0.0) {
+            continue;
+          }
+          // g: the pmf over i' depends on (n, b) and the indicator z only.
+          // A representative pre-transition i (0 or 1) selects the row.
+          // Computed once; f's branches (the seeding extension can add an
+          // extra piece) share it.
+          const std::vector<double> g = kernel.potential_pmf(n, b, z);
+          for (const auto& [b2, fp] : kernel.next_b_pmf(n, b)) {
+            const double branch_mass = m * fp;
+            if (branch_mass == 0.0) {
+              continue;
+            }
+            if (b2 >= p.B) {
+              absorbed += branch_mass;
+              continue;
+            }
+            for (int i2 = 0; i2 <= p.s; ++i2) {
+              const double gp = g[static_cast<std::size_t>(i2)];
+              if (gp < 1e-15) {
+                continue;
+              }
+              const double arriving = branch_mass * gp;
+              potential_sum[static_cast<std::size_t>(b2)] +=
+                  arriving * static_cast<double>(i2);
+              potential_weight[static_cast<std::size_t>(b2)] += arriving;
+              const std::vector<double> h = kernel.connection_pmf(n, b, i2);
+              const int z2 = i2 > 0 ? 1 : 0;
+              for (int n2 = 0; n2 <= p.k; ++n2) {
+                const double hp = h[static_cast<std::size_t>(n2)];
+                if (hp == 0.0) {
+                  continue;
+                }
+                next[cs.idx(n2, b2, z2)] += arriving * hp;
+              }
+              connection_sum[static_cast<std::size_t>(b2)] += arriving * pmf_mean(h);
+              connection_weight[static_cast<std::size_t>(b2)] += arriving;
+            }
+          }
+        }
+      }
+    }
+    dist.swap(next);
+  }
+
+  result.steps_taken = step;
+  result.absorbed_mass = absorbed;
+  result.expected_completion = result.expected_timeline[static_cast<std::size_t>(p.B)];
+
+  result.expected_potential.assign(bp1, -1.0);
+  result.expected_connections.assign(bp1, -1.0);
+  for (std::size_t b = 0; b < bp1; ++b) {
+    if (potential_weight[b] > 0.0) {
+      result.expected_potential[b] = potential_sum[b] / potential_weight[b];
+    }
+    if (connection_weight[b] > 0.0) {
+      result.expected_connections[b] = connection_sum[b] / connection_weight[b];
+    }
+  }
+  return result;
+}
+
+SampledDownload sample_download(const TransitionKernel& kernel, numeric::Rng& rng,
+                                std::size_t max_steps) {
+  const ModelParams& p = kernel.params();
+  SampledDownload out;
+  int n = 0;
+  int b = 0;
+  int i = 0;
+  out.points.push_back({n, b, i, classify_phase(n, b, i, p.B)});
+
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    switch (out.points.back().phase) {
+      case Phase::Bootstrap:
+        ++out.bootstrap_steps;
+        break;
+      case Phase::EfficientDownload:
+        ++out.efficient_steps;
+        break;
+      case Phase::LastDownload:
+        ++out.last_steps;
+        break;
+      case Phase::Done:
+        out.completed = true;
+        return out;
+    }
+
+    int b2 = kernel.next_b(n, b);
+    if (b2 < p.B && b > 0 && p.seed_boost > 0.0 && rng.bernoulli(p.seed_boost)) {
+      b2 = std::min(b2 + 1, p.B);  // a seed's tit-for-tat-free upload
+    }
+    if (b2 >= p.B) {
+      n = 0;
+      b = p.B;
+      i = 0;
+      out.points.push_back({n, b, i, Phase::Done});
+      out.completed = true;
+      return out;
+    }
+
+    // g: sample i'.
+    int i2;
+    const int m = b + n;
+    if (m == 0) {
+      i2 = rng.binomial(p.s, p.p_init);
+    } else if (i > 0) {
+      i2 = rng.binomial(p.s, kernel.trading_power()[static_cast<std::size_t>(
+                                  std::min(m, p.B))]);
+    } else {
+      const double refresh = (m == 1) ? p.alpha : p.gamma;
+      i2 = rng.bernoulli(refresh) ? 1 : 0;
+    }
+
+    // h: sample n'.
+    int n2;
+    if (m == 0) {
+      n2 = 0;
+    } else {
+      const int max_new = std::max(std::min(i2, p.k) - n, 0);
+      n2 = rng.binomial(n, p.p_r) + rng.binomial(max_new, p.p_n);
+    }
+
+    n = n2;
+    b = b2;
+    i = i2;
+    out.points.push_back({n, b, i, classify_phase(n, b, i, p.B)});
+  }
+  return out;
+}
+
+std::vector<double> monte_carlo_timeline(const TransitionKernel& kernel, numeric::Rng& rng,
+                                         std::size_t samples, std::size_t max_steps) {
+  util::throw_if_invalid(samples == 0, "monte_carlo_timeline requires samples >= 1");
+  const int B = kernel.params().B;
+  const auto bp1 = static_cast<std::size_t>(B) + 1;
+  std::vector<double> sum(bp1, 0.0);
+  std::vector<std::size_t> count(bp1, 0);
+  for (std::size_t run = 0; run < samples; ++run) {
+    const SampledDownload d = sample_download(kernel, rng, max_steps);
+    // First step at which b >= x.
+    std::size_t t = 0;
+    int reached = 0;
+    for (const TrajectoryPoint& pt : d.points) {
+      while (reached < pt.b) {
+        ++reached;
+        sum[static_cast<std::size_t>(reached)] += static_cast<double>(t);
+        ++count[static_cast<std::size_t>(reached)];
+      }
+      ++t;
+    }
+  }
+  std::vector<double> out(bp1, -1.0);
+  out[0] = 0.0;
+  for (std::size_t x = 1; x < bp1; ++x) {
+    if (count[x] > 0) {
+      out[x] = sum[x] / static_cast<double>(count[x]);
+    }
+  }
+  return out;
+}
+
+}  // namespace mpbt::model

@@ -1,0 +1,81 @@
+// Exact evolution of the download model and Monte Carlo trajectory
+// sampling (Section 3, used for Figures 1a/1b).
+//
+// The full chain over (n, b, i) is too large to materialize at realistic
+// parameters (B = 200, s = 40..50), but g depends on i only through the
+// indicator {i = 0}, so the distribution can be stepped exactly over the
+// collapsed state (n, b, 1{i > 0}) — (k+1)(B+1)·2 cells — while still
+// accounting E[i'] and the full n' mixture at every step. This gives exact
+// expected timelines and potential-set profiles in milliseconds.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/kernel.hpp"
+#include "model/phase.hpp"
+#include "numeric/rng.hpp"
+
+namespace mpbt::model {
+
+struct EvolutionResult {
+  /// expected_timeline[x] = E[first step at which the peer holds >= x
+  /// pieces]; index 0 is 0. Exact when absorbed_mass ~ 1, otherwise a
+  /// lower bound.
+  std::vector<double> expected_timeline;
+
+  /// expected_potential[b] = average potential-set size observed on
+  /// arrival at piece-count b (per step-visit, matching how the simulator
+  /// samples Fig. 1a); -1 when b was never visited.
+  std::vector<double> expected_potential;
+
+  /// expected_connections[b] = average post-transition connection count
+  /// observed at piece-count b; -1 when never visited.
+  std::vector<double> expected_connections;
+
+  /// Expected rounds spent in each phase.
+  double bootstrap_rounds = 0.0;
+  double efficient_rounds = 0.0;
+  double last_rounds = 0.0;
+
+  /// E[rounds to download all B pieces] (= expected_timeline[B]).
+  double expected_completion = 0.0;
+
+  /// Probability mass absorbed within `steps_taken` steps.
+  double absorbed_mass = 0.0;
+  std::size_t steps_taken = 0;
+};
+
+/// Steps the exact collapsed distribution until `1 - epsilon` of the mass
+/// is absorbed or `max_steps` is reached.
+EvolutionResult compute_evolution(const ModelParams& params, std::size_t max_steps = 100000,
+                                  double epsilon = 1e-9);
+
+/// One sampled trajectory of the full (n, b, i) chain.
+struct TrajectoryPoint {
+  int n = 0;
+  int b = 0;
+  int i = 0;
+  Phase phase = Phase::Bootstrap;
+};
+
+struct SampledDownload {
+  std::vector<TrajectoryPoint> points;  // points[t] = state after t steps
+  bool completed = false;
+  /// Steps spent in each phase.
+  std::size_t bootstrap_steps = 0;
+  std::size_t efficient_steps = 0;
+  std::size_t last_steps = 0;
+};
+
+/// Samples one peer download through the f/g/h kernel.
+SampledDownload sample_download(const TransitionKernel& kernel, numeric::Rng& rng,
+                                std::size_t max_steps = 100000);
+
+/// Convenience: averaged timeline over `samples` Monte Carlo downloads;
+/// out[x] = mean first step holding >= x pieces (only over completed
+/// samples). Entries never reached are -1.
+std::vector<double> monte_carlo_timeline(const TransitionKernel& kernel, numeric::Rng& rng,
+                                         std::size_t samples, std::size_t max_steps = 100000);
+
+}  // namespace mpbt::model

@@ -1,0 +1,191 @@
+#include "model/ensemble.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "model/kernel.hpp"
+#include "util/assert.hpp"
+
+namespace mpbt::model {
+
+void EnsembleParams::validate() const {
+  ModelParams copy = peer;
+  copy.validate_and_normalize();
+  util::throw_if_invalid(arrival_rate < 0.0, "EnsembleParams: arrival_rate must be >= 0");
+  util::throw_if_invalid(initial_population < 0.0,
+                         "EnsembleParams: initial_population must be >= 0");
+  util::throw_if_invalid(rounds == 0, "EnsembleParams: rounds must be >= 1");
+  util::throw_if_invalid(
+      !initial_phi.empty() && initial_phi.size() != static_cast<std::size_t>(peer.B) + 1,
+      "EnsembleParams: initial_phi must have B + 1 entries");
+}
+
+namespace {
+
+struct CollapsedIndex {
+  int k;
+  int B;
+  std::size_t size() const {
+    return static_cast<std::size_t>(k + 1) * static_cast<std::size_t>(B + 1) * 2;
+  }
+  std::size_t idx(int n, int b, int z) const {
+    return (static_cast<std::size_t>(n) * static_cast<std::size_t>(B + 1) +
+            static_cast<std::size_t>(b)) *
+               2 +
+           static_cast<std::size_t>(z);
+  }
+};
+
+}  // namespace
+
+EnsembleResult run_ensemble(const EnsembleParams& params) {
+  params.validate();
+  ModelParams peer = params.peer;
+  peer.validate_and_normalize();
+  const CollapsedIndex cs{peer.k, peer.B};
+
+  // Expected peer counts per collapsed state (not normalized).
+  std::vector<double> mass(cs.size(), 0.0);
+  if (params.initial_population > 0.0) {
+    if (params.initial_phi.empty()) {
+      mass[cs.idx(0, 0, 0)] = params.initial_population;
+    } else {
+      double total = 0.0;
+      for (double w : params.initial_phi) {
+        util::throw_if_invalid(w < 0.0, "EnsembleParams: initial_phi must be >= 0");
+        total += w;
+      }
+      util::throw_if_invalid(total <= 0.0, "EnsembleParams: initial_phi must have mass");
+      for (int b = 0; b <= peer.B; ++b) {
+        const double share =
+            params.initial_phi[static_cast<std::size_t>(b)] / total * params.initial_population;
+        if (share <= 0.0) {
+          continue;
+        }
+        // Piece-holding initial peers start unconnected but tradable.
+        mass[cs.idx(0, b, b > 0 ? 1 : 0)] += share;
+      }
+    }
+  }
+
+  EnsembleResult result;
+  std::unique_ptr<TransitionKernel> kernel;
+
+  for (std::size_t round = 0; round < params.rounds; ++round) {
+    // Current population and piece-count distribution.
+    double population = 0.0;
+    std::vector<double> phi(static_cast<std::size_t>(peer.B) + 1, 0.0);
+    double piece_mass = 0.0;
+    for (int n = 0; n <= peer.k; ++n) {
+      for (int b = 0; b <= peer.B; ++b) {
+        const double m = mass[cs.idx(n, b, 0)] + mass[cs.idx(n, b, 1)];
+        population += m;
+        phi[static_cast<std::size_t>(b)] += m;
+        piece_mass += m * static_cast<double>(b);
+      }
+    }
+    result.population.add(static_cast<double>(round), population);
+    result.mean_pieces.add(static_cast<double>(round),
+                           population > 0.0 ? piece_mass / population : 0.0);
+
+    // Rebuild the kernel against the current phi (the transient coupling).
+    if (kernel == nullptr || params.couple_phi) {
+      ModelParams stepped = peer;
+      if (params.couple_phi && population > 1e-9) {
+        // phi over piece counts 1..B-1 (trading partners); peers at 0 have
+        // nothing to offer and completed peers have left.
+        std::vector<double> traded(phi);
+        traded[0] = 0.0;
+        traded[static_cast<std::size_t>(peer.B)] = 0.0;
+        double traded_total = 0.0;
+        for (double w : traded) {
+          traded_total += w;
+        }
+        if (traded_total > 1e-12) {
+          stepped.phi = traded;
+        }
+      }
+      kernel = std::make_unique<TransitionKernel>(stepped);
+    }
+
+    // One transition of every peer.
+    std::vector<double> next(cs.size(), 0.0);
+    double completed = 0.0;
+    for (int n = 0; n <= peer.k; ++n) {
+      for (int b = 0; b <= peer.B; ++b) {
+        for (int z = 0; z <= 1; ++z) {
+          const double m = mass[cs.idx(n, b, z)];
+          if (m <= 0.0) {
+            continue;
+          }
+          const std::vector<double> g = kernel->potential_pmf(n, b, z);
+          for (const auto& [b2, fp] : kernel->next_b_pmf(n, b)) {
+            const double branch = m * fp;
+            if (branch <= 0.0) {
+              continue;
+            }
+            if (b2 >= peer.B) {
+              completed += branch;
+              continue;
+            }
+            for (int i2 = 0; i2 <= peer.s; ++i2) {
+              const double gp = g[static_cast<std::size_t>(i2)];
+              if (gp < 1e-14) {
+                continue;
+              }
+              const std::vector<double> h = kernel->connection_pmf(n, b, i2);
+              const int z2 = i2 > 0 ? 1 : 0;
+              for (int n2 = 0; n2 <= peer.k; ++n2) {
+                const double hp = h[static_cast<std::size_t>(n2)];
+                if (hp > 0.0) {
+                  next[cs.idx(n2, b2, z2)] += branch * gp * hp;
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+    // Arrivals join with nothing.
+    next[cs.idx(0, 0, 0)] += params.arrival_rate;
+    result.completion_rate.add(static_cast<double>(round), completed);
+    result.total_completed += completed;
+    mass.swap(next);
+  }
+
+  // Final phi and the growth verdict.
+  result.final_phi.assign(static_cast<std::size_t>(peer.B) + 1, 0.0);
+  double final_population = 0.0;
+  for (int n = 0; n <= peer.k; ++n) {
+    for (int b = 0; b <= peer.B; ++b) {
+      const double m = mass[cs.idx(n, b, 0)] + mass[cs.idx(n, b, 1)];
+      result.final_phi[static_cast<std::size_t>(b)] += m;
+      final_population += m;
+    }
+  }
+  if (final_population > 0.0) {
+    for (double& w : result.final_phi) {
+      w /= final_population;
+    }
+  }
+
+  const std::size_t tenth = std::max<std::size_t>(1, params.rounds / 10);
+  auto window_mean = [&](std::size_t from, std::size_t to) {
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (const auto& s : result.population.samples()) {
+      if (s.time >= static_cast<double>(from) && s.time < static_cast<double>(to)) {
+        sum += s.value;
+        ++count;
+      }
+    }
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  };
+  const double last = window_mean(params.rounds - tenth, params.rounds);
+  const double previous = window_mean(params.rounds - 2 * tenth, params.rounds - tenth);
+  result.population_growing = previous > 0.0 && last > previous * 1.02;
+  return result;
+}
+
+}  // namespace mpbt::model

@@ -1,0 +1,63 @@
+// Transient ensemble model — the paper's future-work item implemented.
+//
+// Section 6 closes: "An exact analysis of the stability of the BitTorrent
+// protocol ... requires transient methods to deal with the nonstationary
+// state-dependent behavior of the parameters." This module provides that
+// transient machinery at the population level: it evolves the expected
+// COUNT of peers in each collapsed state (n, b, 1{i>0}) of the download
+// chain, feeding the empirical piece-count distribution ϕ_t back into the
+// trading-power function p(b+n) every round (the nonstationary coupling),
+// with Poisson arrivals adding mass at (0, 0, 0) and absorptions removing
+// completed peers.
+//
+// Scope note (also in DESIGN.md): ϕ tracks how MANY pieces peers hold,
+// not WHICH — so the piece-identity skew that drives the B = 3 divergence
+// of Figures 3/4(b,c) is invisible here. The transient_ensemble bench
+// demonstrates exactly that gap: the ensemble predicts a stable
+// population where the identity-aware simulator diverges, which is the
+// quantitative form of the paper's "left for future work" caveat.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/params.hpp"
+#include "numeric/timeseries.hpp"
+
+namespace mpbt::model {
+
+struct EnsembleParams {
+  /// Per-peer chain parameters (alpha/gamma/p_* as in ModelParams).
+  ModelParams peer;
+  /// Expected arrivals per round (each joins in state (0, 0, 0)).
+  double arrival_rate = 2.0;
+  /// Initial population size...
+  double initial_population = 0.0;
+  /// ...distributed over piece counts by this (size B+1; empty = all at 0
+  /// pieces). Initial peers start with no connections and i > 0 when they
+  /// hold tradable pieces.
+  std::vector<double> initial_phi;
+  /// Rounds to evolve.
+  std::size_t rounds = 300;
+  /// Recompute p(b+n) from the current ensemble ϕ_t each round (the
+  /// transient coupling). false freezes ϕ at the ModelParams value.
+  bool couple_phi = true;
+
+  void validate() const;
+};
+
+struct EnsembleResult {
+  numeric::TimeSeries population;        ///< N_t (leechers in the system)
+  numeric::TimeSeries completion_rate;   ///< completions during round t
+  numeric::TimeSeries mean_pieces;       ///< average piece count
+  std::vector<double> final_phi;         ///< ϕ at the horizon (size B+1)
+  double total_completed = 0.0;
+  /// True when the population is still growing at the horizon (mean of the
+  /// last tenth exceeds the mean of the preceding tenth by > 2%).
+  bool population_growing = false;
+};
+
+/// Evolves the ensemble and returns the population trajectory.
+EnsembleResult run_ensemble(const EnsembleParams& params);
+
+}  // namespace mpbt::model

@@ -1,0 +1,167 @@
+#include "model/kernel.hpp"
+
+#include <algorithm>
+
+#include "model/trading_power.hpp"
+#include "numeric/logbinom.hpp"
+#include "util/assert.hpp"
+
+namespace mpbt::model {
+
+TransitionKernel::TransitionKernel(ModelParams params) : params_(std::move(params)) {
+  params_.validate_and_normalize();
+  p_curve_ = trading_power_curve(params_);
+
+  x1_pmf_ = numeric::binomial_pmf_vector(params_.s, params_.p_init);
+  x2_pmf_.resize(static_cast<std::size_t>(params_.B) + 1);
+  for (int m = 0; m <= params_.B; ++m) {
+    x2_pmf_[static_cast<std::size_t>(m)] =
+        numeric::binomial_pmf_vector(params_.s, p_curve_[static_cast<std::size_t>(m)]);
+  }
+  y_pmf_.resize(static_cast<std::size_t>(params_.k) + 1);
+  for (int n = 0; n <= params_.k; ++n) {
+    auto& per_n = y_pmf_[static_cast<std::size_t>(n)];
+    per_n.resize(static_cast<std::size_t>(params_.k) + 1);
+    for (int max_new = 0; max_new <= params_.k; ++max_new) {
+      per_n[static_cast<std::size_t>(max_new)] =
+          numeric::binomial_sum_pmf(n, params_.p_r, max_new, params_.p_n);
+    }
+  }
+}
+
+int TransitionKernel::next_b(int n, int b) const {
+  util::throw_if_out_of_range(n < 0 || n > params_.k, "next_b: n out of range");
+  util::throw_if_out_of_range(b < 0 || b > params_.B, "next_b: b out of range");
+  if (b == 0) {
+    return 1;
+  }
+  return std::min(b + n, params_.B);
+}
+
+std::vector<std::pair<int, double>> TransitionKernel::next_b_pmf(int n, int b) const {
+  const int base = next_b(n, b);
+  if (params_.seed_boost <= 0.0 || b == 0 || base >= params_.B) {
+    return {{base, 1.0}};
+  }
+  const int boosted = std::min(base + 1, params_.B);
+  if (params_.seed_boost >= 1.0) {
+    return {{boosted, 1.0}};
+  }
+  return {{base, 1.0 - params_.seed_boost}, {boosted, params_.seed_boost}};
+}
+
+std::vector<double> TransitionKernel::potential_pmf(int n, int b, int i) const {
+  util::throw_if_out_of_range(n < 0 || n > params_.k, "potential_pmf: n out of range");
+  util::throw_if_out_of_range(b < 0 || b > params_.B, "potential_pmf: b out of range");
+  util::throw_if_out_of_range(i < 0 || i > params_.s, "potential_pmf: i out of range");
+  const std::size_t size = static_cast<std::size_t>(params_.s) + 1;
+  const int m = b + n;
+
+  if (b >= params_.B) {  // absorbed: i' = 0
+    std::vector<double> pmf(size, 0.0);
+    pmf[0] = 1.0;
+    return pmf;
+  }
+  if (m == 0) {
+    // Joining: one connection attempt to each of the s neighbors, success
+    // probability p_init each (X1 of Section 3.1).
+    return x1_pmf_;
+  }
+  if (i > 0) {
+    // Trading: X2 ~ Bin(s, p(b+n)).
+    const int capped = std::min(m, params_.B);
+    return x2_pmf_[static_cast<std::size_t>(capped)];
+  }
+  // Starved (i = 0): wait for a tradable peer to flow into the NS.
+  std::vector<double> pmf(size, 0.0);
+  const double refresh = (m == 1) ? params_.alpha : params_.gamma;
+  pmf[0] = 1.0 - refresh;
+  pmf[1] = refresh;
+  return pmf;
+}
+
+std::vector<double> TransitionKernel::connection_pmf(int n, int b, int i_new) const {
+  util::throw_if_out_of_range(n < 0 || n > params_.k, "connection_pmf: n out of range");
+  util::throw_if_out_of_range(b < 0 || b > params_.B, "connection_pmf: b out of range");
+  util::throw_if_out_of_range(i_new < 0 || i_new > params_.s,
+                              "connection_pmf: i_new out of range");
+  const std::size_t size = static_cast<std::size_t>(params_.k) + 1;
+  std::vector<double> pmf(size, 0.0);
+  if (b + n == 0 || b >= params_.B) {
+    pmf[0] = 1.0;
+    return pmf;
+  }
+  const int max_new = std::max(std::min(i_new, params_.k) - n, 0);
+  const std::vector<double>& y =
+      y_pmf_[static_cast<std::size_t>(n)][static_cast<std::size_t>(max_new)];
+  // y has length n + max_new + 1 <= k + 1.
+  MPBT_ASSERT(y.size() <= size);
+  std::copy(y.begin(), y.end(), pmf.begin());
+  return pmf;
+}
+
+std::size_t TransitionKernel::num_states() const {
+  return static_cast<std::size_t>(params_.k + 1) * static_cast<std::size_t>(params_.B + 1) *
+         static_cast<std::size_t>(params_.s + 1);
+}
+
+std::size_t TransitionKernel::index_of(int n, int b, int i) const {
+  util::throw_if_out_of_range(n < 0 || n > params_.k || b < 0 || b > params_.B || i < 0 ||
+                                  i > params_.s,
+                              "index_of: state out of range");
+  const auto sp1 = static_cast<std::size_t>(params_.s + 1);
+  const auto bp1 = static_cast<std::size_t>(params_.B + 1);
+  return (static_cast<std::size_t>(n) * bp1 + static_cast<std::size_t>(b)) * sp1 +
+         static_cast<std::size_t>(i);
+}
+
+std::tuple<int, int, int> TransitionKernel::state_of(std::size_t index) const {
+  util::throw_if_out_of_range(index >= num_states(), "state_of: index out of range");
+  const auto sp1 = static_cast<std::size_t>(params_.s + 1);
+  const auto bp1 = static_cast<std::size_t>(params_.B + 1);
+  const int i = static_cast<int>(index % sp1);
+  const int b = static_cast<int>((index / sp1) % bp1);
+  const int n = static_cast<int>(index / (sp1 * bp1));
+  return {n, b, i};
+}
+
+markov::SparseChain TransitionKernel::build_chain() const {
+  util::throw_if_invalid(num_states() > 500000,
+                         "build_chain: state space too large to materialize; use "
+                         "compute_evolution instead");
+  markov::SparseChain chain(num_states());
+  const std::size_t absorb = absorbing_state();
+  for (std::size_t idx = 0; idx < num_states(); ++idx) {
+    const auto [n, b, i] = state_of(idx);
+    if (b >= params_.B) {
+      // Every b = B state funnels into the canonical absorbing state.
+      chain.add_transition(idx, absorb, 1.0);
+      continue;
+    }
+    const std::vector<double> g = potential_pmf(n, b, i);
+    for (const auto& [b2, fp] : next_b_pmf(n, b)) {
+      if (b2 >= params_.B) {
+        chain.add_transition(idx, absorb, fp);
+        continue;
+      }
+      for (int i2 = 0; i2 <= params_.s; ++i2) {
+        const double gp = g[static_cast<std::size_t>(i2)];
+        if (gp == 0.0) {
+          continue;
+        }
+        const std::vector<double> h = connection_pmf(n, b, i2);
+        for (int n2 = 0; n2 <= params_.k; ++n2) {
+          const double hp = h[static_cast<std::size_t>(n2)];
+          if (hp == 0.0) {
+            continue;
+          }
+          chain.add_transition(idx, index_of(n2, b2, i2), fp * gp * hp);
+        }
+      }
+    }
+  }
+  chain.finalize(1e-7);
+  return chain;
+}
+
+}  // namespace mpbt::model

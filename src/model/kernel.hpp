@@ -1,0 +1,76 @@
+// The factorized transition kernel of the download-evolution chain
+// (Section 3.1): Pr{(n,b,i) -> (n',b',i')} = f(b'|n,b) g(i'|n,b,i) h(n'|n,b,i').
+//
+// f is deterministic (next_b); g and h are exposed as explicit pmfs built
+// from cached binomial tables. For small parameter sets the full
+// (k+1)(B+1)(s+1)-state chain can be materialized as a markov::SparseChain
+// for exact absorbing-chain analysis; large instances use the collapsed
+// distribution stepping in download_model.hpp instead.
+//
+// Convention for the absorption rows: the paper writes the "b = B" rows of
+// g and h against the updated piece count (a peer exits immediately after
+// downloading all B pieces), so whenever f yields b' = B the process moves
+// to the absorbing state (0, B, 0) with probability 1.
+#pragma once
+
+#include <cstddef>
+#include <tuple>
+#include <vector>
+
+#include "markov/sparse_chain.hpp"
+#include "model/params.hpp"
+
+namespace mpbt::model {
+
+class TransitionKernel {
+ public:
+  /// Validates and normalizes `params` (phi filled in when empty).
+  explicit TransitionKernel(ModelParams params);
+
+  const ModelParams& params() const { return params_; }
+
+  /// f: the next piece count under the strict model (seed_boost = 0).
+  /// b = 0 yields 1 (the bootstrap piece); b >= 1 yields min(b + n, B).
+  int next_b(int n, int b) const;
+
+  /// f as a pmf, honoring the seeding extension: with probability
+  /// seed_boost an extra piece arrives over a tit-for-tat-free seed
+  /// connection (Section 7.2). Entries are (b', probability); one entry
+  /// when seed_boost = 0 or the boost cannot change b'.
+  std::vector<std::pair<int, double>> next_b_pmf(int n, int b) const;
+
+  /// g: pmf over the next potential-set size i' in [0, s], given the
+  /// pre-transition state (n, b, i). Eq. (2).
+  std::vector<double> potential_pmf(int n, int b, int i) const;
+
+  /// h: pmf over the next connection count n' in [0, k], given the old
+  /// (n, b) and the *new* potential-set size i'. Eq. (3).
+  std::vector<double> connection_pmf(int n, int b, int i_new) const;
+
+  /// Trading-power curve p(m) used by g (Eq. 1).
+  const std::vector<double>& trading_power() const { return p_curve_; }
+
+  // --- dense state indexing over (n, b, i) --------------------------------
+  std::size_t num_states() const;
+  std::size_t index_of(int n, int b, int i) const;
+  std::tuple<int, int, int> state_of(std::size_t index) const;
+  std::size_t start_state() const { return index_of(0, 0, 0); }
+  std::size_t absorbing_state() const { return index_of(0, params_.B, 0); }
+
+  /// Materializes the full chain. Guarded against huge instances
+  /// (throws std::invalid_argument beyond ~500k states); intended for
+  /// tests and small exact studies.
+  markov::SparseChain build_chain() const;
+
+ private:
+  ModelParams params_;
+  std::vector<double> p_curve_;
+  /// x2_pmf_[m] = Binomial(s, p(m)) pmf; defined for m in [0, B].
+  std::vector<std::vector<double>> x2_pmf_;
+  /// Binomial(s, p_init) pmf.
+  std::vector<double> x1_pmf_;
+  /// y_pmf_[n][max_new] = pmf of Bin(n, p_r) + Bin(max_new, p_n).
+  std::vector<std::vector<std::vector<double>>> y_pmf_;
+};
+
+}  // namespace mpbt::model

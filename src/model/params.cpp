@@ -1,0 +1,60 @@
+#include "model/params.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mpbt::model {
+
+void ModelParams::validate_and_normalize() {
+  util::throw_if_invalid(B < 1, "ModelParams: B must be >= 1");
+  util::throw_if_invalid(k < 1, "ModelParams: k must be >= 1");
+  util::throw_if_invalid(s < 1, "ModelParams: s must be >= 1");
+  auto check_prob = [](double p, const char* name) {
+    util::throw_if_invalid(p < 0.0 || p > 1.0 || !std::isfinite(p),
+                           std::string("ModelParams: ") + name + " must be in [0, 1]");
+  };
+  check_prob(p_init, "p_init");
+  check_prob(p_r, "p_r");
+  check_prob(p_n, "p_n");
+  check_prob(alpha, "alpha");
+  check_prob(gamma, "gamma");
+  check_prob(seed_boost, "seed_boost");
+
+  if (phi.empty()) {
+    phi.assign(static_cast<std::size_t>(B) + 1, 0.0);
+    if (B == 1) {
+      // Degenerate single-piece file: every piece-holding peer is complete;
+      // treat "holding 1 piece" as the only leecher class.
+      phi[1] = 1.0;
+    } else {
+      for (int j = 1; j <= B - 1; ++j) {
+        phi[static_cast<std::size_t>(j)] = 1.0 / static_cast<double>(B - 1);
+      }
+    }
+    return;
+  }
+  util::throw_if_invalid(phi.size() != static_cast<std::size_t>(B) + 1,
+                         "ModelParams: phi must have B + 1 entries");
+  double total = 0.0;
+  for (double w : phi) {
+    util::throw_if_invalid(w < 0.0 || !std::isfinite(w),
+                           "ModelParams: phi entries must be finite and >= 0");
+    total += w;
+  }
+  util::throw_if_invalid(total <= 0.0, "ModelParams: phi must have positive mass");
+  for (double& w : phi) {
+    w /= total;
+  }
+}
+
+double ModelParams::alpha_from(double lambda, double w, int s, double N) {
+  util::throw_if_invalid(lambda < 0.0, "alpha_from: lambda must be >= 0");
+  util::throw_if_invalid(w < 0.0 || w > 1.0, "alpha_from: w must be in [0, 1]");
+  util::throw_if_invalid(s < 1, "alpha_from: s must be >= 1");
+  util::throw_if_invalid(N <= 0.0, "alpha_from: N must be > 0");
+  return std::clamp(lambda * w * static_cast<double>(s) / N, 0.0, 1.0);
+}
+
+}  // namespace mpbt::model

@@ -1,0 +1,50 @@
+// Parameters of the multiphased download-evolution model (Section 3).
+//
+// Notation follows the paper:
+//   B       — number of pieces in the file
+//   k       — maximum simultaneous connections
+//   s       — neighbor-set size
+//   p_init  — success probability of an initial connection attempt
+//   p_r     — re-encounter probability (an established connection survives)
+//   p_n     — probability a new connection establishes
+//   alpha   — P(new tradable peer enters the NS) while stuck at b+n = 1
+//   gamma   — the same while stuck with b+n > 1 (last download phase)
+//   phi     — piece-count distribution over peers (phi[j] = fraction of
+//             peers holding j pieces), the ϕ of Eq. (1)
+#pragma once
+
+#include <vector>
+
+namespace mpbt::model {
+
+struct ModelParams {
+  int B = 200;
+  int k = 7;
+  int s = 40;
+  double p_init = 0.8;
+  double p_r = 0.7;
+  double p_n = 0.9;
+  double alpha = 0.1;
+  double gamma = 0.05;
+
+  /// Seeding extension (Section 7.2): probability per round of receiving
+  /// one piece over an extra connection that does NOT require tit-for-tat
+  /// (a seed's upload). 0 (default) recovers the paper's strict model.
+  double seed_boost = 0.0;
+
+  /// phi[j] for j in [0, B]; empty means "use the default": uniform over
+  /// the leecher counts 1..B-1, which Section 6 argues is the stable
+  /// operating point of the trading phase.
+  std::vector<double> phi;
+
+  /// Throws std::invalid_argument on out-of-range parameters; normalizes
+  /// phi (filling in the default when empty).
+  void validate_and_normalize();
+
+  /// alpha = lambda * w * s / N (Section 3.2): lambda = peer arrival rate,
+  /// w = probability a newly arriving peer has a piece to exchange,
+  /// N = swarm size. Clamped to [0, 1].
+  static double alpha_from(double lambda, double w, int s, double N);
+};
+
+}  // namespace mpbt::model

@@ -1,0 +1,39 @@
+#include "model/phase.hpp"
+
+#include "util/assert.hpp"
+
+namespace mpbt::model {
+
+std::string_view phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::Bootstrap:
+      return "bootstrap";
+    case Phase::EfficientDownload:
+      return "efficient-download";
+    case Phase::LastDownload:
+      return "last-download";
+    case Phase::Done:
+      return "done";
+  }
+  return "?";
+}
+
+Phase classify_phase(int n, int b, int i, int B) {
+  util::throw_if_invalid(B < 1, "classify_phase: B must be >= 1");
+  util::throw_if_invalid(n < 0 || b < 0 || i < 0, "classify_phase: negative state component");
+  if (b >= B) {
+    return Phase::Done;
+  }
+  // Bootstrap: no piece yet, or holding exactly the first piece with no
+  // tradable neighbor (the (0,1,0) waiting state of Section 3.2).
+  if (b == 0 || (b + n <= 1 && i == 0)) {
+    return Phase::Bootstrap;
+  }
+  // Last download: pieces in hand but the potential set has collapsed.
+  if (i == 0 && n == 0) {
+    return Phase::LastDownload;
+  }
+  return Phase::EfficientDownload;
+}
+
+}  // namespace mpbt::model

@@ -1,0 +1,26 @@
+// The three download phases (Section 3.2).
+#pragma once
+
+#include <string_view>
+
+namespace mpbt::model {
+
+enum class Phase {
+  /// Acquiring the first piece / waiting for a tradable neighbor.
+  Bootstrap,
+  /// Potential set non-empty; trading at full protocol efficiency.
+  EfficientDownload,
+  /// Potential set collapsed to zero late in the download; progress gated
+  /// on new pieces flowing into the neighbor set (rate gamma).
+  LastDownload,
+  /// All B pieces downloaded; the chain is absorbed.
+  Done,
+};
+
+std::string_view phase_name(Phase phase);
+
+/// Classifies a model state (n active connections, b pieces, i potential
+/// set size) against the file size B.
+Phase classify_phase(int n, int b, int i, int B);
+
+}  // namespace mpbt::model

@@ -1,0 +1,49 @@
+#include "model/trading_power.hpp"
+
+#include <algorithm>
+
+#include "numeric/logbinom.hpp"
+#include "util/assert.hpp"
+
+namespace mpbt::model {
+
+double trading_power(const ModelParams& params, int m) {
+  util::throw_if_invalid(params.phi.size() != static_cast<std::size_t>(params.B) + 1,
+                         "trading_power: params must be validated (phi normalized)");
+  util::throw_if_out_of_range(m < 0 || m > params.B, "trading_power: m out of range");
+  const int B = params.B;
+  if (m == 0 || m == B) {
+    return 0.0;
+  }
+  double p = 0.0;
+  // Peers Q with j > m pieces: Q has something for P unless all of P's m
+  // pieces are among Q's j (then nothing *P* can offer back — the paper
+  // counts the pair tradable when P has something to exchange).
+  for (int j = m + 1; j <= B; ++j) {
+    const double w = params.phi[static_cast<std::size_t>(j)];
+    if (w == 0.0) {
+      continue;
+    }
+    p += w * (1.0 - numeric::choose_ratio(j, m, B));
+  }
+  // Peers Q with j <= m pieces: tradable unless all of Q's j pieces are
+  // already stored at P.
+  for (int j = 1; j <= m; ++j) {
+    const double w = params.phi[static_cast<std::size_t>(j)];
+    if (w == 0.0) {
+      continue;
+    }
+    p += w * (1.0 - numeric::choose_ratio(m, j, B));
+  }
+  return std::clamp(p, 0.0, 1.0);
+}
+
+std::vector<double> trading_power_curve(const ModelParams& params) {
+  std::vector<double> out(static_cast<std::size_t>(params.B) + 1, 0.0);
+  for (int m = 0; m <= params.B; ++m) {
+    out[static_cast<std::size_t>(m)] = trading_power(params, m);
+  }
+  return out;
+}
+
+}  // namespace mpbt::model

@@ -1,0 +1,22 @@
+// Equation (1): the instantaneous trading power of a peer.
+//
+// p(m) is the probability that a randomly selected peer has a piece to
+// exchange with a peer holding m = b + n pieces, under the piece-count
+// distribution ϕ. The paper notes p rises from ~0.5 at m = 1, peaks near
+// m = B/2, and returns to ~0.5 at m = B - 1 (for uniform ϕ).
+#pragma once
+
+#include <vector>
+
+#include "model/params.hpp"
+
+namespace mpbt::model {
+
+/// p(m) for one m in [0, B]. m = 0 and m = B return 0 (nothing to trade /
+/// nothing left to want). `params` must be validated (phi normalized).
+double trading_power(const ModelParams& params, int m);
+
+/// The whole curve: out[m] = p(m) for m in [0, B].
+std::vector<double> trading_power_curve(const ModelParams& params);
+
+}  // namespace mpbt::model

@@ -1,0 +1,87 @@
+#include "numeric/discrete_distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mpbt::numeric {
+
+DiscreteDistribution::DiscreteDistribution(std::vector<double> weights)
+    : pmf_(std::move(weights)) {
+  util::throw_if_invalid(pmf_.empty(), "DiscreteDistribution requires non-empty weights");
+  double total = 0.0;
+  for (double w : pmf_) {
+    util::throw_if_invalid(w < 0.0 || !std::isfinite(w),
+                           "DiscreteDistribution weights must be finite and >= 0");
+    total += w;
+  }
+  util::throw_if_invalid(total <= 0.0,
+                         "DiscreteDistribution requires at least one positive weight");
+  cdf_.resize(pmf_.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pmf_.size(); ++i) {
+    pmf_[i] /= total;
+    acc += pmf_[i];
+    cdf_[i] = acc;
+  }
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+DiscreteDistribution DiscreteDistribution::uniform_range(std::size_t size, std::size_t lo,
+                                                         std::size_t hi) {
+  util::throw_if_invalid(size == 0, "uniform_range requires size >= 1");
+  util::throw_if_invalid(lo > hi || hi >= size, "uniform_range requires 0 <= lo <= hi < size");
+  std::vector<double> w(size, 0.0);
+  for (std::size_t i = lo; i <= hi; ++i) {
+    w[i] = 1.0;
+  }
+  return DiscreteDistribution(std::move(w));
+}
+
+DiscreteDistribution DiscreteDistribution::point_mass(std::size_t size, std::size_t at) {
+  util::throw_if_invalid(at >= size, "point_mass requires at < size");
+  std::vector<double> w(size, 0.0);
+  w[at] = 1.0;
+  return DiscreteDistribution(std::move(w));
+}
+
+double DiscreteDistribution::pmf(std::size_t k) const {
+  util::throw_if_out_of_range(k >= pmf_.size(), "DiscreteDistribution index out of range");
+  return pmf_[k];
+}
+
+double DiscreteDistribution::mean() const {
+  double m = 0.0;
+  for (std::size_t i = 0; i < pmf_.size(); ++i) {
+    m += static_cast<double>(i) * pmf_[i];
+  }
+  return m;
+}
+
+double DiscreteDistribution::variance() const {
+  const double m = mean();
+  double v = 0.0;
+  for (std::size_t i = 0; i < pmf_.size(); ++i) {
+    const double d = static_cast<double>(i) - m;
+    v += d * d * pmf_[i];
+  }
+  return v;
+}
+
+std::size_t DiscreteDistribution::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(std::distance(cdf_.begin(), it));
+}
+
+double DiscreteDistribution::linf_distance(const DiscreteDistribution& other) const {
+  util::throw_if_invalid(size() != other.size(), "linf_distance requires equal supports");
+  double d = 0.0;
+  for (std::size_t i = 0; i < pmf_.size(); ++i) {
+    d = std::max(d, std::abs(pmf_[i] - other.pmf_[i]));
+  }
+  return d;
+}
+
+}  // namespace mpbt::numeric

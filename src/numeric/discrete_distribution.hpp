@@ -1,0 +1,44 @@
+// Discrete probability distribution over {0, ..., n} with normalization,
+// sampling, and moments. Used for the paper's piece-count distribution ϕ
+// and for validating transition-kernel rows.
+#pragma once
+
+#include <vector>
+
+#include "numeric/rng.hpp"
+
+namespace mpbt::numeric {
+
+class DiscreteDistribution {
+ public:
+  /// Builds from non-negative weights; normalizes to sum 1.
+  /// Requires at least one strictly positive weight.
+  explicit DiscreteDistribution(std::vector<double> weights);
+
+  /// Uniform over {lo, ..., hi} embedded in a support of size `size`
+  /// (entries outside [lo, hi] get probability 0). Requires
+  /// 0 <= lo <= hi < size.
+  static DiscreteDistribution uniform_range(std::size_t size, std::size_t lo, std::size_t hi);
+
+  /// Point mass at `at` in a support of size `size`.
+  static DiscreteDistribution point_mass(std::size_t size, std::size_t at);
+
+  std::size_t size() const { return pmf_.size(); }
+  double pmf(std::size_t k) const;
+  const std::vector<double>& probabilities() const { return pmf_; }
+
+  double mean() const;
+  double variance() const;
+
+  /// Samples an index by inverse-CDF lookup (binary search).
+  std::size_t sample(Rng& rng) const;
+
+  /// Max |pmf - other.pmf| over the common support; sizes must match.
+  double linf_distance(const DiscreteDistribution& other) const;
+
+ private:
+  std::vector<double> pmf_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace mpbt::numeric

@@ -1,0 +1,71 @@
+#include "numeric/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace mpbt::numeric {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  util::throw_if_invalid(!(lo < hi), "Histogram requires lo < hi");
+  util::throw_if_invalid(bins == 0, "Histogram requires at least one bin");
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double value) {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double t = (value - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::size_t>(t * static_cast<double>(counts_.size()));
+  bin = std::min(bin, counts_.size() - 1);
+  ++counts_[bin];
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  util::throw_if_out_of_range(bin >= counts_.size(), "Histogram bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  util::throw_if_out_of_range(bin >= counts_.size(), "Histogram bin out of range");
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  util::throw_if_out_of_range(bin >= counts_.size(), "Histogram bin out of range");
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin + 1) / static_cast<double>(counts_.size());
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  const std::size_t in_range = total_ - underflow_ - overflow_;
+  if (in_range == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(count(bin)) / static_cast<double>(in_range);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t max_count = 0;
+  for (std::size_t c : counts_) {
+    max_count = std::max(max_count, c);
+  }
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t bar =
+        max_count == 0 ? 0 : counts_[b] * width / std::max<std::size_t>(max_count, 1);
+    os << '[' << bin_lo(b) << ", " << bin_hi(b) << ") " << std::string(bar, '#') << ' '
+       << counts_[b] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mpbt::numeric

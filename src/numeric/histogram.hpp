@@ -1,0 +1,44 @@
+// Fixed-width histogram over a numeric range.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mpbt::numeric {
+
+class Histogram {
+ public:
+  /// Bins [lo, hi) into `bins` equal-width buckets; values outside the range
+  /// are counted in underflow/overflow. Requires lo < hi and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const;
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t total() const { return total_; }
+
+  /// Inclusive lower edge of a bin.
+  double bin_lo(std::size_t bin) const;
+  /// Exclusive upper edge of a bin.
+  double bin_hi(std::size_t bin) const;
+
+  /// Fraction of in-range samples in the bin (0 when empty).
+  double fraction(std::size_t bin) const;
+
+  /// ASCII rendering used by examples, one row per bin.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace mpbt::numeric

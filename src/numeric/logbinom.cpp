@@ -1,0 +1,109 @@
+#include "numeric/logbinom.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace mpbt::numeric {
+
+double log_choose(int n, int k) {
+  util::throw_if_invalid(n < 0, "log_choose requires n >= 0");
+  if (k < 0 || k > n) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  if (k == 0 || k == n) {
+    return 0.0;
+  }
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) - std::lgamma(n - k + 1.0);
+}
+
+double choose_ratio(int j, int m, int B) {
+  util::throw_if_invalid(B < 0, "choose_ratio requires B >= 0");
+  util::throw_if_invalid(m < 0 || m > B, "choose_ratio requires 0 <= m <= B");
+  util::throw_if_invalid(j < 0 || j > B, "choose_ratio requires 0 <= j <= B");
+  if (j < m) {
+    return 0.0;
+  }
+  return std::exp(log_choose(j, m) - log_choose(B, m));
+}
+
+double binomial_pmf(int n, int k, double p) {
+  util::throw_if_invalid(n < 0, "binomial_pmf requires n >= 0");
+  util::throw_if_invalid(p < 0.0 || p > 1.0, "binomial_pmf requires p in [0, 1]");
+  if (k < 0 || k > n) {
+    return 0.0;
+  }
+  if (p == 0.0) {
+    return k == 0 ? 1.0 : 0.0;
+  }
+  if (p == 1.0) {
+    return k == n ? 1.0 : 0.0;
+  }
+  const double log_pmf =
+      log_choose(n, k) + k * std::log(p) + (n - k) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+double binomial_cdf(int n, int k, double p) {
+  util::throw_if_invalid(n < 0, "binomial_cdf requires n >= 0");
+  util::throw_if_invalid(p < 0.0 || p > 1.0, "binomial_cdf requires p in [0, 1]");
+  if (k < 0) {
+    return 0.0;
+  }
+  if (k >= n) {
+    return 1.0;
+  }
+  double sum = 0.0;
+  for (int i = 0; i <= k; ++i) {
+    sum += binomial_pmf(n, i, p);
+  }
+  return std::min(sum, 1.0);
+}
+
+std::vector<double> binomial_pmf_vector(int n, double p) {
+  util::throw_if_invalid(n < 0, "binomial_pmf_vector requires n >= 0");
+  util::throw_if_invalid(p < 0.0 || p > 1.0, "binomial_pmf_vector requires p in [0, 1]");
+  std::vector<double> pmf(static_cast<std::size_t>(n) + 1, 0.0);
+  if (p == 0.0) {
+    pmf[0] = 1.0;
+    return pmf;
+  }
+  if (p == 1.0) {
+    pmf[static_cast<std::size_t>(n)] = 1.0;
+    return pmf;
+  }
+  // Recurrence from P(X=0) avoids n lgamma calls; switch to log-space start
+  // when (1-p)^n underflows.
+  double p0 = std::pow(1.0 - p, n);
+  if (p0 > 0.0) {
+    pmf[0] = p0;
+    const double ratio = p / (1.0 - p);
+    for (int k = 1; k <= n; ++k) {
+      pmf[static_cast<std::size_t>(k)] =
+          pmf[static_cast<std::size_t>(k - 1)] * ratio * (n - k + 1) / k;
+    }
+  } else {
+    for (int k = 0; k <= n; ++k) {
+      pmf[static_cast<std::size_t>(k)] = binomial_pmf(n, k, p);
+    }
+  }
+  return pmf;
+}
+
+std::vector<double> binomial_sum_pmf(int n1, double p1, int n2, double p2) {
+  const std::vector<double> a = binomial_pmf_vector(n1, p1);
+  const std::vector<double> b = binomial_pmf_vector(n2, p2);
+  std::vector<double> out(a.size() + b.size() - 1, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0.0) {
+      continue;
+    }
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] += a[i] * b[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace mpbt::numeric

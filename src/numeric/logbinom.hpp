@@ -1,0 +1,35 @@
+// Log-space binomial coefficients and binomial distribution helpers.
+//
+// Equation (1) of the paper evaluates ratios C(j, m)/C(B, m) with B up to
+// thousands; computed naively these overflow. Everything here works in
+// log space via lgamma and only exponentiates ratios, which stay in [0, 1].
+#pragma once
+
+#include <vector>
+
+namespace mpbt::numeric {
+
+/// ln C(n, k). Returns -inf when k < 0 or k > n (an impossible choice).
+/// Requires n >= 0.
+double log_choose(int n, int k);
+
+/// C(j, m) / C(B, m) — the probability that m specific items are all among a
+/// uniformly random j-subset of B items. Requires 0 <= m, j <= B, B >= 0.
+/// Returns 0 when j < m.
+double choose_ratio(int j, int m, int B);
+
+/// P(X = k) for X ~ Binomial(n, p). Requires n >= 0, p in [0, 1].
+double binomial_pmf(int n, int k, double p);
+
+/// P(X <= k) for X ~ Binomial(n, p).
+double binomial_cdf(int n, int k, double p);
+
+/// Full pmf vector [P(X=0), ..., P(X=n)] for X ~ Binomial(n, p);
+/// sums to 1 up to rounding.
+std::vector<double> binomial_pmf_vector(int n, double p);
+
+/// Pmf of Y1 + Y2 where Y1 ~ Bin(n1, p1), Y2 ~ Bin(n2, p2), independent
+/// (discrete convolution). Result has size n1 + n2 + 1.
+std::vector<double> binomial_sum_pmf(int n1, double p1, int n2, double p2);
+
+}  // namespace mpbt::numeric

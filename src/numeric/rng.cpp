@@ -1,0 +1,190 @@
+#include "numeric/rng.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace mpbt::numeric {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) {
+    s = splitmix64(sm);
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  util::throw_if_invalid(!(lo < hi), "Rng::uniform requires lo < hi");
+  return lo + (hi - lo) * uniform01();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  util::throw_if_invalid(lo > hi, "Rng::uniform_int requires lo <= hi");
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next_u64());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = range * (UINT64_MAX / range);
+  std::uint64_t v = next_u64();
+  while (v >= limit) {
+    v = next_u64();
+  }
+  return lo + static_cast<std::int64_t>(v % range);
+}
+
+bool Rng::bernoulli(double p) {
+  util::throw_if_invalid(p < 0.0 || p > 1.0, "Rng::bernoulli requires p in [0, 1]");
+  return uniform01() < p;
+}
+
+int Rng::binomial(int n, double p) {
+  util::throw_if_invalid(n < 0, "Rng::binomial requires n >= 0");
+  util::throw_if_invalid(p < 0.0 || p > 1.0, "Rng::binomial requires p in [0, 1]");
+  if (n == 0 || p == 0.0) {
+    return 0;
+  }
+  if (p == 1.0) {
+    return n;
+  }
+  if (n <= 64) {
+    int count = 0;
+    for (int i = 0; i < n; ++i) {
+      count += bernoulli(p) ? 1 : 0;
+    }
+    return count;
+  }
+  // Inversion by cumulative search, iterating from the mode outward is not
+  // needed at our sizes: plain forward accumulation in log-safe form.
+  const double q = 1.0 - p;
+  double pmf = std::pow(q, n);  // P(X = 0)
+  if (pmf <= 0.0) {
+    // Underflow regime: fall back to a sum of two halves, preserving the
+    // exact distribution because Bin(n,p) = Bin(n1,p) + Bin(n2,p).
+    const int half = n / 2;
+    return binomial(half, p) + binomial(n - half, p);
+  }
+  double u = uniform01();
+  int k = 0;
+  double cdf = pmf;
+  while (u > cdf && k < n) {
+    pmf *= (static_cast<double>(n - k) / (k + 1)) * (p / q);
+    cdf += pmf;
+    ++k;
+  }
+  return k;
+}
+
+int Rng::poisson(double lambda) {
+  util::throw_if_invalid(lambda < 0.0, "Rng::poisson requires lambda >= 0");
+  if (lambda == 0.0) {
+    return 0;
+  }
+  if (lambda > 30.0) {
+    // Poisson additivity keeps Knuth's product away from underflow.
+    const double half = lambda / 2.0;
+    return poisson(half) + poisson(lambda - half);
+  }
+  const double limit = std::exp(-lambda);
+  int k = 0;
+  double product = uniform01();
+  while (product > limit) {
+    ++k;
+    product *= uniform01();
+  }
+  return k;
+}
+
+double Rng::exponential(double rate) {
+  util::throw_if_invalid(rate <= 0.0, "Rng::exponential requires rate > 0");
+  double u = uniform01();
+  // uniform01 can return exactly 0; log(0) would be -inf.
+  while (u == 0.0) {
+    u = uniform01();
+  }
+  return -std::log(u) / rate;
+}
+
+int Rng::geometric(double p) {
+  util::throw_if_invalid(p <= 0.0 || p > 1.0, "Rng::geometric requires p in (0, 1]");
+  if (p == 1.0) {
+    return 0;
+  }
+  double u = uniform01();
+  while (u == 0.0) {
+    u = uniform01();
+  }
+  return static_cast<int>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  util::throw_if_invalid(k > n, "Rng::sample_without_replacement requires k <= n");
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  if (k == 0) {
+    return out;
+  }
+  if (k * 3 >= n) {
+    // Dense case: partial Fisher-Yates over an index array.
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      idx[i] = i;
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(static_cast<std::int64_t>(i), static_cast<std::int64_t>(n) - 1));
+      std::swap(idx[i], idx[j]);
+      out.push_back(idx[i]);
+    }
+    return out;
+  }
+  // Sparse case: rejection with a hash set.
+  std::unordered_set<std::size_t> chosen;
+  chosen.reserve(k * 2);
+  while (out.size() < k) {
+    const auto v = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    if (chosen.insert(v).second) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+Rng Rng::split() {
+  // Derive a child seed from fresh output; the parent advances, so repeated
+  // splits give distinct streams.
+  const std::uint64_t child_seed = next_u64() ^ 0xa5a5a5a5a5a5a5a5ULL;
+  return Rng(child_seed);
+}
+
+}  // namespace mpbt::numeric

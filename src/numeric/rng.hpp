@@ -1,0 +1,74 @@
+// Deterministic random number generation for simulations.
+//
+// `Rng` wraps the xoshiro256** generator with SplitMix64 seeding. Every
+// stochastic component in mpbt takes an explicit Rng (or a seed), so a run
+// is fully reproducible from its seed. `split()` derives an independent
+// substream, which lets a swarm hand each peer its own stream without the
+// per-peer event order perturbing other peers' randomness.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mpbt::numeric {
+
+class Rng {
+ public:
+  /// Seeds the generator; any 64-bit value (including 0) is a valid seed.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi). Requires lo < hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Binomial(n, p) sample; exact inversion for small n, BTPE-free
+  /// normal-approximation-free loop is fine at the n used here (<= a few
+  /// thousand): uses the sum-of-Bernoulli method below n=64 and inversion
+  /// by cumulative search otherwise.
+  int binomial(int n, double p);
+
+  /// Poisson(lambda) sample; Knuth's method for small lambda, normal-based
+  /// PTRS-style rejection is unnecessary at our scales; for lambda > 30 we
+  /// use the sum of smaller Poissons to avoid underflow.
+  int poisson(double lambda);
+
+  /// Exponential with the given rate (mean 1/rate). Requires rate > 0.
+  double exponential(double rate);
+
+  /// Geometric: number of failures before the first success, p in (0, 1].
+  int geometric(double p);
+
+  /// Fisher-Yates shuffle of a span in place.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) without replacement.
+  /// Requires 0 <= k <= n. Returns indices in random order.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+  /// Derives an independent substream (hash-mixes internal state).
+  Rng split();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace mpbt::numeric

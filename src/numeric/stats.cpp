@@ -1,0 +1,117 @@
+#include "numeric/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mpbt::numeric {
+
+void RunningStats::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double RunningStats::max() const { return count_ == 0 ? 0.0 : max_; }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  mean_ += delta * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  util::throw_if_invalid(sorted.empty(), "quantile_sorted requires a non-empty sample");
+  util::throw_if_invalid(q < 0.0 || q > 1.0, "quantile q must be in [0, 1]");
+  if (sorted.size() == 1) {
+    return sorted.front();
+  }
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(const std::vector<double>& sample) {
+  Summary s;
+  if (sample.empty()) {
+    return s;
+  }
+  RunningStats rs;
+  for (double v : sample) {
+    rs.add(v);
+  }
+  std::vector<double> sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
+  s.count = rs.count();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = rs.min();
+  s.max = rs.max();
+  s.p25 = quantile_sorted(sorted, 0.25);
+  s.median = quantile_sorted(sorted, 0.50);
+  s.p75 = quantile_sorted(sorted, 0.75);
+  s.p95 = quantile_sorted(sorted, 0.95);
+  return s;
+}
+
+double pearson_correlation(const std::vector<double>& x, const std::vector<double>& y) {
+  util::throw_if_invalid(x.size() != y.size(), "pearson_correlation requires equal sizes");
+  util::throw_if_invalid(x.size() < 2, "pearson_correlation requires at least 2 points");
+  RunningStats sx;
+  RunningStats sy;
+  for (double v : x) {
+    sx.add(v);
+  }
+  for (double v : y) {
+    sy.add(v);
+  }
+  const double mx = sx.mean();
+  const double my = sy.mean();
+  double cov = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    cov += (x[i] - mx) * (y[i] - my);
+  }
+  cov /= static_cast<double>(x.size() - 1);
+  const double denom = sx.stddev() * sy.stddev();
+  if (denom == 0.0) {
+    return 0.0;
+  }
+  return cov / denom;
+}
+
+}  // namespace mpbt::numeric

@@ -1,0 +1,61 @@
+// Streaming and batch statistics used by the simulators and benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mpbt::numeric {
+
+/// Welford-style running mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double value);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Sum of all added values.
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Batch summary of a sample: mean, stddev, min, max, and quantiles.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+};
+
+/// Computes a Summary over the sample (copies and sorts internally).
+/// Returns an all-zero Summary for an empty sample.
+Summary summarize(const std::vector<double>& sample);
+
+/// Linear-interpolated quantile of a *sorted* sample, q in [0, 1].
+/// Requires a non-empty sorted vector.
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
+/// Pearson correlation coefficient; requires equal sizes >= 2.
+/// Returns 0 when either side has zero variance.
+double pearson_correlation(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace mpbt::numeric

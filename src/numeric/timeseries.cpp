@@ -1,0 +1,91 @@
+#include "numeric/timeseries.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace mpbt::numeric {
+
+TimeSeries::TimeSeries(std::vector<Sample> samples) : samples_(std::move(samples)) {
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    util::throw_if_invalid(samples_[i].time < samples_[i - 1].time,
+                           "TimeSeries samples must be time-ordered");
+  }
+}
+
+void TimeSeries::add(double time, double value) {
+  util::throw_if_invalid(!samples_.empty() && time < samples_.back().time,
+                         "TimeSeries::add requires non-decreasing times");
+  samples_.push_back({time, value});
+}
+
+double TimeSeries::first_time() const {
+  util::throw_if_invalid(samples_.empty(), "TimeSeries is empty");
+  return samples_.front().time;
+}
+
+double TimeSeries::last_time() const {
+  util::throw_if_invalid(samples_.empty(), "TimeSeries is empty");
+  return samples_.back().time;
+}
+
+double TimeSeries::value_at(double t) const {
+  util::throw_if_invalid(samples_.empty(), "TimeSeries is empty");
+  if (t <= samples_.front().time) {
+    return samples_.front().value;
+  }
+  // Find the last sample with time <= t.
+  const auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), t,
+      [](double lhs, const Sample& rhs) { return lhs < rhs.time; });
+  return std::prev(it)->value;
+}
+
+TimeSeries TimeSeries::resample(double t0, double t1, std::size_t points) const {
+  util::throw_if_invalid(points < 2, "resample requires at least 2 points");
+  util::throw_if_invalid(!(t0 < t1), "resample requires t0 < t1");
+  util::throw_if_invalid(samples_.empty(), "TimeSeries is empty");
+  TimeSeries out;
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t =
+        t0 + (t1 - t0) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.add(t, value_at(t));
+  }
+  return out;
+}
+
+double TimeSeries::first_time_at_least(double threshold) const {
+  for (const Sample& s : samples_) {
+    if (s.value >= threshold) {
+      return s.time;
+    }
+  }
+  return -1.0;
+}
+
+TimeSeries average_series(const std::vector<TimeSeries>& runs, std::size_t points) {
+  util::throw_if_invalid(runs.empty(), "average_series requires at least one run");
+  util::throw_if_invalid(points < 2, "average_series requires at least 2 points");
+  double t0 = -std::numeric_limits<double>::infinity();
+  double t1 = std::numeric_limits<double>::infinity();
+  for (const TimeSeries& run : runs) {
+    util::throw_if_invalid(run.empty(), "average_series requires non-empty runs");
+    t0 = std::max(t0, run.first_time());
+    t1 = std::min(t1, run.last_time());
+  }
+  util::throw_if_invalid(!(t0 < t1), "average_series: runs have no common time span");
+  TimeSeries out;
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t =
+        t0 + (t1 - t0) * static_cast<double>(i) / static_cast<double>(points - 1);
+    double sum = 0.0;
+    for (const TimeSeries& run : runs) {
+      sum += run.value_at(t);
+    }
+    out.add(t, sum / static_cast<double>(runs.size()));
+  }
+  return out;
+}
+
+}  // namespace mpbt::numeric

@@ -1,0 +1,56 @@
+// Time series container with resampling and multi-run averaging.
+//
+// Simulator metrics are recorded as (time, value) samples on irregular
+// grids (event times); benches average several seeded runs onto a common
+// grid before printing figure series.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mpbt::numeric {
+
+struct Sample {
+  double time = 0.0;
+  double value = 0.0;
+};
+
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::vector<Sample> samples);
+
+  /// Appends a sample; time must be >= the last sample's time.
+  void add(double time, double value);
+
+  bool empty() const { return samples_.empty(); }
+  std::size_t size() const { return samples_.size(); }
+  const Sample& operator[](std::size_t i) const { return samples_[i]; }
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  double first_time() const;
+  double last_time() const;
+
+  /// Piecewise-constant (left-continuous step) interpolation at `t`:
+  /// the value of the latest sample with sample.time <= t. Before the first
+  /// sample, returns the first sample's value. Requires a non-empty series.
+  double value_at(double t) const;
+
+  /// Resamples onto a uniform grid of `points` samples across [t0, t1]
+  /// using step interpolation. Requires points >= 2 and t0 < t1.
+  TimeSeries resample(double t0, double t1, std::size_t points) const;
+
+  /// First time at which value >= threshold (step semantics), or negative
+  /// (-1.0) if the series never reaches it.
+  double first_time_at_least(double threshold) const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+/// Averages several series onto a uniform grid across their common span
+/// [max first_time, min last_time]. All series must be non-empty; requires
+/// points >= 2 and a non-degenerate common span.
+TimeSeries average_series(const std::vector<TimeSeries>& runs, std::size_t points);
+
+}  // namespace mpbt::numeric

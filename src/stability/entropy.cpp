@@ -1,0 +1,55 @@
+#include "stability/entropy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mpbt::stability {
+
+double entropy_from_counts(const std::vector<std::uint32_t>& counts) {
+  if (counts.empty()) {
+    return 1.0;
+  }
+  std::uint32_t min_count = UINT32_MAX;
+  std::uint32_t max_count = 0;
+  for (std::uint32_t c : counts) {
+    min_count = std::min(min_count, c);
+    max_count = std::max(max_count, c);
+  }
+  if (max_count == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(min_count) / static_cast<double>(max_count);
+}
+
+std::vector<double> skewed_piece_probs(std::uint32_t B, double base, double rho) {
+  util::throw_if_invalid(B == 0, "skewed_piece_probs: B must be >= 1");
+  util::throw_if_invalid(base < 0.0 || base > 1.0, "skewed_piece_probs: base must be in [0, 1]");
+  util::throw_if_invalid(rho <= 0.0 || rho > 1.0, "skewed_piece_probs: rho must be in (0, 1]");
+  std::vector<double> probs(B);
+  double p = base;
+  for (std::uint32_t j = 0; j < B; ++j) {
+    probs[j] = p;
+    p *= rho;
+  }
+  return probs;
+}
+
+std::vector<double> ramp_piece_probs(std::uint32_t B, double first, double last) {
+  util::throw_if_invalid(B == 0, "ramp_piece_probs: B must be >= 1");
+  util::throw_if_invalid(first < 0.0 || first > 1.0 || last < 0.0 || last > 1.0,
+                         "ramp_piece_probs: probabilities must be in [0, 1]");
+  std::vector<double> probs(B);
+  if (B == 1) {
+    probs[0] = first;
+    return probs;
+  }
+  for (std::uint32_t j = 0; j < B; ++j) {
+    const double t = static_cast<double>(j) / static_cast<double>(B - 1);
+    probs[j] = first + (last - first) * t;
+  }
+  return probs;
+}
+
+}  // namespace mpbt::stability

@@ -1,0 +1,26 @@
+// Swarm entropy (Section 6): E = min_j d_j / max_j d_j over the piece
+// replication degrees d_j. E -> 1 means a balanced piece distribution;
+// E -> 0 means skew severe enough to stall downloads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mpbt::stability {
+
+/// Entropy of a replication-degree vector. Empty input or all-zero counts
+/// return 1 (no pieces, no skew); any zero count with a nonzero maximum
+/// returns 0.
+double entropy_from_counts(const std::vector<std::uint32_t>& counts);
+
+/// Skewed initial piece-holding probabilities for stability experiments:
+/// piece j is held with probability base * rho^j (geometric decay), so low
+/// pieces are common and high pieces rare. Requires B >= 1,
+/// base in [0, 1], rho in (0, 1].
+std::vector<double> skewed_piece_probs(std::uint32_t B, double base, double rho);
+
+/// Linear ramp variant: piece j held with probability interpolated from
+/// `first` down to `last`. Both in [0, 1].
+std::vector<double> ramp_piece_probs(std::uint32_t B, double first, double last);
+
+}  // namespace mpbt::stability

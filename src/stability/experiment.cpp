@@ -1,0 +1,74 @@
+#include "stability/experiment.hpp"
+
+#include <algorithm>
+
+#include "bt/swarm.hpp"
+#include "stability/entropy.hpp"
+#include "util/assert.hpp"
+
+namespace mpbt::stability {
+
+bt::SwarmConfig make_swarm_config(const StabilityConfig& config) {
+  util::throw_if_invalid(config.num_pieces == 0, "StabilityConfig: num_pieces must be >= 1");
+  util::throw_if_invalid(config.rounds == 0, "StabilityConfig: rounds must be >= 1");
+  bt::SwarmConfig swarm;
+  swarm.num_pieces = config.num_pieces;
+  swarm.max_connections = config.max_connections;
+  swarm.peer_set_size = config.peer_set_size;
+  swarm.arrival_rate = config.arrival_rate;
+  swarm.initial_seeds = config.initial_seeds;
+  swarm.seed_capacity = config.seed_capacity;
+  swarm.max_population = config.max_population;
+  swarm.seed = config.seed;
+  bt::InitialGroup group;
+  group.count = config.initial_peers;
+  group.piece_probs = ramp_piece_probs(config.num_pieces, config.skew_base, config.skew_floor);
+  swarm.initial_groups.push_back(std::move(group));
+  return swarm;
+}
+
+StabilityResult run_stability_experiment(const StabilityConfig& config) {
+  bt::Swarm swarm(make_swarm_config(config));
+  swarm.run_rounds(config.rounds);
+
+  StabilityResult result;
+  result.population = swarm.metrics().population();
+  result.entropy = swarm.metrics().entropy();
+  result.completed = swarm.metrics().completed_count();
+  result.dropped_arrivals = swarm.metrics().dropped_arrivals();
+
+  for (const auto& sample : result.population.samples()) {
+    result.peak_population =
+        std::max(result.peak_population, static_cast<std::uint32_t>(sample.value));
+  }
+  if (!result.population.empty()) {
+    result.final_population =
+        static_cast<std::uint32_t>(result.population.samples().back().value);
+  }
+  if (!result.entropy.empty()) {
+    result.final_entropy = result.entropy.samples().back().value;
+    const double tail_start = result.entropy.last_time() * 0.75;
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const auto& sample : result.entropy.samples()) {
+      if (sample.time >= tail_start) {
+        sum += sample.value;
+        ++n;
+      }
+    }
+    result.mean_entropy_tail = n == 0 ? 0.0 : sum / static_cast<double>(n);
+  }
+
+  // Divergence heuristic: the population ends near its peak, well above
+  // the initial load, while tail entropy stays collapsed — or the safety
+  // cap was hit.
+  const bool population_growing =
+      result.final_population > config.initial_peers &&
+      result.final_population >= result.peak_population * 9 / 10;
+  const bool entropy_collapsed = result.mean_entropy_tail < 0.2;
+  result.diverged =
+      (population_growing && entropy_collapsed) || result.dropped_arrivals > 0;
+  return result;
+}
+
+}  // namespace mpbt::stability

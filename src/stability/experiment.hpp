@@ -1,0 +1,67 @@
+// Stability experiment drivers (Section 6, Figure panels (b) and (c)).
+//
+// Runs a swarm from a skew-seeded initial population and reports the
+// population and entropy trajectories plus a divergence verdict. The
+// paper's experiment: with B = 3 pieces the swarm cannot re-balance — the
+// peer count diverges and entropy collapses to 0 — while B = 10 recovers
+// entropy to 1 and keeps the population bounded.
+#pragma once
+
+#include <cstdint>
+
+#include "bt/config.hpp"
+#include "numeric/timeseries.hpp"
+
+namespace mpbt::stability {
+
+struct StabilityConfig {
+  /// B — number of pieces.
+  std::uint32_t num_pieces = 10;
+  /// Expected peer arrivals per round.
+  double arrival_rate = 4.0;
+  /// Rounds to simulate.
+  std::uint32_t rounds = 400;
+  /// Initial skew-seeded leechers.
+  std::uint32_t initial_peers = 400;
+  /// Initial holding probability ramps linearly from `skew_base` (piece 0,
+  /// heavily replicated) down to `skew_floor` (last piece, rare). The
+  /// floor must be small but non-zero: the instability mechanism is rare
+  /// copies evaporating with departing peers, not a piece missing from the
+  /// swarm entirely.
+  double skew_base = 0.9;
+  double skew_floor = 0.05;
+
+  std::uint32_t peer_set_size = 40;
+  std::uint32_t max_connections = 4;
+  /// Seeds provide exogenous piece injection; the paper's instability
+  /// argument assumes trading dominates, so keep this small.
+  std::uint32_t initial_seeds = 1;
+  std::uint32_t seed_capacity = 2;
+
+  /// Safety valve against runaway unstable populations.
+  std::uint32_t max_population = 20000;
+
+  std::uint64_t seed = 7;
+};
+
+struct StabilityResult {
+  numeric::TimeSeries population;
+  numeric::TimeSeries entropy;
+  double final_entropy = 0.0;
+  double mean_entropy_tail = 0.0;  // mean entropy over the last quarter
+  std::uint32_t peak_population = 0;
+  std::uint32_t final_population = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t dropped_arrivals = 0;
+  /// Heuristic verdict: population kept growing and the tail entropy
+  /// stayed depressed.
+  bool diverged = false;
+};
+
+/// Builds the swarm per `config`, runs it, and summarizes stability.
+StabilityResult run_stability_experiment(const StabilityConfig& config);
+
+/// Builds the underlying SwarmConfig (exposed for tests and custom runs).
+bt::SwarmConfig make_swarm_config(const StabilityConfig& config);
+
+}  // namespace mpbt::stability

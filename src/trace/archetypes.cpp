@@ -1,0 +1,175 @@
+#include "trace/archetypes.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "bt/swarm.hpp"
+#include "numeric/rng.hpp"
+
+namespace mpbt::trace {
+
+ClientTrace run_instrumented_client(bt::SwarmConfig config, bt::Round warmup_rounds,
+                                    bt::Round max_rounds, std::string label) {
+  bt::Swarm swarm(std::move(config));
+  swarm.run_rounds(warmup_rounds);
+  swarm.instrument_next_arrival();
+
+  // Step until the instrumented client exists and finishes (or the cap).
+  bt::PeerId client = bt::kNoPeer;
+  for (bt::Round r = warmup_rounds; r < max_rounds; ++r) {
+    swarm.step();
+    const auto& records = swarm.metrics().client_records();
+    if (client == bt::kNoPeer && !records.empty()) {
+      client = records.begin()->first;
+    }
+    if (client != bt::kNoPeer) {
+      const auto it = records.find(client);
+      if (it != records.end() && it->second.completed) {
+        break;
+      }
+    }
+  }
+  if (client == bt::kNoPeer) {
+    throw std::runtime_error("run_instrumented_client: no client arrived within the run");
+  }
+  const bt::ClientRecord& record = swarm.metrics().client_records().at(client);
+  return from_client_record(record, swarm.config().num_pieces, swarm.config().piece_bytes,
+                            std::move(label));
+}
+
+ClientTrace make_smooth_trace(std::uint64_t seed) {
+  bt::SwarmConfig config;
+  config.num_pieces = 200;
+  config.max_connections = 7;
+  config.peer_set_size = 50;
+  config.arrival_rate = 4.0;
+  config.initial_seeds = 2;
+  config.seed_capacity = 6;
+  config.optimistic_unchoke_prob = 0.8;
+  // A healthy running swarm with varied piece holdings.
+  bt::InitialGroup warm;
+  warm.count = 150;
+  warm.piece_probs.assign(config.num_pieces, 0.35);
+  config.initial_groups.push_back(std::move(warm));
+  config.seed = seed;
+  return run_instrumented_client(std::move(config), /*warmup_rounds=*/20,
+                                 /*max_rounds=*/600, "smooth");
+}
+
+ClientTrace make_last_phase_trace(std::uint64_t seed) {
+  bt::SwarmConfig config;
+  config.num_pieces = 200;
+  config.max_connections = 7;
+  config.peer_set_size = 20;
+  config.arrival_rate = 1.0;
+  config.initial_seeds = 0;
+  config.optimistic_unchoke_prob = 1.0;
+  // A population of near-clones holding the first half of the file: the
+  // client races through that half, then sits with an empty potential set
+  // waiting for the scarce second-half pieces to reach its neighbor set —
+  // the last-piece problem of Section 7.1 (Fig. 2c/d).
+  bt::InitialGroup clones;
+  clones.count = 80;
+  clones.piece_probs.assign(config.num_pieces, 0.0);
+  for (std::uint32_t j = 0; j < config.num_pieces / 2; ++j) {
+    clones.piece_probs[j] = 0.98;
+  }
+  config.initial_groups.push_back(std::move(clones));
+  // Scarce exogenous variety: each arrival carries a few pieces of the
+  // missing half (the paper's `w` / gamma mechanism).
+  config.arrival_piece_probs.assign(config.num_pieces, 0.0);
+  for (std::uint32_t j = config.num_pieces / 2; j < config.num_pieces; ++j) {
+    config.arrival_piece_probs[j] = 0.05;
+  }
+  config.seed = seed;
+  return run_instrumented_client(std::move(config), /*warmup_rounds=*/3,
+                                 /*max_rounds=*/800, "last-phase");
+}
+
+ClientTrace make_bootstrap_trace(std::uint64_t seed) {
+  bt::SwarmConfig config;
+  config.num_pieces = 200;
+  config.max_connections = 7;
+  config.peer_set_size = 6;
+  config.arrival_rate = 0.2;
+  config.initial_seeds = 1;
+  config.seed_capacity = 2;
+  config.optimistic_unchoke_prob = 1.0;
+  // Exact clones: every initial peer holds exactly the first half of the
+  // file, so nobody can trade with anybody. The client's first piece
+  // (optimistically unchoked by a clone) is held by its entire
+  // neighborhood: it waits in the (0, 1, 0) bootstrap state until a peer
+  // with different content enters its neighbor set (Fig. 2e/f).
+  bt::InitialGroup clones;
+  clones.count = 60;
+  clones.piece_probs.assign(config.num_pieces, 0.0);
+  for (std::uint32_t j = 0; j < config.num_pieces / 2; ++j) {
+    clones.piece_probs[j] = 1.0;
+  }
+  config.initial_groups.push_back(std::move(clones));
+  // The thin arrival stream carries a couple of random pieces per peer
+  // (the paper's `w`), eventually unfreezing the swarm.
+  config.arrival_piece_probs.assign(config.num_pieces, 0.04);
+  config.seed = seed;
+  return run_instrumented_client(std::move(config), /*warmup_rounds=*/2,
+                                 /*max_rounds=*/600, "bootstrap");
+}
+
+std::vector<ClientTrace> make_all_archetypes(std::uint64_t seed) {
+  std::vector<ClientTrace> traces;
+  traces.push_back(make_smooth_trace(seed * 1000 + 101));
+  traces.push_back(make_last_phase_trace(seed * 1000 + 202));
+  traces.push_back(make_bootstrap_trace(seed * 1000 + 308));
+  return traces;
+}
+
+SwarmStatsSeries make_stable_stats(std::uint64_t seed, std::size_t hours,
+                                   double mean_population) {
+  numeric::Rng rng(seed);
+  SwarmStatsSeries series;
+  series.label = "stable";
+  series.hourly_peers.reserve(hours);
+  double level = mean_population;
+  for (std::size_t h = 0; h < hours; ++h) {
+    // Mean-reverting wander around the mean (±5% noise).
+    level += (mean_population - level) * 0.2 + rng.uniform(-0.05, 0.05) * mean_population;
+    series.hourly_peers.push_back(
+        static_cast<std::uint32_t>(std::max(1.0, std::round(level))));
+  }
+  return series;
+}
+
+SwarmStatsSeries make_flash_crowd_stats(std::uint64_t seed, std::size_t hours) {
+  numeric::Rng rng(seed);
+  SwarmStatsSeries series;
+  series.label = "flash-crowd";
+  series.hourly_peers.reserve(hours);
+  for (std::size_t h = 0; h < hours; ++h) {
+    // Small base, then an explosive ramp partway through the window.
+    const double t = static_cast<double>(h) / static_cast<double>(hours);
+    double level = 120.0;
+    if (t > 0.4) {
+      level *= std::exp((t - 0.4) * 9.0);
+    }
+    level *= 1.0 + rng.uniform(-0.05, 0.05);
+    series.hourly_peers.push_back(
+        static_cast<std::uint32_t>(std::max(1.0, std::round(level))));
+  }
+  return series;
+}
+
+SwarmStatsSeries make_dying_stats(std::uint64_t seed, std::size_t hours) {
+  numeric::Rng rng(seed);
+  SwarmStatsSeries series;
+  series.label = "dying";
+  series.hourly_peers.reserve(hours);
+  double level = 900.0;
+  for (std::size_t h = 0; h < hours; ++h) {
+    level *= 0.94 * (1.0 + rng.uniform(-0.03, 0.03));
+    series.hourly_peers.push_back(
+        static_cast<std::uint32_t>(std::max(1.0, std::round(level))));
+  }
+  return series;
+}
+
+}  // namespace mpbt::trace

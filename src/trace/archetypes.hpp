@@ -1,0 +1,47 @@
+// Synthetic "real-world" traces (substitute for the paper's BitTornado
+// measurement study, Section 4.2).
+//
+// Three swarm regimes reproduce the three download archetypes of Figure 2:
+//  * smooth      — large peer set, healthy arrivals: the potential set
+//                  grows fast and stays high; the download is linear
+//                  start to finish (Fig. 2a/b).
+//  * last-phase  — small peer set and thin arrivals: the potential set
+//                  collapses near the end, stretching the final pieces
+//                  (Fig. 2c/d).
+//  * bootstrap   — the client joins a swarm of near-identical peers: its
+//                  first piece is tradable with nobody, so the potential
+//                  set (and download rate) stay 0 until fresh content
+//                  flows in (Fig. 2e/f).
+//
+// Also provides synthetic hourly tracker statistics (stable / flash-crowd
+// / dying) for the swarm-selection filter of Section 4.2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bt/config.hpp"
+#include "trace/record.hpp"
+
+namespace mpbt::trace {
+
+/// Runs `config`, warms the swarm up, then instruments the next arriving
+/// client and follows it until completion (or `max_rounds`). Returns its
+/// trace. Throws std::runtime_error if no client arrives within the run.
+ClientTrace run_instrumented_client(bt::SwarmConfig config, bt::Round warmup_rounds,
+                                    bt::Round max_rounds, std::string label);
+
+ClientTrace make_smooth_trace(std::uint64_t seed = 101);
+ClientTrace make_last_phase_trace(std::uint64_t seed = 202);
+ClientTrace make_bootstrap_trace(std::uint64_t seed = 308);
+
+/// All three, in the order of Figure 2.
+std::vector<ClientTrace> make_all_archetypes(std::uint64_t seed = 1);
+
+/// Synthetic hourly tracker statistics for swarm selection.
+SwarmStatsSeries make_stable_stats(std::uint64_t seed, std::size_t hours = 72,
+                                   double mean_population = 800.0);
+SwarmStatsSeries make_flash_crowd_stats(std::uint64_t seed, std::size_t hours = 72);
+SwarmStatsSeries make_dying_stats(std::uint64_t seed, std::size_t hours = 72);
+
+}  // namespace mpbt::trace

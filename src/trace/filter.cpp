@@ -1,0 +1,61 @@
+#include "trace/filter.hpp"
+
+#include <algorithm>
+
+namespace mpbt::trace {
+
+std::string_view swarm_class_name(SwarmClass c) {
+  switch (c) {
+    case SwarmClass::Stable:
+      return "stable";
+    case SwarmClass::FlashCrowd:
+      return "flash-crowd";
+    case SwarmClass::Dying:
+      return "dying";
+  }
+  return "?";
+}
+
+SwarmClass classify_swarm(const SwarmStatsSeries& series, const FilterThresholds& thresholds) {
+  const auto& h = series.hourly_peers;
+  if (h.size() < thresholds.min_hours) {
+    return SwarmClass::Dying;
+  }
+
+  // Flash crowd: growth beyond the factor within any window.
+  for (std::size_t i = 0; i + thresholds.window < h.size(); ++i) {
+    const std::uint32_t start = std::max<std::uint32_t>(h[i], 1);
+    const std::uint32_t end = h[i + thresholds.window];
+    if (static_cast<double>(end) >=
+        thresholds.flash_growth_factor * static_cast<double>(start)) {
+      return SwarmClass::FlashCrowd;
+    }
+  }
+
+  // Dying: final population far below peak, with a downward second half.
+  const std::uint32_t peak = *std::max_element(h.begin(), h.end());
+  const std::uint32_t final_pop = h.back();
+  if (static_cast<double>(final_pop) < thresholds.dying_fraction * static_cast<double>(peak)) {
+    const std::size_t mid = h.size() / 2;
+    double first_half = 0.0;
+    double second_half = 0.0;
+    for (std::size_t i = 0; i < mid; ++i) {
+      first_half += h[i];
+    }
+    for (std::size_t i = mid; i < h.size(); ++i) {
+      second_half += h[i];
+    }
+    first_half /= static_cast<double>(mid);
+    second_half /= static_cast<double>(h.size() - mid);
+    if (second_half < first_half) {
+      return SwarmClass::Dying;
+    }
+  }
+  return SwarmClass::Stable;
+}
+
+bool is_measurable(const SwarmStatsSeries& series, const FilterThresholds& thresholds) {
+  return classify_swarm(series, thresholds) == SwarmClass::Stable;
+}
+
+}  // namespace mpbt::trace

@@ -1,0 +1,38 @@
+// Swarm selection on tracker statistics (Section 4.2).
+//
+// The paper filters candidate swarms by inspecting hourly peer counts:
+// flash crowds (rapidly increasing population) and dying swarms are
+// excluded; only stable swarms are measured. This implements that
+// classification.
+#pragma once
+
+#include <string_view>
+
+#include "trace/record.hpp"
+
+namespace mpbt::trace {
+
+enum class SwarmClass { Stable, FlashCrowd, Dying };
+
+std::string_view swarm_class_name(SwarmClass c);
+
+struct FilterThresholds {
+  /// A swarm is a flash crowd when population grows by more than this
+  /// factor within `window` hours.
+  double flash_growth_factor = 2.0;
+  std::size_t window = 6;
+  /// A swarm is dying when the final population falls below this fraction
+  /// of its peak and the second half trends downward.
+  double dying_fraction = 0.35;
+  /// Series shorter than this cannot be classified reliably and are
+  /// reported as Dying (too little history to trust).
+  std::size_t min_hours = 8;
+};
+
+/// Classifies a swarm's hourly population series.
+SwarmClass classify_swarm(const SwarmStatsSeries& series, const FilterThresholds& thresholds = {});
+
+/// True when the swarm passes the paper's selection criterion (Stable).
+bool is_measurable(const SwarmStatsSeries& series, const FilterThresholds& thresholds = {});
+
+}  // namespace mpbt::trace

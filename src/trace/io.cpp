@@ -1,0 +1,119 @@
+#include "trace/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mpbt::trace {
+
+namespace {
+[[noreturn]] void malformed(const std::string& what) {
+  throw std::runtime_error("malformed mpbt trace: " + what);
+}
+}  // namespace
+
+void write_trace(std::ostream& os, const ClientTrace& trace) {
+  os << "mpbt-trace v1\n";
+  os << "label " << trace.label << '\n';
+  os << "pieces " << trace.num_pieces << " piece_bytes " << trace.piece_bytes << " completed "
+     << (trace.completed ? 1 : 0) << '\n';
+  os << "points " << trace.points.size() << '\n';
+  for (const TracePoint& p : trace.points) {
+    os << p.time << ' ' << p.cumulative_bytes << ' ' << p.potential_set_size << ' '
+       << p.pieces_held << '\n';
+  }
+}
+
+ClientTrace read_trace(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != "mpbt-trace v1") {
+    malformed("missing or unsupported header");
+  }
+  ClientTrace trace;
+  if (!std::getline(is, line) || line.rfind("label ", 0) != 0) {
+    malformed("missing label line");
+  }
+  trace.label = line.substr(6);
+
+  if (!std::getline(is, line)) {
+    malformed("missing metadata line");
+  }
+  {
+    std::istringstream meta(line);
+    std::string kw1;
+    std::string kw2;
+    std::string kw3;
+    int completed = 0;
+    meta >> kw1 >> trace.num_pieces >> kw2 >> trace.piece_bytes >> kw3 >> completed;
+    if (!meta || kw1 != "pieces" || kw2 != "piece_bytes" || kw3 != "completed") {
+      malformed("bad metadata line");
+    }
+    trace.completed = completed != 0;
+  }
+
+  if (!std::getline(is, line) || line.rfind("points ", 0) != 0) {
+    malformed("missing points line");
+  }
+  std::size_t count = 0;
+  {
+    std::istringstream counts(line.substr(7));
+    counts >> count;
+    if (!counts) {
+      malformed("bad point count");
+    }
+  }
+  trace.points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!std::getline(is, line)) {
+      malformed("truncated point list");
+    }
+    std::istringstream point(line);
+    TracePoint p;
+    point >> p.time >> p.cumulative_bytes >> p.potential_set_size >> p.pieces_held;
+    if (!point) {
+      malformed("bad point at index " + std::to_string(i));
+    }
+    trace.points.push_back(p);
+  }
+  return trace;
+}
+
+void save_trace(const std::string& path, const ClientTrace& trace) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open trace file for writing: " + path);
+  }
+  write_trace(out, trace);
+  if (!out) {
+    throw std::runtime_error("error writing trace file: " + path);
+  }
+}
+
+ClientTrace load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open trace file: " + path);
+  }
+  return read_trace(in);
+}
+
+void write_trace_csv(std::ostream& os, const ClientTrace& trace) {
+  os << "time,cumulative_bytes,potential_set_size,pieces_held\n";
+  for (const TracePoint& p : trace.points) {
+    os << p.time << ',' << p.cumulative_bytes << ',' << p.potential_set_size << ','
+       << p.pieces_held << '\n';
+  }
+}
+
+void save_trace_csv(const std::string& path, const ClientTrace& trace) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open trace CSV file for writing: " + path);
+  }
+  write_trace_csv(out, trace);
+  if (!out) {
+    throw std::runtime_error("error writing trace CSV file: " + path);
+  }
+}
+
+}  // namespace mpbt::trace

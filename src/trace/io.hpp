@@ -1,0 +1,32 @@
+// Text serialization of client traces (versioned, line-oriented).
+//
+// Format:
+//   mpbt-trace v1
+//   label <string>
+//   pieces <B> piece_bytes <bytes> completed <0|1>
+//   points <count>
+//   <time> <cumulative_bytes> <potential> <pieces_held>   (x count)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/record.hpp"
+
+namespace mpbt::trace {
+
+void write_trace(std::ostream& os, const ClientTrace& trace);
+
+/// Parses a trace; throws std::runtime_error on malformed input.
+ClientTrace read_trace(std::istream& is);
+
+/// File convenience wrappers; throw std::runtime_error on I/O failure.
+void save_trace(const std::string& path, const ClientTrace& trace);
+ClientTrace load_trace(const std::string& path);
+
+/// Writes the trace as CSV (header: time,cumulative_bytes,potential,
+/// pieces), e.g. for gnuplot / pandas.
+void write_trace_csv(std::ostream& os, const ClientTrace& trace);
+void save_trace_csv(const std::string& path, const ClientTrace& trace);
+
+}  // namespace mpbt::trace

@@ -1,0 +1,20 @@
+#include "trace/record.hpp"
+
+namespace mpbt::trace {
+
+ClientTrace from_client_record(const bt::ClientRecord& record, std::uint32_t num_pieces,
+                               std::uint64_t piece_bytes, std::string label) {
+  ClientTrace trace;
+  trace.label = std::move(label);
+  trace.num_pieces = num_pieces;
+  trace.piece_bytes = piece_bytes;
+  trace.completed = record.completed;
+  trace.points.reserve(record.samples.size());
+  for (const bt::ClientSample& s : record.samples) {
+    trace.points.push_back({static_cast<double>(s.round), s.cumulative_bytes,
+                            s.potential_set_size, s.pieces_held});
+  }
+  return trace;
+}
+
+}  // namespace mpbt::trace

@@ -1,0 +1,49 @@
+// Trace records — the data a measurement-instrumented BitTorrent client
+// produces (Section 4.2 of the paper).
+//
+// The paper instruments a BitTornado client inside real swarms; we cannot
+// obtain that proprietary data, so the same record structure is fed by the
+// simulator's instrumented-client mode and by a synthetic generator (see
+// archetypes.hpp). DESIGN.md documents the substitution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bt/metrics.hpp"
+
+namespace mpbt::trace {
+
+struct TracePoint {
+  double time = 0.0;
+  std::uint64_t cumulative_bytes = 0;
+  std::uint32_t potential_set_size = 0;
+  std::uint32_t pieces_held = 0;
+};
+
+struct ClientTrace {
+  std::string label;
+  std::uint32_t num_pieces = 0;
+  std::uint64_t piece_bytes = 0;
+  bool completed = false;
+  std::vector<TracePoint> points;
+
+  /// Total bytes downloaded at the end of the trace.
+  std::uint64_t final_bytes() const {
+    return points.empty() ? 0 : points.back().cumulative_bytes;
+  }
+};
+
+/// Converts the swarm's instrumented-client record into a ClientTrace.
+ClientTrace from_client_record(const bt::ClientRecord& record, std::uint32_t num_pieces,
+                               std::uint64_t piece_bytes, std::string label);
+
+/// Hourly tracker population statistics for one swarm, as the paper's
+/// swarm-selection step consumes them.
+struct SwarmStatsSeries {
+  std::string label;
+  std::vector<std::uint32_t> hourly_peers;
+};
+
+}  // namespace mpbt::trace

@@ -1,0 +1,30 @@
+#include "util/assert.hpp"
+
+#include <sstream>
+
+namespace mpbt::util {
+
+void assertion_failure(std::string_view expr, std::string_view message,
+                       const std::source_location& loc) {
+  std::ostringstream os;
+  os << "mpbt assertion failed: " << expr;
+  if (!message.empty()) {
+    os << " (" << message << ")";
+  }
+  os << " at " << loc.file_name() << ":" << loc.line() << " in " << loc.function_name();
+  throw AssertionError(os.str());
+}
+
+void throw_if_invalid(bool condition, const std::string& message) {
+  if (condition) {
+    throw std::invalid_argument(message);
+  }
+}
+
+void throw_if_out_of_range(bool condition, const std::string& message) {
+  if (condition) {
+    throw std::out_of_range(message);
+  }
+}
+
+}  // namespace mpbt::util

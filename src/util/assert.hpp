@@ -1,0 +1,48 @@
+// Internal invariant checking for the mpbt library.
+//
+// MPBT_ASSERT checks internal invariants (bugs in *our* code); it is active
+// in all build types because the simulators are cheap relative to the cost
+// of silently corrupt experiment output. Public-API precondition violations
+// (bugs in *caller* code) throw std::invalid_argument / std::out_of_range
+// instead — see the `throw_if` helpers below.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace mpbt::util {
+
+/// Thrown when an internal invariant of the library is violated.
+/// Catching this is almost always wrong; it indicates a library bug.
+class AssertionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] void assertion_failure(std::string_view expr, std::string_view message,
+                                    const std::source_location& loc);
+
+/// Throws std::invalid_argument with `message` when `condition` is true.
+/// Used to validate public-API preconditions.
+void throw_if_invalid(bool condition, const std::string& message);
+
+/// Throws std::out_of_range with `message` when `condition` is true.
+void throw_if_out_of_range(bool condition, const std::string& message);
+
+}  // namespace mpbt::util
+
+#define MPBT_ASSERT(expr)                                                             \
+  do {                                                                                \
+    if (!(expr)) {                                                                    \
+      ::mpbt::util::assertion_failure(#expr, "", std::source_location::current());    \
+    }                                                                                 \
+  } while (false)
+
+#define MPBT_ASSERT_MSG(expr, msg)                                                    \
+  do {                                                                                \
+    if (!(expr)) {                                                                    \
+      ::mpbt::util::assertion_failure(#expr, (msg), std::source_location::current()); \
+    }                                                                                 \
+  } while (false)

@@ -1,0 +1,130 @@
+#include "util/cli.hpp"
+
+#include <iostream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace mpbt::util {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  throw_if_invalid(name.empty() || name.starts_with("--"),
+                   "flag name must be non-empty and given without leading --");
+  Option opt;
+  opt.help = help;
+  opt.is_flag = true;
+  opt.value = "false";
+  const bool inserted = options_.emplace(name, std::move(opt)).second;
+  throw_if_invalid(!inserted, "duplicate flag: " + name);
+}
+
+void CliParser::add_option(const std::string& name, const std::string& help,
+                           const std::string& default_value) {
+  throw_if_invalid(name.empty() || name.starts_with("--"),
+                   "option name must be non-empty and given without leading --");
+  Option opt;
+  opt.help = help;
+  opt.value = default_value;
+  const bool inserted = options_.emplace(name, std::move(opt)).second;
+  throw_if_invalid(!inserted, "duplicate option: " + name);
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int a = 1; a < argc; ++a) {
+    std::string arg = argv[a];
+    if (arg == "--help" || arg == "-h") {
+      print_help(std::cout);
+      return false;
+    }
+    if (!arg.starts_with("--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = body.find('='); eq != std::string::npos) {
+      value = body.substr(eq + 1);
+      body = body.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(body);
+    if (it == options_.end()) {
+      throw std::invalid_argument("unknown flag: --" + body + " (try --help)");
+    }
+    Option& opt = it->second;
+    if (opt.is_flag) {
+      if (has_value) {
+        throw std::invalid_argument("flag --" + body + " does not take a value");
+      }
+      opt.value = "true";
+    } else {
+      if (!has_value) {
+        if (a + 1 >= argc) {
+          throw std::invalid_argument("option --" + body + " requires a value");
+        }
+        value = argv[++a];
+      }
+      opt.value = value;
+    }
+    opt.seen = true;
+  }
+  return true;
+}
+
+bool CliParser::has_flag(const std::string& name) const {
+  const auto it = options_.find(name);
+  throw_if_invalid(it == options_.end(), "unregistered flag queried: " + name);
+  return it->second.value == "true";
+}
+
+std::string CliParser::get(const std::string& name) const {
+  const auto it = options_.find(name);
+  throw_if_invalid(it == options_.end(), "unregistered option queried: " + name);
+  return it->second.value;
+}
+
+long long CliParser::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  try {
+    std::size_t pos = 0;
+    const long long out = std::stoll(v, &pos);
+    if (pos != v.size()) {
+      throw std::invalid_argument("trailing characters");
+    }
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name + " expects an integer, got '" + v + "'");
+  }
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(v, &pos);
+    if (pos != v.size()) {
+      throw std::invalid_argument("trailing characters");
+    }
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name + " expects a number, got '" + v + "'");
+  }
+}
+
+void CliParser::print_help(std::ostream& os) const {
+  os << program_ << " — " << description_ << "\n\nOptions:\n";
+  for (const auto& [name, opt] : options_) {
+    os << "  --" << name;
+    if (!opt.is_flag) {
+      os << "=<value> (default: " << opt.value << ")";
+    }
+    os << "\n      " << opt.help << '\n';
+  }
+  os << "  --help\n      Show this help.\n";
+}
+
+}  // namespace mpbt::util

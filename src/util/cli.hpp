@@ -1,0 +1,56 @@
+// Tiny command-line flag parser for bench harnesses and examples.
+//
+// Supports `--key=value`, `--key value`, and boolean `--flag` forms.
+// Unknown flags are an error (so typos in experiment parameters fail loudly
+// instead of silently running the default configuration).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mpbt::util {
+
+class CliParser {
+ public:
+  /// `description` is printed at the top of --help output.
+  explicit CliParser(std::string program, std::string description);
+
+  /// Registers a flag. `help` is shown in --help; flags are matched by
+  /// exact name (without the leading "--").
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Registers an option taking a value, with a default shown in help.
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_value);
+
+  /// Parses argv. Returns false if --help was requested (help printed to
+  /// stdout); throws std::invalid_argument on unknown or malformed flags.
+  bool parse(int argc, const char* const* argv);
+
+  bool has_flag(const std::string& name) const;
+  std::string get(const std::string& name) const;
+  long long get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+
+  /// Positional arguments left after flag parsing.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  void print_help(std::ostream& os) const;
+
+ private:
+  struct Option {
+    std::string help;
+    std::string value;
+    bool is_flag = false;
+    bool seen = false;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mpbt::util

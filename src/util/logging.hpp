@@ -1,0 +1,62 @@
+// Minimal leveled logger.
+//
+// Experiments and examples use this to report progress; the library core is
+// silent by default (level = Warn). There is deliberately no global mutable
+// configuration beyond the level: output always goes to stderr so that bench
+// binaries can pipe their stdout tables cleanly.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace mpbt::util {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Returns the current global log level (default: Warn).
+LogLevel log_level();
+
+/// Sets the global log level. Thread-compatible: call before spawning work.
+void set_log_level(LogLevel level);
+
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-insensitive).
+/// Throws std::invalid_argument on unknown names.
+LogLevel parse_log_level(std::string_view name);
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+/// Stream-style log statement: `Log(LogLevel::Info) << "x=" << x;`
+/// The message is emitted when the temporary is destroyed.
+class Log {
+ public:
+  explicit Log(LogLevel level) : level_(level) {}
+  Log(const Log&) = delete;
+  Log& operator=(const Log&) = delete;
+  ~Log() {
+    if (level_ >= log_level()) {
+      detail::emit(level_, stream_.str());
+    }
+  }
+
+  template <typename T>
+  Log& operator<<(const T& value) {
+    if (level_ >= log_level()) {
+      stream_ << value;
+    }
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace mpbt::util
+
+#define MPBT_LOG_DEBUG ::mpbt::util::Log(::mpbt::util::LogLevel::Debug)
+#define MPBT_LOG_INFO ::mpbt::util::Log(::mpbt::util::LogLevel::Info)
+#define MPBT_LOG_WARN ::mpbt::util::Log(::mpbt::util::LogLevel::Warn)
+#define MPBT_LOG_ERROR ::mpbt::util::Log(::mpbt::util::LogLevel::Error)

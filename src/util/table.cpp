@@ -1,0 +1,125 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace mpbt::util {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  throw_if_invalid(columns_.empty(), "Table requires at least one column");
+}
+
+void Table::set_precision(int digits) {
+  throw_if_invalid(digits < 0 || digits > 17, "Table precision must be in [0, 17]");
+  precision_ = digits;
+}
+
+void Table::add_row(std::vector<Cell> row) {
+  throw_if_invalid(row.size() != columns_.size(),
+                   "Table row has wrong number of cells: got " + std::to_string(row.size()) +
+                       ", expected " + std::to_string(columns_.size()));
+  rows_.push_back(std::move(row));
+}
+
+const std::vector<Cell>& Table::row(std::size_t r) const {
+  throw_if_out_of_range(r >= rows_.size(), "Table row index out of range");
+  return rows_[r];
+}
+
+std::string Table::format_cell(const Cell& cell) const {
+  if (const auto* s = std::get_if<std::string>(&cell)) {
+    return *s;
+  }
+  if (const auto* i = std::get_if<long long>(&cell)) {
+    return std::to_string(*i);
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision_) << std::get<double>(cell);
+  return os.str();
+}
+
+void Table::print_text(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  std::vector<std::vector<std::string>> formatted;
+  formatted.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(format_cell(row[c]));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    formatted.push_back(std::move(cells));
+  }
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c])) << cells[c];
+    }
+    os << '\n';
+  };
+
+  print_row(columns_);
+  std::size_t rule_width = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule_width += widths[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(rule_width, '-') << '\n';
+  for (const auto& cells : formatted) {
+    print_row(cells);
+  }
+}
+
+namespace {
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) {
+    return field;
+  }
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << (c == 0 ? "" : ",") << csv_escape(columns_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : ",") << csv_escape(format_cell(row[c]));
+    }
+    os << '\n';
+  }
+}
+
+void Table::write_csv_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open CSV output file: " + path);
+  }
+  write_csv(out);
+  if (!out) {
+    throw std::runtime_error("error writing CSV output file: " + path);
+  }
+}
+
+}  // namespace mpbt::util

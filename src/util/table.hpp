@@ -1,0 +1,52 @@
+// Aligned-text and CSV table output used by all bench harnesses.
+//
+// A Table is a column-typed grid: add columns first, then append rows.
+// `print_text` writes an aligned, human-readable table (what the bench
+// binaries show on stdout); `write_csv` writes the machine-readable form.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace mpbt::util {
+
+/// One cell: either a string, an integer, or a floating-point value.
+using Cell = std::variant<std::string, long long, double>;
+
+class Table {
+ public:
+  /// Creates a table with the given column headers. At least one column.
+  explicit Table(std::vector<std::string> columns);
+
+  /// Number of digits printed after the decimal point for doubles (default 4).
+  void set_precision(int digits);
+
+  /// Appends one row; the row must have exactly as many cells as columns.
+  void add_row(std::vector<Cell> row);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_columns() const { return columns_.size(); }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<Cell>& row(std::size_t r) const;
+
+  /// Writes the table as aligned text with a header rule.
+  void print_text(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (fields with commas/quotes/newlines are quoted).
+  void write_csv(std::ostream& os) const;
+
+  /// Convenience: writes CSV to `path`; throws std::runtime_error on I/O error.
+  void write_csv_file(const std::string& path) const;
+
+ private:
+  std::string format_cell(const Cell& cell) const;
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 4;
+};
+
+}  // namespace mpbt::util

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/compare.hpp"
+#include "analysis/phase_detect.hpp"
+
+namespace mpbt::analysis {
+namespace {
+
+trace::ClientTrace trace_with(std::vector<trace::TracePoint> points, std::uint32_t pieces = 100) {
+  trace::ClientTrace t;
+  t.label = "test";
+  t.num_pieces = pieces;
+  t.piece_bytes = 1000;
+  t.points = std::move(points);
+  return t;
+}
+
+TEST(PhaseDetect, RequiresNonEmptyTrace) {
+  EXPECT_THROW(detect_phases(trace_with({})), std::invalid_argument);
+}
+
+TEST(PhaseDetect, SmoothDownloadHasNoSignificantPhases) {
+  // Potential set healthy from the first trading round to the end.
+  std::vector<trace::TracePoint> points;
+  for (int t = 0; t <= 50; ++t) {
+    points.push_back({static_cast<double>(t), static_cast<std::uint64_t>(t) * 2000,
+                      15, static_cast<std::uint32_t>(t * 2)});
+  }
+  const PhaseSegmentation seg = detect_phases(trace_with(points));
+  EXPECT_LE(seg.efficient_begin, 1u);
+  EXPECT_FALSE(seg.has_last_phase());
+  EXPECT_LT(seg.bootstrap_fraction(), 0.05);
+  EXPECT_EQ(seg.last_fraction(), 0.0);
+}
+
+TEST(PhaseDetect, BootstrapPrefixDetected) {
+  // 20 rounds stuck at zero pieces / zero potential, then normal trading.
+  std::vector<trace::TracePoint> points;
+  for (int t = 0; t < 20; ++t) {
+    points.push_back({static_cast<double>(t), 0, 0, 0});
+  }
+  for (int t = 20; t <= 60; ++t) {
+    points.push_back({static_cast<double>(t), static_cast<std::uint64_t>(t - 19) * 1000,
+                      10, static_cast<std::uint32_t>((t - 19) * 2)});
+  }
+  const PhaseSegmentation seg = detect_phases(trace_with(points));
+  EXPECT_TRUE(seg.has_bootstrap_phase());
+  EXPECT_EQ(seg.efficient_begin, 20u);
+  EXPECT_NEAR(seg.bootstrap_duration, 20.0, 1e-9);
+  EXPECT_GT(seg.bootstrap_fraction(), 0.3);
+}
+
+TEST(PhaseDetect, LastPhaseSuffixDetected) {
+  // Healthy until 80% completion, then the potential set collapses.
+  std::vector<trace::TracePoint> points;
+  for (int t = 0; t <= 40; ++t) {
+    points.push_back({static_cast<double>(t), static_cast<std::uint64_t>(t) * 1000,
+                      12, static_cast<std::uint32_t>(t * 2)});
+  }
+  for (int t = 41; t <= 70; ++t) {
+    points.push_back({static_cast<double>(t), 40000 + static_cast<std::uint64_t>(t - 40) * 100,
+                      1, static_cast<std::uint32_t>(80 + (t - 40) / 3)});
+  }
+  const PhaseSegmentation seg = detect_phases(trace_with(points));
+  EXPECT_TRUE(seg.has_last_phase());
+  EXPECT_EQ(seg.last_begin, 41u);
+  EXPECT_GT(seg.last_fraction(), 0.3);
+}
+
+TEST(PhaseDetect, EarlyStallIsNotALastPhase) {
+  // Collapsed potential at LOW completion must not register as last phase.
+  std::vector<trace::TracePoint> points;
+  for (int t = 0; t <= 30; ++t) {
+    points.push_back({static_cast<double>(t), static_cast<std::uint64_t>(t) * 100,
+                      t < 15 ? 0u : 10u, static_cast<std::uint32_t>(t)});
+  }
+  const PhaseSegmentation seg = detect_phases(trace_with(points));
+  EXPECT_FALSE(seg.has_last_phase());
+}
+
+TEST(PhaseDetect, OptionsControlThreshold) {
+  std::vector<trace::TracePoint> points;
+  for (int t = 0; t <= 20; ++t) {
+    points.push_back({static_cast<double>(t), static_cast<std::uint64_t>(t) * 1000, 8,
+                      static_cast<std::uint32_t>(t * 4)});
+  }
+  for (int t = 21; t <= 30; ++t) {
+    points.push_back({static_cast<double>(t), 20000, 2, 85});
+  }
+  PhaseDetectOptions defaults;  // threshold 1 -> potential 2 is "healthy"
+  EXPECT_FALSE(detect_phases(trace_with(points), defaults).has_last_phase());
+  PhaseDetectOptions loose;
+  loose.last_phase_potential = 2;
+  EXPECT_TRUE(detect_phases(trace_with(points), loose).has_last_phase());
+}
+
+TEST(ProfileCompare, RmseAndGapSkipMissing) {
+  const std::vector<double> a{1.0, -1.0, 3.0, 5.0};
+  const std::vector<double> b{1.0, 2.0, 4.0, -1.0};
+  // Overlap: indices 0 and 2 -> errors 0 and 1.
+  EXPECT_NEAR(profile_rmse(a, b), std::sqrt(0.5), 1e-12);
+  EXPECT_NEAR(profile_max_gap(a, b), 1.0, 1e-12);
+}
+
+TEST(ProfileCompare, NoOverlapReturnsMinusOne) {
+  const std::vector<double> a{-1.0, -1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_EQ(profile_rmse(a, b), -1.0);
+  EXPECT_EQ(profile_max_gap(a, b), -1.0);
+  EXPECT_EQ(profile_mean(a), -1.0);
+}
+
+TEST(ProfileCompare, MeanSkipsMissing) {
+  EXPECT_NEAR(profile_mean({1.0, -1.0, 3.0}), 2.0, 1e-12);
+}
+
+TEST(RatePotentialCorrelation, PositivelyCorrelatedTrace) {
+  // Rate tracks potential size exactly -> correlation near 1.
+  std::vector<trace::TracePoint> points;
+  std::uint64_t bytes = 0;
+  for (int t = 0; t <= 40; ++t) {
+    const std::uint32_t potential = static_cast<std::uint32_t>(5 + 4 * (t % 5));
+    bytes += potential * 100;
+    points.push_back({static_cast<double>(t), bytes, potential,
+                      static_cast<std::uint32_t>(t)});
+  }
+  const double corr = rate_potential_correlation(trace_with(points));
+  EXPECT_GT(corr, 0.9);
+}
+
+TEST(RatePotentialCorrelation, DegenerateTraces) {
+  EXPECT_EQ(rate_potential_correlation(trace_with({})), 0.0);
+  EXPECT_EQ(rate_potential_correlation(
+                trace_with({{0.0, 0, 0, 0}, {1.0, 10, 1, 1}})),
+            0.0);
+}
+
+}  // namespace
+}  // namespace mpbt::analysis

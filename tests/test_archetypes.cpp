@@ -1,0 +1,91 @@
+// End-to-end checks that the synthetic trace archetypes reproduce the
+// qualitative shapes of Figure 2 (the paper's real-world measurements).
+#include <gtest/gtest.h>
+
+#include "analysis/compare.hpp"
+#include "analysis/phase_detect.hpp"
+#include "trace/archetypes.hpp"
+
+namespace mpbt::trace {
+namespace {
+
+TEST(Archetypes, InstrumentedRunWithoutArrivalsThrows) {
+  bt::SwarmConfig config;
+  config.num_pieces = 10;
+  config.arrival_rate = 0.0;  // no client will ever arrive
+  config.initial_seeds = 1;
+  EXPECT_THROW(
+      run_instrumented_client(std::move(config), /*warmup_rounds=*/2,
+                              /*max_rounds=*/10, "none"),
+      std::runtime_error);
+}
+
+TEST(Archetypes, SmoothTraceHasNoDominantPhases) {
+  const ClientTrace trace = make_smooth_trace();
+  ASSERT_GT(trace.points.size(), 10u);
+  EXPECT_TRUE(trace.completed);
+  const analysis::PhaseSegmentation seg = analysis::detect_phases(trace);
+  // Fig. 2(a)/(b): smooth start-to-finish, potential set healthy.
+  EXPECT_LT(seg.bootstrap_fraction(), 0.15);
+  EXPECT_LT(seg.last_fraction(), 0.15);
+}
+
+TEST(Archetypes, SmoothTracePotentialStaysHigh) {
+  const ClientTrace trace = make_smooth_trace();
+  std::size_t healthy = 0;
+  for (const TracePoint& p : trace.points) {
+    if (p.potential_set_size >= 8) {
+      ++healthy;
+    }
+  }
+  EXPECT_GT(static_cast<double>(healthy) / static_cast<double>(trace.points.size()), 0.7);
+}
+
+TEST(Archetypes, LastPhaseTraceHasCollapsedTail) {
+  const ClientTrace trace = make_last_phase_trace();
+  ASSERT_GT(trace.points.size(), 10u);
+  analysis::PhaseDetectOptions options;
+  options.last_phase_potential = 1;
+  const analysis::PhaseSegmentation seg = analysis::detect_phases(trace, options);
+  // Fig. 2(c)/(d): a visible last-download phase.
+  EXPECT_TRUE(seg.has_last_phase());
+  EXPECT_GT(seg.last_fraction(), 0.05);
+}
+
+TEST(Archetypes, BootstrapTraceStallsAtStart) {
+  const ClientTrace trace = make_bootstrap_trace();
+  ASSERT_GT(trace.points.size(), 10u);
+  const analysis::PhaseSegmentation seg = analysis::detect_phases(trace);
+  // Fig. 2(e)/(f): a visible bootstrap phase with zero download rate.
+  EXPECT_TRUE(seg.has_bootstrap_phase());
+  EXPECT_GT(seg.bootstrap_fraction(), 0.1);
+  // During the stall no bytes arrive beyond (at most) the first piece.
+  const std::size_t stall_end = seg.efficient_begin;
+  ASSERT_GT(stall_end, 0u);
+  EXPECT_LE(trace.points[stall_end - 1].cumulative_bytes, trace.piece_bytes);
+}
+
+TEST(Archetypes, DownloadRateTracksPotentialSetSize) {
+  // Section 4: "the potential set evolution and the download rate are
+  // highly correlated" — check it on the last-phase archetype where both
+  // vary the most.
+  const ClientTrace trace = make_last_phase_trace();
+  EXPECT_GT(analysis::rate_potential_correlation(trace), 0.2);
+}
+
+TEST(Archetypes, AllThreeProduceCoherentTraces) {
+  const std::vector<ClientTrace> traces = make_all_archetypes(2);
+  ASSERT_EQ(traces.size(), 3u);
+  for (const ClientTrace& trace : traces) {
+    ASSERT_FALSE(trace.points.empty()) << trace.label;
+    // Cumulative bytes never decrease.
+    for (std::size_t i = 1; i < trace.points.size(); ++i) {
+      ASSERT_GE(trace.points[i].cumulative_bytes, trace.points[i - 1].cumulative_bytes)
+          << trace.label;
+    }
+    EXPECT_EQ(trace.num_pieces, 200u);
+  }
+}
+
+}  // namespace
+}  // namespace mpbt::trace

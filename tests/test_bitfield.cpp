@@ -1,0 +1,163 @@
+#include "bt/bitfield.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bt/id_set.hpp"
+
+namespace mpbt::bt {
+namespace {
+
+TEST(Bitfield, StartsEmpty) {
+  Bitfield b(10);
+  EXPECT_EQ(b.size(), 10u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  EXPECT_FALSE(b.all());
+  for (PieceIndex p = 0; p < 10; ++p) {
+    EXPECT_FALSE(b.test(p));
+  }
+}
+
+TEST(Bitfield, SetResetCount) {
+  Bitfield b(100);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(99);
+  EXPECT_EQ(b.count(), 4u);
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  b.set(63);  // idempotent
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_EQ(b.count(), 3u);
+  EXPECT_FALSE(b.test(63));
+  b.reset(63);  // idempotent
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(Bitfield, AllDetection) {
+  Bitfield b(3);
+  b.set(0);
+  b.set(1);
+  EXPECT_FALSE(b.all());
+  b.set(2);
+  EXPECT_TRUE(b.all());
+  EXPECT_FALSE(b.none());
+}
+
+TEST(Bitfield, BoundsChecked) {
+  Bitfield b(8);
+  EXPECT_THROW(b.test(8), std::out_of_range);
+  EXPECT_THROW(b.set(8), std::out_of_range);
+  EXPECT_THROW(b.reset(100), std::out_of_range);
+  EXPECT_THROW(Bitfield(0), std::invalid_argument);
+}
+
+TEST(Bitfield, HasPieceMissingFrom) {
+  Bitfield a(70);
+  Bitfield b(70);
+  a.set(5);
+  EXPECT_TRUE(a.has_piece_missing_from(b));
+  EXPECT_FALSE(b.has_piece_missing_from(a));
+  b.set(5);
+  EXPECT_FALSE(a.has_piece_missing_from(b));
+  b.set(69);
+  EXPECT_TRUE(b.has_piece_missing_from(a));
+}
+
+TEST(Bitfield, SizeMismatchRejected) {
+  Bitfield a(10);
+  Bitfield b(11);
+  EXPECT_THROW(a.has_piece_missing_from(b), std::invalid_argument);
+  EXPECT_THROW(a.pieces_missing_from(b), std::invalid_argument);
+  EXPECT_THROW(a.intersection_count(b), std::invalid_argument);
+}
+
+TEST(Bitfield, PiecesMissingFrom) {
+  Bitfield a(130);
+  Bitfield b(130);
+  a.set(1);
+  a.set(64);
+  a.set(129);
+  b.set(64);
+  const auto missing = a.pieces_missing_from(b);
+  EXPECT_EQ(missing, (std::vector<PieceIndex>{1, 129}));
+}
+
+TEST(Bitfield, HeldAndMissingPartition) {
+  Bitfield b(20);
+  b.set(3);
+  b.set(17);
+  const auto held = b.held_pieces();
+  const auto missing = b.missing_pieces();
+  EXPECT_EQ(held.size(), 2u);
+  EXPECT_EQ(missing.size(), 18u);
+  EXPECT_EQ(held, (std::vector<PieceIndex>{3, 17}));
+  for (PieceIndex p : missing) {
+    EXPECT_FALSE(b.test(p));
+  }
+}
+
+TEST(Bitfield, IntersectionCount) {
+  Bitfield a(128);
+  Bitfield b(128);
+  for (PieceIndex p = 0; p < 128; p += 2) {
+    a.set(p);
+  }
+  for (PieceIndex p = 0; p < 128; p += 3) {
+    b.set(p);
+  }
+  // Multiples of 6 in [0, 128): 0, 6, ..., 126 -> 22 values.
+  EXPECT_EQ(a.intersection_count(b), 22u);
+}
+
+TEST(Bitfield, Equality) {
+  Bitfield a(10);
+  Bitfield b(10);
+  EXPECT_TRUE(a == b);
+  a.set(5);
+  EXPECT_FALSE(a == b);
+  b.set(5);
+  EXPECT_TRUE(a == b);
+  Bitfield c(11);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(IdSet, BasicSetSemantics) {
+  IdSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_TRUE(s.insert(3));
+  EXPECT_TRUE(s.insert(7));
+  EXPECT_FALSE(s.insert(5));  // duplicate
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_TRUE(s.erase(3));
+  EXPECT_FALSE(s.erase(3));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(IdSet, IteratesSorted) {
+  IdSet s;
+  s.insert(9);
+  s.insert(1);
+  s.insert(5);
+  const std::vector<PeerId> expected{1, 5, 9};
+  EXPECT_EQ(s.as_vector(), expected);
+  std::vector<PeerId> iterated(s.begin(), s.end());
+  EXPECT_EQ(iterated, expected);
+}
+
+TEST(IdSet, Clear) {
+  IdSet s;
+  s.insert(1);
+  s.insert(2);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.contains(1));
+}
+
+}  // namespace
+}  // namespace mpbt::bt

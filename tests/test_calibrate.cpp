@@ -1,0 +1,97 @@
+// Model calibration from swarm metrics (the Section 4 methodology).
+#include <gtest/gtest.h>
+
+#include "analysis/calibrate.hpp"
+#include "model/download_model.hpp"
+
+namespace mpbt::analysis {
+namespace {
+
+bt::SwarmConfig warm_config() {
+  bt::SwarmConfig config;
+  config.num_pieces = 50;
+  config.max_connections = 4;
+  config.peer_set_size = 20;
+  config.arrival_rate = 2.0;
+  config.initial_seeds = 1;
+  config.seed_capacity = 4;
+  config.seed = 15;
+  bt::InitialGroup warm;
+  warm.count = 60;
+  warm.piece_probs.assign(config.num_pieces, 0.35);
+  config.initial_groups.push_back(std::move(warm));
+  return config;
+}
+
+TEST(Calibrate, CopiesStructuralParameters) {
+  bt::Swarm swarm(warm_config());
+  swarm.run_rounds(100);
+  const model::ModelParams params = calibrate_model(swarm);
+  EXPECT_EQ(params.B, 50);
+  EXPECT_EQ(params.k, 4);
+  EXPECT_EQ(params.s, 20);
+}
+
+TEST(Calibrate, MeasuredProbabilitiesAreValid) {
+  bt::Swarm swarm(warm_config());
+  swarm.run_rounds(100);
+  model::ModelParams params = calibrate_model(swarm);
+  EXPECT_NO_THROW(params.validate_and_normalize());
+  for (double p : {params.p_r, params.p_n, params.p_init, params.alpha, params.gamma}) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  // A warm trading swarm keeps connections alive most rounds.
+  EXPECT_GT(params.p_r, 0.5);
+  EXPECT_GT(params.p_n, 0.5);
+}
+
+TEST(Calibrate, OptionsPassThrough) {
+  bt::Swarm swarm(warm_config());
+  swarm.run_rounds(40);
+  CalibrationOptions options;
+  options.gamma = 0.42;
+  options.w = 1.0;
+  const model::ModelParams params = calibrate_model(swarm, options);
+  EXPECT_DOUBLE_EQ(params.gamma, 0.42);
+  // alpha = lambda * w * s / N, clamped to [0, 1].
+  const double expected_alpha = std::min(
+      1.0, 2.0 * 1.0 * 20.0 / static_cast<double>(swarm.population()));
+  EXPECT_NEAR(params.alpha, expected_alpha, 1e-12);
+}
+
+TEST(Calibrate, FallbacksUsedOnFreshSwarm) {
+  // A swarm that never ran has no observations; the fallbacks apply.
+  bt::SwarmConfig config;
+  config.num_pieces = 10;
+  config.initial_seeds = 0;
+  config.arrival_rate = 0.0;
+  const bt::Swarm swarm(std::move(config));
+  CalibrationOptions options;
+  options.fallback_p_r = 0.33;
+  options.fallback_p_n = 0.44;
+  options.fallback_p_init = 0.55;
+  const model::ModelParams params = calibrate_model(swarm, options);
+  EXPECT_DOUBLE_EQ(params.p_r, 0.33);
+  EXPECT_DOUBLE_EQ(params.p_n, 0.44);
+  EXPECT_DOUBLE_EQ(params.p_init, 0.55);
+}
+
+TEST(Calibrate, CalibratedModelPredictsSimTimeline) {
+  // End-to-end: the calibrated model's completion estimate lands within
+  // 40% of the simulator's mean download time.
+  bt::Swarm swarm(warm_config());
+  swarm.run_rounds(150);
+  ASSERT_GT(swarm.metrics().completed_count(), 30u);
+  double sim_mean = 0.0;
+  for (double t : swarm.metrics().download_times()) {
+    sim_mean += t;
+  }
+  sim_mean /= static_cast<double>(swarm.metrics().completed_count());
+  const model::ModelParams params = calibrate_model(swarm);
+  const double model_mean = model::compute_evolution(params).expected_completion;
+  EXPECT_LT(std::abs(model_mean - sim_mean) / sim_mean, 0.4);
+}
+
+}  // namespace
+}  // namespace mpbt::analysis

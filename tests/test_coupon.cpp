@@ -1,0 +1,111 @@
+#include "coupon/coupon.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpbt::coupon {
+namespace {
+
+CouponConfig small_config() {
+  CouponConfig config;
+  config.num_coupons = 10;
+  config.arrival_rate = 3.0;
+  config.encounter_rate = 1.0;
+  config.initial_peers = 60;
+  config.horizon = 150.0;
+  config.seed = 5;
+  return config;
+}
+
+TEST(CouponConfig, Validation) {
+  CouponConfig c;
+  c.num_coupons = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = CouponConfig{};
+  c.arrival_rate = -1.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = CouponConfig{};
+  c.encounter_rate = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = CouponConfig{};
+  c.horizon = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(CouponConfig{}.validate());
+}
+
+TEST(CouponSimulator, RunsAndCompletesDownloads) {
+  CouponSimulator sim(small_config());
+  const CouponResult result = sim.run();
+  EXPECT_GT(result.encounters, 100u);
+  EXPECT_GT(result.completed, 10u);
+  EXPECT_GT(result.completion_time.mean, 0.0);
+}
+
+TEST(CouponSimulator, FailedEncountersArePositive) {
+  // Global random encounters must sometimes pair peers with nothing to
+  // trade — the paper's key structural contrast with BitTorrent.
+  CouponSimulator sim(small_config());
+  const CouponResult result = sim.run();
+  EXPECT_GT(result.failed_encounters, 0u);
+  EXPECT_GT(result.failed_fraction(), 0.0);
+  EXPECT_LT(result.failed_fraction(), 1.0);
+}
+
+TEST(CouponSimulator, DeterministicForSeed) {
+  CouponSimulator a(small_config());
+  CouponSimulator b(small_config());
+  const CouponResult ra = a.run();
+  const CouponResult rb = b.run();
+  EXPECT_EQ(ra.encounters, rb.encounters);
+  EXPECT_EQ(ra.failed_encounters, rb.failed_encounters);
+  EXPECT_EQ(ra.completed, rb.completed);
+}
+
+TEST(CouponSimulator, RunIsSingleUse) {
+  CouponSimulator sim(small_config());
+  sim.run();
+  EXPECT_THROW(sim.run(), std::invalid_argument);
+}
+
+TEST(CouponSimulator, PopulationSeriesIsRecorded) {
+  CouponSimulator sim(small_config());
+  const CouponResult result = sim.run();
+  ASSERT_FALSE(result.population.empty());
+  EXPECT_EQ(result.population.first_time(), 0.0);
+  EXPECT_DOUBLE_EQ(result.population.last_time(), small_config().horizon);
+}
+
+TEST(CouponSimulator, ArrivalCutoffDrainsSwarm) {
+  CouponConfig config = small_config();
+  config.arrival_cutoff = 20.0;
+  config.horizon = 400.0;
+  CouponSimulator sim(config);
+  const CouponResult result = sim.run();
+  // With no fresh arrivals after t=20 the swarm should shrink well below
+  // its starting size by the horizon (most peers complete).
+  const double final_pop = result.population.value_at(400.0);
+  EXPECT_LT(final_pop, static_cast<double>(config.initial_peers));
+}
+
+TEST(CouponSimulator, NoArrivalsStillRuns) {
+  CouponConfig config = small_config();
+  config.arrival_rate = 0.0;
+  config.initial_peers = 30;
+  CouponSimulator sim(config);
+  const CouponResult result = sim.run();
+  EXPECT_GT(result.encounters, 0u);
+}
+
+TEST(CouponSimulator, MoreCouponsSlowCompletion) {
+  CouponConfig few = small_config();
+  few.num_coupons = 5;
+  CouponConfig many = small_config();
+  many.num_coupons = 25;
+  const CouponResult r_few = CouponSimulator(few).run();
+  const CouponResult r_many = CouponSimulator(many).run();
+  ASSERT_GT(r_few.completed, 0u);
+  ASSERT_GT(r_many.completed, 0u);
+  EXPECT_LT(r_few.completion_time.mean, r_many.completion_time.mean);
+}
+
+}  // namespace
+}  // namespace mpbt::coupon

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/engine.hpp"
+#include "des/event_queue.hpp"
+
+namespace mpbt::des {
+namespace {
+
+TEST(EventQueue, FifoAmongEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(1.0, [&] { order.push_back(1); });
+  q.push(1.0, [&] { order.push_back(2); });
+  q.push(1.0, [&] { order.push_back(3); });
+  while (!q.empty()) {
+    q.pop().second();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TimeOrdering) {
+  EventQueue q;
+  std::vector<double> times;
+  q.push(3.0, [&] { times.push_back(3.0); });
+  q.push(1.0, [&] { times.push_back(1.0); });
+  q.push(2.0, [&] { times.push_back(2.0); });
+  while (!q.empty()) {
+    auto [t, cb] = q.pop();
+    cb();
+    EXPECT_EQ(times.back(), t);
+  }
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  int fired = 0;
+  EventHandle h = q.push(1.0, [&] { ++fired; });
+  q.push(2.0, [&] { ++fired; });
+  EXPECT_TRUE(h.active());
+  h.cancel();
+  EXPECT_FALSE(h.active());
+  while (!q.empty()) {
+    q.pop().second();
+  }
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelledEventsSkippedByNextTime) {
+  EventQueue q;
+  EventHandle h = q.push(1.0, [] {});
+  q.push(5.0, [] {});
+  h.cancel();
+  EXPECT_EQ(q.next_time(), 5.0);
+}
+
+TEST(EventQueue, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.active());
+  EXPECT_NO_THROW(h.cancel());
+}
+
+TEST(EventQueue, EmptyPopThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), std::invalid_argument);
+  EXPECT_THROW(q.next_time(), std::invalid_argument);
+  EXPECT_THROW(q.push(1.0, EventCallback{}), std::invalid_argument);
+}
+
+TEST(Engine, AdvancesTimeMonotonically) {
+  Engine e;
+  std::vector<double> seen;
+  e.schedule_at(2.0, [&] { seen.push_back(e.now()); });
+  e.schedule_at(1.0, [&] { seen.push_back(e.now()); });
+  e.schedule_in(3.0, [&] { seen.push_back(e.now()); });
+  e.run();
+  EXPECT_EQ(seen, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(e.events_executed(), 3u);
+  EXPECT_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, SchedulingInThePastRejected) {
+  Engine e;
+  e.schedule_at(5.0, [] {});
+  e.run();
+  EXPECT_EQ(e.now(), 5.0);
+  EXPECT_THROW(e.schedule_at(4.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(e.schedule_in(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(1.0, [&] { ++fired; });
+  e.schedule_at(2.0, [&] { ++fired; });
+  e.schedule_at(3.0, [&] { ++fired; });
+  const auto n = e.run_until(2.0);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(e.has_pending());
+  e.run_until(10.0);
+  EXPECT_EQ(fired, 3);
+  EXPECT_FALSE(e.has_pending());
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Engine e;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    if (count < 5) {
+      e.schedule_in(1.0, tick);
+    }
+  };
+  e.schedule_at(0.0, tick);
+  e.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(e.now(), 4.0);
+}
+
+TEST(Engine, RunWithEventCap) {
+  Engine e;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    e.schedule_in(1.0, tick);  // infinite chain
+  };
+  e.schedule_at(0.0, tick);
+  const auto executed = e.run(10);
+  EXPECT_EQ(executed, 10u);
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Engine, StepReturnsFalseWhenDrained) {
+  Engine e;
+  EXPECT_FALSE(e.step());
+  e.schedule_at(1.0, [] {});
+  EXPECT_TRUE(e.step());
+  EXPECT_FALSE(e.step());
+}
+
+}  // namespace
+}  // namespace mpbt::des

@@ -1,0 +1,169 @@
+#include "model/download_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "markov/absorbing.hpp"
+
+namespace mpbt::model {
+namespace {
+
+ModelParams small_params() {
+  ModelParams p;
+  p.B = 8;
+  p.k = 3;
+  p.s = 5;
+  p.p_init = 0.6;
+  p.p_r = 0.7;
+  p.p_n = 0.8;
+  p.alpha = 0.3;
+  p.gamma = 0.2;
+  return p;
+}
+
+TEST(ComputeEvolution, AbsorbsAllMass) {
+  const EvolutionResult evo = compute_evolution(small_params());
+  EXPECT_NEAR(evo.absorbed_mass, 1.0, 1e-6);
+  EXPECT_GT(evo.steps_taken, 2u);
+}
+
+TEST(ComputeEvolution, TimelineIsMonotoneIncreasing) {
+  const EvolutionResult evo = compute_evolution(small_params());
+  ASSERT_EQ(evo.expected_timeline.size(), 9u);
+  EXPECT_EQ(evo.expected_timeline[0], 0.0);
+  for (std::size_t b = 1; b < evo.expected_timeline.size(); ++b) {
+    EXPECT_GT(evo.expected_timeline[b], evo.expected_timeline[b - 1] - 1e-9) << "b=" << b;
+  }
+  EXPECT_NEAR(evo.expected_completion, evo.expected_timeline.back(), 1e-12);
+}
+
+TEST(ComputeEvolution, MatchesExactAbsorbingAnalysis) {
+  // The collapsed stepping must agree with the exact full-chain
+  // fundamental-matrix solution for E[time to absorb].
+  const auto params = small_params();
+  const TransitionKernel kernel(params);
+  const markov::SparseChain chain = kernel.build_chain();
+  const auto exact = markov::expected_steps_to_absorption(chain);
+  const double exact_time = exact.expected_steps[kernel.start_state()];
+
+  const EvolutionResult evo = compute_evolution(params);
+  EXPECT_NEAR(evo.expected_completion, exact_time, exact_time * 0.01 + 0.01);
+}
+
+TEST(ComputeEvolution, PhaseRoundsSumToCompletion) {
+  const EvolutionResult evo = compute_evolution(small_params());
+  const double total = evo.bootstrap_rounds + evo.efficient_rounds + evo.last_rounds;
+  EXPECT_NEAR(total, evo.expected_completion, evo.expected_completion * 0.02 + 0.1);
+}
+
+TEST(ComputeEvolution, PotentialProfileWithinSupport) {
+  const auto params = small_params();
+  const EvolutionResult evo = compute_evolution(params);
+  for (std::size_t b = 1; b < evo.expected_potential.size() - 1; ++b) {
+    if (evo.expected_potential[b] >= 0.0) {
+      EXPECT_LE(evo.expected_potential[b], static_cast<double>(params.s));
+    }
+    if (evo.expected_connections[b] >= 0.0) {
+      EXPECT_LE(evo.expected_connections[b], static_cast<double>(params.k));
+    }
+  }
+}
+
+TEST(ComputeEvolution, SmallerAlphaSlowsBootstrapHeavyRuns) {
+  // With a tiny neighbor set, peers hit the empty-potential state often;
+  // smaller alpha/gamma should lengthen the expected download.
+  ModelParams slow = small_params();
+  slow.s = 2;
+  slow.p_init = 0.1;
+  slow.alpha = 0.05;
+  slow.gamma = 0.05;
+  ModelParams fast = slow;
+  fast.alpha = 0.9;
+  fast.gamma = 0.9;
+  const double t_slow = compute_evolution(slow).expected_completion;
+  const double t_fast = compute_evolution(fast).expected_completion;
+  EXPECT_GT(t_slow, t_fast);
+}
+
+TEST(ComputeEvolution, LargerKDownloadsFaster) {
+  ModelParams k1 = small_params();
+  k1.k = 1;
+  ModelParams k3 = small_params();
+  k3.k = 3;
+  EXPECT_GT(compute_evolution(k1).expected_completion,
+            compute_evolution(k3).expected_completion);
+}
+
+TEST(ComputeEvolution, MaxStepsCapReported) {
+  const EvolutionResult evo = compute_evolution(small_params(), /*max_steps=*/3);
+  EXPECT_EQ(evo.steps_taken, 3u);
+  EXPECT_LT(evo.absorbed_mass, 1.0);
+}
+
+TEST(ComputeEvolution, RealisticParametersRunFast) {
+  // The headline configuration of the paper: B=200, s=40. The collapsed
+  // stepping must handle it exactly (this is what Fig. 1b uses).
+  ModelParams p;
+  p.B = 200;
+  p.k = 7;
+  p.s = 40;
+  const EvolutionResult evo = compute_evolution(p, 5000);
+  EXPECT_NEAR(evo.absorbed_mass, 1.0, 1e-6);
+  EXPECT_GT(evo.expected_completion, 20.0);
+  EXPECT_LT(evo.expected_completion, 500.0);
+}
+
+TEST(SampleDownload, CompletesAndClassifiesPhases) {
+  const TransitionKernel kernel(small_params());
+  numeric::Rng rng(31);
+  const SampledDownload d = sample_download(kernel, rng);
+  EXPECT_TRUE(d.completed);
+  ASSERT_GE(d.points.size(), 2u);
+  EXPECT_EQ(d.points.front().b, 0);
+  EXPECT_EQ(d.points.back().b, kernel.params().B);
+  EXPECT_EQ(d.points.back().phase, Phase::Done);
+  // b never decreases along the trajectory.
+  for (std::size_t t = 1; t < d.points.size(); ++t) {
+    EXPECT_GE(d.points[t].b, d.points[t - 1].b);
+  }
+  EXPECT_EQ(d.bootstrap_steps + d.efficient_steps + d.last_steps + 1, d.points.size());
+}
+
+TEST(SampleDownload, StateComponentsStayInRange) {
+  const auto params = small_params();
+  const TransitionKernel kernel(params);
+  numeric::Rng rng(32);
+  for (int run = 0; run < 20; ++run) {
+    const SampledDownload d = sample_download(kernel, rng);
+    for (const TrajectoryPoint& pt : d.points) {
+      ASSERT_GE(pt.n, 0);
+      ASSERT_LE(pt.n, params.k);
+      ASSERT_GE(pt.b, 0);
+      ASSERT_LE(pt.b, params.B);
+      ASSERT_GE(pt.i, 0);
+      ASSERT_LE(pt.i, params.s);
+    }
+  }
+}
+
+TEST(SampleDownload, MonteCarloAgreesWithExactEvolution) {
+  const auto params = small_params();
+  const TransitionKernel kernel(params);
+  numeric::Rng rng(33);
+  const std::vector<double> mc = monte_carlo_timeline(kernel, rng, 3000);
+  const EvolutionResult evo = compute_evolution(params);
+  for (std::size_t b = 1; b < mc.size(); ++b) {
+    ASSERT_GE(mc[b], 0.0) << "b=" << b;
+    EXPECT_NEAR(mc[b], evo.expected_timeline[b],
+                0.12 * evo.expected_timeline[b] + 0.5)
+        << "b=" << b;
+  }
+}
+
+TEST(SampleDownload, MonteCarloTimelineValidation) {
+  const TransitionKernel kernel(small_params());
+  numeric::Rng rng(34);
+  EXPECT_THROW(monte_carlo_timeline(kernel, rng, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mpbt::model

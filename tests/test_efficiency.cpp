@@ -1,0 +1,178 @@
+#include "efficiency/balance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace mpbt::efficiency {
+namespace {
+
+TEST(EfficiencyParams, Validation) {
+  EfficiencyParams p;
+  EXPECT_NO_THROW(p.validate());
+  p.k = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = EfficiencyParams{};
+  p.p_r = -0.1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = EfficiencyParams{};
+  p.N = 1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(EfficiencySolver, FailureWeightsAreBinomial) {
+  EfficiencyParams p;
+  p.k = 4;
+  p.p_r = 0.7;
+  const EfficiencySolver solver(p);
+  // w^i_l = C(i, l) (1 - p_r)^l p_r^(i - l).
+  EXPECT_NEAR(solver.failure_weight(2, 0), 0.49, 1e-12);
+  EXPECT_NEAR(solver.failure_weight(2, 1), 2 * 0.3 * 0.7, 1e-12);
+  EXPECT_NEAR(solver.failure_weight(2, 2), 0.09, 1e-12);
+  double total = 0.0;
+  for (int l = 0; l <= 4; ++l) {
+    total += solver.failure_weight(4, l);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_THROW(solver.failure_weight(5, 0), std::out_of_range);
+  EXPECT_THROW(solver.failure_weight(2, 3), std::out_of_range);
+}
+
+TEST(EfficiencySolver, DownwardSweepConservesMass) {
+  EfficiencyParams p;
+  p.k = 5;
+  p.p_r = 0.6;
+  const EfficiencySolver solver(p);
+  std::vector<double> x{0.1, 0.1, 0.2, 0.2, 0.2, 0.2};
+  solver.apply_downward(x);
+  EXPECT_NEAR(std::accumulate(x.begin(), x.end(), 0.0), 1.0, 1e-12);
+  for (double v : x) {
+    EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(EfficiencySolver, DownwardSweepOnlyMovesMassDown) {
+  EfficiencyParams p;
+  p.k = 3;
+  p.p_r = 0.5;
+  const EfficiencySolver solver(p);
+  // All mass in the top class: after one sweep the mean must drop.
+  std::vector<double> x{0.0, 0.0, 0.0, 1.0};
+  const double eta_before = solver.efficiency(x);
+  solver.apply_downward(x);
+  EXPECT_LT(solver.efficiency(x), eta_before);
+  // With p_r = 1 nothing fails.
+  EfficiencyParams stable = p;
+  stable.p_r = 1.0;
+  const EfficiencySolver stable_solver(stable);
+  std::vector<double> y{0.0, 0.0, 0.0, 1.0};
+  stable_solver.apply_downward(y);
+  EXPECT_NEAR(y[3], 1.0, 1e-12);
+}
+
+TEST(EfficiencySolver, UpwardSweepConservesMassAndPromotes) {
+  EfficiencyParams p;
+  p.k = 3;
+  p.p_r = 0.7;
+  const EfficiencySolver solver(p);
+  std::vector<double> x{1.0, 0.0, 0.0, 0.0};
+  const double eta_before = solver.efficiency(x);
+  solver.apply_upward(x);
+  EXPECT_NEAR(std::accumulate(x.begin(), x.end(), 0.0), 1.0, 1e-9);
+  EXPECT_GT(solver.efficiency(x), eta_before);
+  for (double v : x) {
+    EXPECT_GE(v, -1e-12);
+  }
+}
+
+TEST(EfficiencySolver, SolveConvergesToDistribution) {
+  EfficiencyParams p;
+  p.k = 7;
+  p.p_r = 0.7;
+  const EfficiencySolver solver(p);
+  const EfficiencyResult r = solver.solve();
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(std::accumulate(r.x.begin(), r.x.end(), 0.0), 1.0, 1e-9);
+  EXPECT_GE(r.eta, 0.0);
+  EXPECT_LE(r.eta, 1.0);
+  for (double v : r.x) {
+    EXPECT_GE(v, -1e-12);
+  }
+}
+
+TEST(EfficiencySolver, EtaIncreasesWithPr) {
+  double prev = -1.0;
+  for (double p_r : {0.2, 0.5, 0.8, 0.95}) {
+    EfficiencyParams p;
+    p.k = 4;
+    p.p_r = p_r;
+    const EfficiencyResult r = EfficiencySolver(p).solve();
+    EXPECT_GT(r.eta, prev) << "p_r=" << p_r;
+    prev = r.eta;
+  }
+}
+
+TEST(EfficiencySolver, PaperHeadline_EtaJumpsFromK1ToK2ThenSaturates) {
+  // Section 5 / Fig. (a): efficiency rises sharply from k = 1 to k = 2 and
+  // gains little beyond. The paper's own explanation of the jump is that
+  // the connection-survival probability p_r is *endogenously* lower at
+  // k = 1 (a sole connection exhausts its exchangeable pieces and dies;
+  // extra connections replenish novelty). Feed the solver the survival
+  // probabilities the swarm simulator measures per k (~0.91 at k = 1,
+  // ~0.94 at k = 2, ~0.96 beyond — see the fig3a bench).
+  auto p_r_for_k = [](int k) { return k == 1 ? 0.91 : (k == 2 ? 0.94 : 0.96); };
+  std::vector<double> eta;
+  for (int k = 1; k <= 8; ++k) {
+    EfficiencyParams p;
+    p.k = k;
+    p.p_r = p_r_for_k(k);
+    eta.push_back(EfficiencySolver(p).solve().eta);
+  }
+  EXPECT_GT(eta[1], eta[0]);  // k=2 clearly above k=1
+  EXPECT_GT(eta[1] - eta[0], 0.02);
+  for (std::size_t i = 2; i < eta.size(); ++i) {
+    // Beyond k=2 the incremental change is small relative to the jump.
+    EXPECT_LT(std::abs(eta[i] - eta[i - 1]), (eta[1] - eta[0]) + 0.02) << "k=" << i + 1;
+  }
+  // All values are high under healthy re-encounter probabilities.
+  for (double e : eta) {
+    EXPECT_GT(e, 0.8);
+  }
+}
+
+TEST(EfficiencySolver, EquilibriumIsFixedPointOfSweeps) {
+  EfficiencyParams p;
+  p.k = 5;
+  p.p_r = 0.75;
+  const EfficiencySolver solver(p);
+  EfficiencyResult r = solver.solve();
+  std::vector<double> x = r.x;
+  solver.apply_downward(x);
+  solver.apply_upward(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x[i], r.x[i], 1e-6) << "class " << i;
+  }
+}
+
+class EfficiencyKSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EfficiencyKSweep, DistributionValidAcrossK) {
+  EfficiencyParams p;
+  p.k = GetParam();
+  p.p_r = 0.65;
+  const EfficiencyResult r = EfficiencySolver(p).solve();
+  EXPECT_TRUE(r.converged);
+  double total = 0.0;
+  for (double v : r.x) {
+    EXPECT_GE(v, -1e-12);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(r.eta, 0.0);
+  EXPECT_LE(r.eta, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EfficiencyKSweep, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace mpbt::efficiency

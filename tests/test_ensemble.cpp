@@ -1,0 +1,124 @@
+// Transient ensemble model (the Section 6/8 future-work machinery).
+#include <gtest/gtest.h>
+
+#include "model/download_model.hpp"
+#include "model/ensemble.hpp"
+
+namespace mpbt::model {
+namespace {
+
+EnsembleParams small_ensemble() {
+  EnsembleParams params;
+  params.peer.B = 12;
+  params.peer.k = 3;
+  params.peer.s = 8;
+  params.peer.p_init = 0.7;
+  params.peer.p_r = 0.85;
+  params.peer.p_n = 0.9;
+  params.peer.alpha = 0.3;
+  params.peer.gamma = 0.2;
+  params.arrival_rate = 2.0;
+  params.rounds = 200;
+  return params;
+}
+
+TEST(Ensemble, Validation) {
+  EnsembleParams params = small_ensemble();
+  params.arrival_rate = -1.0;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params = small_ensemble();
+  params.rounds = 0;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params = small_ensemble();
+  params.initial_phi = {1.0};  // wrong size
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(small_ensemble().validate());
+}
+
+TEST(Ensemble, MassConservationPerRound) {
+  const EnsembleResult result = run_ensemble(small_ensemble());
+  const auto& pop = result.population.samples();
+  const auto& done = result.completion_rate.samples();
+  ASSERT_EQ(pop.size(), done.size());
+  for (std::size_t t = 1; t < pop.size(); ++t) {
+    // N_{t+1} = N_t + lambda - completions_t.
+    const double expected = pop[t - 1].value + 2.0 - done[t - 1].value;
+    ASSERT_NEAR(pop[t].value, expected, 1e-6) << "round " << t;
+  }
+}
+
+TEST(Ensemble, ReachesSteadyStateByLittlesLaw) {
+  // Stationary population ~ lambda * E[download time]; the per-peer chain
+  // gives E[T] (with the same fixed phi, so disable coupling).
+  EnsembleParams params = small_ensemble();
+  params.couple_phi = false;
+  params.rounds = 600;
+  const EnsembleResult result = run_ensemble(params);
+  EXPECT_FALSE(result.population_growing);
+  const double expected_T = compute_evolution(params.peer).expected_completion;
+  const double steady_N = result.population.samples().back().value;
+  EXPECT_NEAR(steady_N, params.arrival_rate * expected_T,
+              0.1 * params.arrival_rate * expected_T);
+}
+
+TEST(Ensemble, ThroughputMatchesArrivalsInSteadyState) {
+  EnsembleParams params = small_ensemble();
+  params.rounds = 600;
+  const EnsembleResult result = run_ensemble(params);
+  const double tail_completions = result.completion_rate.samples().back().value;
+  EXPECT_NEAR(tail_completions, params.arrival_rate, 0.1 * params.arrival_rate);
+}
+
+TEST(Ensemble, InitialPopulationDrainsWithoutArrivals) {
+  EnsembleParams params = small_ensemble();
+  params.arrival_rate = 0.0;
+  params.initial_population = 100.0;
+  params.initial_phi.assign(13, 1.0);  // all piece counts equally likely
+  params.rounds = 400;
+  const EnsembleResult result = run_ensemble(params);
+  EXPECT_LT(result.population.samples().back().value, 1.0);
+  EXPECT_NEAR(result.total_completed, 100.0, 1.0);
+  EXPECT_FALSE(result.population_growing);
+}
+
+TEST(Ensemble, CouplingChangesTheTrajectory) {
+  EnsembleParams coupled = small_ensemble();
+  coupled.initial_population = 100.0;
+  coupled.initial_phi.assign(13, 0.0);
+  coupled.initial_phi[1] = 1.0;  // a young swarm: everyone has one piece
+  EnsembleParams frozen = coupled;
+  frozen.couple_phi = false;
+  const EnsembleResult a = run_ensemble(coupled);
+  const EnsembleResult b = run_ensemble(frozen);
+  // The transient phi (mass at low piece counts) lowers trading power
+  // early on; the trajectories must differ measurably.
+  double max_gap = 0.0;
+  for (std::size_t t = 0; t < a.population.size(); ++t) {
+    max_gap = std::max(max_gap,
+                       std::abs(a.population[t].value - b.population[t].value));
+  }
+  EXPECT_GT(max_gap, 1.0);
+}
+
+TEST(Ensemble, HigherArrivalRateScalesPopulation) {
+  EnsembleParams slow = small_ensemble();
+  slow.rounds = 500;
+  EnsembleParams fast = slow;
+  fast.arrival_rate = 6.0;
+  const double n_slow = run_ensemble(slow).population.samples().back().value;
+  const double n_fast = run_ensemble(fast).population.samples().back().value;
+  EXPECT_NEAR(n_fast / n_slow, 3.0, 0.5);
+}
+
+TEST(Ensemble, FinalPhiIsDistribution) {
+  const EnsembleResult result = run_ensemble(small_ensemble());
+  double total = 0.0;
+  for (double w : result.final_phi) {
+    EXPECT_GE(w, 0.0);
+    total += w;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mpbt::model

@@ -1,0 +1,159 @@
+#include "fluid/qiu_srikant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mpbt::fluid {
+namespace {
+
+TEST(FluidParams, Validation) {
+  FluidParams p;
+  EXPECT_NO_THROW(p.validate());
+  p.lambda = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = FluidParams{};
+  p.mu = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = FluidParams{};
+  p.gamma = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = FluidParams{};
+  p.eta = 1.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Fluid, CompletionRateIsMinOfConstraints) {
+  FluidParams p;
+  p.c = 2.0;
+  p.mu = 1.0;
+  p.eta = 0.5;
+  // Few seeds: upload constrained. x=10, y=0: min(20, 5) = 5.
+  EXPECT_NEAR(completion_rate(p, {10.0, 0.0}), 5.0, 1e-12);
+  // Many seeds: download constrained. x=1, y=100: min(2, 100.5) = 2.
+  EXPECT_NEAR(completion_rate(p, {1.0, 100.0}), 2.0, 1e-12);
+}
+
+TEST(Fluid, Rk4PreservesNonNegativity) {
+  FluidParams p;
+  p.lambda = 0.0;
+  p.gamma = 5.0;
+  FluidState s{0.01, 0.01};
+  for (int i = 0; i < 1000; ++i) {
+    s = rk4_step(p, s, 0.05);
+    ASSERT_GE(s.x, 0.0);
+    ASSERT_GE(s.y, 0.0);
+  }
+}
+
+TEST(Fluid, IntegrationConvergesToSteadyState) {
+  FluidParams p;
+  p.lambda = 4.0;
+  p.mu = 1.0;
+  p.c = 3.0;
+  p.gamma = 2.0;
+  p.eta = 0.9;
+  const FluidTrajectory traj = integrate(p, {0.0, 1.0}, 200.0, 0.01);
+  const FluidState eq = steady_state(p);
+  EXPECT_NEAR(traj.final_state.x, eq.x, 0.05 * std::max(1.0, eq.x));
+  EXPECT_NEAR(traj.final_state.y, eq.y, 0.05 * std::max(1.0, eq.y));
+}
+
+TEST(Fluid, SteadyStateDownloadConstrainedRegime) {
+  // Slow seed departure (gamma < mu): capacity plentiful, download bound.
+  FluidParams p;
+  p.lambda = 6.0;
+  p.mu = 2.0;
+  p.c = 3.0;
+  p.gamma = 0.5;
+  p.theta = 0.0;
+  const FluidState eq = steady_state(p);
+  EXPECT_NEAR(eq.x, p.lambda / p.c, 1e-9);
+  // In equilibrium completions = lambda, seeds = lambda / gamma.
+  EXPECT_NEAR(eq.y, p.lambda / p.gamma, 1e-9);
+}
+
+TEST(Fluid, SteadyStateUploadConstrainedRegime) {
+  // Fast seed departure: the upload constraint binds.
+  FluidParams p;
+  p.lambda = 6.0;
+  p.mu = 1.0;
+  p.c = 10.0;
+  p.gamma = 4.0;
+  p.theta = 0.0;
+  p.eta = 0.8;
+  const FluidState eq = steady_state(p);
+  // x* = lambda (1 - mu/gamma) / (mu eta).
+  const double expected_x = p.lambda * (1.0 - p.mu / p.gamma) / (p.mu * p.eta);
+  EXPECT_NEAR(eq.x, expected_x, 1e-9);
+  // Flow balance holds: completions mu(eta x + y) = lambda.
+  EXPECT_NEAR(p.mu * (p.eta * eq.x + eq.y), p.lambda, 1e-9);
+}
+
+TEST(Fluid, SteadyStateIsFixedPointOfDynamics) {
+  for (double gamma : {0.5, 1.5, 4.0}) {
+    FluidParams p;
+    p.lambda = 5.0;
+    p.mu = 1.0;
+    p.c = 2.5;
+    p.gamma = gamma;
+    p.eta = 0.85;
+    FluidState eq = steady_state(p);
+    const FluidState next = rk4_step(p, eq, 0.01);
+    EXPECT_NEAR(next.x, eq.x, 1e-6) << "gamma=" << gamma;
+    EXPECT_NEAR(next.y, eq.y, 1e-6) << "gamma=" << gamma;
+  }
+}
+
+TEST(Fluid, DownloadTimeViaLittlesLaw) {
+  FluidParams p;
+  p.lambda = 6.0;
+  p.mu = 2.0;
+  p.c = 3.0;
+  p.gamma = 0.5;
+  const double T = steady_state_download_time(p);
+  EXPECT_NEAR(T, steady_state(p).x / p.lambda, 1e-12);
+  // Download-constrained: T = 1/c.
+  EXPECT_NEAR(T, 1.0 / p.c, 1e-9);
+}
+
+TEST(Fluid, BetterEffectivenessShortensDownloads) {
+  FluidParams slow;
+  slow.lambda = 6.0;
+  slow.mu = 1.0;
+  slow.c = 10.0;
+  slow.gamma = 4.0;
+  slow.eta = 0.4;
+  FluidParams fast = slow;
+  fast.eta = 0.95;
+  EXPECT_GT(steady_state_download_time(slow), steady_state_download_time(fast));
+}
+
+TEST(Fluid, IntegrationValidation) {
+  FluidParams p;
+  EXPECT_THROW(integrate(p, {0, 0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(integrate(p, {0, 0}, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(integrate(p, {0, 0}, 1.0, 0.1, 0), std::invalid_argument);
+  EXPECT_THROW(rk4_step(p, {0, 0}, 0.0), std::invalid_argument);
+}
+
+TEST(Fluid, FlashCrowdDecaysWithoutArrivals) {
+  // A burst of leechers and no arrivals: everyone eventually leaves.
+  FluidParams p;
+  p.lambda = 0.0;
+  p.mu = 1.0;
+  p.c = 2.0;
+  p.gamma = 1.0;
+  const FluidTrajectory traj = integrate(p, {100.0, 1.0}, 100.0, 0.01);
+  EXPECT_LT(traj.final_state.x, 0.5);
+  EXPECT_LT(traj.final_state.y, 0.5);
+  // Leechers decay monotonically after the initial instant.
+  double prev = traj.leechers[0].value;
+  for (std::size_t i = 1; i < traj.leechers.size(); ++i) {
+    ASSERT_LE(traj.leechers[i].value, prev + 1e-9);
+    prev = traj.leechers[i].value;
+  }
+}
+
+}  // namespace
+}  // namespace mpbt::fluid

@@ -1,0 +1,189 @@
+// Cross-module integration tests: the model validated against the
+// simulator (the paper's Section 4 methodology, in miniature).
+#include <gtest/gtest.h>
+
+#include "analysis/compare.hpp"
+#include "bt/swarm.hpp"
+#include "efficiency/balance.hpp"
+#include "model/download_model.hpp"
+#include "stability/entropy.hpp"
+
+namespace mpbt {
+namespace {
+
+bt::SwarmConfig warm_swarm_config(std::uint32_t k, std::uint32_t s, std::uint64_t seed) {
+  bt::SwarmConfig config;
+  config.num_pieces = 60;
+  config.max_connections = k;
+  config.peer_set_size = s;
+  config.arrival_rate = 2.0;
+  config.initial_seeds = 2;
+  config.seed_capacity = 4;
+  config.seed = seed;
+  bt::InitialGroup warm;
+  warm.count = 80;
+  warm.piece_probs.assign(config.num_pieces, 0.35);
+  config.initial_groups.push_back(warm);
+  return config;
+}
+
+model::ModelParams calibrated_params(const bt::Swarm& swarm) {
+  model::ModelParams params;
+  params.B = static_cast<int>(swarm.config().num_pieces);
+  params.k = static_cast<int>(swarm.config().max_connections);
+  params.s = static_cast<int>(swarm.config().peer_set_size);
+  params.p_r = swarm.metrics().estimated_p_r();
+  params.p_n = swarm.metrics().estimated_p_n();
+  params.p_init = swarm.metrics().estimated_p_init();
+  params.alpha = 0.3;
+  params.gamma = 0.15;
+  return params;
+}
+
+TEST(Integration, ModelTimelineTracksSimulation) {
+  bt::Swarm swarm(warm_swarm_config(5, 30, 42));
+  swarm.run_rounds(200);
+  ASSERT_GT(swarm.metrics().completed_count(), 50u);
+
+  const model::EvolutionResult evo = model::compute_evolution(calibrated_params(swarm));
+  ASSERT_NEAR(evo.absorbed_mass, 1.0, 1e-6);
+
+  // Compare sim and model timelines at every decile of the file. The model
+  // is a first approximation (paper, Section 4.1): demand agreement within
+  // 50% relative error at each checkpoint and a sane overall shape.
+  for (std::uint32_t b = 6; b <= 60; b += 6) {
+    const double sim_t = swarm.metrics().timeline(b);
+    const double model_t = evo.expected_timeline[b];
+    ASSERT_GT(sim_t, 0.0) << "b=" << b;
+    EXPECT_LT(std::abs(model_t - sim_t) / sim_t, 0.5) << "b=" << b;
+  }
+}
+
+TEST(Integration, ModelPotentialProfileMatchesSimShape) {
+  bt::Swarm swarm(warm_swarm_config(5, 30, 43));
+  swarm.run_rounds(200);
+  const model::EvolutionResult evo = model::compute_evolution(calibrated_params(swarm));
+
+  // Mid-download the potential set should be large (close to s) in both.
+  const auto s = static_cast<double>(swarm.config().peer_set_size);
+  double sim_mid = 0.0;
+  double model_mid = 0.0;
+  int count = 0;
+  for (std::uint32_t b = 20; b <= 40; ++b) {
+    const double sim_v = swarm.metrics().potential_size(b);
+    if (sim_v >= 0.0 && evo.expected_potential[b] >= 0.0) {
+      sim_mid += sim_v;
+      model_mid += evo.expected_potential[b];
+      ++count;
+    }
+  }
+  ASSERT_GT(count, 10);
+  sim_mid /= count;
+  model_mid /= count;
+  EXPECT_GT(sim_mid / s, 0.5);
+  EXPECT_GT(model_mid / s, 0.5);
+  EXPECT_LT(std::abs(sim_mid - model_mid) / s, 0.35);
+}
+
+TEST(Integration, EfficiencyModelUsesMeasuredPr) {
+  bt::Swarm swarm(warm_swarm_config(4, 40, 44));
+  swarm.run_rounds(200);
+  const double sim_eta = swarm.metrics().mean_transfer_efficiency(60);
+  efficiency::EfficiencyParams p;
+  p.k = 4;
+  p.p_r = swarm.metrics().estimated_p_r();
+  p.N = static_cast<double>(swarm.population() + 1);
+  const double model_eta = efficiency::EfficiencySolver(p).solve().eta;
+  // Both should land in the healthy regime and within 15% of each other.
+  EXPECT_GT(sim_eta, 0.6);
+  EXPECT_GT(model_eta, 0.6);
+  EXPECT_LT(std::abs(sim_eta - model_eta), 0.15);
+}
+
+TEST(Integration, SmallerPeerSetShowsPhasesInSimAndModel) {
+  // Figure 1's observation: with a small peer set, bootstrap and last
+  // phases appear (potential-set ratio dips at both ends).
+  bt::SwarmConfig small_config = warm_swarm_config(5, 4, 45);
+  bt::Swarm small_swarm(small_config);
+  small_swarm.run_rounds(260);
+
+  bt::SwarmConfig large_config = warm_swarm_config(5, 30, 45);
+  bt::Swarm large_swarm(large_config);
+  large_swarm.run_rounds(260);
+
+  // Mid-download ratio is much healthier with a large peer set.
+  auto mid_ratio = [](const bt::Swarm& swarm) {
+    double sum = 0.0;
+    int n = 0;
+    for (std::uint32_t b = 25; b <= 35; ++b) {
+      const double r = swarm.metrics().potential_ratio(b);
+      if (r >= 0.0) {
+        sum += r;
+        ++n;
+      }
+    }
+    return n == 0 ? -1.0 : sum / n;
+  };
+  const double small_ratio = mid_ratio(small_swarm);
+  const double large_ratio = mid_ratio(large_swarm);
+  ASSERT_GE(small_ratio, 0.0);
+  ASSERT_GE(large_ratio, 0.0);
+  EXPECT_GT(large_ratio, 0.75);
+
+  // Model mirrors this: expected completion is longer with the small s
+  // because empty-potential stalls occur.
+  model::ModelParams small_params = calibrated_params(small_swarm);
+  model::ModelParams large_params = calibrated_params(large_swarm);
+  small_params.alpha = large_params.alpha = 0.3;
+  small_params.gamma = large_params.gamma = 0.15;
+  const double t_small = model::compute_evolution(small_params).expected_completion;
+  const double t_large = model::compute_evolution(large_params).expected_completion;
+  EXPECT_GT(t_small, t_large);
+}
+
+TEST(Integration, ShakingReducesLastPieceTimes) {
+  // Section 7.1: shaking the peer set cuts the TTD of the final pieces.
+  // The workload makes tail pieces genuinely rare (age-correlated content)
+  // so the last-piece problem is visible with a 6-neighbor peer set.
+  auto run_with_shake = [](bool enabled, std::uint64_t seed) {
+    bt::SwarmConfig config;
+    config.num_pieces = 200;
+    config.max_connections = 7;
+    config.peer_set_size = 6;
+    config.arrival_rate = 0.8;
+    config.initial_seeds = 1;
+    config.seed_capacity = 2;
+    config.seed = seed;
+    config.shake.enabled = enabled;
+    config.shake.completion_fraction = 0.9;
+    const std::vector<double> ramp =
+        stability::ramp_piece_probs(config.num_pieces, 0.75, 0.02);
+    bt::InitialGroup warm;
+    warm.count = 80;
+    warm.piece_probs = ramp;
+    config.initial_groups.push_back(std::move(warm));
+    config.arrival_piece_probs = ramp;
+    bt::Swarm swarm(std::move(config));
+    swarm.run_rounds(400);
+    double ttd_sum = 0.0;
+    for (std::uint32_t ordinal = 190; ordinal <= 200; ++ordinal) {
+      const double ttd = swarm.metrics().ttd(ordinal);
+      if (ttd >= 0.0) {
+        ttd_sum += ttd;
+      }
+    }
+    return ttd_sum;
+  };
+  double normal = 0.0;
+  double shaken = 0.0;
+  for (std::uint64_t seed : {7ULL, 17ULL, 27ULL}) {
+    normal += run_with_shake(false, seed);
+    shaken += run_with_shake(true, seed);
+  }
+  ASSERT_GT(normal, 0.0);
+  ASSERT_GT(shaken, 0.0);
+  EXPECT_LT(shaken, normal * 0.95);  // a real reduction, seed-averaged
+}
+
+}  // namespace
+}  // namespace mpbt

@@ -1,0 +1,217 @@
+#include "model/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "markov/absorbing.hpp"
+
+namespace mpbt::model {
+namespace {
+
+ModelParams small_params() {
+  ModelParams p;
+  p.B = 8;
+  p.k = 3;
+  p.s = 5;
+  p.p_init = 0.6;
+  p.p_r = 0.7;
+  p.p_n = 0.8;
+  p.alpha = 0.3;
+  p.gamma = 0.2;
+  return p;
+}
+
+double pmf_sum(const std::vector<double>& pmf) {
+  return std::accumulate(pmf.begin(), pmf.end(), 0.0);
+}
+
+TEST(TransitionKernel, NextBMatchesF) {
+  const TransitionKernel kernel(small_params());
+  // b = 0 -> first piece.
+  EXPECT_EQ(kernel.next_b(0, 0), 1);
+  EXPECT_EQ(kernel.next_b(3, 0), 1);
+  // b >= 1 -> min(b + n, B).
+  EXPECT_EQ(kernel.next_b(0, 1), 1);
+  EXPECT_EQ(kernel.next_b(2, 3), 5);
+  EXPECT_EQ(kernel.next_b(3, 7), 8);
+  EXPECT_EQ(kernel.next_b(0, 8), 8);
+  EXPECT_THROW(kernel.next_b(4, 0), std::out_of_range);
+  EXPECT_THROW(kernel.next_b(0, 9), std::out_of_range);
+}
+
+TEST(TransitionKernel, StateIndexRoundTrip) {
+  const TransitionKernel kernel(small_params());
+  const auto& p = kernel.params();
+  EXPECT_EQ(kernel.num_states(),
+            static_cast<std::size_t>((p.k + 1) * (p.B + 1) * (p.s + 1)));
+  for (int n = 0; n <= p.k; ++n) {
+    for (int b = 0; b <= p.B; ++b) {
+      for (int i = 0; i <= p.s; ++i) {
+        const auto idx = kernel.index_of(n, b, i);
+        ASSERT_LT(idx, kernel.num_states());
+        const auto [n2, b2, i2] = kernel.state_of(idx);
+        ASSERT_EQ(n2, n);
+        ASSERT_EQ(b2, b);
+        ASSERT_EQ(i2, i);
+      }
+    }
+  }
+  EXPECT_THROW(kernel.index_of(-1, 0, 0), std::out_of_range);
+  EXPECT_THROW(kernel.state_of(kernel.num_states()), std::out_of_range);
+}
+
+TEST(TransitionKernel, PotentialPmfRowsSumToOne) {
+  const TransitionKernel kernel(small_params());
+  const auto& p = kernel.params();
+  for (int n = 0; n <= p.k; ++n) {
+    for (int b = 0; b <= p.B; ++b) {
+      for (int i = 0; i <= p.s; ++i) {
+        const auto pmf = kernel.potential_pmf(n, b, i);
+        ASSERT_EQ(pmf.size(), static_cast<std::size_t>(p.s) + 1);
+        ASSERT_NEAR(pmf_sum(pmf), 1.0, 1e-9) << "n=" << n << " b=" << b << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(TransitionKernel, PotentialPmfMatchesEquation2Rows) {
+  const auto params = small_params();
+  const TransitionKernel kernel(params);
+  // b + n = 0: X1 ~ Bin(s, p_init).
+  const auto x1 = kernel.potential_pmf(0, 0, 0);
+  EXPECT_NEAR(x1[0], std::pow(1.0 - params.p_init, params.s), 1e-9);
+  // b + n = 1, i = 0: alpha row.
+  const auto alpha_row = kernel.potential_pmf(0, 1, 0);
+  EXPECT_NEAR(alpha_row[1], params.alpha, 1e-12);
+  EXPECT_NEAR(alpha_row[0], 1.0 - params.alpha, 1e-12);
+  // b + n > 1, i = 0: gamma row.
+  const auto gamma_row = kernel.potential_pmf(0, 4, 0);
+  EXPECT_NEAR(gamma_row[1], params.gamma, 1e-12);
+  EXPECT_NEAR(gamma_row[0], 1.0 - params.gamma, 1e-12);
+  // b = B: absorbed, i' = 0.
+  const auto done = kernel.potential_pmf(0, params.B, 3);
+  EXPECT_EQ(done[0], 1.0);
+}
+
+TEST(TransitionKernel, ConnectionPmfRowsSumToOne) {
+  const TransitionKernel kernel(small_params());
+  const auto& p = kernel.params();
+  for (int n = 0; n <= p.k; ++n) {
+    for (int b = 0; b <= p.B; ++b) {
+      for (int i2 = 0; i2 <= p.s; ++i2) {
+        const auto pmf = kernel.connection_pmf(n, b, i2);
+        ASSERT_EQ(pmf.size(), static_cast<std::size_t>(p.k) + 1);
+        ASSERT_NEAR(pmf_sum(pmf), 1.0, 1e-9) << "n=" << n << " b=" << b << " i'=" << i2;
+      }
+    }
+  }
+}
+
+TEST(TransitionKernel, ConnectionPmfMatchesEquation3Rows) {
+  const auto params = small_params();
+  const TransitionKernel kernel(params);
+  // b + n = 0: n' = 0.
+  const auto join = kernel.connection_pmf(0, 0, 4);
+  EXPECT_EQ(join[0], 1.0);
+  // b = B: n' = 0.
+  const auto done = kernel.connection_pmf(2, params.B, 4);
+  EXPECT_EQ(done[0], 1.0);
+  // i' = 0 and n = 2: only re-encounters survive, Y1 ~ Bin(2, p_r).
+  const auto survivors = kernel.connection_pmf(2, 4, 0);
+  EXPECT_NEAR(survivors[2], params.p_r * params.p_r, 1e-12);
+  EXPECT_NEAR(survivors[0], (1 - params.p_r) * (1 - params.p_r), 1e-12);
+  EXPECT_EQ(survivors[3], 0.0);
+  // n = 0, i' >= k: all new, Y2 ~ Bin(k, p_n).
+  const auto fresh = kernel.connection_pmf(0, 4, params.s);
+  EXPECT_NEAR(fresh[params.k], std::pow(params.p_n, params.k), 1e-12);
+}
+
+TEST(TransitionKernel, ConnectionCountNeverExceedsBound) {
+  // n' <= max(n, min(i', k)) always.
+  const TransitionKernel kernel(small_params());
+  const auto& p = kernel.params();
+  for (int n = 0; n <= p.k; ++n) {
+    for (int i2 = 0; i2 <= p.s; ++i2) {
+      const auto pmf = kernel.connection_pmf(n, 4, i2);
+      const int bound = std::max(n, std::min(i2, p.k));
+      for (int n2 = bound + 1; n2 <= p.k; ++n2) {
+        ASSERT_EQ(pmf[static_cast<std::size_t>(n2)], 0.0)
+            << "n=" << n << " i'=" << i2 << " n'=" << n2;
+      }
+    }
+  }
+}
+
+TEST(TransitionKernel, BuildChainRowsSumToOne) {
+  const TransitionKernel kernel(small_params());
+  const markov::SparseChain chain = kernel.build_chain();
+  EXPECT_EQ(chain.num_states(), kernel.num_states());
+  for (std::size_t s = 0; s < chain.num_states(); ++s) {
+    ASSERT_NEAR(chain.row_sum(s), 1.0, 1e-9) << "state " << s;
+  }
+}
+
+TEST(TransitionKernel, AbsorbingStateIsAbsorbing) {
+  const TransitionKernel kernel(small_params());
+  const markov::SparseChain chain = kernel.build_chain();
+  EXPECT_TRUE(chain.is_absorbing(kernel.absorbing_state()));
+}
+
+TEST(TransitionKernel, AbsorptionCertainFromStart) {
+  const TransitionKernel kernel(small_params());
+  const markov::SparseChain chain = kernel.build_chain();
+  const std::vector<double> h = markov::hitting_probability(chain, kernel.absorbing_state());
+  EXPECT_NEAR(h[kernel.start_state()], 1.0, 1e-6);
+}
+
+TEST(TransitionKernel, ExpectedAbsorptionTimeFinite) {
+  const TransitionKernel kernel(small_params());
+  const markov::SparseChain chain = kernel.build_chain();
+  const auto result = markov::expected_steps_to_absorption(chain);
+  EXPECT_TRUE(result.converged);
+  const double t = result.expected_steps[kernel.start_state()];
+  EXPECT_GT(t, 2.0);          // at least bootstrap + a few trading rounds
+  EXPECT_LT(t, 1000.0);       // and clearly finite
+}
+
+TEST(TransitionKernel, BuildChainGuardsHugeInstances) {
+  ModelParams p;
+  p.B = 500;
+  p.k = 8;
+  p.s = 120;
+  const TransitionKernel kernel(p);
+  EXPECT_THROW(kernel.build_chain(), std::invalid_argument);
+}
+
+struct KernelSweepCase {
+  int B;
+  int k;
+  int s;
+};
+
+class KernelParamSweep : public ::testing::TestWithParam<KernelSweepCase> {};
+
+TEST_P(KernelParamSweep, ChainIsStochasticAndAbsorbs) {
+  const auto [B, k, s] = GetParam();
+  ModelParams p;
+  p.B = B;
+  p.k = k;
+  p.s = s;
+  const TransitionKernel kernel(p);
+  const markov::SparseChain chain = kernel.build_chain();
+  for (std::size_t st = 0; st < chain.num_states(); ++st) {
+    ASSERT_NEAR(chain.row_sum(st), 1.0, 1e-9);
+  }
+  const auto h = markov::hitting_probability(chain, kernel.absorbing_state());
+  EXPECT_NEAR(h[kernel.start_state()], 1.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KernelParamSweep,
+                         ::testing::Values(KernelSweepCase{1, 1, 1}, KernelSweepCase{2, 1, 2},
+                                           KernelSweepCase{5, 2, 3}, KernelSweepCase{10, 4, 6},
+                                           KernelSweepCase{15, 2, 10}));
+
+}  // namespace
+}  // namespace mpbt::model

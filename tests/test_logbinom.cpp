@@ -1,0 +1,158 @@
+#include "numeric/logbinom.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mpbt::numeric {
+namespace {
+
+TEST(LogChoose, SmallValuesExact) {
+  EXPECT_NEAR(std::exp(log_choose(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_choose(10, 3)), 120.0, 1e-7);
+  EXPECT_NEAR(std::exp(log_choose(6, 0)), 1.0, 1e-12);
+  EXPECT_NEAR(std::exp(log_choose(6, 6)), 1.0, 1e-12);
+}
+
+TEST(LogChoose, OutOfRangeIsMinusInfinity) {
+  EXPECT_TRUE(std::isinf(log_choose(5, 6)));
+  EXPECT_LT(log_choose(5, 6), 0.0);
+  EXPECT_TRUE(std::isinf(log_choose(5, -1)));
+  EXPECT_THROW(log_choose(-1, 0), std::invalid_argument);
+}
+
+TEST(LogChoose, Symmetry) {
+  for (int n = 1; n <= 50; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      EXPECT_NEAR(log_choose(n, k), log_choose(n, n - k), 1e-9) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(LogChoose, LargeValuesStable) {
+  // C(2000, 1000) overflows double; its log must still be finite.
+  const double v = log_choose(2000, 1000);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(v, 1000.0);
+}
+
+TEST(ChooseRatio, KnownValues) {
+  // C(2,1)/C(4,1) = 2/4.
+  EXPECT_NEAR(choose_ratio(2, 1, 4), 0.5, 1e-12);
+  // C(3,2)/C(4,2) = 3/6.
+  EXPECT_NEAR(choose_ratio(3, 2, 4), 0.5, 1e-12);
+  // j < m: impossible subset containment.
+  EXPECT_EQ(choose_ratio(1, 2, 4), 0.0);
+  // j = B: certain.
+  EXPECT_NEAR(choose_ratio(4, 2, 4), 1.0, 1e-12);
+}
+
+TEST(ChooseRatio, Bounds) {
+  for (int B : {5, 20, 100}) {
+    for (int m = 0; m <= B; ++m) {
+      for (int j = 0; j <= B; ++j) {
+        const double r = choose_ratio(j, m, B);
+        EXPECT_GE(r, 0.0);
+        EXPECT_LE(r, 1.0 + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(ChooseRatio, MonotoneInJ) {
+  // A larger j-subset is more likely to contain the m fixed items.
+  const int B = 30;
+  const int m = 5;
+  double prev = -1.0;
+  for (int j = 0; j <= B; ++j) {
+    const double r = choose_ratio(j, m, B);
+    EXPECT_GE(r, prev - 1e-12);
+    prev = r;
+  }
+}
+
+TEST(ChooseRatio, RejectsBadArguments) {
+  EXPECT_THROW(choose_ratio(0, 5, 4), std::invalid_argument);
+  EXPECT_THROW(choose_ratio(5, 0, 4), std::invalid_argument);
+  EXPECT_THROW(choose_ratio(0, 0, -1), std::invalid_argument);
+}
+
+TEST(BinomialPmf, KnownValues) {
+  EXPECT_NEAR(binomial_pmf(4, 2, 0.5), 6.0 / 16.0, 1e-12);
+  EXPECT_NEAR(binomial_pmf(3, 0, 0.2), 0.512, 1e-12);
+  EXPECT_EQ(binomial_pmf(3, -1, 0.2), 0.0);
+  EXPECT_EQ(binomial_pmf(3, 4, 0.2), 0.0);
+}
+
+TEST(BinomialPmf, DegenerateP) {
+  EXPECT_EQ(binomial_pmf(5, 0, 0.0), 1.0);
+  EXPECT_EQ(binomial_pmf(5, 3, 0.0), 0.0);
+  EXPECT_EQ(binomial_pmf(5, 5, 1.0), 1.0);
+  EXPECT_EQ(binomial_pmf(5, 2, 1.0), 0.0);
+}
+
+struct PmfCase {
+  int n;
+  double p;
+};
+
+class BinomialPmfVector : public ::testing::TestWithParam<PmfCase> {};
+
+TEST_P(BinomialPmfVector, SumsToOneAndMatchesPointwise) {
+  const auto [n, p] = GetParam();
+  const auto pmf = binomial_pmf_vector(n, p);
+  ASSERT_EQ(pmf.size(), static_cast<std::size_t>(n) + 1);
+  double sum = 0.0;
+  for (int k = 0; k <= n; ++k) {
+    EXPECT_NEAR(pmf[static_cast<std::size_t>(k)], binomial_pmf(n, k, p), 1e-9)
+        << "n=" << n << " k=" << k;
+    sum += pmf[static_cast<std::size_t>(k)];
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BinomialPmfVector,
+                         ::testing::Values(PmfCase{0, 0.5}, PmfCase{1, 0.3}, PmfCase{10, 0.5},
+                                           PmfCase{50, 0.01}, PmfCase{50, 0.99},
+                                           PmfCase{200, 0.5}, PmfCase{2000, 0.4},
+                                           PmfCase{10, 0.0}, PmfCase{10, 1.0}));
+
+TEST(BinomialCdf, MatchesPmfSum) {
+  const int n = 20;
+  const double p = 0.3;
+  double acc = 0.0;
+  for (int k = 0; k <= n; ++k) {
+    acc += binomial_pmf(n, k, p);
+    EXPECT_NEAR(binomial_cdf(n, k, p), std::min(acc, 1.0), 1e-9);
+  }
+  EXPECT_EQ(binomial_cdf(n, -1, p), 0.0);
+  EXPECT_EQ(binomial_cdf(n, n + 5, p), 1.0);
+}
+
+TEST(BinomialSumPmf, MatchesDirectConvolution) {
+  const auto sum_pmf = binomial_sum_pmf(3, 0.4, 2, 0.7);
+  ASSERT_EQ(sum_pmf.size(), 6u);
+  double total = 0.0;
+  for (int v = 0; v <= 5; ++v) {
+    double expected = 0.0;
+    for (int a = 0; a <= v; ++a) {
+      expected += binomial_pmf(3, a, 0.4) * binomial_pmf(2, v - a, 0.7);
+    }
+    EXPECT_NEAR(sum_pmf[static_cast<std::size_t>(v)], expected, 1e-12);
+    total += sum_pmf[static_cast<std::size_t>(v)];
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(BinomialSumPmf, ZeroTrialComponents) {
+  const auto pmf = binomial_sum_pmf(0, 0.5, 3, 0.5);
+  ASSERT_EQ(pmf.size(), 4u);
+  EXPECT_NEAR(pmf[0], 0.125, 1e-12);
+
+  const auto both_zero = binomial_sum_pmf(0, 0.1, 0, 0.9);
+  ASSERT_EQ(both_zero.size(), 1u);
+  EXPECT_NEAR(both_zero[0], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mpbt::numeric

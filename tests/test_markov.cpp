@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "markov/absorbing.hpp"
+#include "markov/sparse_chain.hpp"
+#include "markov/trajectory.hpp"
+#include "numeric/rng.hpp"
+
+namespace mpbt::markov {
+namespace {
+
+/// Simple symmetric random walk on {0..n} with absorbing endpoints.
+SparseChain gambler_chain(std::size_t n, double p_up = 0.5) {
+  SparseChain chain(n + 1);
+  for (std::size_t s = 1; s < n; ++s) {
+    chain.add_transition(s, s + 1, p_up);
+    chain.add_transition(s, s - 1, 1.0 - p_up);
+  }
+  chain.add_transition(0, 0, 1.0);
+  chain.add_transition(n, n, 1.0);
+  chain.finalize();
+  return chain;
+}
+
+TEST(SparseChain, RowSumValidation) {
+  SparseChain chain(2);
+  chain.add_transition(0, 1, 0.4);
+  EXPECT_THROW(chain.finalize(), std::invalid_argument);
+}
+
+TEST(SparseChain, EmptyRowBecomesAbsorbing) {
+  SparseChain chain(2);
+  chain.add_transition(0, 1, 1.0);
+  chain.finalize();
+  EXPECT_TRUE(chain.is_absorbing(1));
+  EXPECT_FALSE(chain.is_absorbing(0));
+}
+
+TEST(SparseChain, AccumulatesRepeatedTransitions) {
+  SparseChain chain(2);
+  chain.add_transition(0, 1, 0.5);
+  chain.add_transition(0, 1, 0.5);
+  chain.finalize();
+  ASSERT_EQ(chain.row(0).size(), 1u);
+  EXPECT_NEAR(chain.row(0)[0].probability, 1.0, 1e-12);
+}
+
+TEST(SparseChain, RejectsBadInput) {
+  EXPECT_THROW(SparseChain(0), std::invalid_argument);
+  SparseChain chain(2);
+  EXPECT_THROW(chain.add_transition(2, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(chain.add_transition(0, 2, 1.0), std::out_of_range);
+  EXPECT_THROW(chain.add_transition(0, 1, -0.5), std::invalid_argument);
+  chain.add_transition(0, 1, 1.0);
+  chain.finalize();
+  EXPECT_THROW(chain.finalize(), std::invalid_argument);
+  EXPECT_THROW(chain.add_transition(0, 1, 0.1), std::invalid_argument);
+}
+
+TEST(SparseChain, StepRequiresFinalize) {
+  SparseChain chain(2);
+  chain.add_transition(0, 1, 1.0);
+  numeric::Rng rng(1);
+  EXPECT_THROW(chain.step(0, rng), std::invalid_argument);
+  EXPECT_THROW(chain.step_distribution({1.0, 0.0}), std::invalid_argument);
+}
+
+TEST(SparseChain, StepDistributionConservesMass) {
+  const SparseChain chain = gambler_chain(10, 0.3);
+  std::vector<double> dist(11, 0.0);
+  dist[5] = 1.0;
+  for (int t = 0; t < 50; ++t) {
+    dist = chain.step_distribution(dist);
+    double total = 0.0;
+    for (double v : dist) {
+      total += v;
+    }
+    ASSERT_NEAR(total, 1.0, 1e-9);
+  }
+  // Most mass absorbed at the boundaries after 50 steps of a 10-walk.
+  EXPECT_GT(dist[0] + dist[10], 0.9);
+}
+
+TEST(SparseChain, StepSamplesFollowProbabilities) {
+  SparseChain chain(3);
+  chain.add_transition(0, 1, 0.25);
+  chain.add_transition(0, 2, 0.75);
+  chain.finalize();
+  numeric::Rng rng(3);
+  int to1 = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    if (chain.step(0, rng) == 1) {
+      ++to1;
+    }
+  }
+  EXPECT_NEAR(to1 / static_cast<double>(n), 0.25, 0.01);
+}
+
+TEST(Absorbing, GamblersRuinExpectedSteps) {
+  // Symmetric walk from i on {0..n}: E[steps] = i (n - i).
+  const std::size_t n = 10;
+  const SparseChain chain = gambler_chain(n);
+  const AbsorptionResult result = expected_steps_to_absorption(chain);
+  EXPECT_TRUE(result.converged);
+  for (std::size_t i = 0; i <= n; ++i) {
+    const double expected = static_cast<double>(i) * static_cast<double>(n - i);
+    EXPECT_NEAR(result.expected_steps[i], expected, 1e-6) << "i=" << i;
+  }
+}
+
+TEST(Absorbing, GeometricSelfLoop) {
+  // State 0 stays with prob 0.8, absorbs with prob 0.2: E[steps] = 5.
+  SparseChain chain(2);
+  chain.add_transition(0, 0, 0.8);
+  chain.add_transition(0, 1, 0.2);
+  chain.add_transition(1, 1, 1.0);
+  chain.finalize();
+  const AbsorptionResult result = expected_steps_to_absorption(chain);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.expected_steps[0], 5.0, 1e-8);
+  EXPECT_EQ(result.expected_steps[1], 0.0);
+}
+
+TEST(Absorbing, UnreachableAbsorptionIsInfinite) {
+  // Two states looping between each other; state 2 absorbing, unreachable.
+  SparseChain chain(3);
+  chain.add_transition(0, 1, 1.0);
+  chain.add_transition(1, 0, 1.0);
+  chain.add_transition(2, 2, 1.0);
+  chain.finalize();
+  const AbsorptionResult result =
+      expected_steps_to_absorption(chain, /*max_iterations=*/2000, 1e-10);
+  EXPECT_GT(result.expected_steps[0], 100.0);  // diverging upward
+}
+
+TEST(Absorbing, HittingProbabilityGamblersRuin) {
+  // Symmetric walk: P(hit n before 0 | start i) = i / n.
+  const std::size_t n = 8;
+  const SparseChain chain = gambler_chain(n);
+  const std::vector<double> h = hitting_probability(chain, n);
+  for (std::size_t i = 0; i <= n; ++i) {
+    EXPECT_NEAR(h[i], static_cast<double>(i) / static_cast<double>(n), 1e-8) << "i=" << i;
+  }
+}
+
+TEST(Trajectory, ReachesAbsorption) {
+  const SparseChain chain = gambler_chain(6);
+  numeric::Rng rng(9);
+  const Trajectory traj = sample_trajectory(chain, 3, rng);
+  EXPECT_TRUE(traj.absorbed);
+  EXPECT_GE(traj.states.size(), 2u);
+  EXPECT_EQ(traj.states.front(), 3u);
+  const std::size_t final_state = traj.states.back();
+  EXPECT_TRUE(final_state == 0 || final_state == 6);
+}
+
+TEST(Trajectory, StartingAbsorbedIsTrivial) {
+  const SparseChain chain = gambler_chain(4);
+  numeric::Rng rng(1);
+  const Trajectory traj = sample_trajectory(chain, 0, rng);
+  EXPECT_TRUE(traj.absorbed);
+  EXPECT_EQ(traj.states.size(), 1u);
+}
+
+TEST(Trajectory, MaxStepsCap) {
+  // Non-absorbing 2-cycle: trajectory must stop at the cap.
+  SparseChain chain(2);
+  chain.add_transition(0, 1, 1.0);
+  chain.add_transition(1, 0, 1.0);
+  chain.finalize();
+  numeric::Rng rng(2);
+  const Trajectory traj = sample_trajectory(chain, 0, rng, 10);
+  EXPECT_FALSE(traj.absorbed);
+  EXPECT_EQ(traj.states.size(), 11u);
+}
+
+TEST(Trajectory, MonteCarloMatchesExactExpectedSteps) {
+  const SparseChain chain = gambler_chain(8);
+  numeric::Rng rng(5);
+  const HittingTimeStats stats = estimate_absorption_time(chain, 4, rng, 4000);
+  EXPECT_EQ(stats.sample_count, 4000u);
+  EXPECT_EQ(stats.absorbed_count, 4000u);
+  // Exact value is 4 * 4 = 16.
+  EXPECT_NEAR(stats.mean, 16.0, 1.0);
+}
+
+TEST(Trajectory, WalkVisitsEveryStep) {
+  const SparseChain chain = gambler_chain(4);
+  numeric::Rng rng(6);
+  std::size_t calls = 0;
+  std::size_t last_step = 0;
+  const std::size_t steps = walk(chain, 2, rng, [&](std::size_t step, std::size_t state) {
+    EXPECT_EQ(step, calls);
+    EXPECT_LT(state, 5u);
+    last_step = step;
+    ++calls;
+  });
+  EXPECT_EQ(steps, last_step);
+  EXPECT_EQ(calls, steps + 1);
+}
+
+}  // namespace
+}  // namespace mpbt::markov

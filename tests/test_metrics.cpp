@@ -1,0 +1,103 @@
+#include "bt/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpbt::bt {
+namespace {
+
+TEST(SwarmMetrics, ConstructionValidation) {
+  EXPECT_THROW(SwarmMetrics(0), std::invalid_argument);
+  EXPECT_NO_THROW(SwarmMetrics(10));
+}
+
+TEST(SwarmMetrics, RoundSeries) {
+  SwarmMetrics m(10);
+  m.record_round(0, 5, 1, 0.9, 0.8, 0.6, 0.5);
+  m.record_round(1, 6, 1, 0.95, 0.85, 0.7, 0.55);
+  EXPECT_EQ(m.population().size(), 2u);
+  EXPECT_EQ(m.population()[1].value, 6.0);
+  EXPECT_EQ(m.seeds()[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(m.entropy()[0].value, 0.9);
+  EXPECT_DOUBLE_EQ(m.efficiency_trading()[1].value, 0.85);
+  EXPECT_DOUBLE_EQ(m.efficiency_all()[1].value, 0.7);
+  EXPECT_DOUBLE_EQ(m.efficiency_transfer()[1].value, 0.55);
+}
+
+TEST(SwarmMetrics, MeanWithWarmup) {
+  SwarmMetrics m(10);
+  m.record_round(0, 1, 0, 0.0, 0.0, 0.0, 0.0);
+  m.record_round(1, 1, 0, 0.5, 0.4, 0.4, 0.3);
+  m.record_round(2, 1, 0, 1.0, 0.8, 0.8, 0.5);
+  EXPECT_NEAR(m.mean_efficiency(1), 0.6, 1e-12);
+  EXPECT_NEAR(m.mean_entropy(1), 0.75, 1e-12);
+  EXPECT_NEAR(m.mean_efficiency(0), 0.4, 1e-12);
+  EXPECT_EQ(m.mean_efficiency(5), 0.0);  // no rounds past warmup
+  EXPECT_NEAR(m.mean_transfer_efficiency(1), 0.4, 1e-12);
+}
+
+TEST(SwarmMetrics, PotentialProfile) {
+  SwarmMetrics m(10);
+  EXPECT_EQ(m.potential_ratio(3), -1.0);
+  m.record_potential_observation(3, 4, 8);
+  m.record_potential_observation(3, 2, 8);
+  EXPECT_NEAR(m.potential_ratio(3), 0.375, 1e-12);  // (0.5 + 0.25) / 2
+  EXPECT_NEAR(m.potential_size(3), 3.0, 1e-12);
+  // Zero neighbor-set observations count toward the size but not the ratio.
+  m.record_potential_observation(5, 2, 0);
+  EXPECT_NEAR(m.potential_size(5), 2.0, 1e-12);
+  EXPECT_THROW(m.record_potential_observation(11, 0, 0), std::invalid_argument);
+  EXPECT_THROW(m.potential_ratio(11), std::out_of_range);
+}
+
+TEST(SwarmMetrics, AcquisitionProfiles) {
+  SwarmMetrics m(10);
+  m.record_acquisition(1, 2.0, 2.0);
+  m.record_acquisition(1, 4.0, 4.0);
+  m.record_acquisition(2, 5.0, 1.0);
+  EXPECT_NEAR(m.timeline(1), 3.0, 1e-12);
+  EXPECT_NEAR(m.timeline(2), 5.0, 1e-12);
+  EXPECT_NEAR(m.ttd(2), 1.0, 1e-12);
+  EXPECT_EQ(m.acquisition_count(1), 2u);
+  EXPECT_EQ(m.timeline(0), 0.0);
+  EXPECT_EQ(m.timeline(3), -1.0);
+  EXPECT_EQ(m.ttd(3), -1.0);
+  EXPECT_THROW(m.record_acquisition(0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(m.record_acquisition(11, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(SwarmMetrics, CompletionTracking) {
+  SwarmMetrics m(10);
+  m.record_completion(12.0);
+  m.record_completion(18.0);
+  EXPECT_EQ(m.completed_count(), 2u);
+  EXPECT_EQ(m.download_times().size(), 2u);
+}
+
+TEST(SwarmMetrics, ParameterEstimates) {
+  SwarmMetrics m(10);
+  EXPECT_EQ(m.estimated_p_r(0.42), 0.42);  // fallback with no data
+  m.record_connection_survival(10, 7);
+  m.record_connection_survival(10, 9);
+  EXPECT_NEAR(m.estimated_p_r(), 0.8, 1e-12);
+  m.record_connection_attempts(20, 15);
+  EXPECT_NEAR(m.estimated_p_n(), 0.75, 1e-12);
+  m.record_bootstrap_exit(4, 8);
+  m.record_bootstrap_exit(0, 8);
+  EXPECT_NEAR(m.estimated_p_init(), 0.25, 1e-12);
+  m.record_failed_encounter(3);
+  EXPECT_EQ(m.failed_encounters(), 3u);
+}
+
+TEST(SwarmMetrics, ClientRecordsKeyedByPeer) {
+  SwarmMetrics m(10);
+  ClientRecord& r1 = m.client_record(5, 2);
+  r1.samples.push_back({3, 100, 1, 4, 1, 1});
+  ClientRecord& again = m.client_record(5, 99);  // joined ignored on re-fetch
+  EXPECT_EQ(again.joined, 2u);
+  EXPECT_EQ(again.samples.size(), 1u);
+  m.client_record(8, 0);
+  EXPECT_EQ(m.client_records().size(), 2u);
+}
+
+}  // namespace
+}  // namespace mpbt::bt

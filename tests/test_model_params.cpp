@@ -1,0 +1,176 @@
+#include "model/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/phase.hpp"
+#include "model/trading_power.hpp"
+
+namespace mpbt::model {
+namespace {
+
+TEST(ModelParams, DefaultsValidate) {
+  ModelParams p;
+  EXPECT_NO_THROW(p.validate_and_normalize());
+  ASSERT_EQ(p.phi.size(), static_cast<std::size_t>(p.B) + 1);
+  // Default phi: uniform over 1..B-1.
+  EXPECT_EQ(p.phi[0], 0.0);
+  EXPECT_EQ(p.phi[static_cast<std::size_t>(p.B)], 0.0);
+  EXPECT_NEAR(p.phi[1], 1.0 / (p.B - 1), 1e-12);
+  double total = 0.0;
+  for (double w : p.phi) {
+    total += w;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ModelParams, RangeValidation) {
+  ModelParams p;
+  p.B = 0;
+  EXPECT_THROW(p.validate_and_normalize(), std::invalid_argument);
+  p = ModelParams{};
+  p.k = 0;
+  EXPECT_THROW(p.validate_and_normalize(), std::invalid_argument);
+  p = ModelParams{};
+  p.s = 0;
+  EXPECT_THROW(p.validate_and_normalize(), std::invalid_argument);
+  p = ModelParams{};
+  p.p_r = 1.5;
+  EXPECT_THROW(p.validate_and_normalize(), std::invalid_argument);
+  p = ModelParams{};
+  p.alpha = -0.1;
+  EXPECT_THROW(p.validate_and_normalize(), std::invalid_argument);
+}
+
+TEST(ModelParams, CustomPhiNormalized) {
+  ModelParams p;
+  p.B = 3;
+  p.phi = {0.0, 2.0, 2.0, 0.0};
+  p.validate_and_normalize();
+  EXPECT_NEAR(p.phi[1], 0.5, 1e-12);
+  EXPECT_NEAR(p.phi[2], 0.5, 1e-12);
+}
+
+TEST(ModelParams, CustomPhiValidation) {
+  ModelParams p;
+  p.B = 3;
+  p.phi = {1.0, 1.0};  // wrong size
+  EXPECT_THROW(p.validate_and_normalize(), std::invalid_argument);
+  p.phi = {0.0, -1.0, 1.0, 0.0};
+  EXPECT_THROW(p.validate_and_normalize(), std::invalid_argument);
+  p.phi = {0.0, 0.0, 0.0, 0.0};
+  EXPECT_THROW(p.validate_and_normalize(), std::invalid_argument);
+}
+
+TEST(ModelParams, SinglePieceFile) {
+  ModelParams p;
+  p.B = 1;
+  EXPECT_NO_THROW(p.validate_and_normalize());
+  EXPECT_NEAR(p.phi[1], 1.0, 1e-12);
+}
+
+TEST(ModelParams, AlphaFromFormula) {
+  // alpha = lambda w s / N (Section 3.2).
+  EXPECT_NEAR(ModelParams::alpha_from(2.0, 0.5, 40, 1000.0), 0.04, 1e-12);
+  // Clamped at 1.
+  EXPECT_EQ(ModelParams::alpha_from(100.0, 1.0, 50, 10.0), 1.0);
+  EXPECT_THROW(ModelParams::alpha_from(-1.0, 0.5, 40, 100.0), std::invalid_argument);
+  EXPECT_THROW(ModelParams::alpha_from(1.0, 1.5, 40, 100.0), std::invalid_argument);
+  EXPECT_THROW(ModelParams::alpha_from(1.0, 0.5, 0, 100.0), std::invalid_argument);
+  EXPECT_THROW(ModelParams::alpha_from(1.0, 0.5, 40, 0.0), std::invalid_argument);
+}
+
+TEST(Phase, Names) {
+  EXPECT_EQ(phase_name(Phase::Bootstrap), "bootstrap");
+  EXPECT_EQ(phase_name(Phase::EfficientDownload), "efficient-download");
+  EXPECT_EQ(phase_name(Phase::LastDownload), "last-download");
+  EXPECT_EQ(phase_name(Phase::Done), "done");
+}
+
+TEST(Phase, Classification) {
+  const int B = 100;
+  EXPECT_EQ(classify_phase(0, 0, 0, B), Phase::Bootstrap);
+  EXPECT_EQ(classify_phase(0, 1, 0, B), Phase::Bootstrap);  // (0,1,0) waiting state
+  EXPECT_EQ(classify_phase(0, 1, 3, B), Phase::EfficientDownload);
+  EXPECT_EQ(classify_phase(2, 50, 5, B), Phase::EfficientDownload);
+  EXPECT_EQ(classify_phase(2, 50, 0, B), Phase::EfficientDownload);  // still connected
+  EXPECT_EQ(classify_phase(0, 95, 0, B), Phase::LastDownload);
+  EXPECT_EQ(classify_phase(0, B, 0, B), Phase::Done);
+  EXPECT_THROW(classify_phase(0, 0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(classify_phase(-1, 0, 0, B), std::invalid_argument);
+}
+
+TEST(TradingPower, RequiresValidatedParams) {
+  ModelParams p;  // phi not yet normalized
+  EXPECT_THROW(trading_power(p, 1), std::invalid_argument);
+}
+
+TEST(TradingPower, BoundaryValues) {
+  ModelParams p;
+  p.B = 50;
+  p.validate_and_normalize();
+  EXPECT_EQ(trading_power(p, 0), 0.0);
+  EXPECT_EQ(trading_power(p, p.B), 0.0);
+  EXPECT_THROW(trading_power(p, -1), std::out_of_range);
+  EXPECT_THROW(trading_power(p, p.B + 1), std::out_of_range);
+}
+
+TEST(TradingPower, PaperShapeUnderUniformPhi) {
+  // Section 3.2: p rises from ~0.5 at m=1 to a maximum near B/2 and falls
+  // back to ~0.5 at m = B-1.
+  ModelParams p;
+  p.B = 100;
+  p.validate_and_normalize();
+  const std::vector<double> curve = trading_power_curve(p);
+  EXPECT_NEAR(curve[1], 0.5, 0.02);
+  EXPECT_NEAR(curve[static_cast<std::size_t>(p.B) - 1], 0.5, 0.02);
+  // Peak near the middle and clearly above the endpoints.
+  double peak = 0.0;
+  int peak_m = 0;
+  for (int m = 1; m < p.B; ++m) {
+    if (curve[static_cast<std::size_t>(m)] > peak) {
+      peak = curve[static_cast<std::size_t>(m)];
+      peak_m = m;
+    }
+  }
+  EXPECT_GT(peak, 0.9);
+  EXPECT_GT(peak_m, p.B / 4);
+  EXPECT_LT(peak_m, 3 * p.B / 4);
+}
+
+TEST(TradingPower, AllValuesAreProbabilities) {
+  for (int B : {2, 5, 20, 200}) {
+    ModelParams p;
+    p.B = B;
+    p.validate_and_normalize();
+    for (double v : trading_power_curve(p)) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(TradingPower, PointMassPhiAgainstHandComputation) {
+  // All peers hold exactly j=2 of B=4 pieces. For m = 1:
+  //   j > m term: phi(2) [1 - C(2,1)/C(4,1)] = 1 * (1 - 0.5) = 0.5.
+  ModelParams p;
+  p.B = 4;
+  p.phi = {0.0, 0.0, 1.0, 0.0, 0.0};
+  p.validate_and_normalize();
+  EXPECT_NEAR(trading_power(p, 1), 0.5, 1e-12);
+  // m = 2: j <= m term: phi(2) [1 - C(2,2)/C(4,2)] = 1 - 1/6.
+  EXPECT_NEAR(trading_power(p, 2), 1.0 - 1.0 / 6.0, 1e-12);
+  // m = 3: phi(2)[1 - C(3,2)/C(4,2)] = 1 - 3/6 = 0.5.
+  EXPECT_NEAR(trading_power(p, 3), 0.5, 1e-12);
+}
+
+TEST(TradingPower, LargeBStable) {
+  ModelParams p;
+  p.B = 2000;
+  p.validate_and_normalize();
+  const double mid = trading_power(p, 1000);
+  EXPECT_GT(mid, 0.9);
+  EXPECT_LE(mid, 1.0);
+}
+
+}  // namespace
+}  // namespace mpbt::model

@@ -1,0 +1,144 @@
+#include "bt/piece_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace mpbt::bt {
+namespace {
+
+class PieceSelectionTest : public ::testing::Test {
+ protected:
+  numeric::Rng rng_{17};
+};
+
+TEST_F(PieceSelectionTest, RandomReturnsNulloptWhenNothingToOffer) {
+  Bitfield down(10);
+  Bitfield up(10);
+  EXPECT_FALSE(select_random(down, up, rng_).has_value());
+  up.set(3);
+  down.set(3);
+  EXPECT_FALSE(select_random(down, up, rng_).has_value());
+}
+
+TEST_F(PieceSelectionTest, RandomPicksOnlyValidPieces) {
+  Bitfield down(10);
+  Bitfield up(10);
+  up.set(2);
+  up.set(7);
+  down.set(2);
+  for (int i = 0; i < 50; ++i) {
+    const auto choice = select_random(down, up, rng_);
+    ASSERT_TRUE(choice.has_value());
+    EXPECT_EQ(*choice, 7u);
+  }
+}
+
+TEST_F(PieceSelectionTest, RandomIsRoughlyUniform) {
+  Bitfield down(4);
+  Bitfield up(4);
+  up.set(0);
+  up.set(1);
+  up.set(2);
+  std::map<PieceIndex, int> hits;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    ++hits[*select_random(down, up, rng_)];
+  }
+  for (PieceIndex p = 0; p < 3; ++p) {
+    EXPECT_NEAR(hits[p] / static_cast<double>(n), 1.0 / 3.0, 0.02);
+  }
+}
+
+TEST_F(PieceSelectionTest, RarestFirstPicksLowestAvailability) {
+  Bitfield down(5);
+  Bitfield up(5);
+  up.set(0);
+  up.set(1);
+  up.set(2);
+  const std::vector<std::uint32_t> availability{10, 2, 30, 1, 1};
+  // Piece 3 / 4 are rarest overall but the uploader only has 0, 1, 2:
+  // rarest candidate is piece 1.
+  for (int i = 0; i < 20; ++i) {
+    const auto choice = select_rarest_first(down, up, availability, rng_);
+    ASSERT_TRUE(choice.has_value());
+    EXPECT_EQ(*choice, 1u);
+  }
+}
+
+TEST_F(PieceSelectionTest, RarestFirstBreaksTiesRandomly) {
+  Bitfield down(3);
+  Bitfield up(3);
+  up.set(0);
+  up.set(1);
+  up.set(2);
+  const std::vector<std::uint32_t> availability{4, 4, 9};
+  std::map<PieceIndex, int> hits;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    ++hits[*select_rarest_first(down, up, availability, rng_)];
+  }
+  EXPECT_EQ(hits.count(2), 0u);
+  EXPECT_NEAR(hits[0] / static_cast<double>(n), 0.5, 0.02);
+  EXPECT_NEAR(hits[1] / static_cast<double>(n), 0.5, 0.02);
+}
+
+TEST_F(PieceSelectionTest, RarestFirstEmptyAvailabilityFallsBackToRandom) {
+  Bitfield down(4);
+  Bitfield up(4);
+  up.set(1);
+  up.set(3);
+  const auto choice = select_rarest_first(down, up, {}, rng_);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_TRUE(*choice == 1u || *choice == 3u);
+}
+
+TEST_F(PieceSelectionTest, RarestFirstValidatesAvailabilitySize) {
+  Bitfield down(4);
+  Bitfield up(4);
+  up.set(1);
+  const std::vector<std::uint32_t> wrong_size{1, 2};
+  EXPECT_THROW(select_rarest_first(down, up, wrong_size, rng_), std::invalid_argument);
+}
+
+TEST_F(PieceSelectionTest, StrategyDispatch) {
+  Bitfield down(6);
+  Bitfield up(6);
+  up.set(0);
+  up.set(5);
+  const std::vector<std::uint32_t> availability{9, 9, 9, 9, 9, 1};
+
+  // RarestFirst must pick piece 5.
+  EXPECT_EQ(*select_piece(PieceSelection::RarestFirst, down, up, availability, rng_), 5u);
+
+  // RandomFirstThenRarest: empty downloader -> random among {0, 5}.
+  bool saw0 = false;
+  bool saw5 = false;
+  for (int i = 0; i < 200; ++i) {
+    const auto c =
+        select_piece(PieceSelection::RandomFirstThenRarest, down, up, availability, rng_);
+    saw0 |= (*c == 0u);
+    saw5 |= (*c == 5u);
+  }
+  EXPECT_TRUE(saw0);
+  EXPECT_TRUE(saw5);
+
+  // Once the downloader holds a piece, it switches to rarest-first.
+  down.set(1);
+  EXPECT_EQ(*select_piece(PieceSelection::RandomFirstThenRarest, down, up, availability, rng_),
+            5u);
+}
+
+TEST_F(PieceSelectionTest, NothingAvailableAcrossStrategies) {
+  Bitfield down(4);
+  Bitfield up(4);
+  down.set(0);
+  for (auto strategy : {PieceSelection::Random, PieceSelection::RarestFirst,
+                        PieceSelection::RandomFirstThenRarest}) {
+    EXPECT_FALSE(
+        select_piece(strategy, down, up, std::vector<std::uint32_t>(4, 1), rng_).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace mpbt::bt

@@ -1,0 +1,275 @@
+// Property-based tests: invariants that must hold across randomized
+// configurations and inputs, checked against reference implementations
+// where one exists.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bt/bitfield.hpp"
+#include "bt/swarm.hpp"
+#include "markov/absorbing.hpp"
+#include "markov/sparse_chain.hpp"
+#include "markov/trajectory.hpp"
+#include "model/kernel.hpp"
+#include "numeric/logbinom.hpp"
+#include "numeric/rng.hpp"
+
+namespace mpbt {
+namespace {
+
+// --- Bitfield vs std::set reference -----------------------------------------
+
+TEST(Property, BitfieldMatchesSetReference) {
+  numeric::Rng rng(71);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto size = static_cast<std::size_t>(rng.uniform_int(1, 300));
+    bt::Bitfield field(size);
+    std::set<bt::PieceIndex> reference;
+    for (int op = 0; op < 200; ++op) {
+      const auto piece =
+          static_cast<bt::PieceIndex>(rng.uniform_int(0, static_cast<std::int64_t>(size) - 1));
+      if (rng.bernoulli(0.6)) {
+        field.set(piece);
+        reference.insert(piece);
+      } else {
+        field.reset(piece);
+        reference.erase(piece);
+      }
+      ASSERT_EQ(field.count(), reference.size());
+      ASSERT_EQ(field.test(piece), reference.count(piece) == 1);
+    }
+    const auto held = field.held_pieces();
+    ASSERT_EQ(held.size(), reference.size());
+    ASSERT_TRUE(std::equal(held.begin(), held.end(), reference.begin()));
+    // held + missing partitions the index space.
+    ASSERT_EQ(held.size() + field.missing_pieces().size(), size);
+  }
+}
+
+TEST(Property, BitfieldSetOpsMatchReference) {
+  numeric::Rng rng(72);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto size = static_cast<std::size_t>(rng.uniform_int(1, 200));
+    bt::Bitfield a(size);
+    bt::Bitfield b(size);
+    std::set<bt::PieceIndex> sa;
+    std::set<bt::PieceIndex> sb;
+    for (std::size_t p = 0; p < size; ++p) {
+      if (rng.bernoulli(0.4)) {
+        a.set(static_cast<bt::PieceIndex>(p));
+        sa.insert(static_cast<bt::PieceIndex>(p));
+      }
+      if (rng.bernoulli(0.4)) {
+        b.set(static_cast<bt::PieceIndex>(p));
+        sb.insert(static_cast<bt::PieceIndex>(p));
+      }
+    }
+    std::vector<bt::PieceIndex> expected_diff;
+    std::set_difference(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::back_inserter(expected_diff));
+    ASSERT_EQ(a.pieces_missing_from(b), expected_diff);
+    ASSERT_EQ(a.has_piece_missing_from(b), !expected_diff.empty());
+    std::vector<bt::PieceIndex> expected_inter;
+    std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                          std::back_inserter(expected_inter));
+    ASSERT_EQ(a.intersection_count(b), expected_inter.size());
+  }
+}
+
+// --- RNG statistical sanity --------------------------------------------------
+
+TEST(Property, RngUniformIntChiSquare) {
+  // 10 buckets, 100k draws: chi-square with 9 dof; 99.9th percentile ~27.9.
+  numeric::Rng rng(73);
+  const int buckets = 10;
+  const int draws = 100000;
+  std::vector<int> counts(buckets, 0);
+  for (int i = 0; i < draws; ++i) {
+    ++counts[rng.uniform_int(0, buckets - 1)];
+  }
+  const double expected = static_cast<double>(draws) / buckets;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(Property, RngBinomialMatchesPmf) {
+  numeric::Rng rng(74);
+  const int n = 12;
+  const double p = 0.35;
+  const int draws = 200000;
+  std::vector<int> counts(n + 1, 0);
+  for (int i = 0; i < draws; ++i) {
+    ++counts[rng.binomial(n, p)];
+  }
+  for (int k = 0; k <= n; ++k) {
+    const double expected = numeric::binomial_pmf(n, k, p);
+    const double observed = static_cast<double>(counts[k]) / draws;
+    ASSERT_NEAR(observed, expected, 0.004) << "k=" << k;
+  }
+}
+
+// --- Markov chain properties ---------------------------------------------------
+
+markov::SparseChain random_absorbing_chain(numeric::Rng& rng, std::size_t states) {
+  markov::SparseChain chain(states);
+  // State states-1 is absorbing; every state can step toward it.
+  for (std::size_t s = 0; s + 1 < states; ++s) {
+    const int fanout = static_cast<int>(rng.uniform_int(1, 3));
+    std::vector<double> weights(static_cast<std::size_t>(fanout) + 1);
+    double total = 0.0;
+    for (double& w : weights) {
+      w = rng.uniform(0.05, 1.0);
+      total += w;
+    }
+    // Last weight goes "forward" (toward absorption) to guarantee reachability.
+    chain.add_transition(s, s + 1, weights.back() / total);
+    for (int f = 0; f < fanout; ++f) {
+      const auto target = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(states) - 1));
+      chain.add_transition(s, target, weights[static_cast<std::size_t>(f)] / total);
+    }
+  }
+  chain.add_transition(states - 1, states - 1, 1.0);
+  chain.finalize(1e-6);
+  return chain;
+}
+
+TEST(Property, RandomAbsorbingChainsConvergeAndAgreeWithMonteCarlo) {
+  numeric::Rng rng(75);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto states = static_cast<std::size_t>(rng.uniform_int(5, 25));
+    const markov::SparseChain chain = random_absorbing_chain(rng, states);
+    const auto result = markov::expected_steps_to_absorption(chain);
+    ASSERT_TRUE(result.converged);
+    const double exact = result.expected_steps[0];
+    ASSERT_GE(exact, 0.0);
+    const auto mc = markov::estimate_absorption_time(chain, 0, rng, 3000);
+    ASSERT_EQ(mc.absorbed_count, mc.sample_count);
+    ASSERT_NEAR(mc.mean, exact, exact * 0.15 + 0.5) << "states=" << states;
+  }
+}
+
+TEST(Property, DistributionSteppingPreservesMassOnRandomChains) {
+  numeric::Rng rng(76);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto states = static_cast<std::size_t>(rng.uniform_int(4, 30));
+    const markov::SparseChain chain = random_absorbing_chain(rng, states);
+    std::vector<double> dist(states, 0.0);
+    dist[0] = 1.0;
+    for (int t = 0; t < 100; ++t) {
+      dist = chain.step_distribution(dist);
+      double total = 0.0;
+      for (double v : dist) {
+        ASSERT_GE(v, -1e-12);
+        total += v;
+      }
+      ASSERT_NEAR(total, 1.0, 1e-9);
+    }
+  }
+}
+
+// --- Model kernel across random parameters ----------------------------------
+
+TEST(Property, KernelRowsStochasticAcrossRandomParams) {
+  numeric::Rng rng(77);
+  for (int trial = 0; trial < 8; ++trial) {
+    model::ModelParams params;
+    params.B = static_cast<int>(rng.uniform_int(1, 12));
+    params.k = static_cast<int>(rng.uniform_int(1, 4));
+    params.s = static_cast<int>(rng.uniform_int(1, 8));
+    params.p_init = rng.uniform01();
+    params.p_r = rng.uniform01();
+    params.p_n = rng.uniform01();
+    params.alpha = rng.uniform01();
+    params.gamma = rng.uniform01();
+    params.seed_boost = rng.bernoulli(0.5) ? rng.uniform01() : 0.0;
+    const model::TransitionKernel kernel(params);
+    const markov::SparseChain chain = kernel.build_chain();
+    for (std::size_t s = 0; s < chain.num_states(); ++s) {
+      ASSERT_NEAR(chain.row_sum(s), 1.0, 1e-7)
+          << "trial " << trial << " state " << s;
+    }
+  }
+}
+
+// --- Swarm invariants across random configurations ---------------------------
+
+TEST(Property, SwarmInvariantsAcrossRandomConfigs) {
+  numeric::Rng rng(78);
+  for (int trial = 0; trial < 10; ++trial) {
+    bt::SwarmConfig config;
+    config.num_pieces = static_cast<std::uint32_t>(rng.uniform_int(1, 60));
+    config.max_connections = static_cast<std::uint32_t>(rng.uniform_int(1, 8));
+    config.peer_set_size = static_cast<std::uint32_t>(rng.uniform_int(1, 25));
+    config.arrival_rate = rng.uniform(0.0, 3.0);
+    config.initial_seeds = static_cast<std::uint32_t>(rng.uniform_int(0, 3));
+    config.seed_capacity = static_cast<std::uint32_t>(rng.uniform_int(1, 5));
+    config.seeds_serve_all = rng.bernoulli(0.5);
+    config.optimistic_unchoke_prob = rng.uniform01();
+    config.connect_success_prob = rng.uniform01();
+    config.handshake_delay = rng.bernoulli(0.5);
+    config.shake.enabled = rng.bernoulli(0.3);
+    config.seed_linger_rounds = rng.bernoulli(0.5) ? 0u : 5u;
+    config.blocks_per_piece = rng.bernoulli(0.3) ? 4u : 1u;
+    config.seed = static_cast<std::uint64_t>(trial) * 1000 + 5;
+    if (rng.bernoulli(0.5)) {
+      bt::InitialGroup group;
+      group.count = static_cast<std::uint32_t>(rng.uniform_int(1, 40));
+      group.piece_probs.assign(config.num_pieces, rng.uniform(0.0, 0.8));
+      config.initial_groups.push_back(std::move(group));
+    }
+    if (rng.bernoulli(0.3)) {
+      config.arrival_piece_probs.assign(config.num_pieces, rng.uniform(0.0, 0.3));
+    }
+    if (rng.bernoulli(0.3)) {
+      config.bandwidth_classes = {{0.5, 1}, {0.5, 4}};
+    }
+    bt::Swarm swarm(std::move(config));
+    for (int r = 0; r < 40; ++r) {
+      swarm.step();
+      ASSERT_NO_THROW(swarm.check_invariants())
+          << "trial " << trial << " round " << r;
+    }
+    // Entropy and efficiency stay in their ranges throughout.
+    for (const auto& sample : swarm.metrics().entropy().samples()) {
+      ASSERT_GE(sample.value, 0.0);
+      ASSERT_LE(sample.value, 1.0);
+    }
+    for (const auto& sample : swarm.metrics().efficiency_trading().samples()) {
+      ASSERT_GE(sample.value, 0.0);
+      ASSERT_LE(sample.value, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(Property, SwarmDownloadTimesArePositiveAndBounded) {
+  numeric::Rng rng(79);
+  for (int trial = 0; trial < 5; ++trial) {
+    bt::SwarmConfig config;
+    config.num_pieces = static_cast<std::uint32_t>(rng.uniform_int(5, 40));
+    config.max_connections = 4;
+    config.peer_set_size = 15;
+    config.arrival_rate = 1.5;
+    config.initial_seeds = 1;
+    config.seed_capacity = 3;
+    config.seed = static_cast<std::uint64_t>(trial) * 71 + 3;
+    bt::InitialGroup warm;
+    warm.count = 30;
+    warm.piece_probs.assign(config.num_pieces, 0.3);
+    config.initial_groups.push_back(std::move(warm));
+    bt::Swarm swarm(std::move(config));
+    const int rounds = 120;
+    swarm.run_rounds(rounds);
+    for (double t : swarm.metrics().download_times()) {
+      ASSERT_GE(t, 1.0);
+      ASSERT_LE(t, static_cast<double>(rounds) + 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpbt

@@ -1,0 +1,253 @@
+#include "numeric/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace mpbt::numeric {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01Mean) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.uniform01();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRejectsBadRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(1);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntRejectsInverted) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+  EXPECT_THROW(rng.bernoulli(-0.1), std::invalid_argument);
+  EXPECT_THROW(rng.bernoulli(1.1), std::invalid_argument);
+}
+
+TEST(Rng, BinomialEdges) {
+  Rng rng(3);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0);
+  EXPECT_EQ(rng.binomial(10, 0.0), 0);
+  EXPECT_EQ(rng.binomial(10, 1.0), 10);
+  EXPECT_THROW(rng.binomial(-1, 0.5), std::invalid_argument);
+}
+
+struct BinomialCase {
+  int n;
+  double p;
+};
+
+class RngBinomialMoments : public ::testing::TestWithParam<BinomialCase> {};
+
+TEST_P(RngBinomialMoments, MeanAndVarianceMatch) {
+  const auto [n, p] = GetParam();
+  Rng rng(42);
+  const int samples = 50000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const int v = rng.binomial(n, p);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, n);
+    sum += v;
+    sum_sq += static_cast<double>(v) * v;
+  }
+  const double mean = sum / samples;
+  const double var = sum_sq / samples - mean * mean;
+  const double expected_mean = n * p;
+  const double expected_var = n * p * (1.0 - p);
+  EXPECT_NEAR(mean, expected_mean, 0.05 * std::max(1.0, expected_mean));
+  EXPECT_NEAR(var, expected_var, 0.1 * std::max(1.0, expected_var));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RngBinomialMoments,
+                         ::testing::Values(BinomialCase{5, 0.5}, BinomialCase{40, 0.1},
+                                           BinomialCase{40, 0.9}, BinomialCase{100, 0.3},
+                                           BinomialCase{500, 0.02}, BinomialCase{1000, 0.7}));
+
+class RngPoissonMoments : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngPoissonMoments, MeanAndVarianceMatch) {
+  const double lambda = GetParam();
+  Rng rng(5);
+  const int samples = 50000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const int v = rng.poisson(lambda);
+    ASSERT_GE(v, 0);
+    sum += v;
+    sum_sq += static_cast<double>(v) * v;
+  }
+  const double mean = sum / samples;
+  const double var = sum_sq / samples - mean * mean;
+  EXPECT_NEAR(mean, lambda, 0.05 * std::max(1.0, lambda));
+  EXPECT_NEAR(var, lambda, 0.12 * std::max(1.0, lambda));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RngPoissonMoments,
+                         ::testing::Values(0.5, 2.0, 10.0, 50.0, 200.0));
+
+TEST(Rng, PoissonZeroLambda) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.poisson(0.0), 0);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(6);
+  const double rate = 2.5;
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.exponential(rate);
+    ASSERT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.02);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, GeometricMean) {
+  Rng rng(8);
+  const double p = 0.3;
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.geometric(p);
+  }
+  // E[failures before success] = (1 - p) / p.
+  EXPECT_NEAR(sum / n, (1.0 - p) / p, 0.05);
+  EXPECT_EQ(rng.geometric(1.0), 0);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(10);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<int> orig = v;
+  rng.shuffle(std::span<int>(v));
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ShuffleActuallyShuffles) {
+  Rng rng(11);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) {
+    v[static_cast<std::size_t>(i)] = i;
+  }
+  const std::vector<int> orig = v;
+  rng.shuffle(std::span<int>(v));
+  EXPECT_NE(v, orig);
+}
+
+TEST(Rng, SampleWithoutReplacementProperties) {
+  Rng rng(12);
+  for (std::size_t n : {1u, 5u, 50u, 1000u}) {
+    for (std::size_t k : {std::size_t{0}, n / 2, n}) {
+      const auto sample = rng.sample_without_replacement(n, k);
+      EXPECT_EQ(sample.size(), k);
+      std::set<std::size_t> unique(sample.begin(), sample.end());
+      EXPECT_EQ(unique.size(), k);
+      for (std::size_t idx : sample) {
+        EXPECT_LT(idx, n);
+      }
+    }
+  }
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, SampleWithoutReplacementUniform) {
+  // Each element of [0, 10) should appear in a k=5 sample about half the time.
+  Rng rng(13);
+  std::vector<int> hits(10, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (std::size_t idx : rng.sample_without_replacement(10, 5)) {
+      ++hits[idx];
+    }
+  }
+  for (int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h) / trials, 0.5, 0.02);
+  }
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(99);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child1.next_u64() == child2.next_u64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace mpbt::numeric

@@ -1,0 +1,116 @@
+// The seeding extension of the download model (Section 7.2): extra
+// connections that do not require tit-for-tat.
+#include <gtest/gtest.h>
+
+#include "markov/absorbing.hpp"
+#include "model/download_model.hpp"
+
+namespace mpbt::model {
+namespace {
+
+ModelParams boosted_params(double seed_boost) {
+  ModelParams p;
+  p.B = 10;
+  p.k = 3;
+  p.s = 5;
+  p.p_init = 0.6;
+  p.p_r = 0.7;
+  p.p_n = 0.8;
+  p.alpha = 0.3;
+  p.gamma = 0.2;
+  p.seed_boost = seed_boost;
+  return p;
+}
+
+TEST(SeedModel, ValidatesRange) {
+  ModelParams p = boosted_params(1.5);
+  EXPECT_THROW(p.validate_and_normalize(), std::invalid_argument);
+  p = boosted_params(-0.1);
+  EXPECT_THROW(p.validate_and_normalize(), std::invalid_argument);
+  p = boosted_params(0.5);
+  EXPECT_NO_THROW(p.validate_and_normalize());
+}
+
+TEST(SeedModel, ZeroBoostRecoversStrictModel) {
+  const TransitionKernel kernel(boosted_params(0.0));
+  for (int n = 0; n <= 3; ++n) {
+    for (int b = 0; b <= 10; ++b) {
+      const auto pmf = kernel.next_b_pmf(n, b);
+      ASSERT_EQ(pmf.size(), 1u);
+      EXPECT_EQ(pmf[0].first, kernel.next_b(n, b));
+      EXPECT_EQ(pmf[0].second, 1.0);
+    }
+  }
+}
+
+TEST(SeedModel, PmfSplitsOnBoost) {
+  const TransitionKernel kernel(boosted_params(0.25));
+  const auto pmf = kernel.next_b_pmf(2, 4);  // base b' = 6
+  ASSERT_EQ(pmf.size(), 2u);
+  EXPECT_EQ(pmf[0].first, 6);
+  EXPECT_NEAR(pmf[0].second, 0.75, 1e-12);
+  EXPECT_EQ(pmf[1].first, 7);
+  EXPECT_NEAR(pmf[1].second, 0.25, 1e-12);
+  // Bootstrap (b = 0) is unaffected: the first piece is its own mechanism.
+  const auto bootstrap = kernel.next_b_pmf(0, 0);
+  ASSERT_EQ(bootstrap.size(), 1u);
+  EXPECT_EQ(bootstrap[0].first, 1);
+  // At the boundary the boost cannot push past B.
+  const auto boundary = kernel.next_b_pmf(3, 9);  // base already B
+  ASSERT_EQ(boundary.size(), 1u);
+  EXPECT_EQ(boundary[0].first, 10);
+}
+
+TEST(SeedModel, CertainBoostCollapsesToOneBranch) {
+  const TransitionKernel kernel(boosted_params(1.0));
+  const auto pmf = kernel.next_b_pmf(1, 3);
+  ASSERT_EQ(pmf.size(), 1u);
+  EXPECT_EQ(pmf[0].first, 5);
+}
+
+TEST(SeedModel, ChainStaysStochasticWithBoost) {
+  const TransitionKernel kernel(boosted_params(0.3));
+  const markov::SparseChain chain = kernel.build_chain();
+  for (std::size_t s = 0; s < chain.num_states(); ++s) {
+    ASSERT_NEAR(chain.row_sum(s), 1.0, 1e-9) << "state " << s;
+  }
+  const auto h = markov::hitting_probability(chain, kernel.absorbing_state());
+  EXPECT_NEAR(h[kernel.start_state()], 1.0, 1e-6);
+}
+
+TEST(SeedModel, BoostShortensDownloads) {
+  const double t_strict = compute_evolution(boosted_params(0.0)).expected_completion;
+  const double t_half = compute_evolution(boosted_params(0.5)).expected_completion;
+  const double t_full = compute_evolution(boosted_params(1.0)).expected_completion;
+  EXPECT_GT(t_strict, t_half);
+  EXPECT_GT(t_half, t_full);
+}
+
+TEST(SeedModel, EvolutionMatchesExactChainWithBoost) {
+  const ModelParams params = boosted_params(0.4);
+  const TransitionKernel kernel(params);
+  const markov::SparseChain chain = kernel.build_chain();
+  const auto exact = markov::expected_steps_to_absorption(chain);
+  const double exact_time = exact.expected_steps[kernel.start_state()];
+  const EvolutionResult evo = compute_evolution(params);
+  EXPECT_NEAR(evo.expected_completion, exact_time, exact_time * 0.01 + 0.01);
+}
+
+TEST(SeedModel, MonteCarloAgreesWithExact) {
+  const ModelParams params = boosted_params(0.4);
+  const TransitionKernel kernel(params);
+  numeric::Rng rng(55);
+  double total = 0.0;
+  const int samples = 4000;
+  for (int i = 0; i < samples; ++i) {
+    const SampledDownload d = sample_download(kernel, rng);
+    ASSERT_TRUE(d.completed);
+    total += static_cast<double>(d.points.size() - 1);
+  }
+  const double mc_mean = total / samples;
+  const double exact = compute_evolution(params).expected_completion;
+  EXPECT_NEAR(mc_mean, exact, exact * 0.05);
+}
+
+}  // namespace
+}  // namespace mpbt::model

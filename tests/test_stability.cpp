@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "stability/entropy.hpp"
+#include "stability/experiment.hpp"
+
+namespace mpbt::stability {
+namespace {
+
+TEST(Entropy, EdgeCases) {
+  EXPECT_EQ(entropy_from_counts({}), 1.0);
+  EXPECT_EQ(entropy_from_counts({0, 0, 0}), 1.0);
+  EXPECT_EQ(entropy_from_counts({5, 5, 5}), 1.0);
+  EXPECT_EQ(entropy_from_counts({0, 5}), 0.0);
+}
+
+TEST(Entropy, RatioOfExtremes) {
+  EXPECT_NEAR(entropy_from_counts({2, 4, 8}), 0.25, 1e-12);
+  EXPECT_NEAR(entropy_from_counts({10, 9, 10}), 0.9, 1e-12);
+}
+
+TEST(SkewedPieceProbs, GeometricDecay) {
+  const auto probs = skewed_piece_probs(4, 0.8, 0.5);
+  ASSERT_EQ(probs.size(), 4u);
+  EXPECT_NEAR(probs[0], 0.8, 1e-12);
+  EXPECT_NEAR(probs[1], 0.4, 1e-12);
+  EXPECT_NEAR(probs[2], 0.2, 1e-12);
+  EXPECT_NEAR(probs[3], 0.1, 1e-12);
+}
+
+TEST(SkewedPieceProbs, Validation) {
+  EXPECT_THROW(skewed_piece_probs(0, 0.5, 0.5), std::invalid_argument);
+  EXPECT_THROW(skewed_piece_probs(3, 1.5, 0.5), std::invalid_argument);
+  EXPECT_THROW(skewed_piece_probs(3, 0.5, 0.0), std::invalid_argument);
+  EXPECT_THROW(skewed_piece_probs(3, 0.5, 1.5), std::invalid_argument);
+  // rho = 1 means no skew.
+  const auto flat = skewed_piece_probs(3, 0.5, 1.0);
+  EXPECT_EQ(flat[0], flat[2]);
+}
+
+TEST(RampPieceProbs, LinearInterpolation) {
+  const auto probs = ramp_piece_probs(3, 0.9, 0.1);
+  ASSERT_EQ(probs.size(), 3u);
+  EXPECT_NEAR(probs[0], 0.9, 1e-12);
+  EXPECT_NEAR(probs[1], 0.5, 1e-12);
+  EXPECT_NEAR(probs[2], 0.1, 1e-12);
+  const auto single = ramp_piece_probs(1, 0.7, 0.1);
+  EXPECT_NEAR(single[0], 0.7, 1e-12);
+  EXPECT_THROW(ramp_piece_probs(0, 0.5, 0.5), std::invalid_argument);
+  EXPECT_THROW(ramp_piece_probs(3, -0.1, 0.5), std::invalid_argument);
+}
+
+TEST(StabilityExperiment, ConfigTranslation) {
+  StabilityConfig config;
+  config.num_pieces = 5;
+  config.initial_peers = 50;
+  const bt::SwarmConfig swarm = make_swarm_config(config);
+  EXPECT_EQ(swarm.num_pieces, 5u);
+  ASSERT_EQ(swarm.initial_groups.size(), 1u);
+  EXPECT_EQ(swarm.initial_groups[0].count, 50u);
+  EXPECT_EQ(swarm.initial_groups[0].piece_probs.size(), 5u);
+  // Skew: earlier pieces more probable.
+  EXPECT_GT(swarm.initial_groups[0].piece_probs[0],
+            swarm.initial_groups[0].piece_probs[4]);
+  EXPECT_GT(swarm.initial_groups[0].piece_probs[4], 0.0);  // floor, not zero
+  StabilityConfig bad;
+  bad.rounds = 0;
+  EXPECT_THROW(make_swarm_config(bad), std::invalid_argument);
+}
+
+TEST(StabilityExperiment, ProducesFullSeries) {
+  StabilityConfig config;
+  config.num_pieces = 8;
+  config.rounds = 60;
+  config.initial_peers = 80;
+  config.arrival_rate = 2.0;
+  config.peer_set_size = 15;
+  const StabilityResult result = run_stability_experiment(config);
+  EXPECT_EQ(result.population.size(), 60u);
+  EXPECT_EQ(result.entropy.size(), 60u);
+  EXPECT_GT(result.peak_population, 0u);
+  EXPECT_GE(result.mean_entropy_tail, 0.0);
+  EXPECT_LE(result.mean_entropy_tail, 1.0);
+}
+
+TEST(StabilityExperiment, PaperHeadline_SmallBDivergesLargeBRecovers) {
+  // Section 6 / Fig. panels (b)-(c): from a skewed start, B = 3 cannot
+  // re-balance (population grows, entropy stays low) while B = 10 recovers.
+  StabilityConfig small_b;
+  small_b.num_pieces = 3;
+  small_b.rounds = 250;
+  small_b.arrival_rate = 4.0;
+  small_b.initial_peers = 300;
+  small_b.seed = 5;
+
+  StabilityConfig large_b = small_b;
+  large_b.num_pieces = 10;
+
+  const StabilityResult r_small = run_stability_experiment(small_b);
+  const StabilityResult r_large = run_stability_experiment(large_b);
+
+  // The large-B swarm ends with far better entropy and a much smaller
+  // population; the small-B swarm diverges.
+  EXPECT_GT(r_large.mean_entropy_tail, 0.3);
+  EXPECT_LT(r_small.mean_entropy_tail, 0.1);
+  EXPECT_LT(r_large.final_population, r_small.final_population / 2);
+  EXPECT_TRUE(r_small.diverged);
+  EXPECT_FALSE(r_large.diverged);
+  EXPECT_GT(r_large.completed, r_small.completed);
+}
+
+TEST(StabilityExperiment, DeterministicForSeed) {
+  StabilityConfig config;
+  config.num_pieces = 6;
+  config.rounds = 50;
+  config.initial_peers = 60;
+  const StabilityResult a = run_stability_experiment(config);
+  const StabilityResult b = run_stability_experiment(config);
+  EXPECT_EQ(a.final_population, b.final_population);
+  EXPECT_DOUBLE_EQ(a.final_entropy, b.final_entropy);
+  EXPECT_EQ(a.completed, b.completed);
+}
+
+}  // namespace
+}  // namespace mpbt::stability

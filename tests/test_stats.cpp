@@ -1,0 +1,130 @@
+#include "numeric/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mpbt::numeric {
+namespace {
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(v);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sum(), 40.0, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 100; ++i) {
+    const double v = std::sin(i * 0.37) * 10 + i * 0.01;
+    all.add(v);
+    (i < 40 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats target;
+  target.merge(a);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_NEAR(target.mean(), 1.5, 1e-12);
+}
+
+TEST(QuantileSorted, Interpolation) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(quantile_sorted(v, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(quantile_sorted(v, 1.0), 4.0, 1e-12);
+  EXPECT_NEAR(quantile_sorted(v, 0.5), 2.5, 1e-12);
+  EXPECT_NEAR(quantile_sorted(v, 1.0 / 3.0), 2.0, 1e-12);
+}
+
+TEST(QuantileSorted, Validation) {
+  EXPECT_THROW(quantile_sorted({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile_sorted({1.0}, 1.5), std::invalid_argument);
+  EXPECT_EQ(quantile_sorted({7.0}, 0.9), 7.0);
+}
+
+TEST(Summarize, EmptySample) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, BasicSample) {
+  std::vector<double> sample;
+  for (int i = 1; i <= 100; ++i) {
+    sample.push_back(static_cast<double>(i));
+  }
+  const Summary s = summarize(sample);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_NEAR(s.mean, 50.5, 1e-12);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.median, 50.5, 1e-9);
+  EXPECT_NEAR(s.p25, 25.75, 1e-9);
+  EXPECT_NEAR(s.p75, 75.25, 1e-9);
+  EXPECT_GT(s.p95, 90.0);
+}
+
+TEST(PearsonCorrelation, PerfectCorrelations) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson_correlation(x, y), 1.0, 1e-12);
+  const std::vector<double> neg{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson_correlation(x, neg), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, ZeroVarianceGivesZero) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> flat{5, 5, 5};
+  EXPECT_EQ(pearson_correlation(x, flat), 0.0);
+}
+
+TEST(PearsonCorrelation, Validation) {
+  EXPECT_THROW(pearson_correlation({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(pearson_correlation({1.0, 2.0}, {1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mpbt::numeric

@@ -1,0 +1,351 @@
+#include "bt/swarm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bt/peer.hpp"
+
+namespace mpbt::bt {
+namespace {
+
+SwarmConfig small_config() {
+  SwarmConfig config;
+  config.num_pieces = 20;
+  config.max_connections = 3;
+  config.peer_set_size = 10;
+  config.arrival_rate = 1.0;
+  config.initial_seeds = 1;
+  config.seed_capacity = 3;
+  config.seed = 21;
+  InitialGroup warm;
+  warm.count = 25;
+  warm.piece_probs.assign(config.num_pieces, 0.3);
+  config.initial_groups.push_back(warm);
+  return config;
+}
+
+TEST(SwarmConfig, Validation) {
+  SwarmConfig config;
+  config.num_pieces = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = SwarmConfig{};
+  config.max_connections = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = SwarmConfig{};
+  config.arrival_rate = -1.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = SwarmConfig{};
+  config.optimistic_unchoke_prob = 1.5;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = SwarmConfig{};
+  config.shake.completion_fraction = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = SwarmConfig{};
+  InitialGroup group;
+  group.count = 1;
+  group.piece_probs = {0.5};  // wrong size
+  config.initial_groups.push_back(group);
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.initial_groups[0].piece_probs.assign(config.num_pieces, 1.5);
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(SwarmConfig{}.validate());
+}
+
+TEST(Swarm, InitialPopulationMatchesConfig) {
+  const Swarm swarm(small_config());
+  EXPECT_EQ(swarm.population(), 26u);  // 25 leechers + 1 seed
+  EXPECT_EQ(swarm.num_seeds(), 1u);
+  EXPECT_EQ(swarm.num_leechers(), 25u);
+  EXPECT_EQ(swarm.round(), 0u);
+}
+
+TEST(Swarm, SeedsHoldEverything) {
+  const Swarm swarm(small_config());
+  bool found_seed = false;
+  for (PeerId id : swarm.live_peers()) {
+    const Peer& p = swarm.peer(id);
+    if (p.is_seed) {
+      found_seed = true;
+      EXPECT_TRUE(p.pieces.all());
+    }
+  }
+  EXPECT_TRUE(found_seed);
+}
+
+TEST(Swarm, PieceCountsConsistentAtStart) {
+  Swarm swarm(small_config());
+  EXPECT_NO_THROW(swarm.check_invariants());
+}
+
+TEST(Swarm, InvariantsHoldOverManyRounds) {
+  Swarm swarm(small_config());
+  for (int r = 0; r < 60; ++r) {
+    swarm.step();
+    ASSERT_NO_THROW(swarm.check_invariants()) << "round " << r;
+  }
+}
+
+TEST(Swarm, DownloadsComplete) {
+  Swarm swarm(small_config());
+  swarm.run_rounds(80);
+  EXPECT_GT(swarm.metrics().completed_count(), 10u);
+  for (double t : swarm.metrics().download_times()) {
+    EXPECT_GE(t, 1.0);
+  }
+}
+
+TEST(Swarm, DeterministicForSeed) {
+  Swarm a(small_config());
+  Swarm b(small_config());
+  a.run_rounds(40);
+  b.run_rounds(40);
+  EXPECT_EQ(a.population(), b.population());
+  EXPECT_EQ(a.metrics().completed_count(), b.metrics().completed_count());
+  EXPECT_EQ(a.piece_counts(), b.piece_counts());
+  EXPECT_DOUBLE_EQ(a.entropy(), b.entropy());
+}
+
+TEST(Swarm, DifferentSeedsDiffer) {
+  SwarmConfig c1 = small_config();
+  SwarmConfig c2 = small_config();
+  c2.seed = 9999;
+  Swarm a(c1);
+  Swarm b(c2);
+  a.run_rounds(40);
+  b.run_rounds(40);
+  // Very unlikely to coincide exactly.
+  EXPECT_TRUE(a.piece_counts() != b.piece_counts() ||
+              a.metrics().completed_count() != b.metrics().completed_count());
+}
+
+TEST(Swarm, CompletedLeechersDepartImmediately) {
+  Swarm swarm(small_config());
+  swarm.run_rounds(80);
+  for (PeerId id : swarm.live_peers()) {
+    const Peer& p = swarm.peer(id);
+    if (p.is_leecher()) {
+      EXPECT_FALSE(p.pieces.all());
+    }
+  }
+}
+
+TEST(Swarm, LingeringSeedsStayThenLeave) {
+  SwarmConfig config = small_config();
+  config.seed_linger_rounds = 5;
+  Swarm swarm(config);
+  swarm.run_rounds(40);
+  // There should be extra seeds beyond the initial one at some point.
+  bool saw_extra_seed = false;
+  for (const auto& sample : swarm.metrics().seeds().samples()) {
+    if (sample.value > 1.0) {
+      saw_extra_seed = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_extra_seed);
+  swarm.check_invariants();
+}
+
+TEST(Swarm, ConnectionCapRespected) {
+  SwarmConfig config = small_config();
+  config.max_connections = 2;
+  Swarm swarm(config);
+  for (int r = 0; r < 30; ++r) {
+    swarm.step();
+    for (PeerId id : swarm.live_peers()) {
+      const Peer& p = swarm.peer(id);
+      if (p.is_leecher()) {
+        ASSERT_LE(p.connections.size(), 2u);
+      }
+    }
+  }
+}
+
+TEST(Swarm, EntropyInRange) {
+  Swarm swarm(small_config());
+  for (int r = 0; r < 40; ++r) {
+    swarm.step();
+    const double e = swarm.entropy();
+    ASSERT_GE(e, 0.0);
+    ASSERT_LE(e, 1.0);
+  }
+}
+
+TEST(Swarm, EntropyOneWithOnlySeeds) {
+  SwarmConfig config;
+  config.num_pieces = 10;
+  config.initial_seeds = 3;
+  config.arrival_rate = 0.0;
+  const Swarm swarm(config);
+  EXPECT_DOUBLE_EQ(swarm.entropy(), 1.0);
+}
+
+TEST(Swarm, PopulationCapDropsArrivals) {
+  SwarmConfig config = small_config();
+  config.max_population = 10;  // below the initial population
+  config.arrival_rate = 5.0;
+  Swarm swarm(config);
+  swarm.run_rounds(10);
+  EXPECT_GT(swarm.metrics().dropped_arrivals(), 0u);
+}
+
+TEST(Swarm, ArrivalCutoffStopsGrowth) {
+  SwarmConfig config = small_config();
+  config.arrival_cutoff_round = 5;
+  config.arrival_rate = 3.0;
+  Swarm swarm(config);
+  swarm.run_rounds(60);
+  // After the cutoff everyone eventually drains; at least no one new joins:
+  // total peers ever = initial + arrivals in the first 5 rounds.
+  Swarm fresh(config);
+  fresh.run_rounds(5);
+  const std::size_t after5 =
+      fresh.metrics().completed_count() + fresh.population();  // total ever (none depart early)
+  EXPECT_LE(swarm.metrics().completed_count() + swarm.population(),
+            after5 + 1 /* rounding slack */);
+}
+
+TEST(Swarm, AbortRateDrainsLeechers) {
+  SwarmConfig config = small_config();
+  config.abort_rate = 0.05;
+  Swarm swarm(config);
+  swarm.run_rounds(60);
+  EXPECT_GT(swarm.metrics().aborts(), 10u);
+  swarm.check_invariants();
+  // Aborted peers never appear as completions.
+  EXPECT_LE(swarm.metrics().completed_count() + swarm.metrics().aborts(),
+            60u * 3 + 26u /* generous bound on total peers ever */);
+}
+
+TEST(Swarm, AbortRateValidation) {
+  SwarmConfig config = small_config();
+  config.abort_rate = 1.5;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.abort_rate = -0.1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(Swarm, AddPeerInjectsLeecher) {
+  Swarm swarm(small_config());
+  const std::size_t before = swarm.population();
+  const PeerId id = swarm.add_peer();
+  EXPECT_EQ(swarm.population(), before + 1);
+  EXPECT_TRUE(swarm.is_live(id));
+  const Peer& p = swarm.peer(id);
+  EXPECT_TRUE(p.pieces.none());
+  EXPECT_FALSE(p.neighbors.empty());
+  swarm.check_invariants();
+}
+
+TEST(Swarm, AddPeerWithPieceProbs) {
+  Swarm swarm(small_config());
+  std::vector<double> probs(20, 1.0);
+  const PeerId id = swarm.add_peer(probs);
+  const Peer& p = swarm.peer(id);
+  // All-1 probabilities would complete the peer; one piece is dropped.
+  EXPECT_EQ(p.pieces.count(), 19u);
+  EXPECT_THROW(swarm.add_peer(std::vector<double>{0.5}), std::invalid_argument);
+}
+
+TEST(Swarm, InstrumentedClientRecordsTrace) {
+  Swarm swarm(small_config());
+  swarm.run_rounds(5);
+  swarm.instrument_next_arrival();
+  swarm.run_rounds(60);
+  const auto& records = swarm.metrics().client_records();
+  ASSERT_FALSE(records.empty());
+  const ClientRecord& record = records.begin()->second;
+  EXPECT_FALSE(record.samples.empty());
+  // Samples are round-ordered with non-decreasing bytes.
+  for (std::size_t i = 1; i < record.samples.size(); ++i) {
+    EXPECT_GT(record.samples[i].round, record.samples[i - 1].round);
+    EXPECT_GE(record.samples[i].cumulative_bytes, record.samples[i - 1].cumulative_bytes);
+  }
+}
+
+TEST(Swarm, InstrumentExistingPeer) {
+  Swarm swarm(small_config());
+  const PeerId id = swarm.add_peer();
+  swarm.instrument_peer(id);
+  swarm.run_rounds(10);
+  EXPECT_EQ(swarm.metrics().client_records().count(id), 1u);
+  EXPECT_THROW(swarm.instrument_peer(9999), std::out_of_range);
+}
+
+TEST(Swarm, ShakingReplacesNeighborSet) {
+  SwarmConfig config = small_config();
+  config.shake.enabled = true;
+  config.shake.completion_fraction = 0.5;
+  Swarm swarm(config);
+  swarm.run_rounds(60);
+  swarm.check_invariants();
+  // Some leechers must have been shaken during the run; shaken peers keep
+  // downloading and complete.
+  EXPECT_GT(swarm.metrics().completed_count(), 5u);
+}
+
+TEST(Swarm, UnknownPeerAccessThrows) {
+  Swarm swarm(small_config());
+  EXPECT_THROW(swarm.peer(12345), std::out_of_range);
+  EXPECT_FALSE(swarm.is_live(12345));
+}
+
+TEST(Swarm, MetricsSeriesCoverEveryRound) {
+  Swarm swarm(small_config());
+  swarm.run_rounds(25);
+  EXPECT_EQ(swarm.metrics().population().size(), 25u);
+  EXPECT_EQ(swarm.metrics().entropy().size(), 25u);
+  EXPECT_EQ(swarm.metrics().efficiency_trading().size(), 25u);
+  EXPECT_EQ(swarm.tracker().population_series().size(), 25u);
+}
+
+TEST(Swarm, EstimatedParametersAreProbabilities) {
+  Swarm swarm(small_config());
+  swarm.run_rounds(60);
+  for (double p : {swarm.metrics().estimated_p_r(), swarm.metrics().estimated_p_n(),
+                   swarm.metrics().estimated_p_init()}) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+struct ScopeCase {
+  AvailabilityScope scope;
+  PieceSelection selection;
+};
+
+class SwarmStrategySweep : public ::testing::TestWithParam<ScopeCase> {};
+
+TEST_P(SwarmStrategySweep, RunsCleanAndCompletes) {
+  SwarmConfig config = small_config();
+  config.availability_scope = GetParam().scope;
+  config.piece_selection = GetParam().selection;
+  Swarm swarm(config);
+  swarm.run_rounds(70);
+  swarm.check_invariants();
+  EXPECT_GT(swarm.metrics().completed_count(), 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SwarmStrategySweep,
+    ::testing::Values(ScopeCase{AvailabilityScope::Global, PieceSelection::RarestFirst},
+                      ScopeCase{AvailabilityScope::Global, PieceSelection::Random},
+                      ScopeCase{AvailabilityScope::Global,
+                                PieceSelection::RandomFirstThenRarest},
+                      ScopeCase{AvailabilityScope::NeighborSet, PieceSelection::RarestFirst},
+                      ScopeCase{AvailabilityScope::NeighborSet,
+                                PieceSelection::RandomFirstThenRarest}));
+
+class SwarmSizeSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SwarmSizeSweep, InvariantsAcrossPeerSetSizes) {
+  SwarmConfig config = small_config();
+  config.peer_set_size = GetParam();
+  Swarm swarm(config);
+  swarm.run_rounds(40);
+  swarm.check_invariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SwarmSizeSweep, ::testing::Values(1u, 2u, 5u, 15u, 40u));
+
+}  // namespace
+}  // namespace mpbt::bt

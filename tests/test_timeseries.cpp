@@ -1,0 +1,183 @@
+#include "numeric/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include "numeric/discrete_distribution.hpp"
+#include "numeric/histogram.hpp"
+#include "numeric/rng.hpp"
+
+namespace mpbt::numeric {
+namespace {
+
+TEST(TimeSeries, AddRequiresOrderedTimes) {
+  TimeSeries ts;
+  ts.add(1.0, 10.0);
+  ts.add(1.0, 11.0);  // equal times allowed
+  ts.add(2.0, 12.0);
+  EXPECT_THROW(ts.add(1.5, 0.0), std::invalid_argument);
+  EXPECT_EQ(ts.size(), 3u);
+}
+
+TEST(TimeSeries, ConstructorValidatesOrder) {
+  EXPECT_THROW(TimeSeries({{2.0, 1.0}, {1.0, 2.0}}), std::invalid_argument);
+  EXPECT_NO_THROW(TimeSeries({{1.0, 1.0}, {2.0, 2.0}}));
+}
+
+TEST(TimeSeries, StepInterpolation) {
+  TimeSeries ts;
+  ts.add(1.0, 10.0);
+  ts.add(3.0, 30.0);
+  ts.add(5.0, 50.0);
+  EXPECT_EQ(ts.value_at(0.0), 10.0);  // before first: first value
+  EXPECT_EQ(ts.value_at(1.0), 10.0);
+  EXPECT_EQ(ts.value_at(2.9), 10.0);
+  EXPECT_EQ(ts.value_at(3.0), 30.0);
+  EXPECT_EQ(ts.value_at(4.5), 30.0);
+  EXPECT_EQ(ts.value_at(5.0), 50.0);
+  EXPECT_EQ(ts.value_at(100.0), 50.0);
+}
+
+TEST(TimeSeries, EmptyThrows) {
+  TimeSeries ts;
+  EXPECT_THROW(ts.value_at(1.0), std::invalid_argument);
+  EXPECT_THROW(ts.first_time(), std::invalid_argument);
+  EXPECT_THROW(ts.last_time(), std::invalid_argument);
+}
+
+TEST(TimeSeries, Resample) {
+  TimeSeries ts;
+  ts.add(0.0, 0.0);
+  ts.add(10.0, 100.0);
+  const TimeSeries r = ts.resample(0.0, 10.0, 11);
+  ASSERT_EQ(r.size(), 11u);
+  EXPECT_EQ(r[0].value, 0.0);
+  EXPECT_EQ(r[10].value, 100.0);
+  EXPECT_EQ(r[5].value, 0.0);  // step interpolation: holds old value
+  EXPECT_THROW(ts.resample(0.0, 10.0, 1), std::invalid_argument);
+  EXPECT_THROW(ts.resample(5.0, 5.0, 3), std::invalid_argument);
+}
+
+TEST(TimeSeries, FirstTimeAtLeast) {
+  TimeSeries ts;
+  ts.add(0.0, 1.0);
+  ts.add(2.0, 5.0);
+  ts.add(4.0, 3.0);
+  EXPECT_EQ(ts.first_time_at_least(1.0), 0.0);
+  EXPECT_EQ(ts.first_time_at_least(4.0), 2.0);
+  EXPECT_EQ(ts.first_time_at_least(6.0), -1.0);
+}
+
+TEST(TimeSeries, AverageSeries) {
+  TimeSeries a;
+  a.add(0.0, 0.0);
+  a.add(10.0, 10.0);
+  TimeSeries b;
+  b.add(0.0, 10.0);
+  b.add(10.0, 20.0);
+  const TimeSeries avg = average_series({a, b}, 3);
+  ASSERT_EQ(avg.size(), 3u);
+  EXPECT_NEAR(avg[0].value, 5.0, 1e-12);
+  EXPECT_NEAR(avg[2].value, 15.0, 1e-12);
+}
+
+TEST(TimeSeries, AverageSeriesValidation) {
+  EXPECT_THROW(average_series({}, 5), std::invalid_argument);
+  TimeSeries a;
+  a.add(0.0, 1.0);
+  a.add(1.0, 1.0);
+  TimeSeries empty;
+  EXPECT_THROW(average_series({a, empty}, 5), std::invalid_argument);
+  TimeSeries disjoint;
+  disjoint.add(5.0, 1.0);
+  disjoint.add(6.0, 1.0);
+  EXPECT_THROW(average_series({a, disjoint}, 5), std::invalid_argument);
+}
+
+TEST(Histogram, BinningAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);   // underflow
+  h.add(0.0);    // bin 0
+  h.add(1.99);   // bin 0
+  h.add(2.0);    // bin 1
+  h.add(9.99);   // bin 4
+  h.add(10.0);   // overflow (hi exclusive)
+  h.add(100.0);  // overflow
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_NEAR(h.fraction(0), 0.5, 1e-12);
+  EXPECT_EQ(h.bin_lo(1), 2.0);
+  EXPECT_EQ(h.bin_hi(1), 4.0);
+  EXPECT_THROW(h.count(5), std::out_of_range);
+}
+
+TEST(Histogram, Validation) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, RenderContainsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find('2'), std::string::npos);
+}
+
+TEST(DiscreteDistribution, NormalizesWeights) {
+  DiscreteDistribution d({1.0, 3.0});
+  EXPECT_NEAR(d.pmf(0), 0.25, 1e-12);
+  EXPECT_NEAR(d.pmf(1), 0.75, 1e-12);
+  EXPECT_NEAR(d.mean(), 0.75, 1e-12);
+}
+
+TEST(DiscreteDistribution, Validation) {
+  EXPECT_THROW(DiscreteDistribution({}), std::invalid_argument);
+  EXPECT_THROW(DiscreteDistribution({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(DiscreteDistribution({-1.0, 2.0}), std::invalid_argument);
+  DiscreteDistribution d({1.0});
+  EXPECT_THROW(d.pmf(1), std::out_of_range);
+}
+
+TEST(DiscreteDistribution, Factories) {
+  const auto uniform = DiscreteDistribution::uniform_range(5, 1, 3);
+  EXPECT_EQ(uniform.pmf(0), 0.0);
+  EXPECT_NEAR(uniform.pmf(1), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(uniform.pmf(3), 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(uniform.pmf(4), 0.0);
+
+  const auto point = DiscreteDistribution::point_mass(4, 2);
+  EXPECT_EQ(point.pmf(2), 1.0);
+  EXPECT_EQ(point.pmf(1), 0.0);
+  EXPECT_THROW(DiscreteDistribution::point_mass(4, 4), std::invalid_argument);
+  EXPECT_THROW(DiscreteDistribution::uniform_range(4, 2, 4), std::invalid_argument);
+}
+
+TEST(DiscreteDistribution, SamplingMatchesPmf) {
+  DiscreteDistribution d({0.2, 0.5, 0.3});
+  Rng rng(77);
+  std::vector<int> hits(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++hits[d.sample(rng)];
+  }
+  EXPECT_NEAR(hits[0] / static_cast<double>(n), 0.2, 0.01);
+  EXPECT_NEAR(hits[1] / static_cast<double>(n), 0.5, 0.01);
+  EXPECT_NEAR(hits[2] / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(DiscreteDistribution, LinfDistance) {
+  DiscreteDistribution a({0.5, 0.5});
+  DiscreteDistribution b({0.2, 0.8});
+  EXPECT_NEAR(a.linf_distance(b), 0.3, 1e-12);
+  DiscreteDistribution c({1.0, 1.0, 1.0});
+  EXPECT_THROW(a.linf_distance(c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mpbt::numeric

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "trace/archetypes.hpp"
+#include "trace/filter.hpp"
+#include "trace/io.hpp"
+#include "trace/record.hpp"
+
+namespace mpbt::trace {
+namespace {
+
+ClientTrace sample_trace() {
+  ClientTrace trace;
+  trace.label = "sample client";
+  trace.num_pieces = 50;
+  trace.piece_bytes = 262144;
+  trace.completed = true;
+  trace.points = {{0.0, 0, 0, 0}, {1.0, 262144, 2, 1}, {2.0, 524288, 5, 2}};
+  return trace;
+}
+
+TEST(TraceRecord, FromClientRecord) {
+  bt::ClientRecord record;
+  record.peer = 9;
+  record.joined = 4;
+  record.completed = true;
+  record.samples.push_back({5, 1000, 3, 10, 1, 2});
+  record.samples.push_back({6, 2000, 4, 10, 2, 2});
+  const ClientTrace trace = from_client_record(record, 50, 262144, "x");
+  EXPECT_EQ(trace.label, "x");
+  EXPECT_EQ(trace.num_pieces, 50u);
+  EXPECT_TRUE(trace.completed);
+  ASSERT_EQ(trace.points.size(), 2u);
+  EXPECT_EQ(trace.points[0].time, 5.0);
+  EXPECT_EQ(trace.points[1].cumulative_bytes, 2000u);
+  EXPECT_EQ(trace.points[1].potential_set_size, 4u);
+  EXPECT_EQ(trace.final_bytes(), 2000u);
+}
+
+TEST(TraceIo, RoundTripThroughStream) {
+  const ClientTrace original = sample_trace();
+  std::stringstream buffer;
+  write_trace(buffer, original);
+  const ClientTrace loaded = read_trace(buffer);
+  EXPECT_EQ(loaded.label, original.label);
+  EXPECT_EQ(loaded.num_pieces, original.num_pieces);
+  EXPECT_EQ(loaded.piece_bytes, original.piece_bytes);
+  EXPECT_EQ(loaded.completed, original.completed);
+  ASSERT_EQ(loaded.points.size(), original.points.size());
+  for (std::size_t i = 0; i < loaded.points.size(); ++i) {
+    EXPECT_EQ(loaded.points[i].time, original.points[i].time);
+    EXPECT_EQ(loaded.points[i].cumulative_bytes, original.points[i].cumulative_bytes);
+    EXPECT_EQ(loaded.points[i].potential_set_size, original.points[i].potential_set_size);
+    EXPECT_EQ(loaded.points[i].pieces_held, original.points[i].pieces_held);
+  }
+}
+
+TEST(TraceIo, RoundTripThroughFile) {
+  const std::string path = ::testing::TempDir() + "/mpbt_trace_test.txt";
+  save_trace(path, sample_trace());
+  const ClientTrace loaded = load_trace(path);
+  EXPECT_EQ(loaded.points.size(), 3u);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_trace(path), std::runtime_error);
+}
+
+TEST(TraceIo, MalformedInputsRejected) {
+  {
+    std::stringstream bad("not a trace\n");
+    EXPECT_THROW(read_trace(bad), std::runtime_error);
+  }
+  {
+    std::stringstream bad("mpbt-trace v1\nnolabel\n");
+    EXPECT_THROW(read_trace(bad), std::runtime_error);
+  }
+  {
+    std::stringstream bad("mpbt-trace v1\nlabel x\npieces 5 piece_bytes 100 completed 1\npoints 2\n1 2 3 4\n");
+    EXPECT_THROW(read_trace(bad), std::runtime_error);  // truncated points
+  }
+  {
+    std::stringstream bad(
+        "mpbt-trace v1\nlabel x\npieces 5 piece_bytes 100 completed 1\npoints 1\nbad line here\n");
+    EXPECT_THROW(read_trace(bad), std::runtime_error);
+  }
+}
+
+TEST(TraceIo, CsvExport) {
+  const ClientTrace trace = sample_trace();
+  std::stringstream buffer;
+  write_trace_csv(buffer, trace);
+  const std::string out = buffer.str();
+  EXPECT_NE(out.find("time,cumulative_bytes,potential_set_size,pieces_held"),
+            std::string::npos);
+  EXPECT_NE(out.find("2,524288,5,2"), std::string::npos);
+  // One header + one line per point.
+  EXPECT_EQ(static_cast<std::size_t>(std::count(out.begin(), out.end(), '\n')),
+            trace.points.size() + 1);
+}
+
+TEST(TraceIo, CsvFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/mpbt_trace_csv_test.csv";
+  save_trace_csv(path, sample_trace());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "time,cumulative_bytes,potential_set_size,pieces_held");
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, LabelWithSpacesSurvives) {
+  ClientTrace trace = sample_trace();
+  trace.label = "swarm 42, client #3";
+  std::stringstream buffer;
+  write_trace(buffer, trace);
+  EXPECT_EQ(read_trace(buffer).label, "swarm 42, client #3");
+}
+
+TEST(SyntheticStats, StableSeriesIsStable) {
+  const SwarmStatsSeries stable = make_stable_stats(3);
+  ASSERT_GE(stable.hourly_peers.size(), 8u);
+  EXPECT_EQ(classify_swarm(stable), SwarmClass::Stable);
+  EXPECT_TRUE(is_measurable(stable));
+}
+
+TEST(SyntheticStats, FlashCrowdDetected) {
+  const SwarmStatsSeries flash = make_flash_crowd_stats(3);
+  EXPECT_EQ(classify_swarm(flash), SwarmClass::FlashCrowd);
+  EXPECT_FALSE(is_measurable(flash));
+}
+
+TEST(SyntheticStats, DyingSwarmDetected) {
+  const SwarmStatsSeries dying = make_dying_stats(3);
+  EXPECT_EQ(classify_swarm(dying), SwarmClass::Dying);
+  EXPECT_FALSE(is_measurable(dying));
+}
+
+TEST(Filter, ShortSeriesNotMeasurable) {
+  SwarmStatsSeries tiny;
+  tiny.hourly_peers = {100, 100, 100};
+  EXPECT_EQ(classify_swarm(tiny), SwarmClass::Dying);
+}
+
+TEST(Filter, ThresholdsControlFlashSensitivity) {
+  SwarmStatsSeries series;
+  for (int h = 0; h < 24; ++h) {
+    series.hourly_peers.push_back(h < 12 ? 100 : 160);  // 1.6x growth
+  }
+  FilterThresholds strict;
+  strict.flash_growth_factor = 1.5;
+  EXPECT_EQ(classify_swarm(series, strict), SwarmClass::FlashCrowd);
+  FilterThresholds lenient;
+  lenient.flash_growth_factor = 2.0;
+  EXPECT_EQ(classify_swarm(series, lenient), SwarmClass::Stable);
+}
+
+TEST(Filter, ClassNames) {
+  EXPECT_EQ(swarm_class_name(SwarmClass::Stable), "stable");
+  EXPECT_EQ(swarm_class_name(SwarmClass::FlashCrowd), "flash-crowd");
+  EXPECT_EQ(swarm_class_name(SwarmClass::Dying), "dying");
+}
+
+}  // namespace
+}  // namespace mpbt::trace

@@ -1,0 +1,112 @@
+#include "bt/tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace mpbt::bt {
+namespace {
+
+TEST(Tracker, AddRemoveContains) {
+  Tracker t;
+  EXPECT_EQ(t.population(), 0u);
+  t.add_peer(3);
+  t.add_peer(7);
+  t.add_peer(3);  // double add ignored
+  EXPECT_EQ(t.population(), 2u);
+  EXPECT_TRUE(t.contains(3));
+  EXPECT_TRUE(t.contains(7));
+  EXPECT_FALSE(t.contains(5));
+  t.remove_peer(3);
+  EXPECT_FALSE(t.contains(3));
+  EXPECT_EQ(t.population(), 1u);
+  t.remove_peer(3);  // double remove ignored
+  EXPECT_EQ(t.population(), 1u);
+  t.remove_peer(99);  // unknown ignored
+  EXPECT_EQ(t.population(), 1u);
+}
+
+TEST(Tracker, ReAddAfterRemove) {
+  Tracker t;
+  t.add_peer(1);
+  t.remove_peer(1);
+  t.add_peer(1);
+  EXPECT_TRUE(t.contains(1));
+  EXPECT_EQ(t.population(), 1u);
+}
+
+TEST(Tracker, SampleExcludesSelfAndIsDistinct) {
+  Tracker t;
+  for (PeerId id = 0; id < 20; ++id) {
+    t.add_peer(id);
+  }
+  numeric::Rng rng(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto sample = t.sample_peers(5, 7, rng);
+    EXPECT_EQ(sample.size(), 5u);
+    std::set<PeerId> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 5u);
+    EXPECT_EQ(unique.count(7), 0u);
+  }
+}
+
+TEST(Tracker, SampleClampsToAvailable) {
+  Tracker t;
+  t.add_peer(1);
+  t.add_peer(2);
+  t.add_peer(3);
+  numeric::Rng rng(5);
+  const auto sample = t.sample_peers(10, 2, rng);
+  EXPECT_EQ(sample.size(), 2u);
+  for (PeerId id : sample) {
+    EXPECT_NE(id, 2u);
+  }
+}
+
+TEST(Tracker, SampleFromEmptyOrSingleton) {
+  Tracker t;
+  numeric::Rng rng(6);
+  EXPECT_TRUE(t.sample_peers(3, kNoPeer, rng).empty());
+  t.add_peer(5);
+  EXPECT_TRUE(t.sample_peers(3, 5, rng).empty());
+  const auto sample = t.sample_peers(3, kNoPeer, rng);
+  ASSERT_EQ(sample.size(), 1u);
+  EXPECT_EQ(sample[0], 5u);
+}
+
+TEST(Tracker, SampleIsRoughlyUniform) {
+  Tracker t;
+  for (PeerId id = 0; id < 10; ++id) {
+    t.add_peer(id);
+  }
+  numeric::Rng rng(7);
+  std::vector<int> hits(10, 0);
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    for (PeerId id : t.sample_peers(3, kNoPeer, rng)) {
+      ++hits[id];
+    }
+  }
+  for (int h : hits) {
+    EXPECT_NEAR(h / static_cast<double>(trials), 0.3, 0.02);
+  }
+}
+
+TEST(Tracker, StatsSeriesRecordsPopulation) {
+  Tracker t;
+  t.record_stats();
+  t.add_peer(1);
+  t.add_peer(2);
+  t.record_stats();
+  t.remove_peer(1);
+  t.record_stats();
+  const auto& series = t.population_series();
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series[0], 0u);
+  EXPECT_EQ(series[1], 2u);
+  EXPECT_EQ(series[2], 1u);
+}
+
+}  // namespace
+}  // namespace mpbt::bt

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/cli.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+namespace mpbt::util {
+namespace {
+
+TEST(Assert, MacroThrowsAssertionError) {
+  EXPECT_THROW(MPBT_ASSERT(1 == 2), AssertionError);
+  EXPECT_NO_THROW(MPBT_ASSERT(1 == 1));
+  try {
+    MPBT_ASSERT_MSG(false, "context detail");
+    FAIL() << "should have thrown";
+  } catch (const AssertionError& e) {
+    EXPECT_NE(std::string(e.what()).find("context detail"), std::string::npos);
+  }
+}
+
+TEST(Assert, ThrowHelpers) {
+  EXPECT_THROW(throw_if_invalid(true, "bad"), std::invalid_argument);
+  EXPECT_NO_THROW(throw_if_invalid(false, "ok"));
+  EXPECT_THROW(throw_if_out_of_range(true, "oob"), std::out_of_range);
+}
+
+TEST(Logging, ParseLevels) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::Error);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+  EXPECT_THROW(parse_log_level("loud"), std::invalid_argument);
+}
+
+TEST(Logging, LevelRoundTrip) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(original);
+}
+
+TEST(Table, RequiresColumns) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(Table, RowArityEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({Cell{std::string("x")}}), std::invalid_argument);
+  t.add_row({Cell{1LL}, Cell{2.0}});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_THROW(t.row(1), std::out_of_range);
+}
+
+TEST(Table, TextOutputAligned) {
+  Table t({"name", "value"});
+  t.set_precision(2);
+  t.add_row({Cell{std::string("alpha")}, Cell{1.5}});
+  t.add_row({Cell{std::string("b")}, Cell{20LL}});
+  std::ostringstream os;
+  t.print_text(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_NE(out.find("20"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"x"});
+  t.add_row({Cell{std::string("plain")}});
+  t.add_row({Cell{std::string("has,comma")}});
+  t.add_row({Cell{std::string("has\"quote")}});
+  std::ostringstream os;
+  t.write_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("plain\n"), std::string::npos);
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, PrecisionValidation) {
+  Table t({"x"});
+  EXPECT_THROW(t.set_precision(-1), std::invalid_argument);
+  EXPECT_THROW(t.set_precision(18), std::invalid_argument);
+  t.set_precision(0);
+  t.add_row({Cell{3.7}});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_NE(os.str().find("4"), std::string::npos);  // rounded
+}
+
+TEST(Cli, ParsesOptionsAndFlags) {
+  CliParser cli("prog", "test program");
+  cli.add_flag("verbose", "be chatty");
+  cli.add_option("count", "how many", "10");
+  cli.add_option("rate", "a rate", "0.5");
+  const char* argv[] = {"prog", "--verbose", "--count=42", "--rate", "1.25", "extra"};
+  ASSERT_TRUE(cli.parse(6, argv));
+  EXPECT_TRUE(cli.has_flag("verbose"));
+  EXPECT_EQ(cli.get_int("count"), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 1.25);
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "extra");
+}
+
+TEST(Cli, DefaultsApply) {
+  CliParser cli("prog", "test");
+  cli.add_option("count", "how many", "7");
+  cli.add_flag("fast", "go fast");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("count"), 7);
+  EXPECT_FALSE(cli.has_flag("fast"));
+}
+
+TEST(Cli, UnknownFlagRejected) {
+  CliParser cli("prog", "test");
+  const char* argv[] = {"prog", "--nope"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, MalformedValuesRejected) {
+  CliParser cli("prog", "test");
+  cli.add_option("count", "n", "1");
+  cli.add_flag("go", "g");
+  {
+    const char* argv[] = {"prog", "--count=abc"};
+    CliParser c2 = cli;
+    ASSERT_TRUE(c2.parse(2, argv));
+    EXPECT_THROW(c2.get_int("count"), std::invalid_argument);
+  }
+  {
+    const char* argv[] = {"prog", "--go=true"};
+    CliParser c2 = cli;
+    EXPECT_THROW(c2.parse(2, argv), std::invalid_argument);
+  }
+  {
+    const char* argv[] = {"prog", "--count"};
+    CliParser c2 = cli;
+    EXPECT_THROW(c2.parse(2, argv), std::invalid_argument);
+  }
+}
+
+TEST(Cli, HelpShortCircuits) {
+  CliParser cli("prog", "test");
+  const char* argv[] = {"prog", "--help"};
+  ::testing::internal::CaptureStdout();
+  EXPECT_FALSE(cli.parse(2, argv));
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("test"), std::string::npos);
+}
+
+TEST(Cli, DuplicateRegistrationRejected) {
+  CliParser cli("prog", "test");
+  cli.add_option("x", "x", "1");
+  EXPECT_THROW(cli.add_option("x", "again", "2"), std::invalid_argument);
+  EXPECT_THROW(cli.add_flag("x", "again"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mpbt::util
