@@ -10,6 +10,7 @@ std::optional<BenchOptions> parse_bench_options(int argc, const char* const* arg
   util::CliParser cli(name, description);
   cli.add_option("seed", "base RNG seed", "42");
   cli.add_option("runs", "independent repetitions to average", "3");
+  cli.add_option("jobs", "worker threads for repetitions (0 = all cores)", "0");
   cli.add_flag("quick", "smaller workloads for smoke runs");
   cli.add_option("csv", "also write the table to this CSV path", "");
   if (!cli.parse(argc, argv)) {
@@ -18,9 +19,15 @@ std::optional<BenchOptions> parse_bench_options(int argc, const char* const* arg
   BenchOptions options;
   options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   options.runs = std::max(1, static_cast<int>(cli.get_int("runs")));
+  options.jobs = std::max(0, static_cast<int>(cli.get_int("jobs")));
   options.quick = cli.has_flag("quick");
   options.csv_path = cli.get("csv");
   return options;
+}
+
+std::size_t effective_jobs(const BenchOptions& options) {
+  return options.jobs > 0 ? static_cast<std::size_t>(options.jobs)
+                          : exp::ThreadPool::default_jobs();
 }
 
 void emit_table(const util::Table& table, const BenchOptions& options) {

@@ -3,16 +3,26 @@
 // Every bench accepts:
 //   --seed=<n>    base RNG seed (default 42)
 //   --runs=<n>    independent seeded repetitions to average (default 3)
+//   --jobs=<n>    worker threads for repetitions (default 0 = all cores)
 //   --quick       smaller workloads for smoke runs
 //   --csv=<path>  also write the table as CSV
 // and prints the paper figure's rows/series as an aligned text table.
+//
+// Repetition loops run on an exp::ThreadPool via run_indexed below. Each
+// repetition owns its seed and its results land in index order, so the
+// printed tables are bit-identical to the old serial loops for any
+// --jobs value — parallelism only changes wall-clock.
 #pragma once
 
+#include <cstddef>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <type_traits>
+#include <vector>
 
 #include "bt/swarm.hpp"
+#include "exp/thread_pool.hpp"
 #include "model/params.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -22,9 +32,28 @@ namespace mpbt::bench {
 struct BenchOptions {
   std::uint64_t seed = 42;
   int runs = 3;
+  int jobs = 0;  // 0 = all hardware threads
   bool quick = false;
   std::string csv_path;  // empty = no CSV
 };
+
+/// Worker-thread count for this run: --jobs, or every hardware thread.
+std::size_t effective_jobs(const BenchOptions& options);
+
+/// Runs fn(i) for i in [0, count) on a fresh pool sized by --jobs and
+/// returns the results in index order. The result type must be default-
+/// constructible. Aggregate on the caller side in index order and the
+/// output matches the serial loop exactly.
+template <typename Fn>
+auto run_indexed(const BenchOptions& options, int count, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, int>> {
+  using R = std::invoke_result_t<Fn&, int>;
+  std::vector<R> results(static_cast<std::size_t>(count));
+  exp::ThreadPool pool(effective_jobs(options));
+  exp::parallel_for_each(pool, static_cast<std::size_t>(count),
+                         [&](std::size_t i) { results[i] = fn(static_cast<int>(i)); });
+  return results;
+}
 
 /// Parses the standard bench flags; returns nullopt if --help was shown.
 std::optional<BenchOptions> parse_bench_options(int argc, const char* const* argv,

@@ -55,17 +55,39 @@ int main(int argc, char** argv) {
 
   util::Table table({"k", "simulation eta", "model eta", "measured p_r", "model - sim"});
   table.set_precision(4);
-  for (std::uint32_t k = 1; k <= 8; ++k) {
+
+  // All (k, run) swarms are independent — fan them over the worker pool.
+  // Results come back in index order and are aggregated in the same run
+  // order as the old serial loop, so the table is bit-identical.
+  struct RunResult {
+    double sim_eta = 0.0;
+    double p_r = 0.0;
+    double population = 0.0;
+  };
+  constexpr std::uint32_t kMax = 8;
+  const int runs = options->runs;
+  const auto results =
+      bench::run_indexed(*options, static_cast<int>(kMax) * runs, [&](int index) {
+        const auto k = static_cast<std::uint32_t>(index / runs) + 1;
+        const int run = index % runs;
+        bt::Swarm swarm(swarm_config(
+            k, options->seed + static_cast<std::uint64_t>(run) * 173, options->quick));
+        swarm.run_rounds(rounds);
+        return RunResult{swarm.metrics().mean_transfer_efficiency(warmup),
+                         swarm.metrics().estimated_p_r(),
+                         static_cast<double>(swarm.population())};
+      });
+
+  for (std::uint32_t k = 1; k <= kMax; ++k) {
     double sim_eta_sum = 0.0;
     double p_r_sum = 0.0;
     double population_sum = 0.0;
-    for (int run = 0; run < options->runs; ++run) {
-      bt::Swarm swarm(
-          swarm_config(k, options->seed + static_cast<std::uint64_t>(run) * 173, options->quick));
-      swarm.run_rounds(rounds);
-      sim_eta_sum += swarm.metrics().mean_transfer_efficiency(warmup);
-      p_r_sum += swarm.metrics().estimated_p_r();
-      population_sum += static_cast<double>(swarm.population());
+    for (int run = 0; run < runs; ++run) {
+      const RunResult& result = results[(k - 1) * static_cast<std::uint32_t>(runs) +
+                                        static_cast<std::uint32_t>(run)];
+      sim_eta_sum += result.sim_eta;
+      p_r_sum += result.p_r;
+      population_sum += result.population;
     }
     const double sim_eta = sim_eta_sum / options->runs;
     const double p_r = p_r_sum / options->runs;

@@ -10,9 +10,12 @@
 //     population where the simulator diverges — quantifying exactly why
 //     the paper leaves the exact stability analysis as future work.
 #include <iostream>
+#include <memory>
+#include <utility>
 
 #include "bench_common.hpp"
 #include "bt/swarm.hpp"
+#include "exp/thread_pool.hpp"
 #include "model/ensemble.hpp"
 #include "stability/experiment.hpp"
 
@@ -46,15 +49,48 @@ int main(int argc, char** argv) {
 
   const bt::Round rounds = options->quick ? 150 : 250;
 
-  // --- healthy swarm -------------------------------------------------------
-  bt::Swarm swarm(healthy_config(options->seed, options->quick));
-  swarm.run_rounds(rounds);
+  // The three sections are independent computations; run them as tasks on
+  // the shared pool and print in the original order once all complete.
+  exp::ThreadPool pool(bench::effective_jobs(*options));
 
-  model::EnsembleParams ensemble;
-  ensemble.peer = bench::calibrate_from_swarm(swarm, /*w=*/0.5, /*gamma=*/0.1);
-  ensemble.arrival_rate = swarm.config().arrival_rate;
-  ensemble.rounds = rounds;
-  const model::EnsembleResult predicted = model::run_ensemble(ensemble);
+  // --- healthy swarm (simulate, calibrate, evolve the ensemble) ------------
+  auto healthy_future = pool.submit([&]() {
+    auto swarm = std::make_unique<bt::Swarm>(healthy_config(options->seed, options->quick));
+    swarm->run_rounds(rounds);
+    model::EnsembleParams ensemble;
+    ensemble.peer = bench::calibrate_from_swarm(*swarm, /*w=*/0.5, /*gamma=*/0.1);
+    ensemble.arrival_rate = swarm->config().arrival_rate;
+    ensemble.rounds = rounds;
+    return std::make_pair(std::move(swarm), model::run_ensemble(ensemble));
+  });
+
+  // --- the B = 3 divergence inputs (simulator and blind ensemble) ----------
+  stability::StabilityConfig unstable;
+  unstable.num_pieces = 3;
+  unstable.rounds = rounds;
+  unstable.arrival_rate = 4.0;
+  unstable.initial_peers = options->quick ? 150 : 300;
+  unstable.seed = options->seed;
+  auto unstable_future =
+      pool.submit([&unstable]() { return run_stability_experiment(unstable); });
+
+  model::EnsembleParams blind;
+  blind.peer.B = 3;
+  blind.peer.k = 4;
+  blind.peer.s = 40;
+  blind.peer.p_r = 0.9;
+  blind.peer.p_n = 0.9;
+  blind.peer.p_init = 0.8;
+  blind.peer.alpha = 0.3;
+  blind.peer.gamma = 0.2;
+  blind.arrival_rate = unstable.arrival_rate;
+  blind.initial_population = unstable.initial_peers;
+  blind.initial_phi = {0.1, 0.6, 0.3, 0.0};  // skewed piece COUNTS
+  blind.rounds = rounds;
+  auto blind_future = pool.submit([&blind]() { return model::run_ensemble(blind); });
+
+  const auto [swarm_ptr, predicted] = healthy_future.get();
+  const bt::Swarm& swarm = *swarm_ptr;
 
   std::cout << "healthy swarm: leecher population, simulator vs ensemble\n";
   util::Table table({"round", "sim leechers", "ensemble N_t", "ensemble completions/round"});
@@ -70,28 +106,8 @@ int main(int argc, char** argv) {
             << (predicted.population_growing ? "growing" : "stationary") << "\n\n";
 
   // --- the B = 3 divergence (identity-blind ensemble vs simulator) ---------
-  stability::StabilityConfig unstable;
-  unstable.num_pieces = 3;
-  unstable.rounds = rounds;
-  unstable.arrival_rate = 4.0;
-  unstable.initial_peers = options->quick ? 150 : 300;
-  unstable.seed = options->seed;
-  const stability::StabilityResult sim_unstable = run_stability_experiment(unstable);
-
-  model::EnsembleParams blind;
-  blind.peer.B = 3;
-  blind.peer.k = 4;
-  blind.peer.s = 40;
-  blind.peer.p_r = 0.9;
-  blind.peer.p_n = 0.9;
-  blind.peer.p_init = 0.8;
-  blind.peer.alpha = 0.3;
-  blind.peer.gamma = 0.2;
-  blind.arrival_rate = unstable.arrival_rate;
-  blind.initial_population = unstable.initial_peers;
-  blind.initial_phi = {0.1, 0.6, 0.3, 0.0};  // skewed piece COUNTS
-  blind.rounds = rounds;
-  const model::EnsembleResult blind_run = model::run_ensemble(blind);
+  const stability::StabilityResult sim_unstable = unstable_future.get();
+  const model::EnsembleResult blind_run = blind_future.get();
 
   std::cout << "B = 3 skewed start: simulator vs identity-blind ensemble\n";
   util::Table contrast({"round", "sim peers (diverging)", "ensemble N_t (bounded)"});

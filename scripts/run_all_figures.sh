@@ -1,12 +1,42 @@
 #!/usr/bin/env bash
 # Regenerates every paper figure and ablation, writing text output and CSVs
-# under out/ (created next to the repository root).
+# under out/ (created next to the repository root). Figure binaries are
+# independent, so they run CONCURRENTLY, bounded by --jobs (default: all
+# cores); the first failure kills the remaining jobs and names the binary.
 #
-# Usage: scripts/run_all_figures.sh [build-dir] [out-dir]
+# Usage: scripts/run_all_figures.sh [build-dir] [out-dir] [--quick] [--jobs=N]
+#
+# Each binary's stdout table goes to $OUT_DIR/<name>.txt and its stderr to
+# $OUT_DIR/<name>.err (jobs run concurrently, so stderr cannot share the
+# terminal without interleaving).
 set -euo pipefail
 
-BUILD_DIR="${1:-build}"
-OUT_DIR="${2:-out}"
+BUILD_DIR="build"
+OUT_DIR="out"
+QUICK=0
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+positional=()
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    --jobs=*) JOBS="${arg#--jobs=}" ;;
+    -*)
+      echo "usage: $0 [build-dir] [out-dir] [--quick] [--jobs=N]" >&2
+      exit 2
+      ;;
+    *) positional+=("$arg") ;;
+  esac
+done
+[ "${#positional[@]}" -ge 1 ] && BUILD_DIR="${positional[0]}"
+[ "${#positional[@]}" -ge 2 ] && OUT_DIR="${positional[1]}"
+case "$JOBS" in
+  '' | *[!0-9]* | 0)
+    echo "error: --jobs must be a positive integer" >&2
+    exit 2
+    ;;
+esac
+
 mkdir -p "$OUT_DIR"
 
 if [ ! -d "$BUILD_DIR/bench" ]; then
@@ -15,19 +45,64 @@ if [ ! -d "$BUILD_DIR/bench" ]; then
   exit 1
 fi
 
+STATUS_DIR="$(mktemp -d)"
+trap 'rm -rf "$STATUS_DIR"' EXIT
+
+# Runs one binary, recording its exit status under $STATUS_DIR/<name> so
+# the parent can attribute failures (wait -n reports status, not which job).
+run_bench() {
+  local name="$1" bench="$2" rc=0
+  if [ "$name" = perf_microbench ]; then
+    # Bare-double form: accepted by every google-benchmark version (the
+    # "0.01s" suffix form only parses on >= 1.8).
+    "$bench" --benchmark_min_time=0.01 > "$OUT_DIR/$name.txt" 2> "$OUT_DIR/$name.err" || rc=$?
+  else
+    local args=(--csv="$OUT_DIR/$name.csv")
+    [ "$QUICK" = 1 ] && args+=(--quick)
+    "$bench" "${args[@]}" > "$OUT_DIR/$name.txt" 2> "$OUT_DIR/$name.err" || rc=$?
+  fi
+  echo "$rc" > "$STATUS_DIR/$name"
+  return "$rc"
+}
+
+# Fails fast: if any recorded status is nonzero, kill the remaining jobs
+# and exit naming the failing binary.
+check_failures() {
+  local status_file rc name
+  for status_file in "$STATUS_DIR"/*; do
+    [ -f "$status_file" ] || continue
+    rc="$(cat "$status_file")"
+    if [ "$rc" != 0 ]; then
+      name="$(basename "$status_file")"
+      echo "error: $name failed (exit $rc) — see $OUT_DIR/$name.err" >&2
+      jobs -pr | xargs -r kill 2>/dev/null || true
+      wait 2>/dev/null || true
+      exit 1
+    fi
+  done
+}
+
+active=0
 for bench in "$BUILD_DIR"/bench/*; do
   name="$(basename "$bench")"
   case "$name" in
     *.cmake|*.a|CMakeFiles|CTestTestfile.cmake|cmake_install.cmake) continue ;;
   esac
   [ -x "$bench" ] && [ -f "$bench" ] || continue
-  if [ "$name" = perf_microbench ]; then
-    echo "== $name"
-    "$bench" --benchmark_min_time=0.01s > "$OUT_DIR/$name.txt" 2>&1 || true
-    continue
+  if [ "$active" -ge "$JOBS" ]; then
+    wait -n || true
+    active=$((active - 1))
+    check_failures
   fi
   echo "== $name"
-  "$bench" --csv="$OUT_DIR/$name.csv" > "$OUT_DIR/$name.txt"
+  run_bench "$name" "$bench" &
+  active=$((active + 1))
+done
+
+while [ "$active" -gt 0 ]; do
+  wait -n || true
+  active=$((active - 1))
+  check_failures
 done
 
 echo

@@ -1,0 +1,70 @@
+#include "exp/runner.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "exp/seed_stream.hpp"
+#include "exp/thread_pool.hpp"
+#include "util/assert.hpp"
+
+namespace mpbt::exp {
+
+SweepRunner::SweepRunner(SweepOptions options) : options_(std::move(options)) {
+  util::throw_if_invalid(options_.runs < 1, "SweepOptions: runs must be >= 1");
+  util::throw_if_invalid(options_.jobs < 0, "SweepOptions: jobs must be >= 0");
+}
+
+SweepSummary SweepRunner::run(const Scenario& scenario, Sink* sink,
+                              ProgressReporter* progress) const {
+  const std::vector<ParamPoint> points = scenario.make_points(options_);
+  const auto runs = static_cast<std::size_t>(options_.runs);
+
+  SweepSummary summary;
+  summary.points = points.size();
+  summary.tasks = points.size() * runs;
+  summary.jobs =
+      options_.jobs > 0 ? static_cast<std::size_t>(options_.jobs) : ThreadPool::default_jobs();
+  summary.records.resize(summary.tasks);
+
+  const auto start = std::chrono::steady_clock::now();
+  {
+    ThreadPool pool(summary.jobs);
+    parallel_for_each(pool, summary.tasks, [&](std::size_t task) {
+      const std::size_t point_index = task / runs;
+      const std::size_t rep = task % runs;
+      const ParamPoint& point = points[point_index];
+      const std::uint64_t seed = derive_seed(options_.seed, point_index, rep);
+
+      Record record;
+      record.set("scenario", scenario.name);
+      record.set("point", static_cast<long long>(point_index));
+      record.set("rep", static_cast<long long>(rep));
+      // As a decimal string: 64-bit seeds overflow both signed long long
+      // and JSON parsers' double-backed numbers.
+      record.set("seed", std::to_string(seed));
+      for (const auto& [key, value] : point.params) {
+        record.set(key, value);
+      }
+      Record measured = scenario.run(point, seed, options_);
+      for (auto& [key, value] : measured.fields) {
+        record.set(std::move(key), std::move(value));
+      }
+
+      if (sink != nullptr) {
+        sink->write(record);  // sinks serialize internally
+      }
+      summary.records[task] = std::move(record);  // distinct slot per task
+      if (progress != nullptr) {
+        progress->task_done();
+      }
+    });
+  }
+  summary.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  if (sink != nullptr) {
+    sink->flush();
+  }
+  return summary;
+}
+
+}  // namespace mpbt::exp

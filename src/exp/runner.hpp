@@ -1,0 +1,45 @@
+// SweepRunner: fans a scenario's (grid point × repetition) tasks over a
+// ThreadPool.
+//
+// Determinism contract: task t = point_index * runs + rep is seeded with
+// derive_seed(options.seed, point_index, rep) and computes its record
+// from (point, seed) alone. Records are streamed to the sink in
+// COMPLETION order (each record is one serialized write — sort the file
+// to compare across job counts) and returned in TASK order, so the
+// in-memory result is byte-for-byte identical for any --jobs value.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "exp/sink.hpp"
+
+namespace mpbt::exp {
+
+struct SweepSummary {
+  std::size_t points = 0;       ///< grid points expanded
+  std::size_t tasks = 0;        ///< points × runs
+  std::size_t jobs = 0;         ///< worker threads actually used
+  double seconds = 0.0;         ///< wall-clock for the parallel region
+  std::vector<Record> records;  ///< one per task, in task order
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options);
+
+  const SweepOptions& options() const { return options_; }
+
+  /// Runs the scenario. `sink` and `progress` may be null; the sink
+  /// receives records as tasks complete, the summary holds them in task
+  /// order. Exceptions from scenario.run propagate (lowest failing task
+  /// index wins) after all tasks finish.
+  SweepSummary run(const Scenario& scenario, Sink* sink = nullptr,
+                   ProgressReporter* progress = nullptr) const;
+
+ private:
+  SweepOptions options_;
+};
+
+}  // namespace mpbt::exp

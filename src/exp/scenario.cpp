@@ -1,0 +1,269 @@
+#include "exp/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/calibrate.hpp"
+#include "bt/swarm.hpp"
+#include "efficiency/balance.hpp"
+#include "model/ensemble.hpp"
+#include "stability/entropy.hpp"
+#include "stability/experiment.hpp"
+
+namespace mpbt::exp {
+
+void ParamPoint::set(std::string key, Value value) {
+  for (auto& [name, existing] : params) {
+    if (name == key) {
+      existing = std::move(value);
+      return;
+    }
+  }
+  params.emplace_back(std::move(key), std::move(value));
+}
+
+const Value& ParamPoint::get(std::string_view key) const {
+  for (const auto& [name, value] : params) {
+    if (name == key) {
+      return value;
+    }
+  }
+  throw std::invalid_argument("ParamPoint: no parameter named " + std::string(key));
+}
+
+long long ParamPoint::get_int(std::string_view key) const {
+  const Value& value = get(key);
+  if (const auto* i = std::get_if<long long>(&value)) {
+    return *i;
+  }
+  throw std::invalid_argument("ParamPoint: parameter " + std::string(key) + " is not an integer");
+}
+
+double ParamPoint::get_double(std::string_view key) const {
+  const Value& value = get(key);
+  if (const auto* d = std::get_if<double>(&value)) {
+    return *d;
+  }
+  if (const auto* i = std::get_if<long long>(&value)) {
+    return static_cast<double>(*i);
+  }
+  throw std::invalid_argument("ParamPoint: parameter " + std::string(key) + " is not numeric");
+}
+
+namespace {
+
+// --- efficiency_vs_k ------------------------------------------------------
+// The Fig. 3/4(a) setup (see bench/fig3a_efficiency_vs_k.cpp): a steady
+// mixed-completion swarm with age-correlated content, swept over k. Each
+// repetition reports the simulated efficiency, the measured re-encounter
+// probability p_r, and the balance-equation model's eta fed with that p_r.
+
+bt::SwarmConfig efficiency_swarm_config(std::uint32_t k, std::uint64_t seed, bool quick) {
+  bt::SwarmConfig config;
+  config.num_pieces = quick ? 100 : 200;
+  config.max_connections = k;
+  config.peer_set_size = 40;
+  config.arrival_rate = 3.0;
+  config.initial_seeds = 2;
+  config.seed_capacity = 4;
+  config.seed = seed;
+  const std::vector<double> ramp = stability::ramp_piece_probs(config.num_pieces, 0.75, 0.05);
+  bt::InitialGroup warm;
+  warm.count = 100;
+  warm.piece_probs = ramp;
+  config.initial_groups.push_back(std::move(warm));
+  config.arrival_piece_probs = ramp;
+  return config;
+}
+
+Scenario make_efficiency_vs_k() {
+  Scenario scenario;
+  scenario.name = "efficiency_vs_k";
+  scenario.description =
+      "Fig. 3/4(a): swarm efficiency and balance-equation model vs the connection limit k";
+  scenario.make_points = [](const SweepOptions&) {
+    std::vector<ParamPoint> points;
+    for (long long k = 1; k <= 10; ++k) {
+      ParamPoint point;
+      point.set("k", k);
+      points.push_back(std::move(point));
+    }
+    return points;
+  };
+  scenario.run = [](const ParamPoint& point, std::uint64_t seed, const SweepOptions& options) {
+    const auto k = static_cast<std::uint32_t>(point.get_int("k"));
+    const bt::Round rounds = options.quick ? 150 : 300;
+    bt::Swarm swarm(efficiency_swarm_config(k, seed, options.quick));
+    swarm.run_rounds(rounds);
+    const double sim_eta = swarm.metrics().mean_transfer_efficiency(rounds / 4);
+    const double p_r = swarm.metrics().estimated_p_r();
+
+    efficiency::EfficiencyParams params;
+    params.k = static_cast<int>(k);
+    params.p_r = p_r;
+    params.N = std::max(2.0, static_cast<double>(swarm.population()));
+    const double model_eta = efficiency::EfficiencySolver(params).solve().eta;
+
+    Record record;
+    record.set("sim_eta", sim_eta);
+    record.set("model_eta", model_eta);
+    record.set("measured_p_r", p_r);
+    record.set("population", static_cast<long long>(swarm.population()));
+    return record;
+  };
+  return scenario;
+}
+
+// --- stability_vs_B -------------------------------------------------------
+// The Section 6 experiment: skew-seeded swarms swept over the piece count
+// B and the arrival rate; reports the divergence verdict and the entropy
+// trajectory summary (B = 3 diverges, B >= 10 recovers).
+
+Scenario make_stability_vs_b() {
+  Scenario scenario;
+  scenario.name = "stability_vs_B";
+  scenario.description =
+      "Section 6: population divergence and entropy recovery vs piece count B and arrival rate";
+  scenario.make_points = [](const SweepOptions& options) {
+    const std::vector<long long> piece_counts = {3, 10, 100};
+    const std::vector<double> arrival_rates =
+        options.quick ? std::vector<double>{4.0} : std::vector<double>{2.0, 4.0};
+    std::vector<ParamPoint> points;
+    for (const long long b : piece_counts) {
+      for (const double lambda : arrival_rates) {
+        ParamPoint point;
+        point.set("B", b);
+        point.set("arrival_rate", lambda);
+        points.push_back(std::move(point));
+      }
+    }
+    return points;
+  };
+  scenario.run = [](const ParamPoint& point, std::uint64_t seed, const SweepOptions& options) {
+    stability::StabilityConfig config;
+    config.num_pieces = static_cast<std::uint32_t>(point.get_int("B"));
+    config.arrival_rate = point.get_double("arrival_rate");
+    config.rounds = options.quick ? 200 : 400;
+    config.initial_peers = options.quick ? 150 : 300;
+    config.seed = seed;
+    const stability::StabilityResult result = run_stability_experiment(config);
+
+    Record record;
+    record.set("diverged", result.diverged);
+    record.set("final_entropy", result.final_entropy);
+    record.set("mean_entropy_tail", result.mean_entropy_tail);
+    record.set("peak_population", static_cast<long long>(result.peak_population));
+    record.set("final_population", static_cast<long long>(result.final_population));
+    record.set("completed", static_cast<long long>(result.completed));
+    return record;
+  };
+  return scenario;
+}
+
+// --- ensemble_transient ---------------------------------------------------
+// Sections 6/8: run a healthy seeded swarm, calibrate the per-peer chain
+// from it, evolve the transient ensemble under the same arrival rate, and
+// report how well the ensemble's population trajectory tracks the
+// simulator's (the paper's future-work machinery, quantified).
+
+Scenario make_ensemble_transient() {
+  Scenario scenario;
+  scenario.name = "ensemble_transient";
+  scenario.description =
+      "Sections 6/8: transient ensemble population vs the simulator across arrival rates";
+  scenario.make_points = [](const SweepOptions& options) {
+    const std::vector<double> arrival_rates =
+        options.quick ? std::vector<double>{2.0} : std::vector<double>{1.0, 2.0, 4.0};
+    std::vector<ParamPoint> points;
+    for (const double lambda : arrival_rates) {
+      ParamPoint point;
+      point.set("arrival_rate", lambda);
+      points.push_back(std::move(point));
+    }
+    return points;
+  };
+  scenario.run = [](const ParamPoint& point, std::uint64_t seed, const SweepOptions& options) {
+    const bt::Round rounds = options.quick ? 150 : 250;
+    bt::SwarmConfig config;
+    config.num_pieces = options.quick ? 40 : 60;
+    config.max_connections = 4;
+    config.peer_set_size = 20;
+    config.arrival_rate = point.get_double("arrival_rate");
+    config.initial_seeds = 2;
+    config.seed_capacity = 6;
+    config.seeds_serve_all = true;
+    config.seed = seed;
+    bt::Swarm swarm(config);
+    swarm.run_rounds(rounds);
+
+    analysis::CalibrationOptions calibration;
+    calibration.w = 0.5;
+    calibration.gamma = 0.1;
+    model::EnsembleParams ensemble;
+    ensemble.peer = analysis::calibrate_model(swarm, calibration);
+    ensemble.arrival_rate = config.arrival_rate;
+    ensemble.rounds = rounds;
+    const model::EnsembleResult predicted = model::run_ensemble(ensemble);
+
+    const auto horizon = static_cast<double>(rounds - 1);
+    const double sim_final = swarm.metrics().population().value_at(horizon);
+    const double ensemble_final = predicted.population.value_at(horizon);
+
+    Record record;
+    record.set("sim_final_population", sim_final);
+    record.set("ensemble_final_population", ensemble_final);
+    record.set("abs_error", std::abs(sim_final - ensemble_final));
+    record.set("ensemble_completed", predicted.total_completed);
+    record.set("ensemble_growing", predicted.population_growing);
+    return record;
+  };
+  return scenario;
+}
+
+}  // namespace
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry* registry = []() {
+    auto* r = new ScenarioRegistry();
+    r->add(make_efficiency_vs_k());
+    r->add(make_stability_vs_b());
+    r->add(make_ensemble_transient());
+    return r;
+  }();
+  return *registry;
+}
+
+void ScenarioRegistry::add(Scenario scenario) {
+  if (scenario.name.empty() || !scenario.make_points || !scenario.run) {
+    throw std::invalid_argument("ScenarioRegistry::add: incomplete scenario");
+  }
+  for (const Scenario& existing : scenarios_) {
+    if (existing.name == scenario.name) {
+      throw std::invalid_argument("ScenarioRegistry::add: duplicate scenario " + scenario.name);
+    }
+  }
+  scenarios_.push_back(std::move(scenario));
+}
+
+const Scenario* ScenarioRegistry::find(std::string_view name) const {
+  for (const Scenario& scenario : scenarios_) {
+    if (scenario.name == name) {
+      return &scenario;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const Scenario*> ScenarioRegistry::all() const {
+  std::vector<const Scenario*> result;
+  result.reserve(scenarios_.size());
+  for (const Scenario& scenario : scenarios_) {
+    result.push_back(&scenario);
+  }
+  std::sort(result.begin(), result.end(),
+            [](const Scenario* a, const Scenario* b) { return a->name < b->name; });
+  return result;
+}
+
+}  // namespace mpbt::exp

@@ -1,0 +1,83 @@
+// Named experiment scenarios: a parameter grid plus a per-point runner.
+//
+// A Scenario is the unit the sweep machinery fans out: `make_points`
+// expands a parameter grid (k values, piece counts, arrival rates, ...)
+// and `run` executes ONE seeded repetition of one grid point, returning
+// the measured outputs as a Record. The SweepRunner crosses the grid
+// with --runs repetitions, derives each task's seed from (base seed,
+// point index, rep index), and annotates every record with the point's
+// parameters — scenarios only produce measurements.
+//
+// Built-in scenarios (registered on first registry access):
+//   efficiency_vs_k    Fig. 3/4(a): swarm efficiency + balance model vs k
+//   stability_vs_B     Section 6: divergence/entropy vs piece count B and
+//                      arrival rate, from a skew-seeded start
+//   ensemble_transient Sections 6/8: transient ensemble population vs the
+//                      simulator across arrival rates
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exp/sink.hpp"
+
+namespace mpbt::exp {
+
+struct SweepOptions {
+  std::uint64_t seed = 42;  ///< base seed for the whole sweep
+  int runs = 3;             ///< repetitions per grid point
+  int jobs = 0;             ///< worker threads; 0 = all hardware threads
+  bool quick = false;       ///< smaller workloads for smoke runs
+  std::string out;          ///< output path; empty = stdout
+};
+
+/// One point of a scenario's parameter grid. Parameters are ordered
+/// (name, value) pairs; they are echoed into every result record.
+struct ParamPoint {
+  std::vector<std::pair<std::string, Value>> params;
+
+  void set(std::string key, Value value);
+  /// Typed getters; throw std::invalid_argument on a missing key or a
+  /// type mismatch (scenario bugs should fail loudly).
+  long long get_int(std::string_view key) const;
+  double get_double(std::string_view key) const;
+
+ private:
+  const Value& get(std::string_view key) const;
+};
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  /// Expands the parameter grid (may shrink under options.quick).
+  std::function<std::vector<ParamPoint>(const SweepOptions&)> make_points;
+  /// Runs one seeded repetition of one grid point. Must be pure in
+  /// (point, seed, options): no shared mutable state, so points can run
+  /// on any worker in any order.
+  std::function<Record(const ParamPoint&, std::uint64_t seed, const SweepOptions&)> run;
+};
+
+/// Process-wide scenario registry. The built-in scenarios are registered
+/// the first time instance() is called; library users can add their own.
+class ScenarioRegistry {
+ public:
+  static ScenarioRegistry& instance();
+
+  /// Registers a scenario; throws std::invalid_argument on a duplicate name.
+  void add(Scenario scenario);
+
+  /// Returns the scenario or nullptr.
+  const Scenario* find(std::string_view name) const;
+
+  /// All scenarios, sorted by name.
+  std::vector<const Scenario*> all() const;
+
+ private:
+  ScenarioRegistry() = default;
+  std::vector<Scenario> scenarios_;
+};
+
+}  // namespace mpbt::exp

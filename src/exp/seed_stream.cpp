@@ -1,0 +1,26 @@
+#include "exp/seed_stream.hpp"
+
+namespace mpbt::exp {
+
+namespace {
+// SplitMix64's Weyl-sequence increment (the golden-ratio constant).
+constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+}  // namespace
+
+std::uint64_t splitmix64_mix(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t task_index) {
+  // State after (task_index + 1) SplitMix64 steps from base_seed, then the
+  // output mix. Jumping the Weyl sequence directly makes this O(1).
+  return splitmix64_mix(base_seed + (task_index + 1) * kGamma);
+}
+
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t point_index, std::uint64_t rep) {
+  return derive_seed(derive_seed(base_seed, point_index), rep);
+}
+
+}  // namespace mpbt::exp

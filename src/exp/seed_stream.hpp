@@ -1,0 +1,47 @@
+// Deterministic seed derivation for parallel experiment sweeps.
+//
+// Every task in a sweep derives its RNG seed purely from (base_seed,
+// task_index) — never from thread identity, completion order, or wall
+// clock — so a sweep's results are bit-identical for any worker count.
+// Derivation is the SplitMix64 output function: the seed for index i is
+// the i-th output of a SplitMix64 generator whose state starts at the
+// base seed. The two-level form derive_seed(base, point, rep) nests two
+// such streams, which keeps a grid point's repetition seeds stable when
+// the surrounding grid grows or is reordered.
+#pragma once
+
+#include <cstdint>
+
+namespace mpbt::exp {
+
+/// The SplitMix64 finalizer: a bijective 64-bit mix with full avalanche.
+/// (This is the output function alone; it does not advance any state.)
+std::uint64_t splitmix64_mix(std::uint64_t x);
+
+/// Seed for task `task_index` of a stream rooted at `base_seed`. Equals
+/// the (task_index+1)-th output of SplitMix64 seeded with `base_seed`,
+/// computable in O(1) for any index.
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t task_index);
+
+/// Seed for repetition `rep` of grid point `point_index`: nests two
+/// streams, derive_seed(derive_seed(base, point_index), rep).
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t point_index, std::uint64_t rep);
+
+/// A lazily-indexable stream of derived seeds rooted at one base seed.
+class SeedStream {
+ public:
+  explicit SeedStream(std::uint64_t base_seed) : base_(base_seed) {}
+
+  std::uint64_t base() const { return base_; }
+
+  /// Seed for index `i`; pure, any index, any order.
+  std::uint64_t at(std::uint64_t i) const { return derive_seed(base_, i); }
+
+  /// An independent stream rooted at this stream's i-th seed.
+  SeedStream substream(std::uint64_t i) const { return SeedStream(at(i)); }
+
+ private:
+  std::uint64_t base_;
+};
+
+}  // namespace mpbt::exp

@@ -1,0 +1,247 @@
+#include "exp/sink.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace mpbt::exp {
+
+void Record::set(std::string key, Value value) {
+  for (auto& [name, existing] : fields) {
+    if (name == key) {
+      existing = std::move(value);
+      return;
+    }
+  }
+  fields.emplace_back(std::move(key), std::move(value));
+}
+
+const Value* Record::find(std::string_view key) const {
+  for (const auto& [name, value] : fields) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::string format_double(double d) {
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os << std::setprecision(std::numeric_limits<double>::max_digits10) << d;
+  return os.str();
+}
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    throw std::runtime_error("cannot open sink output file: " + path);
+  }
+  return file;
+}
+
+}  // namespace
+
+std::string format_value(const Value& value) {
+  if (const auto* s = std::get_if<std::string>(&value)) {
+    return *s;
+  }
+  if (const auto* i = std::get_if<long long>(&value)) {
+    return std::to_string(*i);
+  }
+  if (const auto* d = std::get_if<double>(&value)) {
+    return format_double(*d);
+  }
+  return std::get<bool>(value) ? "true" : "false";
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string json_value(const Value& value) {
+  if (const auto* s = std::get_if<std::string>(&value)) {
+    return '"' + json_escape(*s) + '"';
+  }
+  if (const auto* d = std::get_if<double>(&value)) {
+    if (!std::isfinite(*d)) {
+      return "null";
+    }
+  }
+  return format_value(value);
+}
+
+std::string csv_field(const Value& value) {
+  std::string text = format_value(value);
+  if (text.find_first_of(",\"\n") != std::string::npos) {
+    std::string quoted = "\"";
+    for (const char c : text) {
+      if (c == '"') {
+        quoted += '"';
+      }
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  }
+  return text;
+}
+
+}  // namespace
+
+JsonlSink::JsonlSink(std::ostream& os) : os_(&os) {}
+
+JsonlSink::JsonlSink(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(open_or_throw(path))), os_(owned_.get()) {}
+
+void JsonlSink::write(const Record& record) {
+  std::string line = "{";
+  bool first = true;
+  for (const auto& [key, value] : record.fields) {
+    if (!first) {
+      line += ',';
+    }
+    first = false;
+    line += '"';
+    line += json_escape(key);
+    line += "\":";
+    line += json_value(value);
+  }
+  line += "}\n";
+  const std::lock_guard<std::mutex> lock(mutex_);
+  os_->write(line.data(), static_cast<std::streamsize>(line.size()));
+}
+
+void JsonlSink::flush() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  os_->flush();
+}
+
+CsvSink::CsvSink(std::ostream& os) : os_(&os) {}
+
+CsvSink::CsvSink(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(open_or_throw(path))), os_(owned_.get()) {}
+
+void CsvSink::write(const Record& record) {
+  std::string line;
+  std::string header;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (columns_.empty()) {
+      for (const auto& [key, value] : record.fields) {
+        (void)value;
+        columns_.push_back(key);
+        if (!header.empty()) {
+          header += ',';
+        }
+        header += csv_field(key);
+      }
+      header += '\n';
+    } else {
+      MPBT_ASSERT_MSG(record.fields.size() == columns_.size(),
+                      "CsvSink: record field count differs from header");
+      for (std::size_t i = 0; i < columns_.size(); ++i) {
+        MPBT_ASSERT_MSG(record.fields[i].first == columns_[i],
+                        "CsvSink: record field order differs from header");
+      }
+    }
+    for (const auto& [key, value] : record.fields) {
+      (void)key;
+      if (!line.empty()) {
+        line += ',';
+      }
+      line += csv_field(value);
+    }
+    line += '\n';
+    if (!header.empty()) {
+      os_->write(header.data(), static_cast<std::streamsize>(header.size()));
+    }
+    os_->write(line.data(), static_cast<std::streamsize>(line.size()));
+  }
+}
+
+void CsvSink::flush() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  os_->flush();
+}
+
+ProgressReporter::ProgressReporter(std::size_t total, std::ostream* os, std::string label)
+    : total_(total), os_(os), label_(std::move(label)), start_(std::chrono::steady_clock::now()) {}
+
+void ProgressReporter::task_done() {
+  const std::size_t done = completed_.fetch_add(1) + 1;
+  if (os_ == nullptr || total_ == 0) {
+    return;
+  }
+  const std::size_t percent = done * 100 / total_;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (percent == last_percent_reported_ && done != total_) {
+    return;
+  }
+  last_percent_reported_ = percent;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  const double eta = done > 0 ? elapsed * static_cast<double>(total_ - done) / done : 0.0;
+  std::ostringstream line;
+  line << "[" << label_ << "] " << done << "/" << total_ << " (" << percent << "%)"
+       << std::fixed << std::setprecision(1) << " elapsed " << elapsed << "s eta " << eta
+       << "s\n";
+  const std::string text = line.str();
+  os_->write(text.data(), static_cast<std::streamsize>(text.size()));
+  os_->flush();
+}
+
+void ProgressReporter::finish() {
+  if (os_ == nullptr) {
+    return;
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  std::ostringstream line;
+  line << "[" << label_ << "] done: " << completed_.load() << " tasks in " << std::fixed
+       << std::setprecision(2) << elapsed << "s\n";
+  const std::string text = line.str();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  os_->write(text.data(), static_cast<std::streamsize>(text.size()));
+  os_->flush();
+}
+
+}  // namespace mpbt::exp

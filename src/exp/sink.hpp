@@ -1,0 +1,119 @@
+// Thread-safe structured result sinks for parallel sweeps.
+//
+// Workers complete tasks in a nondeterministic order, so each completed
+// task's record is serialized to a full line of text first and then
+// emitted as ONE stream write under the sink's mutex — concurrent
+// workers' lines never interleave mid-record. Because every record is
+// self-describing (it carries its point/rep indices) and doubles are
+// formatted with round-trip precision, sorting a JSONL file yields
+// byte-identical output for any worker count.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace mpbt::exp {
+
+/// One field value. Booleans are distinct from integers so JSONL emits
+/// true/false and CSV emits 1/0 consistently.
+using Value = std::variant<std::string, long long, double, bool>;
+
+/// One result row: an ordered field list (insertion order is the output
+/// column/key order, so records from one scenario line up).
+struct Record {
+  std::vector<std::pair<std::string, Value>> fields;
+
+  /// Appends the field, or overwrites it in place if the key exists.
+  void set(std::string key, Value value);
+
+  /// Returns the value for `key`, or nullptr if absent.
+  const Value* find(std::string_view key) const;
+};
+
+/// Formats a value the way the sinks do: locale-free, doubles with
+/// round-trip (max_digits10) precision, booleans as true/false.
+std::string format_value(const Value& value);
+
+/// Abstract sink; write() must be safe to call from any worker thread.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void write(const Record& record) = 0;
+  virtual void flush() {}
+};
+
+/// JSON Lines: one object per record, one stream write per record.
+/// Non-finite doubles are emitted as null (JSON has no NaN/Inf).
+class JsonlSink : public Sink {
+ public:
+  /// Non-owning: writes to `os` (e.g. std::cout or a test stringstream).
+  explicit JsonlSink(std::ostream& os);
+  /// Owning: opens `path` for writing; throws std::runtime_error on failure.
+  explicit JsonlSink(const std::string& path);
+
+  void write(const Record& record) override;
+  void flush() override;
+
+ private:
+  std::unique_ptr<std::ofstream> owned_;
+  std::ostream* os_;
+  std::mutex mutex_;
+};
+
+/// CSV: the header row comes from the first record's field names; every
+/// later record must carry the same fields in the same order (this is an
+/// internal invariant of the runner, so it is asserted, not thrown).
+class CsvSink : public Sink {
+ public:
+  explicit CsvSink(std::ostream& os);
+  explicit CsvSink(const std::string& path);
+
+  void write(const Record& record) override;
+  void flush() override;
+
+ private:
+  std::unique_ptr<std::ofstream> owned_;
+  std::ostream* os_;
+  std::mutex mutex_;
+  std::vector<std::string> columns_;  // fixed by the first record
+};
+
+/// Escapes a string for a JSON string literal (quotes not included).
+std::string json_escape(std::string_view s);
+
+/// Progress / ETA reporter for stderr; task_done() is thread-safe and
+/// prints at most once per percent so large sweeps don't spam the log.
+class ProgressReporter {
+ public:
+  /// `os` may be null for a silent reporter. `label` prefixes each line.
+  ProgressReporter(std::size_t total, std::ostream* os, std::string label = "sweep");
+
+  /// Marks one task complete; prints "label: done/total (pct%) eta Xs".
+  void task_done();
+
+  /// Prints the final elapsed-time line.
+  void finish();
+
+  std::size_t completed() const { return completed_.load(); }
+
+ private:
+  std::size_t total_;
+  std::ostream* os_;
+  std::string label_;
+  std::atomic<std::size_t> completed_{0};
+  std::chrono::steady_clock::time_point start_;
+  std::mutex mutex_;
+  std::size_t last_percent_reported_ = 0;
+};
+
+}  // namespace mpbt::exp

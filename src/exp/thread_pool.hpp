@@ -1,0 +1,98 @@
+// Fixed-size worker pool with futures-based submission.
+//
+// Deliberately simple — no work stealing, no priorities, no resizing: a
+// single locked queue feeds a fixed set of workers, which is all an
+// embarrassingly parallel sweep needs (tasks are seconds-long swarm runs,
+// so queue contention is irrelevant). Determinism is the design driver:
+// the pool never injects ordering into results — callers index their
+// output by task, and seeds come from exp::SeedStream, so worker count
+// and scheduling cannot change any computed value.
+//
+// Shutdown contract: the destructor runs every task already submitted
+// (it drains the queue), then joins. Submitting from a worker thread is
+// allowed; blocking a worker on a future of a task that has not started
+// can deadlock a 1-thread pool — don't wait on the pool from the pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace mpbt::exp {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 is clamped to 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains the queue (runs all submitted tasks), then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency, clamped to at least 1.
+  static std::size_t default_jobs();
+
+  /// Schedules `f()` on the pool and returns a future for its result.
+  /// Exceptions thrown by `f` are captured and rethrown by future::get.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    // packaged_task is move-only but std::function needs copyable targets,
+    // hence the shared_ptr wrapper.
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for every i in [0, count) across the pool and blocks until
+/// all complete. If any invocations throw, the exception of the LOWEST
+/// failing index is rethrown (a deterministic choice — completion order
+/// never picks the winner); the remaining tasks still run to completion.
+template <typename Fn>
+void parallel_for_each(ThreadPool& pool, std::size_t count, Fn&& fn) {
+  std::vector<std::future<void>> futures;
+  futures.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    futures.push_back(pool.submit([&fn, i]() { fn(i); }));
+  }
+  std::exception_ptr first;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first) {
+        first = std::current_exception();
+      }
+    }
+  }
+  if (first) {
+    std::rethrow_exception(first);
+  }
+}
+
+}  // namespace mpbt::exp

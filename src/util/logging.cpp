@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cctype>
 #include <iostream>
+#include <mutex>
 #include <stdexcept>
 
 namespace mpbt::util {
@@ -53,7 +54,15 @@ LogLevel parse_log_level(std::string_view name) {
 
 namespace detail {
 void emit(LogLevel level, const std::string& message) {
-  std::cerr << "[mpbt " << level_name(level) << "] " << message << '\n';
+  // Concurrent workers log freely: build the whole record first, then
+  // emit it under a mutex as a single write so lines never interleave.
+  std::string line;
+  line.reserve(message.size() + 16);
+  line.append("[mpbt ").append(level_name(level)).append("] ").append(message).append("\n");
+  static std::mutex mutex;
+  const std::lock_guard<std::mutex> lock(mutex);
+  std::cerr.write(line.data(), static_cast<std::streamsize>(line.size()));
+  std::cerr.flush();
 }
 }  // namespace detail
 

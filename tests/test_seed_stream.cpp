@@ -1,0 +1,184 @@
+#include "exp/seed_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "exp/sink.hpp"
+#include "numeric/rng.hpp"
+
+namespace mpbt::exp {
+namespace {
+
+TEST(SeedStream, MatchesSplitMix64ReferenceOutputs) {
+  // derive_seed(base, i) is the (i+1)-th output of SplitMix64 seeded with
+  // `base`; the first three outputs for seed 0 are published test vectors.
+  EXPECT_EQ(derive_seed(0, 0), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(derive_seed(0, 1), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(derive_seed(0, 2), 0x06c45d188009454fULL);
+}
+
+TEST(SeedStream, DeterministicAndIndexSensitive) {
+  EXPECT_EQ(derive_seed(42, 7), derive_seed(42, 7));
+  EXPECT_NE(derive_seed(42, 7), derive_seed(42, 8));
+  EXPECT_NE(derive_seed(42, 7), derive_seed(43, 7));
+}
+
+TEST(SeedStream, NoCollisionsOverAGrid) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base = 0; base < 8; ++base) {
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+      seen.insert(derive_seed(base, i));
+    }
+  }
+  EXPECT_EQ(seen.size(), 8u * 1000u);
+}
+
+TEST(SeedStream, TwoLevelFormComposes) {
+  EXPECT_EQ(derive_seed(42, 3, 5), derive_seed(derive_seed(42, 3), 5));
+}
+
+TEST(SeedStream, StreamClassMatchesFreeFunctions) {
+  const SeedStream stream(42);
+  EXPECT_EQ(stream.at(9), derive_seed(42, 9));
+  EXPECT_EQ(stream.substream(3).at(5), derive_seed(42, 3, 5));
+}
+
+TEST(SeedStream, RepetitionSeedsStableUnderGridGrowth) {
+  // Point 2's repetition seeds must not change when the grid gains points.
+  const SeedStream small_grid(42);
+  const SeedStream big_grid(42);
+  EXPECT_EQ(small_grid.substream(2).at(0), big_grid.substream(2).at(0));
+}
+
+// --- determinism of a full sweep across worker counts ---------------------
+
+// A cheap synthetic scenario: the record depends on (point, seed) only,
+// through an actual Rng draw, like the real scenarios.
+Scenario synthetic_scenario() {
+  Scenario scenario;
+  scenario.name = "synthetic";
+  scenario.description = "test scenario";
+  scenario.make_points = [](const SweepOptions&) {
+    std::vector<ParamPoint> points;
+    for (long long x = 0; x < 6; ++x) {
+      ParamPoint point;
+      point.set("x", x);
+      points.push_back(std::move(point));
+    }
+    return points;
+  };
+  scenario.run = [](const ParamPoint& point, std::uint64_t seed, const SweepOptions&) {
+    numeric::Rng rng(seed);
+    double sum = 0.0;
+    for (int i = 0; i < 100; ++i) {
+      sum += rng.uniform01();
+    }
+    Record record;
+    record.set("value", sum * static_cast<double>(1 + point.get_int("x")));
+    return record;
+  };
+  return scenario;
+}
+
+std::vector<std::string> sorted_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    lines.push_back(line);
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+TEST(SweepDeterminism, OneThreadAndEightThreadsProduceIdenticalJsonl) {
+  const Scenario scenario = synthetic_scenario();
+
+  auto run_with_jobs = [&scenario](int jobs) {
+    SweepOptions options;
+    options.seed = 42;
+    options.runs = 4;
+    options.jobs = jobs;
+    std::ostringstream out;
+    JsonlSink sink(out);
+    SweepRunner(options).run(scenario, &sink);
+    return out.str();
+  };
+
+  const std::string serial = run_with_jobs(1);
+  const std::string parallel = run_with_jobs(8);
+  // Completion order may differ; the sorted payloads must be byte-identical.
+  EXPECT_EQ(sorted_lines(serial), sorted_lines(parallel));
+  EXPECT_FALSE(serial.empty());
+}
+
+TEST(SweepDeterminism, RecordsReturnInTaskOrderForAnyJobCount) {
+  const Scenario scenario = synthetic_scenario();
+  auto records_with_jobs = [&scenario](int jobs) {
+    SweepOptions options;
+    options.seed = 7;
+    options.runs = 3;
+    options.jobs = jobs;
+    return SweepRunner(options).run(scenario).records;
+  };
+  const auto serial = records_with_jobs(1);
+  const auto parallel = records_with_jobs(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  ASSERT_EQ(serial.size(), 6u * 3u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].fields.size(), parallel[i].fields.size());
+    for (std::size_t f = 0; f < serial[i].fields.size(); ++f) {
+      EXPECT_EQ(serial[i].fields[f].first, parallel[i].fields[f].first);
+      EXPECT_EQ(format_value(serial[i].fields[f].second),
+                format_value(parallel[i].fields[f].second));
+    }
+  }
+}
+
+TEST(SweepDeterminism, RunnerAnnotatesRecordsWithPointRepAndSeed) {
+  const Scenario scenario = synthetic_scenario();
+  SweepOptions options;
+  options.seed = 42;
+  options.runs = 2;
+  options.jobs = 2;
+  const SweepSummary summary = SweepRunner(options).run(scenario);
+  ASSERT_EQ(summary.tasks, 12u);
+  const Record& record = summary.records[3];  // point 1, rep 1
+  ASSERT_NE(record.find("seed"), nullptr);
+  EXPECT_EQ(std::get<std::string>(*record.find("seed")), std::to_string(derive_seed(42, 1, 1)));
+  EXPECT_EQ(std::get<long long>(*record.find("point")), 1);
+  EXPECT_EQ(std::get<long long>(*record.find("rep")), 1);
+  EXPECT_EQ(std::get<long long>(*record.find("x")), 1);
+}
+
+TEST(ScenarioRegistry, BuiltinScenariosAreRegistered) {
+  ScenarioRegistry& registry = ScenarioRegistry::instance();
+  EXPECT_NE(registry.find("efficiency_vs_k"), nullptr);
+  EXPECT_NE(registry.find("stability_vs_B"), nullptr);
+  EXPECT_NE(registry.find("ensemble_transient"), nullptr);
+  EXPECT_EQ(registry.find("no_such_scenario"), nullptr);
+  const auto all = registry.all();
+  EXPECT_GE(all.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end(), [](const Scenario* a, const Scenario* b) {
+    return a->name < b->name;
+  }));
+}
+
+TEST(ScenarioRegistry, BuiltinGridsExpandAndShrinkUnderQuick) {
+  const Scenario* stability = ScenarioRegistry::instance().find("stability_vs_B");
+  ASSERT_NE(stability, nullptr);
+  SweepOptions full;
+  SweepOptions quick;
+  quick.quick = true;
+  EXPECT_GT(stability->make_points(full).size(), stability->make_points(quick).size());
+}
+
+}  // namespace
+}  // namespace mpbt::exp

@@ -1,0 +1,202 @@
+#include "exp/sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/thread_pool.hpp"
+
+namespace mpbt::exp {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(Record, SetAppendsAndOverwritesInPlace) {
+  Record record;
+  record.set("a", 1LL);
+  record.set("b", 2.5);
+  record.set("a", 3LL);  // overwrite keeps position
+  ASSERT_EQ(record.fields.size(), 2u);
+  EXPECT_EQ(record.fields[0].first, "a");
+  EXPECT_EQ(std::get<long long>(record.fields[0].second), 3);
+  ASSERT_NE(record.find("b"), nullptr);
+  EXPECT_EQ(record.find("missing"), nullptr);
+}
+
+TEST(FormatValue, CoversAllAlternatives) {
+  EXPECT_EQ(format_value(Value{std::string("hi")}), "hi");
+  EXPECT_EQ(format_value(Value{42LL}), "42");
+  EXPECT_EQ(format_value(Value{true}), "true");
+  EXPECT_EQ(format_value(Value{false}), "false");
+  EXPECT_EQ(format_value(Value{0.5}), "0.5");
+}
+
+TEST(FormatValue, DoublesRoundTripExactly) {
+  for (const double d : {0.1, 1.0 / 3.0, 12345.678901234567, 1e-300, -2.5e17}) {
+    const std::string text = format_value(Value{d});
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), d) << text;
+  }
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonlSink, WritesOneWellFormedObjectPerRecord) {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  Record record;
+  record.set("name", std::string("k=3"));
+  record.set("k", 3LL);
+  record.set("eta", 0.5);
+  record.set("ok", true);
+  sink.write(record);
+  EXPECT_EQ(out.str(), "{\"name\":\"k=3\",\"k\":3,\"eta\":0.5,\"ok\":true}\n");
+}
+
+TEST(JsonlSink, NonFiniteDoublesBecomeNull) {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  Record record;
+  record.set("nan", std::nan(""));
+  record.set("inf", std::numeric_limits<double>::infinity());
+  sink.write(record);
+  EXPECT_EQ(out.str(), "{\"nan\":null,\"inf\":null}\n");
+}
+
+TEST(JsonlSink, ConcurrentWritesNeverInterleaveMidLine) {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  constexpr int kWriters = 8;
+  constexpr int kPerWriter = 200;
+  {
+    ThreadPool pool(kWriters);
+    parallel_for_each(pool, kWriters, [&sink](std::size_t writer) {
+      for (int i = 0; i < kPerWriter; ++i) {
+        Record record;
+        record.set("writer", static_cast<long long>(writer));
+        record.set("i", static_cast<long long>(i));
+        record.set("payload", std::string(64, 'x'));
+        sink.write(record);
+      }
+    });
+  }
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kWriters * kPerWriter));
+  for (const std::string& line : lines) {
+    // Every line must be one complete record: starts '{', ends '}', and
+    // contains the full payload exactly once.
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"payload\":\"" + std::string(64, 'x') + "\""), std::string::npos);
+  }
+}
+
+TEST(CsvSink, HeaderOnceThenRows) {
+  std::ostringstream out;
+  CsvSink sink(out);
+  Record record;
+  record.set("k", 1LL);
+  record.set("eta", 0.25);
+  sink.write(record);
+  record.set("k", 2LL);
+  record.set("eta", 0.5);
+  sink.write(record);
+  EXPECT_EQ(out.str(), "k,eta\n1,0.25\n2,0.5\n");
+}
+
+TEST(CsvSink, QuotesFieldsWithCommasAndQuotes) {
+  std::ostringstream out;
+  CsvSink sink(out);
+  Record record;
+  record.set("label", std::string("a,b \"c\""));
+  sink.write(record);
+  EXPECT_EQ(out.str(), "label\n\"a,b \"\"c\"\"\"\n");
+}
+
+TEST(CsvSink, ConcurrentWritesKeepEveryRowComplete) {
+  std::ostringstream out;
+  CsvSink sink(out);
+  constexpr int kWriters = 8;
+  constexpr int kPerWriter = 200;
+  {
+    ThreadPool pool(kWriters);
+    parallel_for_each(pool, kWriters, [&sink](std::size_t writer) {
+      for (int i = 0; i < kPerWriter; ++i) {
+        Record record;
+        record.set("writer", static_cast<long long>(writer));
+        record.set("i", static_cast<long long>(i));
+        sink.write(record);
+      }
+    });
+  }
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 1u + kWriters * kPerWriter);
+  EXPECT_EQ(lines.front(), "writer,i");
+  int per_writer_counts[kWriters] = {};
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const auto comma = lines[i].find(',');
+    ASSERT_NE(comma, std::string::npos) << lines[i];
+    const int writer = std::stoi(lines[i].substr(0, comma));
+    ASSERT_GE(writer, 0);
+    ASSERT_LT(writer, kWriters);
+    ++per_writer_counts[writer];
+  }
+  for (const int count : per_writer_counts) {
+    EXPECT_EQ(count, kPerWriter);
+  }
+}
+
+TEST(ProgressReporter, CountsAndReportsCompletion) {
+  std::ostringstream err;
+  ProgressReporter progress(4, &err, "test");
+  for (int i = 0; i < 4; ++i) {
+    progress.task_done();
+  }
+  progress.finish();
+  EXPECT_EQ(progress.completed(), 4u);
+  EXPECT_NE(err.str().find("[test] 4/4 (100%)"), std::string::npos);
+  EXPECT_NE(err.str().find("done: 4 tasks"), std::string::npos);
+}
+
+TEST(ProgressReporter, NullStreamIsSilentAndSafe) {
+  ProgressReporter progress(2, nullptr);
+  progress.task_done();
+  progress.task_done();
+  progress.finish();
+  EXPECT_EQ(progress.completed(), 2u);
+}
+
+TEST(ProgressReporter, ThreadSafeUnderConcurrentCompletion) {
+  std::ostringstream err;
+  ProgressReporter progress(1000, &err);
+  {
+    ThreadPool pool(8);
+    parallel_for_each(pool, 1000, [&progress](std::size_t) { progress.task_done(); });
+  }
+  EXPECT_EQ(progress.completed(), 1000u);
+  for (const std::string& line : lines_of(err.str())) {
+    EXPECT_EQ(line.rfind("[sweep] ", 0), 0u) << "interleaved line: " << line;
+  }
+}
+
+}  // namespace
+}  // namespace mpbt::exp

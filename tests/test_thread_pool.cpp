@@ -1,0 +1,146 @@
+#include "exp/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace mpbt::exp {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsValueThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit([]() { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, SubmitVoidTaskCompletes) {
+  ThreadPool pool(2);
+  std::atomic<bool> ran{false};
+  pool.submit([&ran]() { ran = true; }).get();
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([]() { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, DefaultJobsIsPositive) { EXPECT_GE(ThreadPool::default_jobs(), 1u); }
+
+TEST(ThreadPool, ExceptionPropagatesWithTypeAndMessage) {
+  ThreadPool pool(2);
+  auto future = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  try {
+    future.get();
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "boom");
+  }
+}
+
+TEST(ThreadPool, WorkerSurvivesTaskException) {
+  ThreadPool pool(1);
+  auto bad = pool.submit([]() { throw std::runtime_error("first"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The single worker must still be alive to run this.
+  EXPECT_EQ(pool.submit([]() { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> completed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&completed]() {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++completed;
+      });
+    }
+    // Destructor must run every already-submitted task before joining.
+  }
+  EXPECT_EQ(completed.load(), 64);
+}
+
+TEST(ThreadPool, ManyTasksAllExecuteExactlyOnce) {
+  ThreadPool pool(8);
+  constexpr int kTasks = 2000;
+  std::vector<std::atomic<int>> hits(kTasks);
+  std::vector<std::future<void>> futures;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.submit([&hits, i]() { ++hits[static_cast<std::size_t>(i)]; }));
+  }
+  for (auto& future : futures) {
+    future.get();
+  }
+  for (const auto& hit : hits) {
+    EXPECT_EQ(hit.load(), 1);
+  }
+}
+
+TEST(ParallelForEach, CoversAllIndices) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 512;
+  std::vector<std::atomic<int>> hits(kCount);
+  parallel_for_each(pool, kCount, [&hits](std::size_t i) { ++hits[i]; });
+  for (const auto& hit : hits) {
+    EXPECT_EQ(hit.load(), 1);
+  }
+}
+
+TEST(ParallelForEach, ZeroCountIsANoop) {
+  ThreadPool pool(2);
+  parallel_for_each(pool, 0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelForEach, RethrowsLowestFailingIndex) {
+  ThreadPool pool(4);
+  auto run = [&pool]() {
+    parallel_for_each(pool, 16, [](std::size_t i) {
+      if (i == 3 || i == 11) {
+        throw std::runtime_error("task " + std::to_string(i));
+      }
+    });
+  };
+  try {
+    run();
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "task 3");
+  }
+}
+
+TEST(ParallelForEach, RemainingTasksRunDespiteFailure) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(parallel_for_each(pool, 64,
+                                 [&completed](std::size_t i) {
+                                   if (i == 0) {
+                                     throw std::runtime_error("early");
+                                   }
+                                   ++completed;
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(completed.load(), 63);
+}
+
+TEST(ParallelForEach, DeterministicSumRegardlessOfWorkers) {
+  auto compute = [](std::size_t workers) {
+    ThreadPool pool(workers);
+    std::vector<double> values(256);
+    parallel_for_each(pool, values.size(), [&values](std::size_t i) {
+      values[i] = static_cast<double>(i) * 1.0000001;
+    });
+    return std::accumulate(values.begin(), values.end(), 0.0);
+  };
+  EXPECT_EQ(compute(1), compute(8));
+}
+
+}  // namespace
+}  // namespace mpbt::exp
