@@ -1,6 +1,10 @@
 #include "bench_common.hpp"
 
 #include "analysis/calibrate.hpp"
+#include "exp/metrics_export.hpp"
+#include "exp/sink.hpp"
+#include "obs/chrome_trace.hpp"
+#include "util/logging.hpp"
 
 namespace mpbt::bench {
 
@@ -13,8 +17,14 @@ std::optional<BenchOptions> parse_bench_options(int argc, const char* const* arg
   cli.add_option("jobs", "worker threads for repetitions (0 = all cores)", "0");
   cli.add_flag("quick", "smaller workloads for smoke runs");
   cli.add_option("csv", "also write the table to this CSV path", "");
+  cli.add_option("trace", "write a Chrome trace-event JSON to this path", "");
+  cli.add_option("metrics", "write the metrics snapshot to this path (jsonl/csv)", "");
+  cli.add_option("log-level", "debug|info|warn|error|off (default: warn, or $MPBT_LOG)", "");
   if (!cli.parse(argc, argv)) {
     return std::nullopt;
+  }
+  if (const std::string level = cli.get("log-level"); !level.empty()) {
+    util::set_log_level(util::parse_log_level(level));  // throws on bad names
   }
   BenchOptions options;
   options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
@@ -22,6 +32,12 @@ std::optional<BenchOptions> parse_bench_options(int argc, const char* const* arg
   options.jobs = std::max(0, static_cast<int>(cli.get_int("jobs")));
   options.quick = cli.has_flag("quick");
   options.csv_path = cli.get("csv");
+  options.trace_path = cli.get("trace");
+  options.metrics_path = cli.get("metrics");
+  if (!options.trace_path.empty() || !options.metrics_path.empty()) {
+    options.obs = std::make_shared<ObsState>();
+    options.obs->want_trace = !options.trace_path.empty();
+  }
   return options;
 }
 
@@ -30,12 +46,36 @@ std::size_t effective_jobs(const BenchOptions& options) {
                           : exp::ThreadPool::default_jobs();
 }
 
+void write_observability(const BenchOptions& options) {
+  if (options.obs == nullptr) {
+    return;
+  }
+  if (!options.trace_path.empty()) {
+    obs::write_chrome_trace(options.trace_path, options.obs->traces, &options.obs->profiler);
+    std::cout << "[trace written to " << options.trace_path << " ("
+              << options.obs->traces.total_events() << " events)]\n";
+  }
+  if (!options.metrics_path.empty()) {
+    const obs::MetricsSnapshot snapshot = options.obs->registry.snapshot();
+    std::unique_ptr<exp::Sink> sink;
+    if (options.metrics_path.ends_with(".csv")) {
+      sink = std::make_unique<exp::CsvSink>(options.metrics_path);
+    } else {
+      sink = std::make_unique<exp::JsonlSink>(options.metrics_path);
+    }
+    exp::write_metrics_snapshot(snapshot, *sink);
+    sink->flush();
+    std::cout << "[metrics written to " << options.metrics_path << "]\n";
+  }
+}
+
 void emit_table(const util::Table& table, const BenchOptions& options) {
   table.print_text(std::cout);
   if (!options.csv_path.empty()) {
     table.write_csv_file(options.csv_path);
     std::cout << "\n[csv written to " << options.csv_path << "]\n";
   }
+  write_observability(options);
 }
 
 void print_banner(const std::string& experiment_id, const std::string& what) {

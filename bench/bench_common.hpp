@@ -1,21 +1,28 @@
 // Shared plumbing for the figure-reproduction bench binaries.
 //
 // Every bench accepts:
-//   --seed=<n>    base RNG seed (default 42)
-//   --runs=<n>    independent seeded repetitions to average (default 3)
-//   --jobs=<n>    worker threads for repetitions (default 0 = all cores)
-//   --quick       smaller workloads for smoke runs
-//   --csv=<path>  also write the table as CSV
+//   --seed=<n>        base RNG seed (default 42)
+//   --runs=<n>        independent seeded repetitions to average (default 3)
+//   --jobs=<n>        worker threads for repetitions (default 0 = all cores)
+//   --quick           smaller workloads for smoke runs
+//   --csv=<path>      also write the table as CSV
+//   --trace=<path>    write a Chrome trace-event JSON of the run
+//   --metrics=<path>  write the metrics-registry snapshot (jsonl/csv)
+//   --log-level=<l>   debug|info|warn|error|off
 // and prints the paper figure's rows/series as an aligned text table.
 //
 // Repetition loops run on an exp::ThreadPool via run_indexed below. Each
 // repetition owns its seed and its results land in index order, so the
 // printed tables are bit-identical to the old serial loops for any
-// --jobs value — parallelism only changes wall-clock.
+// --jobs value — parallelism only changes wall-clock. Tracing rides the
+// same guarantee: swarms pick the per-repetition recorder up from the
+// thread-local obs::TaskScope, draw no randomness for it, and therefore
+// cannot perturb the table.
 #pragma once
 
 #include <cstddef>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <type_traits>
@@ -24,17 +31,33 @@
 #include "bt/swarm.hpp"
 #include "exp/thread_pool.hpp"
 #include "model/params.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace mpbt::bench {
+
+/// Observability state shared by every run_indexed call of one bench
+/// process; allocated only when --trace or --metrics was given.
+struct ObsState {
+  obs::Registry registry;
+  obs::TraceCollector traces;
+  obs::WallProfiler profiler;
+  bool want_trace = false;  // collect events + worker spans, not just metrics
+  std::size_t next_task = 0;  // lane allocator across run_indexed calls
+};
 
 struct BenchOptions {
   std::uint64_t seed = 42;
   int runs = 3;
   int jobs = 0;  // 0 = all hardware threads
   bool quick = false;
-  std::string csv_path;  // empty = no CSV
+  std::string csv_path;      // empty = no CSV
+  std::string trace_path;    // empty = no Chrome trace
+  std::string metrics_path;  // empty = no metrics snapshot
+  std::shared_ptr<ObsState> obs;  // null unless trace/metrics requested
 };
 
 /// Worker-thread count for this run: --jobs, or every hardware thread.
@@ -44,14 +67,47 @@ std::size_t effective_jobs(const BenchOptions& options);
 /// returns the results in index order. The result type must be default-
 /// constructible. Aggregate on the caller side in index order and the
 /// output matches the serial loop exactly.
+///
+/// When options.obs is set, each index runs under an obs::TaskScope so
+/// any Swarm built inside fn feeds the registry (and, with --trace, a
+/// per-index recorder whose events land in the bench's trace file).
 template <typename Fn>
 auto run_indexed(const BenchOptions& options, int count, Fn&& fn)
     -> std::vector<std::invoke_result_t<Fn&, int>> {
   using R = std::invoke_result_t<Fn&, int>;
   std::vector<R> results(static_cast<std::size_t>(count));
+  ObsState* state = options.obs.get();
+  // Lanes must be unique across successive run_indexed calls within one
+  // bench; reserve a contiguous block up front (call sites are serial).
+  const std::size_t task_base = state != nullptr ? state->next_task : 0;
+  if (state != nullptr) {
+    state->next_task += static_cast<std::size_t>(count);
+  }
   exp::ThreadPool pool(effective_jobs(options));
-  exp::parallel_for_each(pool, static_cast<std::size_t>(count),
-                         [&](std::size_t i) { results[i] = fn(static_cast<int>(i)); });
+  if (state != nullptr && state->want_trace) {
+    pool.set_profiler(&state->profiler);
+  }
+  exp::parallel_for_each(pool, static_cast<std::size_t>(count), [&](std::size_t i) {
+    if (state == nullptr) {
+      results[i] = fn(static_cast<int>(i));
+      return;
+    }
+    std::optional<obs::TraceRecorder> recorder;
+    if (state->want_trace) {
+      recorder.emplace();
+      recorder->set_registry(&state->registry);
+    }
+    const obs::TaskScope scope(recorder.has_value() ? &*recorder : nullptr, &state->registry);
+    results[i] = fn(static_cast<int>(i));
+    if (recorder.has_value()) {
+      obs::TaskTrace trace;
+      trace.task = task_base + i;
+      trace.label = "rep " + std::to_string(task_base + i);
+      trace.events = recorder->events();
+      trace.dropped = recorder->dropped();
+      state->traces.add(std::move(trace));
+    }
+  });
   return results;
 }
 
@@ -60,8 +116,15 @@ std::optional<BenchOptions> parse_bench_options(int argc, const char* const* arg
                                                 const std::string& name,
                                                 const std::string& description);
 
-/// Prints the table to stdout and writes CSV when requested.
+/// Prints the table to stdout and writes CSV when requested. Also
+/// finalizes observability output: --trace and --metrics files are
+/// written here, after all run_indexed calls have completed.
 void emit_table(const util::Table& table, const BenchOptions& options);
+
+/// Writes the Chrome trace and/or metrics snapshot for this run; no-op
+/// when observability was not requested. emit_table calls this; benches
+/// that never print a table can call it directly.
+void write_observability(const BenchOptions& options);
 
 /// Prints a header banner naming the paper artifact being reproduced.
 void print_banner(const std::string& experiment_id, const std::string& what);

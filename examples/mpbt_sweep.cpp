@@ -2,6 +2,7 @@
 //
 //   mpbt_sweep <scenario> [--jobs=N] [--seed=S] [--runs=R] [--quick]
 //              [--out=PATH] [--format=jsonl|csv]
+//              [--trace=PATH] [--metrics=PATH] [--log-level=LEVEL]
 //   mpbt_sweep --list
 //
 // Fans the scenario's parameter grid × --runs repetitions over a worker
@@ -10,16 +11,28 @@
 // so for any --jobs value the SORTED output is byte-identical:
 //
 //   mpbt_sweep efficiency_vs_k --jobs=8 --out=sweep.jsonl && sort sweep.jsonl
+//
+// --trace writes a Chrome trace-event JSON (load at ui.perfetto.dev):
+// sim-time peer lanes per task plus wall-time worker lanes. --metrics
+// writes the end-of-run registry snapshot as JSONL (or CSV when the path
+// ends in .csv). Tracing never perturbs results: scenario records are
+// byte-identical with and without it (see docs/OBSERVABILITY.md).
 #include <algorithm>
 #include <cstdint>
 #include <iostream>
 #include <memory>
 #include <string>
 
+#include "exp/metrics_export.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
 #include "exp/sink.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
+#include "util/logging.hpp"
 
 namespace {
 
@@ -46,6 +59,10 @@ int main(int argc, char** argv) {
   cli.add_option("format", "jsonl or csv (default: by --out extension, else jsonl)", "");
   cli.add_flag("list", "list the registered scenarios and exit");
   cli.add_flag("no-progress", "suppress the stderr progress/ETA reporter");
+  cli.add_option("trace", "write a Chrome trace-event JSON to this path", "");
+  cli.add_option("metrics", "write the metrics snapshot to this path (jsonl, or csv by extension)",
+                 "");
+  cli.add_option("log-level", "debug|info|warn|error|off (default: warn, or $MPBT_LOG)", "");
 
   try {
     if (!cli.parse(argc, argv)) {
@@ -72,12 +89,37 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (const std::string level = cli.get("log-level"); !level.empty()) {
+    try {
+      util::set_log_level(util::parse_log_level(level));
+    } catch (const std::exception& error) {
+      std::cerr << "mpbt_sweep: " << error.what() << "\n";
+      return 2;
+    }
+  }
+
   exp::SweepOptions options;
   options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   options.runs = static_cast<int>(std::max(1LL, cli.get_int("runs")));
   options.jobs = static_cast<int>(cli.get_int("jobs"));
   options.quick = cli.has_flag("quick");
   options.out = cli.get("out");
+
+  // Observability: --trace collects sim-time events + worker spans;
+  // --metrics only needs the registry. All three stay null when unused,
+  // so the hot path branches on nullptr and nothing else.
+  const std::string trace_path = cli.get("trace");
+  const std::string metrics_path = cli.get("metrics");
+  obs::Registry registry;
+  obs::TraceCollector collector;
+  obs::WallProfiler profiler;
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    options.observability.registry = &registry;
+  }
+  if (!trace_path.empty()) {
+    options.observability.traces = &collector;
+    options.observability.profiler = &profiler;
+  }
 
   std::string format = cli.get("format");
   if (format.empty()) {
@@ -105,6 +147,26 @@ int main(int argc, char** argv) {
                                    scenario->name);
     const exp::SweepSummary summary = runner.run(*scenario, sink.get(), &progress);
     progress.finish();
+
+    if (!trace_path.empty()) {
+      obs::write_chrome_trace(trace_path, collector, &profiler);
+      std::cerr << "[" << scenario->name << "] trace: " << collector.total_events()
+                << " events -> " << trace_path << "\n";
+    }
+    if (!metrics_path.empty()) {
+      std::unique_ptr<exp::Sink> metrics_sink;
+      if (metrics_path.ends_with(".csv")) {
+        metrics_sink = std::make_unique<exp::CsvSink>(metrics_path);
+      } else {
+        metrics_sink = std::make_unique<exp::JsonlSink>(metrics_path);
+      }
+      exp::write_metrics_snapshot(summary.metrics, *metrics_sink);
+      metrics_sink->flush();
+      std::cerr << "[" << scenario->name << "] metrics: "
+                << summary.metrics.counters.size() + summary.metrics.gauges.size() +
+                       summary.metrics.histograms.size()
+                << " metrics -> " << metrics_path << "\n";
+    }
 
     std::cerr << "[" << scenario->name << "] " << summary.points << " points x " << options.runs
               << " runs = " << summary.tasks << " tasks on " << summary.jobs << " workers ("

@@ -5,24 +5,29 @@
 # cores); the first failure kills the remaining jobs and names the binary.
 #
 # Usage: scripts/run_all_figures.sh [build-dir] [out-dir] [--quick] [--jobs=N]
+#                                   [--log-level=LEVEL]
 #
 # Each binary's stdout table goes to $OUT_DIR/<name>.txt and its stderr to
 # $OUT_DIR/<name>.err (jobs run concurrently, so stderr cannot share the
-# terminal without interleaving).
+# terminal without interleaving). --log-level is forwarded to every figure
+# binary (perf_microbench excepted — google-benchmark owns its flags). A
+# per-binary wall-time summary table prints at the end.
 set -euo pipefail
 
 BUILD_DIR="build"
 OUT_DIR="out"
 QUICK=0
 JOBS="$(nproc 2>/dev/null || echo 2)"
+LOG_LEVEL=""
 
 positional=()
 for arg in "$@"; do
   case "$arg" in
     --quick) QUICK=1 ;;
     --jobs=*) JOBS="${arg#--jobs=}" ;;
+    --log-level=*) LOG_LEVEL="${arg#--log-level=}" ;;
     -*)
-      echo "usage: $0 [build-dir] [out-dir] [--quick] [--jobs=N]" >&2
+      echo "usage: $0 [build-dir] [out-dir] [--quick] [--jobs=N] [--log-level=LEVEL]" >&2
       exit 2
       ;;
     *) positional+=("$arg") ;;
@@ -48,10 +53,14 @@ fi
 STATUS_DIR="$(mktemp -d)"
 trap 'rm -rf "$STATUS_DIR"' EXIT
 
-# Runs one binary, recording its exit status under $STATUS_DIR/<name> so
-# the parent can attribute failures (wait -n reports status, not which job).
+# Runs one binary, recording its exit status under $STATUS_DIR/<name> and
+# its wall-clock seconds under $STATUS_DIR/<name>.time so the parent can
+# attribute failures (wait -n reports status, not which job) and print a
+# timing summary.
 run_bench() {
   local name="$1" bench="$2" rc=0
+  local start_s
+  start_s="$(date +%s.%N)"
   if [ "$name" = perf_microbench ]; then
     # Bare-double form: accepted by every google-benchmark version (the
     # "0.01s" suffix form only parses on >= 1.8).
@@ -59,9 +68,12 @@ run_bench() {
   else
     local args=(--csv="$OUT_DIR/$name.csv")
     [ "$QUICK" = 1 ] && args+=(--quick)
+    [ -n "$LOG_LEVEL" ] && args+=(--log-level="$LOG_LEVEL")
     "$bench" "${args[@]}" > "$OUT_DIR/$name.txt" 2> "$OUT_DIR/$name.err" || rc=$?
   fi
   echo "$rc" > "$STATUS_DIR/$name"
+  awk -v a="$start_s" -v b="$(date +%s.%N)" 'BEGIN { printf "%.2f\n", b - a }' \
+    > "$STATUS_DIR/$name.time"
   return "$rc"
 }
 
@@ -71,6 +83,7 @@ check_failures() {
   local status_file rc name
   for status_file in "$STATUS_DIR"/*; do
     [ -f "$status_file" ] || continue
+    case "$status_file" in *.time) continue ;; esac
     rc="$(cat "$status_file")"
     if [ "$rc" != 0 ]; then
       name="$(basename "$status_file")"
@@ -104,6 +117,17 @@ while [ "$active" -gt 0 ]; do
   active=$((active - 1))
   check_failures
 done
+
+echo
+echo "wall time per binary:"
+{
+  printf '  %-28s %10s\n' "binary" "seconds"
+  for time_file in "$STATUS_DIR"/*.time; do
+    [ -f "$time_file" ] || continue
+    name="$(basename "$time_file" .time)"
+    printf '  %-28s %10s\n' "$name" "$(cat "$time_file")"
+  done | sort -k2 -rn
+} | tee "$OUT_DIR/wall_times.txt"
 
 echo
 echo "outputs in $OUT_DIR/ — text tables (*.txt) and CSV series (*.csv)."

@@ -43,6 +43,10 @@ struct Peer {
   bool shaken = false;
   bool instrumented = false;
 
+  /// Last phase classification emitted to the trace recorder (255 =
+  /// never classified). Only maintained while tracing is enabled.
+  std::uint8_t trace_phase = 255;
+
   /// Block-granular transfer state: per connection, the piece currently
   /// being downloaded from that partner and how many of its blocks have
   /// arrived. Only used when blocks_per_piece > 1; entries are discarded

@@ -5,6 +5,7 @@
 #include <span>
 
 #include "bt/piece_selection.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace mpbt::bt {
@@ -13,7 +14,8 @@ Swarm::Swarm(SwarmConfig config)
     : config_(std::move(config)),
       rng_(config_.seed),
       metrics_(config_.num_pieces),
-      piece_counts_(config_.num_pieces, 0) {
+      piece_counts_(config_.num_pieces, 0),
+      trace_(obs::current_trace()) {
   config_.validate();
   // Initial seeds hold the complete file.
   for (std::uint32_t i = 0; i < config_.initial_seeds; ++i) {
@@ -110,6 +112,9 @@ PeerId Swarm::create_peer(const std::vector<double>& piece_probs, bool as_seed) 
   }
   live_.push_back(id);
   tracker_.add_peer(id);
+  if (trace_ != nullptr) {
+    trace_->peer_join(round_, id, as_seed);
+  }
   return id;
 }
 
@@ -197,6 +202,9 @@ void Swarm::connect(Peer& a, Peer& b) {
   MPBT_ASSERT(a.id != b.id);
   a.connections.insert(b.id);
   b.connections.insert(a.id);
+  if (trace_ != nullptr) {
+    trace_->unchoke(round_, a.id, b.id);
+  }
 }
 
 void Swarm::disconnect(Peer& a, Peer& b) {
@@ -206,6 +214,9 @@ void Swarm::disconnect(Peer& a, Peer& b) {
   // be served and we do not model cross-connection block resume).
   a.inflight.erase(b.id);
   b.inflight.erase(a.id);
+  if (trace_ != nullptr) {
+    trace_->choke(round_, a.id, b.id);
+  }
 }
 
 void Swarm::acquire_piece(Peer& p, PieceIndex piece, bool add_bytes) {
@@ -228,11 +239,17 @@ void Swarm::acquire_piece(Peer& p, PieceIndex piece, bool add_bytes) {
   p.acquired_rounds.push_back(round_);
   metrics_.record_acquisition(ordinal, static_cast<double>(round_ - p.joined + 1),
                               static_cast<double>(round_ - prev_round + 1));
+  if (trace_ != nullptr) {
+    trace_->piece_acquired(round_, p.id, piece);
+  }
 }
 
 void Swarm::depart(Peer& p) {
   MPBT_ASSERT(!departed_[p.id]);
   departed_[p.id] = true;
+  if (trace_ != nullptr) {
+    trace_->peer_leave(round_, p.id);
+  }
   tracker_.remove_peer(p.id);
   for (PeerId nb : p.neighbors.as_vector()) {
     if (nb < peers_.size() && peers_[nb] != nullptr) {
@@ -552,6 +569,9 @@ void Swarm::phase_prune_connections() {
           std::find(p.potential.begin(), p.potential.end(), other) != p.potential.end();
       if (!still_interesting) {
         disconnect(p, *peers_[other]);
+        if (trace_ != nullptr) {
+          trace_->connection_drop(round_, id, other, obs::DropReason::kInterestLost);
+        }
       }
     }
   }
@@ -591,7 +611,11 @@ void Swarm::phase_establish_connections() {
         continue;  // filled up since candidate listing
       }
       ++attempts;
-      if (rng_.bernoulli(config_.connect_success_prob)) {
+      const bool ok = rng_.bernoulli(config_.connect_success_prob);
+      if (trace_ != nullptr) {
+        trace_->connection_attempt(round_, id, other, ok);
+      }
+      if (ok) {
         connect(p, *peers_[other]);
         if (config_.handshake_delay) {
           p.fresh_connections.insert(other);
@@ -683,6 +707,9 @@ void Swarm::establish_rate_based() {
     }
     if (victim != kNoPeer && is_live(victim)) {
       disconnect(p, *peers_[victim]);
+      if (trace_ != nullptr) {
+        trace_->connection_drop(round_, id, victim, obs::DropReason::kChokeVictim);
+      }
     }
   }
 
@@ -708,7 +735,11 @@ void Swarm::establish_rate_based() {
         continue;
       }
       ++attempts;
-      if (rng_.bernoulli(config_.connect_success_prob)) {
+      const bool ok = rng_.bernoulli(config_.connect_success_prob);
+      if (trace_ != nullptr) {
+        trace_->connection_attempt(round_, id, other, ok);
+      }
+      if (ok) {
         connect(p, *peers_[other]);
         if (config_.handshake_delay) {
           p.fresh_connections.insert(other);
@@ -744,7 +775,11 @@ void Swarm::establish_rate_based() {
         continue;
       }
       ++attempts;
-      if (rng_.bernoulli(config_.connect_success_prob)) {
+      const bool ok = rng_.bernoulli(config_.connect_success_prob);
+      if (trace_ != nullptr) {
+        trace_->connection_attempt(round_, id, other, ok);
+      }
+      if (ok) {
         connect(p, *peers_[other]);
         if (config_.handshake_delay) {
           p.fresh_connections.insert(other);
@@ -793,6 +828,9 @@ void Swarm::phase_exchange() {
       if (!a_ok || !b_ok) {
         // Strict tit-for-tat at block level: nothing to reciprocate.
         disconnect(a, b);
+        if (trace_ != nullptr) {
+          trace_->connection_drop(round_, ida, idb, obs::DropReason::kNothingToTrade);
+        }
         continue;
       }
       deliver_block(a, idb);
@@ -818,6 +856,9 @@ void Swarm::phase_exchange() {
     if (!piece_for_a.has_value() || !piece_for_b.has_value()) {
       // Strict tit-for-tat: no one-sided transfers; the connection fails.
       disconnect(a, b);
+      if (trace_ != nullptr) {
+        trace_->connection_drop(round_, ida, idb, obs::DropReason::kNothingToTrade);
+      }
       continue;
     }
     acquire_piece(a, *piece_for_a);
@@ -892,6 +933,9 @@ void Swarm::phase_completions() {
     if (p.is_leecher() && p.pieces.all()) {
       metrics_.record_completion(static_cast<double>(round_ - p.joined + 1),
                                  p.bandwidth_class);
+      if (trace_ != nullptr) {
+        trace_->peer_complete(round_, id, static_cast<double>(round_ - p.joined + 1));
+      }
       if (p.instrumented) {
         ClientRecord& record = metrics_.client_record(id, p.joined);
         record.completed = true;
@@ -949,6 +993,9 @@ void Swarm::phase_shake() {
     // ...and fetch a fresh random peer set from the tracker.
     assign_initial_neighbors(id);
     p.shaken = true;
+    if (trace_ != nullptr) {
+      trace_->peer_set_shake(round_, id);
+    }
   }
 }
 
@@ -993,6 +1040,11 @@ void Swarm::phase_record_metrics() {
                                 static_cast<std::uint32_t>(p.pieces.count()),
                                 static_cast<std::uint32_t>(p.potential.size()),
                                 config_.num_pieces);
+    if (trace_ != nullptr) {
+      trace_phase_transition(*peers_[id], static_cast<std::uint32_t>(p.connections.size()),
+                             static_cast<std::uint32_t>(p.pieces.count()),
+                             static_cast<std::uint32_t>(p.potential.size()));
+    }
     // p_init: potential ratio observed on the round the first piece arrived.
     if (p.pieces.count() == 1 && !p.acquired_rounds.empty() &&
         p.acquired_rounds.front() == round_) {
@@ -1009,11 +1061,44 @@ void Swarm::phase_record_metrics() {
     }
   }
 
-  metrics_.record_round(round_, leechers, seeds, entropy(),
-                        eff_trading_n == 0 ? 0.0 : eff_trading_sum / eff_trading_n,
-                        eff_all_n == 0 ? 0.0 : eff_all_sum / eff_all_n,
-                        eff_transfer_n == 0 ? 0.0 : eff_transfer_sum / eff_transfer_n);
+  record_round_sample(leechers, seeds, entropy(),
+                      eff_trading_n == 0 ? 0.0 : eff_trading_sum / eff_trading_n,
+                      eff_all_n == 0 ? 0.0 : eff_all_sum / eff_all_n,
+                      eff_transfer_n == 0 ? 0.0 : eff_transfer_sum / eff_transfer_n);
   tracker_.record_stats();
+}
+
+void Swarm::record_round_sample(std::size_t leechers, std::size_t seeds, double ent,
+                                double eff_trading, double eff_all,
+                                double eff_transfer) {
+  metrics_.record_round(round_, leechers, seeds, ent, eff_trading, eff_all,
+                        eff_transfer);
+  if (trace_ != nullptr) {
+    trace_->round_sample(round_, leechers, seeds, ent, eff_transfer);
+  }
+}
+
+void Swarm::trace_phase_transition(Peer& p, std::uint32_t n, std::uint32_t b,
+                                   std::uint32_t i) {
+  // Mirror of model::classify_phase on (n, b, i), matching
+  // SwarmMetrics::record_phase_round (kept local so bt does not depend
+  // on the model library): 0 = bootstrap, 1 = efficient, 2 = last, 3 = done.
+  std::uint8_t code;
+  if (b >= config_.num_pieces) {
+    code = 3;
+  } else if (b == 0 || (b + n <= 1 && i == 0)) {
+    code = 0;
+  } else if (i == 0 && n == 0) {
+    code = 2;
+  } else {
+    code = 1;
+  }
+  if (p.trace_phase != code) {
+    trace_->phase_transition(round_, p.id,
+                             p.trace_phase == 255 ? -1 : static_cast<int>(p.trace_phase),
+                             static_cast<int>(code));
+    p.trace_phase = code;
+  }
 }
 
 void Swarm::step() {

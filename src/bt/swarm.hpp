@@ -28,6 +28,10 @@
 #include "bt/tracker.hpp"
 #include "numeric/rng.hpp"
 
+namespace mpbt::obs {
+class TraceRecorder;
+}
+
 namespace mpbt::bt {
 
 class Swarm {
@@ -66,6 +70,15 @@ class Swarm {
   /// Swarm entropy E = min_j d_j / max_j d_j (Section 6); 0 when some piece
   /// has no replica while another does; 1 for an empty swarm.
   double entropy() const;
+
+  /// Attaches (or detaches, with nullptr) a structured event-trace
+  /// recorder. The constructor picks up obs::current_trace()
+  /// automatically, so task-scoped tracing (obs::TaskScope) needs no
+  /// explicit call. Tracing is observational only: it draws no
+  /// randomness, so results are identical with tracing on or off, and
+  /// the disabled path is a branch on this nullptr.
+  void set_trace_recorder(obs::TraceRecorder* trace) { trace_ = trace; }
+  obs::TraceRecorder* trace_recorder() const { return trace_; }
 
   /// Marks the next arriving peer for detailed per-round trace recording.
   void instrument_next_arrival() { instrument_next_ = true; }
@@ -119,6 +132,18 @@ class Swarm {
   void phase_shake();
   void phase_record_metrics();
 
+  /// Single fan-out point for the per-round sample: feeds SwarmMetrics
+  /// and, when tracing is attached, the trace recorder (which in turn
+  /// feeds the metrics registry) — one call site, so the per-round
+  /// series and registry snapshots cannot drift apart.
+  void record_round_sample(std::size_t leechers, std::size_t seeds, double ent,
+                           double eff_trading, double eff_all, double eff_transfer);
+
+  /// Emits a phase-transition trace event when the classification of
+  /// (n, b, i) changed since the last round (tracing only).
+  void trace_phase_transition(Peer& p, std::uint32_t n, std::uint32_t b,
+                              std::uint32_t i);
+
   std::vector<PeerId> shuffled_live_leechers();
 
   SwarmConfig config_;
@@ -133,6 +158,8 @@ class Swarm {
 
   Round round_ = 0;
   bool instrument_next_ = false;
+  /// Structured event trace; null = tracing disabled (the common case).
+  obs::TraceRecorder* trace_ = nullptr;
 
   // Per-round working state.
   std::unordered_map<PeerId, std::uint32_t> seed_budget_;

@@ -1,17 +1,24 @@
 #include "des/engine.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace mpbt::des {
 
 EventHandle Engine::schedule_at(double time, EventCallback callback) {
   util::throw_if_invalid(time < now_, "Engine::schedule_at requires time >= now()");
-  return queue_.push(time, std::move(callback));
+  EventHandle handle = queue_.push(time, std::move(callback));
+  queue_high_water_ = std::max(queue_high_water_, queue_.size());
+  if (observer_ != nullptr) {
+    observer_->on_schedule(time);
+  }
+  return handle;
 }
 
 EventHandle Engine::schedule_in(double delay, EventCallback callback) {
   util::throw_if_invalid(delay < 0.0, "Engine::schedule_in requires delay >= 0");
-  return queue_.push(now_ + delay, std::move(callback));
+  return schedule_at(now_ + delay, std::move(callback));
 }
 
 bool Engine::step() {
@@ -23,6 +30,9 @@ bool Engine::step() {
   now_ = time;
   ++executed_;
   callback();
+  if (observer_ != nullptr) {
+    observer_->on_execute(now_);
+  }
   return true;
 }
 

@@ -5,12 +5,26 @@
 // is hit. The BitTorrent swarm and coupon simulators are built on this.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 
 #include "des/event_queue.hpp"
 
 namespace mpbt::des {
+
+/// Observer hooks for engine activity. Non-owning; attach with
+/// Engine::set_observer. Callbacks run synchronously on the engine's
+/// thread and must not schedule-or-cancel reentrantly from on_schedule.
+/// The obs layer (or a test) implements this to feed a metrics registry
+/// without the engine depending on it.
+struct EngineObserver {
+  virtual ~EngineObserver() = default;
+  /// An event was scheduled at absolute `time`.
+  virtual void on_schedule(double time) { (void)time; }
+  /// An event finished executing; `now` is the engine clock.
+  virtual void on_execute(double now) { (void)now; }
+};
 
 class Engine {
  public:
@@ -23,6 +37,14 @@ class Engine {
 
   /// Number of events executed so far.
   std::uint64_t events_executed() const { return executed_; }
+
+  /// High-water mark of the pending-event queue (counts lazily cancelled
+  /// entries until they surface, like EventQueue::size).
+  std::size_t queue_high_water() const { return queue_high_water_; }
+
+  /// Attaches an observer (nullptr detaches). Observation only: hooks
+  /// must not change what the engine would compute.
+  void set_observer(EngineObserver* observer) { observer_ = observer; }
 
   /// Schedules at absolute time `time` (must be >= now()).
   EventHandle schedule_at(double time, EventCallback callback);
@@ -47,6 +69,8 @@ class Engine {
   EventQueue queue_;
   double now_ = 0.0;
   std::uint64_t executed_ = 0;
+  std::size_t queue_high_water_ = 0;
+  EngineObserver* observer_ = nullptr;
 };
 
 }  // namespace mpbt::des

@@ -1,0 +1,62 @@
+#include "exp/metrics_export.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace mpbt::exp {
+
+namespace {
+
+Record base_record(std::string kind, const std::string& name) {
+  Record record;
+  record.set("kind", std::move(kind));
+  record.set("name", name);
+  record.set("value", 0.0);
+  record.set("count", static_cast<long long>(0));
+  record.set("sum", 0.0);
+  record.set("buckets", std::string());
+  return record;
+}
+
+}  // namespace
+
+std::string format_buckets(const obs::HistogramSnapshot& hist) {
+  std::string out;
+  for (std::size_t i = 0; i < hist.buckets.size(); ++i) {
+    if (i > 0) {
+      out += '|';
+    }
+    if (i < hist.bounds.size()) {
+      out += format_value(hist.bounds[i]);
+    } else {
+      out += "+inf";
+    }
+    out += ':';
+    out += std::to_string(hist.buckets[i]);
+  }
+  return out;
+}
+
+void write_metrics_snapshot(const obs::MetricsSnapshot& snapshot, Sink& sink) {
+  for (const obs::CounterSnapshot& counter : snapshot.counters) {
+    Record record = base_record("counter", counter.name);
+    record.set("value", static_cast<double>(counter.value));
+    record.set("count", static_cast<long long>(counter.value));
+    sink.write(record);
+  }
+  for (const obs::GaugeSnapshot& gauge : snapshot.gauges) {
+    Record record = base_record("gauge", gauge.name);
+    record.set("value", gauge.value);
+    sink.write(record);
+  }
+  for (const obs::HistogramSnapshot& hist : snapshot.histograms) {
+    Record record = base_record("histogram", hist.name);
+    record.set("value", hist.mean());
+    record.set("count", static_cast<long long>(hist.count));
+    record.set("sum", hist.sum);
+    record.set("buckets", format_buckets(hist));
+    sink.write(record);
+  }
+}
+
+}  // namespace mpbt::exp

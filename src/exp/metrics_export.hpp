@@ -1,0 +1,24 @@
+// Bridges obs::MetricsSnapshot into the exp result sinks.
+//
+// Lives in exp (not obs) because obs sits below the sink layer in the
+// dependency graph. Every metric becomes one Record with a UNIFORM
+// schema — kind/name/value/count/sum/buckets — so the rows satisfy
+// CsvSink's same-columns invariant as well as JSONL. Fields that do not
+// apply to a kind are zero / empty, never omitted.
+#pragma once
+
+#include "exp/sink.hpp"
+#include "obs/metrics.hpp"
+
+namespace mpbt::exp {
+
+/// Encodes histogram buckets as "edge:count|edge:count|...|+inf:count"
+/// (one token per bucket, inclusive upper edges, final token = overflow).
+std::string format_buckets(const obs::HistogramSnapshot& hist);
+
+/// Writes the snapshot to the sink, one record per metric, ordered
+/// counters -> gauges -> histograms (each name-sorted, as the snapshot
+/// already is). Does not flush; the caller owns the sink lifecycle.
+void write_metrics_snapshot(const obs::MetricsSnapshot& snapshot, Sink& sink);
+
+}  // namespace mpbt::exp

@@ -1,10 +1,14 @@
 #include "exp/runner.hpp"
 
 #include <chrono>
+#include <optional>
+#include <sstream>
 #include <utility>
 
 #include "exp/seed_stream.hpp"
 #include "exp/thread_pool.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace mpbt::exp {
@@ -18,6 +22,7 @@ SweepSummary SweepRunner::run(const Scenario& scenario, Sink* sink,
                               ProgressReporter* progress) const {
   const std::vector<ParamPoint> points = scenario.make_points(options_);
   const auto runs = static_cast<std::size_t>(options_.runs);
+  const obs::Observability& obs = options_.observability;
 
   SweepSummary summary;
   summary.points = points.size();
@@ -26,14 +31,37 @@ SweepSummary SweepRunner::run(const Scenario& scenario, Sink* sink,
       options_.jobs > 0 ? static_cast<std::size_t>(options_.jobs) : ThreadPool::default_jobs();
   summary.records.resize(summary.tasks);
 
+  // Per-task metric scope: handles resolved once, shared by all workers.
+  obs::Histogram* task_seconds = nullptr;
+  obs::Counter* tasks_completed = nullptr;
+  if (obs.registry != nullptr) {
+    task_seconds = &obs.registry->histogram(
+        "sweep.task_seconds",
+        {0.001, 0.01, 0.05, 0.1, 0.5, 1, 2, 5, 10, 30, 60, 120, 300});
+    tasks_completed = &obs.registry->counter("sweep.tasks_completed");
+  }
+
   const auto start = std::chrono::steady_clock::now();
   {
     ThreadPool pool(summary.jobs);
+    if (obs.profiler != nullptr) {
+      pool.set_profiler(obs.profiler);
+    }
     parallel_for_each(pool, summary.tasks, [&](std::size_t task) {
       const std::size_t point_index = task / runs;
       const std::size_t rep = task % runs;
       const ParamPoint& point = points[point_index];
       const std::uint64_t seed = derive_seed(options_.seed, point_index, rep);
+
+      // Task-scoped observability: this task's swarms pick the recorder
+      // up from the thread-local scope at construction.
+      std::optional<obs::TraceRecorder> recorder;
+      if (obs.traces != nullptr) {
+        recorder.emplace(obs.trace_capacity);
+        recorder->set_registry(obs.registry);
+      }
+      const obs::TaskScope scope(recorder.has_value() ? &*recorder : nullptr,
+                                 obs.registry);
 
       Record record;
       record.set("scenario", scenario.name);
@@ -45,9 +73,24 @@ SweepSummary SweepRunner::run(const Scenario& scenario, Sink* sink,
       for (const auto& [key, value] : point.params) {
         record.set(key, value);
       }
-      Record measured = scenario.run(point, seed, options_);
-      for (auto& [key, value] : measured.fields) {
-        record.set(std::move(key), std::move(value));
+      {
+        const obs::ScopedTimer timer(task_seconds);
+        Record measured = scenario.run(point, seed, options_);
+        for (auto& [key, value] : measured.fields) {
+          record.set(std::move(key), std::move(value));
+        }
+      }
+      if (tasks_completed != nullptr) {
+        tasks_completed->add();
+      }
+      if (recorder.has_value()) {
+        obs::TaskTrace trace;
+        trace.task = task;
+        trace.label = scenario.name + " point=" + std::to_string(point_index) +
+                      " rep=" + std::to_string(rep);
+        trace.events = recorder->events();
+        trace.dropped = recorder->dropped();
+        obs.traces->add(std::move(trace));
       }
 
       if (sink != nullptr) {
@@ -63,6 +106,42 @@ SweepSummary SweepRunner::run(const Scenario& scenario, Sink* sink,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   if (sink != nullptr) {
     sink->flush();
+  }
+
+  if (obs.registry != nullptr) {
+    summary.metrics = obs.registry->snapshot();
+    if (progress != nullptr) {
+      // Fold the observability snapshot into the progress report so the
+      // final stderr line carries utilization next to the ETA history.
+      std::ostringstream note;
+      note << "obs: " << summary.metrics.counters.size() << " counters, "
+           << summary.metrics.histograms.size() << " histograms";
+      for (const auto& hist : summary.metrics.histograms) {
+        if (hist.name == "sweep.task_seconds" && hist.count > 0) {
+          note << "; task wall p50<=" << hist.quantile(0.5) << "s p95<="
+               << hist.quantile(0.95) << "s";
+        }
+      }
+      if (obs.traces != nullptr) {
+        note << "; trace events " << obs.traces->total_events();
+        if (obs.traces->total_dropped() > 0) {
+          note << " (" << obs.traces->total_dropped() << " dropped)";
+        }
+      }
+      if (obs.profiler != nullptr) {
+        const auto workers = obs.profiler->worker_stats();
+        double busy = 0.0;
+        for (const auto& w : workers) {
+          busy += w.busy_seconds;
+        }
+        const double wall = summary.seconds * static_cast<double>(summary.jobs);
+        if (wall > 0.0) {
+          note << "; worker utilization " << static_cast<int>(100.0 * busy / wall)
+               << "%";
+        }
+      }
+      progress->annotate(note.str());
+    }
   }
   return summary;
 }

@@ -14,6 +14,7 @@
 
 #include "exp/scenario.hpp"
 #include "exp/sink.hpp"
+#include "obs/metrics.hpp"
 
 namespace mpbt::exp {
 
@@ -23,6 +24,9 @@ struct SweepSummary {
   std::size_t jobs = 0;         ///< worker threads actually used
   double seconds = 0.0;         ///< wall-clock for the parallel region
   std::vector<Record> records;  ///< one per task, in task order
+  /// Registry snapshot taken after all tasks joined (empty when no
+  /// registry was attached via SweepOptions::observability).
+  obs::MetricsSnapshot metrics;
 };
 
 class SweepRunner {

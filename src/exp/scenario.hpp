@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "exp/sink.hpp"
+#include "obs/observability.hpp"
 
 namespace mpbt::exp {
 
@@ -32,6 +33,10 @@ struct SweepOptions {
   int jobs = 0;             ///< worker threads; 0 = all hardware threads
   bool quick = false;       ///< smaller workloads for smoke runs
   std::string out;          ///< output path; empty = stdout
+  /// Tracing / metrics / profiling sinks (all off by default). Sim-time
+  /// traces depend only on each task's seed, so output — including the
+  /// scenario records — is identical whether or not this is enabled.
+  obs::Observability observability;
 };
 
 /// One point of a scenario's parameter grid. Parameters are ordered

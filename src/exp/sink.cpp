@@ -229,6 +229,11 @@ void ProgressReporter::task_done() {
   os_->flush();
 }
 
+void ProgressReporter::annotate(std::string line) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  annotations_.push_back(std::move(line));
+}
+
 void ProgressReporter::finish() {
   if (os_ == nullptr) {
     return;
@@ -238,8 +243,11 @@ void ProgressReporter::finish() {
   std::ostringstream line;
   line << "[" << label_ << "] done: " << completed_.load() << " tasks in " << std::fixed
        << std::setprecision(2) << elapsed << "s\n";
-  const std::string text = line.str();
   const std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::string& note : annotations_) {
+    line << "[" << label_ << "] " << note << "\n";
+  }
+  const std::string text = line.str();
   os_->write(text.data(), static_cast<std::streamsize>(text.size()));
   os_->flush();
 }

@@ -101,7 +101,12 @@ class ProgressReporter {
   /// Marks one task complete; prints "label: done/total (pct%) eta Xs".
   void task_done();
 
-  /// Prints the final elapsed-time line.
+  /// Queues an extra line (e.g. an observability summary) that finish()
+  /// prints after the elapsed-time line. Thread-safe; no-op output-wise
+  /// when the reporter is silent.
+  void annotate(std::string line);
+
+  /// Prints the final elapsed-time line plus any queued annotations.
   void finish();
 
   std::size_t completed() const { return completed_.load(); }
@@ -114,6 +119,7 @@ class ProgressReporter {
   std::chrono::steady_clock::time_point start_;
   std::mutex mutex_;
   std::size_t last_percent_reported_ = 0;
+  std::vector<std::string> annotations_;  // guarded by mutex_
 };
 
 }  // namespace mpbt::exp

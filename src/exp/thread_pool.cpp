@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profile.hpp"
 #include "util/assert.hpp"
 
 namespace mpbt::exp {
@@ -10,7 +11,8 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   const std::size_t n = std::max<std::size_t>(1, num_threads);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this]() { worker_loop(); });
+    workers_.emplace_back(
+        [this, i]() { worker_loop(static_cast<std::uint32_t>(i)); });
   }
 }
 
@@ -29,18 +31,30 @@ std::size_t ThreadPool::default_jobs() {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
+void ThreadPool::set_profiler(obs::WallProfiler* profiler) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MPBT_ASSERT_MSG(queue_.empty(), "ThreadPool::set_profiler with tasks queued");
+  profiler_ = profiler;
+}
+
 void ThreadPool::enqueue(std::function<void()> job) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     MPBT_ASSERT_MSG(!stopping_, "ThreadPool::submit after destruction began");
-    queue_.push(std::move(job));
+    Job item;
+    item.fn = std::move(job);
+    if (profiler_ != nullptr) {
+      item.enqueue_us = profiler_->now_us();
+    }
+    queue_.push(std::move(item));
   }
   cv_.notify_one();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::uint32_t worker_index) {
   for (;;) {
-    std::function<void()> job;
+    Job job;
+    obs::WallProfiler* profiler = nullptr;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
@@ -49,8 +63,20 @@ void ThreadPool::worker_loop() {
       }
       job = std::move(queue_.front());
       queue_.pop();
+      profiler = profiler_;
     }
-    job();  // packaged_task captures exceptions into the future
+    if (profiler == nullptr) {
+      job.fn();  // packaged_task captures exceptions into the future
+      continue;
+    }
+    const std::int64_t start_us = profiler->now_us();
+    job.fn();
+    obs::TaskSpan span;
+    span.worker = worker_index;
+    span.start_us = start_us;
+    span.duration_us = profiler->now_us() - start_us;
+    span.queue_wait_us = start_us - job.enqueue_us;
+    profiler->record(std::move(span));
   }
 }
 

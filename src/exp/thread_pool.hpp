@@ -16,6 +16,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <future>
@@ -26,6 +27,10 @@
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+namespace mpbt::obs {
+class WallProfiler;
+}
 
 namespace mpbt::exp {
 
@@ -45,6 +50,13 @@ class ThreadPool {
   /// std::thread::hardware_concurrency, clamped to at least 1.
   static std::size_t default_jobs();
 
+  /// Attaches a wall-time profiler (nullptr detaches): every executed
+  /// task records one span (worker index, start, duration, enqueue ->
+  /// dequeue queue wait). Attach BEFORE submitting work; with no
+  /// profiler the only overhead is a null check per task. Profiling is
+  /// wall-clock-only and cannot change task results or ordering.
+  void set_profiler(obs::WallProfiler* profiler);
+
   /// Schedules `f()` on the pool and returns a future for its result.
   /// Exceptions thrown by `f` are captured and rethrown by future::get.
   template <typename F>
@@ -59,14 +71,20 @@ class ThreadPool {
   }
 
  private:
+  struct Job {
+    std::function<void()> fn;
+    std::int64_t enqueue_us = 0;  // profiler clock; 0 when not profiling
+  };
+
   void enqueue(std::function<void()> job);
-  void worker_loop();
+  void worker_loop(std::uint32_t worker_index);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Job> queue_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  obs::WallProfiler* profiler_ = nullptr;  // guarded by mutex_
 };
 
 /// Runs fn(i) for every i in [0, count) across the pool and blocks until

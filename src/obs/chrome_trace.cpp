@@ -1,0 +1,241 @@
+#include "obs/chrome_trace.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <string_view>
+
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+
+namespace mpbt::obs {
+
+namespace {
+
+// Worker lanes live in pid 1; sweep task t gets pid kTaskPidBase + t.
+constexpr std::uint64_t kWorkerPid = 1;
+constexpr std::uint64_t kTaskPidBase = 2;
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";  // JSON has no NaN/Inf
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+/// Incremental writer for the {"traceEvents": [...]} envelope. Events
+/// are buffered per call and flushed as complete JSON values, so the
+/// output is valid whenever finish() runs.
+class EventStream {
+ public:
+  explicit EventStream(std::ostream& os) : os_(os) { os_ << "{\"traceEvents\":[\n"; }
+
+  /// `body` is the inside of one event object (without braces).
+  void event(const std::string& body) {
+    if (!first_) {
+      os_ << ",\n";
+    }
+    first_ = false;
+    os_ << '{' << body << '}';
+  }
+
+  void metadata(std::uint64_t pid, std::int64_t tid, std::string_view kind,
+                std::string_view name) {
+    std::string body;
+    body += "\"ph\":\"M\",\"name\":\"";
+    body += kind;
+    body += "\",\"pid\":";
+    body += std::to_string(pid);
+    if (tid >= 0) {
+      body += ",\"tid\":";
+      body += std::to_string(tid);
+    }
+    body += ",\"args\":{\"name\":\"";
+    append_escaped(body, name);
+    body += "\"}";
+    event(body);
+  }
+
+  void finish() { os_ << "\n],\"displayTimeUnit\":\"ms\"}\n"; }
+
+ private:
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+std::string event_prefix(std::string_view name, std::uint64_t pid, std::uint64_t tid,
+                         double ts) {
+  std::string body;
+  body += "\"name\":\"";
+  body += name;
+  body += "\",\"pid\":";
+  body += std::to_string(pid);
+  body += ",\"tid\":";
+  body += std::to_string(tid);
+  body += ",\"ts\":";
+  append_double(body, ts);
+  return body;
+}
+
+void write_sim_event(EventStream& stream, const TraceEvent& e, std::uint64_t pid,
+                     const ChromeTraceOptions& options) {
+  const double ts = static_cast<double>(e.round) * options.us_per_round;
+  switch (e.type) {
+    case EventType::kRoundSample: {
+      std::string body = event_prefix("population", pid, 0, ts);
+      body += ",\"ph\":\"C\",\"args\":{\"leechers\":";
+      append_double(body, e.value);
+      body += ",\"seeds\":";
+      append_double(body, e.value2);
+      body += "}";
+      stream.event(body);
+      return;
+    }
+    case EventType::kEntropySample: {
+      std::string body = event_prefix("entropy", pid, 0, ts);
+      body += ",\"ph\":\"C\",\"args\":{\"entropy\":";
+      append_double(body, e.value);
+      body += ",\"transfer_efficiency\":";
+      append_double(body, e.value2);
+      body += "}";
+      stream.event(body);
+      return;
+    }
+    case EventType::kConnectionAttempt:
+      if (!options.include_attempts) {
+        return;
+      }
+      break;
+    default:
+      break;
+  }
+  // Everything else renders as an instant event on the peer's lane
+  // (tid = peer id + 1; tid 0 is reserved for the counter tracks).
+  const std::uint64_t tid = e.peer == kNoTracePeer ? 0 : std::uint64_t{e.peer} + 1;
+  std::string body = event_prefix(event_type_name(e.type), pid, tid, ts);
+  body += ",\"ph\":\"i\",\"s\":\"t\",\"args\":{";
+  bool first_arg = true;
+  auto arg = [&](std::string_view key, double value) {
+    if (!first_arg) {
+      body += ',';
+    }
+    first_arg = false;
+    body += '"';
+    body += key;
+    body += "\":";
+    append_double(body, value);
+  };
+  switch (e.type) {
+    case EventType::kPeerJoin:
+      arg("as_seed", e.value);
+      break;
+    case EventType::kPeerComplete:
+      arg("download_rounds", e.value);
+      break;
+    case EventType::kPieceAcquired:
+      arg("piece", e.value);
+      break;
+    case EventType::kUnchoke:
+    case EventType::kChoke:
+      arg("other", e.other);
+      break;
+    case EventType::kConnectionAttempt:
+      arg("other", e.other);
+      arg("ok", e.value);
+      break;
+    case EventType::kConnectionDrop:
+      arg("other", e.other);
+      arg("reason", e.value);
+      break;
+    case EventType::kPhaseTransition:
+      arg("from", e.value);
+      arg("to", e.value2);
+      break;
+    default:
+      break;
+  }
+  body += '}';
+  stream.event(body);
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const TraceCollector& traces,
+                        const WallProfiler* profiler,
+                        const ChromeTraceOptions& options) {
+  EventStream stream(os);
+
+  for (const TaskTrace& task : traces.sorted()) {
+    const std::uint64_t pid = kTaskPidBase + task.task;
+    stream.metadata(pid, -1, "process_name",
+                    task.label.empty() ? "task " + std::to_string(task.task)
+                                       : task.label);
+    for (const TraceEvent& e : task.events) {
+      write_sim_event(stream, e, pid, options);
+    }
+  }
+
+  if (profiler != nullptr) {
+    stream.metadata(kWorkerPid, -1, "process_name", "workers (wall time)");
+    for (const TaskSpan& span : profiler->spans()) {
+      std::string body = event_prefix(span.name.empty() ? "task" : span.name,
+                                      kWorkerPid, span.worker,
+                                      static_cast<double>(span.start_us));
+      body += ",\"ph\":\"X\",\"dur\":";
+      body += std::to_string(span.duration_us);
+      body += ",\"args\":{\"queue_wait_us\":";
+      body += std::to_string(span.queue_wait_us);
+      body += "}";
+      stream.event(body);
+    }
+  }
+
+  stream.finish();
+}
+
+void write_chrome_trace(const std::string& path, const TraceCollector& traces,
+                        const WallProfiler* profiler,
+                        const ChromeTraceOptions& options) {
+  std::ofstream file(path);
+  if (!file) {
+    throw std::runtime_error("write_chrome_trace: cannot open " + path);
+  }
+  write_chrome_trace(file, traces, profiler, options);
+}
+
+}  // namespace mpbt::obs

@@ -1,0 +1,43 @@
+// Chrome trace-event JSON exporter.
+//
+// Writes a single JSON object in the Trace Event Format accepted by
+// Perfetto (ui.perfetto.dev) and chrome://tracing:
+//   - sim-time events: one process per sweep task, one lane (tid) per
+//     peer, with `ts` = round * us_per_round. Per-round swarm samples
+//     (population / entropy) render as counter tracks.
+//   - wall-time profiling: one process ("workers") with one lane per
+//     pool worker, drawn from the WallProfiler's task spans.
+//
+// Sim-time lanes are fully deterministic for a fixed sweep seed (they
+// depend only on each task's seed); worker lanes carry real wall-clock
+// timestamps and differ run to run.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace mpbt::obs {
+
+class TraceCollector;
+class WallProfiler;
+
+struct ChromeTraceOptions {
+  /// Sim-time scale: microseconds of trace time per swarm round.
+  double us_per_round = 1000.0;
+  /// Skip per-attempt connection events (they dominate event counts in
+  /// large swarms); choke/unchoke/drop events are always kept.
+  bool include_attempts = true;
+};
+
+/// Writes the combined trace; `profiler` may be null (no worker lanes).
+void write_chrome_trace(std::ostream& os, const TraceCollector& traces,
+                        const WallProfiler* profiler,
+                        const ChromeTraceOptions& options = {});
+
+/// Same, to a file; throws std::runtime_error when the file cannot be
+/// opened.
+void write_chrome_trace(const std::string& path, const TraceCollector& traces,
+                        const WallProfiler* profiler,
+                        const ChromeTraceOptions& options = {});
+
+}  // namespace mpbt::obs

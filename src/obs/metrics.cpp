@@ -1,0 +1,197 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mpbt::obs {
+
+namespace detail {
+std::size_t shard_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return index;
+}
+}  // namespace detail
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const auto& cell : cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  util::throw_if_invalid(!std::is_sorted(bounds_.begin(), bounds_.end()),
+                         "Histogram: bucket bounds must be ascending");
+  shards_ = std::make_unique<Shard[]>(kShards);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    shards_[s].counts =
+        std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+      shards_[s].counts[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::size_t Histogram::bucket_for(double v) const {
+  // First edge >= v, i.e. the first bucket whose inclusive upper edge
+  // admits v; past-the-end means the overflow bucket.
+  return static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+}
+
+void Histogram::observe(double v) {
+  Shard& shard = shards_[detail::shard_index()];
+  shard.counts[bucket_for(v)].fetch_add(1, std::memory_order_relaxed);
+  // Relaxed CAS add: contention is per-shard so the loop rarely retries.
+  double expected = shard.sum.load(std::memory_order_relaxed);
+  while (!shard.sum.compare_exchange_weak(expected, expected + v,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> totals(bounds_.size() + 1, 0);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+      totals[b] += shards_[s].counts[b].load(std::memory_order_relaxed);
+    }
+  }
+  return totals;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : bucket_counts()) {
+    total += c;
+  }
+  return total;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    total += shards_[s].sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double HistogramSnapshot::mean() const {
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    cumulative += buckets[b];
+    if (static_cast<double>(cumulative) >= target) {
+      // Report the bucket's upper edge; the overflow bucket has none, so
+      // fall back to the last finite edge.
+      return b < bounds.size() ? bounds[b] : (bounds.empty() ? 0.0 : bounds.back());
+    }
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  } else {
+    util::throw_if_invalid(it->second->bounds() != bounds,
+                           "Registry::histogram: bucket bounds differ from first use");
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.bounds = hist->bounds();
+    h.buckets = hist->bucket_counts();
+    h.count = 0;
+    for (std::uint64_t c : h.buckets) {
+      h.count += c;
+    }
+    h.sum = hist->sum();
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;  // maps iterate sorted, so snapshots are name-ordered
+}
+
+namespace {
+// Merge helper: both lists are name-sorted; entries only in `from` append.
+template <typename T, typename Combine>
+void merge_sorted(std::vector<T>& into, const std::vector<T>& from, Combine&& combine) {
+  for (const T& item : from) {
+    auto it = std::lower_bound(
+        into.begin(), into.end(), item,
+        [](const T& a, const T& b) { return a.name < b.name; });
+    if (it != into.end() && it->name == item.name) {
+      combine(*it, item);
+    } else {
+      into.insert(it, item);
+    }
+  }
+}
+}  // namespace
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  merge_sorted(counters, other.counters,
+               [](CounterSnapshot& a, const CounterSnapshot& b) { a.value += b.value; });
+  merge_sorted(gauges, other.gauges,
+               [](GaugeSnapshot& a, const GaugeSnapshot& b) { a.value = b.value; });
+  merge_sorted(histograms, other.histograms,
+               [](HistogramSnapshot& a, const HistogramSnapshot& b) {
+                 util::throw_if_invalid(a.bounds != b.bounds,
+                                        "MetricsSnapshot::merge: histogram bounds differ");
+                 for (std::size_t i = 0; i < a.buckets.size(); ++i) {
+                   a.buckets[i] += b.buckets[i];
+                 }
+                 a.count += b.count;
+                 a.sum += b.sum;
+               });
+}
+
+}  // namespace mpbt::obs

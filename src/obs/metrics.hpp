@@ -1,0 +1,157 @@
+// Global metrics registry: named counters, gauges and fixed-bucket
+// histograms with lock-free per-thread accumulation.
+//
+// Hot-path contract: resolve a metric handle ONCE (Registry::counter /
+// gauge / histogram take a mutex) and then update through the handle —
+// Counter::add, Gauge::set and Histogram::observe are wait-free atomic
+// operations on cache-line-padded per-thread shards, so worker threads
+// never contend on a lock or share a cache line while accumulating.
+// Reads (snapshot) sum the shards; they are monotonic but not a
+// linearization point, which is fine for progress/telemetry data.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpbt::obs {
+
+/// Number of independent accumulation shards. Threads are assigned a
+/// shard round-robin at first use; with <= kShards live workers every
+/// thread owns a private cache line.
+inline constexpr std::size_t kShards = 16;
+
+namespace detail {
+/// This thread's shard index (stable for the thread's lifetime).
+std::size_t shard_index();
+
+struct alignas(64) CounterCell {
+  std::atomic<std::uint64_t> value{0};
+};
+}  // namespace detail
+
+/// Monotonic counter. add() is wait-free; value() sums the shards.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    cells_[detail::shard_index()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const;
+
+ private:
+  std::array<detail::CounterCell, kShards> cells_;
+};
+
+/// Last-written sample (population, entropy, queue depth, ...). When
+/// several tasks write concurrently the latest writer wins — gauges are
+/// "most recent observation", not aggregates.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. `bounds` are inclusive upper edges: a value v
+/// lands in the first bucket with v <= bounds[i]; values above the last
+/// edge land in the overflow bucket (index bounds.size()).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts (size bounds().size() + 1, last = overflow).
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const;
+  double sum() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> counts;
+    std::atomic<double> sum{0.0};
+  };
+
+  std::size_t bucket_for(double v) const;
+
+  std::vector<double> bounds_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+// --- snapshots --------------------------------------------------------------
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  // bounds.size() + 1 entries
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  /// count-weighted mean; 0 when empty.
+  double mean() const;
+  /// Bucket-interpolated quantile in [0, 1]; the overflow bucket reports
+  /// the last finite edge. 0 when empty.
+  double quantile(double q) const;
+};
+
+/// Point-in-time copy of a registry, sorted by metric name (so two
+/// snapshots of registries fed identical data compare equal).
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Merges `other` in: counters and histogram buckets add (histogram
+  /// bucket edges must match), gauges overwrite (latest wins). Metrics
+  /// present only in `other` are copied over.
+  void merge(const MetricsSnapshot& other);
+
+  bool empty() const { return counters.empty() && gauges.empty() && histograms.empty(); }
+};
+
+/// Named-metric registry. Lookups take a mutex and return stable
+/// references (metrics are never removed); updates through the returned
+/// handles are lock-free. Safe to share across threads.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Returns the named counter, creating it on first use.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Returns the named histogram; `bounds` (ascending upper edges) only
+  /// apply on first creation and must match on later calls.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace mpbt::obs

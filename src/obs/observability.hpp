@@ -1,0 +1,33 @@
+// Observability bundle threaded through the sweep machinery.
+//
+// A value struct of non-owning pointers: the caller (mpbt_sweep, a bench
+// harness, a test) owns the Registry / TraceCollector / WallProfiler and
+// decides which pillars are on. Null pointers disable a pillar; a
+// default-constructed Observability is fully off and costs nothing.
+#pragma once
+
+#include <cstddef>
+
+namespace mpbt::obs {
+
+class Registry;
+class TraceCollector;
+class WallProfiler;
+
+struct Observability {
+  /// Metrics registry shared by all tasks (counters/histograms aggregate
+  /// across tasks; gauges are last-writer-wins).
+  Registry* registry = nullptr;
+  /// Destination for per-task sim-time traces; null = tracing off.
+  TraceCollector* traces = nullptr;
+  /// Wall-time span collector for the worker pool; null = profiling off.
+  WallProfiler* profiler = nullptr;
+  /// Ring capacity of each per-task TraceRecorder.
+  std::size_t trace_capacity = std::size_t{1} << 17;
+
+  bool enabled() const {
+    return registry != nullptr || traces != nullptr || profiler != nullptr;
+  }
+};
+
+}  // namespace mpbt::obs

@@ -1,0 +1,53 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace mpbt::obs {
+
+ScopedTimer::~ScopedTimer() {
+  if (hist_ != nullptr) {
+    hist_->observe(elapsed_seconds());
+  }
+}
+
+void WallProfiler::record(TaskSpan span) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(std::move(span));
+}
+
+std::vector<TaskSpan> WallProfiler::spans() const {
+  std::vector<TaskSpan> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out = spans_;
+  }
+  std::sort(out.begin(), out.end(), [](const TaskSpan& a, const TaskSpan& b) {
+    if (a.worker != b.worker) {
+      return a.worker < b.worker;
+    }
+    return a.start_us < b.start_us;
+  });
+  return out;
+}
+
+std::vector<WorkerStats> WallProfiler::worker_stats() const {
+  const double elapsed = elapsed_seconds();
+  std::vector<WorkerStats> stats;
+  for (const TaskSpan& span : spans()) {
+    if (span.worker >= stats.size()) {
+      stats.resize(span.worker + 1);
+    }
+    WorkerStats& w = stats[span.worker];
+    ++w.tasks;
+    w.busy_seconds += static_cast<double>(span.duration_us) / 1e6;
+    w.queue_wait_seconds += static_cast<double>(span.queue_wait_us) / 1e6;
+  }
+  for (WorkerStats& w : stats) {
+    w.idle_seconds = std::max(0.0, elapsed - w.busy_seconds);
+  }
+  return stats;
+}
+
+}  // namespace mpbt::obs

@@ -1,0 +1,95 @@
+// Wall-clock profiling hooks.
+//
+// ScopedTimer measures a scope and feeds a wall-time Histogram on exit.
+// WallProfiler collects per-worker task spans (start, duration, queue
+// wait) from the exp::ThreadPool so the Chrome-trace exporter can draw
+// one lane per worker and the sweep summary can report utilization.
+// Wall times never feed back into simulations, so profiling cannot
+// perturb results — only the reported timings differ run to run.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mpbt::obs {
+
+class Histogram;
+
+/// Measures its own lifetime and records seconds into `hist` on
+/// destruction. A null histogram makes the timer a no-op (the elapsed
+/// value is still queryable).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist)
+      : hist_(hist), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One executed task on one worker, timestamped relative to the
+/// profiler's epoch (microseconds).
+struct TaskSpan {
+  std::uint32_t worker = 0;
+  std::string name;
+  std::int64_t start_us = 0;
+  std::int64_t duration_us = 0;
+  std::int64_t queue_wait_us = 0;  ///< enqueue -> dequeue latency
+};
+
+/// Aggregate utilization of one worker.
+struct WorkerStats {
+  std::uint64_t tasks = 0;
+  double busy_seconds = 0.0;
+  double queue_wait_seconds = 0.0;
+  /// Profiler lifetime minus busy time (computed by worker_stats()).
+  double idle_seconds = 0.0;
+};
+
+/// Thread-safe span collector. The ThreadPool records one span per
+/// executed task when a profiler is attached; record() takes a mutex,
+/// which is negligible next to the seconds-long tasks it measures.
+class WallProfiler {
+ public:
+  WallProfiler() : epoch_(std::chrono::steady_clock::now()) {}
+
+  /// Microseconds since the profiler was created.
+  std::int64_t now_us() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  double elapsed_seconds() const {
+    return static_cast<double>(now_us()) / 1e6;
+  }
+
+  void record(TaskSpan span);
+
+  /// Spans sorted by (worker, start time).
+  std::vector<TaskSpan> spans() const;
+
+  /// Per-worker aggregates, indexed by worker id (sized to the highest
+  /// worker seen + 1). idle = elapsed-so-far - busy.
+  std::vector<WorkerStats> worker_stats() const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<TaskSpan> spans_;
+};
+
+}  // namespace mpbt::obs

@@ -1,0 +1,251 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace mpbt::obs {
+
+std::string_view event_type_name(EventType type) {
+  switch (type) {
+    case EventType::kPeerJoin:
+      return "peer_join";
+    case EventType::kPeerLeave:
+      return "peer_leave";
+    case EventType::kPeerComplete:
+      return "peer_complete";
+    case EventType::kPieceAcquired:
+      return "piece_acquired";
+    case EventType::kUnchoke:
+      return "unchoke";
+    case EventType::kChoke:
+      return "choke";
+    case EventType::kConnectionAttempt:
+      return "connection_attempt";
+    case EventType::kConnectionDrop:
+      return "connection_drop";
+    case EventType::kPhaseTransition:
+      return "phase_transition";
+    case EventType::kPeerSetShake:
+      return "peer_set_shake";
+    case EventType::kRoundSample:
+      return "round_sample";
+    case EventType::kEntropySample:
+      return "entropy_sample";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+void TraceRecorder::set_registry(Registry* registry) {
+  if (registry == nullptr) {
+    metrics_ = MetricHandles{};
+    return;
+  }
+  metrics_.joins = &registry->counter("swarm.peers_joined");
+  metrics_.leaves = &registry->counter("swarm.peers_departed");
+  metrics_.completions = &registry->counter("swarm.completions");
+  metrics_.pieces = &registry->counter("swarm.pieces_acquired");
+  metrics_.unchokes = &registry->counter("swarm.unchokes");
+  metrics_.chokes = &registry->counter("swarm.chokes");
+  metrics_.attempts = &registry->counter("swarm.connection_attempts");
+  metrics_.attempt_failures = &registry->counter("swarm.connection_attempt_failures");
+  metrics_.drops = &registry->counter("swarm.connection_drops");
+  metrics_.phase_transitions = &registry->counter("swarm.phase_transitions");
+  metrics_.shakes = &registry->counter("swarm.peer_set_shakes");
+  metrics_.rounds = &registry->counter("swarm.rounds");
+  metrics_.population = &registry->gauge("swarm.population");
+  metrics_.seeds = &registry->gauge("swarm.seeds");
+  metrics_.entropy = &registry->gauge("swarm.entropy");
+  metrics_.efficiency = &registry->gauge("swarm.transfer_efficiency");
+  metrics_.download_rounds = &registry->histogram(
+      "swarm.download_rounds", {10, 20, 40, 80, 160, 320, 640, 1280, 2560});
+}
+
+void TraceRecorder::emit(EventType type, std::uint64_t round, std::uint32_t peer,
+                         std::uint32_t other, double value, double value2) {
+  TraceEvent event;
+  event.round = round;
+  event.peer = peer;
+  event.other = other;
+  event.value = value;
+  event.value2 = value2;
+  event.type = type;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[head_] = event;
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+void TraceRecorder::peer_join(std::uint64_t round, std::uint32_t peer, bool as_seed) {
+  emit(EventType::kPeerJoin, round, peer, kNoTracePeer, as_seed ? 1.0 : 0.0);
+  if (metrics_.joins != nullptr) {
+    metrics_.joins->add();
+  }
+}
+
+void TraceRecorder::peer_leave(std::uint64_t round, std::uint32_t peer) {
+  emit(EventType::kPeerLeave, round, peer);
+  if (metrics_.leaves != nullptr) {
+    metrics_.leaves->add();
+  }
+}
+
+void TraceRecorder::peer_complete(std::uint64_t round, std::uint32_t peer,
+                                  double download_rounds) {
+  emit(EventType::kPeerComplete, round, peer, kNoTracePeer, download_rounds);
+  if (metrics_.completions != nullptr) {
+    metrics_.completions->add();
+    metrics_.download_rounds->observe(download_rounds);
+  }
+}
+
+void TraceRecorder::piece_acquired(std::uint64_t round, std::uint32_t peer,
+                                   std::uint32_t piece) {
+  emit(EventType::kPieceAcquired, round, peer, kNoTracePeer,
+       static_cast<double>(piece));
+  if (metrics_.pieces != nullptr) {
+    metrics_.pieces->add();
+  }
+}
+
+void TraceRecorder::unchoke(std::uint64_t round, std::uint32_t a, std::uint32_t b) {
+  emit(EventType::kUnchoke, round, a, b);
+  if (metrics_.unchokes != nullptr) {
+    metrics_.unchokes->add();
+  }
+}
+
+void TraceRecorder::choke(std::uint64_t round, std::uint32_t a, std::uint32_t b) {
+  emit(EventType::kChoke, round, a, b);
+  if (metrics_.chokes != nullptr) {
+    metrics_.chokes->add();
+  }
+}
+
+void TraceRecorder::connection_attempt(std::uint64_t round, std::uint32_t a,
+                                       std::uint32_t b, bool success) {
+  emit(EventType::kConnectionAttempt, round, a, b, success ? 1.0 : 0.0);
+  if (metrics_.attempts != nullptr) {
+    metrics_.attempts->add();
+    if (!success) {
+      metrics_.attempt_failures->add();
+    }
+  }
+}
+
+void TraceRecorder::connection_drop(std::uint64_t round, std::uint32_t a,
+                                    std::uint32_t b, DropReason reason) {
+  emit(EventType::kConnectionDrop, round, a, b,
+       static_cast<double>(static_cast<std::uint8_t>(reason)));
+  if (metrics_.drops != nullptr) {
+    metrics_.drops->add();
+  }
+}
+
+void TraceRecorder::phase_transition(std::uint64_t round, std::uint32_t peer,
+                                     int from_phase, int to_phase) {
+  emit(EventType::kPhaseTransition, round, peer, kNoTracePeer,
+       static_cast<double>(from_phase), static_cast<double>(to_phase));
+  if (metrics_.phase_transitions != nullptr) {
+    metrics_.phase_transitions->add();
+  }
+}
+
+void TraceRecorder::peer_set_shake(std::uint64_t round, std::uint32_t peer) {
+  emit(EventType::kPeerSetShake, round, peer);
+  if (metrics_.shakes != nullptr) {
+    metrics_.shakes->add();
+  }
+}
+
+void TraceRecorder::round_sample(std::uint64_t round, std::size_t leechers,
+                                 std::size_t seeds, double entropy,
+                                 double transfer_efficiency) {
+  emit(EventType::kRoundSample, round, kNoTracePeer, kNoTracePeer,
+       static_cast<double>(leechers), static_cast<double>(seeds));
+  emit(EventType::kEntropySample, round, kNoTracePeer, kNoTracePeer, entropy,
+       transfer_efficiency);
+  if (metrics_.rounds != nullptr) {
+    metrics_.rounds->add();
+    metrics_.population->set(static_cast<double>(leechers + seeds));
+    metrics_.seeds->set(static_cast<double>(seeds));
+    metrics_.entropy->set(entropy);
+    metrics_.efficiency->set(transfer_efficiency);
+  }
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceRecorder::clear() {
+  ring_.clear();
+  head_ = 0;
+  total_ = 0;
+}
+
+void TraceCollector::add(TaskTrace trace) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  traces_.push_back(std::move(trace));
+}
+
+std::vector<TaskTrace> TraceCollector::sorted() const {
+  std::vector<TaskTrace> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out = traces_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TaskTrace& a, const TaskTrace& b) { return a.task < b.task; });
+  return out;
+}
+
+std::uint64_t TraceCollector::total_events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const TaskTrace& trace : traces_) {
+    total += trace.events.size();
+  }
+  return total;
+}
+
+std::uint64_t TraceCollector::total_dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const TaskTrace& trace : traces_) {
+    total += trace.dropped;
+  }
+  return total;
+}
+
+namespace {
+thread_local TraceRecorder* t_trace = nullptr;
+thread_local Registry* t_registry = nullptr;
+}  // namespace
+
+TraceRecorder* current_trace() { return t_trace; }
+Registry* current_registry() { return t_registry; }
+
+TaskScope::TaskScope(TraceRecorder* trace, Registry* registry)
+    : prev_trace_(t_trace), prev_registry_(t_registry) {
+  t_trace = trace;
+  t_registry = registry;
+}
+
+TaskScope::~TaskScope() {
+  t_trace = prev_trace_;
+  t_registry = prev_registry_;
+}
+
+}  // namespace mpbt::obs

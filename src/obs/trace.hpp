@@ -1,0 +1,202 @@
+// Structured sim-time event traces.
+//
+// TraceRecorder is a single-writer, ring-buffered log of typed swarm
+// events (peer join/leave/complete, piece acquired, choke/unchoke,
+// connection attempt/drop, phase transition, peer-set shake, per-round
+// entropy samples). One recorder belongs to one simulation task; the
+// sweep machinery gives every task its own recorder and merges them in a
+// TraceCollector afterwards, so recording never needs a lock.
+//
+// The disabled path is a branch on a nullptr: instrumented code holds a
+// `TraceRecorder*` that is null when tracing is off, and every emit site
+// is `if (trace_) trace_->...`. Recording draws no randomness and never
+// feeds back into the simulation, so traces cannot perturb results.
+//
+// When a Registry is attached (set_registry), every emitted event also
+// bumps the matching `swarm.*` counter/gauge — the recorder fans out, so
+// the trace, the per-round series and the registry can never drift apart.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpbt::obs {
+
+class Registry;
+class Counter;
+class Gauge;
+class Histogram;
+
+/// Event taxonomy (see docs/OBSERVABILITY.md for field semantics).
+enum class EventType : std::uint8_t {
+  kPeerJoin,            ///< peer = id, value = 1 when joining as a seed
+  kPeerLeave,           ///< peer = id
+  kPeerComplete,        ///< peer = id, value = download time in rounds
+  kPieceAcquired,       ///< peer = id, value = piece index
+  kUnchoke,             ///< peer/other = the connected pair
+  kChoke,               ///< peer/other = the disconnected pair
+  kConnectionAttempt,   ///< peer/other = the pair, value = 1 on success
+  kConnectionDrop,      ///< peer/other = the pair, value = DropReason
+  kPhaseTransition,     ///< peer = id, value = old phase, value2 = new phase
+  kPeerSetShake,        ///< peer = id
+  kRoundSample,         ///< value = leechers, value2 = seeds
+  kEntropySample,       ///< value = entropy, value2 = transfer efficiency
+};
+
+std::string_view event_type_name(EventType type);
+
+/// Why a kConnectionDrop happened (stored in TraceEvent::value).
+enum class DropReason : std::uint8_t {
+  kInterestLost = 0,   ///< pruned: partner left the potential set
+  kNothingToTrade = 1, ///< strict tit-for-tat found no piece either way
+  kChokeVictim = 2,    ///< rate-based choking evicted the slowest link
+};
+
+/// Sentinel for "no peer" in TraceEvent::peer/other.
+inline constexpr std::uint32_t kNoTracePeer = 0xffffffffu;
+
+struct TraceEvent {
+  std::uint64_t round = 0;  ///< sim time (swarm round)
+  std::uint32_t peer = kNoTracePeer;
+  std::uint32_t other = kNoTracePeer;
+  double value = 0.0;
+  double value2 = 0.0;
+  EventType type = EventType::kPeerJoin;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// Single-writer ring buffer of TraceEvents. When full, the oldest event
+/// is evicted (the buffer keeps the most recent `capacity` events) and
+/// dropped() counts the evictions.
+class TraceRecorder {
+ public:
+  /// Default capacity keeps ~2^17 events (~5 MB).
+  explicit TraceRecorder(std::size_t capacity = std::size_t{1} << 17);
+
+  /// Attaches a registry: every future emit also updates the matching
+  /// `swarm.*` metric. Handles are resolved once here, so the per-event
+  /// cost stays a few relaxed atomic adds.
+  void set_registry(Registry* registry);
+
+  void emit(EventType type, std::uint64_t round, std::uint32_t peer = kNoTracePeer,
+            std::uint32_t other = kNoTracePeer, double value = 0.0, double value2 = 0.0);
+
+  // Typed convenience emitters (the swarm's instrumentation points).
+  void peer_join(std::uint64_t round, std::uint32_t peer, bool as_seed);
+  void peer_leave(std::uint64_t round, std::uint32_t peer);
+  void peer_complete(std::uint64_t round, std::uint32_t peer, double download_rounds);
+  void piece_acquired(std::uint64_t round, std::uint32_t peer, std::uint32_t piece);
+  void unchoke(std::uint64_t round, std::uint32_t a, std::uint32_t b);
+  void choke(std::uint64_t round, std::uint32_t a, std::uint32_t b);
+  void connection_attempt(std::uint64_t round, std::uint32_t a, std::uint32_t b,
+                          bool success);
+  void connection_drop(std::uint64_t round, std::uint32_t a, std::uint32_t b,
+                       DropReason reason);
+  void phase_transition(std::uint64_t round, std::uint32_t peer, int from_phase,
+                        int to_phase);
+  void peer_set_shake(std::uint64_t round, std::uint32_t peer);
+  /// One per-round swarm sample; also sets the swarm.* gauges.
+  void round_sample(std::uint64_t round, std::size_t leechers, std::size_t seeds,
+                    double entropy, double transfer_efficiency);
+
+  std::size_t size() const { return ring_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  /// Events evicted by wraparound.
+  std::uint64_t dropped() const {
+    return total_ <= capacity_ ? 0 : total_ - capacity_;
+  }
+  /// All events ever emitted (kept + dropped).
+  std::uint64_t total_recorded() const { return total_; }
+
+  /// Buffered events, oldest first.
+  std::vector<TraceEvent> events() const;
+
+  void clear();
+
+ private:
+  struct MetricHandles {
+    Counter* joins = nullptr;
+    Counter* leaves = nullptr;
+    Counter* completions = nullptr;
+    Counter* pieces = nullptr;
+    Counter* unchokes = nullptr;
+    Counter* chokes = nullptr;
+    Counter* attempts = nullptr;
+    Counter* attempt_failures = nullptr;
+    Counter* drops = nullptr;
+    Counter* phase_transitions = nullptr;
+    Counter* shakes = nullptr;
+    Counter* rounds = nullptr;
+    Gauge* population = nullptr;
+    Gauge* seeds = nullptr;
+    Gauge* entropy = nullptr;
+    Gauge* efficiency = nullptr;
+    Histogram* download_rounds = nullptr;
+  };
+
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;  // grows to capacity_, then wraps
+  std::size_t head_ = 0;          // oldest element once wrapped
+  std::uint64_t total_ = 0;
+  MetricHandles metrics_;  // null handles when no registry attached
+};
+
+/// One task's finished trace, as collected by the sweep machinery.
+struct TaskTrace {
+  std::uint64_t task = 0;  ///< task index within the sweep
+  std::string label;       ///< e.g. "efficiency_vs_k point=2 rep=0"
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+};
+
+/// Thread-safe store for per-task traces. Workers add() as tasks finish;
+/// sorted() orders by task index, so the collected trace is identical
+/// for any worker count (sim-time events depend only on the task seed).
+class TraceCollector {
+ public:
+  void add(TaskTrace trace);
+
+  /// Traces sorted by task index.
+  std::vector<TaskTrace> sorted() const;
+
+  std::uint64_t total_events() const;
+  std::uint64_t total_dropped() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TaskTrace> traces_;
+};
+
+// --- thread-local task scope ------------------------------------------------
+//
+// The sweep runner cannot thread a recorder through every scenario and
+// bench signature, so the current task's recorder/registry hang on
+// thread-local slots: instrumented constructors (bt::Swarm) pick them up
+// via current_trace()/current_registry() at construction time.
+
+/// The recorder attached to this thread's active task scope, or null.
+TraceRecorder* current_trace();
+/// The registry attached to this thread's active task scope, or null.
+Registry* current_registry();
+
+/// RAII scope installing (trace, registry) as this thread's current
+/// observability context; restores the previous context on destruction.
+/// Scopes nest.
+class TaskScope {
+ public:
+  TaskScope(TraceRecorder* trace, Registry* registry);
+  ~TaskScope();
+  TaskScope(const TaskScope&) = delete;
+  TaskScope& operator=(const TaskScope&) = delete;
+
+ private:
+  TraceRecorder* prev_trace_;
+  Registry* prev_registry_;
+};
+
+}  // namespace mpbt::obs

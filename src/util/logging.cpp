@@ -2,14 +2,19 @@
 
 #include <atomic>
 #include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <functional>
 #include <iostream>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 
 namespace mpbt::util {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
 
 std::string_view level_name(LogLevel level) {
   switch (level) {
@@ -34,12 +39,65 @@ std::string to_lower(std::string_view s) {
   }
   return out;
 }
+
+/// Initial level: MPBT_LOG env var when set and parseable, else Warn.
+/// Read once, at first use — later env changes are ignored by design.
+int initial_level() {
+  if (const char* env = std::getenv("MPBT_LOG"); env != nullptr && *env != '\0') {
+    try {
+      return static_cast<int>(parse_log_level(env));
+    } catch (const std::invalid_argument&) {
+      // An unknown MPBT_LOG value must not abort whatever binary linked
+      // us; fall through to the default and say so once.
+      std::fprintf(stderr, "[mpbt WARN] ignoring unknown MPBT_LOG value '%s'\n", env);
+    }
+  }
+  return static_cast<int>(LogLevel::Warn);
+}
+
+std::atomic<int>& level_store() {
+  static std::atomic<int> level{initial_level()};
+  return level;
+}
+
+/// ISO-8601 UTC timestamp with millisecond precision, e.g.
+/// "2026-08-07T12:34:56.789Z".
+std::string utc_timestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto millis =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now.time_since_epoch()).count() %
+      1000;
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &secs);
+#else
+  gmtime_r(&secs, &tm);
+#endif
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ", tm.tm_year + 1900,
+                tm.tm_mon + 1, tm.tm_mday, tm.tm_hour, tm.tm_min, tm.tm_sec,
+                static_cast<int>(millis));
+  return buf;
+}
+
+/// Short stable per-thread tag (hash of std::thread::id, 4 hex digits) —
+/// enough to tell pool workers apart without platform-specific TIDs.
+std::string thread_tag() {
+  const std::size_t hash = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "%04zx", hash & 0xffffU);
+  return buf;
+}
+
 }  // namespace
 
-LogLevel log_level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+LogLevel log_level() {
+  return static_cast<LogLevel>(level_store().load(std::memory_order_relaxed));
+}
 
 void set_log_level(LogLevel level) {
-  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  level_store().store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel parse_log_level(std::string_view name) {
@@ -57,8 +115,9 @@ void emit(LogLevel level, const std::string& message) {
   // Concurrent workers log freely: build the whole record first, then
   // emit it under a mutex as a single write so lines never interleave.
   std::string line;
-  line.reserve(message.size() + 16);
-  line.append("[mpbt ").append(level_name(level)).append("] ").append(message).append("\n");
+  line.reserve(message.size() + 48);
+  line.append("[").append(utc_timestamp()).append(" t=").append(thread_tag());
+  line.append(" mpbt ").append(level_name(level)).append("] ").append(message).append("\n");
   static std::mutex mutex;
   const std::lock_guard<std::mutex> lock(mutex);
   std::cerr.write(line.data(), static_cast<std::streamsize>(line.size()));

@@ -1,9 +1,12 @@
 // Minimal leveled logger.
 //
 // Experiments and examples use this to report progress; the library core is
-// silent by default (level = Warn). There is deliberately no global mutable
-// configuration beyond the level: output always goes to stderr so that bench
-// binaries can pipe their stdout tables cleanly.
+// silent by default (level = Warn, overridable once at startup via the
+// MPBT_LOG environment variable — debug/info/warn/error/off). Each line is
+// prefixed with an ISO-8601 UTC timestamp and a short thread tag so
+// interleaved worker output stays attributable. There is deliberately no
+// global mutable configuration beyond the level: output always goes to
+// stderr so that bench binaries can pipe their stdout tables cleanly.
 #pragma once
 
 #include <sstream>

@@ -1,0 +1,688 @@
+// Tests for the src/obs observability layer: ring-buffer tracing, the
+// lock-free metrics registry, wall-time profiling, the Chrome-trace
+// exporter, and — most importantly — the non-perturbation contract:
+// tracing must never change what a simulation computes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bt/config.hpp"
+#include "bt/swarm.hpp"
+#include "des/engine.hpp"
+#include "exp/metrics_export.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "exp/sink.hpp"
+#include "exp/thread_pool.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace mpbt;
+
+// --- TraceRecorder ring buffer ----------------------------------------------
+
+TEST(TraceRecorder, KeepsEventsInOrderBelowCapacity) {
+  obs::TraceRecorder recorder(8);
+  recorder.peer_join(0, 1, false);
+  recorder.piece_acquired(1, 1, 7);
+  recorder.peer_complete(5, 1, 5.0);
+
+  const std::vector<obs::TraceEvent> events = recorder.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].type, obs::EventType::kPeerJoin);
+  EXPECT_EQ(events[1].type, obs::EventType::kPieceAcquired);
+  EXPECT_EQ(events[1].value, 7.0);
+  EXPECT_EQ(events[2].type, obs::EventType::kPeerComplete);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  EXPECT_EQ(recorder.total_recorded(), 3u);
+}
+
+TEST(TraceRecorder, WrapsAroundKeepingMostRecentAndCountsDrops) {
+  obs::TraceRecorder recorder(4);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    recorder.peer_set_shake(i, i);  // round = peer = i
+  }
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.total_recorded(), 10u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+
+  const std::vector<obs::TraceEvent> events = recorder.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].round, 6u + i) << "oldest-first order after wrap";
+  }
+}
+
+TEST(TraceRecorder, ClearResetsEverything) {
+  obs::TraceRecorder recorder(2);
+  recorder.peer_join(0, 0, false);
+  recorder.peer_join(0, 1, false);
+  recorder.peer_join(0, 2, false);
+  EXPECT_EQ(recorder.dropped(), 1u);
+  recorder.clear();
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  EXPECT_EQ(recorder.total_recorded(), 0u);
+  recorder.peer_join(3, 9, true);
+  const std::vector<obs::TraceEvent> events = recorder.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].peer, 9u);
+  EXPECT_EQ(events[0].value, 1.0) << "as_seed flag";
+}
+
+// --- metrics: histogram bucket edges ----------------------------------------
+
+TEST(Histogram, InclusiveUpperEdgesAndOverflow) {
+  obs::Histogram hist({1.0, 2.0});
+  hist.observe(0.5);   // <= 1.0 -> bucket 0
+  hist.observe(1.0);   // == edge -> bucket 0 (inclusive)
+  hist.observe(1.5);   // bucket 1
+  hist.observe(2.0);   // == edge -> bucket 1
+  hist.observe(2.5);   // overflow
+  const std::vector<std::uint64_t> buckets = hist.bucket_counts();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 2u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(hist.count(), 5u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 2.5);
+}
+
+TEST(Histogram, RejectsMismatchedBoundsOnReLookup) {
+  obs::Registry registry;
+  registry.histogram("h", {1.0, 2.0});
+  EXPECT_NO_THROW(registry.histogram("h", {1.0, 2.0}));
+  EXPECT_THROW(registry.histogram("h", {1.0, 3.0}), std::invalid_argument);
+}
+
+TEST(HistogramSnapshot, QuantileAndMean) {
+  obs::Registry registry;
+  obs::Histogram& hist = registry.histogram("h", {10.0, 20.0, 40.0});
+  for (int i = 0; i < 9; ++i) {
+    hist.observe(5.0);
+  }
+  hist.observe(15.0);
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_LE(snap.histograms[0].quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].mean(), (9 * 5.0 + 15.0) / 10.0);
+}
+
+// --- metrics: concurrent accumulation under the pool ------------------------
+
+TEST(Registry, CountersAndHistogramsAccumulateAcrossPoolThreads) {
+  obs::Registry registry;
+  obs::Counter& counter = registry.counter("c");
+  obs::Histogram& hist = registry.histogram("h", {0.5});
+  constexpr int kTasks = 64;
+  constexpr int kPerTask = 1000;
+  {
+    exp::ThreadPool pool(8);
+    exp::parallel_for_each(pool, kTasks, [&](std::size_t) {
+      for (int i = 0; i < kPerTask; ++i) {
+        counter.add();
+        hist.observe(i % 2 == 0 ? 0.25 : 0.75);
+      }
+    });
+  }
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kTasks) * kPerTask);
+  EXPECT_EQ(hist.count(), static_cast<std::uint64_t>(kTasks) * kPerTask);
+  const std::vector<std::uint64_t> buckets = hist.bucket_counts();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0], static_cast<std::uint64_t>(kTasks) * kPerTask / 2);
+  EXPECT_EQ(buckets[1], static_cast<std::uint64_t>(kTasks) * kPerTask / 2);
+}
+
+TEST(MetricsSnapshot, MergeAddsCountersAndBucketsOverwritesGauges) {
+  obs::Registry a;
+  a.counter("c").add(3);
+  a.gauge("g").set(1.0);
+  a.histogram("h", {1.0}).observe(0.5);
+
+  obs::Registry b;
+  b.counter("c").add(4);
+  b.counter("only_b").add(1);
+  b.gauge("g").set(2.0);
+  b.histogram("h", {1.0}).observe(5.0);
+
+  obs::MetricsSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+
+  ASSERT_EQ(merged.counters.size(), 2u);
+  EXPECT_EQ(merged.counters[0].name, "c");
+  EXPECT_EQ(merged.counters[0].value, 7u);
+  EXPECT_EQ(merged.counters[1].name, "only_b");
+  ASSERT_EQ(merged.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(merged.gauges[0].value, 2.0);
+  ASSERT_EQ(merged.histograms.size(), 1u);
+  EXPECT_EQ(merged.histograms[0].count, 2u);
+  EXPECT_EQ(merged.histograms[0].buckets[0], 1u);
+  EXPECT_EQ(merged.histograms[0].buckets[1], 1u);
+}
+
+// --- recorder -> registry fanout (single source of truth) -------------------
+
+TEST(TraceRecorder, FansEventsOutToAttachedRegistry) {
+  obs::Registry registry;
+  obs::TraceRecorder recorder(16);
+  recorder.set_registry(&registry);
+  recorder.peer_join(0, 0, false);
+  recorder.peer_join(0, 1, true);
+  recorder.connection_attempt(1, 0, 1, true);
+  recorder.connection_attempt(1, 0, 1, false);
+  recorder.unchoke(1, 0, 1);
+  recorder.peer_complete(9, 0, 9.0);
+  recorder.round_sample(1, 5, 2, 0.75, 0.5);
+
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  auto counter = [&](const std::string& name) -> std::uint64_t {
+    for (const obs::CounterSnapshot& c : snap.counters) {
+      if (c.name == name) return c.value;
+    }
+    ADD_FAILURE() << "missing counter " << name;
+    return 0;
+  };
+  EXPECT_EQ(counter("swarm.peers_joined"), 2u);
+  EXPECT_EQ(counter("swarm.connection_attempts"), 2u);
+  EXPECT_EQ(counter("swarm.connection_attempt_failures"), 1u);
+  EXPECT_EQ(counter("swarm.unchokes"), 1u);
+  EXPECT_EQ(counter("swarm.completions"), 1u);
+  EXPECT_EQ(counter("swarm.rounds"), 1u);
+  auto gauge = [&](const std::string& name) -> double {
+    for (const obs::GaugeSnapshot& g : snap.gauges) {
+      if (g.name == name) return g.value;
+    }
+    ADD_FAILURE() << "missing gauge " << name;
+    return 0.0;
+  };
+  EXPECT_DOUBLE_EQ(gauge("swarm.population"), 7.0);  // leechers + seeds
+  EXPECT_DOUBLE_EQ(gauge("swarm.entropy"), 0.75);
+  bool found_hist = false;
+  for (const obs::HistogramSnapshot& h : snap.histograms) {
+    if (h.name == "swarm.download_rounds") {
+      found_hist = true;
+      EXPECT_EQ(h.count, 1u);
+      EXPECT_DOUBLE_EQ(h.sum, 9.0);
+    }
+  }
+  EXPECT_TRUE(found_hist);
+}
+
+// --- TaskScope / thread-local context ---------------------------------------
+
+TEST(TaskScope, InstallsAndRestoresNested) {
+  EXPECT_EQ(obs::current_trace(), nullptr);
+  obs::TraceRecorder outer_rec(4);
+  obs::Registry outer_reg;
+  {
+    const obs::TaskScope outer(&outer_rec, &outer_reg);
+    EXPECT_EQ(obs::current_trace(), &outer_rec);
+    EXPECT_EQ(obs::current_registry(), &outer_reg);
+    {
+      const obs::TaskScope inner(nullptr, nullptr);
+      EXPECT_EQ(obs::current_trace(), nullptr);
+      EXPECT_EQ(obs::current_registry(), nullptr);
+    }
+    EXPECT_EQ(obs::current_trace(), &outer_rec);
+  }
+  EXPECT_EQ(obs::current_trace(), nullptr);
+}
+
+TEST(TaskScope, IsPerThread) {
+  obs::TraceRecorder recorder(4);
+  const obs::TaskScope scope(&recorder, nullptr);
+  obs::TraceRecorder* seen = &recorder;
+  std::thread other([&]() { seen = obs::current_trace(); });
+  other.join();
+  EXPECT_EQ(seen, nullptr) << "scopes must not leak across threads";
+}
+
+// --- swarm integration: tracing must not perturb the simulation -------------
+
+bt::SwarmConfig small_config(std::uint64_t seed) {
+  bt::SwarmConfig config;
+  config.num_pieces = 24;
+  config.max_connections = 3;
+  config.peer_set_size = 10;
+  config.arrival_rate = 1.5;
+  config.seed = seed;
+  config.shake.enabled = true;
+  config.shake.completion_fraction = 0.8;
+  // Strict tit-for-tat starves a cold swarm; warm it like the real
+  // scenarios do so completions (and their trace events) actually occur.
+  config.arrival_piece_probs.assign(config.num_pieces, 0.4);
+  bt::InitialGroup warm;
+  warm.count = 20;
+  warm.piece_probs.assign(config.num_pieces, 0.5);
+  config.initial_groups.push_back(std::move(warm));
+  return config;
+}
+
+TEST(SwarmTracing, DoesNotPerturbSimulation) {
+  bt::Swarm plain(small_config(7));
+  plain.run_rounds(80);
+
+  obs::Registry registry;
+  obs::TraceRecorder recorder;
+  recorder.set_registry(&registry);
+  std::optional<bt::Swarm> traced;
+  {
+    const obs::TaskScope scope(&recorder, &registry);
+    traced.emplace(small_config(7));
+  }
+  traced->run_rounds(80);
+
+  EXPECT_GT(recorder.total_recorded(), 0u) << "swarm picked up the recorder";
+  ASSERT_EQ(plain.metrics().population().size(), traced->metrics().population().size());
+  for (std::size_t i = 0; i < plain.metrics().population().size(); ++i) {
+    EXPECT_EQ(plain.metrics().population()[i].value, traced->metrics().population()[i].value);
+    EXPECT_EQ(plain.metrics().entropy()[i].value, traced->metrics().entropy()[i].value);
+  }
+  EXPECT_EQ(plain.population(), traced->population());
+  EXPECT_EQ(plain.num_seeds(), traced->num_seeds());
+}
+
+TEST(SwarmTracing, SameSeedProducesIdenticalEventStreams) {
+  auto run = [](std::uint64_t seed) {
+    obs::TraceRecorder recorder;
+    {
+      const obs::TaskScope scope(&recorder, nullptr);
+      bt::Swarm swarm(small_config(seed));
+      swarm.run_rounds(60);
+    }
+    return recorder.events();
+  };
+  EXPECT_EQ(run(11), run(11));
+  EXPECT_NE(run(11), run(12));
+}
+
+TEST(SwarmTracing, EmitsExpectedEventFamilies) {
+  obs::TraceRecorder recorder;
+  {
+    const obs::TaskScope scope(&recorder, nullptr);
+    bt::Swarm swarm(small_config(5));
+    swarm.run_rounds(250);
+  }
+  std::size_t joins = 0, pieces = 0, completes = 0, phases = 0, samples = 0, shakes = 0;
+  for (const obs::TraceEvent& event : recorder.events()) {
+    switch (event.type) {
+      case obs::EventType::kPeerJoin: ++joins; break;
+      case obs::EventType::kPieceAcquired: ++pieces; break;
+      case obs::EventType::kPeerComplete: ++completes; break;
+      case obs::EventType::kPhaseTransition: ++phases; break;
+      case obs::EventType::kRoundSample: ++samples; break;
+      case obs::EventType::kPeerSetShake: ++shakes; break;
+      default: break;
+    }
+  }
+  EXPECT_GT(joins, 0u);
+  EXPECT_GT(pieces, 0u);
+  EXPECT_GT(completes, 0u);
+  EXPECT_GT(phases, 0u);
+  EXPECT_EQ(samples, 250u) << "one round sample per round";
+  EXPECT_GT(shakes, 0u) << "shaking enabled at 0.8 completion";
+}
+
+// --- engine observer ---------------------------------------------------------
+
+TEST(EngineObserver, CountsSchedulesAndExecutesAndHighWater) {
+  struct Counting : des::EngineObserver {
+    int scheduled = 0;
+    int executed = 0;
+    void on_schedule(double) override { ++scheduled; }
+    void on_execute(double) override { ++executed; }
+  };
+  Counting counting;
+  des::Engine engine;
+  engine.set_observer(&counting);
+  engine.schedule_at(1.0, []() {});
+  engine.schedule_at(2.0, []() {});
+  engine.schedule_in(3.0, []() {});
+  EXPECT_EQ(counting.scheduled, 3);
+  EXPECT_EQ(engine.queue_high_water(), 3u);
+  engine.run();
+  EXPECT_EQ(counting.executed, 3);
+  EXPECT_EQ(engine.queue_high_water(), 3u) << "high-water persists after drain";
+}
+
+// --- thread-pool profiling ---------------------------------------------------
+
+TEST(WallProfiler, RecordsSpansAndWorkerStats) {
+  obs::WallProfiler profiler;
+  {
+    exp::ThreadPool pool(2);
+    pool.set_profiler(&profiler);
+    exp::parallel_for_each(pool, 6, [](std::size_t) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    });
+  }
+  const std::vector<obs::TaskSpan> spans = profiler.spans();
+  ASSERT_EQ(spans.size(), 6u);
+  for (const obs::TaskSpan& span : spans) {
+    EXPECT_LT(span.worker, 2u);
+    EXPECT_GE(span.duration_us, 1000);
+    EXPECT_GE(span.queue_wait_us, 0);
+  }
+  const std::vector<obs::WorkerStats> stats = profiler.worker_stats();
+  ASSERT_LE(stats.size(), 2u);
+  std::uint64_t total_tasks = 0;
+  for (const obs::WorkerStats& w : stats) {
+    total_tasks += w.tasks;
+    EXPECT_GT(w.busy_seconds, 0.0);
+    EXPECT_GE(w.idle_seconds, 0.0);
+  }
+  EXPECT_EQ(total_tasks, 6u);
+}
+
+TEST(ScopedTimer, FeedsHistogramOnDestruction) {
+  obs::Registry registry;
+  obs::Histogram& hist = registry.histogram("t", {10.0});
+  {
+    const obs::ScopedTimer timer(&hist);
+    EXPECT_GE(timer.elapsed_seconds(), 0.0);
+  }
+  EXPECT_EQ(hist.count(), 1u);
+  { const obs::ScopedTimer noop(nullptr); }  // must not crash
+  EXPECT_EQ(hist.count(), 1u);
+}
+
+// --- Chrome trace exporter: well-formedness ---------------------------------
+
+// Minimal recursive-descent JSON validator — enough to prove the
+// exporter's output parses (structure + string escapes + numbers).
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // {
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // [
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control char
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                std::isxdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const std::string& word) {
+    if (text_.compare(pos_, word.size(), word) != 0) return false;
+    pos_ += word.size();
+    return true;
+  }
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+TEST(ChromeTrace, OutputIsWellFormedJsonWithPeerAndWorkerLanes) {
+  obs::TraceCollector collector;
+  obs::WallProfiler profiler;
+  {
+    obs::TraceRecorder recorder;
+    {
+      const obs::TaskScope scope(&recorder, nullptr);
+      bt::Swarm swarm(small_config(3));
+      swarm.run_rounds(40);
+    }
+    obs::TaskTrace trace;
+    trace.task = 0;
+    trace.label = "test \"quoted\" label\n";  // exercises escaping
+    trace.events = recorder.events();
+    collector.add(std::move(trace));
+  }
+  {
+    exp::ThreadPool pool(2);
+    pool.set_profiler(&profiler);
+    exp::parallel_for_each(pool, 4, [](std::size_t) {});
+  }
+
+  std::ostringstream out;
+  obs::write_chrome_trace(out, collector, &profiler);
+  const std::string json = out.str();
+
+  EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << "worker spans present";
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos) << "instant events present";
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos) << "counter tracks present";
+  EXPECT_NE(json.find("piece_acquired"), std::string::npos);
+}
+
+TEST(ChromeTrace, EmptyCollectorStillValid) {
+  obs::TraceCollector collector;
+  std::ostringstream out;
+  obs::write_chrome_trace(out, collector, nullptr);
+  EXPECT_TRUE(JsonChecker(out.str()).valid()) << out.str();
+}
+
+// --- sweep runner integration: jobs-invariant traces ------------------------
+
+exp::Scenario tiny_scenario() {
+  exp::Scenario scenario;
+  scenario.name = "obs_test";
+  scenario.description = "tiny swarm for observability tests";
+  scenario.make_points = [](const exp::SweepOptions&) {
+    std::vector<exp::ParamPoint> points(3);
+    for (int i = 0; i < 3; ++i) {
+      points[static_cast<std::size_t>(i)].set("i", static_cast<long long>(i));
+    }
+    return points;
+  };
+  scenario.run = [](const exp::ParamPoint& point, std::uint64_t seed,
+                    const exp::SweepOptions&) {
+    bt::Swarm swarm(small_config(seed));
+    swarm.run_rounds(30 + 5 * static_cast<int>(point.get_int("i")));
+    exp::Record record;
+    record.set("population", static_cast<long long>(swarm.population()));
+    return record;
+  };
+  return scenario;
+}
+
+std::vector<obs::TaskTrace> run_traced_sweep(int jobs, obs::MetricsSnapshot* metrics_out) {
+  exp::SweepOptions options;
+  options.seed = 99;
+  options.runs = 2;
+  options.jobs = jobs;
+  obs::Registry registry;
+  obs::TraceCollector collector;
+  options.observability.registry = &registry;
+  options.observability.traces = &collector;
+  const exp::SweepRunner runner(options);
+  const exp::SweepSummary summary = runner.run(tiny_scenario());
+  if (metrics_out != nullptr) {
+    *metrics_out = summary.metrics;
+  }
+  return collector.sorted();
+}
+
+TEST(SweepTracing, SimTimeTracesAreIdenticalForAnyJobCount) {
+  obs::MetricsSnapshot metrics1;
+  obs::MetricsSnapshot metrics8;
+  const std::vector<obs::TaskTrace> t1 = run_traced_sweep(1, &metrics1);
+  const std::vector<obs::TaskTrace> t8 = run_traced_sweep(8, &metrics8);
+
+  ASSERT_EQ(t1.size(), 6u);
+  ASSERT_EQ(t1.size(), t8.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].task, t8[i].task);
+    EXPECT_EQ(t1[i].label, t8[i].label);
+    EXPECT_EQ(t1[i].dropped, t8[i].dropped);
+    EXPECT_EQ(t1[i].events, t8[i].events) << "task " << i;
+  }
+
+  // Counters (sums of per-task work) must also be jobs-invariant.
+  ASSERT_EQ(metrics1.counters.size(), metrics8.counters.size());
+  for (std::size_t i = 0; i < metrics1.counters.size(); ++i) {
+    EXPECT_EQ(metrics1.counters[i].name, metrics8.counters[i].name);
+    EXPECT_EQ(metrics1.counters[i].value, metrics8.counters[i].value);
+  }
+}
+
+TEST(SweepTracing, RecordsAreIdenticalWithAndWithoutTracing) {
+  exp::SweepOptions options;
+  options.seed = 123;
+  options.runs = 2;
+  options.jobs = 2;
+  const exp::Scenario scenario = tiny_scenario();
+
+  const exp::SweepSummary plain = exp::SweepRunner(options).run(scenario);
+
+  obs::Registry registry;
+  obs::TraceCollector collector;
+  options.observability.registry = &registry;
+  options.observability.traces = &collector;
+  const exp::SweepSummary traced = exp::SweepRunner(options).run(scenario);
+
+  ASSERT_EQ(plain.records.size(), traced.records.size());
+  for (std::size_t i = 0; i < plain.records.size(); ++i) {
+    ASSERT_EQ(plain.records[i].fields.size(), traced.records[i].fields.size());
+    for (std::size_t f = 0; f < plain.records[i].fields.size(); ++f) {
+      EXPECT_EQ(plain.records[i].fields[f], traced.records[i].fields[f]);
+    }
+  }
+  EXPECT_GT(collector.total_events(), 0u);
+}
+
+// --- metrics export ----------------------------------------------------------
+
+TEST(MetricsExport, UniformSchemaAndBucketEncoding) {
+  obs::Registry registry;
+  registry.counter("c").add(5);
+  registry.gauge("g").set(2.5);
+  obs::Histogram& hist = registry.histogram("h", {10.0, 20.0});
+  hist.observe(5.0);
+  hist.observe(25.0);
+
+  std::ostringstream out;
+  exp::JsonlSink sink(out);
+  exp::write_metrics_snapshot(registry.snapshot(), sink);
+  const std::string text = out.str();
+
+  std::istringstream lines(text);
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(JsonChecker(line).valid()) << line;
+    ++count;
+  }
+  EXPECT_EQ(count, 3);
+  EXPECT_NE(text.find("\"kind\":\"counter\""), std::string::npos);
+  EXPECT_NE(text.find("\"kind\":\"gauge\""), std::string::npos);
+  EXPECT_NE(text.find("\"buckets\":\"10:1|20:0|+inf:1\""), std::string::npos);
+
+  // The same records must satisfy CsvSink's same-columns invariant.
+  std::ostringstream csv_out;
+  exp::CsvSink csv(csv_out);
+  exp::write_metrics_snapshot(registry.snapshot(), csv);
+  EXPECT_NE(csv_out.str().find("kind,name,value,count,sum,buckets"), std::string::npos);
+}
+
+TEST(ProgressReporter, AnnotationsPrintOnFinish) {
+  std::ostringstream out;
+  exp::ProgressReporter progress(1, &out, "obs");
+  progress.task_done();
+  progress.annotate("extra line");
+  progress.finish();
+  EXPECT_NE(out.str().find("[obs] extra line"), std::string::npos);
+}
+
+}  // namespace
