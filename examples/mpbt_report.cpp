@@ -1,0 +1,365 @@
+// mpbt_report — validation report generator and baseline regression gate.
+//
+// Report mode (default): consumes artifacts other tools produced and
+// renders a deterministic Markdown (and optionally HTML) report —
+// figure-reproduction tables, per-phase analytics, model-vs-sim drift,
+// baseline gate verdicts and the performance trajectory.
+//
+//   mpbt_report --records=sweep.jsonl[,more.jsonl] [--summary=run.json,...]
+//               [--trace=trace.json] [--metrics=metrics.jsonl]
+//               [--bench=BENCH_0003.json] [--out=report.md] [--html=report.html]
+//               [--baselines=DIR --check | --write-baselines]
+//               [--abs-tol=0.05] [--rel-tol=0.25]
+//               [--inject-drift=metric=FACTOR[,metric=FACTOR...]]
+//
+// --check gates every summarized scenario against baselines/<scenario>.json
+// and exits 1 when any metric drifts outside tolerance (or a gated
+// baseline file is missing) — the CI regression gate. --write-baselines
+// refreshes the committed files from the current run instead.
+// --inject-drift multiplies a metric after summarizing; CI uses it to
+// prove the gate actually fails on a synthetic regression.
+//
+// Bench-append mode: re-encodes a google-benchmark JSON result and/or a
+// wall-time table into one labeled entry of an "mpbt-bench-v1" file:
+//
+//   mpbt_report --append-bench --bench=BENCH_0003.json --bench-label=PR3
+//               [--google-benchmark=gb.json] [--wall-times=times.txt]
+//               [--build-type=Release] [--bench-source=note]
+//
+// Everything rendered is a pure function of the inputs: re-running the
+// same sweep with any --jobs value produces a byte-identical report.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "report/baseline.hpp"
+#include "report/bench.hpp"
+#include "report/drift.hpp"
+#include "report/inputs.hpp"
+#include "report/render.hpp"
+#include "report/summary.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace mpbt;
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream stream(csv);
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+/// Accepts a summary file in any of the shapes mpbt tools write: a
+/// single "mpbt-summary-v1" object, an array of them, or a wrapper
+/// object with a "summaries" array.
+std::vector<report::RunSummary> summaries_from_file(const std::string& path) {
+  const report::Json json = report::Json::load_file(path);
+  std::vector<report::RunSummary> out;
+  if (json.is_array()) {
+    for (const report::Json& entry : json.as_array()) {
+      out.push_back(report::summary_from_json(entry));
+    }
+    return out;
+  }
+  if (const report::Json* list = json.find("summaries"); list != nullptr) {
+    for (const report::Json& entry : list->as_array()) {
+      out.push_back(report::summary_from_json(entry));
+    }
+    return out;
+  }
+  out.push_back(report::summary_from_json(json));
+  return out;
+}
+
+/// The sweep labels task traces "<scenario> point=N rep=M"; group the
+/// tasks back onto their scenario's summary. Unlabeled tasks (a trace
+/// that lost its metadata) fall back to the only summary when there is
+/// exactly one.
+void attach_trace_tasks(std::vector<report::RunSummary>& summaries,
+                        const std::vector<obs::TaskTrace>& tasks) {
+  for (report::RunSummary& summary : summaries) {
+    std::vector<obs::TaskTrace> matched;
+    for (const obs::TaskTrace& task : tasks) {
+      const bool labeled_for_this =
+          task.label == summary.scenario ||
+          task.label.starts_with(summary.scenario + " ");
+      if (labeled_for_this || (task.label.empty() && summaries.size() == 1)) {
+        matched.push_back(task);
+      }
+    }
+    if (!matched.empty()) {
+      report::attach_traces(summary, matched);
+    }
+  }
+}
+
+/// Parses "metric=factor[,metric=factor...]" and scales those metrics in
+/// every summary that carries them. Returns how many were perturbed.
+std::size_t inject_drift(std::vector<report::RunSummary>& summaries,
+                         const std::string& spec) {
+  std::size_t injected = 0;
+  for (const std::string& pair : split_list(spec)) {
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("--inject-drift: expected metric=FACTOR, got '" +
+                                  pair + "'");
+    }
+    const std::string name = pair.substr(0, eq);
+    const double factor = std::stod(pair.substr(eq + 1));
+    for (report::RunSummary& summary : summaries) {
+      const double value = summary.metric_or(name, std::numeric_limits<double>::quiet_NaN());
+      if (value == value) {  // present
+        summary.set_metric(name, value * factor);
+        ++injected;
+      }
+    }
+  }
+  return injected;
+}
+
+int append_bench(const util::CliParser& cli) {
+  const std::string path = cli.get("bench");
+  if (path.empty()) {
+    std::cerr << "mpbt_report: --append-bench needs --bench=PATH\n";
+    return 2;
+  }
+  const std::string label = cli.get("bench-label");
+  if (label.empty()) {
+    std::cerr << "mpbt_report: --append-bench needs --bench-label=LABEL\n";
+    return 2;
+  }
+
+  report::BenchTrajectory trajectory;
+  if (std::filesystem::exists(path)) {
+    trajectory = report::bench_from_json(report::Json::load_file(path));
+  }
+
+  report::BenchEntry entry;
+  entry.label = label;
+  entry.build_type = cli.get("build-type");
+  entry.source = cli.get("bench-source");
+  if (const std::string gb = cli.get("google-benchmark"); !gb.empty()) {
+    entry.benchmarks = report::parse_google_benchmark(report::Json::load_file(gb));
+  }
+  if (const std::string wt = cli.get("wall-times"); !wt.empty()) {
+    entry.wall_times = report::parse_wall_times(read_text_file(wt));
+  }
+  if (entry.benchmarks.empty() && entry.wall_times.empty()) {
+    std::cerr << "mpbt_report: --append-bench found nothing to append "
+                 "(give --google-benchmark and/or --wall-times)\n";
+    return 2;
+  }
+  trajectory.entries.push_back(std::move(entry));
+  report::bench_to_json(trajectory).save_file(path);
+  std::cerr << "mpbt_report: appended bench entry '" << label << "' ("
+            << trajectory.entries.back().benchmarks.size() << " benchmarks, "
+            << trajectory.entries.back().wall_times.size() << " wall times) -> "
+            << path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli(
+      "mpbt_report",
+      "Validation report generator and baseline regression gate.\n"
+      "Report mode: mpbt_report --records=sweep.jsonl [--trace=...] [--out=report.md]\n"
+      "Gate:        mpbt_report --records=... --baselines=DIR --check\n"
+      "Bench:       mpbt_report --append-bench --bench=FILE --bench-label=LABEL");
+  cli.add_option("records", "sweep result JSONL path(s), comma-separated", "");
+  cli.add_option("summary", "mpbt-summary-v1 JSON path(s), comma-separated", "");
+  cli.add_option("trace", "Chrome trace JSON to rebuild phase analytics from", "");
+  cli.add_option("metrics", "metrics-snapshot JSONL/CSV-as-JSONL export to tabulate", "");
+  cli.add_option("bench", "mpbt-bench-v1 trajectory file (read, or --append-bench target)",
+                 "");
+  cli.add_option("out", "Markdown output path (empty = stdout)", "");
+  cli.add_option("html", "also render HTML to this path", "");
+  cli.add_option("title", "report title", "MPBT validation report");
+  cli.add_option("baselines", "baseline directory (one <scenario>.json per scenario)", "");
+  cli.add_flag("check", "gate summaries against --baselines; exit 1 on drift");
+  cli.add_flag("write-baselines", "refresh --baselines from this run instead of gating");
+  cli.add_option("abs-tol", "absolute tolerance written by --write-baselines", "0.05");
+  cli.add_option("rel-tol", "relative tolerance written by --write-baselines", "0.25");
+  cli.add_option("inject-drift",
+                 "metric=FACTOR[,...]: scale metrics after summarizing "
+                 "(synthetic-regression self-test)",
+                 "");
+  cli.add_option("us-per-round", "sim-time scale the trace was written with", "1000");
+  cli.add_flag("append-bench", "append a bench entry to --bench and exit");
+  cli.add_option("bench-label", "entry label for --append-bench (e.g. PR3)", "");
+  cli.add_option("build-type", "build type recorded by --append-bench", "Release");
+  cli.add_option("bench-source", "provenance note recorded by --append-bench", "");
+  cli.add_option("google-benchmark",
+                 "google-benchmark --benchmark_format=json output to append", "");
+  cli.add_option("wall-times", "wall-time table (\"binary seconds\" lines) to append", "");
+
+  try {
+    if (!cli.parse(argc, argv)) {
+      return 0;
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "mpbt_report: " << error.what() << "\n";
+    return 2;
+  }
+
+  try {
+    if (cli.has_flag("append-bench")) {
+      return append_bench(cli);
+    }
+    if (cli.has_flag("check") && cli.has_flag("write-baselines")) {
+      std::cerr << "mpbt_report: --check and --write-baselines are exclusive\n";
+      return 2;
+    }
+
+    // --- assemble summaries -------------------------------------------------
+    std::vector<exp::Record> records;
+    for (const std::string& path : split_list(cli.get("records"))) {
+      std::vector<exp::Record> loaded = report::load_records_jsonl(path);
+      std::move(loaded.begin(), loaded.end(), std::back_inserter(records));
+    }
+    std::vector<report::RunSummary> summaries = report::summarize_records(records);
+    for (const std::string& path : split_list(cli.get("summary"))) {
+      std::vector<report::RunSummary> loaded = summaries_from_file(path);
+      std::move(loaded.begin(), loaded.end(), std::back_inserter(summaries));
+    }
+    std::sort(summaries.begin(), summaries.end(),
+              [](const report::RunSummary& a, const report::RunSummary& b) {
+                return a.scenario < b.scenario;
+              });
+    if (summaries.empty() && cli.get("metrics").empty() && cli.get("bench").empty()) {
+      std::cerr << "mpbt_report: no inputs (give --records, --summary, --metrics or "
+                   "--bench; see --help)\n";
+      return 2;
+    }
+
+    if (const std::string trace_path = cli.get("trace"); !trace_path.empty()) {
+      const std::vector<obs::TaskTrace> tasks = report::traces_from_chrome_json(
+          report::Json::load_file(trace_path), cli.get_double("us-per-round"));
+      attach_trace_tasks(summaries, tasks);
+    }
+
+    report::Report rendered;
+    rendered.title = cli.get("title");
+    for (report::RunSummary& summary : summaries) {
+      std::vector<report::DriftRow> rows = report::attach_drift(summary);
+      std::move(rows.begin(), rows.end(), std::back_inserter(rendered.drift));
+    }
+
+    if (const std::string spec = cli.get("inject-drift"); !spec.empty()) {
+      const std::size_t injected = inject_drift(summaries, spec);
+      std::cerr << "mpbt_report: injected synthetic drift into " << injected
+                << " metric(s)\n";
+    }
+
+    // --- baseline gate ------------------------------------------------------
+    const std::string baseline_dir = cli.get("baselines");
+    std::vector<std::string> missing_baselines;
+    if (!baseline_dir.empty() && cli.has_flag("write-baselines")) {
+      report::Tolerance tolerance;
+      tolerance.abs_tol = cli.get_double("abs-tol");
+      tolerance.rel_tol = cli.get_double("rel-tol");
+      std::filesystem::create_directories(baseline_dir);
+      for (const report::RunSummary& summary : summaries) {
+        const std::string path = report::baseline_path(baseline_dir, summary.scenario);
+        report::baseline_to_json(report::baseline_from_summary(summary, tolerance))
+            .save_file(path);
+        std::cerr << "mpbt_report: wrote baseline " << path << "\n";
+      }
+    } else if (!baseline_dir.empty()) {
+      for (const report::RunSummary& summary : summaries) {
+        const std::string path = report::baseline_path(baseline_dir, summary.scenario);
+        if (!std::filesystem::exists(path)) {
+          missing_baselines.push_back(summary.scenario);
+          continue;
+        }
+        const report::Baseline baseline =
+            report::baseline_from_json(report::Json::load_file(path));
+        rendered.gates.push_back(report::check_against_baseline(baseline, summary));
+      }
+    }
+
+    // --- auxiliary tables ---------------------------------------------------
+    if (const std::string metrics_path = cli.get("metrics"); !metrics_path.empty()) {
+      rendered.registry_metrics =
+          report::metric_rows_from_records(report::load_records_jsonl(metrics_path));
+    }
+    if (const std::string bench_path = cli.get("bench");
+        !bench_path.empty() && std::filesystem::exists(bench_path)) {
+      rendered.bench = report::bench_from_json(report::Json::load_file(bench_path));
+      rendered.has_bench = true;
+    }
+
+    rendered.summaries = std::move(summaries);
+
+    // --- render -------------------------------------------------------------
+    const std::string markdown = report::render_markdown(rendered);
+    if (const std::string out = cli.get("out"); !out.empty()) {
+      std::ofstream file(out, std::ios::binary);
+      if (!file) {
+        throw std::runtime_error("cannot open " + out);
+      }
+      file << markdown;
+      std::cerr << "mpbt_report: wrote " << out << "\n";
+    } else {
+      std::cout << markdown;
+    }
+    if (const std::string html = cli.get("html"); !html.empty()) {
+      std::ofstream file(html, std::ios::binary);
+      if (!file) {
+        throw std::runtime_error("cannot open " + html);
+      }
+      file << report::render_html(rendered);
+      std::cerr << "mpbt_report: wrote " << html << "\n";
+    }
+
+    // --- verdict ------------------------------------------------------------
+    bool failed = false;
+    for (const report::GateReport& gate : rendered.gates) {
+      std::cerr << "mpbt_report: gate " << gate.scenario << ": "
+                << (gate.passed() ? "PASS" : "FAIL") << " ("
+                << gate.count(report::GateStatus::kOk) << " ok, "
+                << gate.count(report::GateStatus::kWarn) << " warn, "
+                << gate.count(report::GateStatus::kFail) << " fail, "
+                << gate.count(report::GateStatus::kMissing) << " missing, "
+                << gate.count(report::GateStatus::kNew) << " new)\n";
+      failed = failed || !gate.passed();
+    }
+    for (const std::string& scenario : missing_baselines) {
+      std::cerr << "mpbt_report: gate " << scenario << ": FAIL (no baseline file under "
+                << baseline_dir << "; run --write-baselines)\n";
+      failed = true;
+    }
+    if (cli.has_flag("check") && failed) {
+      return 1;
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "mpbt_report: " << error.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

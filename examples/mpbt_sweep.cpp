@@ -2,7 +2,8 @@
 //
 //   mpbt_sweep <scenario> [--jobs=N] [--seed=S] [--runs=R] [--quick]
 //              [--out=PATH] [--format=jsonl|csv]
-//              [--trace=PATH] [--metrics=PATH] [--log-level=LEVEL]
+//              [--trace=PATH] [--metrics=PATH] [--summary=PATH]
+//              [--log-level=LEVEL]
 //   mpbt_sweep --list
 //
 // Fans the scenario's parameter grid × --runs repetitions over a worker
@@ -17,6 +18,11 @@
 // writes the end-of-run registry snapshot as JSONL (or CSV when the path
 // ends in .csv). Tracing never perturbs results: scenario records are
 // byte-identical with and without it (see docs/OBSERVABILITY.md).
+//
+// --summary folds the run into an "mpbt-summary-v1" JSON document
+// in-process — per-point mean profiles, model-vs-sim drift scores and
+// (because --summary implies trace collection) the per-phase rollup of
+// the instrumented clients — ready for mpbt_report --summary=PATH.
 #include <algorithm>
 #include <cstdint>
 #include <iostream>
@@ -31,6 +37,8 @@
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
+#include "report/drift.hpp"
+#include "report/summary.hpp"
 #include "util/cli.hpp"
 #include "util/logging.hpp"
 
@@ -62,6 +70,7 @@ int main(int argc, char** argv) {
   cli.add_option("trace", "write a Chrome trace-event JSON to this path", "");
   cli.add_option("metrics", "write the metrics snapshot to this path (jsonl, or csv by extension)",
                  "");
+  cli.add_option("summary", "write an mpbt-summary-v1 JSON run summary to this path", "");
   cli.add_option("log-level", "debug|info|warn|error|off (default: warn, or $MPBT_LOG)", "");
 
   try {
@@ -110,14 +119,20 @@ int main(int argc, char** argv) {
   // so the hot path branches on nullptr and nothing else.
   const std::string trace_path = cli.get("trace");
   const std::string metrics_path = cli.get("metrics");
+  const std::string summary_path = cli.get("summary");
   obs::Registry registry;
   obs::TraceCollector collector;
   obs::WallProfiler profiler;
-  if (!trace_path.empty() || !metrics_path.empty()) {
+  if (!trace_path.empty() || !metrics_path.empty() || !summary_path.empty()) {
     options.observability.registry = &registry;
   }
-  if (!trace_path.empty()) {
+  // --summary needs the trace events too: the per-phase rollup is
+  // rebuilt from the instrumented clients' samples. Collection never
+  // perturbs the simulation, so turning it on is free of drift.
+  if (!trace_path.empty() || !summary_path.empty()) {
     options.observability.traces = &collector;
+  }
+  if (!trace_path.empty()) {
     options.observability.profiler = &profiler;
   }
 
@@ -164,8 +179,20 @@ int main(int argc, char** argv) {
       metrics_sink->flush();
       std::cerr << "[" << scenario->name << "] metrics: "
                 << summary.metrics.counters.size() + summary.metrics.gauges.size() +
-                       summary.metrics.histograms.size()
+                       summary.metrics.histograms.size() + summary.metrics.stats.size()
                 << " metrics -> " << metrics_path << "\n";
+    }
+    if (!summary_path.empty()) {
+      std::vector<report::RunSummary> summaries = report::summarize_records(summary.records);
+      if (summaries.size() != 1) {
+        throw std::runtime_error("mpbt_sweep: expected one scenario in the run summary");
+      }
+      report::RunSummary& run = summaries.front();
+      report::attach_traces(run, collector.sorted());
+      report::attach_drift(run);
+      report::summary_to_json(run).save_file(summary_path);
+      std::cerr << "[" << scenario->name << "] summary: " << run.metrics.size()
+                << " metrics -> " << summary_path << "\n";
     }
 
     std::cerr << "[" << scenario->name << "] " << summary.points << " points x " << options.runs

@@ -6,12 +6,19 @@
 #
 # Usage: scripts/run_all_figures.sh [build-dir] [out-dir] [--quick] [--jobs=N]
 #                                   [--log-level=LEVEL]
+#                                   [--bench-json=PATH] [--bench-label=LABEL]
 #
 # Each binary's stdout table goes to $OUT_DIR/<name>.txt and its stderr to
 # $OUT_DIR/<name>.err (jobs run concurrently, so stderr cannot share the
 # terminal without interleaving). --log-level is forwarded to every figure
 # binary (perf_microbench excepted — google-benchmark owns its flags). A
 # per-binary wall-time summary table prints at the end.
+#
+# --bench-json=PATH appends this run's perf_microbench results and the
+# wall-time table as one labeled entry of an mpbt-bench-v1 trajectory
+# file (e.g. BENCH_0003.json) via `mpbt_report --append-bench`, so the
+# repo's performance history accumulates run over run. --bench-label
+# names the entry (default: the build dir's CMAKE_BUILD_TYPE or "run").
 set -euo pipefail
 
 BUILD_DIR="build"
@@ -19,6 +26,8 @@ OUT_DIR="out"
 QUICK=0
 JOBS="$(nproc 2>/dev/null || echo 2)"
 LOG_LEVEL=""
+BENCH_JSON=""
+BENCH_LABEL=""
 
 positional=()
 for arg in "$@"; do
@@ -26,8 +35,11 @@ for arg in "$@"; do
     --quick) QUICK=1 ;;
     --jobs=*) JOBS="${arg#--jobs=}" ;;
     --log-level=*) LOG_LEVEL="${arg#--log-level=}" ;;
+    --bench-json=*) BENCH_JSON="${arg#--bench-json=}" ;;
+    --bench-label=*) BENCH_LABEL="${arg#--bench-label=}" ;;
     -*)
       echo "usage: $0 [build-dir] [out-dir] [--quick] [--jobs=N] [--log-level=LEVEL]" >&2
+      echo "          [--bench-json=PATH] [--bench-label=LABEL]" >&2
       exit 2
       ;;
     *) positional+=("$arg") ;;
@@ -63,8 +75,11 @@ run_bench() {
   start_s="$(date +%s.%N)"
   if [ "$name" = perf_microbench ]; then
     # Bare-double form: accepted by every google-benchmark version (the
-    # "0.01s" suffix form only parses on >= 1.8).
-    "$bench" --benchmark_min_time=0.01 > "$OUT_DIR/$name.txt" 2> "$OUT_DIR/$name.err" || rc=$?
+    # "0.01s" suffix form only parses on >= 1.8). The JSON side-output
+    # feeds `mpbt_report --append-bench` when --bench-json is given.
+    "$bench" --benchmark_min_time=0.01 \
+      --benchmark_out="$OUT_DIR/$name.json" --benchmark_out_format=json \
+      > "$OUT_DIR/$name.txt" 2> "$OUT_DIR/$name.err" || rc=$?
   else
     local args=(--csv="$OUT_DIR/$name.csv")
     [ "$QUICK" = 1 ] && args+=(--quick)
@@ -128,6 +143,26 @@ echo "wall time per binary:"
     printf '  %-28s %10s\n' "$name" "$(cat "$time_file")"
   done | sort -k2 -rn
 } | tee "$OUT_DIR/wall_times.txt"
+
+if [ -n "$BENCH_JSON" ]; then
+  REPORT_BIN="$BUILD_DIR/examples/mpbt_report"
+  if [ ! -x "$REPORT_BIN" ]; then
+    echo "error: $REPORT_BIN not found — build examples first" >&2
+    exit 1
+  fi
+  if [ -z "$BENCH_LABEL" ]; then
+    BENCH_LABEL="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" 2>/dev/null)"
+    BENCH_LABEL="${BENCH_LABEL:-run}"
+  fi
+  BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" 2>/dev/null)"
+  append_args=(--append-bench --bench="$BENCH_JSON" --bench-label="$BENCH_LABEL"
+               --build-type="${BUILD_TYPE:-unknown}"
+               --bench-source="scripts/run_all_figures.sh$([ "$QUICK" = 1 ] && echo ' --quick')"
+               --wall-times="$OUT_DIR/wall_times.txt")
+  [ -s "$OUT_DIR/perf_microbench.json" ] && \
+    append_args+=(--google-benchmark="$OUT_DIR/perf_microbench.json")
+  "$REPORT_BIN" "${append_args[@]}"
+fi
 
 echo
 echo "outputs in $OUT_DIR/ — text tables (*.txt) and CSV series (*.csv)."

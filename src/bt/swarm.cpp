@@ -1058,6 +1058,11 @@ void Swarm::phase_record_metrics() {
                                 static_cast<std::uint32_t>(p.neighbors.size()),
                                 static_cast<std::uint32_t>(p.pieces.count()),
                                 static_cast<std::uint32_t>(p.connections.size())});
+      if (trace_ != nullptr) {
+        trace_->client_sample(round_, id, static_cast<std::uint32_t>(p.potential.size()),
+                              static_cast<std::uint32_t>(p.pieces.count()),
+                              p.bytes_downloaded);
+      }
     }
   }
 

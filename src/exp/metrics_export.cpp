@@ -1,6 +1,7 @@
 #include "exp/metrics_export.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <string>
 
 namespace mpbt::exp {
@@ -19,6 +20,25 @@ Record base_record(std::string kind, const std::string& name) {
 }
 
 }  // namespace
+
+std::string format_stats(const obs::StreamStatsSnapshot& stats) {
+  std::string out;
+  out += "stddev:";
+  out += format_value(stats.stddev);
+  out += "|min:";
+  out += format_value(stats.min);
+  out += "|max:";
+  out += format_value(stats.max);
+  for (const auto& [probability, estimate] : stats.quantiles) {
+    // Probes are labels, not measurements: "p0.9", not the probe's
+    // 17-digit double representation.
+    char probe[32];
+    std::snprintf(probe, sizeof probe, "|p%g:", probability);
+    out += probe;
+    out += format_value(estimate);
+  }
+  return out;
+}
 
 std::string format_buckets(const obs::HistogramSnapshot& hist) {
   std::string out;
@@ -55,6 +75,14 @@ void write_metrics_snapshot(const obs::MetricsSnapshot& snapshot, Sink& sink) {
     record.set("count", static_cast<long long>(hist.count));
     record.set("sum", hist.sum);
     record.set("buckets", format_buckets(hist));
+    sink.write(record);
+  }
+  for (const obs::StreamStatsSnapshot& stats : snapshot.stats) {
+    Record record = base_record("stats", stats.name);
+    record.set("value", stats.mean);
+    record.set("count", static_cast<long long>(stats.count));
+    record.set("sum", stats.sum);
+    record.set("buckets", format_stats(stats));
     sink.write(record);
   }
 }

@@ -16,9 +16,15 @@ namespace mpbt::exp {
 /// (one token per bucket, inclusive upper edges, final token = overflow).
 std::string format_buckets(const obs::HistogramSnapshot& hist);
 
+/// Encodes a StreamStats snapshot's distribution summary in the shared
+/// `buckets` column: "stddev:s|min:m|max:M|p0.5:est|p0.9:est|..."
+/// (quantile tokens ascending by probability).
+std::string format_stats(const obs::StreamStatsSnapshot& stats);
+
 /// Writes the snapshot to the sink, one record per metric, ordered
-/// counters -> gauges -> histograms (each name-sorted, as the snapshot
-/// already is). Does not flush; the caller owns the sink lifecycle.
+/// counters -> gauges -> histograms -> stats (each name-sorted, as the
+/// snapshot already is). Does not flush; the caller owns the sink
+/// lifecycle.
 void write_metrics_snapshot(const obs::MetricsSnapshot& snapshot, Sink& sink);
 
 }  // namespace mpbt::exp

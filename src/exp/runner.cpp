@@ -33,11 +33,15 @@ SweepSummary SweepRunner::run(const Scenario& scenario, Sink* sink,
 
   // Per-task metric scope: handles resolved once, shared by all workers.
   obs::Histogram* task_seconds = nullptr;
+  obs::StreamStats* task_stats = nullptr;
   obs::Counter* tasks_completed = nullptr;
   if (obs.registry != nullptr) {
     task_seconds = &obs.registry->histogram(
         "sweep.task_seconds",
         {0.001, 0.01, 0.05, 0.1, 0.5, 1, 2, 5, 10, 30, 60, 120, 300});
+    // Companion exact-quantile stream: per-task durations are low-rate
+    // (one observe per task), so StreamStats' mutex is off the hot path.
+    task_stats = &obs.registry->stats("sweep.task_seconds");
     tasks_completed = &obs.registry->counter("sweep.tasks_completed");
   }
 
@@ -74,8 +78,17 @@ SweepSummary SweepRunner::run(const Scenario& scenario, Sink* sink,
         record.set(key, value);
       }
       {
-        const obs::ScopedTimer timer(task_seconds);
+        const auto task_start = std::chrono::steady_clock::now();
         Record measured = scenario.run(point, seed, options_);
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - task_start)
+                .count();
+        if (task_seconds != nullptr) {
+          task_seconds->observe(elapsed);
+        }
+        if (task_stats != nullptr) {
+          task_stats->observe(elapsed);
+        }
         for (auto& [key, value] : measured.fields) {
           record.set(std::move(key), std::move(value));
         }

@@ -7,6 +7,7 @@
 #include "analysis/calibrate.hpp"
 #include "bt/swarm.hpp"
 #include "efficiency/balance.hpp"
+#include "model/download_model.hpp"
 #include "model/ensemble.hpp"
 #include "stability/entropy.hpp"
 #include "stability/experiment.hpp"
@@ -95,7 +96,17 @@ Scenario make_efficiency_vs_k() {
     const auto k = static_cast<std::uint32_t>(point.get_int("k"));
     const bt::Round rounds = options.quick ? 150 : 300;
     bt::Swarm swarm(efficiency_swarm_config(k, seed, options.quick));
-    swarm.run_rounds(rounds);
+    // Instrument a handful of arrivals spread over the first half of the
+    // run: their per-round client records feed the report layer's phase
+    // rollups. Instrumentation happens whether or not tracing is on, so
+    // the RNG path — and therefore every record value — stays identical
+    // with and without observability attached.
+    const bt::Round chunk = std::max<bt::Round>(1, rounds / 8);
+    for (int i = 0; i < 4; ++i) {
+      swarm.instrument_next_arrival();
+      swarm.run_rounds(chunk);
+    }
+    swarm.run_rounds(rounds - 4 * chunk);
     const double sim_eta = swarm.metrics().mean_transfer_efficiency(rounds / 4);
     const double p_r = swarm.metrics().estimated_p_r();
 
@@ -105,9 +116,24 @@ Scenario make_efficiency_vs_k() {
     params.N = std::max(2.0, static_cast<double>(swarm.population()));
     const double model_eta = efficiency::EfficiencySolver(params).solve().eta;
 
+    // Markov-chain phase-occupancy prediction for the drift monitor: the
+    // calibrated chain's expected per-phase rounds vs the fraction of
+    // leecher-rounds the simulator observed in each phase.
+    const model::ModelParams calibrated = analysis::calibrate_model(swarm);
+    const model::EvolutionResult evolution = model::compute_evolution(
+        calibrated, /*max_steps=*/options.quick ? 20000 : 50000);
+    const double model_total = evolution.bootstrap_rounds + evolution.efficient_rounds +
+                               evolution.last_rounds;
+
     Record record;
     record.set("sim_eta", sim_eta);
     record.set("model_eta", model_eta);
+    record.set("sim_bootstrap_frac", swarm.metrics().bootstrap_fraction());
+    record.set("model_bootstrap_frac",
+               model_total > 0.0 ? evolution.bootstrap_rounds / model_total : 0.0);
+    record.set("sim_last_frac", swarm.metrics().last_phase_fraction());
+    record.set("model_last_frac",
+               model_total > 0.0 ? evolution.last_rounds / model_total : 0.0);
     record.set("measured_p_r", p_r);
     record.set("population", static_cast<long long>(swarm.population()));
     return record;
@@ -149,10 +175,19 @@ Scenario make_stability_vs_b() {
     config.seed = seed;
     const stability::StabilityResult result = run_stability_experiment(config);
 
+    // The paper's stability threshold is the model prediction here: few
+    // pieces (B <= 3) cannot re-balance — entropy collapses to 0 and the
+    // population diverges — while B >= 10 recovers entropy toward 1.
+    const bool model_diverges = config.num_pieces <= 3;
+
     Record record;
     record.set("diverged", result.diverged);
     record.set("final_entropy", result.final_entropy);
     record.set("mean_entropy_tail", result.mean_entropy_tail);
+    record.set("sim_entropy_tail", result.mean_entropy_tail);
+    record.set("model_entropy_tail", model_diverges ? 0.0 : 1.0);
+    record.set("sim_diverged", result.diverged ? 1.0 : 0.0);
+    record.set("model_diverged", model_diverges ? 1.0 : 0.0);
     record.set("peak_population", static_cast<long long>(result.peak_population));
     record.set("final_population", static_cast<long long>(result.final_population));
     record.set("completed", static_cast<long long>(result.completed));
@@ -212,7 +247,7 @@ Scenario make_ensemble_transient() {
 
     Record record;
     record.set("sim_final_population", sim_final);
-    record.set("ensemble_final_population", ensemble_final);
+    record.set("model_final_population", ensemble_final);
     record.set("abs_error", std::abs(sim_final - ensemble_final));
     record.set("ensemble_completed", predicted.total_completed);
     record.set("ensemble_growing", predicted.population_growing);

@@ -102,7 +102,9 @@ std::string event_prefix(std::string_view name, std::uint64_t pid, std::uint64_t
                          double ts) {
   std::string body;
   body += "\"name\":\"";
-  body += name;
+  // Names can come from user-controlled labels (profiler span names, sweep
+  // labels), so they need the same escaping as metadata strings.
+  append_escaped(body, name);
   body += "\",\"pid\":";
   body += std::to_string(pid);
   body += ",\"tid\":";
@@ -185,6 +187,11 @@ void write_sim_event(EventStream& stream, const TraceEvent& e, std::uint64_t pid
     case EventType::kPhaseTransition:
       arg("from", e.value);
       arg("to", e.value2);
+      break;
+    case EventType::kClientSample:
+      arg("potential", e.value);
+      arg("pieces", e.other);
+      arg("bytes", e.value2);
       break;
     default:
       break;

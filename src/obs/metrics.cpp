@@ -85,20 +85,32 @@ double HistogramSnapshot::mean() const {
 }
 
 double HistogramSnapshot::quantile(double q) const {
-  if (count == 0) {
+  if (count == 0 || bounds.empty()) {
     return 0.0;
   }
+  q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(count);
-  std::uint64_t cumulative = 0;
+  std::uint64_t before = 0;
   for (std::size_t b = 0; b < buckets.size(); ++b) {
-    cumulative += buckets[b];
-    if (static_cast<double>(cumulative) >= target) {
-      // Report the bucket's upper edge; the overflow bucket has none, so
-      // fall back to the last finite edge.
-      return b < bounds.size() ? bounds[b] : (bounds.empty() ? 0.0 : bounds.back());
+    const std::uint64_t in_bucket = buckets[b];
+    if (in_bucket == 0 || static_cast<double>(before + in_bucket) < target) {
+      before += in_bucket;
+      continue;
     }
+    if (b >= bounds.size()) {
+      // Open-ended overflow bucket: clamp to the last finite edge.
+      return bounds.back();
+    }
+    // Linear interpolation within [lower, bounds[b]]. Histograms here
+    // record non-negative quantities, so the first bucket's implicit
+    // lower edge is 0 unless the edge itself is negative.
+    const double upper = bounds[b];
+    const double lower = b == 0 ? std::min(0.0, upper) : bounds[b - 1];
+    const double fraction =
+        (target - static_cast<double>(before)) / static_cast<double>(in_bucket);
+    return lower + std::clamp(fraction, 0.0, 1.0) * (upper - lower);
   }
-  return bounds.empty() ? 0.0 : bounds.back();
+  return bounds.back();
 }
 
 Counter& Registry::counter(std::string_view name) {
@@ -115,6 +127,20 @@ Gauge& Registry::gauge(std::string_view name) {
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+StreamStats& Registry::stats(std::string_view name, std::vector<double> quantiles) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = stats_.find(name);
+  if (it == stats_.end()) {
+    it = stats_.emplace(std::string(name), std::make_unique<StreamStats>(std::move(quantiles)))
+             .first;
+  } else {
+    std::sort(quantiles.begin(), quantiles.end());
+    util::throw_if_invalid(it->second->probabilities() != quantiles,
+                           "Registry::stats: quantile probes differ from first use");
   }
   return *it->second;
 }
@@ -157,6 +183,12 @@ MetricsSnapshot Registry::snapshot() const {
     h.sum = hist->sum();
     snap.histograms.push_back(std::move(h));
   }
+  snap.stats.reserve(stats_.size());
+  for (const auto& [name, stats] : stats_) {
+    StreamStatsSnapshot s = stats->snapshot();
+    s.name = name;
+    snap.stats.push_back(std::move(s));
+  }
   return snap;  // maps iterate sorted, so snapshots are name-ordered
 }
 
@@ -192,6 +224,8 @@ void MetricsSnapshot::merge(const MetricsSnapshot& other) {
                  a.count += b.count;
                  a.sum += b.sum;
                });
+  merge_sorted(stats, other.stats,
+               [](StreamStatsSnapshot& a, const StreamStatsSnapshot& b) { a.merge(b); });
 }
 
 }  // namespace mpbt::obs

@@ -21,6 +21,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/stream_stats.hpp"
+
 namespace mpbt::obs {
 
 /// Number of independent accumulation shards. Threads are assigned a
@@ -109,8 +111,10 @@ struct HistogramSnapshot {
 
   /// count-weighted mean; 0 when empty.
   double mean() const;
-  /// Bucket-interpolated quantile in [0, 1]; the overflow bucket reports
-  /// the last finite edge. 0 when empty.
+  /// Quantile in [0, 1] by linear interpolation within the containing
+  /// bucket (lower edge = previous bound; 0 for the first bucket when its
+  /// edge is positive). The open-ended overflow bucket is clamped to the
+  /// last finite edge. 0 when empty.
   double quantile(double q) const;
 };
 
@@ -120,13 +124,17 @@ struct MetricsSnapshot {
   std::vector<CounterSnapshot> counters;
   std::vector<GaugeSnapshot> gauges;
   std::vector<HistogramSnapshot> histograms;
+  std::vector<StreamStatsSnapshot> stats;
 
   /// Merges `other` in: counters and histogram buckets add (histogram
-  /// bucket edges must match), gauges overwrite (latest wins). Metrics
-  /// present only in `other` are copied over.
+  /// bucket edges must match), gauges overwrite (latest wins), stream
+  /// stats combine (quantile probes must match). Metrics present only in
+  /// `other` are copied over.
   void merge(const MetricsSnapshot& other);
 
-  bool empty() const { return counters.empty() && gauges.empty() && histograms.empty(); }
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty() && stats.empty();
+  }
 };
 
 /// Named-metric registry. Lookups take a mutex and return stable
@@ -144,6 +152,14 @@ class Registry {
   /// Returns the named histogram; `bounds` (ascending upper edges) only
   /// apply on first creation and must match on later calls.
   Histogram& histogram(std::string_view name, std::vector<double> bounds);
+  /// Returns the named StreamStats (Welford + P² quantiles) — the
+  /// real-quantile companion a caller attaches alongside a histogram.
+  /// `quantiles` only applies on first creation and must match later.
+  /// NOTE: StreamStats::observe takes a mutex; keep it off per-event hot
+  /// paths (see stream_stats.hpp).
+  StreamStats& stats(std::string_view name,
+                     std::vector<double> quantiles = {kDefaultQuantiles.begin(),
+                                                      kDefaultQuantiles.end()});
 
   MetricsSnapshot snapshot() const;
 
@@ -152,6 +168,7 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<StreamStats>, std::less<>> stats_;
 };
 
 }  // namespace mpbt::obs

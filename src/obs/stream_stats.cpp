@@ -1,0 +1,226 @@
+#include "obs/stream_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mpbt::obs {
+
+namespace detail {
+
+P2Quantile::P2Quantile(double probability) : p_(probability) {
+  util::throw_if_invalid(!(probability > 0.0 && probability < 1.0),
+                         "P2Quantile: probability must be in (0, 1)");
+  increments_ = {0.0, p_ / 2.0, p_, (1.0 + p_) / 2.0, 1.0};
+}
+
+double P2Quantile::parabolic(std::size_t i, double d) const {
+  const double n_prev = positions_[i - 1];
+  const double n_cur = positions_[i];
+  const double n_next = positions_[i + 1];
+  return heights_[i] +
+         d / (n_next - n_prev) *
+             ((n_cur - n_prev + d) * (heights_[i + 1] - heights_[i]) / (n_next - n_cur) +
+              (n_next - n_cur - d) * (heights_[i] - heights_[i - 1]) / (n_cur - n_prev));
+}
+
+double P2Quantile::linear(std::size_t i, int d) const {
+  const std::size_t j = static_cast<std::size_t>(static_cast<int>(i) + d);
+  return heights_[i] + static_cast<double>(d) * (heights_[j] - heights_[i]) /
+                           (positions_[j] - positions_[i]);
+}
+
+void P2Quantile::add(double x) {
+  ++count_;
+  if (count_ <= 5) {
+    heights_[count_ - 1] = x;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (std::size_t i = 0; i < 5; ++i) {
+        positions_[i] = static_cast<double>(i + 1);
+        desired_[i] = 1.0 + 4.0 * increments_[i];
+      }
+    }
+    return;
+  }
+
+  // Locate the cell k such that heights_[k] <= x < heights_[k+1],
+  // extending the extreme markers when x falls outside them.
+  std::size_t k = 0;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], x);
+    k = 3;
+  } else {
+    while (k < 3 && x >= heights_[k + 1]) {
+      ++k;
+    }
+  }
+
+  for (std::size_t i = k + 1; i < 5; ++i) {
+    positions_[i] += 1.0;
+  }
+  for (std::size_t i = 0; i < 5; ++i) {
+    desired_[i] += increments_[i];
+  }
+
+  // Adjust the three interior markers toward their desired positions.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double diff = desired_[i] - positions_[i];
+    if ((diff >= 1.0 && positions_[i + 1] - positions_[i] > 1.0) ||
+        (diff <= -1.0 && positions_[i - 1] - positions_[i] < -1.0)) {
+      const int d = diff >= 0.0 ? 1 : -1;
+      const double candidate = parabolic(i, static_cast<double>(d));
+      if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+        heights_[i] = candidate;
+      } else {
+        heights_[i] = linear(i, d);
+      }
+      positions_[i] += static_cast<double>(d);
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  if (count_ < 5) {
+    // Exact: sort the stored prefix and interpolate.
+    std::array<double, 5> sorted = heights_;
+    const auto n = static_cast<std::size_t>(count_);
+    std::sort(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(n));
+    const double rank = p_ * static_cast<double>(n - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, n - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  }
+  return heights_[2];
+}
+
+}  // namespace detail
+
+StreamStats::StreamStats(std::vector<double> quantiles) {
+  std::sort(quantiles.begin(), quantiles.end());
+  probes_.reserve(quantiles.size());
+  for (double p : quantiles) {
+    probes_.emplace_back(p);
+  }
+}
+
+void StreamStats::observe(double v) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++count_;
+  sum_ += v;
+  const double delta = v - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (v - mean_);
+  if (count_ == 1) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  for (auto& probe : probes_) {
+    probe.add(v);
+  }
+}
+
+std::uint64_t StreamStats::count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double StreamStats::mean() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return mean_;
+}
+
+double StreamStats::variance() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double StreamStats::stddev() const { return std::sqrt(variance()); }
+
+double StreamStats::quantile(double p) const {
+  return snapshot().quantile(p);
+}
+
+std::vector<double> StreamStats::probabilities() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<double> out;
+  out.reserve(probes_.size());
+  for (const auto& probe : probes_) {
+    out.push_back(probe.probability());
+  }
+  return out;
+}
+
+StreamStatsSnapshot StreamStats::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  StreamStatsSnapshot snap;
+  snap.count = count_;
+  snap.mean = mean_;
+  snap.stddev = count_ < 2 ? 0.0 : std::sqrt(m2_ / static_cast<double>(count_ - 1));
+  snap.min = min_;
+  snap.max = max_;
+  snap.sum = sum_;
+  snap.quantiles.reserve(probes_.size());
+  for (const auto& probe : probes_) {
+    snap.quantiles.emplace_back(probe.probability(), probe.value());
+  }
+  return snap;
+}
+
+double StreamStatsSnapshot::quantile(double p) const {
+  if (quantiles.empty()) {
+    return 0.0;
+  }
+  const auto* best = &quantiles.front();
+  for (const auto& probe : quantiles) {
+    if (std::abs(probe.first - p) < std::abs(best->first - p)) {
+      best = &probe;
+    }
+  }
+  return best->second;
+}
+
+void StreamStatsSnapshot::merge(const StreamStatsSnapshot& other) {
+  util::throw_if_invalid(quantiles.size() != other.quantiles.size(),
+                         "StreamStatsSnapshot::merge: quantile probes differ");
+  for (std::size_t i = 0; i < quantiles.size(); ++i) {
+    util::throw_if_invalid(quantiles[i].first != other.quantiles[i].first,
+                           "StreamStatsSnapshot::merge: quantile probes differ");
+  }
+  if (other.count == 0) {
+    return;
+  }
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count);
+  const auto nb = static_cast<double>(other.count);
+  const double n = na + nb;
+  const double delta = other.mean - mean;
+  const double m2a = stddev * stddev * std::max(0.0, na - 1.0);
+  const double m2b = other.stddev * other.stddev * std::max(0.0, nb - 1.0);
+  const double m2 = m2a + m2b + delta * delta * na * nb / n;
+  mean += delta * nb / n;
+  stddev = n < 2.0 ? 0.0 : std::sqrt(m2 / (n - 1.0));
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  sum += other.sum;
+  for (std::size_t i = 0; i < quantiles.size(); ++i) {
+    quantiles[i].second =
+        (quantiles[i].second * na + other.quantiles[i].second * nb) / n;
+  }
+  count += other.count;
+}
+
+}  // namespace mpbt::obs

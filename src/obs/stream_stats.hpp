@@ -1,0 +1,114 @@
+// Streaming statistics: Welford mean/variance plus P² online quantiles.
+//
+// StreamStats is the report layer's scalar accumulator: it ingests a
+// stream of observations once and answers mean / variance / min / max /
+// quantile questions without storing the sample. Quantiles come from the
+// P² algorithm (Jain & Chlamtac, CACM 1985): five markers per tracked
+// probability, adjusted with a piecewise-parabolic update, exact until
+// five observations have arrived. Estimates are deterministic in the
+// ingestion order, so feeding task-ordered sweep results keeps reports
+// byte-identical for any worker count.
+//
+// Unlike Counter/Histogram, observe() takes an internal mutex — the
+// marker update cannot be made lock-free. Use it for low-rate streams
+// (per-task durations, per-trace rollups), not per-event hot paths; the
+// fixed-bucket Histogram remains the hot-path instrument.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mpbt::obs {
+
+/// Quantile probabilities tracked by default.
+inline constexpr std::array<double, 4> kDefaultQuantiles{0.5, 0.9, 0.95, 0.99};
+
+namespace detail {
+
+/// P² estimator of a single quantile. Exact (stored + sorted) below five
+/// observations, five-marker approximation afterwards.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double probability);
+
+  void add(double x);
+  /// Current estimate; 0 before any observation.
+  double value() const;
+  double probability() const { return p_; }
+
+ private:
+  double parabolic(std::size_t i, double d) const;
+  double linear(std::size_t i, int d) const;
+
+  double p_;
+  std::uint64_t count_ = 0;
+  std::array<double, 5> heights_{};    // marker heights q_i
+  std::array<double, 5> positions_{};  // actual positions n_i (1-based)
+  std::array<double, 5> desired_{};    // desired positions n'_i
+  std::array<double, 5> increments_{};  // dn'_i
+};
+
+}  // namespace detail
+
+/// Point-in-time copy of a StreamStats (also the form the metrics
+/// snapshot carries; `name` is filled by Registry::snapshot).
+struct StreamStatsSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  /// (probability, estimate) pairs, ascending by probability.
+  std::vector<std::pair<double, double>> quantiles;
+
+  /// Estimate for the tracked probability closest to `p`; 0 when empty.
+  double quantile(double p) const;
+
+  /// Combines `other` in: count/mean/variance merge exactly (Chan's
+  /// parallel formula); matching quantile probes merge as count-weighted
+  /// means of the two estimates (an approximation — P² markers cannot be
+  /// merged exactly). Probe sets must match.
+  void merge(const StreamStatsSnapshot& other);
+};
+
+/// Welford + P² accumulator. Thread-safe via an internal mutex.
+class StreamStats {
+ public:
+  /// `quantiles` are the tracked probabilities (each in (0, 1)).
+  explicit StreamStats(std::vector<double> quantiles = {kDefaultQuantiles.begin(),
+                                                        kDefaultQuantiles.end()});
+
+  void observe(double v);
+
+  std::uint64_t count() const;
+  double mean() const;
+  /// Unbiased sample variance; 0 below two observations.
+  double variance() const;
+  double stddev() const;
+  double quantile(double p) const;
+
+  /// Tracked probabilities, ascending.
+  std::vector<double> probabilities() const;
+
+  /// Snapshot with an empty name.
+  StreamStatsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<detail::P2Quantile> probes_;
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace mpbt::obs

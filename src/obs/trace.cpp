@@ -32,6 +32,8 @@ std::string_view event_type_name(EventType type) {
       return "round_sample";
     case EventType::kEntropySample:
       return "entropy_sample";
+    case EventType::kClientSample:
+      return "client_sample";
   }
   return "?";
 }
@@ -56,6 +58,7 @@ void TraceRecorder::set_registry(Registry* registry) {
   metrics_.phase_transitions = &registry->counter("swarm.phase_transitions");
   metrics_.shakes = &registry->counter("swarm.peer_set_shakes");
   metrics_.rounds = &registry->counter("swarm.rounds");
+  metrics_.client_samples = &registry->counter("swarm.client_samples");
   metrics_.population = &registry->gauge("swarm.population");
   metrics_.seeds = &registry->gauge("swarm.seeds");
   metrics_.entropy = &registry->gauge("swarm.entropy");
@@ -177,6 +180,16 @@ void TraceRecorder::round_sample(std::uint64_t round, std::size_t leechers,
     metrics_.seeds->set(static_cast<double>(seeds));
     metrics_.entropy->set(entropy);
     metrics_.efficiency->set(transfer_efficiency);
+  }
+}
+
+void TraceRecorder::client_sample(std::uint64_t round, std::uint32_t peer,
+                                  std::uint32_t potential, std::uint32_t pieces_held,
+                                  std::uint64_t cumulative_bytes) {
+  emit(EventType::kClientSample, round, peer, pieces_held,
+       static_cast<double>(potential), static_cast<double>(cumulative_bytes));
+  if (metrics_.client_samples != nullptr) {
+    metrics_.client_samples->add();
   }
 }
 

@@ -45,6 +45,8 @@ enum class EventType : std::uint8_t {
   kPeerSetShake,        ///< peer = id
   kRoundSample,         ///< value = leechers, value2 = seeds
   kEntropySample,       ///< value = entropy, value2 = transfer efficiency
+  kClientSample,        ///< instrumented client: peer = id, other = pieces held,
+                        ///< value = potential-set size, value2 = cumulative bytes
 };
 
 std::string_view event_type_name(EventType type);
@@ -103,6 +105,12 @@ class TraceRecorder {
   /// One per-round swarm sample; also sets the swarm.* gauges.
   void round_sample(std::uint64_t round, std::size_t leechers, std::size_t seeds,
                     double entropy, double transfer_efficiency);
+  /// One per-round sample of an instrumented client's download state:
+  /// potential-set size, pieces held and cumulative bytes downloaded.
+  /// These events are what report::client_traces_from_events rebuilds
+  /// per-client phase traces from.
+  void client_sample(std::uint64_t round, std::uint32_t peer, std::uint32_t potential,
+                     std::uint32_t pieces_held, std::uint64_t cumulative_bytes);
 
   std::size_t size() const { return ring_.size(); }
   std::size_t capacity() const { return capacity_; }
@@ -132,6 +140,7 @@ class TraceRecorder {
     Counter* phase_transitions = nullptr;
     Counter* shakes = nullptr;
     Counter* rounds = nullptr;
+    Counter* client_samples = nullptr;
     Gauge* population = nullptr;
     Gauge* seeds = nullptr;
     Gauge* entropy = nullptr;

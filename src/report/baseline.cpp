@@ -1,0 +1,155 @@
+#include "report/baseline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mpbt::report {
+
+double Tolerance::allowed(double baseline_value) const {
+  return std::max(abs_tol, rel_tol * std::abs(baseline_value));
+}
+
+const BaselineEntry* Baseline::find(std::string_view name) const {
+  for (const BaselineEntry& entry : entries) {
+    if (entry.name == name) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+std::string_view gate_status_name(GateStatus status) {
+  switch (status) {
+    case GateStatus::kOk:
+      return "ok";
+    case GateStatus::kWarn:
+      return "warn";
+    case GateStatus::kFail:
+      return "fail";
+    case GateStatus::kMissing:
+      return "missing";
+    case GateStatus::kNew:
+      return "new";
+  }
+  return "?";
+}
+
+std::size_t GateReport::count(GateStatus status) const {
+  std::size_t n = 0;
+  for (const GateResult& result : results) {
+    if (result.status == status) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+namespace {
+
+/// Metrics that measure the machine, not the model, never enter a
+/// baseline: wall-clock task timings change with hardware and load.
+bool is_wall_time_metric(std::string_view name) {
+  return name.starts_with("sweep.");
+}
+
+}  // namespace
+
+Baseline baseline_from_summary(const RunSummary& summary, const Tolerance& tolerance) {
+  Baseline baseline;
+  baseline.scenario = summary.scenario;
+  for (const auto& [name, value] : summary.metrics) {
+    if (is_wall_time_metric(name) || !std::isfinite(value)) {
+      continue;
+    }
+    BaselineEntry entry;
+    entry.name = name;
+    entry.value = value;
+    entry.tolerance = tolerance;
+    baseline.entries.push_back(std::move(entry));
+  }
+  return baseline;  // summary.metrics is name-sorted already
+}
+
+GateReport check_against_baseline(const Baseline& baseline, const RunSummary& summary) {
+  GateReport report;
+  report.scenario = baseline.scenario;
+  for (const BaselineEntry& entry : baseline.entries) {
+    GateResult result;
+    result.name = entry.name;
+    result.baseline = entry.value;
+    result.allowed = entry.tolerance.allowed(entry.value);
+    const double current =
+        summary.metric_or(entry.name, std::numeric_limits<double>::quiet_NaN());
+    if (!std::isfinite(current)) {
+      result.status = GateStatus::kMissing;
+    } else {
+      result.current = current;
+      const double delta = std::abs(current - entry.value);
+      result.status = delta > result.allowed          ? GateStatus::kFail
+                      : delta > 0.5 * result.allowed ? GateStatus::kWarn
+                                                      : GateStatus::kOk;
+    }
+    report.results.push_back(std::move(result));
+  }
+  for (const auto& [name, value] : summary.metrics) {
+    if (is_wall_time_metric(name) || baseline.find(name) != nullptr) {
+      continue;
+    }
+    GateResult result;
+    result.name = name;
+    result.current = value;
+    result.status = GateStatus::kNew;
+    report.results.push_back(std::move(result));
+  }
+  std::sort(report.results.begin(), report.results.end(),
+            [](const GateResult& a, const GateResult& b) { return a.name < b.name; });
+  return report;
+}
+
+Json baseline_to_json(const Baseline& baseline) {
+  Json json = Json::object();
+  json.set("schema", Json(kBaselineSchema));
+  json.set("scenario", Json(baseline.scenario));
+  Json metrics = Json::object();
+  for (const BaselineEntry& entry : baseline.entries) {
+    Json metric = Json::object();
+    metric.set("value", Json(entry.value));
+    metric.set("abs_tol", Json(entry.tolerance.abs_tol));
+    metric.set("rel_tol", Json(entry.tolerance.rel_tol));
+    metrics.set(entry.name, std::move(metric));
+  }
+  json.set("metrics", std::move(metrics));
+  return json;
+}
+
+Baseline baseline_from_json(const Json& json) {
+  if (json.string_or("schema", "") != kBaselineSchema) {
+    throw std::runtime_error("baseline_from_json: not an " +
+                             std::string(kBaselineSchema) + " document");
+  }
+  Baseline baseline;
+  baseline.scenario = json.string_or("scenario", "unknown");
+  for (const auto& [name, metric] : json.at("metrics").as_object()) {
+    BaselineEntry entry;
+    entry.name = name;
+    entry.value = metric.number_or("value", 0.0);
+    entry.tolerance.abs_tol = metric.number_or("abs_tol", Tolerance{}.abs_tol);
+    entry.tolerance.rel_tol = metric.number_or("rel_tol", Tolerance{}.rel_tol);
+    baseline.entries.push_back(std::move(entry));
+  }
+  std::sort(baseline.entries.begin(), baseline.entries.end(),
+            [](const BaselineEntry& a, const BaselineEntry& b) { return a.name < b.name; });
+  return baseline;
+}
+
+std::string baseline_path(const std::string& dir, const std::string& scenario) {
+  std::string path = dir;
+  if (!path.empty() && path.back() != '/') {
+    path += '/';
+  }
+  return path + scenario + ".json";
+}
+
+}  // namespace mpbt::report

@@ -1,0 +1,101 @@
+// Committed baselines and the regression gate.
+//
+// A baseline is one JSON file per scenario (committed under baselines/)
+// pinning every flattened summary metric together with per-metric
+// absolute and relative tolerances. The gate re-summarizes a fresh run
+// and classifies each metric:
+//
+//   allowed = max(abs_tol, rel_tol * |baseline value|)
+//   |current - baseline| >  allowed        -> fail
+//   |current - baseline| >  0.5 * allowed  -> warn
+//   otherwise                              -> ok
+//
+// A metric present in the baseline but missing from the run fails too
+// (schema drift is drift); metrics the run added that the baseline does
+// not know are reported as "new" and do not fail — refresh the baseline
+// with mpbt_report --write-baselines to adopt them.
+//
+// Default tolerances are deliberately generous (25% relative, 0.05
+// absolute): CI rebuilds with different compilers/libms, and a single
+// flipped RNG threshold draw shifts quick-sweep means by a few percent.
+// The gate exists to catch real regressions — a model whose eta drifts
+// 2x its tolerance, a phase detector that stops finding phases — not to
+// pin FP noise.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "report/json.hpp"
+#include "report/summary.hpp"
+
+namespace mpbt::report {
+
+inline constexpr std::string_view kBaselineSchema = "mpbt-baseline-v1";
+
+struct Tolerance {
+  double abs_tol = 0.05;
+  double rel_tol = 0.25;
+
+  double allowed(double baseline_value) const;
+};
+
+struct BaselineEntry {
+  std::string name;
+  double value = 0.0;
+  Tolerance tolerance;
+};
+
+struct Baseline {
+  std::string scenario;
+  std::vector<BaselineEntry> entries;  ///< name-sorted
+
+  const BaselineEntry* find(std::string_view name) const;
+};
+
+enum class GateStatus : std::uint8_t {
+  kOk,
+  kWarn,     ///< inside tolerance but past half of it
+  kFail,     ///< outside tolerance
+  kMissing,  ///< in the baseline, absent from the run (fails the gate)
+  kNew,      ///< in the run, absent from the baseline (informational)
+};
+
+std::string_view gate_status_name(GateStatus status);
+
+struct GateResult {
+  std::string name;
+  double baseline = 0.0;
+  double current = 0.0;
+  double allowed = 0.0;
+  GateStatus status = GateStatus::kOk;
+};
+
+struct GateReport {
+  std::string scenario;
+  std::vector<GateResult> results;  ///< name-sorted
+
+  std::size_t count(GateStatus status) const;
+  bool passed() const {
+    return count(GateStatus::kFail) == 0 && count(GateStatus::kMissing) == 0;
+  }
+};
+
+/// Builds a baseline from a summary, applying `tolerance` to every
+/// metric. Wall-time metrics (names starting "sweep.") are excluded:
+/// they vary with the machine, not the model.
+Baseline baseline_from_summary(const RunSummary& summary,
+                               const Tolerance& tolerance = {});
+
+/// Gates `summary` against `baseline` (see file comment for the rules).
+GateReport check_against_baseline(const Baseline& baseline, const RunSummary& summary);
+
+Json baseline_to_json(const Baseline& baseline);
+Baseline baseline_from_json(const Json& json);
+
+/// Path of a scenario's baseline inside a baseline directory.
+std::string baseline_path(const std::string& dir, const std::string& scenario);
+
+}  // namespace mpbt::report

@@ -1,0 +1,119 @@
+#include "report/bench.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace mpbt::report {
+
+Json bench_to_json(const BenchTrajectory& trajectory) {
+  Json json = Json::object();
+  json.set("schema", Json(kBenchSchema));
+  Json entries = Json::array();
+  for (const BenchEntry& entry : trajectory.entries) {
+    Json e = Json::object();
+    e.set("label", Json(entry.label));
+    e.set("build_type", Json(entry.build_type));
+    e.set("source", Json(entry.source));
+    Json benchmarks = Json::array();
+    for (const BenchMark& bench : entry.benchmarks) {
+      Json b = Json::object();
+      b.set("name", Json(bench.name));
+      b.set("real_time", Json(bench.real_time));
+      b.set("cpu_time", Json(bench.cpu_time));
+      b.set("time_unit", Json(bench.time_unit));
+      b.set("iterations", Json(bench.iterations));
+      benchmarks.push_back(std::move(b));
+    }
+    e.set("benchmarks", std::move(benchmarks));
+    Json wall_times = Json::array();
+    for (const WallTime& wall : entry.wall_times) {
+      Json w = Json::object();
+      w.set("binary", Json(wall.binary));
+      w.set("seconds", Json(wall.seconds));
+      wall_times.push_back(std::move(w));
+    }
+    e.set("wall_times", std::move(wall_times));
+    entries.push_back(std::move(e));
+  }
+  json.set("entries", std::move(entries));
+  return json;
+}
+
+BenchTrajectory bench_from_json(const Json& json) {
+  if (json.string_or("schema", "") != kBenchSchema) {
+    throw std::runtime_error("bench_from_json: not an " + std::string(kBenchSchema) +
+                             " document");
+  }
+  BenchTrajectory trajectory;
+  if (const Json* entries = json.find("entries"); entries != nullptr) {
+    for (const Json& e : entries->as_array()) {
+      BenchEntry entry;
+      entry.label = e.string_or("label", "");
+      entry.build_type = e.string_or("build_type", "");
+      entry.source = e.string_or("source", "");
+      if (const Json* benchmarks = e.find("benchmarks"); benchmarks != nullptr) {
+        for (const Json& b : benchmarks->as_array()) {
+          BenchMark bench;
+          bench.name = b.string_or("name", "");
+          bench.real_time = b.number_or("real_time", 0.0);
+          bench.cpu_time = b.number_or("cpu_time", 0.0);
+          bench.time_unit = b.string_or("time_unit", "ns");
+          bench.iterations = b.number_or("iterations", 0.0);
+          entry.benchmarks.push_back(std::move(bench));
+        }
+      }
+      if (const Json* wall_times = e.find("wall_times"); wall_times != nullptr) {
+        for (const Json& w : wall_times->as_array()) {
+          WallTime wall;
+          wall.binary = w.string_or("binary", "");
+          wall.seconds = w.number_or("seconds", 0.0);
+          entry.wall_times.push_back(std::move(wall));
+        }
+      }
+      trajectory.entries.push_back(std::move(entry));
+    }
+  }
+  return trajectory;
+}
+
+std::vector<BenchMark> parse_google_benchmark(const Json& json) {
+  std::vector<BenchMark> benchmarks;
+  const Json* rows = json.find("benchmarks");
+  if (rows == nullptr) {
+    throw std::runtime_error(
+        "parse_google_benchmark: no \"benchmarks\" array (not a "
+        "--benchmark_format=json file?)");
+  }
+  for (const Json& row : rows->as_array()) {
+    if (row.find("error_occurred") != nullptr &&
+        row.at("error_occurred").is_bool() && row.at("error_occurred").as_bool()) {
+      continue;
+    }
+    BenchMark bench;
+    bench.name = row.string_or("name", "");
+    bench.real_time = row.number_or("real_time", 0.0);
+    bench.cpu_time = row.number_or("cpu_time", 0.0);
+    bench.time_unit = row.string_or("time_unit", "ns");
+    bench.iterations = row.number_or("iterations", 0.0);
+    if (!bench.name.empty()) {
+      benchmarks.push_back(std::move(bench));
+    }
+  }
+  return benchmarks;
+}
+
+std::vector<WallTime> parse_wall_times(const std::string& text) {
+  std::vector<WallTime> wall_times;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::istringstream fields(line);
+    WallTime wall;
+    if (fields >> wall.binary >> wall.seconds) {
+      wall_times.push_back(std::move(wall));
+    }
+  }
+  return wall_times;
+}
+
+}  // namespace mpbt::report

@@ -1,0 +1,60 @@
+// Performance-trajectory bookkeeping (BENCH_*.json).
+//
+// The repo commits one BENCH_<nnnn>.json snapshot per growth PR so the
+// report can show how the hot paths move over time. A snapshot is an
+// "mpbt-bench-v1" document holding a list of entries; each entry is one
+// labeled measurement session (google-benchmark results re-encoded with
+// only the stable fields, plus the wall-time table run_all_figures.sh
+// produces). mpbt_report --append-bench adds a session to an existing
+// file, so the trajectory accumulates instead of being overwritten.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "report/json.hpp"
+
+namespace mpbt::report {
+
+inline constexpr std::string_view kBenchSchema = "mpbt-bench-v1";
+
+struct BenchMark {
+  std::string name;
+  double real_time = 0.0;
+  double cpu_time = 0.0;
+  std::string time_unit = "ns";
+  double iterations = 0.0;
+};
+
+struct WallTime {
+  std::string binary;
+  double seconds = 0.0;
+};
+
+struct BenchEntry {
+  std::string label;       ///< e.g. "PR3" or a date
+  std::string build_type;  ///< e.g. "Release"
+  std::string source;      ///< how the numbers were produced
+  std::vector<BenchMark> benchmarks;
+  std::vector<WallTime> wall_times;
+};
+
+struct BenchTrajectory {
+  std::vector<BenchEntry> entries;  ///< chronological (append order)
+};
+
+Json bench_to_json(const BenchTrajectory& trajectory);
+BenchTrajectory bench_from_json(const Json& json);
+
+/// Extracts the stable fields from google-benchmark's
+/// --benchmark_format=json output ("benchmarks" array). Aggregate rows
+/// (mean/median/stddev re-runs) are kept; error rows are skipped.
+std::vector<BenchMark> parse_google_benchmark(const Json& json);
+
+/// Parses the "  <binary> <seconds>" table run_all_figures.sh writes
+/// (blank lines and a header line without a numeric second column are
+/// skipped).
+std::vector<WallTime> parse_wall_times(const std::string& text);
+
+}  // namespace mpbt::report

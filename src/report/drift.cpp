@@ -1,0 +1,74 @@
+#include "report/drift.hpp"
+
+#include <cmath>
+
+#include "analysis/compare.hpp"
+
+namespace mpbt::report {
+
+namespace {
+
+/// Maps a per-point profile onto the analysis profile convention, where
+/// entries < 0 mean "missing": NaN (point never observed) becomes -1.
+/// Legitimately negative values would be skipped too; the sim_/model_
+/// pairs the scenarios emit are all non-negative quantities.
+std::vector<double> sanitized(const std::vector<double>& profile) {
+  std::vector<double> out;
+  out.reserve(profile.size());
+  for (double v : profile) {
+    out.push_back(std::isfinite(v) ? v : -1.0);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<DriftRow> compute_drift(const RunSummary& summary) {
+  std::vector<DriftRow> rows;
+  // Profiles come name-sorted from summarize_records (std::map order), so
+  // iterating sim_* profiles yields metric-name-sorted rows.
+  for (const RunSummary::Profile& profile : summary.profiles) {
+    constexpr std::string_view kSimPrefix = "sim_";
+    if (!profile.field.starts_with(kSimPrefix)) {
+      continue;
+    }
+    const std::string metric = profile.field.substr(kSimPrefix.size());
+    const RunSummary::Profile* model = summary.find_profile("model_" + metric);
+    if (model == nullptr) {
+      continue;
+    }
+    DriftRow row;
+    row.scenario = summary.scenario;
+    row.metric = metric;
+    const std::vector<double> sim = sanitized(profile.per_point);
+    const std::vector<double> mod = sanitized(model->per_point);
+    row.rmse = analysis::profile_rmse(sim, mod);
+    row.max_gap = analysis::profile_max_gap(sim, mod);
+    for (std::size_t i = 0; i < sim.size() && i < mod.size(); ++i) {
+      if (sim[i] >= 0.0 && mod[i] >= 0.0) {
+        row.sim_mean += sim[i];
+        row.model_mean += mod[i];
+        ++row.points;
+      }
+    }
+    if (row.points > 0) {
+      row.sim_mean /= static_cast<double>(row.points);
+      row.model_mean /= static_cast<double>(row.points);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<DriftRow> attach_drift(RunSummary& summary) {
+  std::vector<DriftRow> rows = compute_drift(summary);
+  for (const DriftRow& row : rows) {
+    if (row.rmse >= 0.0) {
+      summary.set_metric("drift." + row.metric + ".rmse", row.rmse);
+      summary.set_metric("drift." + row.metric + ".max_gap", row.max_gap);
+    }
+  }
+  return rows;
+}
+
+}  // namespace mpbt::report

@@ -1,0 +1,42 @@
+// Model-vs-simulation drift monitoring.
+//
+// Scenarios report paired fields by convention: a measurement "sim_X"
+// next to the model's prediction "model_X" (efficiency_vs_k pairs the
+// swarm's transfer efficiency with the balance-equation eta and its
+// phase occupancy with the Markov chain's expected phase fractions;
+// stability_vs_B pairs tail entropy with the stability threshold;
+// ensemble_transient pairs final populations). The drift monitor finds
+// every such pair in a RunSummary's per-point profiles and scores it
+// with analysis::profile_rmse / profile_max_gap, giving one row per
+// model prediction that the renderer tabulates and the baseline gate
+// can regression-check.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "report/summary.hpp"
+
+namespace mpbt::report {
+
+struct DriftRow {
+  std::string scenario;
+  std::string metric;  ///< the X of the sim_X / model_X pair
+  std::size_t points = 0;  ///< profile points compared
+  double sim_mean = 0.0;
+  double model_mean = 0.0;
+  double rmse = -1.0;     ///< -1 when no points overlapped
+  double max_gap = -1.0;  ///< -1 when no points overlapped
+};
+
+/// Pairs every "sim_X" profile with its "model_X" sibling and scores the
+/// residuals. Rows are metric-name-sorted.
+std::vector<DriftRow> compute_drift(const RunSummary& summary);
+
+/// Convenience: computes drift and folds each row into summary.metrics
+/// as "drift.X.rmse" / "drift.X.max_gap" so the baseline gate covers
+/// model fidelity as well as raw measurements. Returns the rows.
+std::vector<DriftRow> attach_drift(RunSummary& summary);
+
+}  // namespace mpbt::report

@@ -1,0 +1,170 @@
+#include "report/inputs.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace mpbt::report {
+
+namespace {
+
+exp::Value value_from_json(const Json& json) {
+  switch (json.type()) {
+    case Json::Type::kBool:
+      return json.as_bool();
+    case Json::Type::kNumber: {
+      const double v = json.as_number();
+      // Integral values within long long's exact-double range load as
+      // integers so point/rep indices survive the round trip.
+      if (v == std::floor(v) && std::abs(v) < 9.0e15) {
+        return static_cast<long long>(v);
+      }
+      return v;
+    }
+    case Json::Type::kString:
+      return json.as_string();
+    default:
+      // null / nested values have no Record representation; null stands
+      // for a non-finite double.
+      return std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
+}  // namespace
+
+std::vector<exp::Record> records_from_jsonl(std::istream& is) {
+  std::vector<exp::Record> records;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;
+    }
+    Json json;
+    try {
+      json = Json::parse(line);
+    } catch (const std::exception& e) {
+      throw std::runtime_error("records_from_jsonl: line " +
+                               std::to_string(line_number) + ": " + e.what());
+    }
+    exp::Record record;
+    for (const auto& [key, value] : json.as_object()) {
+      record.set(key, value_from_json(value));
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+std::vector<exp::Record> load_records_jsonl(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    throw std::runtime_error("load_records_jsonl: cannot open " + path);
+  }
+  return records_from_jsonl(file);
+}
+
+std::vector<Report::MetricRow> metric_rows_from_records(
+    const std::vector<exp::Record>& records) {
+  std::vector<Report::MetricRow> rows;
+  for (const exp::Record& record : records) {
+    const exp::Value* kind = record.find("kind");
+    const exp::Value* name = record.find("name");
+    const auto* kind_str = kind != nullptr ? std::get_if<std::string>(kind) : nullptr;
+    const auto* name_str = name != nullptr ? std::get_if<std::string>(name) : nullptr;
+    if (kind_str == nullptr || name_str == nullptr) {
+      continue;
+    }
+    Report::MetricRow row;
+    row.kind = *kind_str;
+    row.name = *name_str;
+    if (const exp::Value* value = record.find("value"); value != nullptr) {
+      if (const auto* d = std::get_if<double>(value)) {
+        row.value = *d;
+      } else if (const auto* i = std::get_if<long long>(value)) {
+        row.value = static_cast<double>(*i);
+      }
+    }
+    if (const exp::Value* count = record.find("count"); count != nullptr) {
+      if (const auto* i = std::get_if<long long>(count)) {
+        row.count = static_cast<std::uint64_t>(*i);
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<obs::TaskTrace> traces_from_chrome_json(const Json& json,
+                                                    double us_per_round) {
+  const Json* events = json.find("traceEvents");
+  if (events == nullptr) {
+    throw std::runtime_error(
+        "traces_from_chrome_json: no \"traceEvents\" array (not a chrome trace?)");
+  }
+  // Sim-time tasks live at pid >= 2 (pid 1 is the wall-time worker
+  // process); rebuild one TaskTrace per sim pid, keeping event order.
+  constexpr double kTaskPidBase = 2.0;
+  std::map<std::uint64_t, obs::TaskTrace> tasks;
+  for (const Json& event : events->as_array()) {
+    const double pid = event.number_or("pid", -1.0);
+    if (pid < kTaskPidBase) {
+      continue;
+    }
+    const auto task_id = static_cast<std::uint64_t>(pid - kTaskPidBase);
+    obs::TaskTrace& task = tasks[task_id];
+    task.task = task_id;
+    const std::string ph = event.string_or("ph", "");
+    const std::string name = event.string_or("name", "");
+    if (ph == "M") {
+      if (name == "process_name") {
+        if (const Json* args = event.find("args"); args != nullptr) {
+          task.label = args->string_or("name", "");
+        }
+      }
+      continue;
+    }
+    const double ts = event.number_or("ts", 0.0);
+    const auto round =
+        static_cast<std::uint64_t>(us_per_round > 0 ? ts / us_per_round + 0.5 : 0);
+    const Json* args = event.find("args");
+    obs::TraceEvent out;
+    out.round = round;
+    if (ph == "C" && name == "entropy" && args != nullptr) {
+      out.type = obs::EventType::kEntropySample;
+      out.value = args->number_or("entropy", 0.0);
+      out.value2 = args->number_or("transfer_efficiency", 0.0);
+      task.events.push_back(out);
+      continue;
+    }
+    if (ph != "i") {
+      continue;
+    }
+    const double tid = event.number_or("tid", 0.0);
+    out.peer = tid >= 1.0 ? static_cast<std::uint32_t>(tid - 1.0) : obs::kNoTracePeer;
+    if (name == "client_sample" && args != nullptr) {
+      out.type = obs::EventType::kClientSample;
+      out.value = args->number_or("potential", 0.0);
+      out.other = static_cast<std::uint32_t>(args->number_or("pieces", 0.0));
+      out.value2 = args->number_or("bytes", 0.0);
+      task.events.push_back(out);
+    } else if (name == "peer_complete") {
+      out.type = obs::EventType::kPeerComplete;
+      if (args != nullptr) {
+        out.value = args->number_or("download_rounds", 0.0);
+      }
+      task.events.push_back(out);
+    }
+  }
+  std::vector<obs::TaskTrace> out;
+  out.reserve(tasks.size());
+  for (auto& [task_id, task] : tasks) {
+    out.push_back(std::move(task));
+  }
+  return out;
+}
+
+}  // namespace mpbt::report

@@ -1,0 +1,43 @@
+// Input loaders for the report generator.
+//
+// mpbt_report consumes artifacts other tools produced — sweep result
+// JSONL, metrics-snapshot JSONL, chrome traces, bench snapshots — and
+// this module parses each back into the in-memory form the report
+// pipeline works on. JSONL records round-trip through exp::Record with
+// integral numbers restored to integers (the sweep's point/rep indices
+// must compare as integers after a round trip through JSON doubles).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/sink.hpp"
+#include "obs/trace.hpp"
+#include "report/json.hpp"
+#include "report/render.hpp"
+
+namespace mpbt::report {
+
+/// Parses JSON-Lines records (one object per non-empty line). Numbers
+/// with no fractional part load as long long, others as double; strings
+/// and booleans keep their type. Throws std::runtime_error on malformed
+/// lines.
+std::vector<exp::Record> records_from_jsonl(std::istream& is);
+std::vector<exp::Record> load_records_jsonl(const std::string& path);
+
+/// Interprets metric-export records (kind/name/value/count rows, as
+/// written by exp::write_metrics_snapshot) as report table rows.
+/// Records without a "kind" field are skipped.
+std::vector<Report::MetricRow> metric_rows_from_records(
+    const std::vector<exp::Record>& records);
+
+/// Rebuilds per-task sim-time trace events from a chrome trace document
+/// (the inverse of obs::write_chrome_trace for the event types the
+/// report consumes: client samples, completions and entropy samples;
+/// other phases of the visualization are ignored). `us_per_round` must
+/// match the value the trace was written with.
+std::vector<obs::TaskTrace> traces_from_chrome_json(const Json& json,
+                                                    double us_per_round = 1000.0);
+
+}  // namespace mpbt::report

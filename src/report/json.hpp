@@ -1,0 +1,110 @@
+// Minimal self-contained JSON value, parser and writer.
+//
+// The report layer reads and writes several small JSON dialects —
+// committed baselines, run summaries, BENCH_*.json trajectories,
+// google-benchmark output and chrome traces — and the toolchain image
+// carries no JSON library, so this is a deliberately small, strict
+// implementation: objects preserve insertion order (so round-tripping a
+// file and re-dumping it is deterministic), numbers are doubles written
+// with round-trip precision, and the parser rejects anything RFC 8259
+// rejects (trailing commas, bare NaN, unpaired surrogates).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mpbt::report {
+
+class Json;
+
+/// Ordered key/value list: JSON objects keep their textual key order so
+/// writes are reproducible and diffs stay minimal.
+using JsonObject = std::vector<std::pair<std::string, Json>>;
+using JsonArray = std::vector<Json>;
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  // null
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double v) : type_(Type::kNumber), number_(v) {}
+  Json(int v) : type_(Type::kNumber), number_(v) {}
+  Json(long long v) : type_(Type::kNumber), number_(static_cast<double>(v)) {}
+  Json(std::uint64_t v) : type_(Type::kNumber), number_(static_cast<double>(v)) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+  Json(std::string_view s) : type_(Type::kString), string_(s) {}
+  Json(JsonArray a) : type_(Type::kArray), array_(std::move(a)) {}
+  Json(JsonObject o) : type_(Type::kObject), object_(std::move(o)) {}
+
+  static Json array() { return Json(JsonArray{}); }
+  static Json object() { return Json(JsonObject{}); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw std::runtime_error on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+  JsonArray& as_array();
+  JsonObject& as_object();
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* find(std::string_view key) const;
+  /// Object member lookup; throws std::runtime_error when absent.
+  const Json& at(std::string_view key) const;
+  /// Sets (or overwrites) an object member; throws on non-objects.
+  void set(std::string key, Json value);
+  /// Appends to an array; throws on non-arrays.
+  void push_back(Json value);
+
+  /// Convenience: member as number/string with a default when absent.
+  double number_or(std::string_view key, double fallback) const;
+  std::string string_or(std::string_view key, std::string fallback) const;
+
+  /// Serializes. indent < 0 → compact one-line form; indent >= 0 →
+  /// pretty-printed with that many spaces per level. Doubles use
+  /// round-trip (shortest exact) formatting; integral values print
+  /// without an exponent or trailing ".0". Non-finite numbers become
+  /// null (JSON has no NaN/Inf).
+  std::string dump(int indent = -1) const;
+
+  /// Parses a complete JSON document (rejects trailing garbage); throws
+  /// std::runtime_error with an offset on malformed input.
+  static Json parse(std::string_view text);
+
+  /// File helpers; throw std::runtime_error on I/O failure.
+  static Json load_file(const std::string& path);
+  void save_file(const std::string& path, int indent = 2) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  JsonArray array_;
+  JsonObject object_;
+};
+
+/// Appends `s` with JSON string escaping (no surrounding quotes).
+void json_append_escaped(std::string& out, std::string_view s);
+
+/// Formats a double the way dump() does (round-trip, integral values
+/// without a fractional part, non-finite as "null").
+std::string json_format_number(double v);
+
+}  // namespace mpbt::report

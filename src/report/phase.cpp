@@ -1,0 +1,125 @@
+#include "report/phase.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/compare.hpp"
+
+namespace mpbt::report {
+
+std::vector<trace::ClientTrace> client_traces_from_events(
+    const std::vector<obs::TraceEvent>& events) {
+  // Collect samples and completion flags per peer (events are in emit
+  // order, so samples are already time-sorted within a peer).
+  std::map<std::uint32_t, trace::ClientTrace> by_peer;
+  std::uint32_t completed_pieces = 0;  // B from a completed client, if any
+  std::uint32_t max_pieces = 0;
+  for (const obs::TraceEvent& event : events) {
+    if (event.type == obs::EventType::kClientSample) {
+      trace::ClientTrace& trace = by_peer[event.peer];
+      trace::TracePoint point;
+      point.time = static_cast<double>(event.round);
+      point.cumulative_bytes = static_cast<std::uint64_t>(event.value2);
+      point.potential_set_size = static_cast<std::uint32_t>(event.value);
+      point.pieces_held = event.other;
+      trace.points.push_back(point);
+      max_pieces = std::max(max_pieces, event.other);
+    } else if (event.type == obs::EventType::kPeerComplete) {
+      auto it = by_peer.find(event.peer);
+      if (it != by_peer.end() && !it->second.points.empty()) {
+        it->second.completed = true;
+        completed_pieces =
+            std::max(completed_pieces, it->second.points.back().pieces_held);
+      }
+    }
+  }
+
+  const std::uint32_t num_pieces = completed_pieces > 0 ? completed_pieces : max_pieces;
+  std::vector<trace::ClientTrace> traces;
+  traces.reserve(by_peer.size());
+  for (auto& [peer, trace] : by_peer) {
+    if (trace.points.empty()) {
+      continue;
+    }
+    trace.label = "client " + std::to_string(peer);
+    trace.num_pieces = num_pieces;
+    // Bytes per piece is not carried in the event stream; approximate it
+    // from the densest sample so byte-based consumers stay in scale.
+    for (const trace::TracePoint& point : trace.points) {
+      if (point.pieces_held > 0) {
+        trace.piece_bytes =
+            std::max(trace.piece_bytes, point.cumulative_bytes / point.pieces_held);
+      }
+    }
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+PhaseRollup rollup_phases(const std::vector<trace::ClientTrace>& traces,
+                          const analysis::PhaseDetectOptions& options) {
+  PhaseRollup rollup;
+  std::uint64_t potential_samples = 0;
+  double potential_sum = 0.0;
+  for (const trace::ClientTrace& trace : traces) {
+    if (trace.points.empty()) {
+      continue;
+    }
+    ++rollup.clients;
+    if (trace.completed) {
+      ++rollup.completed;
+    }
+    const analysis::PhaseSegmentation seg = analysis::detect_phases(trace, options);
+    rollup.mean_bootstrap_duration += seg.bootstrap_duration;
+    rollup.mean_efficient_duration += seg.efficient_duration;
+    rollup.mean_last_duration += seg.last_duration;
+    rollup.mean_total_duration += seg.total_duration;
+    rollup.mean_bootstrap_fraction += seg.bootstrap_fraction();
+    rollup.mean_last_fraction += seg.last_fraction();
+    if (seg.total_duration > 0.0) {
+      rollup.mean_download_rate +=
+          static_cast<double>(trace.final_bytes()) / seg.total_duration;
+    }
+    rollup.mean_rate_potential_corr += analysis::rate_potential_correlation(trace);
+    for (const trace::TracePoint& point : trace.points) {
+      potential_sum += point.potential_set_size;
+      ++potential_samples;
+    }
+  }
+  if (rollup.clients > 0) {
+    const auto n = static_cast<double>(rollup.clients);
+    rollup.mean_bootstrap_duration /= n;
+    rollup.mean_efficient_duration /= n;
+    rollup.mean_last_duration /= n;
+    rollup.mean_total_duration /= n;
+    rollup.mean_bootstrap_fraction /= n;
+    rollup.mean_last_fraction /= n;
+    rollup.mean_download_rate /= n;
+    rollup.mean_rate_potential_corr /= n;
+  }
+  if (potential_samples > 0) {
+    rollup.mean_potential = potential_sum / static_cast<double>(potential_samples);
+  }
+  return rollup;
+}
+
+SwarmSeriesStats swarm_series_stats(const std::vector<obs::TraceEvent>& events) {
+  SwarmSeriesStats stats;
+  for (const obs::TraceEvent& event : events) {
+    if (event.type != obs::EventType::kEntropySample) {
+      continue;
+    }
+    ++stats.samples;
+    stats.mean_entropy += event.value;
+    stats.mean_efficiency += event.value2;
+    stats.final_entropy = event.value;
+    stats.final_efficiency = event.value2;
+  }
+  if (stats.samples > 0) {
+    stats.mean_entropy /= static_cast<double>(stats.samples);
+    stats.mean_efficiency /= static_cast<double>(stats.samples);
+  }
+  return stats;
+}
+
+}  // namespace mpbt::report

@@ -1,0 +1,72 @@
+// Phase-aware rollups over recorded trace events.
+//
+// The swarm's instrumented clients emit kClientSample events (one per
+// round: potential-set size, pieces held, cumulative bytes). This module
+// rebuilds trace::ClientTrace objects from those events, runs
+// analysis::detect_phases over each, and aggregates the per-phase
+// durations, download rates and potential-set sizes — plus the
+// swarm-level entropy / transfer-efficiency series — into the uniform
+// rollup that report::RunSummary carries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/phase_detect.hpp"
+#include "obs/trace.hpp"
+#include "trace/record.hpp"
+
+namespace mpbt::report {
+
+/// Rebuilds one ClientTrace per instrumented client from the trace
+/// events of one task. The file size B is taken from a completed
+/// client's final piece count when one exists (on the completion round
+/// the client holds exactly B pieces), otherwise from the largest piece
+/// count observed — a lower bound that keeps completion fractions
+/// conservative. Traces are ordered by peer id.
+std::vector<trace::ClientTrace> client_traces_from_events(
+    const std::vector<obs::TraceEvent>& events);
+
+/// Aggregate phase statistics over a set of client traces.
+struct PhaseRollup {
+  std::size_t clients = 0;    ///< traces analyzed (non-empty)
+  std::size_t completed = 0;  ///< traces that reached all B pieces
+
+  // Mean per-phase durations in rounds (over traces where detection ran).
+  double mean_bootstrap_duration = 0.0;
+  double mean_efficient_duration = 0.0;
+  double mean_last_duration = 0.0;
+  double mean_total_duration = 0.0;
+
+  // Mean phase fractions of the total download time.
+  double mean_bootstrap_fraction = 0.0;
+  double mean_last_fraction = 0.0;
+
+  /// Mean download rate in bytes per round (final bytes over trace span).
+  double mean_download_rate = 0.0;
+  /// Mean potential-set size over every sample of every trace.
+  double mean_potential = 0.0;
+  /// Mean Pearson correlation of instantaneous rate vs potential size
+  /// (analysis::rate_potential_correlation; traces with < 3 points
+  /// contribute their documented 0).
+  double mean_rate_potential_corr = 0.0;
+
+  bool empty() const { return clients == 0; }
+};
+
+PhaseRollup rollup_phases(const std::vector<trace::ClientTrace>& traces,
+                          const analysis::PhaseDetectOptions& options = {});
+
+/// Swarm-level series statistics recovered from kEntropySample events.
+struct SwarmSeriesStats {
+  std::size_t samples = 0;
+  double mean_entropy = 0.0;
+  double mean_efficiency = 0.0;
+  double final_entropy = 0.0;
+  double final_efficiency = 0.0;
+};
+
+SwarmSeriesStats swarm_series_stats(const std::vector<obs::TraceEvent>& events);
+
+}  // namespace mpbt::report

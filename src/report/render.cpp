@@ -1,0 +1,403 @@
+#include "report/render.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+
+namespace mpbt::report {
+
+bool Report::gates_passed() const {
+  return std::all_of(gates.begin(), gates.end(),
+                     [](const GateReport& gate) { return gate.passed(); });
+}
+
+std::string format_number(double v) {
+  if (!std::isfinite(v)) {
+    return "-";
+  }
+  char buf[32];
+  const auto res =
+      std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::general, 6);
+  return std::string(buf, res.ptr);
+}
+
+namespace {
+
+// The two renderers share one linear document model so their content can
+// never drift apart: build once, serialize twice.
+struct DocTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+struct DocItem {
+  enum class Kind { kHeading, kParagraph, kTable } kind = Kind::kParagraph;
+  int level = 1;        // headings only
+  std::string text;     // heading / paragraph
+  DocTable table;       // tables only
+};
+
+class Doc {
+ public:
+  void heading(int level, std::string text) {
+    items_.push_back({DocItem::Kind::kHeading, level, std::move(text), {}});
+  }
+  void paragraph(std::string text) {
+    items_.push_back({DocItem::Kind::kParagraph, 1, std::move(text), {}});
+  }
+  void table(DocTable table) {
+    if (!table.rows.empty()) {
+      items_.push_back({DocItem::Kind::kTable, 1, {}, std::move(table)});
+    }
+  }
+  const std::vector<DocItem>& items() const { return items_; }
+
+ private:
+  std::vector<DocItem> items_;
+};
+
+std::string markdown_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '|') {
+      out += "\\|";
+    } else if (c == '\n') {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string html_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string to_markdown(const Doc& doc) {
+  std::string out;
+  for (const DocItem& item : doc.items()) {
+    switch (item.kind) {
+      case DocItem::Kind::kHeading:
+        out.append(static_cast<std::size_t>(item.level), '#');
+        out += ' ';
+        out += item.text;
+        out += "\n\n";
+        break;
+      case DocItem::Kind::kParagraph:
+        out += item.text;
+        out += "\n\n";
+        break;
+      case DocItem::Kind::kTable: {
+        out += '|';
+        for (const std::string& cell : item.table.header) {
+          out += ' ';
+          out += markdown_escape(cell);
+          out += " |";
+        }
+        out += "\n|";
+        for (std::size_t i = 0; i < item.table.header.size(); ++i) {
+          out += " --- |";
+        }
+        out += '\n';
+        for (const auto& row : item.table.rows) {
+          out += '|';
+          for (const std::string& cell : row) {
+            out += ' ';
+            out += markdown_escape(cell);
+            out += " |";
+          }
+          out += '\n';
+        }
+        out += '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_html(const Doc& doc, const std::string& title) {
+  std::string out;
+  out += "<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n<title>";
+  out += html_escape(title);
+  out +=
+      "</title>\n<style>\n"
+      "body { font-family: sans-serif; margin: 2em; }\n"
+      "table { border-collapse: collapse; margin: 1em 0; }\n"
+      "th, td { border: 1px solid #999; padding: 0.3em 0.6em; text-align: left; }\n"
+      "th { background: #eee; }\n"
+      "</style>\n</head>\n<body>\n";
+  for (const DocItem& item : doc.items()) {
+    switch (item.kind) {
+      case DocItem::Kind::kHeading: {
+        std::string tag = "h";
+        tag += std::to_string(item.level);
+        out += "<";
+        out += tag;
+        out += ">";
+        out += html_escape(item.text);
+        out += "</";
+        out += tag;
+        out += ">\n";
+        break;
+      }
+      case DocItem::Kind::kParagraph:
+        out += "<p>" + html_escape(item.text) + "</p>\n";
+        break;
+      case DocItem::Kind::kTable: {
+        out += "<table>\n<tr>";
+        for (const std::string& cell : item.table.header) {
+          out += "<th>" + html_escape(cell) + "</th>";
+        }
+        out += "</tr>\n";
+        for (const auto& row : item.table.rows) {
+          out += "<tr>";
+          for (const std::string& cell : row) {
+            out += "<td>" + html_escape(cell) + "</td>";
+          }
+          out += "</tr>\n";
+        }
+        out += "</table>\n";
+        break;
+      }
+    }
+  }
+  out += "</body>\n</html>\n";
+  return out;
+}
+
+void add_scenario_sections(Doc& doc, const Report& report, const RunSummary& summary) {
+  doc.heading(2, "Scenario: " + summary.scenario);
+  doc.paragraph(std::to_string(summary.points) + " points x " +
+                std::to_string(summary.runs) + " runs (" +
+                std::to_string(summary.records) + " records)");
+
+  // Figure-reproduction table: per-point means with parameter columns
+  // first, measurement columns after (both in stable order).
+  if (!summary.profiles.empty() && summary.points > 0) {
+    std::vector<const RunSummary::Profile*> columns;
+    for (const std::string& param : summary.params) {
+      if (const RunSummary::Profile* profile = summary.find_profile(param)) {
+        columns.push_back(profile);
+      }
+    }
+    for (const RunSummary::Profile& profile : summary.profiles) {
+      if (!summary.is_param(profile.field)) {
+        columns.push_back(&profile);
+      }
+    }
+    DocTable table;
+    table.header.push_back("point");
+    for (const RunSummary::Profile* column : columns) {
+      table.header.push_back(column->field);
+    }
+    for (std::size_t point = 0; point < summary.points; ++point) {
+      std::vector<std::string> row;
+      row.push_back(std::to_string(point));
+      for (const RunSummary::Profile* column : columns) {
+        row.push_back(point < column->per_point.size()
+                          ? format_number(column->per_point[point])
+                          : "-");
+      }
+      table.rows.push_back(std::move(row));
+    }
+    doc.heading(3, "Per-point means");
+    doc.table(std::move(table));
+  }
+
+  if (summary.has_phases && !summary.phases.empty()) {
+    const PhaseRollup& phases = summary.phases;
+    DocTable table;
+    table.header = {"phase statistic", "value"};
+    auto row = [&](const char* name, double value) {
+      table.rows.push_back({name, format_number(value)});
+    };
+    table.rows.push_back({"instrumented clients",
+                          std::to_string(phases.clients) + " (" +
+                              std::to_string(phases.completed) + " completed)"});
+    row("mean bootstrap rounds", phases.mean_bootstrap_duration);
+    row("mean efficient rounds", phases.mean_efficient_duration);
+    row("mean last-download rounds", phases.mean_last_duration);
+    row("mean total rounds", phases.mean_total_duration);
+    row("mean bootstrap fraction", phases.mean_bootstrap_fraction);
+    row("mean last fraction", phases.mean_last_fraction);
+    row("mean download rate (bytes/round)", phases.mean_download_rate);
+    row("mean potential-set size", phases.mean_potential);
+    row("mean rate-potential correlation", phases.mean_rate_potential_corr);
+    if (summary.series.samples > 0) {
+      row("mean swarm entropy", summary.series.mean_entropy);
+      row("mean transfer efficiency", summary.series.mean_efficiency);
+    }
+    doc.heading(3, "Phase analytics");
+    doc.table(std::move(table));
+  }
+
+  // This scenario's drift rows.
+  DocTable drift_table;
+  drift_table.header = {"model metric", "points", "sim mean",
+                        "model mean",  "RMSE",   "max gap"};
+  for (const DriftRow& row : report.drift) {
+    if (row.scenario != summary.scenario) {
+      continue;
+    }
+    drift_table.rows.push_back({row.metric, std::to_string(row.points),
+                                format_number(row.sim_mean),
+                                format_number(row.model_mean),
+                                row.rmse < 0 ? "-" : format_number(row.rmse),
+                                row.max_gap < 0 ? "-" : format_number(row.max_gap)});
+  }
+  if (!drift_table.rows.empty()) {
+    doc.heading(3, "Model-vs-sim drift");
+    doc.table(std::move(drift_table));
+  }
+
+  for (const GateReport& gate : report.gates) {
+    if (gate.scenario != summary.scenario) {
+      continue;
+    }
+    doc.heading(3, "Baseline gate");
+    doc.paragraph(std::string(gate.passed() ? "PASS" : "FAIL") + " — " +
+                  std::to_string(gate.count(GateStatus::kOk)) + " ok, " +
+                  std::to_string(gate.count(GateStatus::kWarn)) + " warn, " +
+                  std::to_string(gate.count(GateStatus::kFail)) + " fail, " +
+                  std::to_string(gate.count(GateStatus::kMissing)) + " missing, " +
+                  std::to_string(gate.count(GateStatus::kNew)) + " new");
+    DocTable table;
+    table.header = {"metric", "baseline", "current", "allowed delta", "status"};
+    for (const GateResult& result : gate.results) {
+      table.rows.push_back(
+          {result.name,
+           result.status == GateStatus::kNew ? "-" : format_number(result.baseline),
+           result.status == GateStatus::kMissing ? "-" : format_number(result.current),
+           result.status == GateStatus::kNew ? "-" : format_number(result.allowed),
+           std::string(gate_status_name(result.status))});
+    }
+    doc.table(std::move(table));
+  }
+}
+
+Doc build_doc(const Report& report) {
+  Doc doc;
+  doc.heading(1, report.title);
+  if (!report.gates.empty()) {
+    doc.paragraph(std::string("Regression gate: ") +
+                  (report.gates_passed() ? "PASS" : "FAIL"));
+  }
+  for (const RunSummary& summary : report.summaries) {
+    add_scenario_sections(doc, report, summary);
+  }
+
+  DocTable metrics_table;
+  metrics_table.header = {"kind", "name", "value", "count"};
+  for (const Report::MetricRow& row : report.registry_metrics) {
+    if (row.name.starts_with("sweep.")) {
+      continue;  // wall time: not deterministic across machines/jobs
+    }
+    metrics_table.rows.push_back({row.kind, row.name, format_number(row.value),
+                                  std::to_string(row.count)});
+  }
+  if (!metrics_table.rows.empty()) {
+    doc.heading(2, "Registry metrics");
+    doc.table(std::move(metrics_table));
+  }
+
+  if (report.has_bench && !report.bench.entries.empty()) {
+    doc.heading(2, "Performance trajectory");
+    // Benchmarks: one row per benchmark name, one column per entry.
+    std::vector<std::string> names;
+    for (const BenchEntry& entry : report.bench.entries) {
+      for (const BenchMark& bench : entry.benchmarks) {
+        if (std::find(names.begin(), names.end(), bench.name) == names.end()) {
+          names.push_back(bench.name);
+        }
+      }
+    }
+    if (!names.empty()) {
+      DocTable table;
+      table.header.push_back("benchmark");
+      for (const BenchEntry& entry : report.bench.entries) {
+        table.header.push_back(entry.label.empty() ? "?" : entry.label);
+      }
+      for (const std::string& name : names) {
+        std::vector<std::string> row;
+        row.push_back(name);
+        for (const BenchEntry& entry : report.bench.entries) {
+          const auto it =
+              std::find_if(entry.benchmarks.begin(), entry.benchmarks.end(),
+                           [&](const BenchMark& b) { return b.name == name; });
+          row.push_back(it == entry.benchmarks.end()
+                            ? "-"
+                            : format_number(it->real_time) + " " + it->time_unit);
+        }
+        table.rows.push_back(std::move(row));
+      }
+      doc.heading(3, "Microbenchmarks (real time)");
+      doc.table(std::move(table));
+    }
+    // Wall times: one row per binary, one column per entry.
+    std::vector<std::string> binaries;
+    for (const BenchEntry& entry : report.bench.entries) {
+      for (const WallTime& wall : entry.wall_times) {
+        if (std::find(binaries.begin(), binaries.end(), wall.binary) ==
+            binaries.end()) {
+          binaries.push_back(wall.binary);
+        }
+      }
+    }
+    if (!binaries.empty()) {
+      DocTable table;
+      table.header.push_back("binary");
+      for (const BenchEntry& entry : report.bench.entries) {
+        table.header.push_back(entry.label.empty() ? "?" : entry.label);
+      }
+      for (const std::string& binary : binaries) {
+        std::vector<std::string> row;
+        row.push_back(binary);
+        for (const BenchEntry& entry : report.bench.entries) {
+          const auto it = std::find_if(entry.wall_times.begin(), entry.wall_times.end(),
+                                       [&](const WallTime& w) { return w.binary == binary; });
+          row.push_back(it == entry.wall_times.end() ? "-"
+                                                     : format_number(it->seconds) + " s");
+        }
+        table.rows.push_back(std::move(row));
+      }
+      doc.heading(3, "Figure-script wall times");
+      doc.table(std::move(table));
+    }
+  }
+  return doc;
+}
+
+}  // namespace
+
+std::string render_markdown(const Report& report) {
+  return to_markdown(build_doc(report));
+}
+
+std::string render_html(const Report& report) {
+  return to_html(build_doc(report), report.title);
+}
+
+}  // namespace mpbt::report

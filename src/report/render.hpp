@@ -1,0 +1,54 @@
+// Deterministic Markdown / HTML rendering of a validation report.
+//
+// The renderer is a pure function of the Report value: tables are
+// emitted in sorted order, numbers are formatted with locale-free
+// 6-significant-digit formatting, and nothing machine-dependent (wall
+// times, dates, hostnames) enters the body unless the caller put it
+// there — so two runs of the same sweep render byte-identical reports
+// regardless of worker count, which CI checks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "report/baseline.hpp"
+#include "report/bench.hpp"
+#include "report/drift.hpp"
+#include "report/summary.hpp"
+
+namespace mpbt::report {
+
+struct Report {
+  std::string title = "MPBT validation report";
+
+  std::vector<RunSummary> summaries;  ///< scenario-name-sorted
+  std::vector<DriftRow> drift;        ///< all scenarios' rows
+  std::vector<GateReport> gates;      ///< one per gated scenario
+
+  /// Registry metrics re-read from a metrics snapshot export. Rows whose
+  /// name starts with "sweep." are skipped when rendering (wall time is
+  /// not deterministic across machines or job counts).
+  struct MetricRow {
+    std::string kind;
+    std::string name;
+    double value = 0.0;
+    std::uint64_t count = 0;
+  };
+  std::vector<MetricRow> registry_metrics;
+
+  BenchTrajectory bench;
+  bool has_bench = false;
+
+  /// True when every gate passed (vacuously true with no gates).
+  bool gates_passed() const;
+};
+
+/// Locale-free number formatting used by both renderers: 6 significant
+/// digits, general format (what std::to_chars produces).
+std::string format_number(double v);
+
+std::string render_markdown(const Report& report);
+std::string render_html(const Report& report);
+
+}  // namespace mpbt::report

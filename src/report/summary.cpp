@@ -1,0 +1,328 @@
+#include "report/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "exp/scenario.hpp"
+
+namespace mpbt::report {
+
+namespace {
+
+/// Record keys the sweep runner adds that are bookkeeping, not results.
+bool is_standard_field(std::string_view key) {
+  return key == "scenario" || key == "point" || key == "rep" || key == "seed";
+}
+
+bool numeric_value(const exp::Value& value, double& out) {
+  if (const auto* d = std::get_if<double>(&value)) {
+    out = *d;
+    return true;
+  }
+  if (const auto* i = std::get_if<long long>(&value)) {
+    out = static_cast<double>(*i);
+    return true;
+  }
+  if (const auto* b = std::get_if<bool>(&value)) {
+    out = *b ? 1.0 : 0.0;
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> registry_params(const std::string& scenario) {
+  const exp::Scenario* found = exp::ScenarioRegistry::instance().find(scenario);
+  if (found == nullptr) {
+    return {};
+  }
+  const std::vector<exp::ParamPoint> points = found->make_points(exp::SweepOptions{});
+  if (points.empty()) {
+    return {};
+  }
+  std::vector<std::string> names;
+  names.reserve(points.front().params.size());
+  for (const auto& [key, value] : points.front().params) {
+    names.push_back(key);
+  }
+  return names;
+}
+
+struct FieldAccumulator {
+  double sum = 0.0;
+  std::size_t count = 0;
+  std::map<std::size_t, std::pair<double, std::size_t>> per_point;  // sum, count
+};
+
+}  // namespace
+
+double RunSummary::metric_or(std::string_view name, double fallback) const {
+  for (const auto& [key, value] : metrics) {
+    if (key == name) {
+      return value;
+    }
+  }
+  return fallback;
+}
+
+const RunSummary::Profile* RunSummary::find_profile(std::string_view field) const {
+  for (const Profile& profile : profiles) {
+    if (profile.field == field) {
+      return &profile;
+    }
+  }
+  return nullptr;
+}
+
+void RunSummary::set_metric(std::string_view name, double value) {
+  auto it = std::lower_bound(
+      metrics.begin(), metrics.end(), name,
+      [](const auto& entry, std::string_view key) { return entry.first < key; });
+  if (it != metrics.end() && it->first == name) {
+    it->second = value;
+    return;
+  }
+  metrics.insert(it, {std::string(name), value});
+}
+
+bool RunSummary::is_param(std::string_view field) const {
+  return std::find(params.begin(), params.end(), field) != params.end();
+}
+
+std::vector<RunSummary> summarize_records(const std::vector<exp::Record>& records) {
+  // Group record indices by scenario name (map iteration gives the
+  // scenario-name-sorted output order).
+  std::map<std::string, std::vector<const exp::Record*>> groups;
+  for (const exp::Record& record : records) {
+    const exp::Value* name = record.find("scenario");
+    const auto* as_string = name != nullptr ? std::get_if<std::string>(name) : nullptr;
+    groups[as_string != nullptr ? *as_string : std::string("unknown")].push_back(&record);
+  }
+
+  std::vector<RunSummary> summaries;
+  summaries.reserve(groups.size());
+  for (auto& [scenario, group] : groups) {
+    RunSummary summary;
+    summary.scenario = scenario;
+    summary.records = group.size();
+    summary.params = registry_params(scenario);
+
+    // Accumulation is order-independent only up to floating-point
+    // association, so fix the order: sort the group by (point, rep).
+    auto index_of = [](const exp::Record& record, std::string_view key) {
+      const exp::Value* value = record.find(key);
+      const auto* as_int = value != nullptr ? std::get_if<long long>(value) : nullptr;
+      return as_int != nullptr ? *as_int : 0;
+    };
+    std::sort(group.begin(), group.end(),
+              [&](const exp::Record* a, const exp::Record* b) {
+                const auto pa = index_of(*a, "point");
+                const auto pb = index_of(*b, "point");
+                return pa != pb ? pa < pb : index_of(*a, "rep") < index_of(*b, "rep");
+              });
+
+    std::map<std::string, FieldAccumulator> fields;
+    std::size_t max_point = 0;
+    std::size_t max_rep = 0;
+    for (const exp::Record* record : group) {
+      const auto point = static_cast<std::size_t>(index_of(*record, "point"));
+      const auto rep = static_cast<std::size_t>(index_of(*record, "rep"));
+      max_point = std::max(max_point, point);
+      max_rep = std::max(max_rep, rep);
+      for (const auto& [key, value] : record->fields) {
+        double v = 0.0;
+        if (is_standard_field(key) || !numeric_value(value, v)) {
+          continue;
+        }
+        FieldAccumulator& acc = fields[key];
+        acc.sum += v;
+        ++acc.count;
+        auto& [point_sum, point_count] = acc.per_point[point];
+        point_sum += v;
+        ++point_count;
+      }
+    }
+    summary.points = group.empty() ? 0 : max_point + 1;
+    summary.runs = group.empty() ? 0 : max_rep + 1;
+
+    for (const auto& [field, acc] : fields) {
+      if (!summary.is_param(field) && acc.count > 0) {
+        summary.set_metric(field, acc.sum / static_cast<double>(acc.count));
+      }
+      RunSummary::Profile profile;
+      profile.field = field;
+      profile.per_point.assign(summary.points,
+                               std::numeric_limits<double>::quiet_NaN());
+      for (const auto& [point, sums] : acc.per_point) {
+        if (point < profile.per_point.size() && sums.second > 0) {
+          profile.per_point[point] = sums.first / static_cast<double>(sums.second);
+        }
+      }
+      summary.profiles.push_back(std::move(profile));
+    }
+    summaries.push_back(std::move(summary));
+  }
+  return summaries;
+}
+
+void attach_traces(RunSummary& summary, const std::vector<obs::TaskTrace>& traces) {
+  std::vector<trace::ClientTrace> clients;
+  SwarmSeriesStats series;
+  double entropy_sum = 0.0;
+  double efficiency_sum = 0.0;
+  for (const obs::TaskTrace& task : traces) {
+    // Peer ids restart per task, so traces must be rebuilt task by task.
+    std::vector<trace::ClientTrace> task_clients =
+        client_traces_from_events(task.events);
+    std::move(task_clients.begin(), task_clients.end(), std::back_inserter(clients));
+    const SwarmSeriesStats task_series = swarm_series_stats(task.events);
+    if (task_series.samples > 0) {
+      entropy_sum += task_series.mean_entropy * static_cast<double>(task_series.samples);
+      efficiency_sum +=
+          task_series.mean_efficiency * static_cast<double>(task_series.samples);
+      series.samples += task_series.samples;
+      series.final_entropy = task_series.final_entropy;
+      series.final_efficiency = task_series.final_efficiency;
+    }
+  }
+  if (series.samples > 0) {
+    series.mean_entropy = entropy_sum / static_cast<double>(series.samples);
+    series.mean_efficiency = efficiency_sum / static_cast<double>(series.samples);
+  }
+  attach_phase_rollup(summary, rollup_phases(clients), series);
+}
+
+void attach_phase_rollup(RunSummary& summary, const PhaseRollup& rollup,
+                         const SwarmSeriesStats& series) {
+  summary.phases = rollup;
+  summary.series = series;
+  summary.has_phases = true;
+  if (!rollup.empty()) {
+    summary.set_metric("phase.clients", static_cast<double>(rollup.clients));
+    summary.set_metric("phase.completed", static_cast<double>(rollup.completed));
+    summary.set_metric("phase.bootstrap_rounds", rollup.mean_bootstrap_duration);
+    summary.set_metric("phase.efficient_rounds", rollup.mean_efficient_duration);
+    summary.set_metric("phase.last_rounds", rollup.mean_last_duration);
+    summary.set_metric("phase.total_rounds", rollup.mean_total_duration);
+    summary.set_metric("phase.bootstrap_fraction", rollup.mean_bootstrap_fraction);
+    summary.set_metric("phase.last_fraction", rollup.mean_last_fraction);
+    summary.set_metric("phase.download_rate", rollup.mean_download_rate);
+    summary.set_metric("phase.mean_potential", rollup.mean_potential);
+    summary.set_metric("phase.rate_potential_corr", rollup.mean_rate_potential_corr);
+  }
+  if (series.samples > 0) {
+    summary.set_metric("trace.mean_entropy", series.mean_entropy);
+    summary.set_metric("trace.mean_efficiency", series.mean_efficiency);
+  }
+}
+
+Json summary_to_json(const RunSummary& summary) {
+  Json json = Json::object();
+  json.set("schema", Json(kSummarySchema));
+  json.set("scenario", Json(summary.scenario));
+  json.set("points", Json(static_cast<double>(summary.points)));
+  json.set("runs", Json(static_cast<double>(summary.runs)));
+  json.set("records", Json(static_cast<double>(summary.records)));
+  Json params = Json::array();
+  for (const std::string& param : summary.params) {
+    params.push_back(Json(param));
+  }
+  json.set("params", std::move(params));
+  Json metrics = Json::object();
+  for (const auto& [name, value] : summary.metrics) {
+    metrics.set(name, Json(value));
+  }
+  json.set("metrics", std::move(metrics));
+  Json profiles = Json::object();
+  for (const RunSummary::Profile& profile : summary.profiles) {
+    Json values = Json::array();
+    for (double v : profile.per_point) {
+      values.push_back(std::isfinite(v) ? Json(v) : Json());
+    }
+    profiles.set(profile.field, std::move(values));
+  }
+  json.set("profiles", std::move(profiles));
+  if (summary.has_phases) {
+    Json phases = Json::object();
+    phases.set("clients", Json(static_cast<double>(summary.phases.clients)));
+    phases.set("completed", Json(static_cast<double>(summary.phases.completed)));
+    phases.set("bootstrap_rounds", Json(summary.phases.mean_bootstrap_duration));
+    phases.set("efficient_rounds", Json(summary.phases.mean_efficient_duration));
+    phases.set("last_rounds", Json(summary.phases.mean_last_duration));
+    phases.set("total_rounds", Json(summary.phases.mean_total_duration));
+    phases.set("bootstrap_fraction", Json(summary.phases.mean_bootstrap_fraction));
+    phases.set("last_fraction", Json(summary.phases.mean_last_fraction));
+    phases.set("download_rate", Json(summary.phases.mean_download_rate));
+    phases.set("mean_potential", Json(summary.phases.mean_potential));
+    phases.set("rate_potential_corr", Json(summary.phases.mean_rate_potential_corr));
+    json.set("phases", std::move(phases));
+    Json series = Json::object();
+    series.set("samples", Json(static_cast<double>(summary.series.samples)));
+    series.set("mean_entropy", Json(summary.series.mean_entropy));
+    series.set("mean_efficiency", Json(summary.series.mean_efficiency));
+    series.set("final_entropy", Json(summary.series.final_entropy));
+    series.set("final_efficiency", Json(summary.series.final_efficiency));
+    json.set("series", std::move(series));
+  }
+  return json;
+}
+
+RunSummary summary_from_json(const Json& json) {
+  if (json.string_or("schema", "") != kSummarySchema) {
+    throw std::runtime_error("summary_from_json: not an " +
+                             std::string(kSummarySchema) + " document");
+  }
+  RunSummary summary;
+  summary.scenario = json.string_or("scenario", "unknown");
+  summary.points = static_cast<std::size_t>(json.number_or("points", 0));
+  summary.runs = static_cast<std::size_t>(json.number_or("runs", 0));
+  summary.records = static_cast<std::size_t>(json.number_or("records", 0));
+  if (const Json* params = json.find("params"); params != nullptr) {
+    for (const Json& param : params->as_array()) {
+      summary.params.push_back(param.as_string());
+    }
+  }
+  if (const Json* metrics = json.find("metrics"); metrics != nullptr) {
+    for (const auto& [name, value] : metrics->as_object()) {
+      summary.set_metric(name, value.as_number());
+    }
+  }
+  if (const Json* profiles = json.find("profiles"); profiles != nullptr) {
+    for (const auto& [field, values] : profiles->as_object()) {
+      RunSummary::Profile profile;
+      profile.field = field;
+      for (const Json& v : values.as_array()) {
+        profile.per_point.push_back(
+            v.is_number() ? v.as_number() : std::numeric_limits<double>::quiet_NaN());
+      }
+      summary.profiles.push_back(std::move(profile));
+    }
+  }
+  if (const Json* phases = json.find("phases"); phases != nullptr) {
+    summary.has_phases = true;
+    summary.phases.clients = static_cast<std::size_t>(phases->number_or("clients", 0));
+    summary.phases.completed =
+        static_cast<std::size_t>(phases->number_or("completed", 0));
+    summary.phases.mean_bootstrap_duration = phases->number_or("bootstrap_rounds", 0);
+    summary.phases.mean_efficient_duration = phases->number_or("efficient_rounds", 0);
+    summary.phases.mean_last_duration = phases->number_or("last_rounds", 0);
+    summary.phases.mean_total_duration = phases->number_or("total_rounds", 0);
+    summary.phases.mean_bootstrap_fraction = phases->number_or("bootstrap_fraction", 0);
+    summary.phases.mean_last_fraction = phases->number_or("last_fraction", 0);
+    summary.phases.mean_download_rate = phases->number_or("download_rate", 0);
+    summary.phases.mean_potential = phases->number_or("mean_potential", 0);
+    summary.phases.mean_rate_potential_corr =
+        phases->number_or("rate_potential_corr", 0);
+  }
+  if (const Json* series = json.find("series"); series != nullptr) {
+    summary.series.samples = static_cast<std::size_t>(series->number_or("samples", 0));
+    summary.series.mean_entropy = series->number_or("mean_entropy", 0);
+    summary.series.mean_efficiency = series->number_or("mean_efficiency", 0);
+    summary.series.final_entropy = series->number_or("final_entropy", 0);
+    summary.series.final_efficiency = series->number_or("final_efficiency", 0);
+  }
+  return summary;
+}
+
+}  // namespace mpbt::report

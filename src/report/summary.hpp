@@ -1,0 +1,83 @@
+// Uniform per-scenario run summaries.
+//
+// summarize_records folds a sweep's result records (in memory or re-read
+// from a JSONL file) into one RunSummary per scenario: flattened scalar
+// metrics (the mean of every numeric measurement field), per-point mean
+// profiles (the drift monitor compares sim_*/model_* profile pairs), and
+// — when traces were recorded — the phase rollup of the instrumented
+// clients. Summaries serialize to the "mpbt-summary-v1" JSON schema so
+// mpbt_report can consume a summary written by mpbt_sweep --summary
+// without re-running anything.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exp/sink.hpp"
+#include "report/json.hpp"
+#include "report/phase.hpp"
+
+namespace mpbt::report {
+
+inline constexpr std::string_view kSummarySchema = "mpbt-summary-v1";
+
+struct RunSummary {
+  std::string scenario;
+  std::size_t points = 0;   ///< grid points seen
+  std::size_t runs = 0;     ///< max repetitions per point seen
+  std::size_t records = 0;  ///< result records folded in
+
+  /// Parameter field names (from the scenario registry when the scenario
+  /// is known; empty otherwise). Parameters appear in `profiles` but not
+  /// in `metrics`.
+  std::vector<std::string> params;
+
+  /// Flattened scalar metrics, name-sorted: mean over all records of each
+  /// numeric measurement field, plus "phase.*" / "trace.*" entries once a
+  /// rollup is attached and "drift.*" entries once drift is computed.
+  /// This is the surface the baseline gate checks.
+  std::vector<std::pair<std::string, double>> metrics;
+
+  /// Per-point mean profiles of every numeric field (parameters and
+  /// measurements alike), indexed by the record's point index.
+  struct Profile {
+    std::string field;
+    std::vector<double> per_point;
+  };
+  std::vector<Profile> profiles;
+
+  /// Phase rollup from recorded traces (empty when tracing was off).
+  PhaseRollup phases;
+  SwarmSeriesStats series;
+  bool has_phases = false;
+
+  /// Metric lookup; fallback when absent.
+  double metric_or(std::string_view name, double fallback) const;
+  const Profile* find_profile(std::string_view field) const;
+  /// Inserts or overwrites a metric, keeping the list name-sorted.
+  void set_metric(std::string_view name, double value);
+  bool is_param(std::string_view field) const;
+};
+
+/// Groups `records` by their "scenario" field and summarizes each group.
+/// Records are processed in (point, rep) order regardless of input order,
+/// so the summaries are identical for any sweep worker count. Parameter
+/// names come from the scenario registry when the scenario is registered.
+/// Returned summaries are scenario-name-sorted.
+std::vector<RunSummary> summarize_records(const std::vector<exp::Record>& records);
+
+/// Computes the phase rollup + series stats over all of `traces`' events
+/// and folds them into `summary.metrics` under "phase.*" / "trace.*".
+void attach_traces(RunSummary& summary, const std::vector<obs::TaskTrace>& traces);
+
+/// Folds an already-computed rollup into the summary (used when the
+/// events are no longer available, e.g. re-loading a summary file).
+void attach_phase_rollup(RunSummary& summary, const PhaseRollup& rollup,
+                         const SwarmSeriesStats& series);
+
+Json summary_to_json(const RunSummary& summary);
+RunSummary summary_from_json(const Json& json);
+
+}  // namespace mpbt::report

@@ -137,5 +137,55 @@ TEST(RatePotentialCorrelation, DegenerateTraces) {
             0.0);
 }
 
+TEST(RatePotentialCorrelation, ExactlyThreePointsIsEnough) {
+  // Three points yield two rate samples — the documented minimum for a
+  // defined correlation; the 0 return is reserved for fewer.
+  const double corr = rate_potential_correlation(
+      trace_with({{0.0, 0, 2, 0}, {1.0, 200, 8, 1}, {2.0, 1000, 2, 2}}));
+  EXPECT_TRUE(std::isfinite(corr));
+}
+
+TEST(PhaseDetect, NeverLeavesBootstrap) {
+  // Potential set empty for the whole trace: efficient_begin lands past
+  // the end, everything is bootstrap, and no phase fraction divides by 0.
+  std::vector<trace::TracePoint> points;
+  for (int t = 0; t <= 30; ++t) {
+    points.push_back({static_cast<double>(t), 0, 0, 0});
+  }
+  const PhaseSegmentation seg = detect_phases(trace_with(points));
+  EXPECT_EQ(seg.efficient_begin, points.size());
+  EXPECT_TRUE(seg.has_bootstrap_phase());
+  EXPECT_FALSE(seg.has_last_phase());
+  EXPECT_NEAR(seg.bootstrap_duration, seg.total_duration, 1e-9);
+  EXPECT_NEAR(seg.bootstrap_fraction(), 1.0, 1e-9);
+  EXPECT_EQ(seg.efficient_duration, 0.0);
+  EXPECT_EQ(seg.last_fraction(), 0.0);
+}
+
+TEST(PhaseDetect, SinglePointTraceHasZeroDurations) {
+  // One sample spans no time at all: every duration is 0 and the
+  // fraction accessors fall back to 0 rather than dividing by zero.
+  const PhaseSegmentation seg = detect_phases(trace_with({{5.0, 1000, 4, 10}}));
+  EXPECT_EQ(seg.total_duration, 0.0);
+  EXPECT_EQ(seg.bootstrap_fraction(), 0.0);
+  EXPECT_EQ(seg.last_fraction(), 0.0);
+  EXPECT_FALSE(seg.has_last_phase());
+}
+
+TEST(PhaseDetect, CompletedTraceWithoutCollapseHasNoLastPhase) {
+  // The potential set stays healthy through 100% completion: the
+  // last-download suffix must be empty even though completion passed the
+  // min-completion threshold.
+  std::vector<trace::TracePoint> points;
+  for (int t = 0; t <= 50; ++t) {
+    points.push_back({static_cast<double>(t), static_cast<std::uint64_t>(t) * 2000,
+                      20, static_cast<std::uint32_t>(t * 2)});
+  }
+  const PhaseSegmentation seg = detect_phases(trace_with(points));
+  EXPECT_FALSE(seg.has_last_phase());
+  EXPECT_EQ(seg.last_begin, points.size());
+  EXPECT_EQ(seg.last_duration, 0.0);
+}
+
 }  // namespace
 }  // namespace mpbt::analysis

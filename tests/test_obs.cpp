@@ -685,4 +685,125 @@ TEST(ProgressReporter, AnnotationsPrintOnFinish) {
   EXPECT_NE(out.str().find("[obs] extra line"), std::string::npos);
 }
 
+// --- stream stats: Welford moments + P^2 quantiles --------------------------
+
+TEST(StreamStats, WelfordMomentsMatchClosedForm) {
+  obs::StreamStats stats;
+  const std::vector<double> sample = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double v : sample) {
+    stats.observe(v);
+  }
+  EXPECT_EQ(stats.count(), sample.size());
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sum of squared deviations is 32 over n-1 = 7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  const obs::StreamStatsSnapshot snap = stats.snapshot();
+  EXPECT_DOUBLE_EQ(snap.min, 2.0);
+  EXPECT_DOUBLE_EQ(snap.max, 9.0);
+  EXPECT_DOUBLE_EQ(snap.sum, 40.0);
+}
+
+TEST(StreamStats, QuantilesExactBelowFiveObservations) {
+  obs::StreamStats stats({0.5});
+  stats.observe(30.0);
+  stats.observe(10.0);
+  // Below five observations the probe stores the sample and interpolates
+  // on the sorted prefix: median of {10, 30} is their midpoint.
+  EXPECT_DOUBLE_EQ(stats.quantile(0.5), 20.0);
+  stats.observe(20.0);
+  EXPECT_DOUBLE_EQ(stats.quantile(0.5), 20.0);  // exact median of {10, 20, 30}
+}
+
+TEST(StreamStats, P2TracksUniformRampQuantiles) {
+  // A deterministic pseudo-shuffled ramp over [0, 1000): the P^2 estimate
+  // must land near the exact quantiles without storing the sample.
+  obs::StreamStats stats({0.5, 0.9});
+  constexpr int kN = 1000;
+  std::uint64_t lcg = 12345;
+  for (int i = 0; i < kN; ++i) {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    stats.observe(static_cast<double>(lcg % kN));
+  }
+  EXPECT_EQ(stats.count(), static_cast<std::uint64_t>(kN));
+  EXPECT_NEAR(stats.quantile(0.5), 500.0, 50.0);
+  EXPECT_NEAR(stats.quantile(0.9), 900.0, 50.0);
+  EXPECT_NEAR(stats.mean(), 500.0, 50.0);
+}
+
+TEST(StreamStats, SnapshotMergeMatchesSingleStreamMoments) {
+  obs::StreamStats left({0.5});
+  obs::StreamStats right({0.5});
+  obs::StreamStats all({0.5});
+  for (int i = 0; i < 100; ++i) {
+    const double v = static_cast<double>((i * 37) % 100);
+    (i < 50 ? left : right).observe(v);
+    all.observe(v);
+  }
+  obs::StreamStatsSnapshot merged = left.snapshot();
+  merged.merge(right.snapshot());
+  const obs::StreamStatsSnapshot expect = all.snapshot();
+  EXPECT_EQ(merged.count, expect.count);
+  EXPECT_NEAR(merged.mean, expect.mean, 1e-9);
+  EXPECT_NEAR(merged.stddev, expect.stddev, 1e-9);
+  EXPECT_DOUBLE_EQ(merged.min, expect.min);
+  EXPECT_DOUBLE_EQ(merged.max, expect.max);
+}
+
+TEST(Registry, StatsRejectsMismatchedProbesAndSnapshots) {
+  obs::Registry registry;
+  obs::StreamStats& stats = registry.stats("s", {0.5, 0.9});
+  EXPECT_NO_THROW(registry.stats("s", {0.9, 0.5}));  // order-insensitive
+  EXPECT_THROW(registry.stats("s", {0.25}), std::invalid_argument);
+  stats.observe(1.0);
+  stats.observe(3.0);
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.stats.size(), 1u);
+  EXPECT_EQ(snap.stats[0].name, "s");
+  EXPECT_EQ(snap.stats[0].count, 2u);
+  EXPECT_DOUBLE_EQ(snap.stats[0].mean, 2.0);
+}
+
+// --- histogram quantiles: bucket-bound edge behavior ------------------------
+
+TEST(HistogramSnapshot, QuantileInterpolatesWithinBucket) {
+  obs::Registry registry;
+  obs::Histogram& hist = registry.histogram("h", {10.0, 20.0});
+  for (int i = 0; i < 10; ++i) {
+    hist.observe(15.0);  // all ten land in (10, 20]
+  }
+  const obs::HistogramSnapshot snap = registry.snapshot().histograms.front();
+  // Mass is uniform within the bucket: the median interpolates to the
+  // bucket midpoint and the min/max quantiles to its edges.
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), 15.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 20.0);
+}
+
+TEST(HistogramSnapshot, ObservationsOnBucketBoundStayInLowerBucket) {
+  obs::Registry registry;
+  obs::Histogram& hist = registry.histogram("h", {10.0, 20.0});
+  for (int i = 0; i < 4; ++i) {
+    hist.observe(10.0);  // == edge -> first bucket (inclusive upper edge)
+  }
+  const obs::HistogramSnapshot snap = registry.snapshot().histograms.front();
+  ASSERT_EQ(snap.buckets[0], 4u);
+  // Every quantile of a single-bucket distribution stays at or below the
+  // bound the observations sat on.
+  EXPECT_LE(snap.quantile(0.5), 10.0);
+  EXPECT_LE(snap.quantile(1.0), 10.0);
+  EXPECT_GE(snap.quantile(0.0), 0.0);
+}
+
+TEST(HistogramSnapshot, OverflowBucketClampsToLastFiniteEdge) {
+  obs::Registry registry;
+  obs::Histogram& hist = registry.histogram("h", {10.0, 20.0});
+  hist.observe(5.0);
+  hist.observe(1000.0);  // overflow
+  const obs::HistogramSnapshot snap = registry.snapshot().histograms.front();
+  // The open-ended bucket has no upper edge to interpolate toward; the
+  // estimate clamps to the last finite bound instead of inventing one.
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 20.0);
+  EXPECT_LE(snap.quantile(0.25), 10.0);
+}
+
 }  // namespace

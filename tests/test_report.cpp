@@ -1,0 +1,426 @@
+// Tests for the src/report validation-observatory layer: JSON round
+// trips, record summarization, drift pairing, the baseline gate, the
+// deterministic renderers and the chrome-trace inverse loader.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/sink.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/trace.hpp"
+#include "report/baseline.hpp"
+#include "report/bench.hpp"
+#include "report/drift.hpp"
+#include "report/inputs.hpp"
+#include "report/json.hpp"
+#include "report/phase.hpp"
+#include "report/render.hpp"
+#include "report/summary.hpp"
+
+namespace mpbt::report {
+namespace {
+
+// --- Json -------------------------------------------------------------------
+
+TEST(Json, ParsesAndDumpsRoundTrip) {
+  const std::string text =
+      R"({"a":1,"b":[true,false,null],"c":{"nested":"x"},"d":-2.5e3})";
+  const Json json = Json::parse(text);
+  EXPECT_DOUBLE_EQ(json.number_or("a", 0), 1.0);
+  EXPECT_EQ(json.at("b").as_array().size(), 3u);
+  EXPECT_TRUE(json.at("b").as_array()[2].is_null());
+  EXPECT_EQ(json.at("c").string_or("nested", ""), "x");
+  EXPECT_DOUBLE_EQ(json.number_or("d", 0), -2500.0);
+  // Objects keep insertion order, so dump(parse(x)) is stable.
+  EXPECT_EQ(Json::parse(json.dump()).dump(), json.dump());
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  const std::string hairy = "quote\" backslash\\ newline\n tab\t control\x01 Ümlaut €";
+  Json json = Json::object();
+  json.set("s", Json(hairy));
+  const std::string dumped = json.dump();
+  EXPECT_EQ(Json::parse(dumped).at("s").as_string(), hairy);
+}
+
+TEST(Json, UnicodeEscapesDecodeIncludingSurrogatePairs) {
+  // é = é, 😀 = U+1F600 (😀) as a surrogate pair.
+  const Json json = Json::parse(R"({"s":"café 😀"})");
+  const std::string& s = json.at("s").as_string();
+  EXPECT_NE(s.find("caf\xc3\xa9"), std::string::npos);
+  EXPECT_NE(s.find("\xf0\x9f\x98\x80"), std::string::npos);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_THROW(Json::parse("{\"a\":1,}"), std::runtime_error);   // trailing comma
+  EXPECT_THROW(Json::parse("{\"a\":1} x"), std::runtime_error);  // trailing garbage
+  EXPECT_THROW(Json::parse("{\"a\":NaN}"), std::runtime_error);  // bare NaN
+  EXPECT_THROW(Json::parse(R"({"s":"\ud83d"})"), std::runtime_error);  // unpaired
+  EXPECT_THROW(Json::parse(""), std::runtime_error);
+}
+
+TEST(Json, IntegralNumbersPrintWithoutFraction) {
+  EXPECT_EQ(json_format_number(42.0), "42");
+  EXPECT_EQ(json_format_number(-3.0), "-3");
+  EXPECT_EQ(json_format_number(0.5), "0.5");
+  EXPECT_EQ(json_format_number(std::nan("")), "null");
+}
+
+// --- summarize_records ------------------------------------------------------
+
+exp::Record make_record(const std::string& scenario, long long point, long long rep,
+                        double sim, double model) {
+  exp::Record record;
+  record.set("scenario", scenario);
+  record.set("point", point);
+  record.set("rep", rep);
+  record.set("seed", std::string("123"));
+  record.set("k", point + 1);  // parameter-style field
+  record.set("sim_eta", sim);
+  record.set("model_eta", model);
+  return record;
+}
+
+std::vector<exp::Record> sample_records() {
+  std::vector<exp::Record> records;
+  for (long long point = 0; point < 3; ++point) {
+    for (long long rep = 0; rep < 2; ++rep) {
+      const double sim = 0.8 + 0.05 * static_cast<double>(point) +
+                         0.01 * static_cast<double>(rep);
+      records.push_back(make_record("efficiency_vs_k", point, rep, sim, sim + 0.02));
+    }
+  }
+  return records;
+}
+
+TEST(Summarize, GroupsAndAveragesByPoint) {
+  const std::vector<RunSummary> summaries = summarize_records(sample_records());
+  ASSERT_EQ(summaries.size(), 1u);
+  const RunSummary& summary = summaries.front();
+  EXPECT_EQ(summary.scenario, "efficiency_vs_k");
+  EXPECT_EQ(summary.points, 3u);
+  EXPECT_EQ(summary.runs, 2u);
+  EXPECT_EQ(summary.records, 6u);
+  // Registered scenario: "k" is a parameter — profiled but not a metric.
+  EXPECT_TRUE(summary.is_param("k"));
+  EXPECT_TRUE(std::isnan(summary.metric_or("k", std::nan(""))));
+  ASSERT_NE(summary.find_profile("k"), nullptr);
+  // Grand mean over the 6 records.
+  EXPECT_NEAR(summary.metric_or("sim_eta", 0), 0.855, 1e-12);
+  const RunSummary::Profile* profile = summary.find_profile("sim_eta");
+  ASSERT_NE(profile, nullptr);
+  ASSERT_EQ(profile->per_point.size(), 3u);
+  EXPECT_NEAR(profile->per_point[0], 0.805, 1e-12);
+  EXPECT_NEAR(profile->per_point[2], 0.905, 1e-12);
+}
+
+TEST(Summarize, OrderIndependentAcrossShuffledInput) {
+  std::vector<exp::Record> records = sample_records();
+  std::vector<exp::Record> shuffled = records;
+  std::mt19937 rng(7);
+  std::shuffle(shuffled.begin(), shuffled.end(), rng);
+  const std::vector<RunSummary> a = summarize_records(records);
+  const std::vector<RunSummary> b = summarize_records(shuffled);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  // Byte-level agreement, not just approximate: the gate depends on it.
+  EXPECT_EQ(summary_to_json(a.front()).dump(), summary_to_json(b.front()).dump());
+}
+
+TEST(Summarize, SummaryJsonRoundTrips) {
+  std::vector<RunSummary> summaries = summarize_records(sample_records());
+  RunSummary& summary = summaries.front();
+  attach_drift(summary);
+  const Json json = summary_to_json(summary);
+  const RunSummary loaded = summary_from_json(json);
+  EXPECT_EQ(summary_to_json(loaded).dump(), json.dump());
+  EXPECT_THROW(summary_from_json(Json::object()), std::runtime_error);
+}
+
+// --- drift ------------------------------------------------------------------
+
+TEST(Drift, PairsSimWithModelProfiles) {
+  std::vector<RunSummary> summaries = summarize_records(sample_records());
+  RunSummary& summary = summaries.front();
+  const std::vector<DriftRow> rows = compute_drift(summary);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].metric, "eta");
+  EXPECT_EQ(rows[0].points, 3u);
+  // model = sim + 0.02 everywhere.
+  EXPECT_NEAR(rows[0].rmse, 0.02, 1e-9);
+  EXPECT_NEAR(rows[0].max_gap, 0.02, 1e-9);
+  EXPECT_NEAR(rows[0].model_mean - rows[0].sim_mean, 0.02, 1e-9);
+
+  attach_drift(summary);
+  EXPECT_NEAR(summary.metric_or("drift.eta.rmse", -1), 0.02, 1e-9);
+  EXPECT_NEAR(summary.metric_or("drift.eta.max_gap", -1), 0.02, 1e-9);
+}
+
+TEST(Drift, UnpairedSimProfileProducesNoRow) {
+  exp::Record record;
+  record.set("scenario", std::string("s"));
+  record.set("point", 0LL);
+  record.set("rep", 0LL);
+  record.set("sim_orphan", 1.0);
+  const std::vector<RunSummary> summaries = summarize_records({record});
+  EXPECT_TRUE(compute_drift(summaries.front()).empty());
+}
+
+// --- baseline gate ----------------------------------------------------------
+
+TEST(BaselineGate, ClassifiesOkWarnFailMissingNew) {
+  RunSummary base;
+  base.scenario = "s";
+  base.set_metric("a", 1.0);   // stays -> ok
+  base.set_metric("b", 1.0);   // nudged past half tolerance -> warn
+  base.set_metric("c", 1.0);   // shifted 2x tolerance -> fail
+  base.set_metric("d", 1.0);   // dropped from the run -> missing
+  base.set_metric("sweep.task_seconds", 9.0);  // never enters the baseline
+  Tolerance tolerance;
+  tolerance.abs_tol = 0.1;
+  tolerance.rel_tol = 0.0;
+  const Baseline baseline = baseline_from_summary(base, tolerance);
+  EXPECT_EQ(baseline.entries.size(), 4u);
+  EXPECT_EQ(baseline.find("sweep.task_seconds"), nullptr);
+
+  RunSummary run;
+  run.scenario = "s";
+  run.set_metric("a", 1.0);
+  run.set_metric("b", 1.08);  // |delta| = 0.08 > 0.05, <= 0.1
+  run.set_metric("c", 1.2);   // |delta| = 0.2 = 2x allowed
+  run.set_metric("e", 5.0);   // new
+  const GateReport report = check_against_baseline(baseline, run);
+  EXPECT_EQ(report.count(GateStatus::kOk), 1u);
+  EXPECT_EQ(report.count(GateStatus::kWarn), 1u);
+  EXPECT_EQ(report.count(GateStatus::kFail), 1u);
+  EXPECT_EQ(report.count(GateStatus::kMissing), 1u);
+  EXPECT_EQ(report.count(GateStatus::kNew), 1u);
+  EXPECT_FALSE(report.passed());
+}
+
+TEST(BaselineGate, PassesOnIdenticalRunAndFailsOn2xPerturbation) {
+  std::vector<RunSummary> summaries = summarize_records(sample_records());
+  RunSummary& summary = summaries.front();
+  attach_drift(summary);
+  const Baseline baseline = baseline_from_summary(summary);
+  EXPECT_TRUE(check_against_baseline(baseline, summary).passed());
+
+  // The acceptance experiment: shift eta by twice its allowed tolerance.
+  RunSummary perturbed = summary;
+  const double eta = perturbed.metric_or("sim_eta", 0.0);
+  const double allowed = baseline.find("sim_eta")->tolerance.allowed(eta);
+  perturbed.set_metric("sim_eta", eta + 2.0 * allowed);
+  const GateReport report = check_against_baseline(baseline, perturbed);
+  EXPECT_FALSE(report.passed());
+  EXPECT_GE(report.count(GateStatus::kFail), 1u);
+}
+
+TEST(BaselineGate, JsonRoundTripPreservesTolerances) {
+  RunSummary summary;
+  summary.scenario = "s";
+  summary.set_metric("m", 2.0);
+  Tolerance tolerance;
+  tolerance.abs_tol = 0.01;
+  tolerance.rel_tol = 0.1;
+  const Baseline baseline = baseline_from_summary(summary, tolerance);
+  const Baseline loaded = baseline_from_json(baseline_to_json(baseline));
+  ASSERT_EQ(loaded.entries.size(), 1u);
+  EXPECT_EQ(loaded.scenario, "s");
+  EXPECT_DOUBLE_EQ(loaded.entries[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(loaded.entries[0].tolerance.abs_tol, 0.01);
+  EXPECT_DOUBLE_EQ(loaded.entries[0].tolerance.rel_tol, 0.1);
+  EXPECT_EQ(baseline_path("baselines", "s"), "baselines/s.json");
+  EXPECT_EQ(baseline_path("baselines/", "s"), "baselines/s.json");
+}
+
+// --- renderers --------------------------------------------------------------
+
+Report sample_report() {
+  Report report;
+  std::vector<RunSummary> summaries = summarize_records(sample_records());
+  report.drift = attach_drift(summaries.front());
+  report.gates.push_back(
+      check_against_baseline(baseline_from_summary(summaries.front()), summaries.front()));
+  report.summaries = std::move(summaries);
+  return report;
+}
+
+TEST(Render, MarkdownIsDeterministicAndCoversSections) {
+  const Report report = sample_report();
+  const std::string markdown = render_markdown(report);
+  EXPECT_EQ(render_markdown(report), markdown);
+  EXPECT_NE(markdown.find("# MPBT validation report"), std::string::npos);
+  EXPECT_NE(markdown.find("efficiency_vs_k"), std::string::npos);
+  EXPECT_NE(markdown.find("drift"), std::string::npos);
+  EXPECT_NE(markdown.find("PASS"), std::string::npos);
+}
+
+TEST(Render, HtmlEscapesAndMirrorsMarkdownContent) {
+  Report report = sample_report();
+  report.title = "a <b> & \"c\"";
+  const std::string html = render_html(report);
+  EXPECT_NE(html.find("a &lt;b&gt; &amp; &quot;c&quot;"), std::string::npos);
+  EXPECT_EQ(html.find("<b> &"), std::string::npos);
+  EXPECT_NE(html.find("efficiency_vs_k"), std::string::npos);
+}
+
+TEST(Render, FormatNumberIsLocaleFreeSixDigits) {
+  EXPECT_EQ(format_number(0.5), "0.5");
+  EXPECT_EQ(format_number(1234567.0), "1.23457e+06");
+  EXPECT_EQ(format_number(std::nan("")), "-");
+}
+
+// --- inputs: JSONL + chrome-trace inverse -----------------------------------
+
+TEST(Inputs, RecordsFromJsonlRestoreIntegerTypes) {
+  std::istringstream in(
+      "{\"scenario\":\"s\",\"point\":2,\"rep\":1,\"x\":0.5,\"flag\":true}\n"
+      "\n"
+      "{\"scenario\":\"s\",\"point\":3,\"rep\":0,\"x\":1.5,\"flag\":false}\n");
+  const std::vector<exp::Record> records = records_from_jsonl(in);
+  ASSERT_EQ(records.size(), 2u);
+  const exp::Value* point = records[0].find("point");
+  ASSERT_NE(point, nullptr);
+  ASSERT_NE(std::get_if<long long>(point), nullptr);  // not a double
+  EXPECT_EQ(std::get<long long>(*point), 2);
+  EXPECT_DOUBLE_EQ(std::get<double>(*records[0].find("x")), 0.5);
+  EXPECT_TRUE(std::get<bool>(*records[0].find("flag")));
+  std::istringstream bad("{\"unterminated\n");
+  EXPECT_THROW(records_from_jsonl(bad), std::runtime_error);
+}
+
+TEST(Inputs, JsonlSinkOutputRoundTripsThroughLoader) {
+  std::ostringstream out;
+  {
+    exp::JsonlSink sink(out);
+    for (const exp::Record& record : sample_records()) {
+      sink.write(record);
+    }
+    sink.flush();
+  }
+  std::istringstream in(out.str());
+  const std::vector<exp::Record> loaded = records_from_jsonl(in);
+  const std::string direct = summary_to_json(summarize_records(sample_records()).front()).dump();
+  const std::string roundtrip = summary_to_json(summarize_records(loaded).front()).dump();
+  EXPECT_EQ(roundtrip, direct);
+}
+
+obs::TaskTrace instrumented_task(std::uint64_t task, std::string label) {
+  // One instrumented client downloading 4 pieces of 100 bytes each, plus
+  // per-round swarm entropy samples.
+  obs::TraceRecorder recorder;
+  for (std::uint64_t round = 0; round < 4; ++round) {
+    const auto pieces = static_cast<std::uint32_t>(round + 1);
+    recorder.client_sample(round, /*peer=*/7, /*potential=*/3,
+                           /*pieces_held=*/pieces, /*cumulative_bytes=*/pieces * 100);
+    recorder.round_sample(round, /*leechers=*/5, /*seeds=*/1, /*entropy=*/0.5,
+                          /*transfer_efficiency=*/0.75);
+  }
+  recorder.peer_complete(4, 7, 4.0);
+  obs::TaskTrace trace;
+  trace.task = task;
+  trace.label = std::move(label);
+  trace.events = recorder.events();
+  return trace;
+}
+
+TEST(ChromeTraceHardening, HostileLabelsStillProduceValidJson) {
+  // Labels with quotes, backslashes and non-ASCII must survive the
+  // export as RFC 8259 JSON — the strict parser is the round-trip check.
+  const std::string hostile = "lab\"el\\ with \x01 Ümlaut \xf0\x9f\x98\x80";
+  obs::TraceCollector collector;
+  collector.add(instrumented_task(0, hostile));
+  std::ostringstream out;
+  obs::write_chrome_trace(out, collector, nullptr);
+  Json parsed;
+  ASSERT_NO_THROW(parsed = Json::parse(out.str())) << out.str().substr(0, 400);
+  const std::vector<obs::TaskTrace> tasks = traces_from_chrome_json(parsed);
+  ASSERT_EQ(tasks.size(), 1u);
+  EXPECT_EQ(tasks[0].label, hostile);
+}
+
+TEST(ChromeTraceInverse, RecoversClientSamplesCompletionsAndEntropy) {
+  obs::TraceCollector collector;
+  collector.add(instrumented_task(0, "task zero"));
+  std::ostringstream out;
+  obs::write_chrome_trace(out, collector, nullptr);
+  const std::vector<obs::TaskTrace> tasks =
+      traces_from_chrome_json(Json::parse(out.str()));
+  ASSERT_EQ(tasks.size(), 1u);
+
+  const std::vector<trace::ClientTrace> clients =
+      client_traces_from_events(tasks[0].events);
+  ASSERT_EQ(clients.size(), 1u);
+  EXPECT_TRUE(clients[0].completed);
+  EXPECT_EQ(clients[0].num_pieces, 4u);
+  ASSERT_EQ(clients[0].points.size(), 4u);
+  EXPECT_EQ(clients[0].points.back().cumulative_bytes, 400u);
+  EXPECT_EQ(clients[0].points.back().potential_set_size, 3u);
+
+  const SwarmSeriesStats series = swarm_series_stats(tasks[0].events);
+  EXPECT_EQ(series.samples, 4u);
+  EXPECT_DOUBLE_EQ(series.mean_entropy, 0.5);
+  EXPECT_DOUBLE_EQ(series.final_efficiency, 0.75);
+}
+
+TEST(ChromeTraceInverse, AttachTracesFoldsPhaseMetricsIntoSummary) {
+  std::vector<RunSummary> summaries = summarize_records(sample_records());
+  RunSummary& summary = summaries.front();
+  attach_traces(summary, {instrumented_task(0, "a"), instrumented_task(1, "b")});
+  EXPECT_TRUE(summary.has_phases);
+  EXPECT_DOUBLE_EQ(summary.metric_or("phase.clients", 0), 2.0);
+  EXPECT_DOUBLE_EQ(summary.metric_or("phase.completed", 0), 2.0);
+  EXPECT_DOUBLE_EQ(summary.metric_or("trace.mean_entropy", 0), 0.5);
+}
+
+// --- bench ------------------------------------------------------------------
+
+TEST(Bench, ParsesGoogleBenchmarkAndWallTimes) {
+  const Json gb = Json::parse(R"({
+    "context": {"build_type": "release"},
+    "benchmarks": [
+      {"name": "BM_Swarm/100", "real_time": 1250.5, "cpu_time": 1249.0,
+       "time_unit": "ns", "iterations": 1000},
+      {"name": "BM_Bad", "error_occurred": true, "error_message": "boom"}
+    ]})");
+  const std::vector<BenchMark> marks = parse_google_benchmark(gb);
+  ASSERT_EQ(marks.size(), 1u);
+  EXPECT_EQ(marks[0].name, "BM_Swarm/100");
+  EXPECT_DOUBLE_EQ(marks[0].real_time, 1250.5);
+
+  const std::vector<WallTime> walls = parse_wall_times(
+      "binary seconds\nfig3a_efficiency_vs_k 12.5\n\nfig4b_phases 3.25\n");
+  ASSERT_EQ(walls.size(), 2u);
+  EXPECT_EQ(walls[0].binary, "fig3a_efficiency_vs_k");
+  EXPECT_DOUBLE_EQ(walls[1].seconds, 3.25);
+}
+
+TEST(Bench, TrajectoryJsonRoundTripsAndRenders) {
+  BenchTrajectory trajectory;
+  BenchEntry entry;
+  entry.label = "PR3";
+  entry.build_type = "Release";
+  entry.benchmarks.push_back({"BM_Swarm/100", 1250.5, 1249.0, "ns", 1000});
+  entry.wall_times.push_back({"fig3a", 12.5});
+  trajectory.entries.push_back(entry);
+  const BenchTrajectory loaded = bench_from_json(bench_to_json(trajectory));
+  ASSERT_EQ(loaded.entries.size(), 1u);
+  EXPECT_EQ(loaded.entries[0].label, "PR3");
+  ASSERT_EQ(loaded.entries[0].benchmarks.size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded.entries[0].benchmarks[0].real_time, 1250.5);
+
+  Report report;
+  report.bench = loaded;
+  report.has_bench = true;
+  const std::string markdown = render_markdown(report);
+  EXPECT_NE(markdown.find("BM_Swarm/100"), std::string::npos);
+  EXPECT_NE(markdown.find("PR3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpbt::report
