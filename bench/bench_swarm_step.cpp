@@ -1,0 +1,194 @@
+// bench_swarm_step — round-step throughput of the swarm simulator core.
+//
+// Builds a warm steady-state swarm at each population size, runs a few
+// warmup rounds, then times Swarm::step() over a measured window. This is
+// the binding cost of every experiment in the repo (ISSUE 4): the sweep
+// scenarios, the stability experiments, and the figure benches all reduce
+// to millions of these round steps.
+//
+//   bench_swarm_step [--peers=500,2000] [--rounds=25] [--warmup=8]
+//                    [--runs=3] [--seed=42] [--quick]
+//                    [--csv=PATH] [--json=PATH] [--log-level=LEVEL]
+//
+// --json writes the results in google-benchmark JSON schema (one
+// "BM_SwarmStep/<peers>" entry per population, real_time = best ms per
+// round) so `mpbt_report --append-bench --google-benchmark=...` can fold
+// the run into the repo's mpbt-bench-v1 trajectory (BENCH_0003.json).
+// --quick shrinks populations and windows for CI smoke runs.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bt/swarm.hpp"
+#include "stability/entropy.hpp"
+#include "util/cli.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mpbt;
+
+bt::SwarmConfig step_config(std::uint32_t peers, std::uint64_t seed) {
+  bt::SwarmConfig config;
+  config.num_pieces = 200;
+  config.max_connections = 7;
+  config.peer_set_size = 40;
+  config.initial_seeds = 2;
+  config.seed_capacity = 4;
+  config.seed = seed;
+  // Warm mixed-completion population with age-correlated content (the
+  // efficiency_vs_k shape), replenished by arrivals and capped at the
+  // target population so the measured window stays at scale.
+  const std::vector<double> ramp = stability::ramp_piece_probs(config.num_pieces, 0.75, 0.05);
+  bt::InitialGroup warm;
+  warm.count = peers;
+  warm.piece_probs = ramp;
+  config.initial_groups.push_back(std::move(warm));
+  config.arrival_piece_probs = ramp;
+  config.arrival_rate = std::max(1.0, static_cast<double>(peers) / 100.0);
+  config.max_population = peers;
+  return config;
+}
+
+std::vector<std::uint32_t> parse_peer_list(const std::string& csv) {
+  std::vector<std::uint32_t> out;
+  std::string item;
+  std::istringstream stream(csv);
+  while (std::getline(stream, item, ',')) {
+    if (item.empty()) {
+      continue;
+    }
+    const long long value = std::stoll(item);
+    if (value <= 0) {
+      throw std::invalid_argument("--peers entries must be positive");
+    }
+    out.push_back(static_cast<std::uint32_t>(value));
+  }
+  if (out.empty()) {
+    throw std::invalid_argument("--peers must name at least one population");
+  }
+  return out;
+}
+
+struct StepResult {
+  std::uint32_t peers = 0;
+  int reps = 0;
+  int rounds = 0;
+  double mean_ms = 0.0;
+  double best_ms = 0.0;
+  double best_rounds_per_sec = 0.0;
+};
+
+StepResult measure(std::uint32_t peers, int reps, int warmup, int rounds,
+                   std::uint64_t seed) {
+  StepResult result;
+  result.peers = peers;
+  result.reps = reps;
+  result.rounds = rounds;
+  result.best_ms = std::numeric_limits<double>::infinity();
+  double total_ms = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    bt::Swarm swarm(step_config(peers, seed + static_cast<std::uint64_t>(rep)));
+    swarm.run_rounds(static_cast<bt::Round>(warmup));
+    const auto start = std::chrono::steady_clock::now();
+    swarm.run_rounds(static_cast<bt::Round>(rounds));
+    const auto stop = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count() /
+        static_cast<double>(rounds);
+    total_ms += ms;
+    result.best_ms = std::min(result.best_ms, ms);
+  }
+  result.mean_ms = total_ms / static_cast<double>(reps);
+  result.best_rounds_per_sec = 1000.0 / result.best_ms;
+  return result;
+}
+
+/// google-benchmark JSON schema subset, as consumed by
+/// report::parse_google_benchmark.
+void write_json(const std::string& path, const std::vector<StepResult>& results) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  file.precision(17);
+  file << "{\n  \"context\": {\"executable\": \"bench_swarm_step\"},\n"
+       << "  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const StepResult& r = results[i];
+    file << "    {\"name\": \"BM_SwarmStep/" << r.peers << "\", \"run_type\": \"iteration\", "
+         << "\"real_time\": " << r.best_ms << ", \"cpu_time\": " << r.best_ms
+         << ", \"time_unit\": \"ms\", \"iterations\": " << r.reps * r.rounds << "}"
+         << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  file << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("bench_swarm_step",
+                      "Round-step throughput of bt::Swarm at fixed populations.");
+  cli.add_option("peers", "comma-separated population sizes", "500,2000");
+  cli.add_option("rounds", "measured rounds per repetition", "25");
+  cli.add_option("warmup", "warmup rounds before timing", "8");
+  cli.add_option("runs", "repetitions per population (best-of)", "3");
+  cli.add_option("seed", "base RNG seed", "42");
+  cli.add_flag("quick", "small populations / short windows for smoke runs");
+  cli.add_option("csv", "also write the table to this CSV path", "");
+  cli.add_option("json", "write google-benchmark JSON here (for --append-bench)", "");
+  cli.add_option("log-level", "debug|info|warn|error|off (default: warn, or $MPBT_LOG)", "");
+  try {
+    if (!cli.parse(argc, argv)) {
+      return 0;
+    }
+    if (const std::string level = cli.get("log-level"); !level.empty()) {
+      util::set_log_level(util::parse_log_level(level));
+    }
+    const bool quick = cli.has_flag("quick");
+    std::vector<std::uint32_t> peer_counts = parse_peer_list(cli.get("peers"));
+    int rounds = std::max(1, static_cast<int>(cli.get_int("rounds")));
+    int warmup = std::max(0, static_cast<int>(cli.get_int("warmup")));
+    int reps = std::max(1, static_cast<int>(cli.get_int("runs")));
+    if (quick) {
+      peer_counts = {200};
+      rounds = std::min(rounds, 8);
+      warmup = std::min(warmup, 3);
+      reps = std::min(reps, 2);
+    }
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+    std::cout << "== bench_swarm_step — Swarm::step() throughput (B=200, k=7, s=40) ==\n\n";
+    util::Table table({"peers", "rounds", "reps", "ms/round (mean)", "ms/round (best)",
+                       "rounds/s (best)"});
+    table.set_precision(3);
+    std::vector<StepResult> results;
+    for (const std::uint32_t peers : peer_counts) {
+      const StepResult r = measure(peers, reps, warmup, rounds, seed);
+      table.add_row({static_cast<long long>(r.peers), static_cast<long long>(r.rounds),
+                     static_cast<long long>(r.reps), r.mean_ms, r.best_ms,
+                     r.best_rounds_per_sec});
+      results.push_back(r);
+    }
+    table.print_text(std::cout);
+    if (const std::string csv = cli.get("csv"); !csv.empty()) {
+      table.write_csv_file(csv);
+      std::cout << "\n[csv written to " << csv << "]\n";
+    }
+    if (const std::string json = cli.get("json"); !json.empty()) {
+      write_json(json, results);
+      std::cout << "[json written to " << json << "]\n";
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "bench_swarm_step: " << error.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

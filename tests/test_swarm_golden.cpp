@@ -1,0 +1,197 @@
+// Golden regression pins for the swarm simulator.
+//
+// Each case runs a fixed (config, seed) pair and folds the per-round
+// metric tuple (population, completed, entropy, cumulative bytes) into a
+// 64-bit FNV-1a fingerprint. The pinned values were generated from the
+// monolithic pre-decomposition bt::Swarm, so any refactor of the round
+// loop must reproduce the RNG draw order bit-for-bit to stay green.
+//
+// The three scenario-shaped configs mirror the committed baselines/
+// scenarios (efficiency_vs_k, stability_vs_B, ensemble_transient); the
+// two extra configs exercise the paths those scenarios skip (rate-based
+// choking, peer-set shaking, linger, reannounce, aborts, block-granular
+// transfer, super-seeding, bandwidth classes, the non-uniform tracker
+// policies, and neighbor-set availability).
+//
+// To regenerate after an INTENTIONAL behavior change, run with
+// MPBT_GOLDEN_REGEN=1: the test prints the updated table rows (and
+// fails, so a stale pin cannot slip through by accident).
+#include "bt/swarm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <cstdio>
+
+#include "stability/entropy.hpp"
+
+namespace mpbt::bt {
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xffULL;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+/// Runs `rounds` rounds and fingerprints the per-round metric tuple.
+std::uint64_t fingerprint(SwarmConfig config, std::uint64_t seed, Round rounds) {
+  config.seed = seed;
+  Swarm swarm(std::move(config));
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (Round r = 0; r < rounds; ++r) {
+    swarm.step();
+    std::uint64_t bytes = 0;
+    for (PeerId id : swarm.live_peers()) {
+      bytes += swarm.peer(id).bytes_downloaded;
+    }
+    hash = fnv1a(hash, swarm.population());
+    hash = fnv1a(hash, swarm.metrics().completed_count());
+    hash = fnv1a(hash, std::bit_cast<std::uint64_t>(swarm.entropy()));
+    hash = fnv1a(hash, bytes);
+  }
+  swarm.check_invariants();
+  return hash;
+}
+
+// --- the three scenario-shaped configs (see src/exp/scenario.cpp) ---------
+
+SwarmConfig efficiency_config() {
+  SwarmConfig config;
+  config.num_pieces = 100;
+  config.max_connections = 4;
+  config.peer_set_size = 40;
+  config.arrival_rate = 3.0;
+  config.initial_seeds = 2;
+  config.seed_capacity = 4;
+  const std::vector<double> ramp = stability::ramp_piece_probs(config.num_pieces, 0.75, 0.05);
+  InitialGroup warm;
+  warm.count = 100;
+  warm.piece_probs = ramp;
+  config.initial_groups.push_back(std::move(warm));
+  config.arrival_piece_probs = ramp;
+  return config;
+}
+
+SwarmConfig stability_config() {
+  SwarmConfig config;
+  config.num_pieces = 10;
+  config.max_connections = 4;
+  config.peer_set_size = 40;
+  config.arrival_rate = 4.0;
+  config.initial_seeds = 1;
+  config.seed_capacity = 2;
+  InitialGroup skewed;
+  skewed.count = 150;
+  skewed.piece_probs = stability::ramp_piece_probs(config.num_pieces, 0.9, 0.05);
+  config.initial_groups.push_back(std::move(skewed));
+  return config;
+}
+
+SwarmConfig ensemble_config() {
+  SwarmConfig config;
+  config.num_pieces = 40;
+  config.max_connections = 4;
+  config.peer_set_size = 20;
+  config.arrival_rate = 2.0;
+  config.initial_seeds = 2;
+  config.seed_capacity = 6;
+  config.seeds_serve_all = true;
+  return config;
+}
+
+// --- the paths the scenarios skip -----------------------------------------
+
+SwarmConfig rate_based_config() {
+  SwarmConfig config;
+  config.num_pieces = 30;
+  config.max_connections = 4;
+  config.peer_set_size = 15;
+  config.arrival_rate = 1.5;
+  config.initial_seeds = 1;
+  config.seed_capacity = 3;
+  config.choke_algorithm = ChokeAlgorithm::RateBased;
+  config.tracker_policy = TrackerPolicy::BootstrapBias;
+  config.availability_scope = AvailabilityScope::NeighborSet;
+  config.seed_linger_rounds = 25;
+  config.reannounce_interval = 10;
+  config.abort_rate = 0.01;
+  config.shake.enabled = true;
+  config.shake.completion_fraction = 0.5;
+  InitialGroup warm;
+  warm.count = 60;
+  warm.piece_probs.assign(config.num_pieces, 0.3);
+  config.initial_groups.push_back(std::move(warm));
+  return config;
+}
+
+SwarmConfig blocks_super_config() {
+  SwarmConfig config;
+  config.num_pieces = 24;
+  config.max_connections = 3;
+  config.peer_set_size = 12;
+  config.arrival_rate = 1.0;
+  config.initial_seeds = 2;
+  config.seed_capacity = 4;
+  config.seeds_serve_all = true;
+  config.seed_mode = SwarmConfig::SeedMode::SuperSeed;
+  config.blocks_per_piece = 4;
+  config.piece_selection = PieceSelection::Random;
+  config.tracker_policy = TrackerPolicy::StatusClustered;
+  config.bandwidth_classes = {{0.5, 2}, {0.5, 4}};
+  InitialGroup warm;
+  warm.count = 40;
+  warm.piece_probs.assign(config.num_pieces, 0.4);
+  config.initial_groups.push_back(std::move(warm));
+  return config;
+}
+
+struct GoldenCase {
+  const char* name;
+  SwarmConfig (*make_config)();
+  Round rounds;
+  std::uint64_t seed;
+  std::uint64_t expected;
+};
+
+// clang-format off
+const GoldenCase kGolden[] = {
+    {"efficiency", efficiency_config, 60, 42, 0xeada942f8613622dULL},
+    {"efficiency", efficiency_config, 60, 7, 0x78765863d48aea8eULL},
+    {"efficiency", efficiency_config, 60, 1234, 0x90e329894a4c8e17ULL},
+    {"stability", stability_config, 80, 42, 0xafc3e645407157e8ULL},
+    {"stability", stability_config, 80, 7, 0x48220e131a2e5e81ULL},
+    {"stability", stability_config, 80, 1234, 0xae730cae0a07949bULL},
+    {"ensemble", ensemble_config, 80, 42, 0xbf7bb74ddcbde714ULL},
+    {"ensemble", ensemble_config, 80, 7, 0xed8dc81427c71936ULL},
+    {"ensemble", ensemble_config, 80, 1234, 0xfb26a7228b1af1a9ULL},
+    {"rate_based", rate_based_config, 70, 42, 0x2c0b906632af6c10ULL},
+    {"rate_based", rate_based_config, 70, 7, 0x62d0360408f910afULL},
+    {"rate_based", rate_based_config, 70, 1234, 0x13cea1521ff86f47ULL},
+    {"blocks_super", blocks_super_config, 60, 42, 0xa10fa9372b8b4ae8ULL},
+    {"blocks_super", blocks_super_config, 60, 7, 0xac777ac3692e231aULL},
+    {"blocks_super", blocks_super_config, 60, 1234, 0x6216e4de1afb602aULL},
+};
+// clang-format on
+
+TEST(SwarmGolden, FingerprintsMatchPinnedValues) {
+  const bool regen = std::getenv("MPBT_GOLDEN_REGEN") != nullptr;
+  for (const GoldenCase& c : kGolden) {
+    const std::uint64_t actual = fingerprint(c.make_config(), c.seed, c.rounds);
+    if (regen) {
+      std::printf("    {\"%s\", %s_config, %u, %llu, 0x%llxULL},\n", c.name, c.name,
+                  c.rounds, static_cast<unsigned long long>(c.seed),
+                  static_cast<unsigned long long>(actual));
+      EXPECT_EQ(actual, c.expected) << c.name << " seed=" << c.seed << " (regen mode)";
+      continue;
+    }
+    EXPECT_EQ(actual, c.expected) << c.name << " seed=" << c.seed;
+  }
+}
+
+}  // namespace
+}  // namespace mpbt::bt
