@@ -162,8 +162,10 @@ int append_bench(const util::CliParser& cli) {
   entry.label = label;
   entry.build_type = cli.get("build-type");
   entry.source = cli.get("bench-source");
-  if (const std::string gb = cli.get("google-benchmark"); !gb.empty()) {
-    entry.benchmarks = report::parse_google_benchmark(report::Json::load_file(gb));
+  for (const std::string& gb : split_list(cli.get("google-benchmark"))) {
+    std::vector<report::BenchMark> parsed =
+        report::parse_google_benchmark(report::Json::load_file(gb));
+    std::move(parsed.begin(), parsed.end(), std::back_inserter(entry.benchmarks));
   }
   if (const std::string wt = cli.get("wall-times"); !wt.empty()) {
     entry.wall_times = report::parse_wall_times(read_text_file(wt));
@@ -215,7 +217,9 @@ int main(int argc, char** argv) {
   cli.add_option("build-type", "build type recorded by --append-bench", "Release");
   cli.add_option("bench-source", "provenance note recorded by --append-bench", "");
   cli.add_option("google-benchmark",
-                 "google-benchmark --benchmark_format=json output to append", "");
+                 "google-benchmark --benchmark_format=json output file(s) to "
+                 "append, comma-separated",
+                 "");
   cli.add_option("wall-times", "wall-time table (\"binary seconds\" lines) to append", "");
 
   try {

@@ -80,6 +80,12 @@ run_bench() {
     "$bench" --benchmark_min_time=0.01 \
       --benchmark_out="$OUT_DIR/$name.json" --benchmark_out_format=json \
       > "$OUT_DIR/$name.txt" 2> "$OUT_DIR/$name.err" || rc=$?
+  elif [ "$name" = bench_swarm_step ]; then
+    # Self-timed swarm-core throughput; its --json side-output uses the
+    # google-benchmark schema so it joins the same bench trajectory.
+    local step_args=(--json="$OUT_DIR/$name.json")
+    [ "$QUICK" = 1 ] && step_args+=(--quick)
+    "$bench" "${step_args[@]}" > "$OUT_DIR/$name.txt" 2> "$OUT_DIR/$name.err" || rc=$?
   else
     local args=(--csv="$OUT_DIR/$name.csv")
     [ "$QUICK" = 1 ] && args+=(--quick)
@@ -159,8 +165,11 @@ if [ -n "$BENCH_JSON" ]; then
                --build-type="${BUILD_TYPE:-unknown}"
                --bench-source="scripts/run_all_figures.sh$([ "$QUICK" = 1 ] && echo ' --quick')"
                --wall-times="$OUT_DIR/wall_times.txt")
-  [ -s "$OUT_DIR/perf_microbench.json" ] && \
-    append_args+=(--google-benchmark="$OUT_DIR/perf_microbench.json")
+  GB_FILES=""
+  for gb_json in "$OUT_DIR/perf_microbench.json" "$OUT_DIR/bench_swarm_step.json"; do
+    [ -s "$gb_json" ] && GB_FILES="${GB_FILES:+$GB_FILES,}$gb_json"
+  done
+  [ -n "$GB_FILES" ] && append_args+=(--google-benchmark="$GB_FILES")
   "$REPORT_BIN" "${append_args[@]}"
 fi
 

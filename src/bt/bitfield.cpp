@@ -6,56 +6,9 @@
 
 namespace mpbt::bt {
 
-namespace {
-constexpr std::size_t kWordBits = 64;
-}
-
 Bitfield::Bitfield(std::size_t num_pieces)
     : num_pieces_(num_pieces), words_((num_pieces + kWordBits - 1) / kWordBits, 0) {
   util::throw_if_invalid(num_pieces == 0, "Bitfield requires at least one piece");
-}
-
-void Bitfield::check_index(PieceIndex piece) const {
-  util::throw_if_out_of_range(piece >= num_pieces_, "Bitfield piece index out of range");
-}
-
-void Bitfield::check_same_size(const Bitfield& other) const {
-  util::throw_if_invalid(num_pieces_ != other.num_pieces_, "Bitfield size mismatch");
-}
-
-bool Bitfield::test(PieceIndex piece) const {
-  check_index(piece);
-  return (words_[piece / kWordBits] >> (piece % kWordBits)) & 1ULL;
-}
-
-void Bitfield::set(PieceIndex piece) {
-  check_index(piece);
-  std::uint64_t& word = words_[piece / kWordBits];
-  const std::uint64_t mask = 1ULL << (piece % kWordBits);
-  if (!(word & mask)) {
-    word |= mask;
-    ++count_;
-  }
-}
-
-void Bitfield::reset(PieceIndex piece) {
-  check_index(piece);
-  std::uint64_t& word = words_[piece / kWordBits];
-  const std::uint64_t mask = 1ULL << (piece % kWordBits);
-  if (word & mask) {
-    word &= ~mask;
-    --count_;
-  }
-}
-
-bool Bitfield::has_piece_missing_from(const Bitfield& other) const {
-  check_same_size(other);
-  for (std::size_t w = 0; w < words_.size(); ++w) {
-    if (words_[w] & ~other.words_[w]) {
-      return true;
-    }
-  }
-  return false;
 }
 
 std::vector<PieceIndex> Bitfield::pieces_missing_from(const Bitfield& other) const {
@@ -97,13 +50,24 @@ std::vector<PieceIndex> Bitfield::missing_pieces() const {
   return out;
 }
 
-std::size_t Bitfield::intersection_count(const Bitfield& other) const {
+PieceIndex Bitfield::nth_missing_from(const Bitfield& other, std::size_t n) const {
   check_same_size(other);
-  std::size_t n = 0;
   for (std::size_t w = 0; w < words_.size(); ++w) {
-    n += static_cast<std::size_t>(std::popcount(words_[w] & other.words_[w]));
+    std::uint64_t bits = words_[w] & ~other.words_[w];
+    const auto in_word = static_cast<std::size_t>(std::popcount(bits));
+    if (n >= in_word) {
+      n -= in_word;
+      continue;
+    }
+    while (n > 0) {
+      bits &= bits - 1;
+      --n;
+    }
+    return static_cast<PieceIndex>(w * kWordBits +
+                                   static_cast<std::size_t>(std::countr_zero(bits)));
   }
-  return n;
+  util::throw_if_out_of_range(true, "Bitfield::nth_missing_from: index out of range");
+  return 0;  // unreachable
 }
 
 bool Bitfield::operator==(const Bitfield& other) const {

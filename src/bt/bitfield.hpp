@@ -5,11 +5,13 @@
 // B lacks?") run on 64-bit words.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "bt/types.hpp"
+#include "util/assert.hpp"
 
 namespace mpbt::bt {
 
@@ -20,9 +22,30 @@ class Bitfield {
 
   std::size_t size() const { return num_pieces_; }
 
-  bool test(PieceIndex piece) const;
-  void set(PieceIndex piece);
-  void reset(PieceIndex piece);
+  bool test(PieceIndex piece) const {
+    check_index(piece);
+    return (words_[piece / kWordBits] >> (piece % kWordBits)) & 1ULL;
+  }
+
+  void set(PieceIndex piece) {
+    check_index(piece);
+    std::uint64_t& word = words_[piece / kWordBits];
+    const std::uint64_t mask = 1ULL << (piece % kWordBits);
+    if (!(word & mask)) {
+      word |= mask;
+      ++count_;
+    }
+  }
+
+  void reset(PieceIndex piece) {
+    check_index(piece);
+    std::uint64_t& word = words_[piece / kWordBits];
+    const std::uint64_t mask = 1ULL << (piece % kWordBits);
+    if (word & mask) {
+      word &= ~mask;
+      --count_;
+    }
+  }
 
   /// Number of pieces held.
   std::size_t count() const { return count_; }
@@ -32,7 +55,15 @@ class Bitfield {
 
   /// True if this bitfield holds at least one piece `other` lacks.
   /// Sizes must match.
-  bool has_piece_missing_from(const Bitfield& other) const;
+  bool has_piece_missing_from(const Bitfield& other) const {
+    check_same_size(other);
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      if (words_[w] & ~other.words_[w]) {
+        return true;
+      }
+    }
+    return false;
+  }
 
   /// Indices of pieces this holds that `other` lacks.
   std::vector<PieceIndex> pieces_missing_from(const Bitfield& other) const;
@@ -41,14 +72,92 @@ class Bitfield {
   std::vector<PieceIndex> held_pieces() const;
   std::vector<PieceIndex> missing_pieces() const;
 
+  /// Number of pieces this holds that `other` lacks.
+  std::size_t count_missing_from(const Bitfield& other) const {
+    check_same_size(other);
+    std::size_t n = 0;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      n += static_cast<std::size_t>(std::popcount(words_[w] & ~other.words_[w]));
+    }
+    return n;
+  }
+
+  /// The n-th (ascending, 0-based) piece this holds that `other` lacks;
+  /// n must be < count_missing_from(other).
+  PieceIndex nth_missing_from(const Bitfield& other, std::size_t n) const;
+
+  /// Calls f(piece) for each held piece, ascending. Allocation-free
+  /// equivalent of held_pieces() for hot loops.
+  template <typename F>
+  void for_each_held(F&& f) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        f(static_cast<PieceIndex>(w * kWordBits + static_cast<std::size_t>(b)));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Calls f(piece) for each piece not held, ascending.
+  template <typename F>
+  void for_each_missing(F&& f) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = ~words_[w] & word_mask(w);
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        f(static_cast<PieceIndex>(w * kWordBits + static_cast<std::size_t>(b)));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Calls f(piece) for each piece this holds that `other` lacks,
+  /// ascending — the visitation order of pieces_missing_from().
+  template <typename F>
+  void for_each_missing_from(const Bitfield& other, F&& f) const {
+    check_same_size(other);
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w] & ~other.words_[w];
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        f(static_cast<PieceIndex>(w * kWordBits + static_cast<std::size_t>(b)));
+        bits &= bits - 1;
+      }
+    }
+  }
+
   /// Number of pieces both bitfields hold.
-  std::size_t intersection_count(const Bitfield& other) const;
+  std::size_t intersection_count(const Bitfield& other) const {
+    check_same_size(other);
+    std::size_t n = 0;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      n += static_cast<std::size_t>(std::popcount(words_[w] & other.words_[w]));
+    }
+    return n;
+  }
 
   bool operator==(const Bitfield& other) const;
 
  private:
-  void check_index(PieceIndex piece) const;
-  void check_same_size(const Bitfield& other) const;
+  static constexpr std::size_t kWordBits = 64;
+
+  void check_index(PieceIndex piece) const {
+    util::throw_if_out_of_range(piece >= num_pieces_, "Bitfield piece index out of range");
+  }
+
+  void check_same_size(const Bitfield& other) const {
+    util::throw_if_invalid(num_pieces_ != other.num_pieces_, "Bitfield size mismatch");
+  }
+
+  /// Valid-bit mask for word w (trims the tail word past num_pieces_).
+  std::uint64_t word_mask(std::size_t w) const {
+    if (w + 1 < words_.size() || num_pieces_ % kWordBits == 0) {
+      return ~0ULL;
+    }
+    return (1ULL << (num_pieces_ % kWordBits)) - 1;
+  }
 
   std::size_t num_pieces_;
   std::size_t count_ = 0;

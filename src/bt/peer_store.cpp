@@ -1,0 +1,37 @@
+#include "bt/peer_store.hpp"
+
+#include "util/assert.hpp"
+
+namespace mpbt::bt {
+
+PeerId PeerStore::create(std::size_t num_pieces, Round joined) {
+  const auto id = static_cast<PeerId>(slots_.size());
+  slots_.emplace_back(id, num_pieces, joined);
+  live_pos_.push_back(static_cast<std::uint32_t>(live_.size()));
+  live_.push_back(id);
+  return id;
+}
+
+void PeerStore::mark_departed(PeerId id) {
+  MPBT_ASSERT(is_live(id));
+  live_pos_[id] = kNoPos;
+}
+
+void PeerStore::sweep_departed() {
+  std::size_t out = 0;
+  for (const PeerId id : live_) {
+    if (live_pos_[id] == kNoPos) {
+      continue;
+    }
+    live_[out] = id;
+    live_pos_[id] = static_cast<std::uint32_t>(out);
+    ++out;
+  }
+  live_.resize(out);
+}
+
+void PeerStore::check_exists(PeerId id) const {
+  util::throw_if_out_of_range(id >= slots_.size(), "Swarm: unknown peer id");
+}
+
+}  // namespace mpbt::bt

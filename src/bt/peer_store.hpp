@@ -1,0 +1,71 @@
+// Contiguous slot-based peer storage with a dense live-index.
+//
+// Slots are indexed by PeerId (ids are assigned densely and never
+// reused), so id -> record lookup is a direct vector index. `live()` is
+// the live ids in arrival order — the canonical iteration order every
+// round phase uses, which keeps simulation runs bit-reproducible — and
+// `live_pos_` maps id -> position in that list (kNoPos once departed),
+// giving O(1) liveness checks and an O(live) allocation-free sweep
+// instead of the old erase(remove_if) + vector<bool> probing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bt/peer.hpp"
+#include "bt/types.hpp"
+
+namespace mpbt::bt {
+
+class PeerStore {
+ public:
+  /// Creates a new live peer with the next dense id; returns the id.
+  /// May reallocate the slot array: do not hold Peer references across
+  /// calls.
+  PeerId create(std::size_t num_pieces, Round joined);
+
+  /// Number of peers ever created (live + departed).
+  std::size_t size() const { return slots_.size(); }
+
+  /// True if the id was ever assigned (the record persists after
+  /// departure for post-hoc inspection).
+  bool exists(PeerId id) const { return id < slots_.size(); }
+
+  /// True if the peer is still in the swarm. O(1).
+  bool is_live(PeerId id) const { return id < live_pos_.size() && live_pos_[id] != kNoPos; }
+
+  /// Unchecked slot access; id must satisfy exists().
+  Peer& get(PeerId id) { return slots_[id]; }
+  const Peer& get(PeerId id) const { return slots_[id]; }
+
+  /// Checked access; throws util::OutOfRangeError on unknown ids.
+  Peer& checked(PeerId id) {
+    check_exists(id);
+    return slots_[id];
+  }
+  const Peer& checked(PeerId id) const {
+    check_exists(id);
+    return slots_[id];
+  }
+
+  /// Live peer ids in arrival order.
+  const std::vector<PeerId>& live() const { return live_; }
+
+  /// Marks a live peer departed: liveness flips immediately, but the id
+  /// stays in the live list (as a hole) until sweep_departed().
+  void mark_departed(PeerId id);
+
+  /// Compacts the live list in place, preserving arrival order.
+  void sweep_departed();
+
+ private:
+  static constexpr std::uint32_t kNoPos = UINT32_MAX;
+
+  void check_exists(PeerId id) const;
+
+  std::vector<Peer> slots_;            // indexed by id; never shrinks
+  std::vector<PeerId> live_;           // arrival order, holes until sweep
+  std::vector<std::uint32_t> live_pos_;  // id -> index in live_, kNoPos if departed
+};
+
+}  // namespace mpbt::bt

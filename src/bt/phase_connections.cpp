@@ -1,0 +1,283 @@
+#include "bt/phase_connections.hpp"
+
+#include <algorithm>
+#include <span>
+#include <unordered_map>
+
+#include "bt/id_set.hpp"
+#include "obs/trace.hpp"
+
+namespace mpbt::bt {
+
+namespace {
+
+/// The potential set is built in sorted-neighbor order, so membership
+/// tests are binary searches (the old code used linear std::find).
+bool in_potential(const Peer& p, PeerId id) {
+  return std::binary_search(p.potential.begin(), p.potential.end(), id);
+}
+
+void establish_rate_based(RoundContext& ctx) {
+  const SwarmConfig& config = ctx.config;
+  // The choking algorithm (Section 2.1): each peer unchokes its k - 1
+  // fastest recent uploaders among the potential set plus one rotating
+  // optimistic slot; a connection exists while both sides unchoke each
+  // other.
+  std::unordered_map<PeerId, IdSet> desired;
+  const std::vector<PeerId>& order = shuffled_live_leechers(ctx);
+  for (const PeerId id : order) {
+    Peer& p = ctx.store.get(id);
+    if (p.pieces.none() || p.potential.empty()) {
+      continue;
+    }
+    // Rotate the optimistic unchoke when stale or invalid.
+    const bool optimistic_valid = p.optimistic_target != kNoPeer &&
+                                  ctx.store.is_live(p.optimistic_target) &&
+                                  in_potential(p, p.optimistic_target);
+    if (!optimistic_valid ||
+        ctx.round - p.optimistic_since >= config.optimistic_interval) {
+      p.optimistic_target = p.potential[static_cast<std::size_t>(
+          ctx.rng.uniform_int(0, static_cast<std::int64_t>(p.potential.size()) - 1))];
+      p.optimistic_since = ctx.round;
+    }
+    // Top k - 1 by received rate, ties broken uniformly at random (a
+    // deterministic-by-id tie-break would overload low ids).
+    std::vector<PeerId>& ranked = ctx.state.scratch_ids;
+    ranked.assign(p.potential.begin(), p.potential.end());
+    ctx.rng.shuffle(std::span<PeerId>(ranked));
+    std::stable_sort(ranked.begin(), ranked.end(), [&](PeerId x, PeerId y) {
+      const auto rx = p.received_rate.find(x);
+      const auto ry = p.received_rate.find(y);
+      const double vx = rx == p.received_rate.end() ? 0.0 : rx->second;
+      const double vy = ry == p.received_rate.end() ? 0.0 : ry->second;
+      return vx > vy;
+    });
+    IdSet& mine = desired[id];
+    mine.insert(p.optimistic_target);
+    for (const PeerId candidate : ranked) {
+      if (mine.size() >= config.max_connections) {
+        break;
+      }
+      mine.insert(candidate);
+    }
+  }
+
+  // Choke rotation with low churn: connections persist (they are TCP
+  // links in the real protocol; choking only gates transfers). A peer at
+  // full capacity that desires an unconnected candidate drops its
+  // lowest-rate undesired connection — at most one per round — to make
+  // room, mirroring the 10-second unchoke re-evaluation.
+  for (const PeerId id : order) {
+    Peer& p = ctx.store.get(id);
+    const auto mine = desired.find(id);
+    if (mine == desired.end() || p.connections.size() < config.max_connections) {
+      continue;
+    }
+    bool wants_new = false;
+    for (const PeerId candidate : mine->second.as_vector()) {
+      if (!p.connections.contains(candidate) && ctx.store.is_live(candidate)) {
+        wants_new = true;
+        break;
+      }
+    }
+    if (!wants_new) {
+      continue;
+    }
+    PeerId victim = kNoPeer;
+    double victim_rate = 0.0;
+    for (const PeerId other : p.connections.as_vector()) {
+      if (mine->second.contains(other)) {
+        continue;  // still desired: keep
+      }
+      const auto r = p.received_rate.find(other);
+      const double rate = r == p.received_rate.end() ? 0.0 : r->second;
+      if (victim == kNoPeer || rate < victim_rate) {
+        victim = other;
+        victim_rate = rate;
+      }
+    }
+    if (victim != kNoPeer && ctx.store.is_live(victim)) {
+      disconnect_peers(ctx, p, ctx.store.get(victim));
+      if (ctx.trace != nullptr) {
+        ctx.trace->connection_drop(ctx.round, id, victim, obs::DropReason::kChokeVictim);
+      }
+    }
+  }
+
+  // Establish mutually desired pairs.
+  std::uint64_t attempts = 0;
+  std::uint64_t successes = 0;
+  for (const PeerId id : order) {
+    const auto mine = desired.find(id);
+    if (mine == desired.end()) {
+      continue;
+    }
+    Peer& p = ctx.store.get(id);
+    for (const PeerId other : mine->second.as_vector()) {
+      if (id >= other || !ctx.store.is_live(other) || p.connections.contains(other)) {
+        continue;
+      }
+      const auto theirs = desired.find(other);
+      if (theirs == desired.end() || !theirs->second.contains(id)) {
+        continue;
+      }
+      Peer& q = ctx.store.get(other);
+      if (p.connections.size() >= config.max_connections ||
+          q.connections.size() >= config.max_connections) {
+        continue;
+      }
+      ++attempts;
+      const bool ok = ctx.rng.bernoulli(config.connect_success_prob);
+      if (ctx.trace != nullptr) {
+        ctx.trace->connection_attempt(ctx.round, id, other, ok);
+      }
+      if (ok) {
+        connect_peers(ctx, p, q);
+        if (config.handshake_delay) {
+          p.fresh_connections.insert(other);
+          q.fresh_connections.insert(id);
+        }
+        ++successes;
+      }
+    }
+  }
+
+  // Fill pass: real clients keep every unchoke slot busy, so remaining
+  // open slots take any willing potential partner (this is what makes the
+  // optimistic mechanism effective — newcomers with no rate history still
+  // get service).
+  for (const PeerId id : order) {
+    Peer& p = ctx.store.get(id);
+    if (p.pieces.none() || p.connections.size() >= config.max_connections) {
+      continue;
+    }
+    std::vector<PeerId>& candidates = ctx.state.scratch_ids;
+    candidates.clear();
+    for (const PeerId other : p.potential) {
+      if (ctx.store.is_live(other) && !p.connections.contains(other) &&
+          ctx.store.get(other).connections.size() < config.max_connections) {
+        candidates.push_back(other);
+      }
+    }
+    ctx.rng.shuffle(std::span<PeerId>(candidates));
+    for (const PeerId other : candidates) {
+      if (p.connections.size() >= config.max_connections) {
+        break;
+      }
+      Peer& q = ctx.store.get(other);
+      if (q.connections.size() >= config.max_connections) {
+        continue;
+      }
+      ++attempts;
+      const bool ok = ctx.rng.bernoulli(config.connect_success_prob);
+      if (ctx.trace != nullptr) {
+        ctx.trace->connection_attempt(ctx.round, id, other, ok);
+      }
+      if (ok) {
+        connect_peers(ctx, p, q);
+        if (config.handshake_delay) {
+          p.fresh_connections.insert(other);
+          q.fresh_connections.insert(id);
+        }
+        ++successes;
+      }
+    }
+  }
+  ctx.metrics.record_connection_attempts(attempts, successes);
+}
+
+}  // namespace
+
+void run_prune_connections(RoundContext& ctx) {
+  // Snapshot connections alive at round start for the p_r estimate.
+  ctx.state.round_start_connections.clear();
+  for (const PeerId id : ctx.store.live()) {
+    if (!ctx.store.is_live(id)) {
+      continue;
+    }
+    const Peer& p = ctx.store.get(id);
+    for (const PeerId other : p.connections.as_vector()) {
+      if (id < other) {
+        ctx.state.round_start_connections.emplace_back(id, other);
+      }
+    }
+  }
+
+  for (const PeerId id : ctx.store.live()) {
+    if (!ctx.store.is_live(id)) {
+      continue;
+    }
+    Peer& p = ctx.store.get(id);
+    // Copy: disconnect mutates the set.
+    std::vector<PeerId>& current = ctx.state.scratch_ids;
+    current = p.connections.as_vector();
+    for (const PeerId other : current) {
+      if (!ctx.store.is_live(other)) {
+        p.connections.erase(other);
+        continue;
+      }
+      if (!in_potential(p, other)) {
+        disconnect_peers(ctx, p, ctx.store.get(other));
+        if (ctx.trace != nullptr) {
+          ctx.trace->connection_drop(ctx.round, id, other, obs::DropReason::kInterestLost);
+        }
+      }
+    }
+  }
+}
+
+void run_establish_connections(RoundContext& ctx) {
+  const SwarmConfig& config = ctx.config;
+  if (config.choke_algorithm == ChokeAlgorithm::RateBased) {
+    establish_rate_based(ctx);
+    return;
+  }
+  std::uint64_t attempts = 0;
+  std::uint64_t successes = 0;
+  for (const PeerId id : shuffled_live_leechers(ctx)) {
+    Peer& p = ctx.store.get(id);
+    if (p.pieces.none()) {
+      continue;  // nothing to offer under strict tit-for-tat
+    }
+    if (p.connections.size() >= config.max_connections) {
+      continue;
+    }
+    std::vector<PeerId>& candidates = ctx.state.scratch_ids;
+    candidates.clear();
+    for (const PeerId other : p.potential) {
+      if (!ctx.store.is_live(other) || p.connections.contains(other)) {
+        continue;
+      }
+      if (ctx.store.get(other).connections.size() >= config.max_connections) {
+        continue;  // partner has no open slot
+      }
+      candidates.push_back(other);
+    }
+    ctx.rng.shuffle(std::span<PeerId>(candidates));
+    for (const PeerId other : candidates) {
+      if (p.connections.size() >= config.max_connections) {
+        break;
+      }
+      Peer& q = ctx.store.get(other);
+      if (q.connections.size() >= config.max_connections) {
+        continue;  // filled up since candidate listing
+      }
+      ++attempts;
+      const bool ok = ctx.rng.bernoulli(config.connect_success_prob);
+      if (ctx.trace != nullptr) {
+        ctx.trace->connection_attempt(ctx.round, id, other, ok);
+      }
+      if (ok) {
+        connect_peers(ctx, p, q);
+        if (config.handshake_delay) {
+          p.fresh_connections.insert(other);
+          q.fresh_connections.insert(id);
+        }
+        ++successes;
+      }
+    }
+  }
+  ctx.metrics.record_connection_attempts(attempts, successes);
+}
+
+}  // namespace mpbt::bt

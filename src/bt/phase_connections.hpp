@@ -1,0 +1,18 @@
+// Connections phase: tit-for-tat connection pruning and establishment,
+// including the rate-based choking variant (steps 4 and 5 of the round).
+#pragma once
+
+#include "bt/round_context.hpp"
+
+namespace mpbt::bt {
+
+/// Step 4: snapshot round-start connections for the p_r estimate, then
+/// drop connections whose partner departed or lost mutual interest.
+void run_prune_connections(RoundContext& ctx);
+
+/// Step 5: establish new connections up to k per peer — optimistic
+/// tit-for-tat by default, rate-based choking (Section 2.1) when
+/// configured.
+void run_establish_connections(RoundContext& ctx);
+
+}  // namespace mpbt::bt

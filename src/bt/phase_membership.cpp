@@ -1,0 +1,176 @@
+#include "bt/phase_membership.hpp"
+
+#include "bt/phase_neighbors.hpp"
+#include "obs/trace.hpp"
+#include "util/assert.hpp"
+
+namespace mpbt::bt {
+
+PeerId create_peer(RoundContext& ctx, const std::vector<double>& piece_probs,
+                   bool as_seed) {
+  const SwarmConfig& config = ctx.config;
+  const PeerId id = ctx.store.create(config.num_pieces, ctx.round);
+  Peer& p = ctx.store.get(id);
+  p.is_seed = as_seed;
+  if (as_seed) {
+    for (PieceIndex piece = 0; piece < config.num_pieces; ++piece) {
+      p.pieces.set(piece);
+      ++ctx.piece_counts[piece];
+    }
+  } else if (!piece_probs.empty()) {
+    MPBT_ASSERT(piece_probs.size() == config.num_pieces);
+    for (PieceIndex piece = 0; piece < config.num_pieces; ++piece) {
+      if (ctx.rng.bernoulli(piece_probs[piece])) {
+        p.pieces.set(piece);
+        ++ctx.piece_counts[piece];
+      }
+    }
+    if (p.pieces.all()) {
+      // Keep the peer a leecher: drop one random piece.
+      const auto drop = static_cast<PieceIndex>(
+          ctx.rng.uniform_int(0, static_cast<std::int64_t>(config.num_pieces) - 1));
+      p.pieces.reset(drop);
+      --ctx.piece_counts[drop];
+    }
+    // Pre-seeded pieces count as acquired at the join round.
+    p.acquired_rounds.assign(p.pieces.count(), ctx.round);
+  }
+  if (!config.bandwidth_classes.empty() && !as_seed) {
+    // Sample the peer's bandwidth class proportionally to the fractions.
+    double total = 0.0;
+    for (const auto& cls : config.bandwidth_classes) {
+      total += cls.fraction;
+    }
+    double u = ctx.rng.uniform01() * total;
+    std::size_t chosen = config.bandwidth_classes.size() - 1;
+    for (std::size_t c = 0; c < config.bandwidth_classes.size(); ++c) {
+      u -= config.bandwidth_classes[c].fraction;
+      if (u < 0.0) {
+        chosen = c;
+        break;
+      }
+    }
+    p.bandwidth_class = static_cast<std::uint32_t>(chosen);
+    p.upload_per_round = config.bandwidth_classes[chosen].upload_per_round;
+    p.upload_left = p.upload_per_round;
+  }
+  ctx.tracker.add_peer(id);
+  if (ctx.trace != nullptr) {
+    ctx.trace->peer_join(ctx.round, id, as_seed);
+  }
+  return id;
+}
+
+void depart(RoundContext& ctx, Peer& p) {
+  ctx.store.mark_departed(p.id);
+  if (ctx.trace != nullptr) {
+    ctx.trace->peer_leave(ctx.round, p.id);
+  }
+  ctx.tracker.remove_peer(p.id);
+  for (const PeerId nb : p.neighbors.as_vector()) {
+    if (ctx.store.exists(nb)) {
+      Peer& q = ctx.store.get(nb);
+      q.neighbors.erase(p.id);
+      q.connections.erase(p.id);
+      q.inflight.erase(p.id);
+    }
+  }
+  p.neighbors.clear();
+  p.connections.clear();
+  p.inflight.clear();
+  p.pieces.for_each_held([&ctx](PieceIndex piece) {
+    MPBT_ASSERT(ctx.piece_counts[piece] > 0);
+    --ctx.piece_counts[piece];
+  });
+}
+
+void run_round_prologue(RoundContext& ctx) {
+  const bool rate_based = ctx.config.choke_algorithm == ChokeAlgorithm::RateBased;
+  for (const PeerId id : ctx.store.live()) {
+    Peer& p = ctx.store.get(id);
+    p.fresh_connections.clear();
+    p.upload_left = p.upload_per_round;
+    if (rate_based) {
+      for (auto it = p.received_rate.begin(); it != p.received_rate.end();) {
+        it->second *= ctx.config.rate_decay;
+        it = it->second < 1e-3 ? p.received_rate.erase(it) : std::next(it);
+      }
+    }
+  }
+}
+
+void run_arrivals(RoundContext& ctx) {
+  const SwarmConfig& config = ctx.config;
+  if (config.arrival_cutoff_round != 0 && ctx.round >= config.arrival_cutoff_round) {
+    return;
+  }
+  const int arrivals = ctx.rng.poisson(config.arrival_rate);
+  for (int i = 0; i < arrivals; ++i) {
+    if (config.max_population != 0 && ctx.store.live().size() >= config.max_population) {
+      ctx.metrics.record_dropped_arrival();
+      continue;
+    }
+    // Instrumented clients arrive empty to expose the full bootstrap.
+    const bool instrumented = ctx.instrument_next;
+    const PeerId id = create_peer(ctx,
+                                  instrumented ? std::vector<double>{}
+                                               : config.arrival_piece_probs,
+                                  /*as_seed=*/false);
+    fetch_neighbors(ctx, id);
+    if (instrumented) {
+      ctx.instrument_next = false;
+      ctx.store.get(id).instrumented = true;
+      ctx.metrics.client_record(id, ctx.round);
+    }
+  }
+}
+
+void run_completions(RoundContext& ctx) {
+  const SwarmConfig& config = ctx.config;
+  for (const PeerId id : ctx.store.live()) {
+    if (!ctx.store.is_live(id)) {
+      continue;
+    }
+    Peer& p = ctx.store.get(id);
+    if (p.is_leecher() && !p.pieces.all() && config.abort_rate > 0.0 &&
+        ctx.rng.bernoulli(config.abort_rate)) {
+      ctx.metrics.record_abort();
+      depart(ctx, p);
+      continue;
+    }
+    if (p.is_leecher() && p.pieces.all()) {
+      ctx.metrics.record_completion(static_cast<double>(ctx.round - p.joined + 1),
+                                    p.bandwidth_class);
+      if (ctx.trace != nullptr) {
+        ctx.trace->peer_complete(ctx.round, id,
+                                 static_cast<double>(ctx.round - p.joined + 1));
+      }
+      if (p.instrumented) {
+        ClientRecord& record = ctx.metrics.client_record(id, p.joined);
+        record.completed = true;
+        record.completed_round = ctx.round;
+      }
+      if (config.seed_linger_rounds > 0) {
+        p.is_seed = true;
+        p.seed_until = ctx.round + config.seed_linger_rounds;
+        p.connections.clear();  // drops one side; fix symmetric side below
+        p.inflight.clear();
+        // Remove this peer from others' connection sets.
+        for (const PeerId nb : p.neighbors.as_vector()) {
+          if (ctx.store.is_live(nb)) {
+            Peer& q = ctx.store.get(nb);
+            q.connections.erase(id);
+            q.inflight.erase(id);
+          }
+        }
+      } else {
+        depart(ctx, p);
+      }
+    } else if (p.is_seed && p.seed_until != 0 && ctx.round >= p.seed_until) {
+      depart(ctx, p);
+    }
+  }
+  ctx.store.sweep_departed();
+}
+
+}  // namespace mpbt::bt

@@ -1,0 +1,34 @@
+// Membership phase: peer creation, Poisson arrivals, departures,
+// completion handling and seed linger (steps 1 and 8 of the round).
+#pragma once
+
+#include <vector>
+
+#include "bt/round_context.hpp"
+
+namespace mpbt::bt {
+
+/// Creates a peer (optionally pre-seeded per `piece_probs`, or a full
+/// seed), samples its bandwidth class, and registers it with the
+/// tracker. Does not wire neighbors — see fetch_neighbors().
+PeerId create_peer(RoundContext& ctx, const std::vector<double>& piece_probs,
+                   bool as_seed);
+
+/// Removes a peer from the swarm: trace + tracker deregistration,
+/// symmetric neighbor/connection cleanup, replication-count decrement.
+/// The id stays in the live list (as a hole) until the completion
+/// phase's sweep.
+void depart(RoundContext& ctx, Peer& p);
+
+/// Start-of-round housekeeping: handshakes from the previous round
+/// complete, upload budgets refill, rate estimates decay.
+void run_round_prologue(RoundContext& ctx);
+
+/// Step 1: admit Poisson arrivals (capped at max_population).
+void run_arrivals(RoundContext& ctx);
+
+/// Step 8: abort sampling, completion accounting, linger-or-depart, and
+/// the live-list sweep.
+void run_completions(RoundContext& ctx);
+
+}  // namespace mpbt::bt

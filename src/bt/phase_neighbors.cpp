@@ -1,0 +1,128 @@
+#include "bt/phase_neighbors.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <span>
+
+#include "bt/peer.hpp"
+
+namespace mpbt::bt {
+
+void fetch_neighbors(RoundContext& ctx, PeerId id) {
+  const SwarmConfig& config = ctx.config;
+  Peer& p = ctx.store.checked(id);
+  const std::size_t want = config.peer_set_size;
+  if (p.neighbors.size() >= want) {
+    return;
+  }
+  const std::size_t missing = want - p.neighbors.size();
+  std::vector<PeerId> sampled;
+  switch (config.tracker_policy) {
+    case TrackerPolicy::UniformRandom:
+      sampled = ctx.tracker.sample_peers(missing, id, ctx.rng);
+      break;
+    case TrackerPolicy::BootstrapBias: {
+      // Half the peer set comes from currently starving peers, giving
+      // bootstrap-trapped peers fresh contacts (Section 4.3).
+      std::vector<PeerId> starving;
+      for (const PeerId candidate : ctx.state.starving) {
+        if (candidate != id && ctx.store.is_live(candidate)) {
+          starving.push_back(candidate);
+        }
+      }
+      ctx.rng.shuffle(std::span<PeerId>(starving));
+      const std::size_t biased = std::min(starving.size(), missing / 2);
+      sampled.assign(starving.begin(),
+                     starving.begin() + static_cast<std::ptrdiff_t>(biased));
+      ctx.state.begin_marks(ctx.store.size());
+      for (const PeerId already : sampled) {
+        ctx.state.mark(already);
+      }
+      for (const PeerId other : ctx.tracker.sample_peers(missing, id, ctx.rng)) {
+        if (sampled.size() >= missing) {
+          break;
+        }
+        if (!ctx.state.marked(other)) {
+          ctx.state.mark(other);
+          sampled.push_back(other);
+        }
+      }
+      break;
+    }
+    case TrackerPolicy::StatusClustered: {
+      // Oversample, then keep the peers whose piece counts are closest to
+      // the joiner's (the clustering suggestion of ref. [8]).
+      std::vector<PeerId> pool = ctx.tracker.sample_peers(missing * 3, id, ctx.rng);
+      const auto joiner_pieces = static_cast<long long>(p.pieces.count());
+      std::stable_sort(pool.begin(), pool.end(), [&](PeerId a, PeerId b) {
+        const auto da = std::llabs(
+            static_cast<long long>(ctx.store.get(a).pieces.count()) - joiner_pieces);
+        const auto db = std::llabs(
+            static_cast<long long>(ctx.store.get(b).pieces.count()) - joiner_pieces);
+        return da < db;
+      });
+      if (pool.size() > missing) {
+        pool.resize(missing);
+      }
+      sampled = std::move(pool);
+      break;
+    }
+  }
+  for (const PeerId other : sampled) {
+    if (!ctx.store.is_live(other) || other == id) {
+      continue;
+    }
+    Peer& q = ctx.store.get(other);
+    p.neighbors.insert(other);
+    q.neighbors.insert(id);  // NS is symmetric (Section 2.1)
+  }
+}
+
+void run_reannounce(RoundContext& ctx) {
+  const SwarmConfig& config = ctx.config;
+  if (config.reannounce_interval == 0 || ctx.round == 0 ||
+      ctx.round % config.reannounce_interval != 0) {
+    return;
+  }
+  for (const PeerId id : ctx.store.live()) {
+    const Peer& p = ctx.store.get(id);
+    if (p.is_leecher() && p.neighbors.size() < config.peer_set_size) {
+      fetch_neighbors(ctx, id);
+    }
+  }
+}
+
+void run_rebuild_potential_sets(RoundContext& ctx) {
+  ctx.state.invalidate_availability();
+  ctx.state.starving.clear();
+  for (const PeerId id : ctx.store.live()) {
+    if (!ctx.store.is_live(id)) {
+      continue;
+    }
+    Peer& p = ctx.store.get(id);
+    p.potential.clear();
+    if (p.is_seed || p.pieces.none()) {
+      continue;
+    }
+    for (const PeerId nb : p.neighbors.as_vector()) {
+      if (!ctx.store.is_live(nb)) {
+        continue;
+      }
+      const Peer& q = ctx.store.get(nb);
+      if (q.is_seed) {
+        continue;  // seeds are served outside tit-for-tat
+      }
+      if (mutually_interested(p.pieces, q.pieces)) {
+        p.potential.push_back(nb);
+      }
+    }
+    // A trading-capable peer whose potential set is empty despite having
+    // neighbors is starving — the paper's failed-encounter condition.
+    if (p.potential.empty() && !p.neighbors.empty()) {
+      ctx.metrics.record_failed_encounter();
+      ctx.state.starving.push_back(id);
+    }
+  }
+}
+
+}  // namespace mpbt::bt

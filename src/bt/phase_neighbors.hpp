@@ -1,0 +1,22 @@
+// Neighbors phase: tracker peer-set fetch (initial wiring and
+// re-announce) and potential-set maintenance (steps 3 of the round plus
+// the tracker interactions of steps 1 and 9).
+#pragma once
+
+#include "bt/round_context.hpp"
+
+namespace mpbt::bt {
+
+/// Tops the peer's neighbor set up to peer_set_size via the configured
+/// tracker policy; inserted edges are symmetric (the paper's NS).
+void fetch_neighbors(RoundContext& ctx, PeerId id);
+
+/// Tracker re-announce: under-connected leechers top their peer set up
+/// every reannounce_interval rounds.
+void run_reannounce(RoundContext& ctx);
+
+/// Step 3: recompute every leecher's potential set (strict mutual
+/// interest, sorted by peer id) and collect the starving pool.
+void run_rebuild_potential_sets(RoundContext& ctx);
+
+}  // namespace mpbt::bt

@@ -1,0 +1,137 @@
+#include "bt/phase_observe.hpp"
+
+#include <algorithm>
+
+#include "obs/trace.hpp"
+
+namespace mpbt::bt {
+
+namespace {
+
+/// Emits a phase-transition trace event when the classification of
+/// (n, b, i) changed since the last round (tracing only). Mirror of
+/// model::classify_phase, matching SwarmMetrics::record_phase_round
+/// (kept local so bt does not depend on the model library):
+/// 0 = bootstrap, 1 = efficient, 2 = last, 3 = done.
+void trace_phase_transition(RoundContext& ctx, Peer& p, std::uint32_t n,
+                            std::uint32_t b, std::uint32_t i) {
+  std::uint8_t code;
+  if (b >= ctx.config.num_pieces) {
+    code = 3;
+  } else if (b == 0 || (b + n <= 1 && i == 0)) {
+    code = 0;
+  } else if (i == 0 && n == 0) {
+    code = 2;
+  } else {
+    code = 1;
+  }
+  if (p.trace_phase != code) {
+    ctx.trace->phase_transition(
+        ctx.round, p.id, p.trace_phase == 255 ? -1 : static_cast<int>(p.trace_phase),
+        static_cast<int>(code));
+    p.trace_phase = code;
+  }
+}
+
+}  // namespace
+
+double swarm_entropy(const std::vector<std::uint32_t>& piece_counts) {
+  std::uint32_t min_count = UINT32_MAX;
+  std::uint32_t max_count = 0;
+  for (const std::uint32_t c : piece_counts) {
+    min_count = std::min(min_count, c);
+    max_count = std::max(max_count, c);
+  }
+  if (max_count == 0) {
+    return 1.0;  // no pieces anywhere: no skew
+  }
+  return static_cast<double>(min_count) / static_cast<double>(max_count);
+}
+
+void run_record_metrics(RoundContext& ctx) {
+  const SwarmConfig& config = ctx.config;
+  std::size_t leechers = 0;
+  std::size_t seeds = 0;
+  double eff_trading_sum = 0.0;
+  std::size_t eff_trading_n = 0;
+  double eff_all_sum = 0.0;
+  std::size_t eff_all_n = 0;
+  double eff_transfer_sum = 0.0;
+  std::size_t eff_transfer_n = 0;
+
+  for (const PeerId id : ctx.store.live()) {
+    Peer& p = ctx.store.get(id);
+    if (p.is_seed) {
+      ++seeds;
+      continue;
+    }
+    ++leechers;
+    const double n_over_k = static_cast<double>(p.connections.size()) /
+                            static_cast<double>(config.max_connections);
+    eff_all_sum += n_over_k;
+    ++eff_all_n;
+    if (!p.pieces.none()) {
+      eff_trading_sum += n_over_k;
+      ++eff_trading_n;
+      // Upload-bandwidth utilization: pieces moved this round over k slots.
+      std::size_t transferred = 0;
+      for (auto it = p.acquired_rounds.rbegin();
+           it != p.acquired_rounds.rend() && *it == ctx.round; ++it) {
+        ++transferred;
+      }
+      eff_transfer_sum += std::min(1.0, static_cast<double>(transferred) /
+                                            static_cast<double>(config.max_connections));
+      ++eff_transfer_n;
+    }
+    ctx.metrics.record_potential_observation(
+        static_cast<std::uint32_t>(p.pieces.count()),
+        static_cast<std::uint32_t>(p.potential.size()),
+        static_cast<std::uint32_t>(p.neighbors.size()));
+    ctx.metrics.record_phase_round(static_cast<std::uint32_t>(p.connections.size()),
+                                   static_cast<std::uint32_t>(p.pieces.count()),
+                                   static_cast<std::uint32_t>(p.potential.size()),
+                                   config.num_pieces);
+    if (ctx.trace != nullptr) {
+      trace_phase_transition(ctx, p, static_cast<std::uint32_t>(p.connections.size()),
+                             static_cast<std::uint32_t>(p.pieces.count()),
+                             static_cast<std::uint32_t>(p.potential.size()));
+    }
+    // p_init: potential ratio observed on the round the first piece arrived.
+    if (p.pieces.count() == 1 && !p.acquired_rounds.empty() &&
+        p.acquired_rounds.front() == ctx.round) {
+      ctx.metrics.record_bootstrap_exit(static_cast<std::uint32_t>(p.potential.size()),
+                                        static_cast<std::uint32_t>(p.neighbors.size()));
+    }
+    if (p.instrumented) {
+      ClientRecord& record = ctx.metrics.client_record(id, p.joined);
+      record.samples.push_back({ctx.round, p.bytes_downloaded,
+                                static_cast<std::uint32_t>(p.potential.size()),
+                                static_cast<std::uint32_t>(p.neighbors.size()),
+                                static_cast<std::uint32_t>(p.pieces.count()),
+                                static_cast<std::uint32_t>(p.connections.size())});
+      if (ctx.trace != nullptr) {
+        ctx.trace->client_sample(ctx.round, id,
+                                 static_cast<std::uint32_t>(p.potential.size()),
+                                 static_cast<std::uint32_t>(p.pieces.count()),
+                                 p.bytes_downloaded);
+      }
+    }
+  }
+
+  // Single fan-out point for the per-round sample: feeds SwarmMetrics
+  // and, when tracing is attached, the trace recorder — one call site,
+  // so the per-round series and registry snapshots cannot drift apart.
+  const double ent = swarm_entropy(ctx.piece_counts);
+  const double eff_trading = eff_trading_n == 0 ? 0.0 : eff_trading_sum / eff_trading_n;
+  const double eff_all = eff_all_n == 0 ? 0.0 : eff_all_sum / eff_all_n;
+  const double eff_transfer =
+      eff_transfer_n == 0 ? 0.0 : eff_transfer_sum / eff_transfer_n;
+  ctx.metrics.record_round(ctx.round, leechers, seeds, ent, eff_trading, eff_all,
+                           eff_transfer);
+  if (ctx.trace != nullptr) {
+    ctx.trace->round_sample(ctx.round, leechers, seeds, ent, eff_transfer);
+  }
+  ctx.tracker.record_stats();
+}
+
+}  // namespace mpbt::bt

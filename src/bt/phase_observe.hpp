@@ -1,0 +1,16 @@
+// Observation phase: per-round metric recording and trace sampling
+// (step 10 of the round). Draws no randomness — results are identical
+// with tracing/metrics on or off.
+#pragma once
+
+#include "bt/round_context.hpp"
+
+namespace mpbt::bt {
+
+void run_record_metrics(RoundContext& ctx);
+
+/// Swarm entropy E = min_j d_j / max_j d_j (Section 6) over the
+/// replication-degree vector; 1.0 for an empty swarm.
+double swarm_entropy(const std::vector<std::uint32_t>& piece_counts);
+
+}  // namespace mpbt::bt

@@ -1,0 +1,47 @@
+#include "bt/phase_shaking.hpp"
+
+#include "bt/phase_neighbors.hpp"
+#include "obs/trace.hpp"
+
+namespace mpbt::bt {
+
+void run_shake(RoundContext& ctx) {
+  const SwarmConfig& config = ctx.config;
+  if (!config.shake.enabled) {
+    return;
+  }
+  const auto threshold = static_cast<std::size_t>(
+      config.shake.completion_fraction * static_cast<double>(config.num_pieces));
+  for (const PeerId id : ctx.store.live()) {
+    if (!ctx.store.is_live(id)) {
+      continue;
+    }
+    Peer& p = ctx.store.get(id);
+    if (p.is_seed || p.shaken || p.pieces.count() < threshold) {
+      continue;
+    }
+    // Drop the whole neighbor set (and with it all connections)...
+    std::vector<PeerId>& old_neighbors = ctx.state.scratch_ids;
+    old_neighbors = p.neighbors.as_vector();
+    for (const PeerId nb : old_neighbors) {
+      if (ctx.store.exists(nb)) {
+        Peer& q = ctx.store.get(nb);
+        q.neighbors.erase(id);
+        q.connections.erase(id);
+        q.inflight.erase(id);
+      }
+    }
+    p.neighbors.clear();
+    p.connections.clear();
+    p.inflight.clear();
+    p.potential.clear();
+    // ...and fetch a fresh random peer set from the tracker.
+    fetch_neighbors(ctx, id);
+    p.shaken = true;
+    if (ctx.trace != nullptr) {
+      ctx.trace->peer_set_shake(ctx.round, id);
+    }
+  }
+}
+
+}  // namespace mpbt::bt

@@ -1,0 +1,12 @@
+// Peer-set shaking (Section 7.1): once past the configured completion
+// fraction, a leecher drops its entire peer set and refetches a fresh
+// one from the tracker (step 9 of the round).
+#pragma once
+
+#include "bt/round_context.hpp"
+
+namespace mpbt::bt {
+
+void run_shake(RoundContext& ctx);
+
+}  // namespace mpbt::bt

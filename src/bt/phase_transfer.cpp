@@ -1,0 +1,344 @@
+#include "bt/phase_transfer.hpp"
+
+#include <span>
+#include <utility>
+
+#include "bt/piece_selection.hpp"
+#include "obs/trace.hpp"
+#include "util/assert.hpp"
+
+namespace mpbt::bt {
+
+namespace {
+
+/// Ensures `down` has a piece in flight from `up`; returns false when
+/// nothing is selectable (strict tit-for-tat then drops the pair).
+bool ensure_inflight(RoundContext& ctx, Peer& down, const Peer& up) {
+  auto it = down.inflight.find(up.id);
+  if (it != down.inflight.end()) {
+    // Guard: the piece may have completed via another path meanwhile.
+    if (down.pieces.test(it->second.piece)) {
+      down.inflight.erase(it);
+    } else {
+      return true;
+    }
+  }
+  // Select a new target: the uploader holds it, the downloader lacks it,
+  // and it is not already in flight from another connection.
+  std::vector<PieceIndex>& candidates = ctx.state.scratch_pieces;
+  candidates.clear();
+  up.pieces.for_each_missing_from(down.pieces, [&](PieceIndex piece) {
+    for (const auto& [partner, flight] : down.inflight) {
+      if (flight.piece == piece) {
+        return;
+      }
+    }
+    candidates.push_back(piece);
+  });
+  if (candidates.empty()) {
+    return false;
+  }
+  PieceIndex chosen;
+  if (ctx.config.piece_selection == PieceSelection::Random ||
+      (ctx.config.piece_selection == PieceSelection::RandomFirstThenRarest &&
+       down.pieces.none())) {
+    chosen = candidates[static_cast<std::size_t>(
+        ctx.rng.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
+  } else {
+    const std::vector<std::uint32_t>& availability = availability_for(ctx, down);
+    chosen = candidates.front();
+    std::size_t ties = 1;
+    for (std::size_t c = 1; c < candidates.size(); ++c) {
+      const PieceIndex piece = candidates[c];
+      if (availability[piece] < availability[chosen]) {
+        chosen = piece;
+        ties = 1;
+      } else if (availability[piece] == availability[chosen]) {
+        ++ties;
+        if (ctx.rng.uniform_int(0, static_cast<std::int64_t>(ties) - 1) == 0) {
+          chosen = piece;
+        }
+      }
+    }
+  }
+  down.inflight[up.id] = Peer::InFlight{chosen, 0};
+  return true;
+}
+
+/// Delivers one block of the in-flight piece; completes it when all
+/// blocks have arrived.
+void deliver_block(RoundContext& ctx, Peer& down, PeerId from) {
+  const auto it = down.inflight.find(from);
+  MPBT_ASSERT(it != down.inflight.end());
+  Peer::InFlight& flight = it->second;
+  ++flight.blocks_done;
+  const std::uint32_t m = ctx.config.blocks_per_piece;
+  const std::uint64_t block_bytes = ctx.config.piece_bytes / m;
+  if (flight.blocks_done >= m) {
+    // Final block carries any rounding remainder; the piece verifies and
+    // joins the bitfield.
+    down.bytes_downloaded +=
+        ctx.config.piece_bytes - block_bytes * static_cast<std::uint64_t>(m - 1);
+    const PieceIndex piece = flight.piece;
+    down.inflight.erase(it);
+    acquire_piece(ctx, down, piece, /*add_bytes=*/false);
+  } else {
+    down.bytes_downloaded += block_bytes;
+  }
+}
+
+}  // namespace
+
+std::optional<PieceIndex> seed_piece_for(RoundContext& ctx, Peer& seed,
+                                         const Peer& taker) {
+  MPBT_ASSERT(seed.is_seed);
+  if (taker.pieces.all()) {
+    return std::nullopt;
+  }
+  if (ctx.config.seed_mode == SwarmConfig::SeedMode::Classic) {
+    // First piece is random (random-piece-first); afterwards the taker's
+    // configured piece selection applies.
+    if (taker.pieces.none()) {
+      return select_random(taker.pieces, seed.pieces, ctx.rng);
+    }
+    return select_piece(ctx.config.piece_selection, taker.pieces, seed.pieces,
+                        availability_for(ctx, taker), ctx.rng);
+  }
+  // Super-seeding: serve the piece this seed has injected least often,
+  // breaking ties by global rarity, then uniformly.
+  auto& served = ctx.state.seed_served[seed.id];
+  if (served.empty()) {
+    served.assign(ctx.config.num_pieces, 0);
+  }
+  std::optional<PieceIndex> chosen;
+  std::size_t ties = 0;
+  taker.pieces.for_each_missing([&](PieceIndex piece) {
+    if (!chosen.has_value()) {
+      chosen = piece;
+      ties = 1;
+      return;
+    }
+    const auto key = std::make_pair(served[piece], ctx.piece_counts[piece]);
+    const auto best = std::make_pair(served[*chosen], ctx.piece_counts[*chosen]);
+    if (key < best) {
+      chosen = piece;
+      ties = 1;
+    } else if (key == best) {
+      ++ties;
+      if (ctx.rng.uniform_int(0, static_cast<std::int64_t>(ties) - 1) == 0) {
+        chosen = piece;
+      }
+    }
+  });
+  if (chosen.has_value()) {
+    ++served[*chosen];
+  }
+  return chosen;
+}
+
+void run_bootstrap(RoundContext& ctx) {
+  // Reset per-round seed upload budgets.
+  ctx.state.seed_budget.clear();
+  for (const PeerId id : ctx.store.live()) {
+    if (ctx.store.is_live(id) && ctx.store.get(id).is_seed) {
+      ctx.state.seed_budget[id] = ctx.config.seed_capacity;
+    }
+  }
+
+  for (const PeerId id : shuffled_live_leechers(ctx)) {
+    Peer& p = ctx.store.get(id);
+    if (!p.pieces.none()) {
+      continue;
+    }
+    // First choice: a neighboring seed with upload budget (a peer "acquires
+    // its first piece either through seeds or through optimistic unchoking",
+    // Section 3.1).
+    PeerId source = kNoPeer;
+    for (const PeerId nb : p.neighbors.as_vector()) {
+      if (!ctx.store.is_live(nb)) {
+        continue;
+      }
+      if (ctx.store.get(nb).is_seed) {
+        auto budget = ctx.state.seed_budget.find(nb);
+        if (budget != ctx.state.seed_budget.end() && budget->second > 0) {
+          --budget->second;
+          source = nb;
+          break;
+        }
+      }
+    }
+    if (source == kNoPeer) {
+      // Optimistic unchoke from a piece-holding leecher neighbor.
+      if (!ctx.rng.bernoulli(ctx.config.optimistic_unchoke_prob)) {
+        continue;
+      }
+      std::vector<PeerId>& holders = ctx.state.scratch_ids;
+      holders.clear();
+      for (const PeerId nb : p.neighbors.as_vector()) {
+        if (ctx.store.is_live(nb)) {
+          const Peer& q = ctx.store.get(nb);
+          if (q.is_leecher() && !q.pieces.none()) {
+            holders.push_back(nb);
+          }
+        }
+      }
+      if (holders.empty()) {
+        continue;
+      }
+      source = holders[static_cast<std::size_t>(
+          ctx.rng.uniform_int(0, static_cast<std::int64_t>(holders.size()) - 1))];
+    }
+    // The first piece is selected randomly (random-piece-first policy);
+    // super-seeding seeds instead inject their least-served piece.
+    Peer& src = ctx.store.get(source);
+    const auto choice = src.is_seed ? seed_piece_for(ctx, src, p)
+                                    : select_random(p.pieces, src.pieces, ctx.rng);
+    MPBT_ASSERT(choice.has_value());
+    acquire_piece(ctx, p, *choice);
+  }
+}
+
+void run_exchange(RoundContext& ctx) {
+  const SwarmConfig& config = ctx.config;
+  // received_rate feeds rate-based choking only; skip the per-pair map
+  // updates (and their node allocations) under the other algorithms.
+  const bool track_rates = config.choke_algorithm == ChokeAlgorithm::RateBased;
+  // Collect unordered connection pairs, then process in random order.
+  std::vector<std::pair<PeerId, PeerId>>& pairs = ctx.state.scratch_pairs;
+  pairs.clear();
+  for (const PeerId id : ctx.store.live()) {
+    if (!ctx.store.is_live(id)) {
+      continue;
+    }
+    for (const PeerId other : ctx.store.get(id).connections.as_vector()) {
+      if (id < other) {
+        pairs.emplace_back(id, other);
+      }
+    }
+  }
+  ctx.rng.shuffle(std::span<std::pair<PeerId, PeerId>>(pairs));
+
+  for (const auto& [ida, idb] : pairs) {
+    Peer& a = ctx.store.get(ida);
+    Peer& b = ctx.store.get(idb);
+    if (!a.connections.contains(idb)) {
+      continue;  // dropped earlier this round
+    }
+    if (a.fresh_connections.contains(idb)) {
+      continue;  // still handshaking; exchanges start next round
+    }
+    if (a.upload_left == 0 || b.upload_left == 0) {
+      // An upload-throttled side cannot reciprocate this round; under
+      // strict tit-for-tat the pair idles (the connection survives).
+      continue;
+    }
+    if (config.blocks_per_piece > 1) {
+      // Block-granular transfer: one block per direction per round.
+      const bool a_ok = ensure_inflight(ctx, a, b);
+      const bool b_ok = ensure_inflight(ctx, b, a);
+      if (!a_ok || !b_ok) {
+        // Strict tit-for-tat at block level: nothing to reciprocate.
+        disconnect_peers(ctx, a, b);
+        if (ctx.trace != nullptr) {
+          ctx.trace->connection_drop(ctx.round, ida, idb,
+                                     obs::DropReason::kNothingToTrade);
+        }
+        continue;
+      }
+      deliver_block(ctx, a, idb);
+      deliver_block(ctx, b, ida);
+      if (track_rates) {
+        const double block_fraction =
+            1.0 / static_cast<double>(config.blocks_per_piece);
+        a.received_rate[idb] += block_fraction;
+        b.received_rate[ida] += block_fraction;
+      }
+      if (a.upload_left != UINT32_MAX) {
+        --a.upload_left;
+      }
+      if (b.upload_left != UINT32_MAX) {
+        --b.upload_left;
+      }
+      if (config.availability_scope == AvailabilityScope::NeighborSet) {
+        ctx.state.invalidate_availability();
+      }
+      continue;
+    }
+    const auto piece_for_a = select_piece(config.piece_selection, a.pieces, b.pieces,
+                                          availability_for(ctx, a), ctx.rng);
+    const auto piece_for_b = select_piece(config.piece_selection, b.pieces, a.pieces,
+                                          availability_for(ctx, b), ctx.rng);
+    if (!piece_for_a.has_value() || !piece_for_b.has_value()) {
+      // Strict tit-for-tat: no one-sided transfers; the connection fails.
+      disconnect_peers(ctx, a, b);
+      if (ctx.trace != nullptr) {
+        ctx.trace->connection_drop(ctx.round, ida, idb,
+                                   obs::DropReason::kNothingToTrade);
+      }
+      continue;
+    }
+    acquire_piece(ctx, a, *piece_for_a);
+    acquire_piece(ctx, b, *piece_for_b);
+    if (track_rates) {
+      a.received_rate[idb] += 1.0;
+      b.received_rate[ida] += 1.0;
+    }
+    if (a.upload_left != UINT32_MAX) {
+      --a.upload_left;
+    }
+    if (b.upload_left != UINT32_MAX) {
+      --b.upload_left;
+    }
+    // Acquisitions invalidate cached neighborhood availability.
+    if (config.availability_scope == AvailabilityScope::NeighborSet) {
+      ctx.state.invalidate_availability();
+    }
+  }
+
+  // p_r estimate: fraction of round-start connections still alive.
+  std::uint64_t survived = 0;
+  for (const auto& [ida, idb] : ctx.state.round_start_connections) {
+    if (ctx.store.is_live(ida) && ctx.store.is_live(idb) &&
+        ctx.store.get(ida).connections.contains(idb)) {
+      ++survived;
+    }
+  }
+  ctx.metrics.record_connection_survival(ctx.state.round_start_connections.size(),
+                                         survived);
+}
+
+void run_seed_service(RoundContext& ctx) {
+  if (!ctx.config.seeds_serve_all) {
+    return;
+  }
+  for (auto& [seed_id, budget] : ctx.state.seed_budget) {
+    if (!ctx.store.is_live(seed_id) || budget == 0) {
+      continue;
+    }
+    Peer& seed = ctx.store.get(seed_id);
+    std::vector<PeerId>& takers = ctx.state.scratch_ids;
+    takers.clear();
+    for (const PeerId nb : seed.neighbors.as_vector()) {
+      if (ctx.store.is_live(nb)) {
+        const Peer& q = ctx.store.get(nb);
+        if (q.is_leecher() && !q.pieces.all() && !q.pieces.none()) {
+          takers.push_back(nb);
+        }
+      }
+    }
+    ctx.rng.shuffle(std::span<PeerId>(takers));
+    for (const PeerId taker : takers) {
+      if (budget == 0) {
+        break;
+      }
+      Peer& p = ctx.store.get(taker);
+      const auto choice = seed_piece_for(ctx, seed, p);
+      if (choice.has_value()) {
+        acquire_piece(ctx, p, *choice);
+        --budget;
+      }
+    }
+  }
+}
+
+}  // namespace mpbt::bt

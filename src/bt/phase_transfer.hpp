@@ -1,0 +1,29 @@
+// Transfer phase: bootstrap piece injection, tit-for-tat piece/block
+// exchange over connections, and seed service (steps 2, 6 and 7 of the
+// round).
+#pragma once
+
+#include <optional>
+
+#include "bt/round_context.hpp"
+
+namespace mpbt::bt {
+
+/// Piece a seed should upload to `taker`, honoring the seed mode
+/// (random-piece-first for classic seeds, least-served for super-seeds).
+std::optional<PieceIndex> seed_piece_for(RoundContext& ctx, Peer& seed,
+                                         const Peer& taker);
+
+/// Step 2: piece-less peers acquire their first piece through seeds or
+/// optimistic unchoking (Section 3.1).
+void run_bootstrap(RoundContext& ctx);
+
+/// Step 6: exchange pieces (or blocks) over connections under strict
+/// tit-for-tat; a pair with nothing to trade in either direction drops.
+void run_exchange(RoundContext& ctx);
+
+/// Step 7: seeds spend leftover upload budget on piece-holding leechers
+/// (only when seeds_serve_all is configured).
+void run_seed_service(RoundContext& ctx);
+
+}  // namespace mpbt::bt

@@ -8,35 +8,37 @@ namespace mpbt::bt {
 
 std::optional<PieceIndex> select_random(const Bitfield& downloader, const Bitfield& uploader,
                                         numeric::Rng& rng) {
-  const std::vector<PieceIndex> candidates = uploader.pieces_missing_from(downloader);
-  if (candidates.empty()) {
+  // Allocation-free: count the candidate set, draw one index uniformly
+  // (the same single draw the old candidate-vector version made), then
+  // locate that candidate by rank.
+  const std::size_t n = uploader.count_missing_from(downloader);
+  if (n == 0) {
     return std::nullopt;
   }
   const auto idx = static_cast<std::size_t>(
-      rng.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1));
-  return candidates[idx];
+      rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  return uploader.nth_missing_from(downloader, idx);
 }
 
 std::optional<PieceIndex> select_rarest_first(const Bitfield& downloader,
                                               const Bitfield& uploader,
                                               const std::vector<std::uint32_t>& availability,
                                               numeric::Rng& rng) {
-  const std::vector<PieceIndex> candidates = uploader.pieces_missing_from(downloader);
-  if (candidates.empty()) {
+  if (!uploader.has_piece_missing_from(downloader)) {
     return std::nullopt;
   }
   if (availability.empty()) {
-    const auto idx = static_cast<std::size_t>(
-        rng.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1));
-    return candidates[idx];
+    return select_random(downloader, uploader, rng);
   }
   util::throw_if_invalid(availability.size() != downloader.size(),
                          "select_rarest_first: availability size must equal num_pieces");
   std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
-  // Reservoir-style uniform tie-breaking among equally rare pieces.
-  PieceIndex chosen = candidates.front();
+  // Reservoir-style uniform tie-breaking among equally rare pieces; the
+  // visitor walks candidates in the same ascending order the old
+  // candidate vector did, so the RNG draw sequence is unchanged.
+  PieceIndex chosen = 0;
   std::size_t ties = 0;
-  for (PieceIndex p : candidates) {
+  uploader.for_each_missing_from(downloader, [&](PieceIndex p) {
     const std::uint32_t avail = availability[p];
     if (avail < best) {
       best = avail;
@@ -48,7 +50,7 @@ std::optional<PieceIndex> select_rarest_first(const Bitfield& downloader,
         chosen = p;
       }
     }
-  }
+  });
   return chosen;
 }
 

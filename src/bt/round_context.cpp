@@ -1,0 +1,93 @@
+#include "bt/round_context.hpp"
+
+#include <span>
+
+#include "obs/trace.hpp"
+#include "util/assert.hpp"
+
+namespace mpbt::bt {
+
+const std::vector<PeerId>& shuffled_live_leechers(RoundContext& ctx) {
+  std::vector<PeerId>& out = ctx.state.scratch_leechers;
+  out.clear();
+  for (const PeerId id : ctx.store.live()) {
+    if (ctx.store.is_live(id) && ctx.store.get(id).is_leecher()) {
+      out.push_back(id);
+    }
+  }
+  ctx.rng.shuffle(std::span<PeerId>(out));
+  return out;
+}
+
+void connect_peers(RoundContext& ctx, Peer& a, Peer& b) {
+  MPBT_ASSERT(a.id != b.id);
+  a.connections.insert(b.id);
+  b.connections.insert(a.id);
+  if (ctx.trace != nullptr) {
+    ctx.trace->unchoke(ctx.round, a.id, b.id);
+  }
+}
+
+void disconnect_peers(RoundContext& ctx, Peer& a, Peer& b) {
+  a.connections.erase(b.id);
+  b.connections.erase(a.id);
+  // Partial pieces in flight over this connection are lost (they cannot
+  // be served and we do not model cross-connection block resume).
+  a.inflight.erase(b.id);
+  b.inflight.erase(a.id);
+  if (ctx.trace != nullptr) {
+    ctx.trace->choke(ctx.round, a.id, b.id);
+  }
+}
+
+void acquire_piece(RoundContext& ctx, Peer& p, PieceIndex piece, bool add_bytes) {
+  MPBT_ASSERT(!p.pieces.test(piece));
+  p.pieces.set(piece);
+  ++ctx.piece_counts[piece];
+  // A piece completed through another path (e.g. seed service) cancels any
+  // partial download of the same piece still in flight on a connection.
+  if (ctx.config.blocks_per_piece > 1) {
+    for (auto it = p.inflight.begin(); it != p.inflight.end();) {
+      it = it->second.piece == piece ? p.inflight.erase(it) : std::next(it);
+    }
+  }
+  if (add_bytes) {
+    p.bytes_downloaded += ctx.config.piece_bytes;
+  }
+  const auto ordinal = static_cast<std::uint32_t>(p.pieces.count());
+  const Round prev_round =
+      p.acquired_rounds.empty() ? p.joined : p.acquired_rounds.back();
+  p.acquired_rounds.push_back(ctx.round);
+  ctx.metrics.record_acquisition(ordinal,
+                                 static_cast<double>(ctx.round - p.joined + 1),
+                                 static_cast<double>(ctx.round - prev_round + 1));
+  if (ctx.trace != nullptr) {
+    ctx.trace->piece_acquired(ctx.round, p.id, piece);
+  }
+}
+
+const std::vector<std::uint32_t>& availability_for(RoundContext& ctx, const Peer& p) {
+  if (ctx.config.availability_scope == AvailabilityScope::Global) {
+    return ctx.piece_counts;
+  }
+  RoundState& state = ctx.state;
+  if (state.avail_stamp.size() < ctx.store.size()) {
+    state.avail_stamp.resize(ctx.store.size(), 0);
+    state.avail_counts.resize(ctx.store.size());
+  }
+  std::vector<std::uint32_t>& counts = state.avail_counts[p.id];
+  if (state.avail_stamp[p.id] != state.avail_epoch) {
+    counts.assign(ctx.config.num_pieces, 0);
+    for (const PeerId nb : p.neighbors.as_vector()) {
+      if (!ctx.store.is_live(nb)) {
+        continue;
+      }
+      ctx.store.get(nb).pieces.for_each_held(
+          [&counts](PieceIndex piece) { ++counts[piece]; });
+    }
+    state.avail_stamp[p.id] = state.avail_epoch;
+  }
+  return counts;
+}
+
+}  // namespace mpbt::bt

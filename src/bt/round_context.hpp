@@ -1,0 +1,108 @@
+// Shared state the round phases operate on.
+//
+// RoundContext is a borrow of the Swarm's components, rebuilt at the
+// start of every round (and for out-of-round peer injection); the phase
+// modules (phase_*.cpp) are free functions over it, so the orchestrator
+// in swarm.cpp stays thin and each phase can be read — and tested —
+// in isolation.
+//
+// RoundState is the cross-phase working state plus the reusable scratch
+// buffers that keep the hot loop allocation-free. Determinism contract
+// (see docs/ARCHITECTURE.md): any change here must preserve the RNG
+// draw order. In particular `seed_budget` is iterated in unordered_map
+// hash order by the seed-service phase, so both its container type and
+// its insertion pattern (persistent map, clear()ed then refilled in
+// live/arrival order each round) are load-bearing for bit-identical
+// replay of recorded baselines.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bt/config.hpp"
+#include "bt/metrics.hpp"
+#include "bt/peer_store.hpp"
+#include "bt/tracker.hpp"
+#include "bt/types.hpp"
+#include "numeric/rng.hpp"
+
+namespace mpbt::obs {
+class TraceRecorder;
+}
+
+namespace mpbt::bt {
+
+struct RoundState {
+  /// Per-round seed upload budgets, refilled by the bootstrap phase in
+  /// live order and drained by bootstrap + seed service. Iterated in
+  /// hash order by phase_seed_service — keep the container type and the
+  /// persistent-clear()-refill lifecycle (see header comment).
+  std::unordered_map<PeerId, std::uint32_t> seed_budget;
+  /// Connections alive at round start, for the p_r survival estimate.
+  std::vector<std::pair<PeerId, PeerId>> round_start_connections;
+  /// Leechers whose potential set was empty last round (tracker bias pool).
+  std::vector<PeerId> starving;
+  /// Super-seeding bookkeeping: per seed, how often each piece was served.
+  std::unordered_map<PeerId, std::vector<std::uint32_t>> seed_served;
+
+  // Neighbor-set availability cache, epoch-stamped per peer id: bumping
+  // `avail_epoch` invalidates every entry in O(1) (the old code cleared
+  // a map of vectors). Values are recomputed lazily on first use.
+  std::uint64_t avail_epoch = 1;
+  std::vector<std::uint64_t> avail_stamp;
+  std::vector<std::vector<std::uint32_t>> avail_counts;
+  void invalidate_availability() { ++avail_epoch; }
+
+  // Epoch-stamped per-id marker for O(1) membership tests on transient
+  // id lists (e.g. tracker-sample dedup), replacing linear std::find.
+  std::uint64_t mark_epoch = 0;
+  std::vector<std::uint64_t> id_mark;
+  void begin_marks(std::size_t ids) {
+    ++mark_epoch;
+    if (id_mark.size() < ids) {
+      id_mark.resize(ids, 0);
+    }
+  }
+  bool marked(PeerId id) const { return id_mark[id] == mark_epoch; }
+  void mark(PeerId id) { id_mark[id] = mark_epoch; }
+
+  // Reusable scratch buffers (cleared before use, never shrunk).
+  std::vector<PeerId> scratch_leechers;  // shuffled_live_leechers output
+  std::vector<PeerId> scratch_ids;       // per-peer candidate/holder/taker lists
+  std::vector<PieceIndex> scratch_pieces;  // in-flight piece candidates
+  std::vector<std::pair<PeerId, PeerId>> scratch_pairs;  // exchange pairs
+};
+
+struct RoundContext {
+  const SwarmConfig& config;
+  numeric::Rng& rng;
+  Tracker& tracker;
+  SwarmMetrics& metrics;
+  PeerStore& store;
+  std::vector<std::uint32_t>& piece_counts;
+  RoundState& state;
+  Round round;
+  bool& instrument_next;
+  obs::TraceRecorder* trace;
+};
+
+// --- core cross-phase operations ------------------------------------------
+
+/// Live leecher ids in random order (one shuffle draw sequence). Returns
+/// a reference to ctx.state.scratch_leechers; valid until the next call.
+const std::vector<PeerId>& shuffled_live_leechers(RoundContext& ctx);
+
+/// Establishes / tears down a symmetric connection (with trace events).
+void connect_peers(RoundContext& ctx, Peer& a, Peer& b);
+void disconnect_peers(RoundContext& ctx, Peer& a, Peer& b);
+
+/// Grants `p` a piece: updates bitfield, replication counts, byte and
+/// acquisition accounting, and cancels a stale in-flight download of it.
+void acquire_piece(RoundContext& ctx, Peer& p, PieceIndex piece, bool add_bytes = true);
+
+/// Availability counts for rarest-first, per the configured scope.
+const std::vector<std::uint32_t>& availability_for(RoundContext& ctx, const Peer& p);
+
+}  // namespace mpbt::bt

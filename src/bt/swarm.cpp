@@ -1,12 +1,23 @@
+// Thin orchestrator over the phase modules: construction, the step()
+// sequence, public accessors, and cross-peer invariant checking. All
+// per-phase simulation logic lives in src/bt/phase_*.cpp.
 #include "bt/swarm.hpp"
 
-#include <algorithm>
-#include <cstdlib>
-#include <span>
-
-#include "bt/piece_selection.hpp"
+#include "bt/phase_connections.hpp"
+#include "bt/phase_membership.hpp"
+#include "bt/phase_neighbors.hpp"
+#include "bt/phase_observe.hpp"
+#include "bt/phase_shaking.hpp"
+#include "bt/phase_transfer.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
+
+#include <iterator>
+
+#ifdef MPBT_PHASE_TIMING
+#include <chrono>
+#include <cstdio>
+#endif
 
 namespace mpbt::bt {
 
@@ -17,1129 +28,109 @@ Swarm::Swarm(SwarmConfig config)
       piece_counts_(config_.num_pieces, 0),
       trace_(obs::current_trace()) {
   config_.validate();
+  RoundContext ctx = make_context();
   // Initial seeds hold the complete file.
   for (std::uint32_t i = 0; i < config_.initial_seeds; ++i) {
-    create_peer({}, /*as_seed=*/true);
+    create_peer(ctx, {}, /*as_seed=*/true);
   }
   // Initial leecher groups.
   for (const InitialGroup& group : config_.initial_groups) {
     for (std::uint32_t i = 0; i < group.count; ++i) {
-      create_peer(group.piece_probs, /*as_seed=*/false);
+      create_peer(ctx, group.piece_probs, /*as_seed=*/false);
     }
   }
   // Neighbor wiring happens after all initial peers exist so early peers
   // can know late ones.
-  for (PeerId id : live_) {
-    assign_initial_neighbors(id);
+  for (const PeerId id : store_.live()) {
+    fetch_neighbors(ctx, id);
   }
-}
-
-Peer& Swarm::peer_ref(PeerId id) {
-  util::throw_if_out_of_range(id >= peers_.size() || peers_[id] == nullptr,
-                              "Swarm: unknown peer id");
-  return *peers_[id];
-}
-
-const Peer& Swarm::peer(PeerId id) const {
-  util::throw_if_out_of_range(id >= peers_.size() || peers_[id] == nullptr,
-                              "Swarm: unknown peer id");
-  return *peers_[id];
-}
-
-bool Swarm::is_live(PeerId id) const {
-  return id < peers_.size() && peers_[id] != nullptr && !departed_[id];
 }
 
 std::size_t Swarm::num_leechers() const {
   std::size_t n = 0;
-  for (PeerId id : live_) {
-    if (peers_[id]->is_leecher()) {
+  for (const PeerId id : store_.live()) {
+    if (store_.get(id).is_leecher()) {
       ++n;
     }
   }
   return n;
 }
 
-std::size_t Swarm::num_seeds() const { return live_.size() - num_leechers(); }
-
-PeerId Swarm::create_peer(const std::vector<double>& piece_probs, bool as_seed) {
-  const auto id = static_cast<PeerId>(peers_.size());
-  peers_.push_back(std::make_unique<Peer>(id, config_.num_pieces, round_));
-  departed_.push_back(false);
-  Peer& p = *peers_.back();
-  p.is_seed = as_seed;
-  if (as_seed) {
-    for (PieceIndex piece = 0; piece < config_.num_pieces; ++piece) {
-      p.pieces.set(piece);
-      ++piece_counts_[piece];
-    }
-  } else if (!piece_probs.empty()) {
-    MPBT_ASSERT(piece_probs.size() == config_.num_pieces);
-    for (PieceIndex piece = 0; piece < config_.num_pieces; ++piece) {
-      if (rng_.bernoulli(piece_probs[piece])) {
-        p.pieces.set(piece);
-        ++piece_counts_[piece];
-      }
-    }
-    if (p.pieces.all()) {
-      // Keep the peer a leecher: drop one random piece.
-      const auto drop = static_cast<PieceIndex>(
-          rng_.uniform_int(0, static_cast<std::int64_t>(config_.num_pieces) - 1));
-      p.pieces.reset(drop);
-      --piece_counts_[drop];
-    }
-    // Pre-seeded pieces count as acquired at the join round.
-    p.acquired_rounds.assign(p.pieces.count(), round_);
-  }
-  if (!config_.bandwidth_classes.empty() && !as_seed) {
-    // Sample the peer's bandwidth class proportionally to the fractions.
-    double total = 0.0;
-    for (const auto& cls : config_.bandwidth_classes) {
-      total += cls.fraction;
-    }
-    double u = rng_.uniform01() * total;
-    std::size_t chosen = config_.bandwidth_classes.size() - 1;
-    for (std::size_t c = 0; c < config_.bandwidth_classes.size(); ++c) {
-      u -= config_.bandwidth_classes[c].fraction;
-      if (u < 0.0) {
-        chosen = c;
-        break;
-      }
-    }
-    p.bandwidth_class = static_cast<std::uint32_t>(chosen);
-    p.upload_per_round = config_.bandwidth_classes[chosen].upload_per_round;
-    p.upload_left = p.upload_per_round;
-  }
-  live_.push_back(id);
-  tracker_.add_peer(id);
-  if (trace_ != nullptr) {
-    trace_->peer_join(round_, id, as_seed);
-  }
-  return id;
-}
-
-void Swarm::assign_initial_neighbors(PeerId id) {
-  Peer& p = peer_ref(id);
-  const std::size_t want = config_.peer_set_size;
-  if (p.neighbors.size() >= want) {
-    return;
-  }
-  const std::size_t missing = want - p.neighbors.size();
-  std::vector<PeerId> sampled;
-  switch (config_.tracker_policy) {
-    case TrackerPolicy::UniformRandom:
-      sampled = tracker_.sample_peers(missing, id, rng_);
-      break;
-    case TrackerPolicy::BootstrapBias: {
-      // Half the peer set comes from currently starving peers, giving
-      // bootstrap-trapped peers fresh contacts (Section 4.3).
-      std::vector<PeerId> starving;
-      for (PeerId candidate : starving_) {
-        if (candidate != id && is_live(candidate)) {
-          starving.push_back(candidate);
-        }
-      }
-      rng_.shuffle(std::span<PeerId>(starving));
-      const std::size_t biased = std::min(starving.size(), missing / 2);
-      sampled.assign(starving.begin(),
-                     starving.begin() + static_cast<std::ptrdiff_t>(biased));
-      for (PeerId other : tracker_.sample_peers(missing, id, rng_)) {
-        if (sampled.size() >= missing) {
-          break;
-        }
-        if (std::find(sampled.begin(), sampled.end(), other) == sampled.end()) {
-          sampled.push_back(other);
-        }
-      }
-      break;
-    }
-    case TrackerPolicy::StatusClustered: {
-      // Oversample, then keep the peers whose piece counts are closest to
-      // the joiner's (the clustering suggestion of ref. [8]).
-      std::vector<PeerId> pool = tracker_.sample_peers(missing * 3, id, rng_);
-      const auto joiner_pieces = static_cast<long long>(p.pieces.count());
-      std::stable_sort(pool.begin(), pool.end(), [&](PeerId a, PeerId b) {
-        const auto da = std::llabs(
-            static_cast<long long>(peers_[a]->pieces.count()) - joiner_pieces);
-        const auto db = std::llabs(
-            static_cast<long long>(peers_[b]->pieces.count()) - joiner_pieces);
-        return da < db;
-      });
-      if (pool.size() > missing) {
-        pool.resize(missing);
-      }
-      sampled = std::move(pool);
-      break;
-    }
-  }
-  for (PeerId other : sampled) {
-    if (!is_live(other) || other == id) {
-      continue;
-    }
-    Peer& q = peer_ref(other);
-    p.neighbors.insert(other);
-    q.neighbors.insert(id);  // NS is symmetric (Section 2.1)
-  }
-}
+std::size_t Swarm::num_seeds() const { return store_.live().size() - num_leechers(); }
 
 PeerId Swarm::add_peer(const std::vector<double>& piece_probs) {
   util::throw_if_invalid(
       !piece_probs.empty() && piece_probs.size() != config_.num_pieces,
       "Swarm::add_peer: piece_probs must be empty or have num_pieces entries");
-  const PeerId id = create_peer(piece_probs, /*as_seed=*/false);
-  assign_initial_neighbors(id);
+  RoundContext ctx = make_context();
+  const PeerId id = create_peer(ctx, piece_probs, /*as_seed=*/false);
+  fetch_neighbors(ctx, id);
   return id;
 }
 
 void Swarm::instrument_peer(PeerId id) {
-  Peer& p = peer_ref(id);
+  Peer& p = store_.checked(id);
   util::throw_if_invalid(!is_live(id), "Swarm::instrument_peer: peer is not live");
   p.instrumented = true;
   metrics_.client_record(id, p.joined);
 }
 
-void Swarm::connect(Peer& a, Peer& b) {
-  MPBT_ASSERT(a.id != b.id);
-  a.connections.insert(b.id);
-  b.connections.insert(a.id);
-  if (trace_ != nullptr) {
-    trace_->unchoke(round_, a.id, b.id);
-  }
-}
+namespace {
 
-void Swarm::disconnect(Peer& a, Peer& b) {
-  a.connections.erase(b.id);
-  b.connections.erase(a.id);
-  // Partial pieces in flight over this connection are lost (they cannot
-  // be served and we do not model cross-connection block resume).
-  a.inflight.erase(b.id);
-  b.inflight.erase(a.id);
-  if (trace_ != nullptr) {
-    trace_->choke(round_, a.id, b.id);
-  }
-}
+/// The round schedule: each phase runs once per step, in this order.
+struct PhaseEntry {
+  const char* name;
+  void (*run)(RoundContext&);
+};
 
-void Swarm::acquire_piece(Peer& p, PieceIndex piece, bool add_bytes) {
-  MPBT_ASSERT(!p.pieces.test(piece));
-  p.pieces.set(piece);
-  ++piece_counts_[piece];
-  // A piece completed through another path (e.g. seed service) cancels any
-  // partial download of the same piece still in flight on a connection.
-  if (config_.blocks_per_piece > 1) {
-    for (auto it = p.inflight.begin(); it != p.inflight.end();) {
-      it = it->second.piece == piece ? p.inflight.erase(it) : std::next(it);
-    }
-  }
-  if (add_bytes) {
-    p.bytes_downloaded += config_.piece_bytes;
-  }
-  const auto ordinal = static_cast<std::uint32_t>(p.pieces.count());
-  const Round prev_round =
-      p.acquired_rounds.empty() ? p.joined : p.acquired_rounds.back();
-  p.acquired_rounds.push_back(round_);
-  metrics_.record_acquisition(ordinal, static_cast<double>(round_ - p.joined + 1),
-                              static_cast<double>(round_ - prev_round + 1));
-  if (trace_ != nullptr) {
-    trace_->piece_acquired(round_, p.id, piece);
-  }
-}
+constexpr PhaseEntry kPhases[] = {
+    {"prologue", run_round_prologue},
+    {"arrivals", run_arrivals},
+    {"reannounce", run_reannounce},
+    {"bootstrap", run_bootstrap},
+    {"rebuild_potential", run_rebuild_potential_sets},
+    {"prune", run_prune_connections},
+    {"establish", run_establish_connections},
+    {"exchange", run_exchange},
+    {"seed_service", run_seed_service},
+    {"completions", run_completions},
+    {"shake", run_shake},
+    {"record_metrics", run_record_metrics},
+};
 
-void Swarm::depart(Peer& p) {
-  MPBT_ASSERT(!departed_[p.id]);
-  departed_[p.id] = true;
-  if (trace_ != nullptr) {
-    trace_->peer_leave(round_, p.id);
-  }
-  tracker_.remove_peer(p.id);
-  for (PeerId nb : p.neighbors.as_vector()) {
-    if (nb < peers_.size() && peers_[nb] != nullptr) {
-      peers_[nb]->neighbors.erase(p.id);
-      peers_[nb]->connections.erase(p.id);
-      peers_[nb]->inflight.erase(p.id);
-    }
-  }
-  p.neighbors.clear();
-  p.connections.clear();
-  p.inflight.clear();
-  for (PieceIndex piece : p.pieces.held_pieces()) {
-    MPBT_ASSERT(piece_counts_[piece] > 0);
-    --piece_counts_[piece];
-  }
-}
+constexpr std::size_t kNumPhases = std::size(kPhases);
 
-void Swarm::sweep_departed() {
-  live_.erase(std::remove_if(live_.begin(), live_.end(),
-                             [this](PeerId id) { return departed_[id]; }),
-              live_.end());
-}
+#ifdef MPBT_PHASE_TIMING
+// Opt-in per-phase wall-time accounting (compile with
+// -DMPBT_PHASE_TIMING): accumulates across all Swarm instances and
+// prints a table to stderr at exit. Diagnostic only — it draws no
+// randomness and never changes results.
+struct PhaseTimer {
+  double totals_ms[kNumPhases] = {};
+  ~PhaseTimer() {
+    for (std::size_t i = 0; i < kNumPhases; ++i) {
+      std::fprintf(stderr, "phase %-18s %10.3f ms\n", kPhases[i].name, totals_ms[i]);
+    }
+  }
+};
+PhaseTimer g_phase_timer;
+#endif
 
-std::vector<PeerId> Swarm::shuffled_live_leechers() {
-  std::vector<PeerId> out;
-  out.reserve(live_.size());
-  for (PeerId id : live_) {
-    if (!departed_[id] && peers_[id]->is_leecher()) {
-      out.push_back(id);
-    }
-  }
-  rng_.shuffle(std::span<PeerId>(out));
-  return out;
-}
-
-const std::vector<std::uint32_t>& Swarm::availability_for(const Peer& p) {
-  if (config_.availability_scope == AvailabilityScope::Global) {
-    return piece_counts_;
-  }
-  auto [it, inserted] = neighborhood_availability_.try_emplace(p.id);
-  if (inserted) {
-    it->second.assign(config_.num_pieces, 0);
-    for (PeerId nb : p.neighbors.as_vector()) {
-      if (!is_live(nb)) {
-        continue;
-      }
-      for (PieceIndex piece : peers_[nb]->pieces.held_pieces()) {
-        ++it->second[piece];
-      }
-    }
-  }
-  return it->second;
-}
-
-std::optional<PieceIndex> Swarm::seed_piece_for(Peer& seed, const Peer& taker) {
-  MPBT_ASSERT(seed.is_seed);
-  if (taker.pieces.all()) {
-    return std::nullopt;
-  }
-  if (config_.seed_mode == SwarmConfig::SeedMode::Classic) {
-    // First piece is random (random-piece-first); afterwards the taker's
-    // configured piece selection applies.
-    if (taker.pieces.none()) {
-      return select_random(taker.pieces, seed.pieces, rng_);
-    }
-    return select_piece(config_.piece_selection, taker.pieces, seed.pieces,
-                        availability_for(taker), rng_);
-  }
-  // Super-seeding: serve the piece this seed has injected least often,
-  // breaking ties by global rarity, then uniformly.
-  auto& served = seed_served_[seed.id];
-  if (served.empty()) {
-    served.assign(config_.num_pieces, 0);
-  }
-  std::optional<PieceIndex> chosen;
-  std::size_t ties = 0;
-  for (PieceIndex piece : taker.pieces.missing_pieces()) {
-    if (!chosen.has_value()) {
-      chosen = piece;
-      ties = 1;
-      continue;
-    }
-    const auto key = std::make_pair(served[piece], piece_counts_[piece]);
-    const auto best = std::make_pair(served[*chosen], piece_counts_[*chosen]);
-    if (key < best) {
-      chosen = piece;
-      ties = 1;
-    } else if (key == best) {
-      ++ties;
-      if (rng_.uniform_int(0, static_cast<std::int64_t>(ties) - 1) == 0) {
-        chosen = piece;
-      }
-    }
-  }
-  if (chosen.has_value()) {
-    ++served[*chosen];
-  }
-  return chosen;
-}
-
-bool Swarm::ensure_inflight(Peer& down, const Peer& up) {
-  auto it = down.inflight.find(up.id);
-  if (it != down.inflight.end()) {
-    // Guard: the piece may have completed via another path meanwhile.
-    if (down.pieces.test(it->second.piece)) {
-      down.inflight.erase(it);
-    } else {
-      return true;
-    }
-  }
-  // Select a new target: the uploader holds it, the downloader lacks it,
-  // and it is not already in flight from another connection.
-  std::vector<PieceIndex> candidates = up.pieces.pieces_missing_from(down.pieces);
-  std::erase_if(candidates, [&](PieceIndex piece) {
-    for (const auto& [partner, flight] : down.inflight) {
-      if (flight.piece == piece) {
-        return true;
-      }
-    }
-    return false;
-  });
-  if (candidates.empty()) {
-    return false;
-  }
-  PieceIndex chosen;
-  if (config_.piece_selection == PieceSelection::Random ||
-      (config_.piece_selection == PieceSelection::RandomFirstThenRarest &&
-       down.pieces.none())) {
-    chosen = candidates[static_cast<std::size_t>(
-        rng_.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
-  } else {
-    const std::vector<std::uint32_t>& availability = availability_for(down);
-    chosen = candidates.front();
-    std::size_t ties = 1;
-    for (std::size_t c = 1; c < candidates.size(); ++c) {
-      const PieceIndex piece = candidates[c];
-      if (availability[piece] < availability[chosen]) {
-        chosen = piece;
-        ties = 1;
-      } else if (availability[piece] == availability[chosen]) {
-        ++ties;
-        if (rng_.uniform_int(0, static_cast<std::int64_t>(ties) - 1) == 0) {
-          chosen = piece;
-        }
-      }
-    }
-  }
-  down.inflight[up.id] = Peer::InFlight{chosen, 0};
-  return true;
-}
-
-void Swarm::deliver_block(Peer& down, PeerId from) {
-  const auto it = down.inflight.find(from);
-  MPBT_ASSERT(it != down.inflight.end());
-  Peer::InFlight& flight = it->second;
-  ++flight.blocks_done;
-  const std::uint32_t m = config_.blocks_per_piece;
-  const std::uint64_t block_bytes = config_.piece_bytes / m;
-  if (flight.blocks_done >= m) {
-    // Final block carries any rounding remainder; the piece verifies and
-    // joins the bitfield.
-    down.bytes_downloaded +=
-        config_.piece_bytes - block_bytes * static_cast<std::uint64_t>(m - 1);
-    const PieceIndex piece = flight.piece;
-    down.inflight.erase(it);
-    acquire_piece(down, piece, /*add_bytes=*/false);
-  } else {
-    down.bytes_downloaded += block_bytes;
-  }
-}
-
-// --- round phases ----------------------------------------------------------
-
-void Swarm::phase_arrivals() {
-  if (config_.arrival_cutoff_round != 0 && round_ >= config_.arrival_cutoff_round) {
-    return;
-  }
-  const int arrivals = rng_.poisson(config_.arrival_rate);
-  for (int i = 0; i < arrivals; ++i) {
-    if (config_.max_population != 0 && live_.size() >= config_.max_population) {
-      metrics_.record_dropped_arrival();
-      continue;
-    }
-    // Instrumented clients arrive empty to expose the full bootstrap.
-    const bool instrumented = instrument_next_;
-    const PeerId id = create_peer(instrumented ? std::vector<double>{}
-                                               : config_.arrival_piece_probs,
-                                  /*as_seed=*/false);
-    assign_initial_neighbors(id);
-    if (instrumented) {
-      instrument_next_ = false;
-      peers_[id]->instrumented = true;
-      metrics_.client_record(id, round_);
-    }
-  }
-}
-
-void Swarm::phase_bootstrap() {
-  // Reset per-round seed upload budgets.
-  seed_budget_.clear();
-  for (PeerId id : live_) {
-    if (!departed_[id] && peers_[id]->is_seed) {
-      seed_budget_[id] = config_.seed_capacity;
-    }
-  }
-
-  for (PeerId id : shuffled_live_leechers()) {
-    Peer& p = *peers_[id];
-    if (!p.pieces.none()) {
-      continue;
-    }
-    // First choice: a neighboring seed with upload budget (a peer "acquires
-    // its first piece either through seeds or through optimistic unchoking",
-    // Section 3.1).
-    PeerId source = kNoPeer;
-    for (PeerId nb : p.neighbors.as_vector()) {
-      if (!is_live(nb)) {
-        continue;
-      }
-      if (peers_[nb]->is_seed) {
-        auto budget = seed_budget_.find(nb);
-        if (budget != seed_budget_.end() && budget->second > 0) {
-          --budget->second;
-          source = nb;
-          break;
-        }
-      }
-    }
-    if (source == kNoPeer) {
-      // Optimistic unchoke from a piece-holding leecher neighbor.
-      if (!rng_.bernoulli(config_.optimistic_unchoke_prob)) {
-        continue;
-      }
-      std::vector<PeerId> holders;
-      for (PeerId nb : p.neighbors.as_vector()) {
-        if (is_live(nb) && peers_[nb]->is_leecher() && !peers_[nb]->pieces.none()) {
-          holders.push_back(nb);
-        }
-      }
-      if (holders.empty()) {
-        continue;
-      }
-      source = holders[static_cast<std::size_t>(
-          rng_.uniform_int(0, static_cast<std::int64_t>(holders.size()) - 1))];
-    }
-    // The first piece is selected randomly (random-piece-first policy);
-    // super-seeding seeds instead inject their least-served piece.
-    const auto choice = peers_[source]->is_seed
-                            ? seed_piece_for(*peers_[source], p)
-                            : select_random(p.pieces, peers_[source]->pieces, rng_);
-    MPBT_ASSERT(choice.has_value());
-    acquire_piece(p, *choice);
-  }
-}
-
-void Swarm::phase_rebuild_potential_sets() {
-  neighborhood_availability_.clear();
-  starving_.clear();
-  for (PeerId id : live_) {
-    if (departed_[id]) {
-      continue;
-    }
-    Peer& p = *peers_[id];
-    p.potential.clear();
-    if (p.is_seed || p.pieces.none()) {
-      continue;
-    }
-    for (PeerId nb : p.neighbors.as_vector()) {
-      if (!is_live(nb)) {
-        continue;
-      }
-      const Peer& q = *peers_[nb];
-      if (q.is_seed) {
-        continue;  // seeds are served outside tit-for-tat
-      }
-      if (mutually_interested(p.pieces, q.pieces)) {
-        p.potential.push_back(nb);
-      }
-    }
-    // A trading-capable peer whose potential set is empty despite having
-    // neighbors is starving — the paper's failed-encounter condition.
-    if (p.potential.empty() && !p.neighbors.empty()) {
-      metrics_.record_failed_encounter();
-      starving_.push_back(id);
-    }
-  }
-}
-
-void Swarm::phase_prune_connections() {
-  // Snapshot connections alive at round start for the p_r estimate.
-  round_start_connections_.clear();
-  for (PeerId id : live_) {
-    if (departed_[id]) {
-      continue;
-    }
-    const Peer& p = *peers_[id];
-    for (PeerId other : p.connections.as_vector()) {
-      if (id < other) {
-        round_start_connections_.emplace_back(id, other);
-      }
-    }
-  }
-
-  for (PeerId id : live_) {
-    if (departed_[id]) {
-      continue;
-    }
-    Peer& p = *peers_[id];
-    // Copy: disconnect mutates the set.
-    const std::vector<PeerId> current = p.connections.as_vector();
-    for (PeerId other : current) {
-      if (!is_live(other)) {
-        p.connections.erase(other);
-        continue;
-      }
-      const bool still_interesting =
-          std::find(p.potential.begin(), p.potential.end(), other) != p.potential.end();
-      if (!still_interesting) {
-        disconnect(p, *peers_[other]);
-        if (trace_ != nullptr) {
-          trace_->connection_drop(round_, id, other, obs::DropReason::kInterestLost);
-        }
-      }
-    }
-  }
-}
-
-void Swarm::phase_establish_connections() {
-  if (config_.choke_algorithm == ChokeAlgorithm::RateBased) {
-    establish_rate_based();
-    return;
-  }
-  std::uint64_t attempts = 0;
-  std::uint64_t successes = 0;
-  for (PeerId id : shuffled_live_leechers()) {
-    Peer& p = *peers_[id];
-    if (p.pieces.none()) {
-      continue;  // nothing to offer under strict tit-for-tat
-    }
-    if (p.connections.size() >= config_.max_connections) {
-      continue;
-    }
-    std::vector<PeerId> candidates;
-    for (PeerId other : p.potential) {
-      if (!is_live(other) || p.connections.contains(other)) {
-        continue;
-      }
-      if (peers_[other]->connections.size() >= config_.max_connections) {
-        continue;  // partner has no open slot
-      }
-      candidates.push_back(other);
-    }
-    rng_.shuffle(std::span<PeerId>(candidates));
-    for (PeerId other : candidates) {
-      if (p.connections.size() >= config_.max_connections) {
-        break;
-      }
-      if (peers_[other]->connections.size() >= config_.max_connections) {
-        continue;  // filled up since candidate listing
-      }
-      ++attempts;
-      const bool ok = rng_.bernoulli(config_.connect_success_prob);
-      if (trace_ != nullptr) {
-        trace_->connection_attempt(round_, id, other, ok);
-      }
-      if (ok) {
-        connect(p, *peers_[other]);
-        if (config_.handshake_delay) {
-          p.fresh_connections.insert(other);
-          peers_[other]->fresh_connections.insert(id);
-        }
-        ++successes;
-      }
-    }
-  }
-  metrics_.record_connection_attempts(attempts, successes);
-}
-
-void Swarm::establish_rate_based() {
-  // The choking algorithm (Section 2.1): each peer unchokes its k - 1
-  // fastest recent uploaders among the potential set plus one rotating
-  // optimistic slot; a connection exists while both sides unchoke each
-  // other.
-  std::unordered_map<PeerId, IdSet> desired;
-  const std::vector<PeerId> order = shuffled_live_leechers();
-  for (PeerId id : order) {
-    Peer& p = *peers_[id];
-    if (p.pieces.none() || p.potential.empty()) {
-      continue;
-    }
-    // Rotate the optimistic unchoke when stale or invalid.
-    const bool optimistic_valid =
-        p.optimistic_target != kNoPeer && is_live(p.optimistic_target) &&
-        std::find(p.potential.begin(), p.potential.end(), p.optimistic_target) !=
-            p.potential.end();
-    if (!optimistic_valid || round_ - p.optimistic_since >= config_.optimistic_interval) {
-      p.optimistic_target = p.potential[static_cast<std::size_t>(
-          rng_.uniform_int(0, static_cast<std::int64_t>(p.potential.size()) - 1))];
-      p.optimistic_since = round_;
-    }
-    // Top k - 1 by received rate, ties broken uniformly at random (a
-    // deterministic-by-id tie-break would overload low ids).
-    std::vector<PeerId> ranked = p.potential;
-    rng_.shuffle(std::span<PeerId>(ranked));
-    std::stable_sort(ranked.begin(), ranked.end(), [&](PeerId x, PeerId y) {
-      const auto rx = p.received_rate.find(x);
-      const auto ry = p.received_rate.find(y);
-      const double vx = rx == p.received_rate.end() ? 0.0 : rx->second;
-      const double vy = ry == p.received_rate.end() ? 0.0 : ry->second;
-      return vx > vy;
-    });
-    IdSet& mine = desired[id];
-    mine.insert(p.optimistic_target);
-    for (PeerId candidate : ranked) {
-      if (mine.size() >= config_.max_connections) {
-        break;
-      }
-      mine.insert(candidate);
-    }
-  }
-
-  // Choke rotation with low churn: connections persist (they are TCP
-  // links in the real protocol; choking only gates transfers). A peer at
-  // full capacity that desires an unconnected candidate drops its
-  // lowest-rate undesired connection — at most one per round — to make
-  // room, mirroring the 10-second unchoke re-evaluation.
-  for (PeerId id : order) {
-    Peer& p = *peers_[id];
-    const auto mine = desired.find(id);
-    if (mine == desired.end() || p.connections.size() < config_.max_connections) {
-      continue;
-    }
-    bool wants_new = false;
-    for (PeerId candidate : mine->second.as_vector()) {
-      if (!p.connections.contains(candidate) && is_live(candidate)) {
-        wants_new = true;
-        break;
-      }
-    }
-    if (!wants_new) {
-      continue;
-    }
-    PeerId victim = kNoPeer;
-    double victim_rate = 0.0;
-    for (PeerId other : p.connections.as_vector()) {
-      if (mine->second.contains(other)) {
-        continue;  // still desired: keep
-      }
-      const auto r = p.received_rate.find(other);
-      const double rate = r == p.received_rate.end() ? 0.0 : r->second;
-      if (victim == kNoPeer || rate < victim_rate) {
-        victim = other;
-        victim_rate = rate;
-      }
-    }
-    if (victim != kNoPeer && is_live(victim)) {
-      disconnect(p, *peers_[victim]);
-      if (trace_ != nullptr) {
-        trace_->connection_drop(round_, id, victim, obs::DropReason::kChokeVictim);
-      }
-    }
-  }
-
-  // Establish mutually desired pairs.
-  std::uint64_t attempts = 0;
-  std::uint64_t successes = 0;
-  for (PeerId id : order) {
-    const auto mine = desired.find(id);
-    if (mine == desired.end()) {
-      continue;
-    }
-    Peer& p = *peers_[id];
-    for (PeerId other : mine->second.as_vector()) {
-      if (id >= other || !is_live(other) || p.connections.contains(other)) {
-        continue;
-      }
-      const auto theirs = desired.find(other);
-      if (theirs == desired.end() || !theirs->second.contains(id)) {
-        continue;
-      }
-      if (p.connections.size() >= config_.max_connections ||
-          peers_[other]->connections.size() >= config_.max_connections) {
-        continue;
-      }
-      ++attempts;
-      const bool ok = rng_.bernoulli(config_.connect_success_prob);
-      if (trace_ != nullptr) {
-        trace_->connection_attempt(round_, id, other, ok);
-      }
-      if (ok) {
-        connect(p, *peers_[other]);
-        if (config_.handshake_delay) {
-          p.fresh_connections.insert(other);
-          peers_[other]->fresh_connections.insert(id);
-        }
-        ++successes;
-      }
-    }
-  }
-
-  // Fill pass: real clients keep every unchoke slot busy, so remaining
-  // open slots take any willing potential partner (this is what makes the
-  // optimistic mechanism effective — newcomers with no rate history still
-  // get service).
-  for (PeerId id : order) {
-    Peer& p = *peers_[id];
-    if (p.pieces.none() || p.connections.size() >= config_.max_connections) {
-      continue;
-    }
-    std::vector<PeerId> candidates;
-    for (PeerId other : p.potential) {
-      if (is_live(other) && !p.connections.contains(other) &&
-          peers_[other]->connections.size() < config_.max_connections) {
-        candidates.push_back(other);
-      }
-    }
-    rng_.shuffle(std::span<PeerId>(candidates));
-    for (PeerId other : candidates) {
-      if (p.connections.size() >= config_.max_connections) {
-        break;
-      }
-      if (peers_[other]->connections.size() >= config_.max_connections) {
-        continue;
-      }
-      ++attempts;
-      const bool ok = rng_.bernoulli(config_.connect_success_prob);
-      if (trace_ != nullptr) {
-        trace_->connection_attempt(round_, id, other, ok);
-      }
-      if (ok) {
-        connect(p, *peers_[other]);
-        if (config_.handshake_delay) {
-          p.fresh_connections.insert(other);
-          peers_[other]->fresh_connections.insert(id);
-        }
-        ++successes;
-      }
-    }
-  }
-  metrics_.record_connection_attempts(attempts, successes);
-}
-
-void Swarm::phase_exchange() {
-  // Collect unordered connection pairs, then process in random order.
-  std::vector<std::pair<PeerId, PeerId>> pairs;
-  for (PeerId id : live_) {
-    if (departed_[id]) {
-      continue;
-    }
-    for (PeerId other : peers_[id]->connections.as_vector()) {
-      if (id < other) {
-        pairs.emplace_back(id, other);
-      }
-    }
-  }
-  rng_.shuffle(std::span<std::pair<PeerId, PeerId>>(pairs));
-
-  for (const auto& [ida, idb] : pairs) {
-    Peer& a = *peers_[ida];
-    Peer& b = *peers_[idb];
-    if (!a.connections.contains(idb)) {
-      continue;  // dropped earlier this round
-    }
-    if (a.fresh_connections.contains(idb)) {
-      continue;  // still handshaking; exchanges start next round
-    }
-    if (a.upload_left == 0 || b.upload_left == 0) {
-      // An upload-throttled side cannot reciprocate this round; under
-      // strict tit-for-tat the pair idles (the connection survives).
-      continue;
-    }
-    if (config_.blocks_per_piece > 1) {
-      // Block-granular transfer: one block per direction per round.
-      const bool a_ok = ensure_inflight(a, b);
-      const bool b_ok = ensure_inflight(b, a);
-      if (!a_ok || !b_ok) {
-        // Strict tit-for-tat at block level: nothing to reciprocate.
-        disconnect(a, b);
-        if (trace_ != nullptr) {
-          trace_->connection_drop(round_, ida, idb, obs::DropReason::kNothingToTrade);
-        }
-        continue;
-      }
-      deliver_block(a, idb);
-      deliver_block(b, ida);
-      const double block_fraction = 1.0 / static_cast<double>(config_.blocks_per_piece);
-      a.received_rate[idb] += block_fraction;
-      b.received_rate[ida] += block_fraction;
-      if (a.upload_left != UINT32_MAX) {
-        --a.upload_left;
-      }
-      if (b.upload_left != UINT32_MAX) {
-        --b.upload_left;
-      }
-      if (config_.availability_scope == AvailabilityScope::NeighborSet) {
-        neighborhood_availability_.clear();
-      }
-      continue;
-    }
-    const auto piece_for_a = select_piece(config_.piece_selection, a.pieces, b.pieces,
-                                          availability_for(a), rng_);
-    const auto piece_for_b = select_piece(config_.piece_selection, b.pieces, a.pieces,
-                                          availability_for(b), rng_);
-    if (!piece_for_a.has_value() || !piece_for_b.has_value()) {
-      // Strict tit-for-tat: no one-sided transfers; the connection fails.
-      disconnect(a, b);
-      if (trace_ != nullptr) {
-        trace_->connection_drop(round_, ida, idb, obs::DropReason::kNothingToTrade);
-      }
-      continue;
-    }
-    acquire_piece(a, *piece_for_a);
-    acquire_piece(b, *piece_for_b);
-    a.received_rate[idb] += 1.0;
-    b.received_rate[ida] += 1.0;
-    if (a.upload_left != UINT32_MAX) {
-      --a.upload_left;
-    }
-    if (b.upload_left != UINT32_MAX) {
-      --b.upload_left;
-    }
-    // Acquisitions invalidate cached neighborhood availability.
-    if (config_.availability_scope == AvailabilityScope::NeighborSet) {
-      neighborhood_availability_.clear();
-    }
-  }
-
-  // p_r estimate: fraction of round-start connections still alive.
-  std::uint64_t survived = 0;
-  for (const auto& [ida, idb] : round_start_connections_) {
-    if (!departed_[ida] && !departed_[idb] && peers_[ida]->connections.contains(idb)) {
-      ++survived;
-    }
-  }
-  metrics_.record_connection_survival(round_start_connections_.size(), survived);
-}
-
-void Swarm::phase_seed_service() {
-  if (!config_.seeds_serve_all) {
-    return;
-  }
-  for (auto& [seed_id, budget] : seed_budget_) {
-    if (!is_live(seed_id) || budget == 0) {
-      continue;
-    }
-    Peer& seed = *peers_[seed_id];
-    std::vector<PeerId> takers;
-    for (PeerId nb : seed.neighbors.as_vector()) {
-      if (is_live(nb) && peers_[nb]->is_leecher() && !peers_[nb]->pieces.all() &&
-          !peers_[nb]->pieces.none()) {
-        takers.push_back(nb);
-      }
-    }
-    rng_.shuffle(std::span<PeerId>(takers));
-    for (PeerId taker : takers) {
-      if (budget == 0) {
-        break;
-      }
-      Peer& p = *peers_[taker];
-      const auto choice = seed_piece_for(seed, p);
-      if (choice.has_value()) {
-        acquire_piece(p, *choice);
-        --budget;
-      }
-    }
-  }
-}
-
-void Swarm::phase_completions() {
-  for (PeerId id : live_) {
-    if (departed_[id]) {
-      continue;
-    }
-    Peer& p = *peers_[id];
-    if (p.is_leecher() && !p.pieces.all() && config_.abort_rate > 0.0 &&
-        rng_.bernoulli(config_.abort_rate)) {
-      metrics_.record_abort();
-      depart(p);
-      continue;
-    }
-    if (p.is_leecher() && p.pieces.all()) {
-      metrics_.record_completion(static_cast<double>(round_ - p.joined + 1),
-                                 p.bandwidth_class);
-      if (trace_ != nullptr) {
-        trace_->peer_complete(round_, id, static_cast<double>(round_ - p.joined + 1));
-      }
-      if (p.instrumented) {
-        ClientRecord& record = metrics_.client_record(id, p.joined);
-        record.completed = true;
-        record.completed_round = round_;
-      }
-      if (config_.seed_linger_rounds > 0) {
-        p.is_seed = true;
-        p.seed_until = round_ + config_.seed_linger_rounds;
-        p.connections.clear();  // drops one side; fix symmetric side below
-        p.inflight.clear();
-        // Remove this peer from others' connection sets.
-        for (PeerId nb : p.neighbors.as_vector()) {
-          if (is_live(nb)) {
-            peers_[nb]->connections.erase(id);
-            peers_[nb]->inflight.erase(id);
-          }
-        }
-      } else {
-        depart(p);
-      }
-    } else if (p.is_seed && p.seed_until != 0 && round_ >= p.seed_until) {
-      depart(p);
-    }
-  }
-  sweep_departed();
-}
-
-void Swarm::phase_shake() {
-  if (!config_.shake.enabled) {
-    return;
-  }
-  const auto threshold = static_cast<std::size_t>(config_.shake.completion_fraction *
-                                                  static_cast<double>(config_.num_pieces));
-  for (PeerId id : live_) {
-    if (departed_[id]) {
-      continue;
-    }
-    Peer& p = *peers_[id];
-    if (p.is_seed || p.shaken || p.pieces.count() < threshold) {
-      continue;
-    }
-    // Drop the whole neighbor set (and with it all connections)...
-    const std::vector<PeerId> old_neighbors = p.neighbors.as_vector();
-    for (PeerId nb : old_neighbors) {
-      if (nb < peers_.size() && peers_[nb] != nullptr) {
-        peers_[nb]->neighbors.erase(id);
-        peers_[nb]->connections.erase(id);
-        peers_[nb]->inflight.erase(id);
-      }
-    }
-    p.neighbors.clear();
-    p.connections.clear();
-    p.inflight.clear();
-    p.potential.clear();
-    // ...and fetch a fresh random peer set from the tracker.
-    assign_initial_neighbors(id);
-    p.shaken = true;
-    if (trace_ != nullptr) {
-      trace_->peer_set_shake(round_, id);
-    }
-  }
-}
-
-void Swarm::phase_record_metrics() {
-  std::size_t leechers = 0;
-  std::size_t seeds = 0;
-  double eff_trading_sum = 0.0;
-  std::size_t eff_trading_n = 0;
-  double eff_all_sum = 0.0;
-  std::size_t eff_all_n = 0;
-  double eff_transfer_sum = 0.0;
-  std::size_t eff_transfer_n = 0;
-
-  for (PeerId id : live_) {
-    const Peer& p = *peers_[id];
-    if (p.is_seed) {
-      ++seeds;
-      continue;
-    }
-    ++leechers;
-    const double n_over_k =
-        static_cast<double>(p.connections.size()) / static_cast<double>(config_.max_connections);
-    eff_all_sum += n_over_k;
-    ++eff_all_n;
-    if (!p.pieces.none()) {
-      eff_trading_sum += n_over_k;
-      ++eff_trading_n;
-      // Upload-bandwidth utilization: pieces moved this round over k slots.
-      std::size_t transferred = 0;
-      for (auto it = p.acquired_rounds.rbegin();
-           it != p.acquired_rounds.rend() && *it == round_; ++it) {
-        ++transferred;
-      }
-      eff_transfer_sum += std::min(
-          1.0, static_cast<double>(transferred) / static_cast<double>(config_.max_connections));
-      ++eff_transfer_n;
-    }
-    metrics_.record_potential_observation(static_cast<std::uint32_t>(p.pieces.count()),
-                                          static_cast<std::uint32_t>(p.potential.size()),
-                                          static_cast<std::uint32_t>(p.neighbors.size()));
-    metrics_.record_phase_round(static_cast<std::uint32_t>(p.connections.size()),
-                                static_cast<std::uint32_t>(p.pieces.count()),
-                                static_cast<std::uint32_t>(p.potential.size()),
-                                config_.num_pieces);
-    if (trace_ != nullptr) {
-      trace_phase_transition(*peers_[id], static_cast<std::uint32_t>(p.connections.size()),
-                             static_cast<std::uint32_t>(p.pieces.count()),
-                             static_cast<std::uint32_t>(p.potential.size()));
-    }
-    // p_init: potential ratio observed on the round the first piece arrived.
-    if (p.pieces.count() == 1 && !p.acquired_rounds.empty() &&
-        p.acquired_rounds.front() == round_) {
-      metrics_.record_bootstrap_exit(static_cast<std::uint32_t>(p.potential.size()),
-                                     static_cast<std::uint32_t>(p.neighbors.size()));
-    }
-    if (p.instrumented) {
-      ClientRecord& record = metrics_.client_record(id, p.joined);
-      record.samples.push_back({round_, p.bytes_downloaded,
-                                static_cast<std::uint32_t>(p.potential.size()),
-                                static_cast<std::uint32_t>(p.neighbors.size()),
-                                static_cast<std::uint32_t>(p.pieces.count()),
-                                static_cast<std::uint32_t>(p.connections.size())});
-      if (trace_ != nullptr) {
-        trace_->client_sample(round_, id, static_cast<std::uint32_t>(p.potential.size()),
-                              static_cast<std::uint32_t>(p.pieces.count()),
-                              p.bytes_downloaded);
-      }
-    }
-  }
-
-  record_round_sample(leechers, seeds, entropy(),
-                      eff_trading_n == 0 ? 0.0 : eff_trading_sum / eff_trading_n,
-                      eff_all_n == 0 ? 0.0 : eff_all_sum / eff_all_n,
-                      eff_transfer_n == 0 ? 0.0 : eff_transfer_sum / eff_transfer_n);
-  tracker_.record_stats();
-}
-
-void Swarm::record_round_sample(std::size_t leechers, std::size_t seeds, double ent,
-                                double eff_trading, double eff_all,
-                                double eff_transfer) {
-  metrics_.record_round(round_, leechers, seeds, ent, eff_trading, eff_all,
-                        eff_transfer);
-  if (trace_ != nullptr) {
-    trace_->round_sample(round_, leechers, seeds, ent, eff_transfer);
-  }
-}
-
-void Swarm::trace_phase_transition(Peer& p, std::uint32_t n, std::uint32_t b,
-                                   std::uint32_t i) {
-  // Mirror of model::classify_phase on (n, b, i), matching
-  // SwarmMetrics::record_phase_round (kept local so bt does not depend
-  // on the model library): 0 = bootstrap, 1 = efficient, 2 = last, 3 = done.
-  std::uint8_t code;
-  if (b >= config_.num_pieces) {
-    code = 3;
-  } else if (b == 0 || (b + n <= 1 && i == 0)) {
-    code = 0;
-  } else if (i == 0 && n == 0) {
-    code = 2;
-  } else {
-    code = 1;
-  }
-  if (p.trace_phase != code) {
-    trace_->phase_transition(round_, p.id,
-                             p.trace_phase == 255 ? -1 : static_cast<int>(p.trace_phase),
-                             static_cast<int>(code));
-    p.trace_phase = code;
-  }
-}
+}  // namespace
 
 void Swarm::step() {
-  // Handshakes from the previous round have completed; upload budgets
-  // refill; rate estimates decay.
-  for (PeerId id : live_) {
-    Peer& p = *peers_[id];
-    p.fresh_connections.clear();
-    p.upload_left = p.upload_per_round;
-    if (config_.choke_algorithm == ChokeAlgorithm::RateBased) {
-      for (auto it = p.received_rate.begin(); it != p.received_rate.end();) {
-        it->second *= config_.rate_decay;
-        it = it->second < 1e-3 ? p.received_rate.erase(it) : std::next(it);
-      }
-    }
+  RoundContext ctx = make_context();
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+#ifdef MPBT_PHASE_TIMING
+    const auto t0 = std::chrono::steady_clock::now();
+    kPhases[i].run(ctx);
+    const auto t1 = std::chrono::steady_clock::now();
+    g_phase_timer.totals_ms[i] +=
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+#else
+    kPhases[i].run(ctx);
+#endif
   }
-  phase_arrivals();
-  // Tracker re-announce: under-connected leechers top their peer set up.
-  if (config_.reannounce_interval != 0 && round_ != 0 &&
-      round_ % config_.reannounce_interval == 0) {
-    for (PeerId id : live_) {
-      Peer& p = *peers_[id];
-      if (p.is_leecher() && p.neighbors.size() < config_.peer_set_size) {
-        assign_initial_neighbors(id);
-      }
-    }
-  }
-  phase_bootstrap();
-  phase_rebuild_potential_sets();
-  phase_prune_connections();
-  phase_establish_connections();
-  phase_exchange();
-  phase_seed_service();
-  phase_completions();
-  phase_shake();
-  phase_record_metrics();
   ++round_;
 }
 
@@ -1149,36 +140,25 @@ void Swarm::run_rounds(Round rounds) {
   }
 }
 
-double Swarm::entropy() const {
-  std::uint32_t min_count = UINT32_MAX;
-  std::uint32_t max_count = 0;
-  for (std::uint32_t c : piece_counts_) {
-    min_count = std::min(min_count, c);
-    max_count = std::max(max_count, c);
-  }
-  if (max_count == 0) {
-    return 1.0;  // no pieces anywhere: no skew
-  }
-  return static_cast<double>(min_count) / static_cast<double>(max_count);
-}
+double Swarm::entropy() const { return swarm_entropy(piece_counts_); }
 
 void Swarm::check_invariants() const {
   std::vector<std::uint32_t> recount(config_.num_pieces, 0);
-  for (PeerId id : live_) {
-    MPBT_ASSERT_MSG(!departed_[id], "live list contains departed peer");
-    const Peer& p = *peers_[id];
+  for (const PeerId id : store_.live()) {
+    MPBT_ASSERT_MSG(store_.is_live(id), "live list contains departed peer");
+    const Peer& p = store_.get(id);
     MPBT_ASSERT_MSG(p.id == id, "peer id mismatch");
-    for (PieceIndex piece : p.pieces.held_pieces()) {
-      ++recount[piece];
-    }
-    for (PeerId nb : p.neighbors.as_vector()) {
+    p.pieces.for_each_held([&recount](PieceIndex piece) { ++recount[piece]; });
+    for (const PeerId nb : p.neighbors.as_vector()) {
       MPBT_ASSERT_MSG(nb != id, "peer is its own neighbor");
       MPBT_ASSERT_MSG(is_live(nb), "neighbor set contains departed peer");
-      MPBT_ASSERT_MSG(peers_[nb]->neighbors.contains(id), "neighbor relation not symmetric");
+      MPBT_ASSERT_MSG(store_.get(nb).neighbors.contains(id),
+                      "neighbor relation not symmetric");
     }
-    for (PeerId c : p.connections.as_vector()) {
+    for (const PeerId c : p.connections.as_vector()) {
       MPBT_ASSERT_MSG(p.neighbors.contains(c), "connection to non-neighbor");
-      MPBT_ASSERT_MSG(peers_[c]->connections.contains(id), "connection not symmetric");
+      MPBT_ASSERT_MSG(store_.get(c).connections.contains(id),
+                      "connection not symmetric");
     }
     for (const auto& [partner, flight] : p.inflight) {
       MPBT_ASSERT_MSG(p.connections.contains(partner), "in-flight piece on dead connection");

@@ -14,17 +14,20 @@
 //   9. applies peer-set shaking (Section 7.1) when enabled,
 //  10. records metrics.
 //
+// Swarm is a thin orchestrator: peer records live in bt::PeerStore and
+// the per-phase logic lives in the phase modules (src/bt/phase_*.cpp),
+// free functions over a shared RoundContext. See docs/ARCHITECTURE.md
+// for the layer map and the determinism contract.
+//
 // The simulation is fully deterministic for a given SwarmConfig::seed.
 #pragma once
 
-#include <memory>
-#include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "bt/config.hpp"
 #include "bt/metrics.hpp"
-#include "bt/peer.hpp"
+#include "bt/peer_store.hpp"
+#include "bt/round_context.hpp"
 #include "bt/tracker.hpp"
 #include "numeric/rng.hpp"
 
@@ -53,16 +56,16 @@ class Swarm {
 
   std::size_t num_leechers() const;
   std::size_t num_seeds() const;
-  std::size_t population() const { return live_.size(); }
+  std::size_t population() const { return store_.live().size(); }
 
   /// Live peer ids in arrival order.
-  const std::vector<PeerId>& live_peers() const { return live_; }
+  const std::vector<PeerId>& live_peers() const { return store_.live(); }
 
   /// True if the peer is still in the swarm.
-  bool is_live(PeerId id) const;
+  bool is_live(PeerId id) const { return store_.is_live(id); }
 
   /// Read access to a peer that has ever existed (live or departed).
-  const Peer& peer(PeerId id) const;
+  const Peer& peer(PeerId id) const { return store_.checked(id); }
 
   /// Current replication degree of each piece over live peers.
   const std::vector<std::uint32_t>& piece_counts() const { return piece_counts_; }
@@ -95,80 +98,28 @@ class Swarm {
   void check_invariants() const;
 
  private:
-  Peer& peer_ref(PeerId id);
-  PeerId create_peer(const std::vector<double>& piece_probs, bool as_seed);
-  void assign_initial_neighbors(PeerId id);
-  void connect(Peer& a, Peer& b);
-  void disconnect(Peer& a, Peer& b);
-  void acquire_piece(Peer& p, PieceIndex piece, bool add_bytes = true);
-  void depart(Peer& p);
-
-  // Block-granular transfers (blocks_per_piece > 1).
-  /// Ensures `down` has a piece in flight from `up`; returns false when
-  /// nothing is selectable (strict tit-for-tat then drops the pair).
-  bool ensure_inflight(Peer& down, const Peer& up);
-  /// Delivers one block of the in-flight piece; completes it when all
-  /// blocks have arrived.
-  void deliver_block(Peer& down, PeerId from);
-  void sweep_departed();
-
-  /// Availability counts for rarest-first, per the configured scope.
-  const std::vector<std::uint32_t>& availability_for(const Peer& p);
-
-  /// Piece a seed should upload to `taker`, honoring the seed mode.
-  std::optional<PieceIndex> seed_piece_for(Peer& seed, const Peer& taker);
-
-  // Round phases.
-  void phase_arrivals();
-  void phase_bootstrap();
-  void phase_rebuild_potential_sets();
-  void phase_prune_connections();
-  void phase_establish_connections();
-  /// Rate-based choking variant of connection establishment.
-  void establish_rate_based();
-  void phase_exchange();
-  void phase_seed_service();
-  void phase_completions();
-  void phase_shake();
-  void phase_record_metrics();
-
-  /// Single fan-out point for the per-round sample: feeds SwarmMetrics
-  /// and, when tracing is attached, the trace recorder (which in turn
-  /// feeds the metrics registry) — one call site, so the per-round
-  /// series and registry snapshots cannot drift apart.
-  void record_round_sample(std::size_t leechers, std::size_t seeds, double ent,
-                           double eff_trading, double eff_all, double eff_transfer);
-
-  /// Emits a phase-transition trace event when the classification of
-  /// (n, b, i) changed since the last round (tracing only).
-  void trace_phase_transition(Peer& p, std::uint32_t n, std::uint32_t b,
-                              std::uint32_t i);
-
-  std::vector<PeerId> shuffled_live_leechers();
+  /// Borrows the swarm's components into a phase-module context.
+  RoundContext make_context() {
+    return RoundContext{config_, rng_,    tracker_, metrics_,         store_,
+                        piece_counts_,    state_,   round_,
+                        instrument_next_, trace_};
+  }
 
   SwarmConfig config_;
   numeric::Rng rng_;
   Tracker tracker_;
   SwarmMetrics metrics_;
 
-  std::vector<std::unique_ptr<Peer>> peers_;  // indexed by id; never shrinks
-  std::vector<bool> departed_;                // indexed by id
-  std::vector<PeerId> live_;                  // arrival order
-  std::vector<std::uint32_t> piece_counts_;   // replication degrees
+  PeerStore store_;                          // peer slots + dense live index
+  std::vector<std::uint32_t> piece_counts_;  // replication degrees
 
   Round round_ = 0;
   bool instrument_next_ = false;
   /// Structured event trace; null = tracing disabled (the common case).
   obs::TraceRecorder* trace_ = nullptr;
 
-  // Per-round working state.
-  std::unordered_map<PeerId, std::uint32_t> seed_budget_;
-  std::vector<std::pair<PeerId, PeerId>> round_start_connections_;
-  std::unordered_map<PeerId, std::vector<std::uint32_t>> neighborhood_availability_;
-  /// Leechers whose potential set was empty last round (tracker bias pool).
-  std::vector<PeerId> starving_;
-  /// Super-seeding bookkeeping: per seed, how often each piece was served.
-  std::unordered_map<PeerId, std::vector<std::uint32_t>> seed_served_;
+  /// Cross-phase working state and reusable scratch buffers.
+  RoundState state_;
 };
 
 }  // namespace mpbt::bt

@@ -15,8 +15,6 @@ std::uint64_t splitmix64(std::uint64_t& x) {
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
 }
-
-std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 }  // namespace
 
 Rng::Rng(std::uint64_t seed) {
@@ -24,48 +22,6 @@ Rng::Rng(std::uint64_t seed) {
   for (auto& s : state_) {
     s = splitmix64(sm);
   }
-}
-
-std::uint64_t Rng::next_u64() {
-  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = rotl(state_[3], 45);
-  return result;
-}
-
-double Rng::uniform01() {
-  // 53 random bits into [0, 1).
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) {
-  util::throw_if_invalid(!(lo < hi), "Rng::uniform requires lo < hi");
-  return lo + (hi - lo) * uniform01();
-}
-
-std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
-  util::throw_if_invalid(lo > hi, "Rng::uniform_int requires lo <= hi");
-  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
-  if (range == 0) {  // full 64-bit range
-    return static_cast<std::int64_t>(next_u64());
-  }
-  // Rejection sampling to avoid modulo bias.
-  const std::uint64_t limit = range * (UINT64_MAX / range);
-  std::uint64_t v = next_u64();
-  while (v >= limit) {
-    v = next_u64();
-  }
-  return lo + static_cast<std::int64_t>(v % range);
-}
-
-bool Rng::bernoulli(double p) {
-  util::throw_if_invalid(p < 0.0 || p > 1.0, "Rng::bernoulli requires p in [0, 1]");
-  return uniform01() < p;
 }
 
 int Rng::binomial(int n, double p) {

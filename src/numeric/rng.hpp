@@ -11,6 +11,8 @@
 #include <span>
 #include <vector>
 
+#include "util/assert.hpp"
+
 namespace mpbt::numeric {
 
 class Rng {
@@ -18,20 +20,53 @@ class Rng {
   /// Seeds the generator; any 64-bit value (including 0) is a valid seed.
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
-  /// Next raw 64-bit output.
-  std::uint64_t next_u64();
+  /// Next raw 64-bit output. Inline: the simulators draw millions of
+  /// times per run, so the generator core must not be an opaque call.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
 
   /// Uniform double in [0, 1).
-  double uniform01();
+  double uniform01() {
+    // 53 random bits into [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi). Requires lo < hi.
-  double uniform(double lo, double hi);
+  double uniform(double lo, double hi) {
+    util::throw_if_invalid(!(lo < hi), "Rng::uniform requires lo < hi");
+    return lo + (hi - lo) * uniform01();
+  }
 
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
-  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    util::throw_if_invalid(lo > hi, "Rng::uniform_int requires lo <= hi");
+    const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) {  // full 64-bit range
+      return static_cast<std::int64_t>(next_u64());
+    }
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = range * (UINT64_MAX / range);
+    std::uint64_t v = next_u64();
+    while (v >= limit) {
+      v = next_u64();
+    }
+    return lo + static_cast<std::int64_t>(v % range);
+  }
 
   /// Bernoulli trial with success probability p in [0, 1].
-  bool bernoulli(double p);
+  bool bernoulli(double p) {
+    util::throw_if_invalid(p < 0.0 || p > 1.0, "Rng::bernoulli requires p in [0, 1]");
+    return uniform01() < p;
+  }
 
   /// Binomial(n, p) sample; exact inversion for small n, BTPE-free
   /// normal-approximation-free loop is fine at the n used here (<= a few
@@ -68,6 +103,8 @@ class Rng {
   Rng split();
 
  private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
   std::uint64_t state_[4];
 };
 

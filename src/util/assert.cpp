@@ -27,4 +27,8 @@ void throw_if_out_of_range(bool condition, const std::string& message) {
   }
 }
 
+void throw_invalid(const char* message) { throw std::invalid_argument(message); }
+
+void throw_out_of_range(const char* message) { throw std::out_of_range(message); }
+
 }  // namespace mpbt::util

@@ -31,6 +31,25 @@ void throw_if_invalid(bool condition, const std::string& message);
 /// Throws std::out_of_range with `message` when `condition` is true.
 void throw_if_out_of_range(bool condition, const std::string& message);
 
+[[noreturn]] void throw_invalid(const char* message);
+[[noreturn]] void throw_out_of_range(const char* message);
+
+/// Literal-message overloads. String literals bind here instead of to the
+/// std::string& versions above, so the happy path never materializes a
+/// std::string (the temporary was a heap allocation per guard call in hot
+/// loops like Bitfield::test).
+inline void throw_if_invalid(bool condition, const char* message) {
+  if (condition) [[unlikely]] {
+    throw_invalid(message);
+  }
+}
+
+inline void throw_if_out_of_range(bool condition, const char* message) {
+  if (condition) [[unlikely]] {
+    throw_out_of_range(message);
+  }
+}
+
 }  // namespace mpbt::util
 
 #define MPBT_ASSERT(expr)                                                             \

@@ -1,0 +1,129 @@
+// PeerStore: dense id assignment, O(1) liveness, arrival-order live
+// iteration, hole-then-sweep departure, and post-departure record
+// persistence (ids are never reused).
+#include "bt/peer_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace mpbt::bt {
+namespace {
+
+TEST(PeerStore, IdsAreDenseAndSequential) {
+  PeerStore store;
+  for (PeerId expected = 0; expected < 5; ++expected) {
+    EXPECT_EQ(store.create(/*num_pieces=*/8, /*joined=*/expected), expected);
+  }
+  EXPECT_EQ(store.size(), 5u);
+  for (PeerId id = 0; id < 5; ++id) {
+    EXPECT_TRUE(store.exists(id));
+    EXPECT_TRUE(store.is_live(id));
+    EXPECT_EQ(store.get(id).id, id);
+    EXPECT_EQ(store.get(id).joined, id);
+  }
+  EXPECT_FALSE(store.exists(5));
+  EXPECT_FALSE(store.is_live(5));
+}
+
+TEST(PeerStore, LiveListIsArrivalOrder) {
+  PeerStore store;
+  for (int i = 0; i < 4; ++i) {
+    store.create(8, 0);
+  }
+  EXPECT_EQ(store.live(), (std::vector<PeerId>{0, 1, 2, 3}));
+}
+
+TEST(PeerStore, DepartureFlipsLivenessImmediatelyButHolesUntilSweep) {
+  PeerStore store;
+  for (int i = 0; i < 4; ++i) {
+    store.create(8, 0);
+  }
+  store.mark_departed(1);
+  // Liveness is O(1)-visible right away...
+  EXPECT_FALSE(store.is_live(1));
+  EXPECT_TRUE(store.exists(1));
+  // ...but the live list keeps the hole until the end-of-round sweep.
+  EXPECT_EQ(store.live(), (std::vector<PeerId>{0, 1, 2, 3}));
+  store.sweep_departed();
+  EXPECT_EQ(store.live(), (std::vector<PeerId>{0, 2, 3}));
+  EXPECT_FALSE(store.is_live(1));
+  EXPECT_TRUE(store.is_live(0));
+  EXPECT_TRUE(store.is_live(2));
+  EXPECT_TRUE(store.is_live(3));
+}
+
+TEST(PeerStore, SweepPreservesArrivalOrderAcrossManyDepartures) {
+  PeerStore store;
+  for (int i = 0; i < 8; ++i) {
+    store.create(8, 0);
+  }
+  store.mark_departed(0);
+  store.mark_departed(3);
+  store.mark_departed(7);
+  store.sweep_departed();
+  EXPECT_EQ(store.live(), (std::vector<PeerId>{1, 2, 4, 5, 6}));
+  // A second sweep with no departures is a no-op.
+  store.sweep_departed();
+  EXPECT_EQ(store.live(), (std::vector<PeerId>{1, 2, 4, 5, 6}));
+}
+
+TEST(PeerStore, IdsAreNeverReused) {
+  PeerStore store;
+  store.create(8, 0);
+  store.create(8, 0);
+  store.mark_departed(0);
+  store.mark_departed(1);
+  store.sweep_departed();
+  // New arrivals continue the dense sequence; departed slots persist.
+  EXPECT_EQ(store.create(8, 5), 2u);
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.live(), (std::vector<PeerId>{2}));
+  EXPECT_TRUE(store.exists(0));
+  EXPECT_FALSE(store.is_live(0));
+}
+
+TEST(PeerStore, DepartedRecordStaysInspectable) {
+  PeerStore store;
+  const PeerId id = store.create(/*num_pieces=*/8, /*joined=*/3);
+  store.get(id).pieces.set(2);
+  store.get(id).bytes_downloaded = 42;
+  store.mark_departed(id);
+  store.sweep_departed();
+  const PeerStore& cstore = store;
+  EXPECT_TRUE(cstore.get(id).pieces.test(2));
+  EXPECT_EQ(cstore.get(id).bytes_downloaded, 42u);
+  EXPECT_EQ(cstore.get(id).joined, 3u);
+}
+
+TEST(PeerStore, CheckedThrowsOnUnknownIdOnly) {
+  PeerStore store;
+  store.create(8, 0);
+  EXPECT_NO_THROW(store.checked(0));
+  EXPECT_THROW(store.checked(1), std::out_of_range);
+  const PeerStore& cstore = store;
+  EXPECT_NO_THROW(cstore.checked(0));
+  EXPECT_THROW(cstore.checked(1), std::out_of_range);
+  // Departed ids still resolve through checked(): the record exists.
+  store.mark_departed(0);
+  EXPECT_NO_THROW(store.checked(0));
+}
+
+TEST(PeerStore, SurvivesSlotReallocation) {
+  PeerStore store;
+  // Force several reallocations of the slot vector; ids and records must
+  // remain stable (phases re-fetch references after create()).
+  for (int i = 0; i < 1000; ++i) {
+    const PeerId id = store.create(64, static_cast<Round>(i));
+    store.get(id).pieces.set(static_cast<PieceIndex>(i % 64));
+  }
+  for (PeerId id = 0; id < 1000; ++id) {
+    EXPECT_EQ(store.get(id).id, id);
+    EXPECT_TRUE(store.get(id).pieces.test(static_cast<PieceIndex>(id % 64)));
+  }
+  EXPECT_EQ(store.live().size(), 1000u);
+}
+
+}  // namespace
+}  // namespace mpbt::bt
