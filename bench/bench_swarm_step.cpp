@@ -7,8 +7,13 @@
 // to millions of these round steps.
 //
 //   bench_swarm_step [--peers=500,2000] [--rounds=25] [--warmup=8]
-//                    [--runs=3] [--seed=42] [--quick]
+//                    [--runs=3] [--seed=42] [--quick] [--check]
 //                    [--csv=PATH] [--json=PATH] [--log-level=LEVEL]
+//
+// --check attaches the src/check InvariantSuite to the measured swarm,
+// quantifying the cost of per-phase-boundary invariant checking; it is
+// OFF by default so the pinned BENCH_0003.json numbers measure the bare
+// simulator.
 //
 // --json writes the results in google-benchmark JSON schema (one
 // "BM_SwarmStep/<peers>" entry per population, real_time = best ms per
@@ -26,6 +31,7 @@
 #include <vector>
 
 #include "bt/swarm.hpp"
+#include "check/invariants.hpp"
 #include "stability/entropy.hpp"
 #include "util/cli.hpp"
 #include "util/logging.hpp"
@@ -87,7 +93,7 @@ struct StepResult {
 };
 
 StepResult measure(std::uint32_t peers, int reps, int warmup, int rounds,
-                   std::uint64_t seed) {
+                   std::uint64_t seed, bool check) {
   StepResult result;
   result.peers = peers;
   result.reps = reps;
@@ -96,6 +102,10 @@ StepResult measure(std::uint32_t peers, int reps, int warmup, int rounds,
   double total_ms = 0.0;
   for (int rep = 0; rep < reps; ++rep) {
     bt::Swarm swarm(step_config(peers, seed + static_cast<std::uint64_t>(rep)));
+    check::InvariantSuite suite;
+    if (check) {
+      swarm.set_phase_observer(&suite);
+    }
     swarm.run_rounds(static_cast<bt::Round>(warmup));
     const auto start = std::chrono::steady_clock::now();
     swarm.run_rounds(static_cast<bt::Round>(rounds));
@@ -142,6 +152,7 @@ int main(int argc, char** argv) {
   cli.add_option("runs", "repetitions per population (best-of)", "3");
   cli.add_option("seed", "base RNG seed", "42");
   cli.add_flag("quick", "small populations / short windows for smoke runs");
+  cli.add_flag("check", "attach the invariant suite to the measured swarm");
   cli.add_option("csv", "also write the table to this CSV path", "");
   cli.add_option("json", "write google-benchmark JSON here (for --append-bench)", "");
   cli.add_option("log-level", "debug|info|warn|error|off (default: warn, or $MPBT_LOG)", "");
@@ -171,7 +182,7 @@ int main(int argc, char** argv) {
     table.set_precision(3);
     std::vector<StepResult> results;
     for (const std::uint32_t peers : peer_counts) {
-      const StepResult r = measure(peers, reps, warmup, rounds, seed);
+      const StepResult r = measure(peers, reps, warmup, rounds, seed, cli.has_flag("check"));
       table.add_row({static_cast<long long>(r.peers), static_cast<long long>(r.rounds),
                      static_cast<long long>(r.reps), r.mean_ms, r.best_ms,
                      r.best_rounds_per_sec});

@@ -1,0 +1,213 @@
+// mpbt_fuzz — randomized swarm scenario fuzzer with invariant checking.
+//
+//   mpbt_fuzz [--cases=N] [--seed=S] [--jobs=J] [--quick] [--stride=K]
+//             [--deep] [--inject-fault=NAME] [--no-shrink]
+//             [--failures-dir=DIR] [--out=PATH] [--no-progress]
+//   mpbt_fuzz --replay=case.json
+//   mpbt_fuzz --list-invariants | --list-faults
+//
+// Fuzz mode drives --cases random swarm configurations (derived from
+// --seed via SplitMix64, so case i is identical for any --jobs) with the
+// full invariant catalogue attached. Every failure is shrunk to a
+// minimal reproducer (unless --no-shrink) and recorded as a replayable
+// JSON spec under --failures-dir. stdout ends with a single summary
+// line containing the campaign fingerprint; the line is bit-identical
+// across --jobs values, which CI uses as the determinism witness.
+//
+// Replay mode re-runs a recorded case (bare spec, or a failure record —
+// the shrunk spec wins when present). If the spec expects a violation,
+// exit 0 means the SAME invariant reproduced; for clean specs, exit 0
+// means the run stayed invariant-clean.
+//
+// Exit codes: 0 = clean / expected outcome, 1 = violation (or expected
+// violation missing), 2 = usage or I/O error.
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "bt/fault.hpp"
+#include "check/case_spec.hpp"
+#include "check/fuzzer.hpp"
+#include "check/invariants.hpp"
+#include "check/shrinker.hpp"
+#include "report/json.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace mpbt;
+
+int replay(const std::string& path) {
+  const check::CaseSpec spec = check::load_case_spec(path);
+  const check::CaseResult result = check::run_case(spec);
+  if (spec.expect_violation.empty()) {
+    if (result.ok) {
+      std::cout << "replay clean: " << result.rounds_run << " rounds, "
+                << result.checks_run << " checks, fingerprint=0x" << std::hex
+                << result.fingerprint << std::dec << "\n";
+      return 0;
+    }
+    std::cout << "replay VIOLATION: " << result.message << "\n";
+    return 1;
+  }
+  if (!result.ok && result.invariant == spec.expect_violation) {
+    std::cout << "replay reproduced '" << result.invariant << "' at round "
+              << result.violation_round << ": " << result.message << "\n";
+    return 0;
+  }
+  if (result.ok) {
+    std::cout << "replay FAILED to reproduce expected violation '"
+              << spec.expect_violation << "' (run was clean)\n";
+  } else {
+    std::cout << "replay violated '" << result.invariant << "' instead of expected '"
+              << spec.expect_violation << "': " << result.message << "\n";
+  }
+  return 1;
+}
+
+report::Json failure_record(const check::CaseResult& result,
+                            const check::ShrinkResult* shrunk) {
+  report::Json record = report::Json::object();
+  record.set("schema", report::Json("mpbt-fuzz-failure-v1"));
+  record.set("invariant", report::Json(result.invariant));
+  record.set("message", report::Json(result.message));
+  record.set("violation_round",
+             report::Json(static_cast<double>(result.violation_round)));
+  record.set("case", check::to_json(result.spec));
+  if (shrunk != nullptr) {
+    record.set("shrunk", check::to_json(shrunk->shrunk));
+    record.set("shrunk_message", report::Json(shrunk->result.message));
+    record.set("shrink_attempts",
+               report::Json(static_cast<double>(shrunk->attempts)));
+  }
+  return record;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli(
+      "mpbt_fuzz",
+      "Randomized swarm fuzzing with structural invariants attached.\n"
+      "Usage: mpbt_fuzz [flags], mpbt_fuzz --replay=case.json");
+  cli.add_option("cases", "number of fuzz cases to run", "100");
+  cli.add_option("seed", "campaign base seed; case i derives from (seed, i)", "42");
+  cli.add_option("jobs", "worker threads (0 = all hardware threads)", "0");
+  cli.add_flag("quick", "smaller config ranges, sized for CI smoke runs");
+  cli.add_option("stride", "check invariants only every K-th round", "1");
+  cli.add_flag("deep", "run O(N*B) recount checks at every phase boundary");
+  cli.add_option("inject-fault", "arm this bt::fault in every case", "none");
+  cli.add_flag("no-shrink", "record failures without shrinking them");
+  cli.add_option("failures-dir", "write replayable failure records here", "");
+  cli.add_option("out", "write the campaign summary JSON to this path", "");
+  cli.add_flag("no-progress", "suppress the stderr progress reporter");
+  cli.add_option("replay", "re-run a recorded case spec and exit", "");
+  cli.add_flag("list-invariants", "print the invariant catalogue and exit");
+  cli.add_flag("list-faults", "print the injectable fault names and exit");
+
+  try {
+    if (!cli.parse(argc, argv)) {
+      return 0;
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "mpbt_fuzz: " << error.what() << "\n";
+    return 2;
+  }
+
+  try {
+    if (cli.has_flag("list-invariants")) {
+      for (const std::string_view name : check::InvariantSuite::invariant_names()) {
+        std::cout << name << "\n";
+      }
+      return 0;
+    }
+    if (cli.has_flag("list-faults")) {
+      for (const bt::fault::Fault fault : bt::fault::all_faults()) {
+        std::cout << bt::fault::fault_name(fault) << "\n";
+      }
+      return 0;
+    }
+    if (const std::string path = cli.get("replay"); !path.empty()) {
+      return replay(path);
+    }
+
+    check::FuzzOptions options;
+    options.base_seed = std::stoull(cli.get("seed"));
+    options.num_cases = static_cast<std::uint64_t>(cli.get_int("cases"));
+    options.jobs = static_cast<std::size_t>(cli.get_int("jobs"));
+    options.quick = cli.has_flag("quick");
+    options.stride = std::stoull(cli.get("stride"));
+    options.deep = cli.has_flag("deep");
+    options.fault = cli.get("inject-fault");
+    if (!cli.has_flag("no-progress")) {
+      options.progress = [](std::size_t completed, std::size_t total) {
+        if (completed % 25 == 0 || completed == total) {
+          std::cerr << "mpbt_fuzz: " << completed << "/" << total << " cases\r";
+          if (completed == total) {
+            std::cerr << "\n";
+          }
+        }
+      };
+    }
+
+    const check::FuzzSummary summary = check::run_fuzz(options);
+
+    const std::string failures_dir = cli.get("failures-dir");
+    if (!failures_dir.empty() && summary.failures > 0) {
+      std::filesystem::create_directories(failures_dir);
+    }
+
+    report::Json failures = report::Json::array();
+    for (const check::CaseResult& result : summary.results) {
+      if (result.ok) {
+        continue;
+      }
+      std::cout << "case " << result.spec.index << " VIOLATION: " << result.message
+                << "\n";
+      check::ShrinkResult shrunk;
+      bool have_shrunk = false;
+      if (!cli.has_flag("no-shrink")) {
+        shrunk = check::shrink_case(result.spec);
+        have_shrunk = true;
+        std::cout << "  shrunk to rounds=" << shrunk.shrunk.rounds
+                  << " leechers=" << shrunk.shrunk.initial_leechers
+                  << " pieces=" << shrunk.shrunk.num_pieces << " ("
+                  << shrunk.attempts << " probes)\n";
+      }
+      const report::Json record =
+          failure_record(result, have_shrunk ? &shrunk : nullptr);
+      if (!failures_dir.empty()) {
+        const std::string path = failures_dir + "/case_" +
+                                 std::to_string(result.spec.index) + ".json";
+        record.save_file(path);
+        std::cout << "  recorded " << path << "\n";
+      }
+      failures.push_back(record);
+    }
+
+    if (!cli.get("out").empty()) {
+      report::Json doc = report::Json::object();
+      doc.set("schema", report::Json("mpbt-fuzz-campaign-v1"));
+      doc.set("base_seed", report::Json(std::to_string(options.base_seed)));
+      doc.set("cases", report::Json(static_cast<double>(options.num_cases)));
+      doc.set("failures", report::Json(static_cast<double>(summary.failures)));
+      char fp[32];
+      std::snprintf(fp, sizeof fp, "%016llx",
+                    static_cast<unsigned long long>(summary.campaign_fingerprint));
+      doc.set("fingerprint", report::Json(std::string(fp)));
+      doc.set("failed_cases", failures);
+      doc.save_file(cli.get("out"));
+    }
+
+    std::cout << "cases=" << summary.results.size()
+              << " failures=" << summary.failures << " fingerprint=0x" << std::hex
+              << summary.campaign_fingerprint << std::dec << "\n";
+    return summary.failures == 0 ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::cerr << "mpbt_fuzz: " << error.what() << "\n";
+    return 2;
+  }
+}

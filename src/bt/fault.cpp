@@ -1,0 +1,51 @@
+#include "bt/fault.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace mpbt::bt::fault {
+
+std::string_view fault_name(Fault f) {
+  switch (f) {
+    case Fault::kNone:
+      return "none";
+    case Fault::kSkipDepartureRepair:
+      return "skip-departure-repair";
+    case Fault::kSkipPieceCountDecrement:
+      return "skip-piece-count-decrement";
+    case Fault::kAsymmetricNeighborInsert:
+      return "asymmetric-neighbor-insert";
+    case Fault::kOverfillConnections:
+      return "overfill-connections";
+    case Fault::kDuplicateInflightPiece:
+      return "duplicate-inflight-piece";
+    case Fault::kSkipShakeCleanup:
+      return "skip-shake-cleanup";
+    case Fault::kSkipRoundRecord:
+      return "skip-round-record";
+  }
+  return "unknown";
+}
+
+Fault fault_from_name(std::string_view name) {
+  for (Fault f : all_faults()) {
+    if (fault_name(f) == name) return f;
+  }
+  throw std::invalid_argument("unknown fault name: " + std::string(name));
+}
+
+const std::vector<Fault>& all_faults() {
+  static const std::vector<Fault> kAll = {
+      Fault::kNone,
+      Fault::kSkipDepartureRepair,
+      Fault::kSkipPieceCountDecrement,
+      Fault::kAsymmetricNeighborInsert,
+      Fault::kOverfillConnections,
+      Fault::kDuplicateInflightPiece,
+      Fault::kSkipShakeCleanup,
+      Fault::kSkipRoundRecord,
+  };
+  return kAll;
+}
+
+}  // namespace mpbt::bt::fault

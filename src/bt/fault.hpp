@@ -1,0 +1,79 @@
+// Test-only fault injection for the swarm phase modules.
+//
+// The invariant & fuzz harness (src/check) needs a way to prove it can
+// catch real state corruption: each Fault makes exactly one phase module
+// skip exactly one piece of bookkeeping (symmetry repair on departure,
+// a replication-count decrement, a connection-cap check, ...), so a
+// deliberately seeded bug is caught by a specific invariant, shrunk to a
+// minimal case and replayed. Production code never arms a fault: the
+// active fault is a thread-local that defaults to kNone, every phase
+// module hoists `fault::enabled(...)` into a local bool at function
+// entry (one thread-local read per phase, nothing per iteration), and
+// faults draw no randomness — arming one never perturbs the RNG stream,
+// so a faulty run stays deterministic and therefore shrinkable.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace mpbt::bt::fault {
+
+enum class Fault : unsigned char {
+  kNone = 0,
+  /// phase_membership: depart() leaves the departed peer's id in its
+  /// partners' neighbor/connection sets (no symmetry repair).
+  kSkipDepartureRepair,
+  /// phase_membership: depart() keeps the departed peer's pieces in the
+  /// replication-degree counters.
+  kSkipPieceCountDecrement,
+  /// phase_neighbors: fetch_neighbors() inserts the neighbor link on the
+  /// fetching side only.
+  kAsymmetricNeighborInsert,
+  /// phase_connections: establish ignores the fetching peer's own
+  /// connection cap, pushing it past k.
+  kOverfillConnections,
+  /// phase_transfer: ensure_inflight() may target a piece already in
+  /// flight from another partner (duplicate in-flight download).
+  kDuplicateInflightPiece,
+  /// phase_shaking: a shaken peer clears its own sets but stays in its
+  /// old partners' neighbor/connection sets.
+  kSkipShakeCleanup,
+  /// phase_observe: run_record_metrics() records nothing this round.
+  kSkipRoundRecord,
+};
+
+namespace detail {
+inline thread_local Fault active = Fault::kNone;
+}
+
+/// The fault armed on this thread (kNone in production).
+inline Fault current() { return detail::active; }
+
+/// True when `f` is armed on this thread. Phase modules hoist this into
+/// a local bool at function entry.
+inline bool enabled(Fault f) { return detail::active == f; }
+
+/// RAII arming of one fault on the current thread; restores the previous
+/// fault on destruction. Scopes nest.
+class ScopedFault {
+ public:
+  explicit ScopedFault(Fault f) : prev_(detail::active) { detail::active = f; }
+  ~ScopedFault() { detail::active = prev_; }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  Fault prev_;
+};
+
+/// Stable kebab-case name ("none", "skip-departure-repair", ...), as used
+/// in fuzz case specs and mpbt_fuzz --inject-fault.
+std::string_view fault_name(Fault f);
+
+/// Inverse of fault_name; throws std::invalid_argument on unknown names.
+Fault fault_from_name(std::string_view name);
+
+/// Every fault in declaration order (including kNone).
+const std::vector<Fault>& all_faults();
+
+}  // namespace mpbt::bt::fault

@@ -58,8 +58,19 @@ class PeerStore {
   /// Compacts the live list in place, preserving arrival order.
   void sweep_departed();
 
+  /// Sentinel returned by live_position() for departed / unknown peers.
+  static constexpr std::uint32_t kNoPosition = UINT32_MAX;
+
+  /// Index of `id` in live(), or kNoPosition when the peer is departed
+  /// (or the id was never assigned). Introspection for the invariant
+  /// suite: the dense index and the live list must agree at every phase
+  /// boundary.
+  std::uint32_t live_position(PeerId id) const {
+    return id < live_pos_.size() ? live_pos_[id] : kNoPosition;
+  }
+
  private:
-  static constexpr std::uint32_t kNoPos = UINT32_MAX;
+  static constexpr std::uint32_t kNoPos = kNoPosition;
 
   void check_exists(PeerId id) const;
 

@@ -4,6 +4,7 @@
 #include <span>
 #include <unordered_map>
 
+#include "bt/fault.hpp"
 #include "bt/id_set.hpp"
 #include "obs/trace.hpp"
 
@@ -232,6 +233,9 @@ void run_establish_connections(RoundContext& ctx) {
     establish_rate_based(ctx);
     return;
   }
+  // Fault tap (test-only): ignore the fetching peer's own cap so its
+  // connection count can grow past k.
+  const bool overfill = fault::enabled(fault::Fault::kOverfillConnections);
   std::uint64_t attempts = 0;
   std::uint64_t successes = 0;
   for (const PeerId id : shuffled_live_leechers(ctx)) {
@@ -239,7 +243,7 @@ void run_establish_connections(RoundContext& ctx) {
     if (p.pieces.none()) {
       continue;  // nothing to offer under strict tit-for-tat
     }
-    if (p.connections.size() >= config.max_connections) {
+    if (!overfill && p.connections.size() >= config.max_connections) {
       continue;
     }
     std::vector<PeerId>& candidates = ctx.state.scratch_ids;
@@ -255,7 +259,7 @@ void run_establish_connections(RoundContext& ctx) {
     }
     ctx.rng.shuffle(std::span<PeerId>(candidates));
     for (const PeerId other : candidates) {
-      if (p.connections.size() >= config.max_connections) {
+      if (!overfill && p.connections.size() >= config.max_connections) {
         break;
       }
       Peer& q = ctx.store.get(other);

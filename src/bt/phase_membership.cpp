@@ -1,5 +1,6 @@
 #include "bt/phase_membership.hpp"
 
+#include "bt/fault.hpp"
 #include "bt/phase_neighbors.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
@@ -62,26 +63,34 @@ PeerId create_peer(RoundContext& ctx, const std::vector<double>& piece_probs,
 }
 
 void depart(RoundContext& ctx, Peer& p) {
+  // Fault taps (test-only, see bt/fault.hpp): hoisted to locals so the
+  // hot path pays one thread-local read per call, not per partner.
+  const bool skip_repair = fault::enabled(fault::Fault::kSkipDepartureRepair);
+  const bool skip_decrement = fault::enabled(fault::Fault::kSkipPieceCountDecrement);
   ctx.store.mark_departed(p.id);
   if (ctx.trace != nullptr) {
     ctx.trace->peer_leave(ctx.round, p.id);
   }
   ctx.tracker.remove_peer(p.id);
-  for (const PeerId nb : p.neighbors.as_vector()) {
-    if (ctx.store.exists(nb)) {
-      Peer& q = ctx.store.get(nb);
-      q.neighbors.erase(p.id);
-      q.connections.erase(p.id);
-      q.inflight.erase(p.id);
+  if (!skip_repair) {
+    for (const PeerId nb : p.neighbors.as_vector()) {
+      if (ctx.store.exists(nb)) {
+        Peer& q = ctx.store.get(nb);
+        q.neighbors.erase(p.id);
+        q.connections.erase(p.id);
+        q.inflight.erase(p.id);
+      }
     }
   }
   p.neighbors.clear();
   p.connections.clear();
   p.inflight.clear();
-  p.pieces.for_each_held([&ctx](PieceIndex piece) {
-    MPBT_ASSERT(ctx.piece_counts[piece] > 0);
-    --ctx.piece_counts[piece];
-  });
+  if (!skip_decrement) {
+    p.pieces.for_each_held([&ctx](PieceIndex piece) {
+      MPBT_ASSERT(ctx.piece_counts[piece] > 0);
+      --ctx.piece_counts[piece];
+    });
+  }
 }
 
 void run_round_prologue(RoundContext& ctx) {

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <span>
 
+#include "bt/fault.hpp"
 #include "bt/peer.hpp"
 
 namespace mpbt::bt {
@@ -68,13 +69,17 @@ void fetch_neighbors(RoundContext& ctx, PeerId id) {
       break;
     }
   }
+  // Fault tap (test-only): drop the reciprocal insert below.
+  const bool asymmetric = fault::enabled(fault::Fault::kAsymmetricNeighborInsert);
   for (const PeerId other : sampled) {
     if (!ctx.store.is_live(other) || other == id) {
       continue;
     }
     Peer& q = ctx.store.get(other);
     p.neighbors.insert(other);
-    q.neighbors.insert(id);  // NS is symmetric (Section 2.1)
+    if (!asymmetric) {
+      q.neighbors.insert(id);  // NS is symmetric (Section 2.1)
+    }
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "bt/fault.hpp"
 #include "obs/trace.hpp"
 
 namespace mpbt::bt {
@@ -49,6 +50,10 @@ double swarm_entropy(const std::vector<std::uint32_t>& piece_counts) {
 }
 
 void run_record_metrics(RoundContext& ctx) {
+  // Fault tap (test-only): drop this round's sample entirely.
+  if (fault::enabled(fault::Fault::kSkipRoundRecord)) {
+    return;
+  }
   const SwarmConfig& config = ctx.config;
   std::size_t leechers = 0;
   std::size_t seeds = 0;

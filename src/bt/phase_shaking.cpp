@@ -1,5 +1,6 @@
 #include "bt/phase_shaking.hpp"
 
+#include "bt/fault.hpp"
 #include "bt/phase_neighbors.hpp"
 #include "obs/trace.hpp"
 
@@ -12,6 +13,9 @@ void run_shake(RoundContext& ctx) {
   }
   const auto threshold = static_cast<std::size_t>(
       config.shake.completion_fraction * static_cast<double>(config.num_pieces));
+  // Fault tap (test-only): shaken peers clear their own sets but stay in
+  // their old partners' sets.
+  const bool skip_cleanup = fault::enabled(fault::Fault::kSkipShakeCleanup);
   for (const PeerId id : ctx.store.live()) {
     if (!ctx.store.is_live(id)) {
       continue;
@@ -23,12 +27,14 @@ void run_shake(RoundContext& ctx) {
     // Drop the whole neighbor set (and with it all connections)...
     std::vector<PeerId>& old_neighbors = ctx.state.scratch_ids;
     old_neighbors = p.neighbors.as_vector();
-    for (const PeerId nb : old_neighbors) {
-      if (ctx.store.exists(nb)) {
-        Peer& q = ctx.store.get(nb);
-        q.neighbors.erase(id);
-        q.connections.erase(id);
-        q.inflight.erase(id);
+    if (!skip_cleanup) {
+      for (const PeerId nb : old_neighbors) {
+        if (ctx.store.exists(nb)) {
+          Peer& q = ctx.store.get(nb);
+          q.neighbors.erase(id);
+          q.connections.erase(id);
+          q.inflight.erase(id);
+        }
       }
     }
     p.neighbors.clear();

@@ -3,6 +3,7 @@
 #include <span>
 #include <utility>
 
+#include "bt/fault.hpp"
 #include "bt/piece_selection.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
@@ -25,12 +26,16 @@ bool ensure_inflight(RoundContext& ctx, Peer& down, const Peer& up) {
   }
   // Select a new target: the uploader holds it, the downloader lacks it,
   // and it is not already in flight from another connection.
+  // Fault tap (test-only): admit pieces already in flight elsewhere.
+  const bool allow_duplicate = fault::enabled(fault::Fault::kDuplicateInflightPiece);
   std::vector<PieceIndex>& candidates = ctx.state.scratch_pieces;
   candidates.clear();
   up.pieces.for_each_missing_from(down.pieces, [&](PieceIndex piece) {
-    for (const auto& [partner, flight] : down.inflight) {
-      if (flight.piece == piece) {
-        return;
+    if (!allow_duplicate) {
+      for (const auto& [partner, flight] : down.inflight) {
+        if (flight.piece == piece) {
+          return;
+        }
       }
     }
     candidates.push_back(piece);

@@ -13,6 +13,7 @@
 #include "util/assert.hpp"
 
 #include <iterator>
+#include <string>
 
 #ifdef MPBT_PHASE_TIMING
 #include <chrono>
@@ -118,6 +119,16 @@ PhaseTimer g_phase_timer;
 
 }  // namespace
 
+void PhaseObserver::on_round_end(const Swarm& /*swarm*/, Round /*round*/) {}
+
+std::size_t Swarm::num_phases() { return kNumPhases; }
+
+std::string_view Swarm::phase_name(std::size_t phase_index) {
+  util::throw_if_out_of_range(phase_index >= kNumPhases,
+                              "Swarm::phase_name: phase index out of range");
+  return kPhases[phase_index].name;
+}
+
 void Swarm::step() {
   RoundContext ctx = make_context();
   for (std::size_t i = 0; i < kNumPhases; ++i) {
@@ -130,6 +141,12 @@ void Swarm::step() {
 #else
     kPhases[i].run(ctx);
 #endif
+    if (observer_ != nullptr) {
+      observer_->on_phase_end(*this, kPhases[i].name, i);
+    }
+  }
+  if (observer_ != nullptr) {
+    observer_->on_round_end(*this, round_);
   }
   ++round_;
 }
@@ -143,37 +160,59 @@ void Swarm::run_rounds(Round rounds) {
 double Swarm::entropy() const { return swarm_entropy(piece_counts_); }
 
 void Swarm::check_invariants() const {
+  // Every message carries round / seed / peer ids, so a CI failure log is
+  // enough to reproduce the run locally (rebuild the config with this
+  // seed and step() to the reported round).
+  const auto at = [this](std::string_view what, PeerId peer,
+                         PeerId partner = kNoPeer) {
+    std::string msg;
+    msg.reserve(96);
+    msg.append(what).append(" [round=").append(std::to_string(round_));
+    msg.append(" seed=").append(std::to_string(config_.seed));
+    if (peer != kNoPeer) {
+      msg.append(" peer=").append(std::to_string(peer));
+    }
+    if (partner != kNoPeer) {
+      msg.append(" partner=").append(std::to_string(partner));
+    }
+    msg.push_back(']');
+    return msg;
+  };
   std::vector<std::uint32_t> recount(config_.num_pieces, 0);
   for (const PeerId id : store_.live()) {
-    MPBT_ASSERT_MSG(store_.is_live(id), "live list contains departed peer");
+    MPBT_ASSERT_MSG(store_.is_live(id), at("live list contains departed peer", id));
     const Peer& p = store_.get(id);
-    MPBT_ASSERT_MSG(p.id == id, "peer id mismatch");
+    MPBT_ASSERT_MSG(p.id == id, at("peer id mismatch", id));
     p.pieces.for_each_held([&recount](PieceIndex piece) { ++recount[piece]; });
     for (const PeerId nb : p.neighbors.as_vector()) {
-      MPBT_ASSERT_MSG(nb != id, "peer is its own neighbor");
-      MPBT_ASSERT_MSG(is_live(nb), "neighbor set contains departed peer");
+      MPBT_ASSERT_MSG(nb != id, at("peer is its own neighbor", id));
+      MPBT_ASSERT_MSG(is_live(nb), at("neighbor set contains departed peer", id, nb));
       MPBT_ASSERT_MSG(store_.get(nb).neighbors.contains(id),
-                      "neighbor relation not symmetric");
+                      at("neighbor relation not symmetric", id, nb));
     }
     for (const PeerId c : p.connections.as_vector()) {
-      MPBT_ASSERT_MSG(p.neighbors.contains(c), "connection to non-neighbor");
+      MPBT_ASSERT_MSG(p.neighbors.contains(c), at("connection to non-neighbor", id, c));
       MPBT_ASSERT_MSG(store_.get(c).connections.contains(id),
-                      "connection not symmetric");
+                      at("connection not symmetric", id, c));
     }
     for (const auto& [partner, flight] : p.inflight) {
-      MPBT_ASSERT_MSG(p.connections.contains(partner), "in-flight piece on dead connection");
-      MPBT_ASSERT_MSG(!p.pieces.test(flight.piece), "in-flight piece already held");
+      MPBT_ASSERT_MSG(p.connections.contains(partner),
+                      at("in-flight piece on dead connection", id, partner));
+      MPBT_ASSERT_MSG(!p.pieces.test(flight.piece),
+                      at("in-flight piece already held", id, partner));
       MPBT_ASSERT_MSG(flight.blocks_done < config_.blocks_per_piece,
-                      "in-flight piece should have completed");
+                      at("in-flight piece should have completed", id, partner));
     }
     if (p.is_leecher()) {
       MPBT_ASSERT_MSG(p.connections.size() <= config_.max_connections,
-                      "connection count exceeds k");
+                      at("connection count exceeds k", id));
     }
   }
   for (PieceIndex piece = 0; piece < config_.num_pieces; ++piece) {
     MPBT_ASSERT_MSG(recount[piece] == piece_counts_[piece],
-                    "replication degree counter out of sync");
+                    at("replication degree counter out of sync for piece " +
+                           std::to_string(piece),
+                       kNoPeer));
   }
 }
 

@@ -22,6 +22,8 @@
 // The simulation is fully deterministic for a given SwarmConfig::seed.
 #pragma once
 
+#include <cstddef>
+#include <string_view>
 #include <vector>
 
 #include "bt/config.hpp"
@@ -36,6 +38,30 @@ class TraceRecorder;
 }
 
 namespace mpbt::bt {
+
+class Swarm;
+
+/// Between-phase observation hook, mirroring des::EngineObserver for the
+/// round-synchronous simulator: the swarm has no event queue, so the
+/// observable unit is the phase boundary instead of the event execution.
+/// Observers must be read-only (the Swarm reference is const) and must
+/// draw no randomness — results are bit-identical with an observer
+/// attached or not; the detached path is one branch on a nullptr.
+/// src/check hangs its InvariantSuite off this hook.
+class PhaseObserver {
+ public:
+  virtual ~PhaseObserver() = default;
+
+  /// Called after phase `phase_index` (named `phase`) of a step() has run
+  /// and before the next phase starts. `phase` outlives the swarm (it
+  /// points at the static phase table).
+  virtual void on_phase_end(const Swarm& swarm, std::string_view phase,
+                            std::size_t phase_index) = 0;
+
+  /// Called once per step() after the final phase, while swarm.round()
+  /// still reports the round just executed.
+  virtual void on_round_end(const Swarm& swarm, Round round);
+};
 
 class Swarm {
  public:
@@ -83,6 +109,21 @@ class Swarm {
   void set_trace_recorder(obs::TraceRecorder* trace) { trace_ = trace; }
   obs::TraceRecorder* trace_recorder() const { return trace_; }
 
+  /// Attaches (or detaches, with nullptr) a between-phase observer. Like
+  /// tracing, observation is strictly read-only and draws no randomness.
+  /// Off by default — benches and production runs pay one nullptr branch
+  /// per phase.
+  void set_phase_observer(PhaseObserver* observer) { observer_ = observer; }
+  PhaseObserver* phase_observer() const { return observer_; }
+
+  /// The static round schedule, for observers that gate work by phase.
+  static std::size_t num_phases();
+  static std::string_view phase_name(std::size_t phase_index);
+
+  /// Direct read access to the peer store (live list, slots, positions)
+  /// for structural introspection by src/check.
+  const PeerStore& store() const { return store_; }
+
   /// Marks the next arriving peer for detailed per-round trace recording.
   void instrument_next_arrival() { instrument_next_ = true; }
 
@@ -117,6 +158,8 @@ class Swarm {
   bool instrument_next_ = false;
   /// Structured event trace; null = tracing disabled (the common case).
   obs::TraceRecorder* trace_ = nullptr;
+  /// Between-phase hook; null = no observation (the common case).
+  PhaseObserver* observer_ = nullptr;
 
   /// Cross-phase working state and reusable scratch buffers.
   RoundState state_;

@@ -1,0 +1,318 @@
+#include "check/case_spec.hpp"
+
+#include <stdexcept>
+
+#include "bt/fault.hpp"
+#include "exp/seed_stream.hpp"
+#include "numeric/rng.hpp"
+
+namespace mpbt::check {
+
+namespace {
+
+constexpr std::string_view kSchema = "mpbt-fuzz-case-v1";
+
+/// 64-bit seeds are serialized as decimal strings: JSON numbers are
+/// doubles, which silently lose the low bits of any seed above 2^53 —
+/// and a seed that is off by one bit replays a different universe.
+report::Json u64_json(std::uint64_t v) { return report::Json(std::to_string(v)); }
+
+std::uint64_t u64_field(const report::Json& json, std::string_view key,
+                        std::uint64_t fallback) {
+  const report::Json* v = json.find(key);
+  if (v == nullptr) {
+    return fallback;
+  }
+  if (v->is_string()) {
+    return std::stoull(v->as_string());
+  }
+  return static_cast<std::uint64_t>(v->as_number());
+}
+
+std::uint32_t u32_field(const report::Json& json, std::string_view key,
+                        std::uint32_t fallback) {
+  return static_cast<std::uint32_t>(
+      json.number_or(key, static_cast<double>(fallback)));
+}
+
+bool bool_field(const report::Json& json, std::string_view key, bool fallback) {
+  const report::Json* v = json.find(key);
+  return v == nullptr ? fallback : v->as_bool();
+}
+
+}  // namespace
+
+std::string_view piece_selection_name(bt::PieceSelection v) {
+  switch (v) {
+    case bt::PieceSelection::RarestFirst:
+      return "rarest-first";
+    case bt::PieceSelection::Random:
+      return "random";
+    case bt::PieceSelection::RandomFirstThenRarest:
+      return "random-first-then-rarest";
+  }
+  return "?";
+}
+
+std::string_view availability_scope_name(bt::AvailabilityScope v) {
+  switch (v) {
+    case bt::AvailabilityScope::Global:
+      return "global";
+    case bt::AvailabilityScope::NeighborSet:
+      return "neighbor-set";
+  }
+  return "?";
+}
+
+std::string_view tracker_policy_name(bt::TrackerPolicy v) {
+  switch (v) {
+    case bt::TrackerPolicy::UniformRandom:
+      return "uniform-random";
+    case bt::TrackerPolicy::BootstrapBias:
+      return "bootstrap-bias";
+    case bt::TrackerPolicy::StatusClustered:
+      return "status-clustered";
+  }
+  return "?";
+}
+
+std::string_view choke_algorithm_name(bt::ChokeAlgorithm v) {
+  switch (v) {
+    case bt::ChokeAlgorithm::RandomMatching:
+      return "random-matching";
+    case bt::ChokeAlgorithm::RateBased:
+      return "rate-based";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename Enum>
+Enum enum_from_name(std::string_view name, std::string_view (*to_name)(Enum),
+                    std::initializer_list<Enum> values, const char* what) {
+  for (const Enum v : values) {
+    if (to_name(v) == name) {
+      return v;
+    }
+  }
+  throw std::invalid_argument(std::string("unknown ") + what + " name: " +
+                              std::string(name));
+}
+
+}  // namespace
+
+bt::PieceSelection piece_selection_from_name(std::string_view name) {
+  return enum_from_name(name, piece_selection_name,
+                        {bt::PieceSelection::RarestFirst, bt::PieceSelection::Random,
+                         bt::PieceSelection::RandomFirstThenRarest},
+                        "piece selection");
+}
+
+bt::AvailabilityScope availability_scope_from_name(std::string_view name) {
+  return enum_from_name(
+      name, availability_scope_name,
+      {bt::AvailabilityScope::Global, bt::AvailabilityScope::NeighborSet},
+      "availability scope");
+}
+
+bt::TrackerPolicy tracker_policy_from_name(std::string_view name) {
+  return enum_from_name(name, tracker_policy_name,
+                        {bt::TrackerPolicy::UniformRandom,
+                         bt::TrackerPolicy::BootstrapBias,
+                         bt::TrackerPolicy::StatusClustered},
+                        "tracker policy");
+}
+
+bt::ChokeAlgorithm choke_algorithm_from_name(std::string_view name) {
+  return enum_from_name(
+      name, choke_algorithm_name,
+      {bt::ChokeAlgorithm::RandomMatching, bt::ChokeAlgorithm::RateBased},
+      "choke algorithm");
+}
+
+CaseSpec random_case(std::uint64_t base_seed, std::uint64_t index, bool quick) {
+  // One generator for the config point, a separate derived seed for the
+  // run itself: shrinking mutates the point without touching the seed.
+  numeric::Rng rng(exp::derive_seed(base_seed, index));
+  const auto u32 = [&rng](std::uint32_t lo, std::uint32_t hi) {
+    return static_cast<std::uint32_t>(
+        rng.uniform_int(static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi)));
+  };
+
+  CaseSpec c;
+  c.base_seed = base_seed;
+  c.index = index;
+  c.seed = exp::derive_seed(base_seed, index, 1);
+
+  c.rounds = u32(4, quick ? 24 : 120);
+  c.num_pieces = u32(1, quick ? 24 : 120);
+  c.max_connections = u32(1, 8);
+  c.peer_set_size = u32(2, quick ? 16 : 50);
+  c.initial_seeds = u32(0, 3);
+  c.seed_capacity = u32(0, 8);
+  c.initial_leechers = u32(0, quick ? 24 : 100);
+  c.warm_prob = rng.bernoulli(0.5) ? rng.uniform(0.05, 0.9) : 0.0;
+  c.arrival_rate = rng.uniform(0.0, quick ? 2.0 : 4.0);
+  c.abort_rate = rng.bernoulli(0.3) ? rng.uniform(0.0, 0.1) : 0.0;
+  c.optimistic_unchoke_prob = rng.uniform01();
+  c.connect_success_prob = rng.uniform(0.3, 1.0);
+  c.seeds_serve_all = rng.bernoulli(0.5);
+  c.handshake_delay = rng.bernoulli(0.5);
+  c.shake_enabled = rng.bernoulli(0.3);
+  c.shake_fraction = rng.uniform(0.3, 1.0);
+  c.seed_linger_rounds = rng.bernoulli(0.5) ? u32(1, 6) : 0;
+  c.blocks_per_piece = rng.bernoulli(0.3) ? u32(2, 8) : 1;
+  c.reannounce_interval = rng.bernoulli(0.3) ? u32(1, 8) : 0;
+  c.arrival_cutoff_round = rng.bernoulli(0.2) ? u32(1, c.rounds) : 0;
+  c.max_population = rng.bernoulli(0.2) ? u32(4, 64) : 0;
+  c.piece_selection = static_cast<bt::PieceSelection>(u32(0, 2));
+  c.availability_scope = static_cast<bt::AvailabilityScope>(u32(0, 1));
+  c.tracker_policy = static_cast<bt::TrackerPolicy>(u32(0, 2));
+  c.choke_algorithm = static_cast<bt::ChokeAlgorithm>(u32(0, 1));
+  return c;
+}
+
+bt::SwarmConfig to_config(const CaseSpec& spec) {
+  bt::SwarmConfig config;
+  config.num_pieces = spec.num_pieces;
+  config.max_connections = spec.max_connections;
+  config.peer_set_size = spec.peer_set_size;
+  config.initial_seeds = spec.initial_seeds;
+  config.seed_capacity = spec.seed_capacity;
+  config.arrival_rate = spec.arrival_rate;
+  config.abort_rate = spec.abort_rate;
+  config.optimistic_unchoke_prob = spec.optimistic_unchoke_prob;
+  config.connect_success_prob = spec.connect_success_prob;
+  config.seeds_serve_all = spec.seeds_serve_all;
+  config.handshake_delay = spec.handshake_delay;
+  config.shake.enabled = spec.shake_enabled;
+  config.shake.completion_fraction = spec.shake_fraction;
+  config.seed_linger_rounds = spec.seed_linger_rounds;
+  config.blocks_per_piece = spec.blocks_per_piece;
+  config.reannounce_interval = spec.reannounce_interval;
+  config.arrival_cutoff_round = spec.arrival_cutoff_round;
+  config.max_population = spec.max_population;
+  config.piece_selection = spec.piece_selection;
+  config.availability_scope = spec.availability_scope;
+  config.tracker_policy = spec.tracker_policy;
+  config.choke_algorithm = spec.choke_algorithm;
+  config.seed = spec.seed;
+  if (spec.initial_leechers > 0) {
+    bt::InitialGroup group;
+    group.count = spec.initial_leechers;
+    if (spec.warm_prob > 0.0) {
+      group.piece_probs.assign(spec.num_pieces, spec.warm_prob);
+    }
+    config.initial_groups.push_back(std::move(group));
+  }
+  config.validate();
+  return config;
+}
+
+report::Json to_json(const CaseSpec& spec) {
+  report::Json json = report::Json::object();
+  json.set("schema", report::Json(kSchema));
+  json.set("base_seed", u64_json(spec.base_seed));
+  json.set("index", u64_json(spec.index));
+  json.set("seed", u64_json(spec.seed));
+  json.set("rounds", report::Json(static_cast<double>(spec.rounds)));
+  json.set("num_pieces", report::Json(static_cast<double>(spec.num_pieces)));
+  json.set("max_connections", report::Json(static_cast<double>(spec.max_connections)));
+  json.set("peer_set_size", report::Json(static_cast<double>(spec.peer_set_size)));
+  json.set("initial_seeds", report::Json(static_cast<double>(spec.initial_seeds)));
+  json.set("seed_capacity", report::Json(static_cast<double>(spec.seed_capacity)));
+  json.set("initial_leechers",
+           report::Json(static_cast<double>(spec.initial_leechers)));
+  json.set("warm_prob", report::Json(spec.warm_prob));
+  json.set("arrival_rate", report::Json(spec.arrival_rate));
+  json.set("abort_rate", report::Json(spec.abort_rate));
+  json.set("optimistic_unchoke_prob", report::Json(spec.optimistic_unchoke_prob));
+  json.set("connect_success_prob", report::Json(spec.connect_success_prob));
+  json.set("seeds_serve_all", report::Json(spec.seeds_serve_all));
+  json.set("handshake_delay", report::Json(spec.handshake_delay));
+  json.set("shake_enabled", report::Json(spec.shake_enabled));
+  json.set("shake_fraction", report::Json(spec.shake_fraction));
+  json.set("seed_linger_rounds",
+           report::Json(static_cast<double>(spec.seed_linger_rounds)));
+  json.set("blocks_per_piece",
+           report::Json(static_cast<double>(spec.blocks_per_piece)));
+  json.set("reannounce_interval",
+           report::Json(static_cast<double>(spec.reannounce_interval)));
+  json.set("arrival_cutoff_round",
+           report::Json(static_cast<double>(spec.arrival_cutoff_round)));
+  json.set("max_population", report::Json(static_cast<double>(spec.max_population)));
+  json.set("piece_selection", report::Json(piece_selection_name(spec.piece_selection)));
+  json.set("availability_scope",
+           report::Json(availability_scope_name(spec.availability_scope)));
+  json.set("tracker_policy", report::Json(tracker_policy_name(spec.tracker_policy)));
+  json.set("choke_algorithm",
+           report::Json(choke_algorithm_name(spec.choke_algorithm)));
+  json.set("fault", report::Json(spec.fault));
+  if (!spec.expect_violation.empty()) {
+    json.set("expect_violation", report::Json(spec.expect_violation));
+  }
+  return json;
+}
+
+CaseSpec case_from_json(const report::Json& json) {
+  const std::string schema = json.string_or("schema", std::string(kSchema));
+  if (schema != kSchema) {
+    throw std::runtime_error("unsupported fuzz case schema: " + schema);
+  }
+  CaseSpec c;
+  c.base_seed = u64_field(json, "base_seed", c.base_seed);
+  c.index = u64_field(json, "index", c.index);
+  c.seed = u64_field(json, "seed", c.seed);
+  c.rounds = u32_field(json, "rounds", c.rounds);
+  c.num_pieces = u32_field(json, "num_pieces", c.num_pieces);
+  c.max_connections = u32_field(json, "max_connections", c.max_connections);
+  c.peer_set_size = u32_field(json, "peer_set_size", c.peer_set_size);
+  c.initial_seeds = u32_field(json, "initial_seeds", c.initial_seeds);
+  c.seed_capacity = u32_field(json, "seed_capacity", c.seed_capacity);
+  c.initial_leechers = u32_field(json, "initial_leechers", c.initial_leechers);
+  c.warm_prob = json.number_or("warm_prob", c.warm_prob);
+  c.arrival_rate = json.number_or("arrival_rate", c.arrival_rate);
+  c.abort_rate = json.number_or("abort_rate", c.abort_rate);
+  c.optimistic_unchoke_prob =
+      json.number_or("optimistic_unchoke_prob", c.optimistic_unchoke_prob);
+  c.connect_success_prob =
+      json.number_or("connect_success_prob", c.connect_success_prob);
+  c.seeds_serve_all = bool_field(json, "seeds_serve_all", c.seeds_serve_all);
+  c.handshake_delay = bool_field(json, "handshake_delay", c.handshake_delay);
+  c.shake_enabled = bool_field(json, "shake_enabled", c.shake_enabled);
+  c.shake_fraction = json.number_or("shake_fraction", c.shake_fraction);
+  c.seed_linger_rounds = u32_field(json, "seed_linger_rounds", c.seed_linger_rounds);
+  c.blocks_per_piece = u32_field(json, "blocks_per_piece", c.blocks_per_piece);
+  c.reannounce_interval =
+      u32_field(json, "reannounce_interval", c.reannounce_interval);
+  c.arrival_cutoff_round =
+      u32_field(json, "arrival_cutoff_round", c.arrival_cutoff_round);
+  c.max_population = u32_field(json, "max_population", c.max_population);
+  c.piece_selection = piece_selection_from_name(json.string_or(
+      "piece_selection", std::string(piece_selection_name(c.piece_selection))));
+  c.availability_scope = availability_scope_from_name(json.string_or(
+      "availability_scope",
+      std::string(availability_scope_name(c.availability_scope))));
+  c.tracker_policy = tracker_policy_from_name(json.string_or(
+      "tracker_policy", std::string(tracker_policy_name(c.tracker_policy))));
+  c.choke_algorithm = choke_algorithm_from_name(json.string_or(
+      "choke_algorithm", std::string(choke_algorithm_name(c.choke_algorithm))));
+  c.fault = json.string_or("fault", c.fault);
+  bt::fault::fault_from_name(c.fault);  // validate early, not inside the run
+  c.expect_violation = json.string_or("expect_violation", "");
+  return c;
+}
+
+CaseSpec load_case_spec(const std::string& path) {
+  const report::Json json = report::Json::load_file(path);
+  if (const report::Json* shrunk = json.find("shrunk")) {
+    return case_from_json(*shrunk);
+  }
+  if (const report::Json* nested = json.find("case")) {
+    return case_from_json(*nested);
+  }
+  return case_from_json(json);
+}
+
+}  // namespace mpbt::check

@@ -1,0 +1,105 @@
+// Replayable fuzz case specifications.
+//
+// A CaseSpec is the complete, self-contained description of one fuzz
+// case: every SwarmConfig field the fuzzer randomizes, the number of
+// rounds to run, the derived RNG seed, and (for regression cases) the
+// armed fault plus the invariant the case is expected to violate. Specs
+// serialize to the "mpbt-fuzz-case-v1" JSON dialect (docs/FUZZING.md
+// documents the schema), so any case — freshly generated, shrunk, or
+// pasted from a CI log — replays bit-identically via
+// `mpbt_fuzz --replay=case.json`.
+//
+// Generation is deterministic: random_case(base, index) draws the
+// config point from an Rng seeded with exp::derive_seed(base, index),
+// and the run seed is exp::derive_seed(base, index, 1) — so case i of a
+// fuzz campaign is the same config and the same run for any --jobs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bt/config.hpp"
+#include "report/json.hpp"
+
+namespace mpbt::check {
+
+struct CaseSpec {
+  /// Identity within the fuzz campaign that generated the case.
+  std::uint64_t base_seed = 42;
+  std::uint64_t index = 0;
+  /// The SwarmConfig seed actually used (derive_seed(base, index, 1) for
+  /// generated cases; preserved verbatim through shrinking and replay).
+  std::uint64_t seed = 42;
+
+  /// Rounds to run with invariants attached.
+  std::uint32_t rounds = 20;
+
+  // Randomized SwarmConfig point (paper notation: B, k, s).
+  std::uint32_t num_pieces = 20;
+  std::uint32_t max_connections = 4;
+  std::uint32_t peer_set_size = 10;
+  std::uint32_t initial_seeds = 1;
+  std::uint32_t seed_capacity = 4;
+  std::uint32_t initial_leechers = 10;
+  /// Uniform per-piece holding probability of the initial leecher group
+  /// (0 = everyone starts empty).
+  double warm_prob = 0.0;
+  double arrival_rate = 1.0;
+  double abort_rate = 0.0;
+  double optimistic_unchoke_prob = 0.5;
+  double connect_success_prob = 0.9;
+  bool seeds_serve_all = false;
+  bool handshake_delay = true;
+  bool shake_enabled = false;
+  double shake_fraction = 0.9;
+  std::uint32_t seed_linger_rounds = 0;
+  std::uint32_t blocks_per_piece = 1;
+  std::uint32_t reannounce_interval = 0;
+  std::uint32_t arrival_cutoff_round = 0;
+  std::uint32_t max_population = 0;
+  bt::PieceSelection piece_selection = bt::PieceSelection::RandomFirstThenRarest;
+  bt::AvailabilityScope availability_scope = bt::AvailabilityScope::Global;
+  bt::TrackerPolicy tracker_policy = bt::TrackerPolicy::UniformRandom;
+  bt::ChokeAlgorithm choke_algorithm = bt::ChokeAlgorithm::RandomMatching;
+
+  /// Fault armed for the run (bt::fault name; "none" for clean fuzzing).
+  std::string fault = "none";
+  /// Invariant this case is expected to violate ("" = expected clean).
+  /// Recorded by the fuzzer when a failure is captured, so replaying a
+  /// regression case can verify the SAME violation still reproduces.
+  std::string expect_violation;
+
+  friend bool operator==(const CaseSpec&, const CaseSpec&) = default;
+};
+
+/// Deterministically generates case `index` of the campaign rooted at
+/// `base_seed`. Quick mode draws from smaller ranges (fewer peers,
+/// pieces and rounds) so hundreds of cases finish within a CI smoke
+/// budget; the spec records the concrete values, so replay does not
+/// depend on the quick flag.
+CaseSpec random_case(std::uint64_t base_seed, std::uint64_t index, bool quick);
+
+/// Materializes the spec as a validated SwarmConfig.
+bt::SwarmConfig to_config(const CaseSpec& spec);
+
+/// JSON round-trip ("mpbt-fuzz-case-v1").
+report::Json to_json(const CaseSpec& spec);
+CaseSpec case_from_json(const report::Json& json);
+
+/// Loads a spec from a file holding either a bare case object or a
+/// fuzzer failure record (which nests the case under "shrunk"/"case";
+/// "shrunk" wins when both are present). Throws std::runtime_error on
+/// malformed input.
+CaseSpec load_case_spec(const std::string& path);
+
+// Enum <-> stable string names (used by the JSON dialect and the CLI).
+std::string_view piece_selection_name(bt::PieceSelection v);
+std::string_view availability_scope_name(bt::AvailabilityScope v);
+std::string_view tracker_policy_name(bt::TrackerPolicy v);
+std::string_view choke_algorithm_name(bt::ChokeAlgorithm v);
+bt::PieceSelection piece_selection_from_name(std::string_view name);
+bt::AvailabilityScope availability_scope_from_name(std::string_view name);
+bt::TrackerPolicy tracker_policy_from_name(std::string_view name);
+bt::ChokeAlgorithm choke_algorithm_from_name(std::string_view name);
+
+}  // namespace mpbt::check

@@ -1,0 +1,99 @@
+#include "check/fuzzer.hpp"
+
+#include <bit>
+#include <mutex>
+#include <utility>
+
+#include "bt/fault.hpp"
+#include "bt/swarm.hpp"
+#include "exp/thread_pool.hpp"
+
+namespace mpbt::check {
+
+std::uint64_t fnv1a64(std::uint64_t hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xffULL;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+CaseResult run_case(const CaseSpec& spec, std::uint64_t stride, bool deep) {
+  CaseResult result;
+  result.spec = spec;
+
+  InvariantOptions options;
+  options.stride = stride;
+  options.deep = deep;
+  options.context = "case base_seed=" + std::to_string(spec.base_seed) +
+                    " index=" + std::to_string(spec.index) +
+                    " fault=" + spec.fault;
+  InvariantSuite suite(options);
+
+  bt::Swarm swarm(to_config(spec));
+  swarm.set_phase_observer(&suite);
+
+  // Armed for the whole run, including construction-adjacent round 0
+  // phases; restored on every exit path. thread_local, so parallel
+  // cases never see each other's faults.
+  const bt::fault::ScopedFault guard(bt::fault::fault_from_name(spec.fault));
+
+  std::uint64_t hash = 14695981039346656037ULL;
+  try {
+    suite.check_all(swarm);  // initial state must already be coherent
+    for (std::uint32_t r = 0; r < spec.rounds; ++r) {
+      swarm.step();
+      std::uint64_t bytes = 0;
+      for (const bt::PeerId id : swarm.live_peers()) {
+        bytes += swarm.peer(id).bytes_downloaded;
+      }
+      hash = fnv1a64(hash, swarm.population());
+      hash = fnv1a64(hash, swarm.metrics().completed_count());
+      hash = fnv1a64(hash, std::bit_cast<std::uint64_t>(swarm.entropy()));
+      hash = fnv1a64(hash, bytes);
+      ++result.rounds_run;
+    }
+  } catch (const InvariantViolation& violation) {
+    result.ok = false;
+    result.invariant = violation.invariant();
+    result.message = violation.what();
+    result.violation_round = violation.round();
+  }
+  result.fingerprint = hash;
+  result.checks_run = suite.checks_run();
+  return result;
+}
+
+FuzzSummary run_fuzz(const FuzzOptions& options) {
+  // Validate once, up front, instead of once per worker task.
+  bt::fault::fault_from_name(options.fault);
+
+  FuzzSummary summary;
+  summary.results.resize(options.num_cases);
+
+  std::mutex progress_mutex;
+  std::size_t completed = 0;
+
+  exp::ThreadPool pool(options.jobs);
+  exp::parallel_for_each(pool, options.num_cases, [&](std::size_t i) {
+    CaseSpec spec = random_case(options.base_seed, i, options.quick);
+    spec.fault = options.fault;
+    summary.results[i] = run_case(spec, options.stride, options.deep);
+    if (options.progress) {
+      const std::lock_guard<std::mutex> lock(progress_mutex);
+      options.progress(++completed, options.num_cases);
+    }
+  });
+
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const CaseResult& result : summary.results) {
+    hash = fnv1a64(hash, result.fingerprint);
+    if (!result.ok) {
+      ++summary.failures;
+    }
+  }
+  summary.campaign_fingerprint = hash;
+  return summary;
+}
+
+}  // namespace mpbt::check

@@ -1,0 +1,83 @@
+// Randomized scenario fuzzing with invariants enabled.
+//
+// run_case() executes one CaseSpec under a fresh Swarm with an
+// InvariantSuite attached (and the spec's fault armed), converting any
+// InvariantViolation into a structured CaseResult instead of letting it
+// propagate. run_fuzz() fans a campaign of deterministically generated
+// cases across an exp::ThreadPool; results are indexed by case, and the
+// campaign fingerprint folds per-case fingerprints in index order, so
+// the summary is bit-identical for any --jobs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bt/types.hpp"
+#include "check/case_spec.hpp"
+#include "check/invariants.hpp"
+
+namespace mpbt::check {
+
+/// Outcome of one fuzz case.
+struct CaseResult {
+  CaseSpec spec;
+  /// True when the run completed every round invariant-clean.
+  bool ok = true;
+  /// Violated invariant name ("" when ok).
+  std::string invariant;
+  /// Full violation message (round, phase, peers, seed, context).
+  std::string message;
+  /// Round during which the violation was detected (0-based).
+  bt::Round violation_round = 0;
+  /// Rounds fully completed before the run ended.
+  std::uint64_t rounds_run = 0;
+  /// Invariant evaluations performed.
+  std::uint64_t checks_run = 0;
+  /// FNV-1a over the per-round (population, completed, entropy, bytes)
+  /// tuples of the completed rounds — the jobs-invariance witness.
+  std::uint64_t fingerprint = 0;
+};
+
+/// Runs one case to completion (or first violation). `stride`/`deep`
+/// configure the attached InvariantSuite; the suite context records the
+/// case identity so violation messages are self-reproducing.
+CaseResult run_case(const CaseSpec& spec, std::uint64_t stride = 1,
+                    bool deep = false);
+
+struct FuzzOptions {
+  std::uint64_t base_seed = 42;
+  std::uint64_t num_cases = 100;
+  /// Worker threads (clamped to >= 1). Never affects any result value.
+  std::size_t jobs = 1;
+  /// Smaller config ranges, sized for a CI smoke budget.
+  bool quick = false;
+  std::uint64_t stride = 1;
+  bool deep = false;
+  /// Fault armed in EVERY generated case ("none" for clean fuzzing).
+  std::string fault = "none";
+  /// Optional progress hook, invoked once per finished case with the
+  /// number of cases completed so far. Called from worker threads
+  /// (serialized by the fuzzer); must not touch any result value.
+  std::function<void(std::size_t completed, std::size_t total)> progress;
+};
+
+struct FuzzSummary {
+  /// One entry per case, indexed by case index regardless of jobs.
+  std::vector<CaseResult> results;
+  std::size_t failures = 0;
+  /// FNV-1a fold of per-case fingerprints in index order (failed cases
+  /// contribute their partial fingerprint, so the value is still total).
+  std::uint64_t campaign_fingerprint = 0;
+};
+
+/// Runs the campaign. Throws only on infrastructure errors (bad fault
+/// name, invalid generated config); invariant violations are captured
+/// per case.
+FuzzSummary run_fuzz(const FuzzOptions& options);
+
+/// FNV-1a 64-bit fold helper shared by the fuzzer and tests.
+std::uint64_t fnv1a64(std::uint64_t hash, std::uint64_t value);
+
+}  // namespace mpbt::check

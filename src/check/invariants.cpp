@@ -1,0 +1,561 @@
+#include "check/invariants.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bt/peer.hpp"
+#include "bt/peer_store.hpp"
+#include "bt/tracker.hpp"
+#include "obs/trace.hpp"
+
+namespace mpbt::check {
+
+namespace {
+
+// Phase-window boundaries, resolved against the swarm's static schedule
+// once at load time (the schedule is a compile-time table, so these are
+// stable for the process lifetime).
+std::size_t phase_index_of(std::string_view name) {
+  for (std::size_t i = 0; i < bt::Swarm::num_phases(); ++i) {
+    if (bt::Swarm::phase_name(i) == name) {
+      return i;
+    }
+  }
+  throw std::logic_error("InvariantSuite: unknown phase in round schedule: " +
+                         std::string(name));
+}
+
+struct PhaseWindows {
+  std::size_t rebuild_potential = phase_index_of("rebuild_potential");
+  std::size_t seed_service = phase_index_of("seed_service");
+  std::size_t completions = phase_index_of("completions");
+  std::size_t record_metrics = phase_index_of("record_metrics");
+};
+
+const PhaseWindows& windows() {
+  static const PhaseWindows w;
+  return w;
+}
+
+/// Mirror of the phase classification used by phase_observe.cpp and
+/// model::classify_phase: 0 = bootstrap, 1 = efficient, 2 = last,
+/// 3 = done, from (n = connections, b = pieces, i = potential).
+std::uint8_t classify(std::uint32_t n, std::uint32_t b, std::uint32_t i,
+                      std::uint32_t num_pieces) {
+  if (b >= num_pieces) {
+    return 3;
+  }
+  if (b == 0 || (b + n <= 1 && i == 0)) {
+    return 0;
+  }
+  if (i == 0 && n == 0) {
+    return 2;
+  }
+  return 1;
+}
+
+}  // namespace
+
+InvariantSuite::InvariantSuite(InvariantOptions options)
+    : options_(std::move(options)) {
+  if (options_.stride == 0) {
+    options_.stride = 1;
+  }
+  (void)windows();  // resolve (and validate) the schedule eagerly
+}
+
+const std::vector<std::string_view>& InvariantSuite::invariant_names() {
+  static const std::vector<std::string_view> kNames = {
+      "live-list",
+      "neighbor-symmetry",
+      "connection-symmetry",
+      "connection-cap",
+      "seed-coherence",
+      "inflight-conservation",
+      "entropy-bounds",
+      "upload-budget",
+      "potential-bounds",
+      "completion-liveness",
+      "piece-counts",
+      "acquisition-ledger",
+      "piece-monotonicity",
+      "phase-sanity",
+      "metrics-coherence",
+      "tracker-coherence",
+  };
+  return kNames;
+}
+
+void InvariantSuite::fail(const bt::Swarm& swarm, std::string_view invariant,
+                          std::string_view what, bt::PeerId peer,
+                          bt::PeerId partner) const {
+  std::string msg;
+  msg.reserve(160);
+  msg.append("invariant '").append(invariant).append("' violated: ").append(what);
+  msg.append(" [round=").append(std::to_string(swarm.round()));
+  msg.append(" phase=").append(current_phase_);
+  if (peer != bt::kNoPeer) {
+    msg.append(" peer=").append(std::to_string(peer));
+  }
+  if (partner != bt::kNoPeer) {
+    msg.append(" partner=").append(std::to_string(partner));
+  }
+  msg.append(" seed=").append(std::to_string(swarm.config().seed));
+  if (!options_.context.empty()) {
+    msg.append(" ").append(options_.context);
+  }
+  msg.push_back(']');
+
+  if (swarm.trace_recorder() != nullptr) {
+    const auto& names = invariant_names();
+    const auto it = std::find(names.begin(), names.end(), invariant);
+    const auto index = static_cast<std::size_t>(it - names.begin());
+    swarm.trace_recorder()->invariant_violation(swarm.round(), peer, partner, index,
+                                                current_phase_index_);
+  }
+  throw InvariantViolation(std::string(invariant), std::move(msg), swarm.round(),
+                           current_phase_);
+}
+
+void InvariantSuite::on_phase_end(const bt::Swarm& swarm, std::string_view phase,
+                                  std::size_t phase_index) {
+  if (swarm.round() % options_.stride != 0) {
+    return;
+  }
+  current_phase_.assign(phase);
+  current_phase_index_ = phase_index;
+  const PhaseWindows& w = windows();
+
+  check_live_list(swarm);
+  check_neighbor_symmetry(swarm);
+  check_connection_symmetry(swarm);
+  check_connection_cap(swarm);
+  check_seed_coherence(swarm);
+  check_inflight_conservation(swarm);
+  check_entropy_bounds(swarm);
+  check_upload_budget(swarm);
+  // Potential sets are rebuilt each round and legitimately go stale once
+  // departures (completions) and shaking start mutating membership.
+  if (phase_index >= w.rebuild_potential && phase_index <= w.seed_service) {
+    check_potential_bounds(swarm);
+  }
+  // Completed leechers either departed or converted to seeds once the
+  // completions phase has run; earlier in the round a finished download
+  // may still be live (e.g. a B=1 bootstrap).
+  if (phase_index >= w.completions) {
+    check_completion_liveness(swarm);
+  }
+  if (options_.deep) {
+    check_piece_counts(swarm);
+    check_acquisition_ledger(swarm);
+  }
+}
+
+void InvariantSuite::on_round_end(const bt::Swarm& swarm, bt::Round round) {
+  if (round % options_.stride != 0) {
+    return;
+  }
+  current_phase_ = "round-end";
+  current_phase_index_ = bt::Swarm::num_phases();
+  if (!options_.deep) {
+    check_piece_counts(swarm);
+    check_acquisition_ledger(swarm);
+  }
+  check_piece_monotonicity(swarm);
+  check_phase_sanity(swarm);
+  check_metrics_coherence(swarm);
+  check_tracker_coherence(swarm);
+}
+
+void InvariantSuite::check_all(const bt::Swarm& swarm) {
+  current_phase_ = "manual";
+  current_phase_index_ = bt::Swarm::num_phases();
+  check_live_list(swarm);
+  check_neighbor_symmetry(swarm);
+  check_connection_symmetry(swarm);
+  check_connection_cap(swarm);
+  check_seed_coherence(swarm);
+  check_inflight_conservation(swarm);
+  check_entropy_bounds(swarm);
+  check_upload_budget(swarm);
+  check_completion_liveness(swarm);
+  check_piece_counts(swarm);
+  check_acquisition_ledger(swarm);
+  check_tracker_coherence(swarm);
+}
+
+void InvariantSuite::reset() {
+  prev_piece_count_.clear();
+  prev_bootstrap_rounds_ = 0;
+  prev_efficient_rounds_ = 0;
+  prev_last_phase_rounds_ = 0;
+  seen_round_ = false;
+  current_phase_ = "attach";
+  current_phase_index_ = 0;
+}
+
+// --- per-phase structural checks -------------------------------------------
+
+void InvariantSuite::check_live_list(const bt::Swarm& swarm) {
+  ++checks_run_;
+  const bt::PeerStore& store = swarm.store();
+  const std::vector<bt::PeerId>& live = store.live();
+  for (std::size_t pos = 0; pos < live.size(); ++pos) {
+    const bt::PeerId id = live[pos];
+    if (!store.exists(id)) {
+      fail(swarm, "live-list", "live list references an unknown id", id);
+    }
+    if (!store.is_live(id)) {
+      fail(swarm, "live-list", "live list contains a departed peer (unswept hole)",
+           id);
+    }
+    if (store.live_position(id) != pos) {
+      fail(swarm, "live-list",
+           "live_position disagrees with the live list (duplicate or stale index)",
+           id);
+    }
+    if (store.get(id).id != id) {
+      fail(swarm, "live-list", "peer slot does not carry its own id", id);
+    }
+  }
+}
+
+void InvariantSuite::check_neighbor_symmetry(const bt::Swarm& swarm) {
+  ++checks_run_;
+  const bt::PeerStore& store = swarm.store();
+  for (const bt::PeerId id : store.live()) {
+    const bt::Peer& p = store.get(id);
+    for (const bt::PeerId nb : p.neighbors.as_vector()) {
+      if (nb == id) {
+        fail(swarm, "neighbor-symmetry", "peer is its own neighbor", id);
+      }
+      if (!store.is_live(nb)) {
+        fail(swarm, "neighbor-symmetry", "neighbor set contains a departed peer", id,
+             nb);
+      }
+      if (!store.get(nb).neighbors.contains(id)) {
+        fail(swarm, "neighbor-symmetry", "neighbor relation is not symmetric", id, nb);
+      }
+    }
+  }
+}
+
+void InvariantSuite::check_connection_symmetry(const bt::Swarm& swarm) {
+  ++checks_run_;
+  const bt::PeerStore& store = swarm.store();
+  for (const bt::PeerId id : store.live()) {
+    const bt::Peer& p = store.get(id);
+    for (const bt::PeerId c : p.connections.as_vector()) {
+      if (!p.neighbors.contains(c)) {
+        fail(swarm, "connection-symmetry", "connection to a non-neighbor", id, c);
+      }
+      if (!store.is_live(c)) {
+        fail(swarm, "connection-symmetry", "connection to a departed peer", id, c);
+      }
+      if (!store.get(c).connections.contains(id)) {
+        fail(swarm, "connection-symmetry", "connection is not symmetric", id, c);
+      }
+    }
+  }
+}
+
+void InvariantSuite::check_connection_cap(const bt::Swarm& swarm) {
+  ++checks_run_;
+  const bt::PeerStore& store = swarm.store();
+  const std::uint32_t k = swarm.config().max_connections;
+  for (const bt::PeerId id : store.live()) {
+    const bt::Peer& p = store.get(id);
+    if (p.is_leecher() && p.connections.size() > k) {
+      fail(swarm, "connection-cap",
+           "connection count " + std::to_string(p.connections.size()) +
+               " exceeds k=" + std::to_string(k),
+           id);
+    }
+  }
+}
+
+void InvariantSuite::check_seed_coherence(const bt::Swarm& swarm) {
+  ++checks_run_;
+  const bt::PeerStore& store = swarm.store();
+  for (const bt::PeerId id : store.live()) {
+    const bt::Peer& p = store.get(id);
+    if (!p.is_seed) {
+      continue;
+    }
+    if (!p.pieces.all()) {
+      fail(swarm, "seed-coherence", "seed does not hold the complete file", id);
+    }
+    if (p.connections.size() != 0) {
+      fail(swarm, "seed-coherence", "seed holds trading connections", id);
+    }
+    if (!p.inflight.empty()) {
+      fail(swarm, "seed-coherence", "seed has in-flight downloads", id);
+    }
+  }
+}
+
+void InvariantSuite::check_inflight_conservation(const bt::Swarm& swarm) {
+  ++checks_run_;
+  const bt::PeerStore& store = swarm.store();
+  const std::uint32_t m = swarm.config().blocks_per_piece;
+  for (const bt::PeerId id : store.live()) {
+    const bt::Peer& p = store.get(id);
+    if (m == 1 && !p.inflight.empty()) {
+      fail(swarm, "inflight-conservation",
+           "in-flight state exists under piece-granular transfer (m=1)", id);
+    }
+    for (const auto& [partner, flight] : p.inflight) {
+      if (!p.connections.contains(partner)) {
+        fail(swarm, "inflight-conservation", "in-flight piece on a dead connection",
+             id, partner);
+      }
+      if (p.pieces.test(flight.piece)) {
+        fail(swarm, "inflight-conservation",
+             "in-flight piece " + std::to_string(flight.piece) + " is already held",
+             id, partner);
+      }
+      if (flight.blocks_done >= m) {
+        fail(swarm, "inflight-conservation",
+             "in-flight piece has all blocks but never completed", id, partner);
+      }
+      for (const auto& [other_partner, other_flight] : p.inflight) {
+        if (other_partner != partner && other_flight.piece == flight.piece) {
+          fail(swarm, "inflight-conservation",
+               "piece " + std::to_string(flight.piece) +
+                   " is in flight from two partners",
+               id, partner);
+        }
+      }
+    }
+  }
+}
+
+void InvariantSuite::check_entropy_bounds(const bt::Swarm& swarm) {
+  ++checks_run_;
+  const double e = swarm.entropy();
+  if (!std::isfinite(e) || e < 0.0 || e > 1.0) {
+    fail(swarm, "entropy-bounds", "entropy " + std::to_string(e) + " outside [0, 1]");
+  }
+}
+
+void InvariantSuite::check_upload_budget(const bt::Swarm& swarm) {
+  ++checks_run_;
+  const bt::PeerStore& store = swarm.store();
+  for (const bt::PeerId id : store.live()) {
+    const bt::Peer& p = store.get(id);
+    if (p.upload_left > p.upload_per_round) {
+      fail(swarm, "upload-budget", "upload budget exceeds the per-round cap", id);
+    }
+  }
+}
+
+void InvariantSuite::check_potential_bounds(const bt::Swarm& swarm) {
+  ++checks_run_;
+  const bt::PeerStore& store = swarm.store();
+  for (const bt::PeerId id : store.live()) {
+    const bt::Peer& p = store.get(id);
+    if (p.is_seed || p.pieces.none()) {
+      if (!p.potential.empty()) {
+        fail(swarm, "potential-bounds",
+             p.is_seed ? "seed has a non-empty potential set"
+                       : "piece-less peer has a non-empty potential set",
+             id);
+      }
+      continue;
+    }
+    if (p.potential.size() > p.neighbors.size()) {
+      fail(swarm, "potential-bounds",
+           "potential set larger than the neighbor set (i > |NS|)", id);
+    }
+    bt::PeerId prev = bt::kNoPeer;
+    for (const bt::PeerId member : p.potential) {
+      if (prev != bt::kNoPeer && member <= prev) {
+        fail(swarm, "potential-bounds", "potential set is not sorted-unique", id,
+             member);
+      }
+      prev = member;
+      if (member == id) {
+        fail(swarm, "potential-bounds", "peer is in its own potential set", id);
+      }
+      if (!store.is_live(member)) {
+        fail(swarm, "potential-bounds", "potential set contains a departed peer", id,
+             member);
+      }
+      if (!p.neighbors.contains(member)) {
+        fail(swarm, "potential-bounds", "potential set contains a non-neighbor", id,
+             member);
+      }
+      if (store.get(member).is_seed) {
+        fail(swarm, "potential-bounds",
+             "potential set contains a seed (seeds trade outside tit-for-tat)", id,
+             member);
+      }
+    }
+  }
+}
+
+void InvariantSuite::check_completion_liveness(const bt::Swarm& swarm) {
+  ++checks_run_;
+  const bt::PeerStore& store = swarm.store();
+  for (const bt::PeerId id : store.live()) {
+    const bt::Peer& p = store.get(id);
+    if (p.is_leecher() && p.pieces.all()) {
+      fail(swarm, "completion-liveness",
+           "completed leecher survived the completions phase", id);
+    }
+  }
+}
+
+// --- deep checks ------------------------------------------------------------
+
+void InvariantSuite::check_piece_counts(const bt::Swarm& swarm) {
+  ++checks_run_;
+  const bt::PeerStore& store = swarm.store();
+  const std::uint32_t num_pieces = swarm.config().num_pieces;
+  std::vector<std::uint32_t> recount(num_pieces, 0);
+  for (const bt::PeerId id : store.live()) {
+    store.get(id).pieces.for_each_held(
+        [&recount](bt::PieceIndex piece) { ++recount[piece]; });
+  }
+  const std::vector<std::uint32_t>& cached = swarm.piece_counts();
+  for (bt::PieceIndex piece = 0; piece < num_pieces; ++piece) {
+    if (recount[piece] != cached[piece]) {
+      fail(swarm, "piece-counts",
+           "replication degree of piece " + std::to_string(piece) + " is cached as " +
+               std::to_string(cached[piece]) + " but recounts to " +
+               std::to_string(recount[piece]));
+    }
+  }
+}
+
+void InvariantSuite::check_acquisition_ledger(const bt::Swarm& swarm) {
+  ++checks_run_;
+  const bt::PeerStore& store = swarm.store();
+  for (const bt::PeerId id : store.live()) {
+    const bt::Peer& p = store.get(id);
+    if (p.is_seed) {
+      continue;  // initial seeds hold the file with an empty ledger
+    }
+    if (p.acquired_rounds.size() != p.pieces.count()) {
+      fail(swarm, "acquisition-ledger",
+           "ledger records " + std::to_string(p.acquired_rounds.size()) +
+               " acquisitions but the bitfield holds " +
+               std::to_string(p.pieces.count()),
+           id);
+    }
+    bt::Round prev = 0;
+    for (const bt::Round r : p.acquired_rounds) {
+      if (r < prev || r > swarm.round()) {
+        fail(swarm, "acquisition-ledger",
+             "acquisition rounds are not nondecreasing within the run", id);
+      }
+      prev = r;
+    }
+  }
+}
+
+// --- cross-round checks -----------------------------------------------------
+
+void InvariantSuite::check_piece_monotonicity(const bt::Swarm& swarm) {
+  ++checks_run_;
+  const bt::PeerStore& store = swarm.store();
+  if (prev_piece_count_.size() < store.size()) {
+    prev_piece_count_.resize(store.size(), -1);
+  }
+  for (const bt::PeerId id : store.live()) {
+    const auto count = static_cast<std::int64_t>(store.get(id).pieces.count());
+    if (prev_piece_count_[id] >= 0 && count < prev_piece_count_[id]) {
+      fail(swarm, "piece-monotonicity",
+           "piece count fell from " + std::to_string(prev_piece_count_[id]) + " to " +
+               std::to_string(count) + " (b' >= b violated)",
+           id);
+    }
+    prev_piece_count_[id] = count;
+  }
+}
+
+void InvariantSuite::check_phase_sanity(const bt::Swarm& swarm) {
+  ++checks_run_;
+  const bt::PeerStore& store = swarm.store();
+  const std::uint32_t num_pieces = swarm.config().num_pieces;
+  for (const bt::PeerId id : store.live()) {
+    const bt::Peer& p = store.get(id);
+    if (p.is_seed) {
+      continue;
+    }
+    const auto code = classify(static_cast<std::uint32_t>(p.connections.size()),
+                               static_cast<std::uint32_t>(p.pieces.count()),
+                               static_cast<std::uint32_t>(p.potential.size()),
+                               num_pieces);
+    // The detector's ordering contract (bootstrap -> efficient -> last ->
+    // done): "done" implies departure/seeding, so no live leecher may
+    // classify as done at round end, and "last phase" requires at least
+    // two pieces (a 0/1-piece idle peer is still bootstrapping).
+    if (code == 3) {
+      fail(swarm, "phase-sanity", "live leecher classifies as done at round end", id);
+    }
+    if (code == 2 && p.pieces.count() < 2) {
+      fail(swarm, "phase-sanity",
+           "peer in the last phase holds fewer than two pieces", id);
+    }
+  }
+  const bt::SwarmMetrics& metrics = swarm.metrics();
+  if (metrics.bootstrap_rounds() < prev_bootstrap_rounds_ ||
+      metrics.efficient_rounds() < prev_efficient_rounds_ ||
+      metrics.last_phase_rounds() < prev_last_phase_rounds_) {
+    fail(swarm, "phase-sanity", "phase occupancy counters decreased");
+  }
+  prev_bootstrap_rounds_ = metrics.bootstrap_rounds();
+  prev_efficient_rounds_ = metrics.efficient_rounds();
+  prev_last_phase_rounds_ = metrics.last_phase_rounds();
+}
+
+void InvariantSuite::check_metrics_coherence(const bt::Swarm& swarm) {
+  ++checks_run_;
+  const bt::SwarmMetrics& metrics = swarm.metrics();
+  const std::size_t expected = static_cast<std::size_t>(swarm.round()) + 1;
+  if (metrics.population().size() != expected ||
+      metrics.seeds().size() != expected || metrics.entropy().size() != expected) {
+    fail(swarm, "metrics-coherence",
+         "per-round series hold " + std::to_string(metrics.population().size()) +
+             " samples after round " + std::to_string(swarm.round()) +
+             " (expected " + std::to_string(expected) + ")");
+  }
+  const numeric::Sample& pop = metrics.population()[expected - 1];
+  const numeric::Sample& seeds = metrics.seeds()[expected - 1];
+  if (pop.time != static_cast<double>(swarm.round())) {
+    fail(swarm, "metrics-coherence", "last sample is not stamped with this round");
+  }
+  const double live_leechers = static_cast<double>(swarm.num_leechers());
+  const double live_seeds = static_cast<double>(swarm.num_seeds());
+  if (pop.value != live_leechers || seeds.value != live_seeds) {
+    fail(swarm, "metrics-coherence",
+         "recorded population (" + std::to_string(pop.value) + " leechers, " +
+             std::to_string(seeds.value) + " seeds) does not match the live swarm (" +
+             std::to_string(live_leechers) + ", " + std::to_string(live_seeds) + ")");
+  }
+  const double recorded_entropy = metrics.entropy()[expected - 1].value;
+  if (recorded_entropy != swarm.entropy()) {
+    fail(swarm, "metrics-coherence",
+         "recorded entropy does not match the swarm's current entropy");
+  }
+  seen_round_ = true;
+}
+
+void InvariantSuite::check_tracker_coherence(const bt::Swarm& swarm) {
+  ++checks_run_;
+  const bt::PeerStore& store = swarm.store();
+  const bt::Tracker& tracker = swarm.tracker();
+  if (tracker.population() != store.live().size()) {
+    fail(swarm, "tracker-coherence",
+         "tracker registry holds " + std::to_string(tracker.population()) +
+             " peers but the swarm has " + std::to_string(store.live().size()));
+  }
+  for (const bt::PeerId id : store.live()) {
+    if (!tracker.contains(id)) {
+      fail(swarm, "tracker-coherence", "live peer is missing from the tracker", id);
+    }
+  }
+}
+
+}  // namespace mpbt::check

@@ -1,0 +1,142 @@
+// Structural swarm invariants, checked between phase steps.
+//
+// InvariantSuite is a bt::PhaseObserver: attach it to a Swarm with
+// set_phase_observer() and every phase boundary of every step() is
+// verified against the catalogue below (see docs/FUZZING.md for the
+// full semantics of each invariant). PR 4 split the swarm into six
+// phase modules; these checks guard the interfaces between them — a
+// module that corrupts shared state (asymmetric links, stale
+// replication counters, overfull connection sets) is caught at the
+// phase boundary where the corruption first becomes visible, not
+// hundreds of rounds later in a drifted golden fingerprint.
+//
+// A violation throws InvariantViolation whose message carries the
+// invariant name, round, phase, implicated peer ids and the config
+// seed, so a CI failure log alone is sufficient to reproduce locally.
+// When the swarm has a TraceRecorder attached, the suite also emits a
+// kInvariantViolation trace event (and bumps the
+// check.invariant_violations counter) before throwing.
+//
+// Some invariants only hold in a window of the round schedule — e.g.
+// potential sets reference live leecher neighbors only between
+// rebuild_potential and seed_service (departures and shaking
+// legitimately invalidate them afterwards) — so each catalogue entry
+// declares the phases it applies to; phase names are resolved against
+// Swarm::phase_name() once at construction.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bt/swarm.hpp"
+#include "bt/types.hpp"
+
+namespace mpbt::check {
+
+/// Thrown by InvariantSuite when a structural invariant fails.
+class InvariantViolation : public std::runtime_error {
+ public:
+  InvariantViolation(std::string invariant, std::string message, bt::Round round,
+                     std::string phase)
+      : std::runtime_error(message),
+        invariant_(std::move(invariant)),
+        phase_(std::move(phase)),
+        round_(round) {}
+
+  /// Catalogue name of the failed invariant (e.g. "neighbor-symmetry").
+  const std::string& invariant() const { return invariant_; }
+  /// Phase boundary where the violation was detected.
+  const std::string& phase() const { return phase_; }
+  bt::Round round() const { return round_; }
+
+ private:
+  std::string invariant_;
+  std::string phase_;
+  bt::Round round_;
+};
+
+struct InvariantOptions {
+  /// Check only rounds where round % stride == 0 (1 = every round).
+  /// Cross-round invariants (monotonicity, metrics coherence) remain
+  /// valid under any stride because the properties they check are
+  /// transitive across skipped rounds.
+  std::uint64_t stride = 1;
+  /// Run the O(N * B) checks (replication recount, acquisition ledger)
+  /// at every phase boundary instead of only at round end.
+  bool deep = false;
+  /// Extra reproduction context appended verbatim to every violation
+  /// message (the fuzzer records the case identity here).
+  std::string context;
+};
+
+/// The invariant catalogue, evaluated via the PhaseObserver hook.
+/// One suite instance observes one swarm run; call reset() (or build a
+/// fresh suite) before attaching it to another swarm, because the
+/// cross-round invariants carry per-peer history.
+class InvariantSuite : public bt::PhaseObserver {
+ public:
+  explicit InvariantSuite(InvariantOptions options = {});
+
+  void on_phase_end(const bt::Swarm& swarm, std::string_view phase,
+                    std::size_t phase_index) override;
+  void on_round_end(const bt::Swarm& swarm, bt::Round round) override;
+
+  /// Runs every applicable per-phase invariant plus the deep checks,
+  /// ignoring stride. Useful for one-shot validation of a swarm that
+  /// was stepped without the observer attached.
+  void check_all(const bt::Swarm& swarm);
+
+  /// Forgets all cross-round history (per-peer piece counts, phase
+  /// codes, metric counters), making the suite attachable to a new run.
+  void reset();
+
+  /// Total invariant evaluations performed (for "the checks actually
+  /// ran" assertions in tests).
+  std::uint64_t checks_run() const { return checks_run_; }
+
+  /// Names of every invariant in the catalogue, in evaluation order.
+  static const std::vector<std::string_view>& invariant_names();
+
+ private:
+  // Per-phase structural checks (cheap, every observed boundary).
+  void check_live_list(const bt::Swarm& swarm);
+  void check_neighbor_symmetry(const bt::Swarm& swarm);
+  void check_connection_symmetry(const bt::Swarm& swarm);
+  void check_connection_cap(const bt::Swarm& swarm);
+  void check_seed_coherence(const bt::Swarm& swarm);
+  void check_inflight_conservation(const bt::Swarm& swarm);
+  void check_entropy_bounds(const bt::Swarm& swarm);
+  void check_upload_budget(const bt::Swarm& swarm);
+  // Window-gated checks.
+  void check_potential_bounds(const bt::Swarm& swarm);
+  void check_completion_liveness(const bt::Swarm& swarm);
+  // Deep checks (O(N * B); round end, or every boundary when deep).
+  void check_piece_counts(const bt::Swarm& swarm);
+  void check_acquisition_ledger(const bt::Swarm& swarm);
+  // Cross-round checks (round end only).
+  void check_piece_monotonicity(const bt::Swarm& swarm);
+  void check_phase_sanity(const bt::Swarm& swarm);
+  void check_metrics_coherence(const bt::Swarm& swarm);
+  void check_tracker_coherence(const bt::Swarm& swarm);
+
+  [[noreturn]] void fail(const bt::Swarm& swarm, std::string_view invariant,
+                         std::string_view what, bt::PeerId peer = bt::kNoPeer,
+                         bt::PeerId partner = bt::kNoPeer) const;
+
+  InvariantOptions options_;
+  std::string current_phase_ = "attach";
+  std::size_t current_phase_index_ = 0;
+  std::uint64_t checks_run_ = 0;
+
+  // Cross-round history, indexed by dense peer id (-1 = not yet seen).
+  std::vector<std::int64_t> prev_piece_count_;
+  std::uint64_t prev_bootstrap_rounds_ = 0;
+  std::uint64_t prev_efficient_rounds_ = 0;
+  std::uint64_t prev_last_phase_rounds_ = 0;
+  bool seen_round_ = false;
+};
+
+}  // namespace mpbt::check

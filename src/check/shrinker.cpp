@@ -1,0 +1,158 @@
+#include "check/shrinker.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+
+namespace mpbt::check {
+
+namespace {
+
+/// Shared shrink state: the best (smallest known-failing) spec, the
+/// invariant it must keep violating, and the probe budget.
+class Shrinker {
+ public:
+  Shrinker(CaseSpec spec, CaseResult result, const ShrinkOptions& options)
+      : options_(options),
+        target_(result.invariant),
+        best_(std::move(spec)),
+        best_result_(std::move(result)) {
+    clamp_rounds();
+  }
+
+  /// Runs the candidate (spending one attempt) and adopts it when the
+  /// target invariant reproduces. Returns true on acceptance.
+  bool try_candidate(const CaseSpec& candidate) {
+    if (candidate == best_ || attempts_ >= options_.max_attempts) {
+      return false;
+    }
+    ++attempts_;
+    CaseResult result = run_case(candidate, options_.stride, options_.deep);
+    if (result.ok || result.invariant != target_) {
+      return false;
+    }
+    best_ = candidate;
+    best_result_ = std::move(result);
+    ++accepted_;
+    clamp_rounds();
+    return true;
+  }
+
+  /// Bisects `field` toward `floor`: finds the smallest value in
+  /// [floor, current] that still reproduces, assuming (heuristically)
+  /// that failing values form a suffix of the range. Non-monotone
+  /// invariants merely shrink less — never to a passing spec, because
+  /// only reproducing candidates are adopted.
+  void bisect(std::uint32_t CaseSpec::* field, std::uint32_t floor) {
+    std::uint32_t lo = floor;
+    std::uint32_t hi = best_.*field;
+    while (lo < hi && attempts_ < options_.max_attempts) {
+      const std::uint32_t mid = lo + (hi - lo) / 2;
+      CaseSpec candidate = best_;
+      candidate.*field = mid;
+      if (try_candidate(candidate)) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+  }
+
+  /// Tries a single whole-spec simplification (rate zeroed, toggle
+  /// reset, policy defaulted).
+  template <typename T>
+  void simplify(T CaseSpec::* field, T plain) {
+    if (best_.*field == plain) {
+      return;
+    }
+    CaseSpec candidate = best_;
+    candidate.*field = plain;
+    try_candidate(candidate);
+  }
+
+  ShrinkResult finish() && {
+    best_.expect_violation = target_;
+    best_result_.spec = best_;
+    ShrinkResult out;
+    out.shrunk = std::move(best_);
+    out.result = std::move(best_result_);
+    out.attempts = attempts_;
+    out.accepted = accepted_;
+    return out;
+  }
+
+  std::size_t accepted() const { return accepted_; }
+  bool exhausted() const { return attempts_ >= options_.max_attempts; }
+
+ private:
+  /// The violation fires during step `violation_round` no matter how
+  /// many further rounds the spec asks for, so the round count can be
+  /// clamped to violation_round + 1 without a confirming re-run.
+  void clamp_rounds() {
+    const auto needed = static_cast<std::uint32_t>(
+        std::min<bt::Round>(best_result_.violation_round + 1, best_.rounds));
+    best_.rounds = std::max<std::uint32_t>(needed, 1);
+  }
+
+  const ShrinkOptions& options_;
+  std::string target_;
+  CaseSpec best_;
+  CaseResult best_result_;
+  std::size_t attempts_ = 0;
+  std::size_t accepted_ = 0;
+};
+
+}  // namespace
+
+ShrinkResult shrink_case(const CaseSpec& spec, const ShrinkOptions& options) {
+  CaseResult original = run_case(spec, options.stride, options.deep);
+  if (original.ok) {
+    throw std::invalid_argument(
+        "shrink_case: spec does not violate any invariant");
+  }
+
+  Shrinker shrinker(spec, std::move(original), options);
+
+  // Greedy fixpoint: passes alternate structure bisection with scalar
+  // simplification; stop when a full pass accepts nothing.
+  while (!shrinker.exhausted()) {
+    const std::size_t accepted_before = shrinker.accepted();
+
+    // Population and size knobs, most-impactful first: fewer peers and
+    // rounds shrink every downstream structure the reproducer prints.
+    shrinker.simplify(&CaseSpec::arrival_rate, 0.0);
+    shrinker.bisect(&CaseSpec::initial_leechers, 0);
+    shrinker.bisect(&CaseSpec::rounds, 1);
+    shrinker.bisect(&CaseSpec::num_pieces, 1);
+    shrinker.bisect(&CaseSpec::peer_set_size, 1);
+    shrinker.bisect(&CaseSpec::max_connections, 1);
+    shrinker.bisect(&CaseSpec::initial_seeds, 0);
+    shrinker.bisect(&CaseSpec::seed_capacity, 0);
+    shrinker.bisect(&CaseSpec::blocks_per_piece, 1);
+    shrinker.bisect(&CaseSpec::seed_linger_rounds, 0);
+
+    // Feature knobs: prefer the plainest swarm that still fails.
+    shrinker.simplify(&CaseSpec::abort_rate, 0.0);
+    shrinker.simplify(&CaseSpec::warm_prob, 0.0);
+    shrinker.simplify(&CaseSpec::reannounce_interval, 0u);
+    shrinker.simplify(&CaseSpec::arrival_cutoff_round, 0u);
+    shrinker.simplify(&CaseSpec::max_population, 0u);
+    shrinker.simplify(&CaseSpec::shake_enabled, false);
+    shrinker.simplify(&CaseSpec::seeds_serve_all, false);
+    shrinker.simplify(&CaseSpec::handshake_delay, true);
+    shrinker.simplify(&CaseSpec::connect_success_prob, 1.0);
+    shrinker.simplify(&CaseSpec::optimistic_unchoke_prob, 1.0);
+    shrinker.simplify(&CaseSpec::piece_selection, bt::PieceSelection::Random);
+    shrinker.simplify(&CaseSpec::availability_scope, bt::AvailabilityScope::Global);
+    shrinker.simplify(&CaseSpec::tracker_policy, bt::TrackerPolicy::UniformRandom);
+    shrinker.simplify(&CaseSpec::choke_algorithm, bt::ChokeAlgorithm::RandomMatching);
+
+    if (shrinker.accepted() == accepted_before) {
+      break;
+    }
+  }
+  return std::move(shrinker).finish();
+}
+
+}  // namespace mpbt::check

@@ -1,0 +1,44 @@
+// Greedy fuzz-case shrinking.
+//
+// Given a failing CaseSpec, shrink_case() searches for a smaller spec
+// that still violates the SAME invariant: it first clamps the round
+// count to just past the violation, then bisects each size-like field
+// toward its floor and tries zero/default simplifications of the rates,
+// toggles and policies, re-running the candidate after every mutation
+// and keeping it only when the original invariant reproduces. The loop
+// repeats until a full pass accepts nothing (a fixpoint) or the probe
+// budget runs out. The result is a minimal-ish deterministic reproducer
+// suitable for committing as a regression case.
+#pragma once
+
+#include <cstddef>
+
+#include "check/fuzzer.hpp"
+
+namespace mpbt::check {
+
+struct ShrinkOptions {
+  /// Probe budget: total run_case() executions (candidate evaluations).
+  std::size_t max_attempts = 250;
+  /// InvariantSuite knobs used for every probe; match the values used
+  /// when the original failure was found, or a violation that needs
+  /// stride/deep to surface may stop reproducing mid-shrink.
+  std::uint64_t stride = 1;
+  bool deep = false;
+};
+
+struct ShrinkResult {
+  /// Smallest spec found that reproduces the original invariant; its
+  /// expect_violation field records that invariant.
+  CaseSpec shrunk;
+  /// Result of running `shrunk` (message, violation round, fingerprint).
+  CaseResult result;
+  std::size_t attempts = 0;
+  std::size_t accepted = 0;
+};
+
+/// Shrinks `spec`, which must currently violate an invariant. Throws
+/// std::invalid_argument if the spec runs clean.
+ShrinkResult shrink_case(const CaseSpec& spec, const ShrinkOptions& options = {});
+
+}  // namespace mpbt::check

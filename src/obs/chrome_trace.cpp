@@ -193,6 +193,11 @@ void write_sim_event(EventStream& stream, const TraceEvent& e, std::uint64_t pid
       arg("pieces", e.other);
       arg("bytes", e.value2);
       break;
+    case EventType::kInvariantViolation:
+      arg("other", e.other);
+      arg("invariant", e.value);
+      arg("phase", e.value2);
+      break;
     default:
       break;
   }

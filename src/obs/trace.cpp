@@ -34,6 +34,8 @@ std::string_view event_type_name(EventType type) {
       return "entropy_sample";
     case EventType::kClientSample:
       return "client_sample";
+    case EventType::kInvariantViolation:
+      return "invariant_violation";
   }
   return "?";
 }
@@ -59,6 +61,7 @@ void TraceRecorder::set_registry(Registry* registry) {
   metrics_.shakes = &registry->counter("swarm.peer_set_shakes");
   metrics_.rounds = &registry->counter("swarm.rounds");
   metrics_.client_samples = &registry->counter("swarm.client_samples");
+  metrics_.invariant_violations = &registry->counter("check.invariant_violations");
   metrics_.population = &registry->gauge("swarm.population");
   metrics_.seeds = &registry->gauge("swarm.seeds");
   metrics_.entropy = &registry->gauge("swarm.entropy");
@@ -190,6 +193,17 @@ void TraceRecorder::client_sample(std::uint64_t round, std::uint32_t peer,
        static_cast<double>(potential), static_cast<double>(cumulative_bytes));
   if (metrics_.client_samples != nullptr) {
     metrics_.client_samples->add();
+  }
+}
+
+void TraceRecorder::invariant_violation(std::uint64_t round, std::uint32_t peer,
+                                        std::uint32_t other,
+                                        std::size_t invariant_index,
+                                        std::size_t phase_index) {
+  emit(EventType::kInvariantViolation, round, peer, other,
+       static_cast<double>(invariant_index), static_cast<double>(phase_index));
+  if (metrics_.invariant_violations != nullptr) {
+    metrics_.invariant_violations->add();
   }
 }
 

@@ -47,6 +47,9 @@ enum class EventType : std::uint8_t {
   kEntropySample,       ///< value = entropy, value2 = transfer efficiency
   kClientSample,        ///< instrumented client: peer = id, other = pieces held,
                         ///< value = potential-set size, value2 = cumulative bytes
+  kInvariantViolation,  ///< structural invariant failed (src/check):
+                        ///< peer/other = implicated pair, value = invariant
+                        ///< index within the suite, value2 = phase index
 };
 
 std::string_view event_type_name(EventType type);
@@ -111,6 +114,12 @@ class TraceRecorder {
   /// per-client phase traces from.
   void client_sample(std::uint64_t round, std::uint32_t peer, std::uint32_t potential,
                      std::uint32_t pieces_held, std::uint64_t cumulative_bytes);
+  /// A structural invariant failed (emitted by check::InvariantSuite just
+  /// before it throws). `invariant_index` identifies the invariant within
+  /// the suite; peers may be kNoTracePeer for swarm-global invariants.
+  void invariant_violation(std::uint64_t round, std::uint32_t peer,
+                           std::uint32_t other, std::size_t invariant_index,
+                           std::size_t phase_index);
 
   std::size_t size() const { return ring_.size(); }
   std::size_t capacity() const { return capacity_; }
@@ -141,6 +150,7 @@ class TraceRecorder {
     Counter* shakes = nullptr;
     Counter* rounds = nullptr;
     Counter* client_samples = nullptr;
+    Counter* invariant_violations = nullptr;
     Gauge* population = nullptr;
     Gauge* seeds = nullptr;
     Gauge* entropy = nullptr;

@@ -1,0 +1,350 @@
+// Tests for the src/check invariant suite, fuzzer and shrinker.
+//
+// The suite-level contract under test: clean swarms run invariant-clean
+// with the observer attached AND the observer never perturbs results
+// (golden fingerprints match detached runs); every injectable fault is
+// caught as its designed invariant with a self-reproducing message;
+// case specs survive a JSON round-trip; fuzz campaigns are bit-identical
+// across worker counts; and the shrinker reduces a failing case to a
+// minimal reproducer that replays to the same violation.
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bt/fault.hpp"
+#include "bt/swarm.hpp"
+#include "check/case_spec.hpp"
+#include "check/fuzzer.hpp"
+#include "check/invariants.hpp"
+#include "check/shrinker.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "report/json.hpp"
+
+namespace mpbt::check {
+namespace {
+
+bt::SwarmConfig small_config() {
+  bt::SwarmConfig config;
+  config.num_pieces = 12;
+  config.max_connections = 3;
+  config.peer_set_size = 8;
+  config.arrival_rate = 1.5;
+  config.initial_seeds = 1;
+  config.seed_capacity = 3;
+  config.seeds_serve_all = true;
+  config.seed = 7;
+  bt::InitialGroup group;
+  group.count = 12;
+  config.initial_groups.push_back(group);
+  return config;
+}
+
+/// Runs `rounds` rounds and returns the fuzzer's per-round fingerprint,
+/// optionally with an invariant suite attached.
+std::uint64_t run_fingerprint(bt::SwarmConfig config, bt::Round rounds,
+                              bool with_suite) {
+  bt::Swarm swarm(std::move(config));
+  InvariantSuite suite;
+  if (with_suite) {
+    swarm.set_phase_observer(&suite);
+  }
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (bt::Round r = 0; r < rounds; ++r) {
+    swarm.step();
+    hash = fnv1a64(hash, swarm.population());
+    hash = fnv1a64(hash, swarm.metrics().completed_count());
+  }
+  return hash;
+}
+
+TEST(InvariantSuite, CleanSwarmPassesAllRounds) {
+  bt::Swarm swarm(small_config());
+  InvariantSuite suite;
+  swarm.set_phase_observer(&suite);
+  EXPECT_NO_THROW(swarm.run_rounds(40));
+  EXPECT_GT(suite.checks_run(), 0u);
+}
+
+TEST(InvariantSuite, DeepModePassesOnCleanSwarm) {
+  InvariantOptions options;
+  options.deep = true;
+  bt::Swarm swarm(small_config());
+  InvariantSuite suite(options);
+  swarm.set_phase_observer(&suite);
+  EXPECT_NO_THROW(swarm.run_rounds(20));
+}
+
+TEST(InvariantSuite, ObserverDoesNotPerturbTheRun) {
+  const std::uint64_t detached = run_fingerprint(small_config(), 30, false);
+  const std::uint64_t attached = run_fingerprint(small_config(), 30, true);
+  EXPECT_EQ(detached, attached);
+}
+
+TEST(InvariantSuite, StrideSkipsRoundsButStillChecks) {
+  InvariantOptions options;
+  options.stride = 4;
+  bt::Swarm swarm(small_config());
+  InvariantSuite strided(options);
+  swarm.set_phase_observer(&strided);
+  swarm.run_rounds(16);
+
+  bt::Swarm full_swarm(small_config());
+  InvariantSuite full;
+  full_swarm.set_phase_observer(&full);
+  full_swarm.run_rounds(16);
+
+  EXPECT_GT(strided.checks_run(), 0u);
+  EXPECT_LT(strided.checks_run(), full.checks_run());
+}
+
+TEST(InvariantSuite, CheckAllValidatesAFinishedRun) {
+  bt::Swarm swarm(small_config());
+  swarm.run_rounds(25);
+  InvariantSuite suite;
+  EXPECT_NO_THROW(suite.check_all(swarm));
+}
+
+TEST(InvariantSuite, CatalogueNamesAreUniqueAndNonEmpty) {
+  const auto& names = InvariantSuite::invariant_names();
+  EXPECT_GE(names.size(), 12u);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_FALSE(names[i].empty());
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(names[i], names[j]);
+    }
+  }
+}
+
+// --- fault injection ------------------------------------------------------
+
+/// Fuzzes with `fault` armed until a violation appears, asserting it is
+/// one of the invariants the fault was designed to break.
+CaseResult first_violation(const std::string& fault) {
+  FuzzOptions options;
+  options.num_cases = 60;
+  options.quick = true;
+  options.jobs = 2;
+  options.fault = fault;
+  const FuzzSummary summary = run_fuzz(options);
+  for (const CaseResult& result : summary.results) {
+    if (!result.ok) {
+      return result;
+    }
+  }
+  ADD_FAILURE() << "fault " << fault << " produced no violation in "
+                << options.num_cases << " cases";
+  return {};
+}
+
+struct FaultCase {
+  const char* fault;
+  const char* invariant;      // expected, or
+  const char* alt_invariant;  // an acceptable alternative ("" = none)
+  // Swarm-global invariants (cache recounts, metric series) implicate
+  // no specific peer, so their messages carry no peer id.
+  bool per_peer = true;
+};
+
+class FaultInjection : public ::testing::TestWithParam<FaultCase> {};
+
+TEST_P(FaultInjection, IsCaughtAsItsDesignedInvariant) {
+  const FaultCase& param = GetParam();
+  const CaseResult result = first_violation(param.fault);
+  if (result.invariant.empty()) {
+    return;  // ADD_FAILURE already recorded
+  }
+  EXPECT_TRUE(result.invariant == param.invariant ||
+              result.invariant == param.alt_invariant)
+      << "fault " << param.fault << " tripped '" << result.invariant << "'";
+  // Satellite requirement: the message alone reproduces the failure.
+  EXPECT_NE(result.message.find("round="), std::string::npos) << result.message;
+  EXPECT_NE(result.message.find("seed="), std::string::npos) << result.message;
+  if (param.per_peer) {
+    EXPECT_NE(result.message.find("peer="), std::string::npos) << result.message;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFaults, FaultInjection,
+    ::testing::Values(
+        FaultCase{"skip-departure-repair", "neighbor-symmetry", ""},
+        FaultCase{"skip-piece-count-decrement", "piece-counts", "", false},
+        FaultCase{"asymmetric-neighbor-insert", "neighbor-symmetry", ""},
+        FaultCase{"overfill-connections", "connection-cap", ""},
+        FaultCase{"duplicate-inflight-piece", "inflight-conservation", ""},
+        FaultCase{"skip-shake-cleanup", "neighbor-symmetry", "connection-symmetry"},
+        FaultCase{"skip-round-record", "metrics-coherence", "", false}),
+    [](const ::testing::TestParamInfo<FaultCase>& tpi) {
+      std::string name = tpi.param.fault;
+      for (char& c : name) {
+        if (c == '-') {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+TEST(FaultInjection, ViolationEmitsTraceEventAndCounter) {
+  obs::Registry registry;
+  obs::TraceRecorder recorder;
+  recorder.set_registry(&registry);
+
+  CaseSpec spec = random_case(42, 0, /*quick=*/true);
+  spec.fault = "skip-departure-repair";
+  spec.rounds = 60;
+
+  bt::Swarm swarm(to_config(spec));
+  swarm.set_trace_recorder(&recorder);
+  InvariantSuite suite;
+  swarm.set_phase_observer(&suite);
+  const bt::fault::ScopedFault guard(bt::fault::Fault::kSkipDepartureRepair);
+  bool violated = false;
+  try {
+    swarm.run_rounds(spec.rounds);
+  } catch (const InvariantViolation& violation) {
+    violated = true;
+    EXPECT_EQ(violation.invariant(), "neighbor-symmetry");
+  }
+  ASSERT_TRUE(violated);
+
+  bool saw_event = false;
+  for (const obs::TraceEvent& event : recorder.events()) {
+    if (event.type == obs::EventType::kInvariantViolation) {
+      saw_event = true;
+    }
+  }
+  EXPECT_TRUE(saw_event);
+  EXPECT_EQ(registry.counter("check.invariant_violations").value(), 1);
+}
+
+// --- case specs -----------------------------------------------------------
+
+TEST(CaseSpec, JsonRoundTripIsLossless) {
+  for (std::uint64_t i = 0; i < 25; ++i) {
+    CaseSpec spec = random_case(/*base_seed=*/1234, i, i % 2 == 0);
+    spec.fault = "overfill-connections";
+    spec.expect_violation = "connection-cap";
+    const CaseSpec back = case_from_json(to_json(spec));
+    EXPECT_EQ(spec, back) << "case " << i;
+  }
+}
+
+TEST(CaseSpec, SeedsSurviveJsonAboveDoublePrecision) {
+  CaseSpec spec;
+  spec.base_seed = 0xfedcba9876543211ULL;  // > 2^53: dies if stored as double
+  spec.seed = 0x8000000000000001ULL;
+  spec.index = (1ULL << 60) + 3;
+  const CaseSpec back = case_from_json(report::Json::parse(to_json(spec).dump()));
+  EXPECT_EQ(back.base_seed, spec.base_seed);
+  EXPECT_EQ(back.seed, spec.seed);
+  EXPECT_EQ(back.index, spec.index);
+}
+
+TEST(CaseSpec, GenerationIsDeterministic) {
+  const CaseSpec a = random_case(99, 7, false);
+  const CaseSpec b = random_case(99, 7, false);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, random_case(99, 8, false));
+  EXPECT_NE(a, random_case(100, 7, false));
+}
+
+TEST(CaseSpec, ToConfigValidates) {
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    EXPECT_NO_THROW(to_config(random_case(7, i, true))) << "case " << i;
+  }
+}
+
+TEST(CaseSpec, UnknownFaultNameIsRejected) {
+  report::Json json = to_json(CaseSpec{});
+  json.set("fault", report::Json("melt-the-tracker"));
+  EXPECT_THROW(case_from_json(json), std::invalid_argument);
+}
+
+// --- fuzzer ---------------------------------------------------------------
+
+TEST(Fuzzer, CampaignIsIdenticalAcrossWorkerCounts) {
+  FuzzOptions options;
+  options.num_cases = 24;
+  options.quick = true;
+  options.jobs = 1;
+  const FuzzSummary serial = run_fuzz(options);
+  options.jobs = 4;
+  const FuzzSummary parallel = run_fuzz(options);
+
+  EXPECT_EQ(serial.campaign_fingerprint, parallel.campaign_fingerprint);
+  EXPECT_EQ(serial.failures, parallel.failures);
+  ASSERT_EQ(serial.results.size(), parallel.results.size());
+  for (std::size_t i = 0; i < serial.results.size(); ++i) {
+    EXPECT_EQ(serial.results[i].fingerprint, parallel.results[i].fingerprint);
+    EXPECT_EQ(serial.results[i].spec, parallel.results[i].spec);
+  }
+}
+
+TEST(Fuzzer, CleanCampaignHasNoFailures) {
+  FuzzOptions options;
+  options.num_cases = 30;
+  options.quick = true;
+  options.jobs = 2;
+  const FuzzSummary summary = run_fuzz(options);
+  EXPECT_EQ(summary.failures, 0u);
+  for (const CaseResult& result : summary.results) {
+    EXPECT_TRUE(result.ok) << result.message;
+    EXPECT_EQ(result.rounds_run, result.spec.rounds);
+    EXPECT_GT(result.checks_run, 0u);
+  }
+}
+
+// --- shrinker -------------------------------------------------------------
+
+TEST(Shrinker, ConvergesToAMinimalReproducer) {
+  const CaseResult failing = first_violation("skip-departure-repair");
+  ASSERT_FALSE(failing.invariant.empty());
+
+  const ShrinkResult shrunk = shrink_case(failing.spec);
+  // Satellite acceptance: a departure-repair bug needs only a handful of
+  // peers and rounds to manifest.
+  EXPECT_LE(shrunk.shrunk.initial_leechers, 20u);
+  EXPECT_LE(shrunk.shrunk.rounds, 10u);
+  EXPECT_EQ(shrunk.shrunk.expect_violation, failing.invariant);
+  EXPECT_FALSE(shrunk.result.ok);
+  EXPECT_EQ(shrunk.result.invariant, failing.invariant);
+  EXPECT_GT(shrunk.attempts, 0u);
+}
+
+TEST(Shrinker, RejectsCleanSpecs) {
+  const CaseSpec clean = random_case(42, 0, true);
+  EXPECT_THROW(shrink_case(clean), std::invalid_argument);
+}
+
+TEST(Shrinker, ShrunkRecordReplaysToTheSameViolation) {
+  const CaseResult failing = first_violation("asymmetric-neighbor-insert");
+  ASSERT_FALSE(failing.invariant.empty());
+  const ShrinkResult shrunk = shrink_case(failing.spec);
+
+  // Round-trip the shrunk spec through a failure-record file, the way
+  // mpbt_fuzz records and --replay reloads it.
+  report::Json record = report::Json::object();
+  record.set("schema", report::Json("mpbt-fuzz-failure-v1"));
+  record.set("case", to_json(failing.spec));
+  record.set("shrunk", to_json(shrunk.shrunk));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mpbt_test_shrunk_case.json")
+          .string();
+  record.save_file(path);
+
+  const CaseSpec reloaded = load_case_spec(path);
+  std::filesystem::remove(path);
+  EXPECT_EQ(reloaded, shrunk.shrunk);  // "shrunk" wins over "case"
+
+  const CaseResult replayed = run_case(reloaded);
+  EXPECT_FALSE(replayed.ok);
+  EXPECT_EQ(replayed.invariant, failing.invariant);
+  EXPECT_EQ(replayed.violation_round, shrunk.result.violation_round);
+  EXPECT_EQ(replayed.message, shrunk.result.message);
+}
+
+}  // namespace
+}  // namespace mpbt::check
