@@ -1,0 +1,239 @@
+// bench_ecosystem_step — round-step throughput of the multi-torrent
+// ecosystem driver (src/eco).
+//
+// Builds a steady churning ecosystem at each torrent count, runs a few
+// warmup rounds, then times Ecosystem::step() over a measured window.
+// This is the binding cost of the ecosystem_transient scenario and the
+// mpbt_ecosystem CLI: takedown sweeps reduce to thousands of these
+// steps over N swarms plus the serial session-coordination phases.
+//
+//   bench_ecosystem_step [--torrents=4,16] [--rounds=20] [--warmup=8]
+//                        [--runs=3] [--jobs=1] [--seed=42] [--quick]
+//                        [--csv=PATH] [--json=PATH] [--log-level=LEVEL]
+//
+// The second table times the tracker/peer-store pre-reserve path: one
+// flash-crowd burst round measured with and without reserve (the
+// Tracker::reserve / PeerStore::reserve satellite), so the ablation is
+// visible in bench output rather than asserted blindly.
+//
+// --json writes the results in google-benchmark JSON schema (one
+// "BM_EcosystemStep/<torrents>" entry per count, real_time = best ms
+// per round) so `mpbt_report --append-bench --google-benchmark=...`
+// can fold the run into the repo's mpbt-bench-v1 trajectory.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "eco/ecosystem.hpp"
+#include "util/cli.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mpbt;
+
+eco::EcosystemConfig bench_config(std::uint32_t torrents, std::uint64_t seed, bool quick) {
+  eco::EcosystemConfig config;
+  config.num_torrents = torrents;
+  config.zipf_s = 1.0;
+  config.arrival_rate = quick ? 4.0 : 8.0;
+  config.initial_sessions = quick ? 40 * torrents : 80 * torrents;
+  config.max_wants = 3;
+  config.swarm.num_pieces = quick ? 40 : 60;
+  config.swarm.max_connections = 4;
+  config.swarm.peer_set_size = 20;
+  config.swarm.initial_seeds = 2;
+  config.swarm.seed_capacity = 6;
+  config.swarm.seeds_serve_all = true;
+  config.swarm.seed_linger_rounds = 15;
+  config.swarm.abort_rate = 0.01;
+  config.seed = seed;
+  return config;
+}
+
+std::vector<std::uint32_t> parse_torrent_list(const std::string& csv) {
+  std::vector<std::uint32_t> out;
+  std::string item;
+  std::istringstream stream(csv);
+  while (std::getline(stream, item, ',')) {
+    if (item.empty()) {
+      continue;
+    }
+    const long long value = std::stoll(item);
+    if (value <= 0) {
+      throw std::invalid_argument("--torrents entries must be positive");
+    }
+    out.push_back(static_cast<std::uint32_t>(value));
+  }
+  if (out.empty()) {
+    throw std::invalid_argument("--torrents must name at least one count");
+  }
+  return out;
+}
+
+struct StepResult {
+  std::uint32_t torrents = 0;
+  int reps = 0;
+  int rounds = 0;
+  std::size_t population = 0;
+  double mean_ms = 0.0;
+  double best_ms = 0.0;
+  double best_rounds_per_sec = 0.0;
+};
+
+StepResult measure(std::uint32_t torrents, int reps, int warmup, int rounds,
+                   std::size_t jobs, std::uint64_t seed, bool quick) {
+  StepResult result;
+  result.torrents = torrents;
+  result.reps = reps;
+  result.rounds = rounds;
+  result.best_ms = std::numeric_limits<double>::infinity();
+  double total_ms = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    eco::Ecosystem ecosystem(
+        bench_config(torrents, seed + static_cast<std::uint64_t>(rep), quick), jobs);
+    ecosystem.run_rounds(static_cast<bt::Round>(warmup));
+    const auto start = std::chrono::steady_clock::now();
+    ecosystem.run_rounds(static_cast<bt::Round>(rounds));
+    const auto stop = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count() /
+        static_cast<double>(rounds);
+    total_ms += ms;
+    result.best_ms = std::min(result.best_ms, ms);
+    result.population = std::max(result.population, ecosystem.population());
+  }
+  result.mean_ms = total_ms / static_cast<double>(reps);
+  result.best_rounds_per_sec = 1000.0 / result.best_ms;
+  return result;
+}
+
+/// Times the round in which a large flash crowd lands, with and without
+/// the tracker/peer-store pre-reserve path, best-of `reps`.
+double burst_round_ms(bool pre_reserve, std::uint32_t torrents, std::uint32_t burst,
+                      int reps, std::uint64_t seed, bool quick) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    eco::EcosystemConfig config =
+        bench_config(torrents, seed + static_cast<std::uint64_t>(rep), quick);
+    config.pre_reserve = pre_reserve;
+    config.flash_crowds.push_back({/*round=*/8, burst, /*torrent=*/0});
+    eco::Ecosystem ecosystem(std::move(config), /*jobs=*/1);
+    ecosystem.run_rounds(8);  // rounds 0..7: steady state
+    const auto start = std::chrono::steady_clock::now();
+    ecosystem.step();  // round 8: the burst lands
+    const auto stop = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double, std::milli>(stop - start).count());
+  }
+  return best;
+}
+
+/// google-benchmark JSON schema subset, as consumed by
+/// report::parse_google_benchmark.
+void write_json(const std::string& path, const std::vector<StepResult>& results) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  file.precision(17);
+  file << "{\n  \"context\": {\"executable\": \"bench_ecosystem_step\"},\n"
+       << "  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const StepResult& r = results[i];
+    file << "    {\"name\": \"BM_EcosystemStep/" << r.torrents
+         << "\", \"run_type\": \"iteration\", "
+         << "\"real_time\": " << r.best_ms << ", \"cpu_time\": " << r.best_ms
+         << ", \"time_unit\": \"ms\", \"iterations\": " << r.reps * r.rounds << "}"
+         << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  file << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("bench_ecosystem_step",
+                      "Round-step throughput of eco::Ecosystem at fixed torrent counts.");
+  cli.add_option("torrents", "comma-separated torrent counts", "4,16");
+  cli.add_option("rounds", "measured rounds per repetition", "20");
+  cli.add_option("warmup", "warmup rounds before timing", "8");
+  cli.add_option("runs", "repetitions per count (best-of)", "3");
+  cli.add_option("jobs", "worker threads for swarm stepping (results identical)", "1");
+  cli.add_option("seed", "base RNG seed", "42");
+  cli.add_flag("quick", "small ecosystems / short windows for smoke runs");
+  cli.add_option("csv", "also write the table to this CSV path", "");
+  cli.add_option("json", "write google-benchmark JSON here (for --append-bench)", "");
+  cli.add_option("log-level", "debug|info|warn|error|off (default: warn, or $MPBT_LOG)", "");
+  try {
+    if (!cli.parse(argc, argv)) {
+      return 0;
+    }
+    if (const std::string level = cli.get("log-level"); !level.empty()) {
+      util::set_log_level(util::parse_log_level(level));
+    }
+    const bool quick = cli.has_flag("quick");
+    std::vector<std::uint32_t> torrent_counts = parse_torrent_list(cli.get("torrents"));
+    int rounds = std::max(1, static_cast<int>(cli.get_int("rounds")));
+    int warmup = std::max(0, static_cast<int>(cli.get_int("warmup")));
+    int reps = std::max(1, static_cast<int>(cli.get_int("runs")));
+    if (quick) {
+      torrent_counts = {4};
+      rounds = std::min(rounds, 8);
+      warmup = std::min(warmup, 3);
+      reps = std::min(reps, 2);
+    }
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    const auto jobs = static_cast<std::size_t>(std::max(0LL, cli.get_int("jobs")));
+
+    std::cout << "== bench_ecosystem_step — Ecosystem::step() throughput (jobs=" << jobs
+              << ") ==\n\n";
+    util::Table table({"torrents", "peers (max)", "rounds", "reps", "ms/round (mean)",
+                       "ms/round (best)", "rounds/s (best)"});
+    table.set_precision(3);
+    std::vector<StepResult> results;
+    for (const std::uint32_t torrents : torrent_counts) {
+      const StepResult r = measure(torrents, reps, warmup, rounds, jobs, seed, quick);
+      table.add_row({static_cast<long long>(r.torrents), static_cast<long long>(r.population),
+                     static_cast<long long>(r.rounds), static_cast<long long>(r.reps), r.mean_ms,
+                     r.best_ms, r.best_rounds_per_sec});
+      results.push_back(r);
+    }
+    table.print_text(std::cout);
+
+    // Pre-reserve ablation: the flash-crowd burst round pays tracker and
+    // peer-store reallocation churn unless the registries were sized
+    // ahead of the spike.
+    const std::uint32_t burst_torrents = torrent_counts.front();
+    const std::uint32_t burst = quick ? 2000 : 10000;
+    const double with_reserve = burst_round_ms(true, burst_torrents, burst, reps, seed, quick);
+    const double without_reserve =
+        burst_round_ms(false, burst_torrents, burst, reps, seed, quick);
+    std::cout << "\nflash-crowd burst round (" << burst << " sessions into torrent 0):\n";
+    util::Table ablation({"pre_reserve", "burst-round ms (best)"});
+    ablation.set_precision(3);
+    ablation.add_row({std::string("on"), with_reserve});
+    ablation.add_row({std::string("off"), without_reserve});
+    ablation.print_text(std::cout);
+
+    if (const std::string csv = cli.get("csv"); !csv.empty()) {
+      table.write_csv_file(csv);
+      std::cout << "\n[csv written to " << csv << "]\n";
+    }
+    if (const std::string json = cli.get("json"); !json.empty()) {
+      write_json(json, results);
+      std::cout << "[json written to " << json << "]\n";
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "bench_ecosystem_step: " << error.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,283 @@
+// mpbt_ecosystem — multi-torrent ecosystem driver (flash crowds,
+// takedown transients, cross-swarm seeding).
+//
+//   mpbt_ecosystem [--torrents=N] [--peers=N] [--arrival-rate=L]
+//                  [--zipf-s=S] [--max-wants=W] [--rounds=R] [--jobs=N]
+//                  [--flash-crowd=R:N[:T],...] [--takedown=R:F[:T],...]
+//                  [--quick] [--check] [--no-reserve] [--seed=S]
+//                  [--summary=PATH] [--out=PATH] [--log-level=LEVEL]
+//
+// Drives eco::Ecosystem: N torrents with Zipf(s) popularity, a shared
+// session population (arrive, download, linger as seed, move to the
+// next wanted torrent, depart), scripted flash-crowd bursts and
+// takedown events. Torrents step in parallel over --jobs workers;
+// all output (including the final fingerprint) is bit-identical for
+// any --jobs value, which CI verifies with a byte-wise cmp.
+//
+// --flash-crowd=R:N[:T]  N sessions burst-arrive at round R (want
+//                        torrent T; Zipf-drawn when T is omitted).
+// --takedown=R:F[:T]     fraction F of torrent T's live peers (all
+//                        torrents when T is omitted) removed at round R.
+// --summary              writes an mpbt-summary-v1 document (scenario
+//                        "ecosystem_transient") for mpbt_report --check.
+// --out                  writes the per-round population series as CSV.
+// --check                attaches the full invariant catalogue (per-
+//                        swarm phase checks + cross-swarm bookkeeping).
+//
+// Unset --torrents/--peers/--arrival-rate/--rounds pick defaults sized
+// by --quick (6 torrents / 150 sessions / 60 rounds) vs the full run
+// (16 torrents / 400 sessions / 150 rounds).
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/eco_invariants.hpp"
+#include "eco/ecosystem.hpp"
+#include "eco/scenario.hpp"
+#include "report/summary.hpp"
+#include "util/cli.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mpbt;
+
+/// Parses "R:X[:T]" event lists (comma-separated). `scale` converts the
+/// second field (double for takedown fractions, count for bursts).
+std::vector<std::vector<double>> parse_events(const std::string& text,
+                                              const char* what) {
+  std::vector<std::vector<double>> events;
+  if (text.empty()) {
+    return events;
+  }
+  std::istringstream list(text);
+  std::string item;
+  while (std::getline(list, item, ',')) {
+    std::vector<double> fields;
+    std::istringstream event(item);
+    std::string field;
+    while (std::getline(event, field, ':')) {
+      fields.push_back(std::stod(field));
+    }
+    if (fields.size() < 2 || fields.size() > 3) {
+      throw std::invalid_argument(std::string(what) +
+                                  ": expected ROUND:VALUE[:TORRENT], got '" + item +
+                                  "'");
+    }
+    events.push_back(std::move(fields));
+  }
+  return events;
+}
+
+void write_series_csv(const std::string& path, const eco::Ecosystem& eco) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open --out path: " + path);
+  }
+  out << "round,population,seeds,active_sessions";
+  for (std::size_t t = 0; t < eco.num_torrents(); ++t) {
+    out << ",torrent_" << t;
+  }
+  out << "\n";
+  const eco::EcosystemMetrics& m = eco.metrics();
+  for (std::size_t r = 0; r < m.population.size(); ++r) {
+    out << r << "," << m.population[r] << "," << m.seeds[r] << ","
+        << m.active_sessions[r];
+    for (std::size_t t = 0; t < eco.num_torrents(); ++t) {
+      out << "," << m.torrent_population[t][r];
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli(
+      "mpbt_ecosystem",
+      "Multi-torrent ecosystem: Zipf popularity, session churn, cross-swarm\n"
+      "seeding, flash crowds and takedown transients. Deterministic for any "
+      "--jobs.");
+  cli.add_option("torrents", "number of torrents (0 = default by --quick)", "0");
+  cli.add_option("peers", "initial sessions injected at round 0 (0 = default)", "0");
+  cli.add_option("arrival-rate", "expected new sessions per round (-1 = default)",
+                 "-1");
+  cli.add_option("zipf-s", "Zipf popularity exponent (0 = uniform)", "1.0");
+  cli.add_option("max-wants", "want-list cap per session", "3");
+  cli.add_option("rounds", "rounds to simulate (0 = default by --quick)", "0");
+  cli.add_option("jobs", "worker threads for torrent stepping (0 = hardware)", "1");
+  cli.add_option("flash-crowd", "R:N[:T] burst events, comma-separated", "");
+  cli.add_option("takedown", "R:F[:T] takedown events, comma-separated", "");
+  cli.add_option("linger", "seed linger rounds after completion", "20");
+  cli.add_option("abort-rate", "per-round leecher abort probability", "0.01");
+  cli.add_option("pieces", "pieces per torrent (B)", "40");
+  cli.add_option("seed", "base RNG seed", "42");
+  cli.add_flag("quick", "smaller defaults for smoke runs");
+  cli.add_flag("check", "attach the invariant catalogue (per-swarm + cross-swarm)");
+  cli.add_flag("no-reserve", "disable pre-sizing of tracker/peer-store registries");
+  cli.add_option("summary", "write an mpbt-summary-v1 JSON summary to this path", "");
+  cli.add_option("out", "write the per-round population series CSV to this path", "");
+  cli.add_option("log-level", "debug|info|warn|error|off", "");
+
+  try {
+    if (!cli.parse(argc, argv)) {
+      return 0;
+    }
+    if (const std::string level = cli.get("log-level"); !level.empty()) {
+      util::set_log_level(util::parse_log_level(level));
+    }
+
+    // Keep mpbt_sweep and this CLI in agreement about what the
+    // "ecosystem_transient" scenario means.
+    eco::register_ecosystem_scenarios();
+
+    const bool quick = cli.has_flag("quick");
+    eco::EcosystemConfig config;
+    const long long torrents = cli.get_int("torrents");
+    config.num_torrents =
+        torrents > 0 ? static_cast<std::uint32_t>(torrents) : (quick ? 6U : 16U);
+    const long long peers = cli.get_int("peers");
+    config.initial_sessions =
+        peers > 0 ? static_cast<std::uint32_t>(peers) : (quick ? 150U : 400U);
+    const double arrival = cli.get_double("arrival-rate");
+    config.arrival_rate = arrival >= 0.0 ? arrival : (quick ? 8.0 : 10.0);
+    const long long rounds_opt = cli.get_int("rounds");
+    const auto rounds =
+        rounds_opt > 0 ? static_cast<bt::Round>(rounds_opt) : (quick ? 60U : 150U);
+    config.zipf_s = cli.get_double("zipf-s");
+    config.max_wants = static_cast<std::uint32_t>(cli.get_int("max-wants"));
+    config.pre_reserve = !cli.has_flag("no-reserve");
+    config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+    config.swarm.num_pieces = static_cast<std::uint32_t>(cli.get_int("pieces"));
+    config.swarm.max_connections = 4;
+    config.swarm.peer_set_size = 20;
+    config.swarm.initial_seeds = 2;
+    config.swarm.seed_capacity = 6;
+    config.swarm.seeds_serve_all = true;
+    config.swarm.seed_linger_rounds =
+        static_cast<std::uint32_t>(cli.get_int("linger"));
+    config.swarm.abort_rate = cli.get_double("abort-rate");
+
+    for (const std::vector<double>& e :
+         parse_events(cli.get("flash-crowd"), "--flash-crowd")) {
+      eco::FlashCrowd fc;
+      fc.round = static_cast<bt::Round>(e[0]);
+      fc.sessions = static_cast<std::uint32_t>(e[1]);
+      fc.torrent = e.size() > 2 ? static_cast<std::int64_t>(e[2]) : -1;
+      config.flash_crowds.push_back(fc);
+    }
+    std::vector<eco::Takedown> takedowns;
+    for (const std::vector<double>& e :
+         parse_events(cli.get("takedown"), "--takedown")) {
+      eco::Takedown td;
+      td.round = static_cast<bt::Round>(e[0]);
+      td.fraction = e[1];
+      td.torrent = e.size() > 2 ? static_cast<std::int64_t>(e[2]) : -1;
+      takedowns.push_back(td);
+    }
+    config.takedowns = takedowns;
+
+    const auto jobs = static_cast<std::size_t>(cli.get_int("jobs"));
+    eco::Ecosystem eco(config, jobs);
+
+    std::unique_ptr<check::EcosystemChecker> checker;
+    if (cli.has_flag("check")) {
+      checker = std::make_unique<check::EcosystemChecker>(eco);
+      checker->check_round();
+    }
+    for (bt::Round r = 0; r < rounds; ++r) {
+      eco.step();
+      if (checker) {
+        checker->check_round();
+      }
+    }
+
+    // Everything below prints deterministic state only — no wall times —
+    // so `cmp` across --jobs values is a valid invariance witness.
+    std::cout << "== mpbt_ecosystem: " << eco.num_torrents() << " torrents, "
+              << rounds << " rounds, zipf_s=" << config.zipf_s << " ==\n";
+    util::Table table({"torrent", "population", "seeds", "completions", "zipf_p"});
+    for (std::size_t t = 0; t < eco.num_torrents(); ++t) {
+      const bt::Swarm& swarm = eco.swarm(t);
+      table.add_row({static_cast<long long>(t),
+                     static_cast<long long>(swarm.population()),
+                     static_cast<long long>(swarm.num_seeds()),
+                     static_cast<long long>(swarm.metrics().completed_count()),
+                     eco.popularity().probability(t)});
+    }
+    table.print_text(std::cout);
+    std::cout << "population=" << eco.population() << " seeds=" << eco.num_seeds()
+              << " active_sessions=" << eco.active_session_count() << "\n"
+              << "sessions: arrived=" << eco.sessions_arrived()
+              << " completed=" << eco.sessions_completed()
+              << " aborted=" << eco.sessions_aborted()
+              << " removed=" << eco.sessions_removed()
+              << " file_completions=" << eco.file_completions() << "\n";
+    for (const eco::Takedown& td : takedowns) {
+      const eco::TransientSummary transient = eco.transient(td);
+      std::cout << "takedown @" << td.round << " fraction=" << td.fraction
+                << ": pre=" << transient.pre << " trough=" << transient.trough
+                << " final=" << transient.final_population
+                << " recovery_rounds=" << transient.recovery_rounds
+                << " recovered_frac=" << transient.recovered_frac << "\n";
+    }
+    if (checker) {
+      std::cout << "invariant checks run: " << checker->checks_run() << "\n";
+    }
+    char fp[32];
+    std::snprintf(fp, sizeof(fp), "0x%016llx",
+                  static_cast<unsigned long long>(eco.fingerprint()));
+    std::cout << "fingerprint=" << fp << "\n";
+
+    if (const std::string path = cli.get("out"); !path.empty()) {
+      write_series_csv(path, eco);
+      std::cerr << "mpbt_ecosystem: wrote series CSV to " << path << "\n";
+    }
+
+    if (const std::string path = cli.get("summary"); !path.empty()) {
+      const std::vector<std::uint32_t>& population = eco.metrics().population;
+      const double mean_population =
+          population.empty()
+              ? 0.0
+              : std::accumulate(population.begin(), population.end(), 0.0) /
+                    static_cast<double>(population.size());
+      report::RunSummary summary;
+      summary.scenario = "ecosystem_transient";
+      summary.points = 1;
+      summary.runs = 1;
+      summary.records = 1;
+      summary.set_metric("final_population",
+                         population.empty() ? 0.0 : population.back());
+      summary.set_metric("mean_population", mean_population);
+      summary.set_metric("sessions_arrived",
+                         static_cast<double>(eco.sessions_arrived()));
+      summary.set_metric("sessions_completed",
+                         static_cast<double>(eco.sessions_completed()));
+      summary.set_metric("sessions_aborted",
+                         static_cast<double>(eco.sessions_aborted()));
+      summary.set_metric("sessions_removed",
+                         static_cast<double>(eco.sessions_removed()));
+      summary.set_metric("file_completions",
+                         static_cast<double>(eco.file_completions()));
+      if (!takedowns.empty()) {
+        const eco::TransientSummary transient = eco.transient(takedowns.front());
+        summary.set_metric("takedown_pre_population", transient.pre);
+        summary.set_metric("takedown_trough_population", transient.trough);
+        summary.set_metric("takedown_recovery_rounds", transient.recovery_rounds);
+        summary.set_metric("takedown_recovered_frac", transient.recovered_frac);
+      }
+      report::summary_to_json(summary).save_file(path);
+      std::cerr << "mpbt_ecosystem: wrote summary to " << path << "\n";
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "mpbt_ecosystem: " << error.what() << "\n";
+    return 2;
+  }
+  return 0;
+}

@@ -29,6 +29,7 @@
 #include <memory>
 #include <string>
 
+#include "eco/scenario.hpp"
 #include "exp/metrics_export.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
@@ -81,6 +82,10 @@ int main(int argc, char** argv) {
     std::cerr << "mpbt_sweep: " << error.what() << "\n";
     return 2;
   }
+
+  // The eco layer sits above exp, so its scenarios register here, at the
+  // entry point, rather than inside the registry's built-in list.
+  eco::register_ecosystem_scenarios();
 
   if (cli.has_flag("list")) {
     list_scenarios(std::cout);

@@ -80,9 +80,10 @@ run_bench() {
     "$bench" --benchmark_min_time=0.01 \
       --benchmark_out="$OUT_DIR/$name.json" --benchmark_out_format=json \
       > "$OUT_DIR/$name.txt" 2> "$OUT_DIR/$name.err" || rc=$?
-  elif [ "$name" = bench_swarm_step ]; then
-    # Self-timed swarm-core throughput; its --json side-output uses the
-    # google-benchmark schema so it joins the same bench trajectory.
+  elif [ "$name" = bench_swarm_step ] || [ "$name" = bench_ecosystem_step ]; then
+    # Self-timed step throughput (swarm core / ecosystem); the --json
+    # side-output uses the google-benchmark schema so both join the
+    # same bench trajectory.
     local step_args=(--json="$OUT_DIR/$name.json")
     [ "$QUICK" = 1 ] && step_args+=(--quick)
     "$bench" "${step_args[@]}" > "$OUT_DIR/$name.txt" 2> "$OUT_DIR/$name.err" || rc=$?
@@ -166,7 +167,8 @@ if [ -n "$BENCH_JSON" ]; then
                --bench-source="scripts/run_all_figures.sh$([ "$QUICK" = 1 ] && echo ' --quick')"
                --wall-times="$OUT_DIR/wall_times.txt")
   GB_FILES=""
-  for gb_json in "$OUT_DIR/perf_microbench.json" "$OUT_DIR/bench_swarm_step.json"; do
+  for gb_json in "$OUT_DIR/perf_microbench.json" "$OUT_DIR/bench_swarm_step.json" \
+                 "$OUT_DIR/bench_ecosystem_step.json"; do
     [ -s "$gb_json" ] && GB_FILES="${GB_FILES:+$GB_FILES,}$gb_json"
   done
   [ -n "$GB_FILES" ] && append_args+=(--google-benchmark="$GB_FILES")

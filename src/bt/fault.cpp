@@ -23,6 +23,12 @@ std::string_view fault_name(Fault f) {
       return "skip-shake-cleanup";
     case Fault::kSkipRoundRecord:
       return "skip-round-record";
+    case Fault::kEcoLeakDepartedSession:
+      return "eco-leak-departed-session";
+    case Fault::kEcoSkipCompletionRecord:
+      return "eco-skip-completion-record";
+    case Fault::kEcoSkipTakedownLedger:
+      return "eco-skip-takedown-ledger";
   }
   return "unknown";
 }
@@ -44,6 +50,9 @@ const std::vector<Fault>& all_faults() {
       Fault::kDuplicateInflightPiece,
       Fault::kSkipShakeCleanup,
       Fault::kSkipRoundRecord,
+      Fault::kEcoLeakDepartedSession,
+      Fault::kEcoSkipCompletionRecord,
+      Fault::kEcoSkipTakedownLedger,
   };
   return kAll;
 }

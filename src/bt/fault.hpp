@@ -40,6 +40,15 @@ enum class Fault : unsigned char {
   kSkipShakeCleanup,
   /// phase_observe: run_record_metrics() records nothing this round.
   kSkipRoundRecord,
+  /// eco::Ecosystem: harvest leaves a session whose active peer departed
+  /// without the file marked Active forever (session leak).
+  kEcoLeakDepartedSession,
+  /// eco::Ecosystem: harvest registers the finished peer as a lingering
+  /// seed but never records the torrent on the session's completed list.
+  kEcoSkipCompletionRecord,
+  /// eco::Ecosystem: a takedown removes peers from the swarm but skips
+  /// the ecosystem's per-torrent population ledger decrement.
+  kEcoSkipTakedownLedger,
 };
 
 namespace detail {

@@ -30,6 +30,12 @@ void PeerStore::sweep_departed() {
   live_.resize(out);
 }
 
+void PeerStore::reserve(std::size_t capacity) {
+  slots_.reserve(capacity);
+  live_.reserve(capacity);
+  live_pos_.reserve(capacity);
+}
+
 void PeerStore::check_exists(PeerId id) const {
   util::throw_if_out_of_range(id >= slots_.size(), "Swarm: unknown peer id");
 }

@@ -58,6 +58,12 @@ class PeerStore {
   /// Compacts the live list in place, preserving arrival order.
   void sweep_departed();
 
+  /// Pre-sizes the slot array, live list, and position index for
+  /// `capacity` total peers, so arrival bursts (flash crowds) don't pay
+  /// reallocation churn inside the round loop. No-op when already at
+  /// least that large.
+  void reserve(std::size_t capacity);
+
   /// Sentinel returned by live_position() for departed / unknown peers.
   static constexpr std::uint32_t kNoPosition = UINT32_MAX;
 

@@ -69,6 +69,31 @@ PeerId Swarm::add_peer(const std::vector<double>& piece_probs) {
   return id;
 }
 
+void Swarm::remove_peer(PeerId id) {
+  util::throw_if_invalid(!store_.is_live(id), "Swarm::remove_peer: peer is not live");
+  RoundContext ctx = make_context();
+  depart(ctx, store_.get(id));
+  store_.sweep_departed();
+}
+
+void Swarm::remove_peers(const std::vector<PeerId>& ids) {
+  if (ids.empty()) {
+    return;
+  }
+  RoundContext ctx = make_context();
+  for (const PeerId id : ids) {
+    util::throw_if_invalid(!store_.is_live(id), "Swarm::remove_peers: peer is not live");
+    depart(ctx, store_.get(id));
+  }
+  store_.sweep_departed();
+}
+
+void Swarm::reserve_peers(std::size_t extra) {
+  const std::size_t capacity = store_.size() + extra;
+  store_.reserve(capacity);
+  tracker_.reserve(capacity);
+}
+
 void Swarm::instrument_peer(PeerId id) {
   Peer& p = store_.checked(id);
   util::throw_if_invalid(!is_live(id), "Swarm::instrument_peer: peer is not live");

@@ -134,6 +134,21 @@ class Swarm {
   /// InitialGroup semantics; empty means no pieces. Returns the new id.
   PeerId add_peer(const std::vector<double>& piece_probs = {});
 
+  /// Removes one live peer immediately (between rounds): tracker
+  /// deregistration, symmetric neighbor repair, replication decrement,
+  /// then the live-list sweep. Throws if the peer is not live.
+  void remove_peer(PeerId id);
+
+  /// Batch form of remove_peer: one live-list sweep for the whole batch,
+  /// so scripted mass departures (takedowns) stay O(live), not
+  /// O(batch * live). Ids must be distinct and live.
+  void remove_peers(const std::vector<PeerId>& ids);
+
+  /// Pre-sizes the peer store and tracker for `extra` additional peers
+  /// beyond those ever created, so arrival bursts (flash crowds) don't
+  /// pay reallocation churn inside the round loop. Draw-neutral.
+  void reserve_peers(std::size_t extra);
+
   /// Verifies cross-peer invariants (symmetry, caps, count consistency);
   /// throws util::AssertionError on violation. O(N * (s + B)).
   void check_invariants() const;

@@ -27,6 +27,11 @@ void Tracker::remove_peer(PeerId id) {
   position_[id] = kNpos;
 }
 
+void Tracker::reserve(std::size_t capacity) {
+  order_.reserve(capacity);
+  position_.reserve(capacity);
+}
+
 bool Tracker::contains(PeerId id) const {
   return id < position_.size() && position_[id] != kNpos;
 }

@@ -30,6 +30,11 @@ class Tracker {
   /// Returns fewer when the registry is small.
   std::vector<PeerId> sample_peers(std::size_t count, PeerId exclude, numeric::Rng& rng) const;
 
+  /// Pre-sizes the registry for `capacity` registered peers (and ids up
+  /// to `capacity`), so flash-crowd announce bursts don't reallocate
+  /// mid-round. No-op when already at least that large.
+  void reserve(std::size_t capacity);
+
   /// Records the current population into the hourly statistics series.
   void record_stats();
 

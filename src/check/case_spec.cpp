@@ -170,6 +170,23 @@ CaseSpec random_case(std::uint64_t base_seed, std::uint64_t index, bool quick) {
   c.availability_scope = static_cast<bt::AvailabilityScope>(u32(0, 1));
   c.tracker_policy = static_cast<bt::TrackerPolicy>(u32(0, 2));
   c.choke_algorithm = static_cast<bt::ChokeAlgorithm>(u32(0, 1));
+  // The ecosystem section is drawn after every swarm field so enabling
+  // it never perturbs the plain-swarm point of earlier campaigns.
+  if (rng.bernoulli(0.3)) {
+    c.eco_torrents = u32(1, quick ? 4 : 8);
+    c.eco_zipf_s = rng.uniform(0.0, 1.5);
+    c.eco_arrival_rate = rng.uniform(0.0, quick ? 2.0 : 4.0);
+    c.eco_initial_sessions = u32(0, quick ? 10 : 30);
+    c.eco_max_wants = u32(1, 3);
+    if (rng.bernoulli(0.3)) {
+      c.eco_flash_round = u32(1, c.rounds);
+      c.eco_flash_sessions = u32(5, quick ? 20 : 40);
+    }
+    if (rng.bernoulli(0.4)) {
+      c.eco_takedown_round = u32(1, c.rounds);
+      c.eco_takedown_fraction = rng.uniform(0.2, 0.9);
+    }
+  }
   return c;
 }
 
@@ -206,6 +223,36 @@ bt::SwarmConfig to_config(const CaseSpec& spec) {
     }
     config.initial_groups.push_back(std::move(group));
   }
+  config.validate();
+  return config;
+}
+
+eco::EcosystemConfig to_ecosystem_config(const CaseSpec& spec) {
+  if (spec.eco_torrents == 0) {
+    throw std::invalid_argument(
+        "to_ecosystem_config: spec has no ecosystem section (eco_torrents == 0)");
+  }
+  eco::EcosystemConfig config;
+  config.num_torrents = spec.eco_torrents;
+  config.zipf_s = spec.eco_zipf_s;
+  config.arrival_rate = spec.eco_arrival_rate;
+  config.initial_sessions = spec.eco_initial_sessions;
+  config.max_wants = spec.eco_max_wants;
+  if (spec.eco_flash_round > 0 && spec.eco_flash_sessions > 0) {
+    config.flash_crowds.push_back(
+        {spec.eco_flash_round, spec.eco_flash_sessions, -1});
+  }
+  if (spec.eco_takedown_round > 0 && spec.eco_takedown_fraction > 0.0) {
+    eco::Takedown takedown;
+    takedown.round = spec.eco_takedown_round;
+    takedown.fraction = spec.eco_takedown_fraction;
+    takedown.torrent = -1;
+    config.takedowns.push_back(takedown);
+  }
+  // The swarm point doubles as the per-torrent template; the Ecosystem
+  // constructor neutralizes arrivals/initial groups itself.
+  config.swarm = to_config(spec);
+  config.seed = spec.seed;
   config.validate();
   return config;
 }
@@ -248,6 +295,21 @@ report::Json to_json(const CaseSpec& spec) {
   json.set("tracker_policy", report::Json(tracker_policy_name(spec.tracker_policy)));
   json.set("choke_algorithm",
            report::Json(choke_algorithm_name(spec.choke_algorithm)));
+  if (spec.eco_torrents > 0) {
+    json.set("eco_torrents", report::Json(static_cast<double>(spec.eco_torrents)));
+    json.set("eco_zipf_s", report::Json(spec.eco_zipf_s));
+    json.set("eco_arrival_rate", report::Json(spec.eco_arrival_rate));
+    json.set("eco_initial_sessions",
+             report::Json(static_cast<double>(spec.eco_initial_sessions)));
+    json.set("eco_max_wants", report::Json(static_cast<double>(spec.eco_max_wants)));
+    json.set("eco_flash_round",
+             report::Json(static_cast<double>(spec.eco_flash_round)));
+    json.set("eco_flash_sessions",
+             report::Json(static_cast<double>(spec.eco_flash_sessions)));
+    json.set("eco_takedown_round",
+             report::Json(static_cast<double>(spec.eco_takedown_round)));
+    json.set("eco_takedown_fraction", report::Json(spec.eco_takedown_fraction));
+  }
   json.set("fault", report::Json(spec.fault));
   if (!spec.expect_violation.empty()) {
     json.set("expect_violation", report::Json(spec.expect_violation));
@@ -298,6 +360,17 @@ CaseSpec case_from_json(const report::Json& json) {
       "tracker_policy", std::string(tracker_policy_name(c.tracker_policy))));
   c.choke_algorithm = choke_algorithm_from_name(json.string_or(
       "choke_algorithm", std::string(choke_algorithm_name(c.choke_algorithm))));
+  c.eco_torrents = u32_field(json, "eco_torrents", c.eco_torrents);
+  c.eco_zipf_s = json.number_or("eco_zipf_s", c.eco_zipf_s);
+  c.eco_arrival_rate = json.number_or("eco_arrival_rate", c.eco_arrival_rate);
+  c.eco_initial_sessions =
+      u32_field(json, "eco_initial_sessions", c.eco_initial_sessions);
+  c.eco_max_wants = u32_field(json, "eco_max_wants", c.eco_max_wants);
+  c.eco_flash_round = u32_field(json, "eco_flash_round", c.eco_flash_round);
+  c.eco_flash_sessions = u32_field(json, "eco_flash_sessions", c.eco_flash_sessions);
+  c.eco_takedown_round = u32_field(json, "eco_takedown_round", c.eco_takedown_round);
+  c.eco_takedown_fraction =
+      json.number_or("eco_takedown_fraction", c.eco_takedown_fraction);
   c.fault = json.string_or("fault", c.fault);
   bt::fault::fault_from_name(c.fault);  // validate early, not inside the run
   c.expect_violation = json.string_or("expect_violation", "");

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "bt/config.hpp"
+#include "eco/ecosystem.hpp"
 #include "report/json.hpp"
 
 namespace mpbt::check {
@@ -62,6 +63,24 @@ struct CaseSpec {
   bt::TrackerPolicy tracker_policy = bt::TrackerPolicy::UniformRandom;
   bt::ChokeAlgorithm choke_algorithm = bt::ChokeAlgorithm::RandomMatching;
 
+  // Optional multi-torrent ecosystem section. eco_torrents == 0 (the
+  // default, and what every pre-ecosystem case file deserializes to)
+  // fuzzes a plain swarm; >= 1 wraps the swarm point above into an
+  // eco::Ecosystem template and runs the cross-swarm invariants too.
+  std::uint32_t eco_torrents = 0;
+  double eco_zipf_s = 1.0;
+  /// Expected new sessions per round (the swarm-level arrival_rate is
+  /// neutralized inside an ecosystem — sessions are the arrivals).
+  double eco_arrival_rate = 1.0;
+  std::uint32_t eco_initial_sessions = 4;
+  std::uint32_t eco_max_wants = 2;
+  /// Flash-crowd burst (0 sessions or round 0 = no burst).
+  std::uint32_t eco_flash_round = 0;
+  std::uint32_t eco_flash_sessions = 0;
+  /// Takedown event (round 0 or fraction 0 = no event).
+  std::uint32_t eco_takedown_round = 0;
+  double eco_takedown_fraction = 0.0;
+
   /// Fault armed for the run (bt::fault name; "none" for clean fuzzing).
   std::string fault = "none";
   /// Invariant this case is expected to violate ("" = expected clean).
@@ -81,6 +100,11 @@ CaseSpec random_case(std::uint64_t base_seed, std::uint64_t index, bool quick);
 
 /// Materializes the spec as a validated SwarmConfig.
 bt::SwarmConfig to_config(const CaseSpec& spec);
+
+/// Materializes the ecosystem section (requires eco_torrents >= 1): the
+/// swarm point becomes the per-torrent template, the eco_* fields drive
+/// sessions, bursts and the takedown script.
+eco::EcosystemConfig to_ecosystem_config(const CaseSpec& spec);
 
 /// JSON round-trip ("mpbt-fuzz-case-v1").
 report::Json to_json(const CaseSpec& spec);

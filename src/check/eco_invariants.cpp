@@ -1,0 +1,186 @@
+#include "check/eco_invariants.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mpbt::check {
+
+EcosystemInvariants::EcosystemInvariants(std::string context)
+    : context_(std::move(context)) {}
+
+void EcosystemInvariants::check(const eco::Ecosystem& eco) {
+  check_session_conservation(eco);
+  check_want_seed_coherence(eco);
+  check_ledger_coherence(eco);
+}
+
+void EcosystemInvariants::fail(const eco::Ecosystem& eco, std::string_view invariant,
+                               std::string message) const {
+  std::ostringstream out;
+  out << invariant << ": " << message << " [round=" << eco.round()
+      << " seed=" << eco.config().seed << "]";
+  if (!context_.empty()) {
+    out << " " << context_;
+  }
+  throw InvariantViolation(std::string(invariant), out.str(), eco.round(),
+                           "eco-round-end");
+}
+
+void EcosystemInvariants::check_session_conservation(const eco::Ecosystem& eco) {
+  ++checks_run_;
+  std::uint64_t active = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t removed = 0;
+  for (const eco::Session& s : eco.sessions()) {
+    switch (s.state) {
+      case eco::SessionState::kActive:
+        ++active;
+        break;
+      case eco::SessionState::kCompleted:
+        ++completed;
+        break;
+      case eco::SessionState::kAborted:
+        ++aborted;
+        break;
+      case eco::SessionState::kRemoved:
+        ++removed;
+        break;
+    }
+    if (s.state == eco::SessionState::kActive && !s.join_pending) {
+      if (s.active_peer == bt::kNoPeer) {
+        std::ostringstream msg;
+        msg << "active session " << s.id
+            << " has neither a live peer nor a pending join (leaked departure?)";
+        fail(eco, "eco-session-conservation", msg.str());
+      }
+      if (!eco.swarm(s.active_torrent).is_live(s.active_peer)) {
+        std::ostringstream msg;
+        msg << "active session " << s.id << " points at departed peer "
+            << s.active_peer << " in torrent " << s.active_torrent;
+        fail(eco, "eco-session-conservation", msg.str());
+      }
+    }
+  }
+  const std::uint64_t total = active + completed + aborted + removed;
+  if (total != eco.sessions_arrived() || eco.sessions().size() != total) {
+    std::ostringstream msg;
+    msg << "session states do not conserve arrivals: active=" << active
+        << " completed=" << completed << " aborted=" << aborted
+        << " removed=" << removed << " vs arrived=" << eco.sessions_arrived();
+    fail(eco, "eco-session-conservation", msg.str());
+  }
+  if (completed != eco.sessions_completed() || aborted != eco.sessions_aborted() ||
+      removed != eco.sessions_removed()) {
+    std::ostringstream msg;
+    msg << "session-state counters drifted from the session list: completed="
+        << completed << "/" << eco.sessions_completed() << " aborted=" << aborted
+        << "/" << eco.sessions_aborted() << " removed=" << removed << "/"
+        << eco.sessions_removed();
+    fail(eco, "eco-session-conservation", msg.str());
+  }
+}
+
+void EcosystemInvariants::check_want_seed_coherence(const eco::Ecosystem& eco) {
+  ++checks_run_;
+  for (const eco::Session& s : eco.sessions()) {
+    if (s.next_want > s.wants.size()) {
+      std::ostringstream msg;
+      msg << "session " << s.id << " next_want " << s.next_want << " beyond want list ("
+          << s.wants.size() << ")";
+      fail(eco, "eco-want-seed-coherence", msg.str());
+    }
+    for (const std::uint32_t t : s.completed) {
+      if (std::find(s.wants.begin(), s.wants.end(), t) == s.wants.end()) {
+        std::ostringstream msg;
+        msg << "session " << s.id << " completed torrent " << t
+            << " that it never wanted";
+        fail(eco, "eco-want-seed-coherence", msg.str());
+      }
+    }
+    for (const auto& [t, id] : s.seeding) {
+      const bt::Swarm& swarm = eco.swarm(t);
+      if (!swarm.is_live(id)) {
+        std::ostringstream msg;
+        msg << "session " << s.id << " seeding entry (torrent " << t << ", peer " << id
+            << ") is not live";
+        fail(eco, "eco-want-seed-coherence", msg.str());
+      }
+      if (!swarm.peer(id).is_seed) {
+        std::ostringstream msg;
+        msg << "session " << s.id << " seeding entry (torrent " << t << ", peer " << id
+            << ") is not a seed";
+        fail(eco, "eco-want-seed-coherence", msg.str());
+      }
+      if (std::find(s.completed.begin(), s.completed.end(), t) == s.completed.end()) {
+        std::ostringstream msg;
+        msg << "session " << s.id << " seeds torrent " << t
+            << " without a completion record";
+        fail(eco, "eco-want-seed-coherence", msg.str());
+      }
+    }
+  }
+}
+
+void EcosystemInvariants::check_ledger_coherence(const eco::Ecosystem& eco) {
+  ++checks_run_;
+  for (std::size_t t = 0; t < eco.num_torrents(); ++t) {
+    const bt::Swarm& swarm = eco.swarm(t);
+    const std::size_t swarm_pop = swarm.population();
+    const std::size_t tracker_pop = swarm.tracker().population();
+    if (swarm_pop != tracker_pop) {
+      std::ostringstream msg;
+      msg << "torrent " << t << " swarm population " << swarm_pop
+          << " != tracker registry " << tracker_pop;
+      fail(eco, "eco-ledger-coherence", msg.str());
+    }
+    if (eco.ledger(t) != swarm_pop) {
+      std::ostringstream msg;
+      msg << "torrent " << t << " ecosystem ledger " << eco.ledger(t)
+          << " != swarm population " << swarm_pop;
+      fail(eco, "eco-ledger-coherence", msg.str());
+    }
+  }
+}
+
+const std::vector<std::string_view>& EcosystemInvariants::invariant_names() {
+  static const std::vector<std::string_view> kNames = {
+      "eco-session-conservation",
+      "eco-want-seed-coherence",
+      "eco-ledger-coherence",
+  };
+  return kNames;
+}
+
+EcosystemChecker::EcosystemChecker(eco::Ecosystem& eco, InvariantOptions options)
+    : eco_(eco), cross_(options.context) {
+  suites_.reserve(eco_.num_torrents());
+  for (std::size_t t = 0; t < eco_.num_torrents(); ++t) {
+    InvariantOptions per_swarm = options;
+    if (!options.context.empty()) {
+      per_swarm.context = options.context + " torrent=" + std::to_string(t);
+    }
+    suites_.push_back(std::make_unique<InvariantSuite>(std::move(per_swarm)));
+    eco_.swarm(t).set_phase_observer(suites_.back().get());
+  }
+}
+
+EcosystemChecker::~EcosystemChecker() {
+  for (std::size_t t = 0; t < suites_.size(); ++t) {
+    if (eco_.swarm(t).phase_observer() == suites_[t].get()) {
+      eco_.swarm(t).set_phase_observer(nullptr);
+    }
+  }
+}
+
+void EcosystemChecker::check_round() { cross_.check(eco_); }
+
+std::uint64_t EcosystemChecker::checks_run() const {
+  std::uint64_t total = cross_.checks_run();
+  for (const auto& suite : suites_) {
+    total += suite->checks_run();
+  }
+  return total;
+}
+
+}  // namespace mpbt::check

@@ -1,0 +1,91 @@
+// Cross-swarm ecosystem invariants.
+//
+// The per-swarm InvariantSuite guards each torrent's internal structure;
+// these checks guard the coordination layer above it — the bookkeeping
+// eco::Ecosystem keeps about its sessions and swarms:
+//
+//   eco-session-conservation   Every session ever arrived is in exactly
+//                              one terminal-or-active state, and every
+//                              active session is either waiting to join
+//                              its next want or owns a live peer.
+//   eco-want-seed-coherence    A session's seeding entries point at live
+//                              seeds in torrents the session completed,
+//                              and completed torrents are wanted ones.
+//   eco-ledger-coherence       The ecosystem's per-torrent population
+//                              ledger agrees with the swarm live list
+//                              AND the tracker registry.
+//
+// Each invariant catches a specific bt::fault:
+// eco-leak-departed-session -> conservation, eco-skip-completion-record
+// -> want/seed coherence, eco-skip-takedown-ledger -> ledger coherence.
+//
+// EcosystemChecker bundles these round-granular checks with one
+// bt::PhaseObserver InvariantSuite attached per swarm, so one object
+// arms the whole catalogue — phase-boundary structure inside every
+// torrent plus cross-swarm bookkeeping between rounds.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "eco/ecosystem.hpp"
+
+namespace mpbt::check {
+
+/// Round-granular cross-swarm checks. Stateless between calls: safe to
+/// invoke after any step() (or on a freshly built ecosystem).
+class EcosystemInvariants {
+ public:
+  /// `context` is appended verbatim to every violation message (the
+  /// fuzzer records the case identity here).
+  explicit EcosystemInvariants(std::string context = "");
+
+  /// Runs the full cross-swarm catalogue; throws InvariantViolation.
+  void check(const eco::Ecosystem& eco);
+
+  std::uint64_t checks_run() const { return checks_run_; }
+
+  /// Names of the cross-swarm invariants, in evaluation order.
+  static const std::vector<std::string_view>& invariant_names();
+
+ private:
+  void check_session_conservation(const eco::Ecosystem& eco);
+  void check_want_seed_coherence(const eco::Ecosystem& eco);
+  void check_ledger_coherence(const eco::Ecosystem& eco);
+
+  [[noreturn]] void fail(const eco::Ecosystem& eco, std::string_view invariant,
+                         std::string message) const;
+
+  std::string context_;
+  std::uint64_t checks_run_ = 0;
+};
+
+/// One-stop checker for an ecosystem run: attaches an InvariantSuite to
+/// every swarm (phase-boundary checks during step()) and runs the
+/// cross-swarm catalogue via check_round(). Detaches the observers on
+/// destruction.
+class EcosystemChecker {
+ public:
+  explicit EcosystemChecker(eco::Ecosystem& eco, InvariantOptions options = {});
+  ~EcosystemChecker();
+
+  EcosystemChecker(const EcosystemChecker&) = delete;
+  EcosystemChecker& operator=(const EcosystemChecker&) = delete;
+
+  /// Cross-swarm checks for the current round; call after each step().
+  void check_round();
+
+  /// Per-swarm phase checks + cross-swarm checks, total.
+  std::uint64_t checks_run() const;
+
+ private:
+  eco::Ecosystem& eco_;
+  EcosystemInvariants cross_;
+  std::vector<std::unique_ptr<InvariantSuite>> suites_;
+};
+
+}  // namespace mpbt::check

@@ -6,6 +6,8 @@
 
 #include "bt/fault.hpp"
 #include "bt/swarm.hpp"
+#include "check/eco_invariants.hpp"
+#include "eco/ecosystem.hpp"
 #include "exp/thread_pool.hpp"
 
 namespace mpbt::check {
@@ -18,7 +20,54 @@ std::uint64_t fnv1a64(std::uint64_t hash, std::uint64_t value) {
   return hash;
 }
 
+namespace {
+
+/// Ecosystem variant of run_case: wraps the swarm point in an
+/// eco::Ecosystem, attaches a per-swarm InvariantSuite plus the
+/// cross-swarm catalogue, and fingerprints via the ecosystem's own
+/// jobs-invariant fold. Cases already fan out across the campaign pool,
+/// so each ecosystem steps its torrents serially (jobs = 1).
+CaseResult run_eco_case(const CaseSpec& spec, std::uint64_t stride, bool deep) {
+  CaseResult result;
+  result.spec = spec;
+
+  InvariantOptions options;
+  options.stride = stride;
+  options.deep = deep;
+  options.context = "case base_seed=" + std::to_string(spec.base_seed) +
+                    " index=" + std::to_string(spec.index) +
+                    " fault=" + spec.fault;
+
+  eco::Ecosystem eco(to_ecosystem_config(spec), /*jobs=*/1);
+  EcosystemChecker checker(eco, options);
+
+  const bt::fault::ScopedFault guard(bt::fault::fault_from_name(spec.fault));
+
+  try {
+    checker.check_round();  // initial state must already be coherent
+    for (std::uint32_t r = 0; r < spec.rounds; ++r) {
+      eco.step();
+      checker.check_round();
+      ++result.rounds_run;
+    }
+  } catch (const InvariantViolation& violation) {
+    result.ok = false;
+    result.invariant = violation.invariant();
+    result.message = violation.what();
+    result.violation_round = violation.round();
+  }
+  result.fingerprint = eco.fingerprint();
+  result.checks_run = checker.checks_run();
+  return result;
+}
+
+}  // namespace
+
 CaseResult run_case(const CaseSpec& spec, std::uint64_t stride, bool deep) {
+  if (spec.eco_torrents > 0) {
+    return run_eco_case(spec, stride, deep);
+  }
+
   CaseResult result;
   result.spec = spec;
 

@@ -21,9 +21,28 @@ class Shrinker {
     clamp_rounds();
   }
 
+  /// A spec with no ecosystem section (eco_torrents == 0) must carry
+  /// the default eco knobs: to_json omits the section entirely, so any
+  /// other values would not survive the record/replay round trip.
+  static CaseSpec canonical(CaseSpec spec) {
+    if (spec.eco_torrents == 0) {
+      const CaseSpec defaults;
+      spec.eco_zipf_s = defaults.eco_zipf_s;
+      spec.eco_arrival_rate = defaults.eco_arrival_rate;
+      spec.eco_initial_sessions = defaults.eco_initial_sessions;
+      spec.eco_max_wants = defaults.eco_max_wants;
+      spec.eco_flash_round = defaults.eco_flash_round;
+      spec.eco_flash_sessions = defaults.eco_flash_sessions;
+      spec.eco_takedown_round = defaults.eco_takedown_round;
+      spec.eco_takedown_fraction = defaults.eco_takedown_fraction;
+    }
+    return spec;
+  }
+
   /// Runs the candidate (spending one attempt) and adopts it when the
   /// target invariant reproduces. Returns true on acceptance.
-  bool try_candidate(const CaseSpec& candidate) {
+  bool try_candidate(const CaseSpec& raw) {
+    const CaseSpec candidate = canonical(raw);
     if (candidate == best_ || attempts_ >= options_.max_attempts) {
       return false;
     }
@@ -131,6 +150,19 @@ ShrinkResult shrink_case(const CaseSpec& spec, const ShrinkOptions& options) {
     shrinker.bisect(&CaseSpec::seed_capacity, 0);
     shrinker.bisect(&CaseSpec::blocks_per_piece, 1);
     shrinker.bisect(&CaseSpec::seed_linger_rounds, 0);
+
+    // Ecosystem knobs. Floors of 0/1 can disable the section entirely —
+    // harmless, because a candidate that stops reproducing the target
+    // invariant is never adopted (an eco-* violation needs torrents).
+    shrinker.bisect(&CaseSpec::eco_torrents, 0);
+    shrinker.bisect(&CaseSpec::eco_initial_sessions, 0);
+    shrinker.bisect(&CaseSpec::eco_max_wants, 1);
+    shrinker.bisect(&CaseSpec::eco_flash_sessions, 0);
+    shrinker.simplify(&CaseSpec::eco_arrival_rate, 0.0);
+    shrinker.simplify(&CaseSpec::eco_zipf_s, 0.0);
+    shrinker.simplify(&CaseSpec::eco_flash_round, 0u);
+    shrinker.simplify(&CaseSpec::eco_takedown_round, 0u);
+    shrinker.simplify(&CaseSpec::eco_takedown_fraction, 0.0);
 
     // Feature knobs: prefer the plainest swarm that still fails.
     shrinker.simplify(&CaseSpec::abort_rate, 0.0);

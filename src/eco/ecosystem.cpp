@@ -1,0 +1,459 @@
+#include "eco/ecosystem.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "bt/fault.hpp"
+#include "util/assert.hpp"
+
+namespace mpbt::eco {
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xffULL;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+void EcosystemConfig::validate() const {
+  util::throw_if_invalid(num_torrents == 0, "EcosystemConfig: num_torrents must be >= 1");
+  util::throw_if_invalid(!(zipf_s >= 0.0), "EcosystemConfig: zipf_s must be >= 0");
+  util::throw_if_invalid(!(arrival_rate >= 0.0),
+                         "EcosystemConfig: arrival_rate must be >= 0");
+  util::throw_if_invalid(max_wants == 0, "EcosystemConfig: max_wants must be >= 1");
+  util::throw_if_invalid(extra_want_prob < 0.0 || extra_want_prob > 1.0,
+                         "EcosystemConfig: extra_want_prob must be in [0, 1]");
+  for (const Takedown& td : takedowns) {
+    util::throw_if_invalid(td.round == 0,
+                           "EcosystemConfig: takedown round must be >= 1 (round 0 has "
+                           "no pre-event population to measure against)");
+    util::throw_if_invalid(td.fraction < 0.0 || td.fraction > 1.0,
+                           "EcosystemConfig: takedown fraction must be in [0, 1]");
+    util::throw_if_invalid(td.torrent >= static_cast<std::int64_t>(num_torrents),
+                           "EcosystemConfig: takedown torrent out of range");
+  }
+  for (const FlashCrowd& fc : flash_crowds) {
+    util::throw_if_invalid(fc.torrent >= static_cast<std::int64_t>(num_torrents),
+                           "EcosystemConfig: flash crowd torrent out of range");
+  }
+}
+
+std::string_view session_state_name(SessionState state) {
+  switch (state) {
+    case SessionState::kActive:
+      return "active";
+    case SessionState::kCompleted:
+      return "completed";
+    case SessionState::kAborted:
+      return "aborted";
+    case SessionState::kRemoved:
+      return "removed";
+  }
+  return "unknown";
+}
+
+Ecosystem::Ecosystem(EcosystemConfig config, std::size_t jobs)
+    : config_(std::move(config)),
+      zipf_(config_.num_torrents, config_.zipf_s),
+      arrival_seeds_(exp::SeedStream(config_.seed).substream(1)) {
+  config_.validate();
+  const exp::SeedStream root(config_.seed);
+  const exp::SeedStream swarm_seeds = root.substream(0);
+  takedown_seed_base_ = root.at(2);
+
+  // The ecosystem owns every arrival and departure: the per-swarm
+  // template is neutralized so no peer enters or leaves a swarm without
+  // flowing through the session model (the ledger invariant depends on
+  // this).
+  bt::SwarmConfig base = config_.swarm;
+  base.arrival_rate = 0.0;
+  base.arrival_cutoff_round = 0;
+  base.initial_groups.clear();
+  base.arrival_piece_probs.clear();
+  base.max_population = 0;
+
+  swarms_.reserve(config_.num_torrents);
+  for (std::uint32_t t = 0; t < config_.num_torrents; ++t) {
+    bt::SwarmConfig sc = base;
+    sc.seed = swarm_seeds.at(t);
+    swarms_.push_back(std::make_unique<bt::Swarm>(std::move(sc)));
+    ledger_.push_back(swarms_.back()->population());
+    peer_session_.emplace_back(swarms_.back()->store().size(), kNoSession);
+  }
+  metrics_.torrent_population.resize(config_.num_torrents);
+
+  const std::size_t workers = jobs == 0 ? exp::ThreadPool::default_jobs() : jobs;
+  if (workers > 1 && config_.num_torrents > 1) {
+    pool_ = std::make_unique<exp::ThreadPool>(workers);
+  }
+
+  if (config_.initial_sessions > 0) {
+    numeric::Rng init_rng(root.at(3));
+    std::vector<ArrivalSpec> specs;
+    specs.reserve(config_.initial_sessions);
+    for (std::uint32_t i = 0; i < config_.initial_sessions; ++i) {
+      specs.push_back({draw_wants(init_rng, -1)});
+    }
+    if (config_.pre_reserve) {
+      std::vector<std::size_t> joins(config_.num_torrents, 0);
+      for (const ArrivalSpec& spec : specs) {
+        ++joins[spec.wants.front()];
+      }
+      for (std::uint32_t t = 0; t < config_.num_torrents; ++t) {
+        if (joins[t] > 0) {
+          swarms_[t]->reserve_peers(joins[t]);
+        }
+      }
+    }
+    for (ArrivalSpec& spec : specs) {
+      start_session(std::move(spec.wants));
+    }
+  }
+}
+
+Ecosystem::~Ecosystem() = default;
+
+void Ecosystem::step() {
+  apply_takedowns();
+  process_joins_and_arrivals();
+  if (pool_) {
+    exp::parallel_for_each(*pool_, swarms_.size(),
+                           [this](std::size_t t) { swarms_[t]->step(); });
+  } else {
+    for (const auto& swarm : swarms_) {
+      swarm->step();
+    }
+  }
+  harvest_sessions();
+  record_round();
+  ++round_;
+}
+
+void Ecosystem::run_rounds(bt::Round rounds) {
+  for (bt::Round r = 0; r < rounds; ++r) {
+    step();
+  }
+}
+
+void Ecosystem::apply_takedowns() {
+  const bool skip_ledger = bt::fault::enabled(bt::fault::Fault::kEcoSkipTakedownLedger);
+  for (const Takedown& td : config_.takedowns) {
+    if (td.round != round_) {
+      continue;
+    }
+    const std::uint32_t lo = td.torrent < 0 ? 0 : static_cast<std::uint32_t>(td.torrent);
+    const std::uint32_t hi =
+        td.torrent < 0 ? config_.num_torrents : static_cast<std::uint32_t>(td.torrent) + 1;
+    for (std::uint32_t t = lo; t < hi; ++t) {
+      bt::Swarm& swarm = *swarms_[t];
+      const std::vector<bt::PeerId>& live = swarm.live_peers();
+      const auto remove =
+          static_cast<std::size_t>(td.fraction * static_cast<double>(live.size()));
+      if (remove == 0) {
+        continue;
+      }
+      numeric::Rng rng(exp::derive_seed(takedown_seed_base_, t, round_));
+      const std::vector<std::size_t> picks =
+          rng.sample_without_replacement(live.size(), remove);
+      std::vector<bt::PeerId> ids;
+      ids.reserve(picks.size());
+      for (const std::size_t idx : picks) {
+        ids.push_back(live[idx]);
+      }
+      std::sort(ids.begin(), ids.end());
+      swarm.remove_peers(ids);
+      takedown_removed_ += ids.size();
+      if (!skip_ledger) {
+        ledger_[t] -= ids.size();
+      }
+      for (const bt::PeerId id : ids) {
+        const std::uint32_t sid = session_of(t, id);
+        if (sid == kNoSession) {
+          continue;  // initial seed, not session-owned
+        }
+        Session& s = sessions_[sid];
+        if (s.state == SessionState::kActive && !s.join_pending &&
+            s.active_torrent == t && s.active_peer == id) {
+          s.state = SessionState::kRemoved;
+          s.active_peer = bt::kNoPeer;
+          ++sessions_removed_;
+        } else {
+          // A lingering seed of a session that moved on (or finished).
+          const auto entry = std::make_pair(t, id);
+          const auto it = std::find(s.seeding.begin(), s.seeding.end(), entry);
+          if (it != s.seeding.end()) {
+            s.seeding.erase(it);
+          }
+        }
+      }
+    }
+  }
+}
+
+void Ecosystem::process_joins_and_arrivals() {
+  // Sessions that finished a torrent last round re-announce into their
+  // next want now, before new arrivals, in session-id order.
+  std::vector<std::uint32_t> pending;
+  for (const Session& s : sessions_) {
+    if (s.state == SessionState::kActive && s.join_pending) {
+      pending.push_back(s.id);
+    }
+  }
+
+  // All of this round's want-list randomness comes from one per-round
+  // derived stream, drawn serially: organic Poisson arrivals first, then
+  // scripted flash crowds in config order.
+  numeric::Rng rng(arrival_seeds_.at(round_));
+  std::vector<ArrivalSpec> specs;
+  const bool organic =
+      config_.arrival_cutoff_round == 0 || round_ < config_.arrival_cutoff_round;
+  if (organic && config_.arrival_rate > 0.0) {
+    const int n = rng.poisson(config_.arrival_rate);
+    for (int i = 0; i < n; ++i) {
+      specs.push_back({draw_wants(rng, -1)});
+    }
+  }
+  for (const FlashCrowd& fc : config_.flash_crowds) {
+    if (fc.round != round_) {
+      continue;
+    }
+    for (std::uint32_t i = 0; i < fc.sessions; ++i) {
+      specs.push_back({draw_wants(rng, fc.torrent)});
+    }
+  }
+
+  if (config_.pre_reserve) {
+    std::vector<std::size_t> joins(config_.num_torrents, 0);
+    for (const std::uint32_t sid : pending) {
+      const Session& s = sessions_[sid];
+      ++joins[s.wants[s.next_want]];
+    }
+    for (const ArrivalSpec& spec : specs) {
+      ++joins[spec.wants.front()];
+    }
+    for (std::uint32_t t = 0; t < config_.num_torrents; ++t) {
+      if (joins[t] > 0) {
+        swarms_[t]->reserve_peers(joins[t]);
+      }
+    }
+  }
+
+  for (const std::uint32_t sid : pending) {
+    join_session(sessions_[sid]);
+  }
+  for (ArrivalSpec& spec : specs) {
+    start_session(std::move(spec.wants));
+  }
+}
+
+void Ecosystem::harvest_sessions() {
+  const bool leak = bt::fault::enabled(bt::fault::Fault::kEcoLeakDepartedSession);
+  const bool skip_record =
+      bt::fault::enabled(bt::fault::Fault::kEcoSkipCompletionRecord);
+
+  const auto finish_torrent = [&](Session& s, std::uint32_t t, bt::PeerId id,
+                                  bool still_live) {
+    ++file_completions_;
+    if (!skip_record) {
+      s.completed.push_back(t);
+    }
+    if (still_live) {
+      s.seeding.emplace_back(t, id);  // cross-swarm seeding: lingers here
+    }
+    s.active_peer = bt::kNoPeer;
+    ++s.next_want;
+    if (s.next_want < s.wants.size()) {
+      s.join_pending = true;  // re-announces into the next want next round
+    } else {
+      s.state = SessionState::kCompleted;
+      ++sessions_completed_;
+    }
+  };
+
+  for (Session& s : sessions_) {
+    // Lingering seeds whose linger window expired departed inside the
+    // swarm step; observe that here and release them from the ledger.
+    for (auto it = s.seeding.begin(); it != s.seeding.end();) {
+      if (!swarms_[it->first]->is_live(it->second)) {
+        --ledger_[it->first];
+        it = s.seeding.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (s.state != SessionState::kActive || s.join_pending ||
+        s.active_peer == bt::kNoPeer) {
+      continue;
+    }
+    const std::uint32_t t = s.active_torrent;
+    const bt::PeerId id = s.active_peer;
+    bt::Swarm& swarm = *swarms_[t];
+    const bt::Peer& p = swarm.peer(id);
+    if (swarm.is_live(id)) {
+      if (p.is_seed) {
+        // Completed this round and lingers as a seed (stays on the ledger
+        // until the linger window expires or a takedown removes it).
+        finish_torrent(s, t, id, /*still_live=*/true);
+      }
+    } else {
+      --ledger_[t];
+      if (p.pieces.all()) {
+        // Completed and departed in the same round (no linger configured).
+        finish_torrent(s, t, id, /*still_live=*/false);
+      } else {
+        s.active_peer = bt::kNoPeer;
+        if (!leak) {
+          s.state = SessionState::kAborted;
+          ++sessions_aborted_;
+        }
+      }
+    }
+  }
+}
+
+void Ecosystem::record_round() {
+  std::uint32_t pop = 0;
+  std::uint32_t seeds = 0;
+  for (std::uint32_t t = 0; t < config_.num_torrents; ++t) {
+    const bt::Swarm& swarm = *swarms_[t];
+    const auto tp = static_cast<std::uint32_t>(swarm.population());
+    const auto ts = static_cast<std::uint32_t>(swarm.num_seeds());
+    metrics_.torrent_population[t].push_back(tp);
+    pop += tp;
+    seeds += ts;
+    fingerprint_ = fnv1a(fingerprint_, tp);
+    fingerprint_ = fnv1a(fingerprint_, ts);
+    fingerprint_ = fnv1a(fingerprint_, swarm.metrics().completed_count());
+  }
+  const auto active = static_cast<std::uint32_t>(active_session_count());
+  metrics_.population.push_back(pop);
+  metrics_.seeds.push_back(seeds);
+  metrics_.active_sessions.push_back(active);
+  fingerprint_ = fnv1a(fingerprint_, active);
+  fingerprint_ = fnv1a(fingerprint_, sessions_arrived_);
+  fingerprint_ = fnv1a(fingerprint_, file_completions_);
+
+  if (registry_ != nullptr) {
+    registry_->counter("eco.rounds").add(1);
+    registry_->gauge("eco.population").set(pop);
+    registry_->gauge("eco.seeds").set(seeds);
+    registry_->gauge("eco.active_sessions").set(active);
+    registry_->gauge("eco.sessions_arrived").set(static_cast<double>(sessions_arrived_));
+    registry_->gauge("eco.file_completions").set(static_cast<double>(file_completions_));
+    registry_->gauge("eco.takedown_removed").set(static_cast<double>(takedown_removed_));
+  }
+}
+
+std::size_t Ecosystem::active_session_count() const {
+  std::size_t n = 0;
+  for (const Session& s : sessions_) {
+    if (s.state == SessionState::kActive) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t Ecosystem::population() const {
+  std::size_t n = 0;
+  for (const auto& swarm : swarms_) {
+    n += swarm->population();
+  }
+  return n;
+}
+
+std::size_t Ecosystem::num_seeds() const {
+  std::size_t n = 0;
+  for (const auto& swarm : swarms_) {
+    n += swarm->num_seeds();
+  }
+  return n;
+}
+
+TransientSummary Ecosystem::transient(const Takedown& takedown) const {
+  const std::size_t rounds = metrics_.population.size();
+  util::throw_if_invalid(takedown.round == 0 || takedown.round >= rounds,
+                         "Ecosystem::transient: takedown round not inside the "
+                         "recorded series");
+  const std::uint32_t lo =
+      takedown.torrent < 0 ? 0 : static_cast<std::uint32_t>(takedown.torrent);
+  const std::uint32_t hi = takedown.torrent < 0
+                               ? config_.num_torrents
+                               : static_cast<std::uint32_t>(takedown.torrent) + 1;
+  const auto sum_at = [&](std::size_t r) {
+    double sum = 0.0;
+    for (std::uint32_t t = lo; t < hi; ++t) {
+      sum += metrics_.torrent_population[t][r];
+    }
+    return sum;
+  };
+
+  TransientSummary out;
+  out.pre = sum_at(takedown.round - 1);
+  out.trough = out.pre;
+  for (std::size_t r = takedown.round; r < rounds; ++r) {
+    out.trough = std::min(out.trough, sum_at(r));
+  }
+  out.final_population = sum_at(rounds - 1);
+  for (std::size_t r = takedown.round; r < rounds; ++r) {
+    if (sum_at(r) >= 0.9 * out.pre) {
+      out.recovery_rounds = static_cast<double>(r - takedown.round);
+      break;
+    }
+  }
+  out.recovered_frac = out.pre > 0.0 ? out.final_population / out.pre : 0.0;
+  return out;
+}
+
+std::vector<std::uint32_t> Ecosystem::draw_wants(numeric::Rng& rng, std::int64_t first) {
+  const std::uint32_t cap = std::min(config_.max_wants, config_.num_torrents);
+  std::vector<std::uint32_t> wants;
+  wants.reserve(cap);
+  wants.push_back(first >= 0 ? static_cast<std::uint32_t>(first) : zipf_.sample(rng));
+  while (wants.size() < cap && rng.bernoulli(config_.extra_want_prob)) {
+    const std::uint32_t candidate = zipf_.sample(rng);
+    if (std::find(wants.begin(), wants.end(), candidate) == wants.end()) {
+      wants.push_back(candidate);
+    }
+  }
+  return wants;
+}
+
+void Ecosystem::start_session(std::vector<std::uint32_t> wants) {
+  Session s;
+  s.id = static_cast<std::uint32_t>(sessions_.size());
+  s.arrived = round_;
+  s.wants = std::move(wants);
+  sessions_.push_back(std::move(s));
+  ++sessions_arrived_;
+  join_session(sessions_.back());
+}
+
+void Ecosystem::join_session(Session& session) {
+  const std::uint32_t t = session.wants[session.next_want];
+  const bt::PeerId id = swarms_[t]->add_peer();
+  session.active_torrent = t;
+  session.active_peer = id;
+  session.join_pending = false;
+  map_peer(t, id, session.id);
+  ++ledger_[t];
+}
+
+void Ecosystem::map_peer(std::uint32_t torrent, bt::PeerId id, std::uint32_t session) {
+  std::vector<std::uint32_t>& map = peer_session_[torrent];
+  if (id >= map.size()) {
+    map.resize(static_cast<std::size_t>(id) + 1, kNoSession);
+  }
+  map[id] = session;
+}
+
+std::uint32_t Ecosystem::session_of(std::uint32_t torrent, bt::PeerId id) const {
+  const std::vector<std::uint32_t>& map = peer_session_[torrent];
+  return id < map.size() ? map[id] : kNoSession;
+}
+
+}  // namespace mpbt::eco

@@ -1,0 +1,254 @@
+// Multi-torrent ecosystem: N independent swarms, one shared peer population.
+//
+// The paper models a single torrent's swarm; a deployed tracker serves a
+// *database* of files, each with its own swarm, and users seed completed
+// files while downloading others. eco::Ecosystem composes N bt::Swarm
+// instances (each over its own bt::Tracker) under a session model:
+//
+//   - Sessions arrive per round (Poisson, plus scripted flash-crowd
+//     bursts) and draw a want-list of distinct torrents from a Zipf
+//     popularity law — the first want is what they came for, extras
+//     model users queueing several files.
+//   - A session downloads one torrent at a time. On completion the peer
+//     lingers as a seed in the finished swarm (SwarmConfig::
+//     seed_linger_rounds) while the session re-announces into its next
+//     wanted torrent the following round — that is cross-swarm seeding.
+//   - Scripted takedowns remove a fraction of a torrent's live peers at
+//     a given round (Altman–Nain–Shwartz transient), and the recovery
+//     trajectory is measurable from the per-torrent population series.
+//
+// Determinism contract: all cross-swarm coordination (takedowns,
+// arrivals, joins, harvest) is serial and draws from dedicated
+// derive_seed streams — substream 0 seeds the swarms, substream 1 is
+// keyed per round for arrivals, substream 2 per torrent x round for
+// takedowns. Swarm stepping is the only parallel phase and each swarm
+// owns its RNG, so results are bit-identical for any --jobs value.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bt/swarm.hpp"
+#include "bt/types.hpp"
+#include "eco/zipf.hpp"
+#include "exp/seed_stream.hpp"
+#include "exp/thread_pool.hpp"
+#include "obs/metrics.hpp"
+
+namespace mpbt::eco {
+
+/// Scripted mass-departure event: at the start of `round`, remove
+/// `fraction` of the live peers (seeds and leechers alike) of the
+/// targeted torrent — or of every torrent when `torrent < 0`.
+struct Takedown {
+  bt::Round round = 0;
+  double fraction = 0.5;
+  std::int64_t torrent = -1;
+};
+
+/// Scripted arrival burst: `sessions` extra sessions arrive at `round`.
+/// When `torrent >= 0` their first want is pinned to that torrent
+/// (everyone rushing the same new release); otherwise it is Zipf-drawn.
+struct FlashCrowd {
+  bt::Round round = 0;
+  std::uint32_t sessions = 0;
+  std::int64_t torrent = -1;
+};
+
+struct EcosystemConfig {
+  std::uint32_t num_torrents = 8;
+  /// Zipf exponent for torrent popularity (0 = uniform).
+  double zipf_s = 1.0;
+  /// Expected new sessions per round (Poisson).
+  double arrival_rate = 4.0;
+  /// Sessions injected at round 0 before the first step.
+  std::uint32_t initial_sessions = 0;
+  /// Round after which organic arrivals stop (0 = never). Flash crowds
+  /// fire regardless — they are scripted events, not organic traffic.
+  bt::Round arrival_cutoff_round = 0;
+  /// Want-list cap. The first want is always drawn; each extra want is
+  /// appended while a bernoulli(extra_want_prob) keeps succeeding.
+  std::uint32_t max_wants = 3;
+  double extra_want_prob = 0.35;
+
+  std::vector<FlashCrowd> flash_crowds;
+  std::vector<Takedown> takedowns;
+
+  /// Pre-size tracker/peer-store registries before flash-crowd bursts
+  /// so arrival spikes don't pay reallocation churn mid-loop.
+  bool pre_reserve = true;
+
+  /// Per-torrent swarm template. The ecosystem owns all arrivals and
+  /// departures, so arrival_rate / initial_groups / max_population are
+  /// overridden to neutral values; everything else (piece count, choke
+  /// algorithm, seed_linger_rounds, abort_rate, ...) applies as-is.
+  bt::SwarmConfig swarm;
+
+  std::uint64_t seed = 42;
+
+  void validate() const;
+};
+
+enum class SessionState : std::uint8_t {
+  kActive,     ///< downloading (or waiting one round to join the next want)
+  kCompleted,  ///< finished every wanted torrent
+  kAborted,    ///< active peer departed without the full file
+  kRemoved,    ///< active peer removed by a takedown
+};
+
+std::string_view session_state_name(SessionState state);
+
+/// One user's visit to the ecosystem. `wants` is a distinct, ordered
+/// list of torrent indices; `next_want` indexes the torrent currently
+/// being downloaded (or joined next). `seeding` tracks peers the
+/// session still operates as lingering seeds in finished swarms.
+struct Session {
+  std::uint32_t id = 0;
+  bt::Round arrived = 0;
+  std::vector<std::uint32_t> wants;
+  std::uint32_t next_want = 0;
+  std::vector<std::uint32_t> completed;
+  SessionState state = SessionState::kActive;
+  /// Valid while state == kActive and !join_pending.
+  std::uint32_t active_torrent = 0;
+  bt::PeerId active_peer = bt::kNoPeer;
+  /// Set when the session finished a torrent this round and joins its
+  /// next want at the start of the following round (re-announce delay).
+  bool join_pending = false;
+  std::vector<std::pair<std::uint32_t, bt::PeerId>> seeding;
+};
+
+/// Per-round ecosystem series (one entry per completed round).
+struct EcosystemMetrics {
+  std::vector<std::uint32_t> population;       ///< live peers, all torrents
+  std::vector<std::uint32_t> seeds;            ///< live seeds, all torrents
+  std::vector<std::uint32_t> active_sessions;  ///< sessions in kActive
+  /// torrent_population[t][r] = torrent t's live peers after round r.
+  std::vector<std::vector<std::uint32_t>> torrent_population;
+};
+
+/// Altman-style transient shape around one takedown event, computed
+/// from the summed population series of the affected torrents.
+struct TransientSummary {
+  double pre = 0.0;              ///< population the round before the event
+  double trough = 0.0;           ///< minimum population at/after the event
+  double final_population = 0.0; ///< population at the last recorded round
+  /// Rounds from the event until population first regains 90% of pre
+  /// (-1 if it never does within the run).
+  double recovery_rounds = -1.0;
+  /// final_population / pre (0 when pre == 0).
+  double recovered_frac = 0.0;
+};
+
+class Ecosystem {
+ public:
+  /// Builds the N swarms (serially, so construction order is fixed) and
+  /// injects `initial_sessions`. `jobs` bounds the worker threads used
+  /// to step swarms; 0 picks the hardware default. Results do not
+  /// depend on `jobs`.
+  explicit Ecosystem(EcosystemConfig config, std::size_t jobs = 1);
+  ~Ecosystem();
+
+  Ecosystem(const Ecosystem&) = delete;
+  Ecosystem& operator=(const Ecosystem&) = delete;
+
+  /// Advances every torrent by one round: scripted takedowns, session
+  /// joins + arrivals, parallel swarm stepping, then serial harvest of
+  /// completions/aborts and the metrics/fingerprint fold.
+  void step();
+  void run_rounds(bt::Round rounds);
+
+  bt::Round round() const { return round_; }
+  const EcosystemConfig& config() const { return config_; }
+
+  std::size_t num_torrents() const { return swarms_.size(); }
+  const bt::Swarm& swarm(std::size_t t) const { return *swarms_[t]; }
+  /// Mutable access so callers can attach per-swarm observers
+  /// (check::InvariantSuite) before stepping.
+  bt::Swarm& swarm(std::size_t t) { return *swarms_[t]; }
+
+  const std::vector<Session>& sessions() const { return sessions_; }
+  /// Peers this torrent should have live right now, per the ecosystem's
+  /// own bookkeeping. Invariant: equals the swarm/tracker population.
+  std::size_t ledger(std::size_t t) const { return ledger_[t]; }
+
+  std::uint64_t sessions_arrived() const { return sessions_arrived_; }
+  std::uint64_t sessions_completed() const { return sessions_completed_; }
+  std::uint64_t sessions_aborted() const { return sessions_aborted_; }
+  std::uint64_t sessions_removed() const { return sessions_removed_; }
+  /// Individual torrent downloads finished (>= sessions_completed).
+  std::uint64_t file_completions() const { return file_completions_; }
+  std::uint64_t takedown_removed() const { return takedown_removed_; }
+  std::size_t active_session_count() const;
+
+  std::size_t population() const;
+  std::size_t num_seeds() const;
+
+  const EcosystemMetrics& metrics() const { return metrics_; }
+
+  /// FNV-1a fold of every recorded round's per-torrent (population,
+  /// seeds, completed) tuples plus the global session counters. This is
+  /// the jobs-invariance witness.
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
+  /// Transient shape around `takedown` (must reference config rounds
+  /// already simulated; affected torrents resolved the same way step()
+  /// resolves them).
+  TransientSummary transient(const Takedown& takedown) const;
+
+  /// Optional live counters/gauges (eco.* namespace). Observation only:
+  /// draws no randomness and never alters the trajectory.
+  void set_metrics_registry(obs::Registry* registry) { registry_ = registry; }
+
+  const ZipfSampler& popularity() const { return zipf_; }
+
+ private:
+  struct ArrivalSpec {
+    std::vector<std::uint32_t> wants;
+  };
+
+  void apply_takedowns();
+  void process_joins_and_arrivals();
+  void harvest_sessions();
+  void record_round();
+
+  std::vector<std::uint32_t> draw_wants(numeric::Rng& rng, std::int64_t first);
+  void start_session(std::vector<std::uint32_t> wants);
+  void join_session(Session& session);
+  void map_peer(std::uint32_t torrent, bt::PeerId id, std::uint32_t session);
+  std::uint32_t session_of(std::uint32_t torrent, bt::PeerId id) const;
+
+  EcosystemConfig config_;
+  ZipfSampler zipf_;
+  std::vector<std::unique_ptr<bt::Swarm>> swarms_;
+  std::vector<Session> sessions_;
+  /// peer_session_[t][peer_id] -> session id (kNoSession when the peer
+  /// is not session-owned: initial seeds).
+  std::vector<std::vector<std::uint32_t>> peer_session_;
+  std::vector<std::size_t> ledger_;
+
+  exp::SeedStream arrival_seeds_;
+  std::uint64_t takedown_seed_base_ = 0;
+
+  std::unique_ptr<exp::ThreadPool> pool_;
+
+  bt::Round round_ = 0;
+  std::uint64_t sessions_arrived_ = 0;
+  std::uint64_t sessions_completed_ = 0;
+  std::uint64_t sessions_aborted_ = 0;
+  std::uint64_t sessions_removed_ = 0;
+  std::uint64_t file_completions_ = 0;
+  std::uint64_t takedown_removed_ = 0;
+
+  EcosystemMetrics metrics_;
+  std::uint64_t fingerprint_ = 14695981039346656037ULL;
+
+  obs::Registry* registry_ = nullptr;
+
+  static constexpr std::uint32_t kNoSession = 0xffffffffU;
+};
+
+}  // namespace mpbt::eco

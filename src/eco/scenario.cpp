@@ -1,0 +1,101 @@
+#include "eco/scenario.hpp"
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "eco/ecosystem.hpp"
+#include "exp/scenario.hpp"
+
+namespace mpbt::eco {
+namespace {
+
+// Altman-style transient sweep: a steady ecosystem absorbs a flash crowd,
+// then loses `takedown_fraction` of every torrent's peers at the event
+// round, and we measure the drop and the recovery trajectory driven by
+// continuing Zipf arrivals. fraction == 0 is the no-event control.
+exp::Scenario make_ecosystem_transient() {
+  exp::Scenario scenario;
+  scenario.name = "ecosystem_transient";
+  scenario.description =
+      "Multi-torrent ecosystem: flash crowd, takedown transient, and recovery "
+      "across takedown fractions";
+  scenario.make_points = [](const exp::SweepOptions& options) {
+    const std::vector<double> fractions =
+        options.quick ? std::vector<double>{0.6} : std::vector<double>{0.0, 0.5, 0.8};
+    std::vector<exp::ParamPoint> points;
+    for (const double fraction : fractions) {
+      exp::ParamPoint point;
+      point.set("takedown_fraction", fraction);
+      points.push_back(std::move(point));
+    }
+    return points;
+  };
+  scenario.run = [](const exp::ParamPoint& point, std::uint64_t seed,
+                    const exp::SweepOptions& options) {
+    // The flash crowd fires early and its transient decays before the
+    // takedown, so pre-event population is near steady state and the
+    // post-event recovery (back to >= 90% of pre) is measurable.
+    const bt::Round rounds = options.quick ? 100 : 160;
+    EcosystemConfig config;
+    config.num_torrents = options.quick ? 6 : 12;
+    config.zipf_s = 1.0;
+    config.arrival_rate = options.quick ? 6.0 : 10.0;
+    config.initial_sessions = options.quick ? 80 : 200;
+    config.max_wants = 3;
+    config.swarm.num_pieces = options.quick ? 40 : 60;
+    config.swarm.max_connections = 4;
+    config.swarm.peer_set_size = 20;
+    config.swarm.initial_seeds = 2;
+    config.swarm.seed_capacity = 6;
+    config.swarm.seeds_serve_all = true;
+    config.swarm.seed_linger_rounds = 20;
+    config.swarm.abort_rate = 0.01;
+    config.flash_crowds.push_back({options.quick ? 12U : 25U, options.quick ? 40U : 120U, 0});
+    const double fraction = point.get_double("takedown_fraction");
+    Takedown takedown;
+    takedown.round = options.quick ? 60U : 80U;
+    takedown.fraction = fraction;
+    takedown.torrent = -1;
+    if (fraction > 0.0) {
+      config.takedowns.push_back(takedown);
+    }
+    config.seed = seed;
+
+    Ecosystem eco(std::move(config), /*jobs=*/1);
+    eco.run_rounds(rounds);
+
+    const std::vector<std::uint32_t>& population = eco.metrics().population;
+    const double mean_population =
+        population.empty()
+            ? 0.0
+            : std::accumulate(population.begin(), population.end(), 0.0) /
+                  static_cast<double>(population.size());
+
+    exp::Record record;
+    record.set("final_population", static_cast<double>(population.back()));
+    record.set("mean_population", mean_population);
+    record.set("sessions_arrived", static_cast<double>(eco.sessions_arrived()));
+    record.set("sessions_completed", static_cast<double>(eco.sessions_completed()));
+    record.set("sessions_aborted", static_cast<double>(eco.sessions_aborted()));
+    record.set("sessions_removed", static_cast<double>(eco.sessions_removed()));
+    record.set("file_completions", static_cast<double>(eco.file_completions()));
+    if (fraction > 0.0) {
+      const TransientSummary transient = eco.transient(takedown);
+      record.set("takedown_pre_population", transient.pre);
+      record.set("takedown_trough_population", transient.trough);
+      record.set("takedown_recovery_rounds", transient.recovery_rounds);
+      record.set("takedown_recovered_frac", transient.recovered_frac);
+    }
+    return record;
+  };
+  return scenario;
+}
+
+}  // namespace
+
+void register_ecosystem_scenarios() {
+  exp::ScenarioRegistry::instance().add_if_absent(make_ecosystem_transient());
+}
+
+}  // namespace mpbt::eco

@@ -1,0 +1,16 @@
+// Registry hookup for the eco layer.
+//
+// src/exp sits below src/eco in the layer stack, so the exp registry
+// cannot register ecosystem scenarios itself — the cycle is broken by
+// having every CLI that wants them call register_ecosystem_scenarios()
+// explicitly (mpbt_sweep and mpbt_ecosystem both do).
+#pragma once
+
+namespace mpbt::eco {
+
+/// Registers the eco-layer scenarios ("ecosystem_transient") with the
+/// process-wide exp::ScenarioRegistry. Idempotent: safe to call from
+/// multiple entry points.
+void register_ecosystem_scenarios();
+
+}  // namespace mpbt::eco

@@ -1,0 +1,37 @@
+#include "eco/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mpbt::eco {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : s_(s) {
+  util::throw_if_invalid(n == 0, "ZipfSampler requires at least one category");
+  util::throw_if_invalid(!(s >= 0.0), "ZipfSampler requires s >= 0");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    total += 1.0 / std::pow(static_cast<double>(t + 1), s);
+    cdf_[t] = total;
+  }
+  for (double& c : cdf_) {
+    c /= total;
+  }
+  cdf_.back() = 1.0;  // guard against accumulated FP error at the tail
+}
+
+std::uint32_t ZipfSampler::sample(numeric::Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const auto idx = static_cast<std::size_t>(it - cdf_.begin());
+  return static_cast<std::uint32_t>(std::min(idx, cdf_.size() - 1));
+}
+
+double ZipfSampler::probability(std::size_t t) const {
+  util::throw_if_invalid(t >= cdf_.size(), "ZipfSampler::probability: index out of range");
+  return t == 0 ? cdf_[0] : cdf_[t] - cdf_[t - 1];
+}
+
+}  // namespace mpbt::eco

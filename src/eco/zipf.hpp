@@ -1,0 +1,41 @@
+// Zipf-distributed torrent popularity.
+//
+// File popularity in deployed BitTorrent ecosystems is heavy-tailed:
+// measurement studies consistently fit a Zipf(-like) law where the t-th
+// most popular file attracts traffic proportional to 1/(t+1)^s. The
+// sampler precomputes the normalized CDF once and answers each draw
+// with a single uniform01() plus a binary search, so sampling cost is
+// O(log N) and — crucially for the determinism contract — consumes
+// exactly one RNG draw per sample regardless of the outcome.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "numeric/rng.hpp"
+
+namespace mpbt::eco {
+
+class ZipfSampler {
+ public:
+  /// `n` categories with weight(t) = 1/(t+1)^s. `s == 0` degenerates to
+  /// the uniform distribution; larger `s` concentrates mass on low
+  /// indices. Throws on n == 0 or s < 0.
+  ZipfSampler(std::size_t n, double s);
+
+  /// Draws a category in [0, size()). Exactly one uniform01() draw.
+  std::uint32_t sample(numeric::Rng& rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+  double exponent() const { return s_; }
+
+  /// Normalized probability of category `t` (for tests / reporting).
+  double probability(std::size_t t) const;
+
+ private:
+  std::vector<double> cdf_;  ///< cdf_[t] = P(category <= t); back() == 1
+  double s_ = 0.0;
+};
+
+}  // namespace mpbt::eco

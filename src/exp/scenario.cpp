@@ -281,6 +281,14 @@ void ScenarioRegistry::add(Scenario scenario) {
   scenarios_.push_back(std::move(scenario));
 }
 
+bool ScenarioRegistry::add_if_absent(Scenario scenario) {
+  if (find(scenario.name) != nullptr) {
+    return false;
+  }
+  add(std::move(scenario));
+  return true;
+}
+
 const Scenario* ScenarioRegistry::find(std::string_view name) const {
   for (const Scenario& scenario : scenarios_) {
     if (scenario.name == name) {

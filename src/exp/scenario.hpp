@@ -74,6 +74,12 @@ class ScenarioRegistry {
   /// Registers a scenario; throws std::invalid_argument on a duplicate name.
   void add(Scenario scenario);
 
+  /// Registers a scenario unless one with the same name already exists;
+  /// returns true when it was added. Higher layers (eco) register their
+  /// scenarios from every CLI entry point, so registration must be
+  /// idempotent.
+  bool add_if_absent(Scenario scenario);
+
   /// Returns the scenario or nullptr.
   const Scenario* find(std::string_view name) const;
 

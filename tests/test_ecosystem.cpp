@@ -1,0 +1,471 @@
+// Tests for the multi-torrent ecosystem layer (src/eco).
+//
+// Covers the session model's bookkeeping (arrivals, completions,
+// aborts, takedown removals), Zipf popularity determinism, the
+// takedown/recovery transient shape, jobs-invariance of the ecosystem
+// fingerprint, the eco fault -> invariant mappings, and the CaseSpec
+// ecosystem section. Golden fingerprints mirror test_swarm_golden:
+// regenerate with MPBT_GOLDEN_REGEN=1 after an INTENTIONAL change.
+#include "eco/ecosystem.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+#include "bt/fault.hpp"
+#include "check/case_spec.hpp"
+#include "check/eco_invariants.hpp"
+#include "check/fuzzer.hpp"
+#include "eco/zipf.hpp"
+#include "numeric/rng.hpp"
+#include "report/json.hpp"
+
+namespace mpbt::eco {
+namespace {
+
+/// Small but busy ecosystem: every churn path (completion, linger,
+/// cross-swarm seeding, abort, organic + burst arrivals) is exercised
+/// within ~40 rounds.
+EcosystemConfig small_config() {
+  EcosystemConfig config;
+  config.num_torrents = 4;
+  config.zipf_s = 1.0;
+  config.arrival_rate = 3.0;
+  config.initial_sessions = 30;
+  config.max_wants = 3;
+  config.swarm.num_pieces = 20;
+  config.swarm.max_connections = 4;
+  config.swarm.peer_set_size = 15;
+  config.swarm.initial_seeds = 2;
+  config.swarm.seed_capacity = 6;
+  config.swarm.seeds_serve_all = true;
+  config.swarm.seed_linger_rounds = 10;
+  config.swarm.abort_rate = 0.02;
+  return config;
+}
+
+// --- Zipf popularity -------------------------------------------------------
+
+TEST(Zipf, SampleSequenceIsDeterministic) {
+  const ZipfSampler zipf(16, 1.2);
+  numeric::Rng a(99);
+  numeric::Rng b(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(zipf.sample(a), zipf.sample(b));
+  }
+}
+
+TEST(Zipf, ProbabilitiesAreNormalizedAndMonotone) {
+  const ZipfSampler zipf(12, 0.8);
+  double total = 0.0;
+  for (std::size_t t = 0; t < zipf.size(); ++t) {
+    total += zipf.probability(t);
+    if (t > 0) {
+      EXPECT_LE(zipf.probability(t), zipf.probability(t - 1));
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Zipf, ZeroExponentIsUniform) {
+  const ZipfSampler zipf(10, 0.0);
+  for (std::size_t t = 0; t < zipf.size(); ++t) {
+    EXPECT_NEAR(zipf.probability(t), 0.1, 1e-12);
+  }
+}
+
+TEST(Zipf, EmpiricalFrequenciesTrackTheLaw) {
+  const ZipfSampler zipf(8, 1.0);
+  numeric::Rng rng(7);
+  std::vector<int> counts(zipf.size(), 0);
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[zipf.sample(rng)];
+  }
+  for (std::size_t t = 0; t < zipf.size(); ++t) {
+    const double expected = zipf.probability(t) * draws;
+    EXPECT_NEAR(counts[t], expected, 5.0 * std::sqrt(expected) + 5.0) << "category " << t;
+  }
+}
+
+TEST(Zipf, RejectsDegenerateParameters) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(4, -0.5), std::invalid_argument);
+}
+
+// --- churn and session bookkeeping -----------------------------------------
+
+TEST(Ecosystem, SessionStatesPartitionTheArrivals) {
+  Ecosystem eco(small_config(), /*jobs=*/1);
+  eco.run_rounds(40);
+
+  std::uint64_t active = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t removed = 0;
+  for (const Session& session : eco.sessions()) {
+    switch (session.state) {
+      case SessionState::kActive: ++active; break;
+      case SessionState::kCompleted: ++completed; break;
+      case SessionState::kAborted: ++aborted; break;
+      case SessionState::kRemoved: ++removed; break;
+    }
+  }
+  EXPECT_EQ(eco.sessions().size(), eco.sessions_arrived());
+  EXPECT_EQ(active, eco.active_session_count());
+  EXPECT_EQ(completed, eco.sessions_completed());
+  EXPECT_EQ(aborted, eco.sessions_aborted());
+  EXPECT_EQ(removed, eco.sessions_removed());
+  EXPECT_EQ(active + completed + aborted + removed, eco.sessions_arrived());
+  EXPECT_GT(eco.sessions_completed(), 0u);
+  EXPECT_GT(eco.sessions_aborted(), 0u);
+}
+
+TEST(Ecosystem, LedgerMatchesSwarmAndTrackerEveryRound) {
+  Ecosystem eco(small_config(), /*jobs=*/1);
+  for (int r = 0; r < 25; ++r) {
+    eco.step();
+    for (std::size_t t = 0; t < eco.num_torrents(); ++t) {
+      EXPECT_EQ(eco.ledger(t), eco.swarm(t).population()) << "round " << r << " torrent " << t;
+      EXPECT_EQ(eco.ledger(t), eco.swarm(t).tracker().population())
+          << "round " << r << " torrent " << t;
+    }
+  }
+}
+
+TEST(Ecosystem, WantListsAreDistinctAndCompletionsAreWanted) {
+  Ecosystem eco(small_config(), /*jobs=*/1);
+  eco.run_rounds(40);
+  for (const Session& session : eco.sessions()) {
+    ASSERT_FALSE(session.wants.empty());
+    ASSERT_LE(session.wants.size(), 3u);
+    const std::set<std::uint32_t> distinct(session.wants.begin(), session.wants.end());
+    EXPECT_EQ(distinct.size(), session.wants.size()) << "session " << session.id;
+    for (const std::uint32_t t : session.completed) {
+      EXPECT_NE(std::find(session.wants.begin(), session.wants.end(), t), session.wants.end())
+          << "session " << session.id << " completed unwanted torrent " << t;
+    }
+  }
+}
+
+TEST(Ecosystem, CrossSwarmSeedingHappens) {
+  Ecosystem eco(small_config(), /*jobs=*/1);
+  eco.run_rounds(40);
+
+  // Multi-want sessions finish files one at a time, so the file
+  // completion count strictly exceeds the completed-session count, and
+  // at least one session must have been observed seeding a finished
+  // torrent while still working through its want list.
+  EXPECT_GT(eco.file_completions(), eco.sessions_completed());
+  bool saw_seed_while_active = false;
+  for (const Session& session : eco.sessions()) {
+    if (session.state == SessionState::kActive && !session.seeding.empty()) {
+      saw_seed_while_active = true;
+      for (const auto& [torrent, peer] : session.seeding) {
+        ASSERT_LT(torrent, eco.num_torrents());
+        EXPECT_TRUE(eco.swarm(torrent).is_live(peer));
+        EXPECT_TRUE(eco.swarm(torrent).peer(peer).is_seed);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_seed_while_active);
+}
+
+TEST(Ecosystem, FlashCrowdInjectsSessionsAtItsRound) {
+  EcosystemConfig config = small_config();
+  config.arrival_rate = 0.0;
+  config.flash_crowds.push_back({/*round=*/5, /*sessions=*/50, /*torrent=*/1});
+  Ecosystem eco(std::move(config), /*jobs=*/1);
+  eco.run_rounds(5);  // rounds 0..4
+  const std::uint64_t before = eco.sessions_arrived();
+  eco.step();  // round 5: the burst fires
+  EXPECT_EQ(eco.sessions_arrived(), before + 50);
+  // Pinned bursts rush the targeted torrent.
+  std::uint64_t pinned = 0;
+  for (const Session& session : eco.sessions()) {
+    if (session.arrived == 5 && session.wants.front() == 1) {
+      ++pinned;
+    }
+  }
+  EXPECT_EQ(pinned, 50u);
+}
+
+TEST(Ecosystem, TakedownRemovesPeersAndMarksSessions) {
+  EcosystemConfig config = small_config();
+  config.takedowns.push_back({/*round=*/10, /*fraction=*/0.5, /*torrent=*/-1});
+  Ecosystem eco(std::move(config), /*jobs=*/1);
+  eco.run_rounds(10);  // rounds 0..9
+  const std::size_t pre = eco.population();
+  eco.step();  // round 10: the takedown fires before arrivals/stepping
+  EXPECT_GT(eco.takedown_removed(), 0u);
+  EXPECT_GE(eco.takedown_removed(), pre / 2 - eco.num_torrents());
+  EXPECT_GT(eco.sessions_removed(), 0u);
+}
+
+// --- takedown/recovery transient -------------------------------------------
+
+TEST(Ecosystem, TakedownTransientShowsTroughAndRecovery) {
+  EcosystemConfig config = small_config();
+  config.arrival_rate = 4.0;
+  Takedown takedown{/*round=*/25, /*fraction=*/0.6, /*torrent=*/-1};
+  config.takedowns.push_back(takedown);
+  Ecosystem eco(std::move(config), /*jobs=*/1);
+  eco.run_rounds(70);
+
+  const TransientSummary transient = eco.transient(takedown);
+  EXPECT_GT(transient.pre, 0.0);
+  EXPECT_LT(transient.trough, 0.6 * transient.pre);
+  // Arrivals keep flowing, so the population climbs back above 90% of
+  // the pre-takedown level within the run.
+  EXPECT_GE(transient.recovery_rounds, 0.0);
+  EXPECT_LE(transient.recovery_rounds, 45.0);
+  // Steady state fluctuates, so the final round need not sit exactly at
+  // the pre-event level — but it must be well above the trough.
+  EXPECT_GT(transient.recovered_frac, 0.6);
+}
+
+TEST(Ecosystem, NoArrivalsMeansNoRecovery) {
+  EcosystemConfig config = small_config();
+  config.arrival_rate = 0.0;
+  config.initial_sessions = 60;
+  config.swarm.abort_rate = 0.0;
+  Takedown takedown{/*round=*/5, /*fraction=*/0.7, /*torrent=*/-1};
+  config.takedowns.push_back(takedown);
+  Ecosystem eco(std::move(config), /*jobs=*/1);
+  eco.run_rounds(30);
+
+  const TransientSummary transient = eco.transient(takedown);
+  EXPECT_GT(transient.pre, 0.0);
+  EXPECT_LT(transient.trough, transient.pre);
+  EXPECT_EQ(transient.recovery_rounds, -1.0);
+}
+
+// --- determinism -----------------------------------------------------------
+
+TEST(Ecosystem, FingerprintIsInvariantAcrossJobs) {
+  EcosystemConfig config = small_config();
+  config.num_torrents = 8;
+  config.initial_sessions = 120;
+  config.arrival_rate = 6.0;
+  config.flash_crowds.push_back({/*round=*/8, /*sessions=*/60, /*torrent=*/-1});
+  config.takedowns.push_back({/*round=*/20, /*fraction=*/0.4, /*torrent=*/2});
+
+  EcosystemConfig copy = config;
+  Ecosystem serial(std::move(config), /*jobs=*/1);
+  Ecosystem parallel(std::move(copy), /*jobs=*/8);
+  serial.run_rounds(30);
+  parallel.run_rounds(30);
+
+  EXPECT_EQ(serial.fingerprint(), parallel.fingerprint());
+  EXPECT_EQ(serial.metrics().population, parallel.metrics().population);
+  EXPECT_EQ(serial.metrics().seeds, parallel.metrics().seeds);
+  EXPECT_EQ(serial.metrics().torrent_population, parallel.metrics().torrent_population);
+  EXPECT_EQ(serial.sessions_arrived(), parallel.sessions_arrived());
+  EXPECT_EQ(serial.file_completions(), parallel.file_completions());
+}
+
+TEST(Ecosystem, SameSeedSameTrajectoryDifferentSeedDiverges) {
+  EcosystemConfig config = small_config();
+  EcosystemConfig same = config;
+  EcosystemConfig other = config;
+  other.seed = 1234;
+
+  Ecosystem a(std::move(config), /*jobs=*/1);
+  Ecosystem b(std::move(same), /*jobs=*/1);
+  Ecosystem c(std::move(other), /*jobs=*/1);
+  a.run_rounds(20);
+  b.run_rounds(20);
+  c.run_rounds(20);
+
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+}
+
+// --- golden fingerprints ---------------------------------------------------
+
+struct GoldenCase {
+  std::uint64_t seed;
+  std::uint64_t expected;
+};
+
+// Regenerate with MPBT_GOLDEN_REGEN=1 (prints rows, fails, so a stale
+// pin cannot slip through by accident).
+const GoldenCase kGolden[] = {
+    {42, 0x69a2d4bfa06b77d5ULL},
+    {7, 0x4ba41a9e24b0ad97ULL},
+    {1234, 0x9e3f6cb681a4fee0ULL},
+};
+
+TEST(EcosystemGolden, FingerprintsMatchPinnedValues) {
+  const bool regen = std::getenv("MPBT_GOLDEN_REGEN") != nullptr;
+  for (const GoldenCase& c : kGolden) {
+    EcosystemConfig config = small_config();
+    config.flash_crowds.push_back({/*round=*/8, /*sessions=*/40, /*torrent=*/0});
+    config.takedowns.push_back({/*round=*/20, /*fraction=*/0.5, /*torrent=*/-1});
+    config.seed = c.seed;
+    Ecosystem eco(std::move(config), /*jobs=*/1);
+    eco.run_rounds(40);
+    const std::uint64_t actual = eco.fingerprint();
+    if (regen) {
+      std::printf("    {%llu, 0x%llxULL},\n", static_cast<unsigned long long>(c.seed),
+                  static_cast<unsigned long long>(actual));
+      EXPECT_EQ(actual, c.expected) << "seed=" << c.seed << " (regen mode)";
+      continue;
+    }
+    EXPECT_EQ(actual, c.expected) << "seed=" << c.seed;
+  }
+}
+
+// --- invariants and faults -------------------------------------------------
+
+/// Steps until an InvariantViolation fires (or `rounds` elapse) and
+/// returns the violated invariant's name (empty when none fired).
+std::string violation_under(bt::fault::Fault fault, int rounds) {
+  EcosystemConfig config = small_config();
+  config.takedowns.push_back({/*round=*/10, /*fraction=*/0.5, /*torrent=*/-1});
+  Ecosystem eco(std::move(config), /*jobs=*/1);
+  check::EcosystemChecker checker(eco);
+  const bt::fault::ScopedFault scoped(fault);
+  try {
+    checker.check_round();
+    for (int r = 0; r < rounds; ++r) {
+      eco.step();
+      checker.check_round();
+    }
+  } catch (const check::InvariantViolation& violation) {
+    return violation.invariant();
+  }
+  return "";
+}
+
+TEST(EcosystemInvariants, CleanRunPassesAndCountsChecks) {
+  Ecosystem eco(small_config(), /*jobs=*/1);
+  check::EcosystemChecker checker(eco);
+  for (int r = 0; r < 20; ++r) {
+    eco.step();
+    checker.check_round();
+  }
+  EXPECT_GT(checker.checks_run(), 0u);
+}
+
+TEST(EcosystemInvariants, LeakedDepartedSessionViolatesConservation) {
+  EXPECT_EQ(violation_under(bt::fault::Fault::kEcoLeakDepartedSession, 40), "eco-session-conservation");
+}
+
+TEST(EcosystemInvariants, SkippedCompletionRecordViolatesWantSeedCoherence) {
+  EXPECT_EQ(violation_under(bt::fault::Fault::kEcoSkipCompletionRecord, 40), "eco-want-seed-coherence");
+}
+
+TEST(EcosystemInvariants, SkippedTakedownLedgerViolatesLedgerCoherence) {
+  EXPECT_EQ(violation_under(bt::fault::Fault::kEcoSkipTakedownLedger, 40), "eco-ledger-coherence");
+}
+
+TEST(EcosystemInvariants, NamesAreStable) {
+  const auto& names = check::EcosystemInvariants::invariant_names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "eco-session-conservation");
+  EXPECT_EQ(names[1], "eco-want-seed-coherence");
+  EXPECT_EQ(names[2], "eco-ledger-coherence");
+}
+
+// --- CaseSpec ecosystem section --------------------------------------------
+
+TEST(EcosystemCaseSpec, JsonRoundTripPreservesEcoFields) {
+  check::CaseSpec spec = check::random_case(42, 3, /*quick=*/true);
+  spec.eco_torrents = 3;
+  spec.eco_zipf_s = 1.1;
+  spec.eco_arrival_rate = 2.5;
+  spec.eco_initial_sessions = 12;
+  spec.eco_max_wants = 2;
+  spec.eco_flash_round = 4;
+  spec.eco_flash_sessions = 15;
+  spec.eco_takedown_round = 7;
+  spec.eco_takedown_fraction = 0.6;
+
+  const check::CaseSpec back = check::case_from_json(check::to_json(spec));
+  EXPECT_EQ(back, spec);
+}
+
+TEST(EcosystemCaseSpec, PlainSwarmSpecOmitsAndRejectsEcoConfig) {
+  check::CaseSpec spec = check::random_case(42, 0, /*quick=*/true);
+  spec.eco_torrents = 0;
+  const check::CaseSpec back = check::case_from_json(check::to_json(spec));
+  EXPECT_EQ(back.eco_torrents, 0u);
+  EXPECT_THROW(check::to_ecosystem_config(spec), std::invalid_argument);
+}
+
+TEST(EcosystemCaseSpec, ToEcosystemConfigMapsFieldsAndEvents) {
+  check::CaseSpec spec = check::random_case(42, 1, /*quick=*/true);
+  spec.eco_torrents = 4;
+  spec.eco_zipf_s = 0.9;
+  spec.eco_arrival_rate = 1.5;
+  spec.eco_initial_sessions = 8;
+  spec.eco_max_wants = 3;
+  spec.eco_flash_round = 5;
+  spec.eco_flash_sessions = 10;
+  spec.eco_takedown_round = 9;
+  spec.eco_takedown_fraction = 0.4;
+
+  const EcosystemConfig config = check::to_ecosystem_config(spec);
+  EXPECT_EQ(config.num_torrents, 4u);
+  EXPECT_DOUBLE_EQ(config.zipf_s, 0.9);
+  EXPECT_DOUBLE_EQ(config.arrival_rate, 1.5);
+  EXPECT_EQ(config.initial_sessions, 8u);
+  EXPECT_EQ(config.max_wants, 3u);
+  EXPECT_EQ(config.seed, spec.seed);
+  ASSERT_EQ(config.flash_crowds.size(), 1u);
+  EXPECT_EQ(config.flash_crowds.front().round, 5u);
+  EXPECT_EQ(config.flash_crowds.front().sessions, 10u);
+  ASSERT_EQ(config.takedowns.size(), 1u);
+  EXPECT_EQ(config.takedowns.front().round, 9u);
+  EXPECT_DOUBLE_EQ(config.takedowns.front().fraction, 0.4);
+}
+
+TEST(EcosystemCaseSpec, FuzzerRunsEcoCases) {
+  check::CaseSpec spec = check::random_case(42, 2, /*quick=*/true);
+  spec.eco_torrents = 3;
+  spec.eco_initial_sessions = 10;
+  spec.eco_arrival_rate = 1.0;
+  spec.rounds = std::max<std::uint32_t>(spec.rounds, 10);
+  const check::CaseResult result = check::run_case(spec);
+  EXPECT_TRUE(result.ok) << result.message;
+  EXPECT_GT(result.checks_run, 0u);
+  EXPECT_NE(result.fingerprint, 0u);
+}
+
+// --- config validation -----------------------------------------------------
+
+TEST(EcosystemConfigValidate, RejectsBadParameters) {
+  EcosystemConfig config = small_config();
+  config.num_torrents = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config = small_config();
+  config.zipf_s = -1.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config = small_config();
+  config.max_wants = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config = small_config();
+  config.takedowns.push_back({/*round=*/0, /*fraction=*/0.5, /*torrent=*/-1});
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config = small_config();
+  config.takedowns.push_back({/*round=*/5, /*fraction=*/1.5, /*torrent=*/-1});
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config = small_config();
+  config.takedowns.push_back({/*round=*/5, /*fraction=*/0.5, /*torrent=*/99});
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mpbt::eco

@@ -125,5 +125,24 @@ TEST(PeerStore, SurvivesSlotReallocation) {
   EXPECT_EQ(store.live().size(), 1000u);
 }
 
+
+TEST(PeerStore, ReservePreservesRecordsAndReferences) {
+  PeerStore store;
+  const PeerId first = store.create(16, 0);
+  store.get(first).pieces.set(3);
+  store.reserve(2000);
+  // Existing records survive the capacity bump.
+  EXPECT_EQ(store.get(first).id, first);
+  EXPECT_TRUE(store.get(first).pieces.test(3));
+  // With capacity pre-sized, a burst of creates must not invalidate a
+  // reference taken before the burst (no reallocation occurs).
+  const Peer& pinned = store.get(first);
+  for (int i = 1; i < 2000; ++i) {
+    store.create(16, 0);
+  }
+  EXPECT_EQ(&pinned, &store.get(first));
+  EXPECT_EQ(store.live().size(), 2000u);
+}
+
 }  // namespace
 }  // namespace mpbt::bt

@@ -108,5 +108,27 @@ TEST(Tracker, StatsSeriesRecordsPopulation) {
   EXPECT_EQ(series[2], 1u);
 }
 
+
+TEST(Tracker, ReservePreservesBehaviorAndPresizes) {
+  Tracker t;
+  t.add_peer(0);
+  t.add_peer(1);
+  t.reserve(1000);
+  // Reserving must not disturb existing registrations.
+  EXPECT_EQ(t.population(), 2u);
+  EXPECT_TRUE(t.contains(0));
+  EXPECT_TRUE(t.contains(1));
+  // A burst after reserve registers without issue (and reserve again
+  // with a smaller capacity is a no-op).
+  for (PeerId id = 2; id < 500; ++id) {
+    t.add_peer(id);
+  }
+  t.reserve(10);
+  EXPECT_EQ(t.population(), 500u);
+  t.remove_peer(250);
+  EXPECT_EQ(t.population(), 499u);
+  EXPECT_FALSE(t.contains(250));
+}
+
 }  // namespace
 }  // namespace mpbt::bt
